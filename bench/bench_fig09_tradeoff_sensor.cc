@@ -1,0 +1,22 @@
+// Reproduces Fig. 9: efficiency/accuracy trade-off on sensor-data.
+//
+// Expected shape (paper): speedups greatest for mode (log scale), moderate
+// for median/covariance, small for mean/dot product; %RMSE ~1e-12 for
+// mean/covariance/dot, <3% for median, <8% for mode; accuracy already good
+// at k=6.
+
+#include "tradeoff_common.h"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig. 9", "sensor-data: WN vs WA speedup and %RMSE as a function of k", args);
+  const ts::Dataset dataset = SensorAtScale(args.scale);
+  PrintTradeoffHeader();
+  for (const TradeoffRow& row : RunTradeoff(dataset, {6, 10, 14, 18, 22})) {
+    PrintTradeoffRow(row);
+  }
+  return 0;
+}

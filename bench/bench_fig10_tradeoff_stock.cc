@@ -1,0 +1,20 @@
+// Reproduces Fig. 10: efficiency/accuracy trade-off on stock-data.
+//
+// Same sweep as Fig. 9 on the larger dataset; the paper's point is that the
+// efficiency gains grow with dataset size.
+
+#include "tradeoff_common.h"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig. 10", "stock-data: WN vs WA speedup and %RMSE as a function of k", args);
+  const ts::Dataset dataset = StockAtScale(args.scale);
+  PrintTradeoffHeader();
+  for (const TradeoffRow& row : RunTradeoff(dataset, {6, 10, 14, 18, 22})) {
+    PrintTradeoffRow(row);
+  }
+  return 0;
+}

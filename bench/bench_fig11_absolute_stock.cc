@@ -1,0 +1,21 @@
+// Reproduces Fig. 11: absolute WN vs WA times on stock-data.
+//
+// Same measurements as Fig. 10 presented as absolute seconds per method
+// (the paper plots WN and WA bars per k; note the log scale for mode).
+
+#include "tradeoff_common.h"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig. 11", "stock-data: absolute time comparison, WN vs WA", args);
+  const ts::Dataset dataset = StockAtScale(args.scale);
+  std::printf("measure,k,wn_seconds,wa_seconds\n");
+  for (const TradeoffRow& row : RunTradeoff(dataset, {6, 10, 14, 18, 22})) {
+    std::printf("%s,%zu,%.6f,%.6f\n", std::string(core::MeasureName(row.measure)).c_str(),
+                row.k, row.wn_seconds, row.wa_seconds);
+  }
+  return 0;
+}

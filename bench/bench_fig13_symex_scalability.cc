@@ -1,0 +1,72 @@
+// Reproduces Fig. 13: scalability of SYMEX vs SYMEX+ in the number of
+// affine relationships.
+//
+// Expected shape: both linear; SYMEX+ (pseudo-inverse cache) a constant
+// factor faster (paper: 3.5–4×).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/afclst.h"
+#include "core/symex.h"
+
+using namespace affinity;
+using namespace affinity::bench;
+
+namespace {
+
+void RunDataset(const ts::Dataset& dataset, const std::vector<std::size_t>& targets) {
+  core::AfclstOptions afclst;
+  afclst.k = 6;
+  auto clustering = core::RunAfclst(dataset.matrix, afclst);
+  if (!clustering.ok()) {
+    std::fprintf(stderr, "AFCLST failed: %s\n", clustering.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::size_t max_rel = ts::SequencePairCount(dataset.matrix.n());
+  for (std::size_t target : targets) {
+    if (target > max_rel) target = max_rel;
+    core::SymexOptions plain;
+    plain.cache_pseudo_inverse = false;
+    plain.max_relationships = target;
+    core::SymexOptions plus;
+    plus.cache_pseudo_inverse = true;
+    plus.max_relationships = target;
+
+    auto model_plain = core::RunSymex(dataset.matrix, *clustering, plain);
+    auto model_plus = core::RunSymex(dataset.matrix, *clustering, plus);
+    if (!model_plain.ok() || !model_plus.ok()) {
+      std::fprintf(stderr, "SYMEX failed\n");
+      std::exit(1);
+    }
+    std::printf("%s,%zu,%.4f,%.4f,%.2f\n", dataset.name.c_str(),
+                model_plus->relationship_count(), model_plain->stats().march_seconds,
+                model_plus->stats().march_seconds,
+                model_plain->stats().march_seconds /
+                    (model_plus->stats().march_seconds > 0 ? model_plus->stats().march_seconds
+                                                           : 1e-12));
+    if (target == max_rel) break;
+  }
+}
+
+std::vector<std::size_t> ScaledTargets(std::initializer_list<std::size_t> paper, double scale) {
+  // Relationship counts scale with n², i.e. scale².
+  std::vector<std::size_t> out;
+  for (std::size_t t : paper) out.push_back(Scaled(t, scale * scale, 100));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig. 13", "SYMEX vs SYMEX+ runtime vs number of affine relationships", args);
+  std::printf("dataset,relationships,symex_seconds,symex_plus_seconds,plus_speedup\n");
+  // Paper sweeps: sensor 5k..230k, stock 5k..505k.
+  RunDataset(SensorAtScale(args.scale),
+             ScaledTargets({5000, 50000, 95000, 140000, 185000, 230000}, args.scale));
+  RunDataset(StockAtScale(args.scale),
+             ScaledTargets({5000, 105000, 205000, 305000, 405000, 505000}, args.scale));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 15: MET query efficiency vs result size on sensor-data.
+//
+//  (a) correlation coefficient — WN, WA, WF, SCAPE
+//  (b) covariance              — WN, WA, SCAPE
+//  (c) median                  — WN, WA, SCAPE
+//  (d) dot product             — WN, WA, SCAPE
+//
+// Expected shape: SCAPE orders of magnitude below WN/WA at small result
+// sizes (log-scale y); WF between WN and WA for correlation; median shows
+// modest gains (only n series-level relationships exist).
+
+#include "selection_common.h"
+
+using namespace affinity;
+using namespace affinity::bench;
+using core::Measure;
+using core::QueryMethod;
+
+namespace {
+
+void RunSubfigure(const core::Affinity& fw, Measure measure,
+                  const std::vector<QueryMethod>& methods) {
+  const std::vector<double> sorted = SortedValuesDescending(fw, measure);
+  const std::size_t total = sorted.size();
+  for (int step = 0; step <= 5; ++step) {
+    const std::size_t target = total * static_cast<std::size_t>(step) / 5;
+    core::MetRequest request;
+    request.measure = measure;
+    request.tau = ThresholdForResultSize(sorted, target);
+    request.greater = true;
+    for (QueryMethod method : methods) {
+      std::size_t result_size = 0;
+      const double seconds = TimeMet(fw.engine(), request, method, &result_size);
+      std::printf("%s,%zu,%s,%.6f\n", std::string(core::MeasureName(measure)).c_str(),
+                  result_size, std::string(core::QueryMethodName(method)).c_str(), seconds);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig. 15", "MET query time vs result size (sensor-data)", args);
+  const core::Affinity fw = BuildSensorFramework(args.scale);
+  std::printf("measure,result_size,method,seconds\n");
+  RunSubfigure(fw, Measure::kCorrelation,
+               {QueryMethod::kNaive, QueryMethod::kAffine, QueryMethod::kDft,
+                QueryMethod::kScape});
+  RunSubfigure(fw, Measure::kCovariance,
+               {QueryMethod::kNaive, QueryMethod::kAffine, QueryMethod::kScape});
+  RunSubfigure(fw, Measure::kMedian,
+               {QueryMethod::kNaive, QueryMethod::kAffine, QueryMethod::kScape});
+  RunSubfigure(fw, Measure::kDotProduct,
+               {QueryMethod::kNaive, QueryMethod::kAffine, QueryMethod::kScape});
+  return 0;
+}

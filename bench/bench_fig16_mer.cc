@@ -1,0 +1,54 @@
+// Reproduces Fig. 16: MER (range) query efficiency vs result size on
+// sensor-data.
+//
+//  (a) correlation coefficient — WN, WA, WF, SCAPE
+//  (b) covariance              — WN, WA, SCAPE
+//
+// Ranges are centred quantile windows of the value distribution so the
+// result size sweeps the paper's 45k…225k x-axis.
+
+#include "selection_common.h"
+
+using namespace affinity;
+using namespace affinity::bench;
+using core::Measure;
+using core::QueryMethod;
+
+namespace {
+
+void RunSubfigure(const core::Affinity& fw, Measure measure,
+                  const std::vector<QueryMethod>& methods) {
+  std::vector<double> sorted = SortedValuesDescending(fw, measure);
+  const std::size_t total = sorted.size();
+  for (int step = 1; step <= 5; ++step) {
+    // A centred window holding ~step/5 of the population.
+    const std::size_t target = total * static_cast<std::size_t>(step) / 5;
+    const std::size_t lo_rank = (total - target) / 2;                   // upper bound rank
+    const std::size_t hi_rank = lo_rank + target;                      // lower bound rank
+    core::MerRequest request;
+    request.measure = measure;
+    request.hi = lo_rank == 0 ? sorted.front() + 1.0 : sorted[lo_rank];
+    request.lo = hi_rank >= total ? sorted.back() - 1.0 : sorted[hi_rank];
+    for (QueryMethod method : methods) {
+      std::size_t result_size = 0;
+      const double seconds = TimeMer(fw.engine(), request, method, &result_size);
+      std::printf("%s,%zu,%s,%.6f\n", std::string(core::MeasureName(measure)).c_str(),
+                  result_size, std::string(core::QueryMethodName(method)).c_str(), seconds);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Fig. 16", "MER query time vs result size (sensor-data)", args);
+  const core::Affinity fw = BuildSensorFramework(args.scale);
+  std::printf("measure,result_size,method,seconds\n");
+  RunSubfigure(fw, Measure::kCorrelation,
+               {QueryMethod::kNaive, QueryMethod::kAffine, QueryMethod::kDft,
+                QueryMethod::kScape});
+  RunSubfigure(fw, Measure::kCovariance,
+               {QueryMethod::kNaive, QueryMethod::kAffine, QueryMethod::kScape});
+  return 0;
+}

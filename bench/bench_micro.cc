@@ -1,0 +1,217 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the paper's
+// design choices — the ablation data DESIGN.md §5 calls for:
+//
+//  * least-squares fit with vs without the cached normal-equation factor
+//    (the SYMEX vs SYMEX+ ablation, per fit);
+//  * measure propagation vs from-scratch computation (the WA vs WN gap,
+//    per pair);
+//  * histogram mode vs the O(m²) naive density mode (why the paper's mode
+//    speedups are enormous);
+//  * B+-tree fanout sweep (SCAPE's sorted-container constant);
+//  * FFT sizes used by the WF comparator (720 and 1950 are not powers of
+//    two → Bluestein).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/random.h"
+#include "core/affine.h"
+#include "core/lsfd.h"
+#include "dft/fft.h"
+#include "la/solve.h"
+#include "la/svd.h"
+#include "ts/stats.h"
+
+namespace {
+
+using namespace affinity;
+
+la::Matrix RandomPair(std::size_t m, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  la::Matrix x(m, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < m; ++i) x(i, j) = rng.Uniform(-2.0, 2.0);
+  }
+  return x;
+}
+
+std::vector<double> RandomSeries(std::size_t m, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(m);
+  for (auto& v : x) v = rng.Gaussian(10.0, 3.0);
+  return x;
+}
+
+// --- LSFD -------------------------------------------------------------------
+
+void BM_Lsfd(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix x = RandomPair(m, 1);
+  const la::Matrix y = RandomPair(m, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Lsfd(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Lsfd)->Arg(128)->Arg(720)->Arg(1950)->Complexity(benchmark::oN);
+
+// --- Affine fitting: the SYMEX vs SYMEX+ per-fit ablation --------------------
+
+void BM_FitWithoutCache(benchmark::State& state) {
+  // Plain SYMEX re-derives the pseudo-inverse of the m×3 design per pair.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix source = RandomPair(m, 3);
+  const la::Matrix target = RandomPair(m, 4);
+  la::Matrix design(m, 3);
+  for (std::size_t i = 0; i < m; ++i) {
+    design(i, 0) = source(i, 0);
+    design(i, 1) = source(i, 1);
+    design(i, 2) = 1.0;
+  }
+  for (auto _ : state) {
+    auto pinv = la::PseudoInverse(design);
+    benchmark::DoNotOptimize(pinv->Multiply(target));
+  }
+}
+BENCHMARK(BM_FitWithoutCache)->Arg(720)->Arg(1950);
+
+void BM_FitWithCache(benchmark::State& state) {
+  // SYMEX+ amortizes the factor: per pair only the 3×rhs products remain.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix source = RandomPair(m, 3);
+  const la::Matrix target = RandomPair(m, 4);
+  la::Matrix design(m, 3);
+  for (std::size_t i = 0; i < m; ++i) {
+    design(i, 0) = source(i, 0);
+    design(i, 1) = source(i, 1);
+    design(i, 2) = 1.0;
+  }
+  const la::Matrix pinv = *la::PseudoInverse(design);  // cached once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pinv.Multiply(target));
+  }
+}
+BENCHMARK(BM_FitWithCache)->Arg(720)->Arg(1950);
+
+// --- Propagation vs from-scratch ---------------------------------------------
+
+void BM_PropagateCovariance(benchmark::State& state) {
+  const la::Matrix x = RandomPair(720, 5);
+  const core::PairMatrixMeasures pm =
+      core::ComputePairMatrixMeasures(x.ColData(0), x.ColData(1), 720);
+  core::AffineTransform t;
+  t.a12 = 1.7;
+  t.a22 = -0.3;
+  t.b2 = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PropagateCovariance(pm, t));
+  }
+}
+BENCHMARK(BM_PropagateCovariance);
+
+void BM_ScratchCovariance(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomSeries(m, 6);
+  const std::vector<double> y = RandomSeries(m, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::stats::Covariance(x.data(), y.data(), m));
+  }
+}
+BENCHMARK(BM_ScratchCovariance)->Arg(720)->Arg(1950);
+
+// --- Mode estimators ----------------------------------------------------------
+
+void BM_HistogramMode(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomSeries(m, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::stats::Mode(x.data(), m));
+  }
+}
+BENCHMARK(BM_HistogramMode)->Arg(720)->Arg(1950);
+
+void BM_NaiveDensityMode(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomSeries(m, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::stats::NaiveModeEstimate(x.data(), m));
+  }
+}
+BENCHMARK(BM_NaiveDensityMode)->Arg(720)->Arg(1950);
+
+// --- B+-tree ------------------------------------------------------------------
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(10);
+  std::vector<double> keys(100000);
+  for (auto& k : keys) k = rng.NextDouble();
+  for (auto _ : state) {
+    btree::BPlusTree<int> tree(fanout);
+    for (std::size_t i = 0; i < keys.size(); ++i) tree.Insert(keys[i], static_cast<int>(i));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BPlusTreeThresholdScan(benchmark::State& state) {
+  btree::BPlusTree<int> tree(64);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100000; ++i) tree.Insert(rng.NextDouble(), i);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    tree.ScanGreaterThan(0.99, [&](double, const int&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BPlusTreeThresholdScan);
+
+// --- FFT (WF comparator substrate) ---------------------------------------------
+
+void BM_FftPowerOfTwo(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(12);
+  std::vector<dft::Complex> base(n);
+  for (auto& v : base) v = dft::Complex(rng.Gaussian(), 0.0);
+  for (auto _ : state) {
+    auto a = base;
+    benchmark::DoNotOptimize(dft::Fft(&a, false));
+  }
+}
+BENCHMARK(BM_FftPowerOfTwo)->Arg(1024)->Arg(2048);
+
+void BM_BluesteinPaperLengths(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(13);
+  std::vector<dft::Complex> base(n);
+  for (auto& v : base) v = dft::Complex(rng.Gaussian(), 0.0);
+  for (auto _ : state) {
+    auto a = base;
+    benchmark::DoNotOptimize(dft::BluesteinDft(&a, false));
+  }
+}
+BENCHMARK(BM_BluesteinPaperLengths)->Arg(720)->Arg(1950);
+
+// --- AFCLST centre update kernel -------------------------------------------------
+
+void BM_PowerIterationCenter(benchmark::State& state) {
+  // Typical cluster: ~100 member series of length 720.
+  Xoshiro256 rng(14);
+  la::Matrix members(720, 100);
+  for (std::size_t j = 0; j < 100; ++j) {
+    for (std::size_t i = 0; i < 720; ++i) members(i, j) = rng.Gaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::PowerIterationTopSingular(members, la::Vector()));
+  }
+}
+BENCHMARK(BM_PowerIterationCenter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Reproduces Table 4: SCAPE query-processing speedup over WN / WA / WF
+// when the query returns the maximum-size result set (sensor-data).
+//
+// Paper values for reference:
+//   MET  correlation  59x / 13.4x / 32x     MER correlation 27x / 6.4x / 14x
+//   MET  covariance  160x / 21x   / —       MER covariance 155x / 22x  / —
+//   MET  dot product  41x / 35x   / —
+//   MET  median        5x / 1.1x  / —
+//
+// The maximum result set is the worst case for SCAPE (it must emit every
+// entry), so these are the paper's most conservative speedups.
+
+#include "selection_common.h"
+
+using namespace affinity;
+using namespace affinity::bench;
+using core::Measure;
+using core::QueryMethod;
+
+namespace {
+
+void ReportMet(const core::Affinity& fw, Measure measure, bool include_wf) {
+  const std::vector<double> sorted = SortedValuesDescending(fw, measure);
+  core::MetRequest request;
+  request.measure = measure;
+  request.tau = sorted.back() - 1.0;  // everything qualifies: max result set
+  request.greater = true;
+
+  std::size_t size = 0;
+  const double scape = TimeMet(fw.engine(), request, QueryMethod::kScape, &size);
+  const double wn = TimeMet(fw.engine(), request, QueryMethod::kNaive, &size);
+  const double wa = TimeMet(fw.engine(), request, QueryMethod::kAffine, &size);
+  double wf = -1.0;
+  if (include_wf) wf = TimeMet(fw.engine(), request, QueryMethod::kDft, &size);
+
+  std::printf("MET,%s,%zu,%.1f,%.1f,", std::string(core::MeasureName(measure)).c_str(), size,
+              wn / scape, wa / scape);
+  if (include_wf) {
+    std::printf("%.1f\n", wf / scape);
+  } else {
+    std::printf("x\n");
+  }
+}
+
+void ReportMer(const core::Affinity& fw, Measure measure, bool include_wf) {
+  const std::vector<double> sorted = SortedValuesDescending(fw, measure);
+  core::MerRequest request;
+  request.measure = measure;
+  request.lo = sorted.back() - 1.0;
+  request.hi = sorted.front() + 1.0;
+
+  std::size_t size = 0;
+  const double scape = TimeMer(fw.engine(), request, QueryMethod::kScape, &size);
+  const double wn = TimeMer(fw.engine(), request, QueryMethod::kNaive, &size);
+  const double wa = TimeMer(fw.engine(), request, QueryMethod::kAffine, &size);
+  double wf = -1.0;
+  if (include_wf) wf = TimeMer(fw.engine(), request, QueryMethod::kDft, &size);
+
+  std::printf("MER,%s,%zu,%.1f,%.1f,", std::string(core::MeasureName(measure)).c_str(), size,
+              wn / scape, wa / scape);
+  if (include_wf) {
+    std::printf("%.1f\n", wf / scape);
+  } else {
+    std::printf("x\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  Banner("Table 4", "SCAPE speedup at maximum result size (sensor-data)", args);
+  const core::Affinity fw = BuildSensorFramework(args.scale);
+  std::printf("query_type,measure,result_size,speedup_vs_wn,speedup_vs_wa,speedup_vs_wf\n");
+  ReportMet(fw, Measure::kCorrelation, /*include_wf=*/true);
+  ReportMet(fw, Measure::kCovariance, /*include_wf=*/false);
+  ReportMet(fw, Measure::kDotProduct, /*include_wf=*/false);
+  ReportMet(fw, Measure::kMedian, /*include_wf=*/false);
+  ReportMer(fw, Measure::kCorrelation, /*include_wf=*/true);
+  ReportMer(fw, Measure::kCovariance, /*include_wf=*/false);
+  return 0;
+}

@@ -1,0 +1,97 @@
+#ifndef AFFINITY_BENCH_BENCH_UTIL_H_
+#define AFFINITY_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// Shared plumbing for the figure/table reproduction harnesses.
+///
+/// Every harness prints a self-describing header (experiment id, dataset,
+/// scale factor) followed by comma-separated rows so the output can be both
+/// eyeballed against the paper and re-plotted mechanically.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "ts/generators.h"
+
+namespace affinity::bench {
+
+/// Command-line options common to all harnesses.
+struct BenchArgs {
+  /// Scales dataset sizes (n, m) and workload sizes. 1.0 = paper scale.
+  double scale = 1.0;
+  /// --quick: a fast smoke configuration (scale 0.25 unless --scale given).
+  bool quick = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    bool scale_given = false;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--scale=", 8) == 0) {
+        args.scale = std::atof(a + 8);
+        scale_given = true;
+      } else if (std::strcmp(a, "--quick") == 0) {
+        args.quick = true;
+      } else if (std::strcmp(a, "--help") == 0) {
+        std::printf("usage: %s [--scale=F] [--quick]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    if (args.quick && !scale_given) args.scale = 0.25;
+    if (args.scale <= 0.0 || args.scale > 1.0) args.scale = 1.0;
+    return args;
+  }
+};
+
+/// Applies a scale factor with a sane floor.
+inline std::size_t Scaled(std::size_t value, double scale, std::size_t floor_value) {
+  const auto scaled = static_cast<std::size_t>(static_cast<double>(value) * scale);
+  return scaled < floor_value ? floor_value : scaled;
+}
+
+/// The paper's sensor-data (Table 3: 670 × 720) at the given scale.
+inline ts::Dataset SensorAtScale(double scale) {
+  ts::DatasetSpec spec;
+  spec.num_series = Scaled(670, scale, 24);
+  spec.num_samples = Scaled(720, scale, 48);
+  spec.num_clusters = 8;
+  spec.noise_level = 0.02;
+  spec.seed = 42;
+  return ts::MakeSensorData(spec);
+}
+
+/// The paper's stock-data (Table 3: 996 × 1950) at the given scale.
+inline ts::Dataset StockAtScale(double scale) {
+  ts::DatasetSpec spec;
+  spec.num_series = Scaled(996, scale, 24);
+  spec.num_samples = Scaled(1950, scale, 48);
+  spec.num_clusters = 10;
+  spec.noise_level = 0.015;
+  spec.seed = 7;
+  return ts::MakeStockData(spec);
+}
+
+/// Times a callable once, returning wall seconds.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  Stopwatch watch;
+  fn();
+  return watch.ElapsedSeconds();
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* description, const BenchArgs& args) {
+  std::printf("# ============================================================\n");
+  std::printf("# %s\n", experiment);
+  std::printf("# %s\n", description);
+  std::printf("# scale=%.3f (1.0 = paper scale; pass --scale=F to change)\n", args.scale);
+  std::printf("# ============================================================\n");
+}
+
+}  // namespace affinity::bench
+
+#endif  // AFFINITY_BENCH_BENCH_UTIL_H_

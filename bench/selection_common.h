@@ -1,0 +1,98 @@
+#ifndef AFFINITY_BENCH_SELECTION_COMMON_H_
+#define AFFINITY_BENCH_SELECTION_COMMON_H_
+
+/// \file selection_common.h
+/// Shared driver for the Fig. 15 / Fig. 16 / Table 4 experiments: timing
+/// MET and MER queries under the WN / WA / WF / SCAPE strategies at
+/// controlled result-set sizes.
+///
+/// Thresholds are chosen from the quantiles of the measure's value
+/// distribution so the x-axis (result size) sweeps 0 → all pairs, exactly
+/// how the paper presents these figures.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/framework.h"
+#include "core/query.h"
+
+namespace affinity::bench {
+
+/// All pairwise (or per-series) WA values of a measure, descending.
+inline std::vector<double> SortedValuesDescending(const core::Affinity& fw,
+                                                  core::Measure measure) {
+  std::vector<double> values;
+  const ts::DataMatrix& data = fw.data();
+  if (core::IsLocation(measure)) {
+    for (ts::SeriesId v = 0; v < data.n(); ++v) {
+      values.push_back(*fw.model().SeriesMeasure(measure, v));
+    }
+  } else {
+    for (ts::SeriesId u = 0; u + 1 < data.n(); ++u) {
+      for (ts::SeriesId v = u + 1; v < data.n(); ++v) {
+        values.push_back(*fw.model().PairMeasure(measure, ts::SequencePair(u, v)));
+      }
+    }
+  }
+  std::sort(values.begin(), values.end(), std::greater<double>());
+  return values;
+}
+
+/// Threshold that yields approximately `target` results for "value > τ".
+inline double ThresholdForResultSize(const std::vector<double>& sorted_desc,
+                                     std::size_t target) {
+  if (target == 0) return sorted_desc.front() + 1.0;
+  if (target >= sorted_desc.size()) return sorted_desc.back() - 1.0;
+  return sorted_desc[target];
+}
+
+/// Times one MET query; aborts the process on error (bench context).
+inline double TimeMet(const core::QueryEngine& engine, const core::MetRequest& request,
+                      core::QueryMethod method, std::size_t* result_size) {
+  Stopwatch watch;
+  auto result = engine.Met(request, method);
+  const double seconds = watch.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "MET failed (%s): %s\n",
+                 std::string(core::QueryMethodName(method)).c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  *result_size = result->pairs.size() + result->series.size();
+  return seconds;
+}
+
+/// Times one MER query.
+inline double TimeMer(const core::QueryEngine& engine, const core::MerRequest& request,
+                      core::QueryMethod method, std::size_t* result_size) {
+  Stopwatch watch;
+  auto result = engine.Mer(request, method);
+  const double seconds = watch.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "MER failed (%s): %s\n",
+                 std::string(core::QueryMethodName(method)).c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  *result_size = result->pairs.size() + result->series.size();
+  return seconds;
+}
+
+/// Builds the full framework over sensor-data (the dataset Figs. 14–16 and
+/// Table 4 use).
+inline core::Affinity BuildSensorFramework(double scale) {
+  const ts::Dataset dataset = SensorAtScale(scale);
+  auto fw = core::Affinity::Build(dataset.matrix);
+  if (!fw.ok()) {
+    std::fprintf(stderr, "framework build failed: %s\n", fw.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(fw).value();
+}
+
+}  // namespace affinity::bench
+
+#endif  // AFFINITY_BENCH_SELECTION_COMMON_H_

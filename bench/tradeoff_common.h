@@ -1,0 +1,135 @@
+#ifndef AFFINITY_BENCH_TRADEOFF_COMMON_H_
+#define AFFINITY_BENCH_TRADEOFF_COMMON_H_
+
+/// \file tradeoff_common.h
+/// Shared driver for the Fig. 9/10/11 efficiency-vs-accuracy experiments.
+///
+/// For each cluster count k the driver builds the AFFINITY model, then for
+/// each of the paper's five measures sweeps the *entire* dataset with both
+/// the WN (from scratch) and WA (affine relationships) methods, reporting
+/// wall time, speedup, and the Eq. (16) %RMSE.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/framework.h"
+#include "core/measures.h"
+#include "core/symex.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::bench {
+
+/// One sweep result for (measure, k).
+struct TradeoffRow {
+  core::Measure measure;
+  std::size_t k = 0;
+  double wn_seconds = 0;
+  double wa_seconds = 0;
+  double rmse_pct = 0;
+  double build_seconds = 0;  ///< one-time AFCLST + SYMEX+ + preprocessing
+
+  double speedup() const { return wa_seconds > 0 ? wn_seconds / wa_seconds : 0.0; }
+};
+
+/// Full-dataset WN sweep of one measure; returns values (for RMSE).
+inline std::vector<double> NaiveSweep(const ts::DataMatrix& data, core::Measure measure,
+                                      double* seconds) {
+  std::vector<double> values;
+  Stopwatch watch;
+  if (core::IsLocation(measure)) {
+    values.reserve(data.n());
+    for (ts::SeriesId v = 0; v < data.n(); ++v) {
+      values.push_back(*core::NaiveLocationMeasure(measure, data.ColumnData(v), data.m()));
+    }
+  } else {
+    values.reserve(ts::SequencePairCount(data.n()));
+    for (ts::SeriesId u = 0; u + 1 < data.n(); ++u) {
+      for (ts::SeriesId v = u + 1; v < data.n(); ++v) {
+        values.push_back(
+            *core::NaivePairMeasure(measure, data.ColumnData(u), data.ColumnData(v), data.m()));
+      }
+    }
+  }
+  *seconds = watch.ElapsedSeconds();
+  return values;
+}
+
+/// Full-dataset WA sweep of one measure via the pre-built model.
+inline std::vector<double> AffineSweep(const core::AffinityModel& model, core::Measure measure,
+                                       double* seconds) {
+  const ts::DataMatrix& data = model.data();
+  std::vector<double> values;
+  Stopwatch watch;
+  if (core::IsLocation(measure)) {
+    values.reserve(data.n());
+    for (ts::SeriesId v = 0; v < data.n(); ++v) {
+      values.push_back(*model.SeriesMeasure(measure, v));
+    }
+  } else {
+    values.reserve(ts::SequencePairCount(data.n()));
+    for (ts::SeriesId u = 0; u + 1 < data.n(); ++u) {
+      for (ts::SeriesId v = u + 1; v < data.n(); ++v) {
+        values.push_back(*model.PairMeasure(measure, ts::SequencePair(u, v)));
+      }
+    }
+  }
+  *seconds = watch.ElapsedSeconds();
+  return values;
+}
+
+/// Runs the (measure × k) sweep the paper plots in Figs. 9–11.
+inline std::vector<TradeoffRow> RunTradeoff(const ts::Dataset& dataset,
+                                            const std::vector<std::size_t>& k_values) {
+  const std::vector<core::Measure> measures = {
+      core::Measure::kMean, core::Measure::kMedian, core::Measure::kMode,
+      core::Measure::kCovariance, core::Measure::kDotProduct};
+
+  // WN does not depend on k: sweep once per measure.
+  std::vector<double> wn_seconds(measures.size());
+  std::vector<std::vector<double>> truth(measures.size());
+  for (std::size_t mi = 0; mi < measures.size(); ++mi) {
+    truth[mi] = NaiveSweep(dataset.matrix, measures[mi], &wn_seconds[mi]);
+  }
+
+  std::vector<TradeoffRow> rows;
+  for (const std::size_t k : k_values) {
+    core::AfclstOptions afclst;
+    afclst.k = k;
+    auto model = core::BuildAffinityModel(dataset.matrix, afclst, core::SymexOptions{});
+    if (!model.ok()) {
+      std::fprintf(stderr, "model build failed for k=%zu: %s\n", k,
+                   model.status().ToString().c_str());
+      continue;
+    }
+    const double build_seconds = model->stats().afclst_seconds +
+                                 model->stats().march_seconds +
+                                 model->stats().preprocess_seconds;
+    for (std::size_t mi = 0; mi < measures.size(); ++mi) {
+      TradeoffRow row;
+      row.measure = measures[mi];
+      row.k = k;
+      row.wn_seconds = wn_seconds[mi];
+      row.build_seconds = build_seconds;
+      const std::vector<double> approx = AffineSweep(*model, measures[mi], &row.wa_seconds);
+      row.rmse_pct = core::PercentRmse(truth[mi], approx);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+inline void PrintTradeoffHeader() {
+  std::printf("measure,k,speedup,rmse_pct,wn_seconds,wa_seconds,build_seconds\n");
+}
+
+inline void PrintTradeoffRow(const TradeoffRow& row) {
+  std::printf("%s,%zu,%.2f,%.3e,%.6f,%.6f,%.3f\n",
+              std::string(core::MeasureName(row.measure)).c_str(), row.k, row.speedup(),
+              row.rmse_pct, row.wn_seconds, row.wa_seconds, row.build_seconds);
+}
+
+}  // namespace affinity::bench
+
+#endif  // AFFINITY_BENCH_TRADEOFF_COMMON_H_

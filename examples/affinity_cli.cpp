@@ -1,0 +1,229 @@
+// affinity_cli — a small command-line front end for the library.
+//
+//   affinity_cli generate <out.csv> [sensor|stock] [series] [samples]
+//   affinity_cli inspect  <data.csv>
+//   affinity_cli met      <data.csv> <measure> <tau>
+//   affinity_cli mer      <data.csv> <measure> <lo> <hi>
+//   affinity_cli topk     <data.csv> <measure> <k>
+//
+// `inspect` prints the model-quality report (core/quality.h) and the
+// planner's strategy choices (core/planner.h); the query commands let the
+// planner pick the strategy and report what it chose.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/framework.h"
+#include "core/planner.h"
+#include "core/quality.h"
+#include "ts/csv.h"
+#include "ts/generators.h"
+
+using namespace affinity;
+using core::Measure;
+using core::QueryMethod;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  affinity_cli generate <out.csv> [sensor|stock] [series] [samples]\n"
+               "  affinity_cli inspect  <data.csv>\n"
+               "  affinity_cli met      <data.csv> <measure> <tau>\n"
+               "  affinity_cli mer      <data.csv> <measure> <lo> <hi>\n"
+               "  affinity_cli topk     <data.csv> <measure> <k>\n"
+               "measures: mean median mode covariance dot-product correlation\n"
+               "          cosine jaccard dice\n");
+  return 2;
+}
+
+bool ParseMeasure(const std::string& name, Measure* out) {
+  for (Measure m : core::AllMeasures()) {
+    if (name == core::MeasureName(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string out_path = argv[2];
+  const std::string kind = argc > 3 ? argv[3] : "sensor";
+  ts::DatasetSpec spec;
+  spec.num_series = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 100;
+  spec.num_samples = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 300;
+  spec.num_clusters = 8;
+  spec.seed = 42;
+  const ts::Dataset ds = kind == "stock" ? ts::MakeStockData(spec) : ts::MakeSensorData(spec);
+  const Status status = ts::WriteCsv(ds.matrix, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu series x %zu samples (%s)\n", out_path.c_str(), ds.matrix.n(),
+              ds.matrix.m(), ds.name.c_str());
+  return 0;
+}
+
+StatusOr<core::Affinity> LoadAndBuild(const char* path) {
+  AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix data, ts::ReadCsv(path));
+  std::printf("loaded %s: n=%zu series, m=%zu samples\n", path, data.n(), data.m());
+  return core::Affinity::Build(data);
+}
+
+int Inspect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto fw = LoadAndBuild(argv[2]);
+  if (!fw.ok()) {
+    std::fprintf(stderr, "error: %s\n", fw.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nbuild profile: total %.3fs (afclst %.3f, symex %.3f, preprocess %.3f, "
+              "scape %.3f, dft %.3f)\n",
+              fw->profile().total_seconds, fw->profile().afclst_seconds,
+              fw->profile().symex_seconds, fw->profile().preprocess_seconds,
+              fw->profile().scape_seconds, fw->profile().dft_seconds);
+
+  auto quality = core::EvaluateModelQuality(fw->model());
+  if (!quality.ok()) {
+    std::fprintf(stderr, "error: %s\n", quality.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nmodel quality (over %zu sampled pairs):\n", quality->sampled_pairs);
+  std::printf("  relationships        : %zu (pivots: %zu)\n", quality->relationships,
+              quality->pivots);
+  std::printf("  relative fit residual: mean %.4f, p95 %.4f, max %.4f\n",
+              quality->mean_relative_residual, quality->p95_relative_residual,
+              quality->max_relative_residual);
+  std::printf("  relative LSFD        : mean %.4f\n", quality->mean_relative_lsfd);
+  std::printf("  projection error     : mean %.4f\n", quality->mean_relative_projection_error);
+  std::printf("  cluster sizes        :");
+  for (std::size_t size : quality->cluster_sizes) std::printf(" %zu", size);
+  std::printf("\n");
+
+  const core::QueryPlanner planner(
+      fw->data().n(), fw->data().m(),
+      {.has_model = true, .has_scape = fw->scape() != nullptr, .has_dft = fw->wf() != nullptr});
+  std::printf("\nplanner choices (MET, 10%% selectivity):\n");
+  for (Measure m : core::AllMeasures()) {
+    const core::PlanChoice choice = planner.PlanMet(m, 0.1);
+    std::printf("  %-12s -> %-5s (cost %.3g)  %s\n",
+                std::string(core::MeasureName(m)).c_str(),
+                std::string(core::QueryMethodName(choice.method)).c_str(),
+                choice.estimated_cost, choice.rationale.c_str());
+  }
+  return 0;
+}
+
+void PrintSelection(const ts::DataMatrix& data, const core::SelectionResult& result,
+                    std::size_t limit = 10) {
+  std::printf("%zu results\n", result.pairs.size() + result.series.size());
+  std::size_t shown = 0;
+  for (const auto& e : result.pairs) {
+    if (shown++ >= limit) break;
+    std::printf("  (%s, %s)\n", data.name(e.u).c_str(), data.name(e.v).c_str());
+  }
+  for (const auto& v : result.series) {
+    if (shown++ >= limit) break;
+    std::printf("  %s\n", data.name(v).c_str());
+  }
+  if (result.pairs.size() + result.series.size() > limit) std::printf("  ...\n");
+}
+
+int Met(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Measure measure;
+  if (!ParseMeasure(argv[3], &measure)) return Usage();
+  auto fw = LoadAndBuild(argv[2]);
+  if (!fw.ok()) {
+    std::fprintf(stderr, "error: %s\n", fw.status().ToString().c_str());
+    return 1;
+  }
+  const core::QueryPlanner planner(fw->data().n(), fw->data().m(),
+                                   {.has_model = true, .has_scape = true, .has_dft = true});
+  const core::PlanChoice choice = planner.PlanMet(measure);
+  core::MetRequest request{measure, std::atof(argv[4]), true};
+  auto result = fw->engine().Met(request, choice.method);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("strategy: %s (%s)\n", std::string(core::QueryMethodName(choice.method)).c_str(),
+              choice.rationale.c_str());
+  PrintSelection(fw->data(), *result);
+  return 0;
+}
+
+int Mer(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  Measure measure;
+  if (!ParseMeasure(argv[3], &measure)) return Usage();
+  auto fw = LoadAndBuild(argv[2]);
+  if (!fw.ok()) {
+    std::fprintf(stderr, "error: %s\n", fw.status().ToString().c_str());
+    return 1;
+  }
+  const core::QueryPlanner planner(fw->data().n(), fw->data().m(),
+                                   {.has_model = true, .has_scape = true, .has_dft = true});
+  const core::PlanChoice choice = planner.PlanMer(measure);
+  core::MerRequest request{measure, std::atof(argv[4]), std::atof(argv[5])};
+  auto result = fw->engine().Mer(request, choice.method);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("strategy: %s\n", std::string(core::QueryMethodName(choice.method)).c_str());
+  PrintSelection(fw->data(), *result);
+  return 0;
+}
+
+int TopK(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Measure measure;
+  if (!ParseMeasure(argv[3], &measure)) return Usage();
+  auto fw = LoadAndBuild(argv[2]);
+  if (!fw.ok()) {
+    std::fprintf(stderr, "error: %s\n", fw.status().ToString().c_str());
+    return 1;
+  }
+  const core::QueryPlanner planner(fw->data().n(), fw->data().m(),
+                                   {.has_model = true, .has_scape = true, .has_dft = true});
+  const std::size_t k = std::strtoull(argv[4], nullptr, 10);
+  const core::PlanChoice choice = planner.PlanTopK(measure, k);
+  core::TopKRequest request{measure, k, true};
+  auto result = fw->engine().TopK(request, choice.method);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("strategy: %s — examined %zu entries for top-%zu\n",
+              std::string(core::QueryMethodName(choice.method)).c_str(), result->examined, k);
+  for (const auto& entry : result->entries) {
+    if (core::IsLocation(measure)) {
+      std::printf("  %-20s %.6f\n", fw->data().name(entry.series).c_str(), entry.value);
+    } else {
+      std::printf("  %-14s ~ %-14s %.6f\n", fw->data().name(entry.pair.u).c_str(),
+                  fw->data().name(entry.pair.v).c_str(), entry.value);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return Generate(argc, argv);
+  if (command == "inspect") return Inspect(argc, argv);
+  if (command == "met") return Met(argc, argv);
+  if (command == "mer") return Mer(argc, argv);
+  if (command == "topk") return TopK(argc, argv);
+  return Usage();
+}

@@ -1,0 +1,357 @@
+#ifndef AFFINITY_BTREE_BPLUS_TREE_H_
+#define AFFINITY_BTREE_BPLUS_TREE_H_
+
+/// \file bplus_tree.h
+/// In-memory B+-tree keyed by double — the sorted-container substrate the
+/// SCAPE index attaches to every pivot node (§5.1, Fig. 7).
+///
+/// Design points:
+///  * duplicate keys are allowed (distinct sequence pairs can share a
+///    scalar-projection key ξ);
+///  * leaves are chained, so a threshold query is one descent plus a
+///    linear leaf walk over exactly the result set;
+///  * values are payloads (`V`), typically a sequence-node struct.
+///
+/// The tree is single-threaded by design: the SCAPE index is built once
+/// per dataset snapshot and queried read-only afterwards.
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace affinity::btree {
+
+/// B+-tree with double keys and value payloads of type V.
+template <typename V>
+class BPlusTree {
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    virtual ~Node() = default;
+    bool is_leaf;
+  };
+
+  struct LeafNode final : Node {
+    LeafNode() : Node(true) {}
+    std::vector<double> keys;
+    std::vector<V> values;
+    LeafNode* next = nullptr;  // non-owning leaf chain (ascending)
+    LeafNode* prev = nullptr;  // non-owning leaf chain (descending)
+  };
+
+  struct InternalNode final : Node {
+    InternalNode() : Node(false) {}
+    // children.size() == keys.size() + 1; subtree children[i] holds keys in
+    // [keys[i-1], keys[i]) with the usual boundary conventions.
+    std::vector<double> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+ public:
+  /// Read-only iterator over (key, value) entries in key order.
+  class ConstIterator {
+   public:
+    ConstIterator() = default;
+    ConstIterator(const LeafNode* leaf, std::size_t idx) : leaf_(leaf), idx_(idx) {}
+
+    /// Key of the current entry.
+    double key() const { return leaf_->keys[idx_]; }
+    /// Value of the current entry.
+    const V& value() const { return leaf_->values[idx_]; }
+
+    ConstIterator& operator++() {
+      ++idx_;
+      if (idx_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+      return *this;
+    }
+
+    bool operator==(const ConstIterator& o) const = default;
+    /// True iff the iterator points at an entry.
+    bool valid() const { return leaf_ != nullptr; }
+
+   private:
+    const LeafNode* leaf_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+
+  /// Read-only iterator over entries in *descending* key order (top-k
+  /// queries walk SCAPE trees from the largest scalar projection down).
+  class ConstReverseIterator {
+   public:
+    ConstReverseIterator() = default;
+    ConstReverseIterator(const LeafNode* leaf, std::size_t idx) : leaf_(leaf), idx_(idx) {}
+
+    /// Key of the current entry.
+    double key() const { return leaf_->keys[idx_]; }
+    /// Value of the current entry.
+    const V& value() const { return leaf_->values[idx_]; }
+
+    ConstReverseIterator& operator++() {
+      if (idx_ == 0) {
+        leaf_ = leaf_->prev;
+        // Skip (structurally impossible but cheap to guard) empty leaves.
+        while (leaf_ != nullptr && leaf_->keys.empty()) leaf_ = leaf_->prev;
+        idx_ = leaf_ == nullptr ? 0 : leaf_->keys.size() - 1;
+      } else {
+        --idx_;
+      }
+      return *this;
+    }
+
+    bool operator==(const ConstReverseIterator& o) const = default;
+    /// True iff the iterator points at an entry.
+    bool valid() const { return leaf_ != nullptr; }
+
+   private:
+    const LeafNode* leaf_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+
+  /// \param max_entries maximum entries per node before a split (fanout).
+  explicit BPlusTree(std::size_t max_entries = 64) : max_entries_(max_entries) {
+    AFFINITY_CHECK_GE(max_entries_, 4u);
+    root_ = std::make_unique<LeafNode>();
+  }
+
+  BPlusTree(BPlusTree&&) noexcept = default;
+  BPlusTree& operator=(BPlusTree&&) noexcept = default;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts an entry; duplicate keys are kept (insertion order among equal
+  /// keys is preserved).
+  void Insert(double key, V value) {
+    SplitResult split = InsertRecursive(root_.get(), key, std::move(value));
+    if (split.new_node) {
+      auto new_root = std::make_unique<InternalNode>();
+      new_root->keys.push_back(split.split_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split.new_node));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+    ++size_;
+  }
+
+  /// Number of entries.
+  std::size_t size() const { return size_; }
+
+  /// True iff the tree has no entries.
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height (1 for a lone leaf).
+  std::size_t height() const { return height_; }
+
+  /// Iterator at the smallest entry.
+  ConstIterator begin() const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      node = static_cast<const InternalNode*>(node)->children.front().get();
+    }
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (leaf->keys.empty()) return end();
+    return ConstIterator(leaf, 0);
+  }
+
+  /// Past-the-end iterator.
+  ConstIterator end() const { return ConstIterator(nullptr, 0); }
+
+  /// Iterator at the largest entry (descending traversal).
+  ConstReverseIterator rbegin() const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      node = static_cast<const InternalNode*>(node)->children.back().get();
+    }
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (leaf->keys.empty()) return rend();
+    return ConstReverseIterator(leaf, leaf->keys.size() - 1);
+  }
+
+  /// Past-the-end reverse iterator.
+  ConstReverseIterator rend() const { return ConstReverseIterator(nullptr, 0); }
+
+  /// First entry with key >= `key` (or end()).
+  ConstIterator LowerBound(double key) const { return Bound(key, /*strict=*/false); }
+
+  /// First entry with key > `key` (or end()).
+  ConstIterator UpperBound(double key) const { return Bound(key, /*strict=*/true); }
+
+  /// Applies `fn(key, value)` to every entry with lo < key < hi
+  /// (strict bounds — what MER queries need).
+  template <typename Fn>
+  void ScanOpenRange(double lo, double hi, Fn&& fn) const {
+    for (ConstIterator it = UpperBound(lo); it != end() && it.key() < hi; ++it) {
+      fn(it.key(), it.value());
+    }
+  }
+
+  /// Applies `fn(key, value)` to every entry with key > `lo`.
+  template <typename Fn>
+  void ScanGreaterThan(double lo, Fn&& fn) const {
+    for (ConstIterator it = UpperBound(lo); it != end(); ++it) fn(it.key(), it.value());
+  }
+
+  /// Applies `fn(key, value)` to every entry with key < `hi`.
+  template <typename Fn>
+  void ScanLessThan(double hi, Fn&& fn) const {
+    for (ConstIterator it = begin(); it != end() && it.key() < hi; ++it) {
+      fn(it.key(), it.value());
+    }
+  }
+
+  /// Validates structural invariants (sorted keys, uniform leaf depth,
+  /// correct leaf chain, child/key counts). For tests; O(size).
+  bool ValidateInvariants() const {
+    std::size_t leaf_depth = 0;
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      ++leaf_depth;
+      node = static_cast<const InternalNode*>(node)->children.front().get();
+    }
+    std::size_t counted = 0;
+    const LeafNode* prev_leaf = nullptr;
+    bool ok = ValidateNode(root_.get(), 0, leaf_depth, &counted, &prev_leaf);
+    return ok && counted == size_;
+  }
+
+ private:
+  struct SplitResult {
+    double split_key = 0.0;
+    std::unique_ptr<Node> new_node;  // null when no split happened
+  };
+
+  ConstIterator Bound(double key, bool strict) const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      const auto* inner = static_cast<const InternalNode*>(node);
+      // Rightmost child whose range can contain the bound: for strict
+      // bounds descend past equal separators.
+      std::size_t i = 0;
+      while (i < inner->keys.size() &&
+             (strict ? key >= inner->keys[i] : key > inner->keys[i])) {
+        ++i;
+      }
+      node = inner->children[i].get();
+    }
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    std::size_t idx = 0;
+    while (idx < leaf->keys.size() &&
+           (strict ? leaf->keys[idx] <= key : leaf->keys[idx] < key)) {
+      ++idx;
+    }
+    // The bound may be in the next leaf when the whole leaf precedes it.
+    while (leaf != nullptr && idx >= leaf->keys.size()) {
+      leaf = leaf->next;
+      idx = 0;
+    }
+    if (leaf == nullptr) return end();
+    return ConstIterator(leaf, idx);
+  }
+
+  SplitResult InsertRecursive(Node* node, double key, V value) {
+    if (node->is_leaf) {
+      auto* leaf = static_cast<LeafNode*>(node);
+      // upper_bound keeps equal-key insertion order stable.
+      const auto pos = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      const auto idx = static_cast<std::size_t>(pos - leaf->keys.begin());
+      leaf->keys.insert(pos, key);
+      leaf->values.insert(leaf->values.begin() + static_cast<long>(idx), std::move(value));
+      if (leaf->keys.size() <= max_entries_) return {};
+      return SplitLeaf(leaf);
+    }
+    auto* inner = static_cast<InternalNode*>(node);
+    std::size_t i = 0;
+    while (i < inner->keys.size() && key >= inner->keys[i]) ++i;
+    SplitResult child_split = InsertRecursive(inner->children[i].get(), key, std::move(value));
+    if (!child_split.new_node) return {};
+    inner->keys.insert(inner->keys.begin() + static_cast<long>(i), child_split.split_key);
+    inner->children.insert(inner->children.begin() + static_cast<long>(i) + 1,
+                           std::move(child_split.new_node));
+    if (inner->children.size() <= max_entries_) return {};
+    return SplitInternal(inner);
+  }
+
+  SplitResult SplitLeaf(LeafNode* leaf) {
+    const std::size_t half = leaf->keys.size() / 2;
+    auto right = std::make_unique<LeafNode>();
+    right->keys.assign(leaf->keys.begin() + static_cast<long>(half), leaf->keys.end());
+    right->values.assign(std::make_move_iterator(leaf->values.begin() + static_cast<long>(half)),
+                         std::make_move_iterator(leaf->values.end()));
+    leaf->keys.resize(half);
+    leaf->values.resize(half);
+    right->next = leaf->next;
+    right->prev = leaf;
+    if (right->next != nullptr) right->next->prev = right.get();
+    leaf->next = right.get();
+    SplitResult out;
+    out.split_key = right->keys.front();
+    out.new_node = std::move(right);
+    return out;
+  }
+
+  SplitResult SplitInternal(InternalNode* inner) {
+    // Promote the middle key; left keeps [0, mid), right gets (mid, end).
+    const std::size_t mid = inner->keys.size() / 2;
+    auto right = std::make_unique<InternalNode>();
+    SplitResult out;
+    out.split_key = inner->keys[mid];
+    right->keys.assign(inner->keys.begin() + static_cast<long>(mid) + 1, inner->keys.end());
+    right->children.assign(
+        std::make_move_iterator(inner->children.begin() + static_cast<long>(mid) + 1),
+        std::make_move_iterator(inner->children.end()));
+    inner->keys.resize(mid);
+    inner->children.resize(mid + 1);
+    out.new_node = std::move(right);
+    return out;
+  }
+
+  bool ValidateNode(const Node* node, std::size_t depth, std::size_t leaf_depth,
+                    std::size_t* counted, const LeafNode** prev_leaf) const {
+    if (node->is_leaf) {
+      if (depth != leaf_depth) return false;
+      const auto* leaf = static_cast<const LeafNode*>(node);
+      if (leaf->keys.size() != leaf->values.size()) return false;
+      for (std::size_t i = 1; i < leaf->keys.size(); ++i) {
+        if (leaf->keys[i - 1] > leaf->keys[i]) return false;
+      }
+      if (*prev_leaf != nullptr) {
+        if ((*prev_leaf)->next != leaf) return false;
+        if (leaf->prev != *prev_leaf) return false;
+        if (!(*prev_leaf)->keys.empty() && !leaf->keys.empty() &&
+            (*prev_leaf)->keys.back() > leaf->keys.front()) {
+          return false;
+        }
+      } else if (leaf->prev != nullptr) {
+        return false;
+      }
+      *prev_leaf = leaf;
+      *counted += leaf->keys.size();
+      return true;
+    }
+    const auto* inner = static_cast<const InternalNode*>(node);
+    if (inner->children.size() != inner->keys.size() + 1) return false;
+    if (inner->children.size() > max_entries_ + 1) return false;
+    for (std::size_t i = 1; i < inner->keys.size(); ++i) {
+      if (inner->keys[i - 1] > inner->keys[i]) return false;
+    }
+    for (const auto& child : inner->children) {
+      if (!ValidateNode(child.get(), depth + 1, leaf_depth, counted, prev_leaf)) return false;
+    }
+    return true;
+  }
+
+  std::size_t max_entries_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::size_t height_ = 1;
+};
+
+}  // namespace affinity::btree
+
+#endif  // AFFINITY_BTREE_BPLUS_TREE_H_

@@ -1,0 +1,47 @@
+#ifndef AFFINITY_COMMON_CHECK_H_
+#define AFFINITY_COMMON_CHECK_H_
+
+/// \file check.h
+/// Fatal invariant checks for internal library code.
+///
+/// These are for programmer errors (broken invariants), never for user
+/// input — user input errors surface as `affinity::Status`. CHECKs are
+/// active in all build types; DCHECKs compile away in release builds.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace affinity::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "AFFINITY_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace affinity::internal
+
+/// Aborts with a diagnostic if `cond` is false. Active in all builds.
+#define AFFINITY_CHECK(cond)                                          \
+  do {                                                                \
+    if (!(cond)) ::affinity::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+/// Binary comparison checks (report the expression text on failure).
+#define AFFINITY_CHECK_EQ(a, b) AFFINITY_CHECK((a) == (b))
+#define AFFINITY_CHECK_NE(a, b) AFFINITY_CHECK((a) != (b))
+#define AFFINITY_CHECK_LT(a, b) AFFINITY_CHECK((a) < (b))
+#define AFFINITY_CHECK_LE(a, b) AFFINITY_CHECK((a) <= (b))
+#define AFFINITY_CHECK_GT(a, b) AFFINITY_CHECK((a) > (b))
+#define AFFINITY_CHECK_GE(a, b) AFFINITY_CHECK((a) >= (b))
+
+/// Debug-only variants.
+#ifdef NDEBUG
+#define AFFINITY_DCHECK(cond) \
+  do {                        \
+  } while (false)
+#else
+#define AFFINITY_DCHECK(cond) AFFINITY_CHECK(cond)
+#endif
+
+#endif  // AFFINITY_COMMON_CHECK_H_

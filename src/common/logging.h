@@ -1,0 +1,56 @@
+#ifndef AFFINITY_COMMON_LOGGING_H_
+#define AFFINITY_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logging to stderr.
+///
+/// The library defaults to `kWarning` so that quiet programs stay quiet;
+/// benches and examples raise it to `kInfo` when narrating progress.
+
+#include <sstream>
+#include <string>
+
+namespace affinity {
+
+/// Log severity, ordered.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum severity that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Stream-style logging macros:
+///   AFFINITY_LOG(kInfo) << "built " << count << " pivots";
+#define AFFINITY_LOG(severity) \
+  ::affinity::internal::LogMessage(::affinity::LogLevel::severity, __FILE__, __LINE__)
+
+}  // namespace affinity
+
+#endif  // AFFINITY_COMMON_LOGGING_H_

@@ -1,0 +1,107 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace affinity {
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.Next();
+  // A run of zeros would be a fixed point; SplitMix64 cannot produce four
+  // zero words from any seed, but keep the guard for safety.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Xoshiro256::Next() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::uint64_t Xoshiro256::NextBounded(std::uint64_t bound) {
+  AFFINITY_CHECK_GT(bound, 0u);
+  // Debiased modulo via rejection (Lemire's threshold trick simplified).
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256::Gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  AFFINITY_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against floating point shortfall
+}
+
+std::size_t ZipfSampler::Sample(Xoshiro256* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::vector<std::size_t> ZipfSampler::SampleDistinct(Xoshiro256* rng, std::size_t count) const {
+  AFFINITY_CHECK_LE(count, cdf_.size());
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::size_t r = Sample(rng);
+    if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace affinity

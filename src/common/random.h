@@ -1,0 +1,97 @@
+#ifndef AFFINITY_COMMON_RANDOM_H_
+#define AFFINITY_COMMON_RANDOM_H_
+
+/// \file random.h
+/// Deterministic, fast pseudo-random number generation for dataset
+/// synthesis and workload generation.
+///
+/// The library never uses `std::rand` or nondeterministic seeding: every
+/// generator is explicitly seeded so datasets and benchmark workloads are
+/// exactly reproducible across runs and platforms.
+
+#include <cstdint>
+#include <vector>
+
+namespace affinity {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ — the workhorse generator (fast, 2^256-1 period).
+///
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators", ACM TOMS 2021.
+class Xoshiro256 {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed);
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Standard normal deviate (Marsaglia polar method, cached spare).
+  double Gaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Zipf-distributed integer sampler over ranks {0, 1, ..., n-1}.
+///
+/// Rank r is drawn with probability proportional to 1/(r+1)^exponent.
+/// Used to model the skewed popularity of stocks/sensors in the Fig. 12
+/// online query workload.
+class ZipfSampler {
+ public:
+  /// \param n         population size (> 0)
+  /// \param exponent  skew (1.0 reproduces the paper's "powerlaw" workload)
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Draws one rank in [0, n).
+  std::size_t Sample(Xoshiro256* rng) const;
+
+  /// Draws `count` *distinct* ranks (rejection on duplicates).
+  /// `count` must be <= population size.
+  std::vector<std::size_t> SampleDistinct(Xoshiro256* rng, std::size_t count) const;
+
+  /// Population size.
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_COMMON_RANDOM_H_

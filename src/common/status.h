@@ -1,0 +1,180 @@
+#ifndef AFFINITY_COMMON_STATUS_H_
+#define AFFINITY_COMMON_STATUS_H_
+
+/// \file status.h
+/// Exception-free error handling for the AFFINITY library.
+///
+/// The public API never throws; fallible operations return `Status` or
+/// `StatusOr<T>` (the Arrow/RocksDB idiom). Internal invariant violations
+/// use the AFFINITY_CHECK macros from check.h instead.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace affinity {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A value-semantic success/error result.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Copyable, movable, cheap to pass by value when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A message on an
+  /// OK code is ignored.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a value of type T.
+///
+/// Access the value with `value()` / `operator*` only after checking `ok()`;
+/// accessing the value of an errored StatusOr aborts in debug builds and is
+/// undefined in release builds (same contract as absl::StatusOr).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `s` must not be OK.
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define AFFINITY_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::affinity::Status _affinity_status = (expr);       \
+    if (!_affinity_status.ok()) return _affinity_status; \
+  } while (false)
+
+/// Evaluates a StatusOr expression, assigning the value to `lhs` or
+/// propagating the error.
+#define AFFINITY_ASSIGN_OR_RETURN(lhs, expr)                       \
+  AFFINITY_ASSIGN_OR_RETURN_IMPL_(                                 \
+      AFFINITY_STATUS_CONCAT_(_affinity_statusor, __LINE__), lhs, expr)
+
+#define AFFINITY_STATUS_CONCAT_INNER_(a, b) a##b
+#define AFFINITY_STATUS_CONCAT_(a, b) AFFINITY_STATUS_CONCAT_INNER_(a, b)
+#define AFFINITY_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace affinity
+
+#endif  // AFFINITY_COMMON_STATUS_H_

@@ -1,0 +1,91 @@
+#ifndef AFFINITY_COMMON_STOPWATCH_H_
+#define AFFINITY_COMMON_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Wall-clock stopwatch used by the benchmark harnesses and the query
+/// engine's per-strategy timing counters.
+
+#include <chrono>
+#include <cstdint>
+
+namespace affinity {
+
+/// A restartable wall-clock stopwatch with nanosecond resolution.
+///
+/// Uses `steady_clock`, so it is immune to system time adjustments.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) timing from now.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in whole nanoseconds.
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall-clock time across multiple timed sections.
+///
+/// Typical use inside the query engine:
+/// \code
+///   TimeAccumulator acc;
+///   { ScopedTimer t(&acc); ... timed work ...; }
+///   double total = acc.seconds();
+/// \endcode
+class TimeAccumulator {
+ public:
+  /// Adds `seconds` to the accumulated total.
+  void Add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+
+  /// Total accumulated seconds.
+  double seconds() const { return total_; }
+
+  /// Number of timed sections accumulated.
+  std::int64_t count() const { return count_; }
+
+  /// Clears the accumulator.
+  void Reset() {
+    total_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  double total_ = 0;
+  std::int64_t count_ = 0;
+};
+
+/// RAII helper that adds its lifetime to a TimeAccumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* acc) : acc_(acc) {}
+  ~ScopedTimer() { acc_->Add(watch_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator* acc_;
+  Stopwatch watch_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_COMMON_STOPWATCH_H_

@@ -1,0 +1,162 @@
+#include "core/afclst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "la/svd.h"
+#include "ts/stats.h"
+
+namespace affinity::core {
+
+namespace {
+
+/// Projection error of column `s` onto the unit-norm centre `r`:
+/// ‖s − r(rᵀs)‖ = sqrt(‖s‖² − (rᵀs)²).
+double ProjectionError(const double* s, const double* r, std::size_t m, double s_norm2) {
+  double dot = 0.0;
+  for (std::size_t i = 0; i < m; ++i) dot += s[i] * r[i];
+  const double err2 = s_norm2 - dot * dot;
+  return std::sqrt(err2 > 0.0 ? err2 : 0.0);
+}
+
+}  // namespace
+
+StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions& options) {
+  const std::size_t n = data.n();
+  const std::size_t m = data.m();
+  if (n == 0 || m == 0) return Status::InvalidArgument("AFCLST requires a non-empty data matrix");
+  if (options.k == 0) return Status::InvalidArgument("AFCLST requires k >= 1");
+  if (options.k > n) {
+    return Status::InvalidArgument("AFCLST requires k <= n (got k=" +
+                                   std::to_string(options.k) + ", n=" + std::to_string(n) + ")");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("AFCLST requires max_iterations >= 1");
+  }
+
+  Xoshiro256 rng(options.seed);
+  const std::size_t k = options.k;
+
+  // AFCLST operates on zero-meaned columns: the clustering objective (LSFD,
+  // Definition 1) is translation-invariant, and every downstream least-
+  // squares fit carries an intercept column, so a series' DC offset must not
+  // influence its cluster. Without centring, a shared offset dominates the
+  // projection and collapses distinct shapes into one cluster.
+  const la::Matrix centered = data.matrix().CenteredColumnsCopy();
+
+  // Cached squared norms of the centred series (initialization and every
+  // assignment round use them).
+  std::vector<double> norm2(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* s = centered.ColData(j);
+    norm2[j] = ts::stats::DotProduct(s, s, m);
+  }
+
+  // Initialization phase: Algorithm 1 seeds with random columns; we harden
+  // it with farthest-first (k-means++-style) seeding — centre 0 is a random
+  // column, each further centre is the column worst represented by the
+  // centres chosen so far. Deterministic given the seed, and much less
+  // prone to merging planted clusters.
+  la::Matrix centers(m, k);
+  {
+    la::Vector first = centered.Col(rng.NextBounded(n));
+    if (first.Normalize() == 0.0) first[0] = 1.0;  // constant series: arbitrary axis
+    centers.SetCol(0, first);
+    std::vector<double> best_err(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      best_err[j] = ProjectionError(centered.ColData(j), centers.ColData(0), m, norm2[j]);
+    }
+    for (std::size_t l = 1; l < k; ++l) {
+      std::size_t farthest = 0;
+      for (std::size_t j = 1; j < n; ++j) {
+        if (best_err[j] > best_err[farthest]) farthest = j;
+      }
+      la::Vector c = centered.Col(farthest);
+      if (c.Normalize() == 0.0) c[0] = 1.0;
+      centers.SetCol(l, c);
+      for (std::size_t j = 0; j < n; ++j) {
+        best_err[j] = std::min(
+            best_err[j], ProjectionError(centered.ColData(j), centers.ColData(l), m, norm2[j]));
+      }
+    }
+  }
+
+  AfclstResult result;
+  result.assignment.assign(n, -1);
+  result.projection_errors.assign(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment phase.
+    int changes = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* s = centered.ColData(j);
+      double best_err = std::numeric_limits<double>::infinity();
+      int best_cluster = 0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const double err = ProjectionError(s, centers.ColData(l), m, norm2[j]);
+        if (err < best_err) {
+          best_err = err;
+          best_cluster = static_cast<int>(l);
+        }
+      }
+      if (result.assignment[j] != best_cluster) {
+        result.assignment[j] = best_cluster;
+        ++changes;
+      }
+      result.projection_errors[j] = best_err;
+    }
+
+    // Convergence test (Algorithm 1, line 16): fewer than δ_min changes.
+    if (changes <= options.min_changes && iter > 0) break;
+
+    // Update phase: centre ℓ = dominant left singular vector of R_ℓ.
+    for (std::size_t l = 0; l < k; ++l) {
+      std::vector<la::Vector> members;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (result.assignment[j] == static_cast<int>(l)) {
+          members.push_back(centered.Col(j));
+        }
+      }
+      if (members.empty()) {
+        // Empty cluster: re-seed from a random (centred) series.
+        la::Vector c = centered.Col(rng.NextBounded(n));
+        if (c.Normalize() == 0.0) c[0] = 1.0;
+        centers.SetCol(l, c);
+        continue;
+      }
+      const la::Matrix r_l = la::Matrix::FromColumns(members);
+      AFFINITY_ASSIGN_OR_RETURN(la::TopSingular top,
+                                la::PowerIterationTopSingular(r_l, la::Vector()));
+      if (top.sigma > 0.0) {
+        centers.SetCol(l, top.left);
+      }
+    }
+  }
+
+  result.centers = std::move(centers);
+  return result;
+}
+
+la::Matrix PivotPairMatrix(const ts::DataMatrix& data, const AfclstResult& clustering,
+                           ts::SeriesId u, ts::SeriesId v) {
+  AFFINITY_CHECK_LT(u, data.n());
+  AFFINITY_CHECK_LT(v, data.n());
+  const int cluster = clustering.assignment[v];
+  la::Matrix out(data.m(), 2);
+  const double* su = data.ColumnData(u);
+  const double* r = clustering.centers.ColData(static_cast<std::size_t>(cluster));
+  double* c0 = out.ColData(0);
+  double* c1 = out.ColData(1);
+  for (std::size_t i = 0; i < data.m(); ++i) {
+    c0[i] = su[i];
+    c1[i] = r[i];
+  }
+  return out;
+}
+
+}  // namespace affinity::core

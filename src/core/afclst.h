@@ -1,0 +1,65 @@
+#ifndef AFFINITY_CORE_AFCLST_H_
+#define AFFINITY_CORE_AFCLST_H_
+
+/// \file afclst.h
+/// The AFCLST affine clustering algorithm (Algorithm 1).
+///
+/// AFCLST clusters the n series of a data matrix into k clusters such that
+/// every series is well approximated by a *scaling of its cluster centre* —
+/// which in turn makes the LSFD between a sequence pair matrix [s_u, s_v]
+/// and the pivot matrix [s_u, r_ω(v)] small (§3.3, Fig. 4).
+///
+///  * assignment: series s_v joins the cluster whose centre r_ℓ minimizes
+///    the orthogonal projection error ‖s_v − r_ℓ(r_ℓᵀ s_v)‖;
+///  * update: r_ℓ becomes the left singular vector of the member matrix R_ℓ
+///    associated with the largest singular value (the direction minimizing
+///    the summed projection errors);
+///  * stop when fewer than δ_min memberships change or after γ_max rounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::core {
+
+/// AFCLST parameters; defaults are the paper's experimental settings
+/// (k = 6, γ_max = 10, δ_min = 10 — §6.2).
+struct AfclstOptions {
+  std::size_t k = 6;          ///< number of affine clusters
+  int max_iterations = 10;    ///< γ_max
+  int min_changes = 10;       ///< δ_min: stop when changes ≤ this
+  std::uint64_t seed = 1;     ///< centre-initialization seed
+};
+
+/// AFCLST output: the centres r_ℓ and the assignment function ω.
+struct AfclstResult {
+  /// m×k matrix; column ℓ is the unit-norm centre r_ℓ.
+  la::Matrix centers;
+  /// ω(v): cluster id of series v (size n).
+  std::vector<int> assignment;
+  /// Iterations actually executed.
+  int iterations = 0;
+  /// Final per-series orthogonal projection error ‖s_v − r(rᵀs_v)‖.
+  std::vector<double> projection_errors;
+
+  /// Convenience: ω(v).
+  int Omega(ts::SeriesId v) const { return assignment[v]; }
+  /// Number of clusters k.
+  std::size_t k() const { return centers.cols(); }
+};
+
+/// Runs AFCLST on the columns of `data`.
+/// InvalidArgument when k is 0, exceeds n, or data is empty.
+StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions& options);
+
+/// The m×2 *pivot pair matrix* O_p = [s_u, r_ω(v)] of Definition 2 for the
+/// sequence pair (u, v) under `clustering`.
+la::Matrix PivotPairMatrix(const ts::DataMatrix& data, const AfclstResult& clustering,
+                           ts::SeriesId u, ts::SeriesId v);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_AFCLST_H_

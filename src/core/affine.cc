@@ -1,0 +1,134 @@
+#include "core/affine.h"
+
+#include "common/check.h"
+#include "la/solve.h"
+#include "ts/stats.h"
+
+namespace affinity::core {
+
+la::Matrix AffineTransform::AMatrix() const {
+  la::Matrix a(2, 2);
+  a(0, 0) = a11;
+  a(1, 0) = a21;
+  a(0, 1) = a12;
+  a(1, 1) = a22;
+  return a;
+}
+
+la::Vector AffineTransform::BVector() const { return la::Vector{b1, b2}; }
+
+PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2, std::size_t m) {
+  PairMatrixMeasures out;
+  out.m = m;
+  out.mean[0] = ts::stats::Mean(x1, m);
+  out.mean[1] = ts::stats::Mean(x2, m);
+  out.median[0] = ts::stats::Median(x1, m);
+  out.median[1] = ts::stats::Median(x2, m);
+  out.mode[0] = ts::stats::Mode(x1, m);
+  out.mode[1] = ts::stats::Mode(x2, m);
+  // One fused pass for the second moments and sums.
+  double s11 = 0, s12 = 0, s22 = 0, h1 = 0, h2 = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    s11 += x1[i] * x1[i];
+    s12 += x1[i] * x2[i];
+    s22 += x2[i] * x2[i];
+    h1 += x1[i];
+    h2 += x2[i];
+  }
+  out.dot11 = s11;
+  out.dot12 = s12;
+  out.dot22 = s22;
+  out.h1 = h1;
+  out.h2 = h2;
+  if (m > 0) {
+    const double inv_m = 1.0 / static_cast<double>(m);
+    out.cov11 = s11 * inv_m - out.mean[0] * out.mean[0];
+    out.cov12 = s12 * inv_m - out.mean[0] * out.mean[1];
+    out.cov22 = s22 * inv_m - out.mean[1] * out.mean[1];
+  }
+  return out;
+}
+
+StatusOr<AffineTransform> FitAffine(const la::Matrix& source, const la::Matrix& target) {
+  if (source.cols() != 2 || target.cols() != 2) {
+    return Status::InvalidArgument("FitAffine requires m×2 pair matrices");
+  }
+  if (source.rows() != target.rows()) {
+    return Status::InvalidArgument("FitAffine requires equal row counts");
+  }
+  if (source.rows() < 3) {
+    return Status::InvalidArgument("FitAffine requires at least 3 samples");
+  }
+  // Design matrix M = [source, 1m]; solve min ‖M·X − target‖_F. X is 3×2
+  // with A stacked above bᵀ.
+  la::Matrix design(source.rows(), 3);
+  for (std::size_t i = 0; i < source.rows(); ++i) {
+    design(i, 0) = source(i, 0);
+    design(i, 1) = source(i, 1);
+    design(i, 2) = 1.0;
+  }
+  AFFINITY_ASSIGN_OR_RETURN(la::Matrix x, la::SolveLeastSquares(design, target));
+  AffineTransform t;
+  t.a11 = x(0, 0);
+  t.a21 = x(1, 0);
+  t.a12 = x(0, 1);
+  t.a22 = x(1, 1);
+  t.b1 = x(2, 0);
+  t.b2 = x(2, 1);
+  return t;
+}
+
+la::Matrix ApplyAffine(const la::Matrix& source, const AffineTransform& t) {
+  AFFINITY_CHECK_EQ(source.cols(), 2u);
+  la::Matrix out(source.rows(), 2);
+  const double* c1 = source.ColData(0);
+  const double* c2 = source.ColData(1);
+  double* o1 = out.ColData(0);
+  double* o2 = out.ColData(1);
+  for (std::size_t i = 0; i < source.rows(); ++i) {
+    o1[i] = t.a11 * c1[i] + t.a21 * c2[i] + t.b1;
+    o2[i] = t.a12 * c1[i] + t.a22 * c2[i] + t.b2;
+  }
+  return out;
+}
+
+double PropagateLocation(double lx1, double lx2, const AffineTransform& t, int col) {
+  AFFINITY_DCHECK(col == 0 || col == 1);
+  if (col == 0) return lx1 * t.a11 + lx2 * t.a21 + t.b1;
+  return lx1 * t.a12 + lx2 * t.a22 + t.b2;
+}
+
+double PropagateCovariance(const PairMatrixMeasures& x, const AffineTransform& t) {
+  // a1ᵀ Σ a2 with Σ symmetric.
+  const double sa2_1 = x.cov11 * t.a12 + x.cov12 * t.a22;  // (Σ a2)_1
+  const double sa2_2 = x.cov12 * t.a12 + x.cov22 * t.a22;  // (Σ a2)_2
+  return t.a11 * sa2_1 + t.a21 * sa2_2;
+}
+
+double PropagateVariance(const PairMatrixMeasures& x, const AffineTransform& t, int col) {
+  AFFINITY_DCHECK(col == 0 || col == 1);
+  const double c1 = col == 0 ? t.a11 : t.a12;
+  const double c2 = col == 0 ? t.a21 : t.a22;
+  return c1 * (x.cov11 * c1 + x.cov12 * c2) + c2 * (x.cov12 * c1 + x.cov22 * c2);
+}
+
+double PropagateDotProduct(const PairMatrixMeasures& x, const AffineTransform& t) {
+  const double pa2_1 = x.dot11 * t.a12 + x.dot12 * t.a22;  // (Π a2)_1
+  const double pa2_2 = x.dot12 * t.a12 + x.dot22 * t.a22;  // (Π a2)_2
+  const double quad = t.a11 * pa2_1 + t.a21 * pa2_2;       // a1ᵀ Π a2
+  const double a1h = t.a11 * x.h1 + t.a21 * x.h2;          // a1ᵀ h
+  const double ha2 = x.h1 * t.a12 + x.h2 * t.a22;          // hᵀ a2
+  return quad + a1h * t.b2 + t.b1 * ha2 + static_cast<double>(x.m) * t.b1 * t.b2;
+}
+
+double PropagateSquaredNorm(const PairMatrixMeasures& x, const AffineTransform& t, int col) {
+  AFFINITY_DCHECK(col == 0 || col == 1);
+  const double c1 = col == 0 ? t.a11 : t.a12;
+  const double c2 = col == 0 ? t.a21 : t.a22;
+  const double b = col == 0 ? t.b1 : t.b2;
+  const double quad = c1 * (x.dot11 * c1 + x.dot12 * c2) + c2 * (x.dot12 * c1 + x.dot22 * c2);
+  const double hac = x.h1 * c1 + x.h2 * c2;
+  return quad + 2.0 * b * hac + static_cast<double>(x.m) * b * b;
+}
+
+}  // namespace affinity::core

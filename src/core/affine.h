@@ -1,0 +1,89 @@
+#ifndef AFFINITY_CORE_AFFINE_H_
+#define AFFINITY_CORE_AFFINE_H_
+
+/// \file affine.h
+/// Affine transformations between pair matrices (Section 2.3) and the
+/// measure-propagation rules (Eqs. 5–8).
+///
+/// An affine transformation maps a source pair matrix X ∈ R^{m×2} to a
+/// target Y = X·A + 1·bᵀ. The paper's key observation is that L-, T- and
+/// D-measures of Y are cheap functions of the measures of X and (A, b),
+/// so a measure computed once on a *pivot* matrix can be propagated to
+/// every related sequence pair in O(1).
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace affinity::core {
+
+/// A 2-D affine transformation (A, b): Y = X·A + 1·bᵀ.
+///
+/// Stored flat (column-major A) because SYMEX materializes hundreds of
+/// thousands of these. Column j of A is a_j = (a1j, a2j)ᵀ in the paper's
+/// notation.
+struct AffineTransform {
+  double a11 = 1.0, a21 = 0.0;  ///< first column a1
+  double a12 = 0.0, a22 = 1.0;  ///< second column a2
+  double b1 = 0.0, b2 = 0.0;    ///< translation b
+
+  /// A as a 2×2 la::Matrix (for tests / pretty output).
+  la::Matrix AMatrix() const;
+  /// b as a 2-vector.
+  la::Vector BVector() const;
+};
+
+/// Pre-computed statistics of a source (pivot) pair matrix X = [x1, x2] —
+/// everything the propagation rules need (the value stored in the paper's
+/// pivotHash during pre-processing, §4.1).
+struct PairMatrixMeasures {
+  double mean[2] = {0, 0};    ///< L: column means
+  double median[2] = {0, 0};  ///< L: column medians
+  double mode[2] = {0, 0};    ///< L: column modes
+  double cov11 = 0, cov12 = 0, cov22 = 0;  ///< Σ(X) (symmetric 2×2)
+  double dot11 = 0, dot12 = 0, dot22 = 0;  ///< Π(X) = XᵀX
+  double h1 = 0, h2 = 0;                   ///< column sums (Eq. 7)
+  std::size_t m = 0;                       ///< number of rows
+};
+
+/// Computes all PairMatrixMeasures of the matrix [x1, x2] in O(m).
+PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2, std::size_t m);
+
+/// Fits (A, b) by least squares so that target ≈ source·A + 1·bᵀ
+/// (the LeastSquares routine of Algorithm 2). Both matrices are m×2.
+/// Fails (FailedPrecondition) when [source, 1] is column-rank-deficient.
+StatusOr<AffineTransform> FitAffine(const la::Matrix& source, const la::Matrix& target);
+
+/// Applies the transformation: returns source·A + 1·bᵀ.
+la::Matrix ApplyAffine(const la::Matrix& source, const AffineTransform& t);
+
+// ---------------------------------------------------------------------------
+// Measure propagation under Y = X·A + 1·bᵀ (Eqs. 5–8).
+//
+// Each rule returns the measure entry between the two *target* columns
+// (or per-column for L-measures) given only the source measures and (A, b).
+// ---------------------------------------------------------------------------
+
+/// Eq. (5): L(Y)ᵀ = L(X)ᵀ·A + bᵀ, column `col` (0 or 1) of the target.
+/// `lx1`, `lx2` are the source columns' location measure.
+double PropagateLocation(double lx1, double lx2, const AffineTransform& t, int col);
+
+/// Eq. (6): Σ12(Y) = a1ᵀ·Σ(X)·a2.
+double PropagateCovariance(const PairMatrixMeasures& x, const AffineTransform& t);
+
+/// Variance of target column `col`: a_colᵀ·Σ(X)·a_col.
+double PropagateVariance(const PairMatrixMeasures& x, const AffineTransform& t, int col);
+
+/// Eq. (7) (corrected form, see DESIGN.md):
+/// Π12(Y) = a1ᵀΠ(X)a2 + (a1ᵀh)·b2 + b1·(hᵀa2) + m·b1·b2.
+double PropagateDotProduct(const PairMatrixMeasures& x, const AffineTransform& t);
+
+/// Squared norm ‖y_col‖² of target column `col` (needed by cosine/Jaccard/
+/// Dice normalizers): a_colᵀΠ(X)a_col + 2·b_col·(hᵀa_col) + m·b_col².
+double PropagateSquaredNorm(const PairMatrixMeasures& x, const AffineTransform& t, int col);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_AFFINE_H_

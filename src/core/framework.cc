@@ -1,0 +1,61 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace affinity::core {
+
+StatusOr<Affinity> Affinity::Build(const ts::DataMatrix& data, const AffinityOptions& options) {
+  Stopwatch total;
+  Affinity fw;
+
+  AFFINITY_ASSIGN_OR_RETURN(AffinityModel model,
+                            BuildAffinityModel(data, options.afclst, options.symex));
+  fw.model_ = std::make_unique<AffinityModel>(std::move(model));
+  fw.profile_.afclst_seconds = fw.model_->stats().afclst_seconds;
+  fw.profile_.symex_seconds = fw.model_->stats().march_seconds;
+  fw.profile_.preprocess_seconds = fw.model_->stats().preprocess_seconds;
+
+  if (options.build_scape) {
+    Stopwatch watch;
+    AFFINITY_ASSIGN_OR_RETURN(ScapeIndex index, ScapeIndex::Build(*fw.model_, options.scape));
+    fw.scape_ = std::make_unique<ScapeIndex>(std::move(index));
+    fw.profile_.scape_seconds = watch.ElapsedSeconds();
+  }
+
+  if (options.build_dft) {
+    Stopwatch watch;
+    AFFINITY_ASSIGN_OR_RETURN(
+        dft::DftCorrelationEstimator wf,
+        dft::DftCorrelationEstimator::Build(fw.model_->data(), options.dft_coefficients));
+    fw.wf_ = std::make_unique<dft::DftCorrelationEstimator>(std::move(wf));
+    fw.profile_.dft_seconds = watch.ElapsedSeconds();
+  }
+
+  fw.engine_ = std::make_unique<QueryEngine>(&fw.model_->data());
+  fw.engine_->AttachModel(fw.model_.get());
+  if (fw.scape_) fw.engine_->AttachScape(fw.scape_.get());
+  if (fw.wf_) fw.engine_->EnableDft(options.dft_coefficients);
+
+  fw.profile_.total_seconds = total.ElapsedSeconds();
+  return fw;
+}
+
+double PercentRmse(const std::vector<double>& truth, const std::vector<double>& approx) {
+  AFFINITY_CHECK_EQ(truth.size(), approx.size());
+  if (truth.empty()) return 0.0;
+  const auto [min_it, max_it] = std::minmax_element(truth.begin(), truth.end());
+  double normalizer = *max_it - *min_it;
+  if (normalizer == 0.0) normalizer = 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = (truth[i] - approx[i]) / normalizer;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size())) * 100.0;
+}
+
+}  // namespace affinity::core

@@ -1,0 +1,97 @@
+#ifndef AFFINITY_CORE_FRAMEWORK_H_
+#define AFFINITY_CORE_FRAMEWORK_H_
+
+/// \file framework.h
+/// The AFFINITY facade — one call builds the full Fig. 2 stack (AFCLST →
+/// SYMEX+ → pivot measures → SCAPE index → WF sketches) over a data matrix
+/// and exposes a ready QueryEngine.
+///
+/// \code
+///   auto dataset = affinity::ts::MakeStockData();
+///   auto fw = affinity::core::Affinity::Build(dataset.matrix);
+///   affinity::core::MetRequest req{affinity::core::Measure::kCorrelation, 0.9};
+///   auto hot_pairs = fw->engine().Met(req, affinity::core::QueryMethod::kScape);
+/// \endcode
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "core/scape.h"
+#include "core/symex.h"
+#include "dft/dft_correlation.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::core {
+
+/// End-to-end build configuration.
+struct AffinityOptions {
+  AfclstOptions afclst;     ///< clustering (k, γ_max, δ_min)
+  SymexOptions symex;       ///< SYMEX+ by default
+  ScapeOptions scape;       ///< B-tree fanout
+  bool build_scape = true;  ///< build the SCAPE index
+  bool build_dft = true;    ///< build the WF comparator sketches
+  std::size_t dft_coefficients = dft::kDefaultCoefficients;
+};
+
+/// Wall-clock accounting of one Build call.
+struct BuildProfile {
+  double afclst_seconds = 0;
+  double symex_seconds = 0;       ///< marching + fitting
+  double preprocess_seconds = 0;  ///< pivot measures + per-series stats
+  double scape_seconds = 0;
+  double dft_seconds = 0;
+  double total_seconds = 0;
+};
+
+/// The assembled framework. Owns the model, index, sketches, and engine;
+/// movable, not copyable.
+class Affinity {
+ public:
+  /// Builds everything over a copy of `data`.
+  static StatusOr<Affinity> Build(const ts::DataMatrix& data, const AffinityOptions& options = {});
+
+  Affinity(Affinity&&) noexcept = default;
+  Affinity& operator=(Affinity&&) noexcept = default;
+
+  /// The query engine with all built strategies attached.
+  const QueryEngine& engine() const { return *engine_; }
+
+  /// The SYMEX output (relationships, pivots, per-series stats).
+  const AffinityModel& model() const { return *model_; }
+
+  /// The SCAPE index, or nullptr when build_scape was false.
+  const ScapeIndex* scape() const { return scape_.get(); }
+
+  /// The WF estimator, or nullptr when build_dft was false.
+  const dft::DftCorrelationEstimator* wf() const { return wf_.get(); }
+
+  /// Build-phase timings.
+  const BuildProfile& profile() const { return profile_; }
+
+  /// The data the framework answers queries over.
+  const ts::DataMatrix& data() const { return model_->data(); }
+
+ private:
+  Affinity() = default;
+
+  std::unique_ptr<AffinityModel> model_;
+  std::unique_ptr<ScapeIndex> scape_;
+  std::unique_ptr<dft::DftCorrelationEstimator> wf_;
+  std::unique_ptr<QueryEngine> engine_;
+  BuildProfile profile_;
+};
+
+// ---------------------------------------------------------------------------
+// Approximation-error metric (Section 4.1, Eq. 16).
+// ---------------------------------------------------------------------------
+
+/// %RMSE between `truth` and `approx` after normalizing both by
+/// (max(truth) − min(truth)). Returns 0 for empty input; when the truth is
+/// constant the normalizer degenerates and the unnormalized RMSE ×100 is
+/// returned. Sizes must match (checked).
+double PercentRmse(const std::vector<double>& truth, const std::vector<double>& approx);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_FRAMEWORK_H_

@@ -1,0 +1,54 @@
+#include "core/lsfd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eigen.h"
+
+namespace affinity::core {
+
+StatusOr<double> LsfdSquared(const la::Matrix& x, const la::Matrix& y) {
+  if (x.cols() != 2 || y.cols() != 2) {
+    return Status::InvalidArgument("LSFD requires m×2 pair matrices");
+  }
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("LSFD requires equal row counts");
+  }
+  if (x.rows() < 2) {
+    return Status::InvalidArgument("LSFD requires at least 2 samples");
+  }
+
+  // Zero-mean the four columns, then take the 4×4 Gram matrix of
+  // C = [X̂, Ŷ]. Its eigenvalues are the squared singular values of C, so
+  // DF² = λ3² + λ4² = eig3 + eig4 directly — no square roots needed.
+  const std::size_t m = x.rows();
+  const double* cols[4] = {x.ColData(0), x.ColData(1), y.ColData(0), y.ColData(1)};
+  double mean[4];
+  for (int j = 0; j < 4; ++j) {
+    double s = 0;
+    for (std::size_t i = 0; i < m; ++i) s += cols[j][i];
+    mean[j] = s / static_cast<double>(m);
+  }
+  la::Matrix gram(4, 4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a; b < 4; ++b) {
+      double acc = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        acc += (cols[a][i] - mean[a]) * (cols[b][i] - mean[b]);
+      }
+      gram(a, b) = acc;
+      gram(b, a) = acc;
+    }
+  }
+  AFFINITY_ASSIGN_OR_RETURN(std::vector<double> eig, la::SymmetricEigenvalues(gram));
+  // eig is descending; clamp tiny negatives from roundoff.
+  const double df2 = std::max(0.0, eig[2]) + std::max(0.0, eig[3]);
+  return df2;
+}
+
+StatusOr<double> Lsfd(const la::Matrix& x, const la::Matrix& y) {
+  AFFINITY_ASSIGN_OR_RETURN(double df2, LsfdSquared(x, y));
+  return std::sqrt(df2);
+}
+
+}  // namespace affinity::core

@@ -1,0 +1,27 @@
+#ifndef AFFINITY_CORE_LSFD_H_
+#define AFFINITY_CORE_LSFD_H_
+
+/// \file lsfd.h
+/// The Least Significant Frobenius Distance (Definition 1).
+///
+/// DF(X, Y)² = λ3² + λ4², where λ3, λ4 are the third and fourth singular
+/// values of the column concatenation [X̂, Ŷ] of the zero-meaned pair
+/// matrices. DF is zero exactly when Y's columns lie in the affine span of
+/// X's columns (a perfect affine relationship exists) and is a metric
+/// (Theorem 1) — the distance AFCLST clusters against.
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace affinity::core {
+
+/// DF(X, Y) for two m×2 pair matrices. O(m) plus a 4×4 eigensolve.
+/// InvalidArgument unless both inputs are m×2 with equal m ≥ 2.
+StatusOr<double> Lsfd(const la::Matrix& x, const la::Matrix& y);
+
+/// DF(X, Y)² (avoids the final square root when comparing distances).
+StatusOr<double> LsfdSquared(const la::Matrix& x, const la::Matrix& y);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_LSFD_H_

@@ -1,0 +1,149 @@
+#include "core/measures.h"
+
+#include <cmath>
+#include <string>
+
+#include "ts/stats.h"
+
+namespace affinity::core {
+
+MeasureClass ClassOf(Measure m) {
+  switch (m) {
+    case Measure::kMean:
+    case Measure::kMedian:
+    case Measure::kMode:
+      return MeasureClass::kLocation;
+    case Measure::kCovariance:
+    case Measure::kDotProduct:
+      return MeasureClass::kDispersion;
+    case Measure::kCorrelation:
+    case Measure::kCosine:
+    case Measure::kJaccard:
+    case Measure::kDice:
+      return MeasureClass::kDerived;
+  }
+  return MeasureClass::kLocation;  // unreachable
+}
+
+Measure BaseMeasure(Measure m) {
+  switch (m) {
+    case Measure::kCorrelation:
+      return Measure::kCovariance;
+    case Measure::kCosine:
+    case Measure::kJaccard:
+    case Measure::kDice:
+      return Measure::kDotProduct;
+    default:
+      return m;
+  }
+}
+
+bool HasSeparableNormalizer(Measure m) {
+  return m == Measure::kCorrelation || m == Measure::kCosine;
+}
+
+std::string_view MeasureName(Measure m) {
+  switch (m) {
+    case Measure::kMean:
+      return "mean";
+    case Measure::kMedian:
+      return "median";
+    case Measure::kMode:
+      return "mode";
+    case Measure::kCovariance:
+      return "covariance";
+    case Measure::kDotProduct:
+      return "dot-product";
+    case Measure::kCorrelation:
+      return "correlation";
+    case Measure::kCosine:
+      return "cosine";
+    case Measure::kJaccard:
+      return "jaccard";
+    case Measure::kDice:
+      return "dice";
+  }
+  return "unknown";
+}
+
+std::vector<Measure> AllMeasures() {
+  std::vector<Measure> out;
+  out.reserve(kNumMeasures);
+  for (int i = 0; i < kNumMeasures; ++i) out.push_back(static_cast<Measure>(i));
+  return out;
+}
+
+std::vector<Measure> LocationMeasures() {
+  return {Measure::kMean, Measure::kMedian, Measure::kMode};
+}
+
+std::vector<Measure> DispersionMeasures() {
+  return {Measure::kCovariance, Measure::kDotProduct};
+}
+
+std::vector<Measure> DerivedMeasures() {
+  return {Measure::kCorrelation, Measure::kCosine, Measure::kJaccard, Measure::kDice};
+}
+
+StatusOr<double> NaiveLocationMeasure(Measure m, const double* x, std::size_t len) {
+  switch (m) {
+    case Measure::kMean:
+      return ts::stats::Mean(x, len);
+    case Measure::kMedian:
+      return ts::stats::Median(x, len);
+    case Measure::kMode:
+      // The from-scratch baseline uses the classical O(m²) local-density
+      // estimator; the histogram mode is its fast approximation used on
+      // pivots (see stats.h).
+      return ts::stats::NaiveModeEstimate(x, len);
+    default:
+      return Status::InvalidArgument(std::string(MeasureName(m)) + " is not an L-measure");
+  }
+}
+
+StatusOr<double> NaivePairMeasure(Measure m, const double* x, const double* y, std::size_t len) {
+  switch (m) {
+    case Measure::kCovariance:
+      return ts::stats::Covariance(x, y, len);
+    case Measure::kDotProduct:
+      return ts::stats::DotProduct(x, y, len);
+    case Measure::kCorrelation:
+      return ts::stats::Correlation(x, y, len);
+    case Measure::kCosine: {
+      const double nx = ts::stats::DotProduct(x, x, len);
+      const double ny = ts::stats::DotProduct(y, y, len);
+      const double u = std::sqrt(nx * ny);
+      return u == 0.0 ? 0.0 : ts::stats::DotProduct(x, y, len) / u;
+    }
+    case Measure::kJaccard: {
+      const double nx = ts::stats::DotProduct(x, x, len);
+      const double ny = ts::stats::DotProduct(y, y, len);
+      const double d = ts::stats::DotProduct(x, y, len);
+      const double denom = nx + ny - d;
+      return denom == 0.0 ? 0.0 : d / denom;
+    }
+    case Measure::kDice: {
+      const double nx = ts::stats::DotProduct(x, x, len);
+      const double ny = ts::stats::DotProduct(y, y, len);
+      const double d = ts::stats::DotProduct(x, y, len);
+      const double denom = nx + ny;
+      return denom == 0.0 ? 0.0 : 2.0 * d / denom;
+    }
+    default:
+      return Status::InvalidArgument(std::string(MeasureName(m)) + " is not a pair measure");
+  }
+}
+
+StatusOr<double> NaiveNormalizer(Measure m, const double* x, const double* y, std::size_t len) {
+  switch (m) {
+    case Measure::kCorrelation:
+      return ts::stats::CorrelationNormalizer(x, y, len);
+    case Measure::kCosine:
+      return std::sqrt(ts::stats::DotProduct(x, x, len) * ts::stats::DotProduct(y, y, len));
+    default:
+      return Status::InvalidArgument(std::string(MeasureName(m)) +
+                                     " has no separable normalizer");
+  }
+}
+
+}  // namespace affinity::core

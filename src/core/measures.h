@@ -1,0 +1,93 @@
+#ifndef AFFINITY_CORE_MEASURES_H_
+#define AFFINITY_CORE_MEASURES_H_
+
+/// \file measures.h
+/// The statistical-measure taxonomy of Section 2.1:
+///
+///  * **L-measures** (location, per series): mean, median, mode;
+///  * **T-measures** (dispersion, per pair): covariance, dot product;
+///  * **D-measures** (derived, per pair): a T-measure divided by a
+///    normalizer — correlation (covariance / √(σ²_u σ²_v)), cosine
+///    (dot / √(‖u‖²‖v‖²)), plus the dot-product-derived Jaccard and Dice
+///    coefficients the paper lists as further supported measures.
+///
+/// This header also provides the *naive* (from scratch) evaluation of every
+/// measure, which is the WN baseline.
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::core {
+
+/// All statistical measures supported by the framework.
+enum class Measure : int {
+  // L-measures.
+  kMean = 0,
+  kMedian = 1,
+  kMode = 2,
+  // T-measures.
+  kCovariance = 3,
+  kDotProduct = 4,
+  // D-measures.
+  kCorrelation = 5,
+  kCosine = 6,
+  kJaccard = 7,
+  kDice = 8,
+};
+
+/// Number of distinct measures (for iteration in tests/benches).
+inline constexpr int kNumMeasures = 9;
+
+/// The three measure classes of Section 2.1.
+enum class MeasureClass { kLocation, kDispersion, kDerived };
+
+/// Class of a measure (L / T / D).
+MeasureClass ClassOf(Measure m);
+
+/// Convenience predicates.
+inline bool IsLocation(Measure m) { return ClassOf(m) == MeasureClass::kLocation; }
+inline bool IsDispersion(Measure m) { return ClassOf(m) == MeasureClass::kDispersion; }
+inline bool IsDerived(Measure m) { return ClassOf(m) == MeasureClass::kDerived; }
+
+/// The T-measure a D-measure is derived from (correlation → covariance;
+/// cosine/Jaccard/Dice → dot product). Identity for L/T measures.
+Measure BaseMeasure(Measure m);
+
+/// True when the D-measure has the separable form T/U with U > 0 a
+/// per-pair product normalizer (correlation, cosine) — the form the SCAPE
+/// D-pruning of §5.3 requires. Jaccard and Dice are rational in T and are
+/// served by compute-then-filter instead.
+bool HasSeparableNormalizer(Measure m);
+
+/// Short lowercase name ("mean", "covariance", ...).
+std::string_view MeasureName(Measure m);
+
+/// All measures, in enum order.
+std::vector<Measure> AllMeasures();
+
+/// All L-measures / T-measures / D-measures.
+std::vector<Measure> LocationMeasures();
+std::vector<Measure> DispersionMeasures();
+std::vector<Measure> DerivedMeasures();
+
+// ---------------------------------------------------------------------------
+// Naive (WN) evaluation.
+// ---------------------------------------------------------------------------
+
+/// L-measure of one series, from scratch. InvalidArgument for non-L measures.
+StatusOr<double> NaiveLocationMeasure(Measure m, const double* x, std::size_t len);
+
+/// T- or D-measure of a pair of series, from scratch.
+/// InvalidArgument for L-measures.
+StatusOr<double> NaivePairMeasure(Measure m, const double* x, const double* y, std::size_t len);
+
+/// The normalizer U of a separable D-measure (Eq. 8), from scratch.
+/// InvalidArgument unless HasSeparableNormalizer(m).
+StatusOr<double> NaiveNormalizer(Measure m, const double* x, const double* y, std::size_t len);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_MEASURES_H_

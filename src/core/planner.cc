@@ -1,0 +1,92 @@
+#include "core/planner.h"
+
+#include <cmath>
+
+namespace affinity::core {
+
+namespace {
+
+/// Entities a full selection sweep touches: series for L, pairs otherwise.
+double EntityCount(Measure measure, std::size_t n) {
+  return IsLocation(measure) ? static_cast<double>(n)
+                             : static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+}
+
+constexpr double kLookupCost = 24.0;  ///< hash probe + propagation flops (WA)
+constexpr double kTreeStep = 8.0;     ///< B-tree descent/emit per entry (SCAPE)
+
+}  // namespace
+
+double QueryPlanner::NaiveUnitCost(Measure measure) const {
+  const double m = static_cast<double>(m_);
+  switch (measure) {
+    case Measure::kMean:
+      return m;
+    case Measure::kMedian:
+      return 3.0 * m;  // selection network constant
+    case Measure::kMode:
+      return m * m;  // O(m²) density estimator (see stats.h)
+    case Measure::kCovariance:
+      return 6.0 * m;  // two mean passes + centered product pass
+    case Measure::kDotProduct:
+      return 2.0 * m;
+    case Measure::kCorrelation:
+      return 10.0 * m;  // covariance + two variances
+    case Measure::kCosine:
+    case Measure::kJaccard:
+    case Measure::kDice:
+      return 6.0 * m;  // three dot products
+  }
+  return m;
+}
+
+PlanChoice QueryPlanner::PlanMec(Measure measure, std::size_t ids) const {
+  const double entities = IsLocation(measure)
+                              ? static_cast<double>(ids)
+                              : static_cast<double>(ids) * static_cast<double>(ids + 1) / 2.0;
+  const double wn_cost = entities * NaiveUnitCost(measure);
+  if (caps_.has_model) {
+    return PlanChoice{QueryMethod::kAffine, entities * kLookupCost,
+                      "WA: O(1) propagation per requested entity (model available)"};
+  }
+  return PlanChoice{QueryMethod::kNaive, wn_cost, "WN: no model built"};
+}
+
+PlanChoice QueryPlanner::PlanSelection(Measure measure, double selectivity, bool top_k,
+                                       std::size_t k) const {
+  const double entities = EntityCount(measure, n_);
+  const bool indexable =
+      !IsDerived(measure) || HasSeparableNormalizer(measure);  // Jaccard/Dice are not
+
+  if (caps_.has_scape && indexable) {
+    const double emitted = top_k ? static_cast<double>(k) : selectivity * entities;
+    // Scan cost: per-pivot descent (log of entries) + emitted entries; the
+    // k·n upper bound on pivots is folded into the constant.
+    const double descent = static_cast<double>(n_) * std::log2(2.0 + entities);
+    PlanChoice choice{QueryMethod::kScape, descent + emitted * kTreeStep,
+                      top_k ? "SCAPE: threshold-algorithm top-k over pivot trees"
+                            : "SCAPE: key-range scan per pivot, no per-entity computation"};
+    return choice;
+  }
+  if (caps_.has_model) {
+    return PlanChoice{QueryMethod::kAffine, entities * kLookupCost,
+                      indexable ? "WA: model available but SCAPE not built"
+                                : "WA: measure not SCAPE-indexable (no separable normalizer)"};
+  }
+  return PlanChoice{QueryMethod::kNaive, entities * NaiveUnitCost(measure),
+                    "WN: no model or index built"};
+}
+
+PlanChoice QueryPlanner::PlanMet(Measure measure, double selectivity) const {
+  return PlanSelection(measure, selectivity, /*top_k=*/false, 0);
+}
+
+PlanChoice QueryPlanner::PlanMer(Measure measure, double selectivity) const {
+  return PlanSelection(measure, selectivity, /*top_k=*/false, 0);
+}
+
+PlanChoice QueryPlanner::PlanTopK(Measure measure, std::size_t k) const {
+  return PlanSelection(measure, 0.0, /*top_k=*/true, k);
+}
+
+}  // namespace affinity::core

@@ -1,0 +1,73 @@
+#ifndef AFFINITY_CORE_PLANNER_H_
+#define AFFINITY_CORE_PLANNER_H_
+
+/// \file planner.h
+/// A small rule/cost-based query planner (extension).
+///
+/// The paper benchmarks each strategy in isolation; a deployed system must
+/// *choose* one per query. The planner encodes the cost model of Sections
+/// 4–5 — per-measure naive kernel costs, O(1) affine propagation, and
+/// index-scan costs — plus the hard capability rules (WF is correlation-
+/// only, SCAPE cannot answer MEC, Jaccard/Dice are not indexable), and
+/// returns the cheapest admissible strategy with an explanation.
+///
+/// Costs are abstract "scalar operation" counts, good for ranking
+/// strategies, not for predicting wall time.
+
+#include <string>
+
+#include "core/measures.h"
+#include "core/query.h"
+
+namespace affinity::core {
+
+/// The planner's verdict for one query.
+struct PlanChoice {
+  QueryMethod method = QueryMethod::kNaive;
+  double estimated_cost = 0.0;  ///< abstract scalar-op count
+  std::string rationale;        ///< human-readable explanation
+};
+
+/// Plans queries for a dataset of n series × m samples given which
+/// structures have been built.
+class QueryPlanner {
+ public:
+  /// Which strategies are available.
+  struct Capabilities {
+    bool has_model = false;  ///< WA (SYMEX output)
+    bool has_scape = false;  ///< SCAPE index
+    bool has_dft = false;    ///< WF sketches
+  };
+
+  QueryPlanner(std::size_t n, std::size_t m, Capabilities caps)
+      : n_(n), m_(m), caps_(caps) {}
+
+  /// Plans Query 1 for a ψ of `ids` series.
+  PlanChoice PlanMec(Measure measure, std::size_t ids) const;
+
+  /// Plans Query 2 (full MET sweep). `selectivity` is the expected fraction
+  /// of entities in the result (0..1; used to cost the index scan).
+  PlanChoice PlanMet(Measure measure, double selectivity = 0.5) const;
+
+  /// Plans Query 3 (full MER sweep).
+  PlanChoice PlanMer(Measure measure, double selectivity = 0.5) const;
+
+  /// Plans a top-k query.
+  PlanChoice PlanTopK(Measure measure, std::size_t k) const;
+
+  /// Per-entity naive kernel cost of a measure (scalar ops) — the cost
+  /// model behind every plan; exposed for tests and EXPLAIN output.
+  double NaiveUnitCost(Measure measure) const;
+
+ private:
+  PlanChoice PlanSelection(Measure measure, double selectivity, bool top_k,
+                           std::size_t k) const;
+
+  std::size_t n_;
+  std::size_t m_;
+  Capabilities caps_;
+};
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_PLANNER_H_

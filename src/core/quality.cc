@@ -1,0 +1,111 @@
+#include "core/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/affine.h"
+#include "core/lsfd.h"
+
+namespace affinity::core {
+
+StatusOr<ModelQualityReport> EvaluateModelQuality(const AffinityModel& model,
+                                                  std::size_t sample_pairs, std::uint64_t seed) {
+  const ts::DataMatrix& data = model.data();
+  const std::size_t n = data.n();
+  const std::size_t m = data.m();
+  if (n < 2) return Status::InvalidArgument("quality evaluation requires >= 2 series");
+
+  ModelQualityReport report;
+  report.relationships = model.relationship_count();
+  report.pivots = model.pivot_count();
+
+  // Cluster balance and projection errors from the clustering itself.
+  const AfclstResult& clustering = model.clustering();
+  report.cluster_sizes.assign(clustering.k(), 0);
+  double proj_acc = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    ++report.cluster_sizes[static_cast<std::size_t>(clustering.assignment[v])];
+    const double norm =
+        std::sqrt(model.series_stats(static_cast<ts::SeriesId>(v)).sumsq) + 1e-300;
+    proj_acc += clustering.projection_errors[v] / norm;
+  }
+  report.mean_relative_projection_error = proj_acc / static_cast<double>(n);
+
+  // Sample sequence pairs with an existing relationship.
+  Xoshiro256 rng(seed);
+  std::vector<double> residuals;
+  double lsfd_acc = 0;
+  std::size_t lsfd_count = 0;
+  const std::size_t attempts = sample_pairs * 3;
+  for (std::size_t trial = 0; trial < attempts && residuals.size() < sample_pairs; ++trial) {
+    const auto u = static_cast<ts::SeriesId>(rng.NextBounded(n));
+    auto v = static_cast<ts::SeriesId>(rng.NextBounded(n));
+    if (u == v) continue;
+    const ts::SequencePair e(u, v);
+    const AffineRecord* rec = model.FindRelationship(e);
+    if (rec == nullptr) continue;  // truncated model
+
+    // Materialize the pivot matrix and the fitted image.
+    const double* center = clustering.centers.ColData(rec->pivot.cluster);
+    const double* series = data.ColumnData(rec->pivot.series);
+    const double* c1 = rec->pivot.series_first ? series : center;
+    const double* c2 = rec->pivot.series_first ? center : series;
+    const double* t1 = data.ColumnData(e.u);
+    const double* t2 = data.ColumnData(e.v);
+
+    const AffineTransform& tr = rec->transform;
+    double resid2 = 0;
+    double target_center2 = 0;
+    double mean1 = 0, mean2 = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      mean1 += t1[i];
+      mean2 += t2[i];
+    }
+    mean1 /= static_cast<double>(m);
+    mean2 /= static_cast<double>(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double f1 = tr.a11 * c1[i] + tr.a21 * c2[i] + tr.b1;
+      const double f2 = tr.a12 * c1[i] + tr.a22 * c2[i] + tr.b2;
+      const double r1 = t1[i] - f1;
+      const double r2 = t2[i] - f2;
+      resid2 += r1 * r1 + r2 * r2;
+      const double d1 = t1[i] - mean1;
+      const double d2 = t2[i] - mean2;
+      target_center2 += d1 * d1 + d2 * d2;
+    }
+    const double scale = std::sqrt(target_center2) + 1e-300;
+    residuals.push_back(std::sqrt(resid2) / scale);
+
+    // LSFD between the pivot and sequence matrices (Definition 1), on a
+    // thinner sub-sample (it needs matrix materialization).
+    if (lsfd_count < sample_pairs / 4 + 1) {
+      la::Matrix op(m, 2);
+      la::Matrix se(m, 2);
+      for (std::size_t i = 0; i < m; ++i) {
+        op(i, 0) = c1[i];
+        op(i, 1) = c2[i];
+        se(i, 0) = t1[i];
+        se(i, 1) = t2[i];
+      }
+      AFFINITY_ASSIGN_OR_RETURN(double d, Lsfd(op, se));
+      lsfd_acc += d / scale;
+      ++lsfd_count;
+    }
+  }
+  if (residuals.empty()) {
+    return Status::FailedPrecondition("no relationships available to sample");
+  }
+
+  report.sampled_pairs = residuals.size();
+  double acc = 0;
+  for (double r : residuals) acc += r;
+  report.mean_relative_residual = acc / static_cast<double>(residuals.size());
+  std::sort(residuals.begin(), residuals.end());
+  report.p95_relative_residual = residuals[residuals.size() * 95 / 100];
+  report.max_relative_residual = residuals.back();
+  report.mean_relative_lsfd = lsfd_count > 0 ? lsfd_acc / static_cast<double>(lsfd_count) : 0.0;
+  return report;
+}
+
+}  // namespace affinity::core

@@ -1,0 +1,52 @@
+#ifndef AFFINITY_CORE_QUALITY_H_
+#define AFFINITY_CORE_QUALITY_H_
+
+/// \file quality.h
+/// Model-quality diagnostics (extension).
+///
+/// The WA/SCAPE answers are only as good as the affine relationships; this
+/// module quantifies their quality the way §3 motivates it: relative fit
+/// residuals ‖Se − (Op·Ae + 1·beᵀ)‖_F / ‖Ŝe‖_F over (a sample of) sequence
+/// pairs, LSFD between pivot and sequence matrices, cluster balance, and
+/// projection errors. Operators use the report to pick k (the paper's Fig.
+/// 9/10 trade-off) without running a full accuracy sweep.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/symex.h"
+
+namespace affinity::core {
+
+/// Summary statistics of the affine-relationship quality of a model.
+struct ModelQualityReport {
+  std::size_t relationships = 0;
+  std::size_t pivots = 0;
+  std::size_t sampled_pairs = 0;  ///< pairs whose residual/LSFD was measured
+
+  /// Relative fit residual ‖Se − fit‖_F / ‖centered Se‖_F, over the sample.
+  double mean_relative_residual = 0;
+  double p95_relative_residual = 0;
+  double max_relative_residual = 0;
+
+  /// LSFD(Op, Se) normalized by ‖centered Se‖_F, over the sample.
+  double mean_relative_lsfd = 0;
+
+  /// Per-cluster member counts (size k).
+  std::vector<std::size_t> cluster_sizes;
+
+  /// Mean orthogonal projection error of series onto their centres,
+  /// relative to the series norm (AFCLST's objective).
+  double mean_relative_projection_error = 0;
+};
+
+/// Evaluates model quality on up to `sample_pairs` uniformly sampled
+/// sequence pairs (deterministic given `seed`). O(sample_pairs · m).
+StatusOr<ModelQualityReport> EvaluateModelQuality(const AffinityModel& model,
+                                                  std::size_t sample_pairs = 1000,
+                                                  std::uint64_t seed = 1);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_QUALITY_H_

@@ -1,0 +1,254 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace affinity::core {
+
+namespace {
+
+bool KeepGreater(double value, double tau, double /*unused*/) { return value > tau; }
+bool KeepLesser(double value, double tau, double /*unused*/) { return value < tau; }
+bool KeepInside(double value, double lo, double hi) { return lo < value && value < hi; }
+
+}  // namespace
+
+std::string_view QueryMethodName(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kNaive:
+      return "WN";
+    case QueryMethod::kAffine:
+      return "WA";
+    case QueryMethod::kDft:
+      return "WF";
+    case QueryMethod::kScape:
+      return "SCAPE";
+  }
+  return "?";
+}
+
+QueryEngine::QueryEngine(const ts::DataMatrix* data) : data_(data) {
+  AFFINITY_CHECK(data != nullptr);
+}
+
+Status QueryEngine::CheckIds(const std::vector<ts::SeriesId>& ids) const {
+  if (ids.empty()) return Status::InvalidArgument("MEC requires a non-empty id set");
+  for (const ts::SeriesId id : ids) {
+    if (id >= data_->n()) {
+      return Status::OutOfRange("series id " + std::to_string(id) + " out of range (n=" +
+                                std::to_string(data_->n()) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<double> QueryEngine::SeriesValue(Measure measure, ts::SeriesId v,
+                                          QueryMethod method) const {
+  switch (method) {
+    case QueryMethod::kNaive:
+      return NaiveLocationMeasure(measure, data_->ColumnData(v), data_->m());
+    case QueryMethod::kAffine:
+      if (model_ == nullptr) return Status::FailedPrecondition("WA strategy not attached");
+      return model_->SeriesMeasure(measure, v);
+    default:
+      return Status::InvalidArgument("L-measures support WN and WA only");
+  }
+}
+
+StatusOr<double> QueryEngine::Value(Measure measure, ts::SeriesId u, ts::SeriesId v,
+                                    QueryMethod method) const {
+  switch (method) {
+    case QueryMethod::kNaive:
+      return NaivePairMeasure(measure, data_->ColumnData(u), data_->ColumnData(v), data_->m());
+    case QueryMethod::kAffine: {
+      if (model_ == nullptr) return Status::FailedPrecondition("WA strategy not attached");
+      if (u == v) {
+        // Diagonal entries come from the exact per-series statistics.
+        const SeriesStats& st = model_->series_stats(u);
+        switch (measure) {
+          case Measure::kCovariance:
+            return st.variance;
+          case Measure::kDotProduct:
+            return st.sumsq;
+          case Measure::kCorrelation:
+            return st.variance > 0.0 ? 1.0 : 0.0;
+          case Measure::kCosine:
+          case Measure::kJaccard:
+            return st.sumsq > 0.0 ? 1.0 : 0.0;
+          case Measure::kDice:
+            return st.sumsq > 0.0 ? 1.0 : 0.0;
+          default:
+            return Status::InvalidArgument("not a pair measure");
+        }
+      }
+      return model_->PairMeasure(measure, ts::SequencePair(u, v));
+    }
+    case QueryMethod::kDft:
+      return Status::Internal("WF values are computed batch-wise (see Mec/Met/Mer)");
+    case QueryMethod::kScape:
+      return Status::InvalidArgument("SCAPE answers MET/MER queries, not MEC");
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<MecResponse> QueryEngine::Mec(const MecRequest& request, QueryMethod method) const {
+  AFFINITY_RETURN_IF_ERROR(CheckIds(request.ids));
+  MecResponse out;
+  const std::size_t count = request.ids.size();
+  if (IsLocation(request.measure)) {
+    out.location = la::Vector(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      AFFINITY_ASSIGN_OR_RETURN(double v, SeriesValue(request.measure, request.ids[i], method));
+      out.location[i] = v;
+    }
+    return out;
+  }
+  if (method == QueryMethod::kDft) {
+    // WF computes its sketches from scratch per query (paper §6 cost model)
+    // over just the requested series.
+    if (wf_coefficients_ == 0) return Status::FailedPrecondition("WF strategy not enabled");
+    if (request.measure != Measure::kCorrelation) {
+      return Status::InvalidArgument("the WF method only supports the correlation coefficient");
+    }
+    la::Matrix subset(data_->m(), count);
+    for (std::size_t i = 0; i < count; ++i) subset.SetCol(i, data_->Column(request.ids[i]));
+    AFFINITY_ASSIGN_OR_RETURN(
+        dft::DftCorrelationEstimator wf,
+        dft::DftCorrelationEstimator::Build(ts::DataMatrix(std::move(subset)),
+                                            wf_coefficients_));
+    out.pair_values = wf.EstimateAll();
+    return out;
+  }
+  out.pair_values = la::Matrix(count, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i; j < count; ++j) {
+      AFFINITY_ASSIGN_OR_RETURN(
+          double v, Value(request.measure, request.ids[i], request.ids[j], method));
+      out.pair_values(i, j) = v;
+      out.pair_values(j, i) = v;
+    }
+  }
+  return out;
+}
+
+StatusOr<SelectionResult> QueryEngine::SelectByPredicateDft(Measure measure,
+                                                            bool (*keep)(double, double, double),
+                                                            double a, double b) const {
+  if (wf_coefficients_ == 0) return Status::FailedPrecondition("WF strategy not enabled");
+  if (measure != Measure::kCorrelation) {
+    return Status::InvalidArgument("the WF method only supports the correlation coefficient");
+  }
+  // Per-query sketch construction, then the O(c)-per-pair estimate.
+  AFFINITY_ASSIGN_OR_RETURN(dft::DftCorrelationEstimator wf,
+                            dft::DftCorrelationEstimator::Build(*data_, wf_coefficients_));
+  SelectionResult out;
+  const std::size_t n = data_->n();
+  for (ts::SeriesId u = 0; u + 1 < n; ++u) {
+    for (ts::SeriesId v = u + 1; v < n; ++v) {
+      if (keep(wf.Estimate(u, v), a, b)) out.pairs.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+StatusOr<SelectionResult> QueryEngine::SelectByPredicate(Measure measure, QueryMethod method,
+                                                         bool (*keep)(double, double, double),
+                                                         double a, double b) const {
+  SelectionResult out;
+  const std::size_t n = data_->n();
+  if (IsLocation(measure)) {
+    for (ts::SeriesId v = 0; v < n; ++v) {
+      AFFINITY_ASSIGN_OR_RETURN(double value, SeriesValue(measure, v, method));
+      if (keep(value, a, b)) out.series.push_back(v);
+    }
+    return out;
+  }
+  for (ts::SeriesId u = 0; u + 1 < n; ++u) {
+    for (ts::SeriesId v = u + 1; v < n; ++v) {
+      AFFINITY_ASSIGN_OR_RETURN(double value, Value(measure, u, v, method));
+      if (keep(value, a, b)) out.pairs.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+StatusOr<SelectionResult> QueryEngine::Met(const MetRequest& request, QueryMethod method) const {
+  if (method == QueryMethod::kDft) {
+    return SelectByPredicateDft(request.measure, request.greater ? KeepGreater : KeepLesser,
+                                request.tau, 0.0);
+  }
+  if (method == QueryMethod::kScape) {
+    if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
+    AFFINITY_ASSIGN_OR_RETURN(
+        ScapeQueryResult r, scape_->MeasureThreshold(request.measure, request.tau, request.greater));
+    SelectionResult out;
+    out.series = std::move(r.series);
+    out.pairs = std::move(r.pairs);
+    out.prune = r.prune;
+    return out;
+  }
+  return SelectByPredicate(request.measure, method, request.greater ? KeepGreater : KeepLesser,
+                           request.tau, 0.0);
+}
+
+StatusOr<SelectionResult> QueryEngine::Mer(const MerRequest& request, QueryMethod method) const {
+  if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
+  if (method == QueryMethod::kDft) {
+    return SelectByPredicateDft(request.measure, KeepInside, request.lo, request.hi);
+  }
+  if (method == QueryMethod::kScape) {
+    if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
+    AFFINITY_ASSIGN_OR_RETURN(ScapeQueryResult r,
+                              scape_->MeasureRange(request.measure, request.lo, request.hi));
+    SelectionResult out;
+    out.series = std::move(r.series);
+    out.pairs = std::move(r.pairs);
+    out.prune = r.prune;
+    return out;
+  }
+  return SelectByPredicate(request.measure, method, KeepInside, request.lo, request.hi);
+}
+
+StatusOr<ScapeTopKResult> QueryEngine::TopK(const TopKRequest& request,
+                                            QueryMethod method) const {
+  if (method == QueryMethod::kScape) {
+    if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
+    return scape_->TopK(request.measure, request.k, request.largest);
+  }
+  if (method == QueryMethod::kDft) {
+    return Status::InvalidArgument("top-k supports WN, WA, and SCAPE");
+  }
+  // WN/WA: evaluate every entity, then partial-sort.
+  std::vector<ScapeTopKEntry> all;
+  const std::size_t n = data_->n();
+  if (IsLocation(request.measure)) {
+    all.reserve(n);
+    for (ts::SeriesId v = 0; v < n; ++v) {
+      AFFINITY_ASSIGN_OR_RETURN(double value, SeriesValue(request.measure, v, method));
+      all.push_back(ScapeTopKEntry{ts::SequencePair{}, v, value});
+    }
+  } else {
+    all.reserve(ts::SequencePairCount(n));
+    for (ts::SeriesId u = 0; u + 1 < n; ++u) {
+      for (ts::SeriesId v = u + 1; v < n; ++v) {
+        AFFINITY_ASSIGN_OR_RETURN(double value, Value(request.measure, u, v, method));
+        all.push_back(ScapeTopKEntry{ts::SequencePair(u, v), 0, value});
+      }
+    }
+  }
+  const std::size_t k = request.k < all.size() ? request.k : all.size();
+  const auto better = [&](const ScapeTopKEntry& a, const ScapeTopKEntry& b) {
+    return request.largest ? a.value > b.value : a.value < b.value;
+  };
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(), better);
+  all.resize(k);
+  ScapeTopKResult out;
+  out.entries = std::move(all);
+  out.examined = IsLocation(request.measure) ? n : ts::SequencePairCount(n);
+  return out;
+}
+
+}  // namespace affinity::core

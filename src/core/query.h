@@ -1,0 +1,140 @@
+#ifndef AFFINITY_CORE_QUERY_H_
+#define AFFINITY_CORE_QUERY_H_
+
+/// \file query.h
+/// The three AFFINITY query types (Section 2.2) and a query engine that
+/// answers each of them with any of the paper's four strategies:
+///
+///  * **WN** — naive: every value recomputed from the raw samples;
+///  * **WA** — affine relationships (Section 4.1): O(1) per value after the
+///    one-time SYMEX+ preprocessing;
+///  * **WF** — top-5-DFT-coefficient approximation (correlation only);
+///  * **SCAPE** — the index of Section 5 (MET/MER only).
+///
+/// The engine is the measurement surface of every benchmark: Figs. 9–12
+/// time MEC under WN/WA; Figs. 15–16 and Table 4 time MET/MER under all
+/// four strategies.
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/measures.h"
+#include "core/scape.h"
+#include "core/symex.h"
+#include "dft/dft_correlation.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::core {
+
+/// Strategy used to answer a query.
+enum class QueryMethod { kNaive, kAffine, kDft, kScape };
+
+/// Display name: "WN", "WA", "WF", "SCAPE".
+std::string_view QueryMethodName(QueryMethod method);
+
+/// Query 1 — measure computation over a set of series ψ.
+struct MecRequest {
+  Measure measure = Measure::kCovariance;
+  std::vector<ts::SeriesId> ids;  ///< ψ ⊆ I
+};
+
+/// MEC response: `location[i]` for L-measures (aligned with request ids),
+/// or the |ψ|×|ψ| symmetric `pair_values` matrix for T/D-measures.
+struct MecResponse {
+  la::Vector location;
+  la::Matrix pair_values;
+};
+
+/// Query 2 — measure threshold: entities with measure > τ (or < τ).
+struct MetRequest {
+  Measure measure = Measure::kCovariance;
+  double tau = 0.0;
+  bool greater = true;
+};
+
+/// Query 3 — measure range: entities with measure strictly in (lo, hi).
+struct MerRequest {
+  Measure measure = Measure::kCovariance;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Top-k query (extension): the k entities with the largest (or smallest)
+/// measure value.
+struct TopKRequest {
+  Measure measure = Measure::kCorrelation;
+  std::size_t k = 10;
+  bool largest = true;
+};
+
+/// Result of a MET/MER query: series ids for L-measures, sequence pairs for
+/// T/D-measures. `prune` is populated by the SCAPE strategy only.
+struct SelectionResult {
+  std::vector<ts::SeriesId> series;
+  std::vector<ts::SequencePair> pairs;
+  PruneStats prune;
+};
+
+/// Strategy-dispatching query processor.
+///
+/// The engine never owns its inputs; the caller guarantees that `data` (and
+/// any attached model/index/estimator) outlives it. `Affinity` (framework.h)
+/// packages the ownership story for typical users.
+class QueryEngine {
+ public:
+  /// An engine that can only answer with WN.
+  explicit QueryEngine(const ts::DataMatrix* data);
+
+  /// Enables the WA strategy.
+  void AttachModel(const AffinityModel* model) { model_ = model; }
+
+  /// Enables the WF strategy (correlation only). Like WN, the WF strategy
+  /// computes its approximation *per query* (sketch construction included)
+  /// — this is how the paper's evaluation costs it. Callers wanting an
+  /// amortized, pre-built estimator should use dft::DftCorrelationEstimator
+  /// directly (the Affinity facade exposes one via wf()).
+  void EnableDft(std::size_t coefficients = dft::kDefaultCoefficients) {
+    wf_coefficients_ = coefficients;
+  }
+
+  /// Enables the SCAPE strategy (MET/MER).
+  void AttachScape(const ScapeIndex* scape) { scape_ = scape; }
+
+  /// Query 1. FailedPrecondition when the strategy is not attached;
+  /// InvalidArgument for strategy/measure mismatches (e.g. WF with a
+  /// non-correlation measure) or out-of-range ids.
+  StatusOr<MecResponse> Mec(const MecRequest& request, QueryMethod method) const;
+
+  /// Query 2 over all series (L) or all sequence pairs (T/D).
+  StatusOr<SelectionResult> Met(const MetRequest& request, QueryMethod method) const;
+
+  /// Query 3 over all series (L) or all sequence pairs (T/D).
+  StatusOr<SelectionResult> Mer(const MerRequest& request, QueryMethod method) const;
+
+  /// Top-k query (extension). WN/WA evaluate all entities and select;
+  /// SCAPE runs the index-side threshold algorithm. Results are best-first.
+  StatusOr<ScapeTopKResult> TopK(const TopKRequest& request, QueryMethod method) const;
+
+ private:
+  Status CheckIds(const std::vector<ts::SeriesId>& ids) const;
+  StatusOr<double> Value(Measure measure, ts::SeriesId u, ts::SeriesId v,
+                         QueryMethod method) const;
+  StatusOr<double> SeriesValue(Measure measure, ts::SeriesId v, QueryMethod method) const;
+  StatusOr<SelectionResult> SelectByPredicate(Measure measure, QueryMethod method,
+                                              bool (*keep)(double, double, double), double a,
+                                              double b) const;
+  StatusOr<SelectionResult> SelectByPredicateDft(Measure measure,
+                                                 bool (*keep)(double, double, double), double a,
+                                                 double b) const;
+
+  const ts::DataMatrix* data_;
+  const AffinityModel* model_ = nullptr;
+  std::size_t wf_coefficients_ = 0;  ///< 0 = WF disabled
+  const ScapeIndex* scape_ = nullptr;
+};
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_QUERY_H_

@@ -1,0 +1,357 @@
+#include "core/scape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace affinity::core {
+
+namespace {
+
+/// αq of Table 2 (corrected dot-product row; see DESIGN.md) for the
+/// covariance family. The common-column side decides which Σ entries feed
+/// the key.
+void CovarianceAlpha(const PairMatrixMeasures& pm, bool series_first, double alpha[3]) {
+  if (series_first) {
+    alpha[0] = pm.cov11;
+    alpha[1] = pm.cov12;
+  } else {
+    alpha[0] = pm.cov12;
+    alpha[1] = pm.cov22;
+  }
+  alpha[2] = 0.0;
+}
+
+/// αq for the dot-product family: Π12(Se) = Π11·a + Π12·a' + h·b on the
+/// series-first side, mirrored otherwise.
+void DotProductAlpha(const PairMatrixMeasures& pm, bool series_first, double alpha[3]) {
+  if (series_first) {
+    alpha[0] = pm.dot11;
+    alpha[1] = pm.dot12;
+    alpha[2] = pm.h1;
+  } else {
+    alpha[0] = pm.dot12;
+    alpha[1] = pm.dot22;
+    alpha[2] = pm.h2;
+  }
+}
+
+double Norm3(const double a[3]) {
+  return std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]);
+}
+
+double Dot3(const double a[3], const double b[3]) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+}  // namespace
+
+int ScapeIndex::PairFamilyIndex(Measure m) {
+  switch (m) {
+    case Measure::kCovariance:
+    case Measure::kCorrelation:
+      return 0;
+    case Measure::kDotProduct:
+    case Measure::kCosine:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+int ScapeIndex::LocationFamilyIndex(Measure m) {
+  switch (m) {
+    case Measure::kMean:
+      return 0;
+    case Measure::kMedian:
+      return 1;
+    case Measure::kMode:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOptions& options) {
+  Stopwatch watch;
+  ScapeIndex index;
+
+  // ---- Pair-level pivot nodes (T/D-measures). -----------------------------
+  std::unordered_map<std::uint64_t, std::size_t> pivot_slot;
+  pivot_slot.reserve(model.pivot_count());
+  index.pair_pivots_.reserve(model.pivot_count());
+
+  Status build_error = Status::OK();
+  model.ForEachRelationship([&](const ts::SequencePair& e, const AffineRecord& rec) {
+    if (!build_error.ok()) return;
+    const auto [it, inserted] = pivot_slot.try_emplace(rec.pivot.Key(), index.pair_pivots_.size());
+    if (inserted) {
+      index.pair_pivots_.emplace_back(options.btree_fanout);
+      PairPivotNode& node = index.pair_pivots_.back();
+      node.pivot = rec.pivot;
+      const PairMatrixMeasures* pm = model.FindPivotMeasures(rec.pivot);
+      AFFINITY_CHECK(pm != nullptr);
+      CovarianceAlpha(*pm, rec.pivot.series_first, node.trees[0].alpha);
+      DotProductAlpha(*pm, rec.pivot.series_first, node.trees[1].alpha);
+      node.trees[0].norm = Norm3(node.trees[0].alpha);
+      node.trees[1].norm = Norm3(node.trees[1].alpha);
+    }
+    PairPivotNode& node = index.pair_pivots_[it->second];
+
+    double beta[3];
+    rec.Beta(beta);
+    const Measure kNormalizerOf[2] = {Measure::kCorrelation, Measure::kCosine};
+    for (int family = 0; family < 2; ++family) {
+      PairTree& pt = node.trees[family];
+      auto u_or = model.PairNormalizer(kNormalizerOf[family], e);
+      if (!u_or.ok()) {
+        build_error = u_or.status();
+        return;
+      }
+      const double u = *u_or;
+      const double xi = pt.norm > 0.0 ? Dot3(pt.alpha, beta) / pt.norm : 0.0;
+      SeqEntry entry{e, u, xi};
+      if (pt.norm > 0.0 && u > 0.0) {
+        // Regular entry: keyed in the B-tree; contributes normalizer bounds.
+        pt.u_min = std::min(pt.u_min, u);
+        pt.u_max = std::max(pt.u_max, u);
+        pt.tree.Insert(xi, entry);
+      } else {
+        // Degenerate pivot (‖α‖ = 0 → T-value ≡ 0) or zero normalizer
+        // (constant series → D-value ≡ 0): evaluated from the side list.
+        pt.degenerate.push_back(entry);
+      }
+    }
+    ++index.pair_entries_;
+  });
+  AFFINITY_RETURN_IF_ERROR(build_error);
+
+  // ---- Per-cluster pivot nodes (L-measures). -------------------------------
+  const std::size_t k = model.clustering().k();
+  const std::size_t n = model.data().n();
+  index.loc_pivots_.reserve(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    index.loc_pivots_.emplace_back(options.btree_fanout);
+    LocPivotNode& node = index.loc_pivots_.back();
+    const Measure kLoc[3] = {Measure::kMean, Measure::kMedian, Measure::kMode};
+    for (int f = 0; f < 3; ++f) {
+      AFFINITY_ASSIGN_OR_RETURN(double center_value,
+                                model.CenterLocation(kLoc[f], static_cast<int>(l)));
+      node.trees[f].alpha[0] = center_value;
+      node.trees[f].alpha[1] = 1.0;
+      node.trees[f].norm =
+          std::sqrt(center_value * center_value + 1.0);  // ≥ 1, never degenerate
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const int cluster = model.clustering().assignment[v];
+    const SeriesAffine& sa = model.series_affine(static_cast<ts::SeriesId>(v));
+    LocPivotNode& node = index.loc_pivots_[static_cast<std::size_t>(cluster)];
+    for (int f = 0; f < 3; ++f) {
+      LocTree& lt = node.trees[f];
+      const double xi = (lt.alpha[0] * sa.gain + lt.alpha[1] * sa.offset) / lt.norm;
+      lt.tree.Insert(xi, static_cast<ts::SeriesId>(v));
+    }
+    ++index.series_entries_;
+  }
+
+  index.build_seconds_ = watch.ElapsedSeconds();
+  return index;
+}
+
+StatusOr<ScapeQueryResult> ScapeIndex::MeasureThreshold(Measure measure, double tau,
+                                                        bool greater) const {
+  const int loc = LocationFamilyIndex(measure);
+  if (loc >= 0) return LocationThreshold(loc, tau, greater);
+  if (PairFamilyIndex(measure) >= 0) return PairThreshold(measure, tau, greater);
+  return Status::Unimplemented(std::string(MeasureName(measure)) +
+                               " is not SCAPE-indexable (no separable normalizer)");
+}
+
+StatusOr<ScapeQueryResult> ScapeIndex::MeasureRange(Measure measure, double lo, double hi) const {
+  if (lo > hi) return Status::InvalidArgument("MER requires lo <= hi");
+  const int loc = LocationFamilyIndex(measure);
+  if (loc >= 0) return LocationRange(loc, lo, hi);
+  if (PairFamilyIndex(measure) >= 0) return PairRange(measure, lo, hi);
+  return Status::Unimplemented(std::string(MeasureName(measure)) +
+                               " is not SCAPE-indexable (no separable normalizer)");
+}
+
+StatusOr<ScapeQueryResult> ScapeIndex::LocationThreshold(int family, double tau,
+                                                         bool greater) const {
+  ScapeQueryResult out;
+  for (const LocPivotNode& node : loc_pivots_) {
+    const LocTree& lt = node.trees[static_cast<std::size_t>(family)];
+    const double tau_prime = tau / lt.norm;
+    if (greater) {
+      lt.tree.ScanGreaterThan(tau_prime, [&](double, const ts::SeriesId& v) {
+        out.series.push_back(v);
+        ++out.prune.accepted_unverified;
+      });
+    } else {
+      lt.tree.ScanLessThan(tau_prime, [&](double, const ts::SeriesId& v) {
+        out.series.push_back(v);
+        ++out.prune.accepted_unverified;
+      });
+    }
+  }
+  return out;
+}
+
+StatusOr<ScapeQueryResult> ScapeIndex::LocationRange(int family, double lo, double hi) const {
+  ScapeQueryResult out;
+  for (const LocPivotNode& node : loc_pivots_) {
+    const LocTree& lt = node.trees[static_cast<std::size_t>(family)];
+    lt.tree.ScanOpenRange(lo / lt.norm, hi / lt.norm, [&](double, const ts::SeriesId& v) {
+      out.series.push_back(v);
+      ++out.prune.accepted_unverified;
+    });
+  }
+  return out;
+}
+
+StatusOr<ScapeQueryResult> ScapeIndex::PairThreshold(Measure measure, double tau,
+                                                     bool greater) const {
+  const int family = PairFamilyIndex(measure);
+  const bool derived = IsDerived(measure);
+  ScapeQueryResult out;
+
+  for (const PairPivotNode& node : pair_pivots_) {
+    const PairTree& pt = node.trees[static_cast<std::size_t>(family)];
+
+    if (!derived) {
+      // T-measure: value = ‖α‖·ξ — one threshold conversion, one scan.
+      if (pt.norm > 0.0) {
+        const double tau_prime = tau / pt.norm;
+        if (greater) {
+          pt.tree.ScanGreaterThan(tau_prime, [&](double, const SeqEntry& s) {
+            out.pairs.push_back(s.e);
+            ++out.prune.accepted_unverified;
+          });
+        } else {
+          pt.tree.ScanLessThan(tau_prime, [&](double, const SeqEntry& s) {
+            out.pairs.push_back(s.e);
+            ++out.prune.accepted_unverified;
+          });
+        }
+      } else {
+        // Degenerate pivot: every entry of this pivot has value 0 and sits
+        // in the side list (the tree is empty).
+        const bool zero_in = greater ? 0.0 > tau : 0.0 < tau;
+        if (zero_in) {
+          for (const SeqEntry& s : pt.degenerate) out.pairs.push_back(s.e);
+        }
+        out.prune.scanned_degenerate += pt.degenerate.size();
+        continue;
+      }
+      // Zero-normalizer entries still have a T-value ‖α‖·ξ (their ξ is
+      // stored); evaluate them directly.
+      for (const SeqEntry& s : pt.degenerate) {
+        const double value = pt.norm * s.xi;
+        if (greater ? value > tau : value < tau) out.pairs.push_back(s.e);
+      }
+      out.prune.scanned_degenerate += pt.degenerate.size();
+      continue;
+    }
+
+    // D-measure: value = ‖α‖·ξ / U, U ∈ [u_min, u_max] per pivot (§5.3).
+    if (pt.norm > 0.0 && pt.tree.size() > 0) {
+      const double b1 = tau * pt.u_min;
+      const double b2 = tau * pt.u_max;
+      const double lo_key = std::min(b1, b2) / pt.norm;
+      const double hi_key = std::max(b1, b2) / pt.norm;
+      if (greater) {
+        // Accept ξ > hi_key; verify lo_key <= ξ <= hi_key; reject below lo_key.
+        for (auto it = pt.tree.LowerBound(lo_key); it != pt.tree.end(); ++it) {
+          const SeqEntry& s = it.value();
+          if (it.key() > hi_key) {
+            out.pairs.push_back(s.e);
+            ++out.prune.accepted_unverified;
+          } else {
+            const double value = pt.norm * it.key() / s.u;
+            ++out.prune.verified;
+            if (value > tau) out.pairs.push_back(s.e);
+          }
+        }
+      } else {
+        // Accept ξ < lo_key; verify lo_key <= ξ <= hi_key; reject above hi_key.
+        for (auto it = pt.tree.begin(); it != pt.tree.end() && it.key() <= hi_key; ++it) {
+          const SeqEntry& s = it.value();
+          if (it.key() < lo_key) {
+            out.pairs.push_back(s.e);
+            ++out.prune.accepted_unverified;
+          } else {
+            const double value = pt.norm * it.key() / s.u;
+            ++out.prune.verified;
+            if (value < tau) out.pairs.push_back(s.e);
+          }
+        }
+      }
+    }
+    // Entries with U == 0 (or a degenerate pivot): D-value is defined as 0.
+    const bool zero_in = greater ? 0.0 > tau : 0.0 < tau;
+    if (zero_in) {
+      for (const SeqEntry& s : pt.degenerate) out.pairs.push_back(s.e);
+    }
+    out.prune.scanned_degenerate += pt.degenerate.size();
+  }
+  return out;
+}
+
+StatusOr<ScapeQueryResult> ScapeIndex::PairRange(Measure measure, double lo, double hi) const {
+  const int family = PairFamilyIndex(measure);
+  const bool derived = IsDerived(measure);
+  ScapeQueryResult out;
+
+  for (const PairPivotNode& node : pair_pivots_) {
+    const PairTree& pt = node.trees[static_cast<std::size_t>(family)];
+
+    if (!derived) {
+      if (pt.norm > 0.0) {
+        pt.tree.ScanOpenRange(lo / pt.norm, hi / pt.norm, [&](double, const SeqEntry& s) {
+          out.pairs.push_back(s.e);
+          ++out.prune.accepted_unverified;
+        });
+        for (const SeqEntry& s : pt.degenerate) {
+          const double value = pt.norm * s.xi;
+          if (lo < value && value < hi) out.pairs.push_back(s.e);
+        }
+      } else if (lo < 0.0 && 0.0 < hi) {
+        for (const SeqEntry& s : pt.degenerate) out.pairs.push_back(s.e);
+      }
+      out.prune.scanned_degenerate += pt.degenerate.size();
+      continue;
+    }
+
+    // D-measure MER with the four modified thresholds of §5.3.
+    if (pt.norm > 0.0 && pt.tree.size() > 0) {
+      const double l1 = lo * pt.u_min, l2 = lo * pt.u_max;
+      const double h1 = hi * pt.u_min, h2 = hi * pt.u_max;
+      const double reject_below = std::min(l1, l2) / pt.norm;   // ξ ≤ this → out
+      const double accept_lo = std::max(l1, l2) / pt.norm;      // case-I accept band
+      const double accept_hi = std::min(h1, h2) / pt.norm;
+      const double reject_above = std::max(h1, h2) / pt.norm;   // ξ ≥ this → out
+      for (auto it = pt.tree.UpperBound(reject_below);
+           it != pt.tree.end() && it.key() < reject_above; ++it) {
+        const SeqEntry& s = it.value();
+        if (it.key() > accept_lo && it.key() < accept_hi) {
+          out.pairs.push_back(s.e);
+          ++out.prune.accepted_unverified;
+        } else {
+          const double value = pt.norm * it.key() / s.u;
+          ++out.prune.verified;
+          if (lo < value && value < hi) out.pairs.push_back(s.e);
+        }
+      }
+    }
+    if (lo < 0.0 && 0.0 < hi) {
+      for (const SeqEntry& s : pt.degenerate) out.pairs.push_back(s.e);
+    }
+    out.prune.scanned_degenerate += pt.degenerate.size();
+  }
+  return out;
+}
+
+}  // namespace affinity::core

@@ -1,0 +1,202 @@
+#ifndef AFFINITY_CORE_SCAPE_H_
+#define AFFINITY_CORE_SCAPE_H_
+
+/// \file scape.h
+/// The SCAPE (SCAlar ProjEction) index (Section 5).
+///
+/// For every pivot pair q the propagated value of an L/T-measure over a
+/// related sequence pair d decomposes as  value = αqᵀ·βqd , where
+///  * βqd = (a_1c, a_2c, b_c) comes *only* from the affine relationship
+///    (c = the non-common column), and
+///  * αq comes *only* from the pivot's pre-computed measures (Table 2).
+///
+/// Ordering the scalar projections ξqd = αqᵀβqd / ‖αq‖ in a B-tree per
+/// pivot turns a measure-threshold (MET) query into a key-range scan after
+/// the threshold conversion τ' = τ/‖αq‖, and a measure-range (MER) query
+/// into an open-interval scan (§5.2). D-measures (value = ‖αq‖ξ / U) are
+/// served from their base T-measure's tree with the §5.3 pruning: per-pivot
+/// normalizer bounds [Umin, Umax] split each tree scan into an
+/// accept-without-verification region, a reject region, and a (typically
+/// narrow) verify band where the exact stored normalizer is consulted.
+///
+/// Where the paper is loose (a single key ordering cannot literally serve
+/// α's pointing in different directions), we keep one sorted container per
+/// (pivot, measure family) — see DESIGN.md §2. The β-decoupling and every
+/// complexity claim are preserved.
+///
+/// Boundary semantics: the index stores ξ = αᵀβ/‖α‖ and queries compare
+/// against τ/‖α‖, so an entity whose measure value equals the threshold to
+/// within a few ulps may be classified to either side (the divide/multiply
+/// round trip costs one rounding step relative to the WA strategy's direct
+/// evaluation). Thresholds are real-valued cut points, not exact-match
+/// predicates; ties at machine precision are unspecified, as with any
+/// key-transformed index.
+///
+/// L-measures use the series-level relationships (one per series) with
+/// per-cluster pivot nodes — the "linear in n" structure of Table 4.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/status.h"
+#include "core/measures.h"
+#include "core/symex.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::core {
+
+/// SCAPE construction options.
+struct ScapeOptions {
+  /// B-tree node fanout (entries per node before a split).
+  std::size_t btree_fanout = 64;
+};
+
+/// Pruning effectiveness counters for one query (§5.3 evaluation).
+struct PruneStats {
+  std::size_t accepted_unverified = 0;  ///< included without computing the measure
+  std::size_t verified = 0;             ///< middle band: measure computed exactly
+  std::size_t scanned_degenerate = 0;   ///< zero-normalizer entries checked directly
+
+  PruneStats& operator+=(const PruneStats& o) {
+    accepted_unverified += o.accepted_unverified;
+    verified += o.verified;
+    scanned_degenerate += o.scanned_degenerate;
+    return *this;
+  }
+};
+
+/// Result of a MET or MER query. L-measures fill `series`; T/D-measures
+/// fill `pairs`. Order is unspecified (sort before comparing).
+struct ScapeQueryResult {
+  std::vector<ts::SeriesId> series;
+  std::vector<ts::SequencePair> pairs;
+  PruneStats prune;
+};
+
+/// One top-k result entry. For pair measures `pair` is set; for L-measures
+/// `series` is set.
+struct ScapeTopKEntry {
+  ts::SequencePair pair;
+  ts::SeriesId series = 0;
+  double value = 0.0;
+};
+
+/// Result of a top-k query, ordered best-first.
+struct ScapeTopKResult {
+  std::vector<ScapeTopKEntry> entries;
+  /// Entries whose exact value was computed. For T/L measures this equals
+  /// |entries| + the frontier overshoot; for D-measures it shows how few
+  /// normalizer divisions the threshold algorithm needed versus scanning
+  /// all indexed entries.
+  std::size_t examined = 0;
+};
+
+/// The SCAPE index. Built once from an AffinityModel snapshot; queries are
+/// read-only and lock-free.
+class ScapeIndex {
+ public:
+  /// Builds the index over every affine relationship in `model`.
+  /// Indexes covariance & dot-product trees per pair pivot (serving
+  /// covariance, dot product, correlation, cosine) and mean/median/mode
+  /// trees per cluster (serving the L-measures).
+  static StatusOr<ScapeIndex> Build(const AffinityModel& model, const ScapeOptions& options = {});
+
+  /// MET query (Query 2): entities whose `measure` is greater (or lesser)
+  /// than `tau`. Unimplemented for Jaccard/Dice (no separable normalizer —
+  /// the engine falls back to WA compute-then-filter).
+  StatusOr<ScapeQueryResult> MeasureThreshold(Measure measure, double tau,
+                                              bool greater = true) const;
+
+  /// MER query (Query 3): entities whose `measure` lies strictly inside
+  /// (lo, hi). InvalidArgument when lo > hi.
+  StatusOr<ScapeQueryResult> MeasureRange(Measure measure, double lo, double hi) const;
+
+  /// Top-k query (extension): the k entities with the largest (or smallest)
+  /// value of `measure`, best-first.
+  ///
+  /// T- and L-measures stream each pivot tree in key order and k-way-merge
+  /// (exact, no recomputation). D-measures use a Fagin-style threshold
+  /// algorithm: per pivot, the frontier key ξ and the normalizer bounds
+  /// [Umin, Umax] yield an upper bound on every remaining value, so the
+  /// scan stops as soon as k verified values dominate all bounds.
+  /// Unimplemented for Jaccard/Dice (as with MET/MER).
+  StatusOr<ScapeTopKResult> TopK(Measure measure, std::size_t k, bool largest = true) const;
+
+  /// Number of pair-level pivot nodes.
+  std::size_t pair_pivot_count() const { return pair_pivots_.size(); }
+
+  /// Number of indexed sequence-pair entries (per measure family).
+  std::size_t pair_entry_count() const { return pair_entries_; }
+
+  /// Number of indexed series entries (per L-measure).
+  std::size_t series_entry_count() const { return series_entries_; }
+
+  /// Wall-clock seconds spent building the index.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  /// One sequence-pair entry: the pair, its exact D-measure normalizer
+  /// (correlation-U in the covariance tree, cosine-U in the dot tree), and
+  /// its scalar-projection key ξ (kept so zero-normalizer entries parked in
+  /// the side list can still answer T-measure queries).
+  struct SeqEntry {
+    ts::SequencePair e;
+    double u = 0.0;
+    double xi = 0.0;
+  };
+
+  /// Sorted container + key metadata for one (pivot, T-measure family).
+  struct PairTree {
+    explicit PairTree(std::size_t fanout) : tree(fanout) {}
+    double alpha[3] = {0, 0, 0};
+    double norm = 0.0;  ///< ‖α‖; 0 marks a degenerate pivot (value ≡ 0)
+    double u_min = std::numeric_limits<double>::infinity();
+    double u_max = 0.0;
+    btree::BPlusTree<SeqEntry> tree;        ///< keyed by ξ, entries with U > 0
+    std::vector<SeqEntry> degenerate;       ///< U == 0 entries (D-value ≡ 0)
+  };
+
+  /// Pivot node: trees for the two T-measure families (Fig. 7).
+  struct PairPivotNode {
+    explicit PairPivotNode(std::size_t fanout) : trees{PairTree(fanout), PairTree(fanout)} {}
+    PivotPair pivot;
+    std::array<PairTree, 2> trees;  ///< 0 = covariance, 1 = dot product
+  };
+
+  /// Per-cluster pivot node for the L-measures.
+  struct LocTree {
+    explicit LocTree(std::size_t fanout) : tree(fanout) {}
+    double alpha[2] = {0, 0};
+    double norm = 1.0;
+    btree::BPlusTree<ts::SeriesId> tree;  ///< keyed by ξ over series
+  };
+  struct LocPivotNode {
+    explicit LocPivotNode(std::size_t fanout)
+        : trees{LocTree(fanout), LocTree(fanout), LocTree(fanout)} {}
+    std::array<LocTree, 3> trees;  ///< 0 = mean, 1 = median, 2 = mode
+  };
+
+  ScapeIndex() = default;
+
+  static int PairFamilyIndex(Measure m);      // 0 cov, 1 dot, -1 otherwise
+  static int LocationFamilyIndex(Measure m);  // 0..2, -1 otherwise
+
+  StatusOr<ScapeQueryResult> LocationThreshold(int family, double tau, bool greater) const;
+  StatusOr<ScapeQueryResult> LocationRange(int family, double lo, double hi) const;
+  StatusOr<ScapeQueryResult> PairThreshold(Measure measure, double tau, bool greater) const;
+  StatusOr<ScapeQueryResult> PairRange(Measure measure, double lo, double hi) const;
+
+  std::vector<PairPivotNode> pair_pivots_;
+  std::vector<LocPivotNode> loc_pivots_;  ///< one per cluster
+  std::size_t pair_entries_ = 0;
+  std::size_t series_entries_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_SCAPE_H_

@@ -1,0 +1,40 @@
+#ifndef AFFINITY_CORE_SERIALIZE_H_
+#define AFFINITY_CORE_SERIALIZE_H_
+
+/// \file serialize.h
+/// Binary persistence for the AffinityModel (extension).
+///
+/// SYMEX over stock-data fits ~500k relationships; persisting the model
+/// lets a deployment build once and answer queries from a cold start in
+/// milliseconds. The format is a versioned little-structured binary dump:
+///
+///   magic "AFFM" | u32 version | data matrix | clustering | affHash |
+///   pivotHash | per-series stats | series-level relationships |
+///   centre L-measures | build stats
+///
+/// The SCAPE index is *not* serialized: rebuilding it from a loaded model
+/// is linear and fast (Fig. 14), and that keeps the format free of B-tree
+/// layout details. Byte order is native (documented non-goal: moving model
+/// files between endiannesses).
+
+#include <string>
+
+#include "common/status.h"
+#include "core/symex.h"
+
+namespace affinity::core {
+
+/// Current serialization format version.
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+/// Writes `model` to `path` (overwrites). IoError on filesystem failures.
+Status SaveModel(const AffinityModel& model, const std::string& path);
+
+/// Reads a model previously written by SaveModel.
+/// IoError when unreadable; InvalidArgument on bad magic, unsupported
+/// version, or a truncated/corrupt payload.
+StatusOr<AffinityModel> LoadModel(const std::string& path);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_SERIALIZE_H_

@@ -1,0 +1,50 @@
+#include "core/streaming.h"
+
+namespace affinity::core {
+
+StatusOr<StreamingAffinity> StreamingAffinity::Create(const std::vector<std::string>& names,
+                                                      const StreamingOptions& options) {
+  if (names.size() < 2) {
+    return Status::InvalidArgument("streaming requires at least 2 series");
+  }
+  if (options.window < 2) {
+    return Status::InvalidArgument("streaming requires window >= 2");
+  }
+  if (options.rebuild_interval < 1) {
+    return Status::InvalidArgument("streaming requires rebuild_interval >= 1");
+  }
+  storage::DataMatrixTable table;
+  for (const std::string& name : names) {
+    AFFINITY_RETURN_IF_ERROR(table.RegisterSeries(name, "stream", 1.0).status());
+  }
+  return StreamingAffinity(std::move(table), options);
+}
+
+Status StreamingAffinity::Append(const std::vector<double>& row) {
+  AFFINITY_RETURN_IF_ERROR(table_.AppendRow(row));
+  ++rows_;
+  ++rows_since_rebuild_;
+  if (rows_ >= options_.window &&
+      (framework_ == nullptr || rows_since_rebuild_ >= options_.rebuild_interval)) {
+    return Rebuild();
+  }
+  return Status::OK();
+}
+
+Status StreamingAffinity::Rebuild() {
+  if (rows_ < options_.window) {
+    return Status::FailedPrecondition("need " + std::to_string(options_.window) +
+                                      " rows before the first rebuild (have " +
+                                      std::to_string(rows_) + ")");
+  }
+  AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix snapshot, table_.Snapshot());
+  AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix window, ts::TailWindow(snapshot, options_.window));
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::Build(window, options_.build));
+  framework_ = std::make_unique<Affinity>(std::move(fw));
+  snapshot_row_ = rows_;
+  rows_since_rebuild_ = 0;
+  ++rebuilds_;
+  return Status::OK();
+}
+
+}  // namespace affinity::core

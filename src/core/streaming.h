@@ -1,0 +1,85 @@
+#ifndef AFFINITY_CORE_STREAMING_H_
+#define AFFINITY_CORE_STREAMING_H_
+
+/// \file streaming.h
+/// Windowed streaming deployment of AFFINITY (extension).
+///
+/// The paper motivates both "real-time and archival settings"; this wrapper
+/// provides the real-time half: rows stream into the storage layer's
+/// `data_matrix` table, and the framework (AFCLST → SYMEX+ → SCAPE) is
+/// rebuilt over the trailing analysis window every `rebuild_interval` rows.
+/// Between rebuilds, queries answer against the last snapshot — the
+/// standard freshness/cost trade-off, made explicit by `snapshot_age()`.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/framework.h"
+#include "storage/table.h"
+#include "ts/rolling.h"
+
+namespace affinity::core {
+
+/// Streaming configuration.
+struct StreamingOptions {
+  /// Trailing samples per rebuild (the analysis window).
+  std::size_t window = 256;
+  /// Rebuild the framework after this many appended rows (≥ 1).
+  std::size_t rebuild_interval = 64;
+  /// Build configuration for each snapshot.
+  AffinityOptions build;
+};
+
+/// Ingest-and-query wrapper: append aligned rows, query the latest
+/// framework snapshot.
+class StreamingAffinity {
+ public:
+  /// Creates a stream over the named series.
+  /// InvalidArgument for empty names, window < 2, or rebuild_interval < 1.
+  static StatusOr<StreamingAffinity> Create(const std::vector<std::string>& names,
+                                            const StreamingOptions& options);
+
+  /// Appends one aligned row (one value per series). Triggers a rebuild
+  /// when the window is filled and `rebuild_interval` rows arrived since
+  /// the last one. Returns the rebuild's status when one runs.
+  Status Append(const std::vector<double>& row);
+
+  /// True once at least one framework snapshot exists.
+  bool ready() const { return framework_ != nullptr; }
+
+  /// The current framework snapshot (nullptr before the first rebuild).
+  const Affinity* framework() const { return framework_.get(); }
+
+  /// Rows ingested in total.
+  std::size_t rows_ingested() const { return rows_; }
+
+  /// Rows appended since the current snapshot was built (freshness).
+  std::size_t snapshot_age() const { return ready() ? rows_ - snapshot_row_ : 0; }
+
+  /// Number of rebuilds performed.
+  std::size_t rebuild_count() const { return rebuilds_; }
+
+  /// Forces a rebuild now (FailedPrecondition before `window` rows exist).
+  Status Rebuild();
+
+  /// The underlying storage table (for inspection / checkpointing).
+  const storage::DataMatrixTable& table() const { return table_; }
+
+ private:
+  StreamingAffinity(storage::DataMatrixTable table, StreamingOptions options)
+      : table_(std::move(table)), options_(options) {}
+
+  storage::DataMatrixTable table_;
+  StreamingOptions options_;
+  std::unique_ptr<Affinity> framework_;
+  std::size_t rows_ = 0;
+  std::size_t snapshot_row_ = 0;
+  std::size_t rows_since_rebuild_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_STREAMING_H_

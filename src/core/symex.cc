@@ -1,0 +1,532 @@
+#include "core/symex.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "ts/stats.h"
+
+namespace affinity::core {
+
+namespace {
+
+/// Packed symmetric 3×3 Gram of the design matrix [c1, c2, 1m]:
+/// order g11, g12, g13, g22, g23, g33.
+struct Gram3 {
+  double g[6];
+};
+
+/// Row-major 3×3 matrix (the cached inverse normal-equation factor).
+struct Mat3 {
+  double v[9];
+};
+
+/// Gram of [c1, c2, 1m] in one fused pass (the per-pivot cost).
+Gram3 ComputeGram(const double* c1, const double* c2, std::size_t m) {
+  double s11 = 0, s12 = 0, s22 = 0, h1 = 0, h2 = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    s11 += c1[i] * c1[i];
+    s12 += c1[i] * c2[i];
+    s22 += c2[i] * c2[i];
+    h1 += c1[i];
+    h2 += c2[i];
+  }
+  return Gram3{{s11, s12, h1, s22, h2, static_cast<double>(m)}};
+}
+
+/// Inverts the packed symmetric Gram; returns false when (numerically)
+/// singular — i.e. the pivot columns are collinear or constant.
+bool InvertGram(const Gram3& gm, Mat3* out) {
+  const double a = gm.g[0], b = gm.g[1], c = gm.g[2];
+  const double d = gm.g[3], e = gm.g[4], f = gm.g[5];
+  // Full symmetric matrix [[a,b,c],[b,d,e],[c,e,f]].
+  const double co00 = d * f - e * e;
+  const double co01 = -(b * f - c * e);
+  const double co02 = b * e - c * d;
+  const double det = a * co00 + b * co01 + c * co02;
+  // Scale-aware singularity test.
+  const double scale = std::fabs(a) + std::fabs(d) + std::fabs(f) + 1e-30;
+  if (std::fabs(det) < 1e-12 * scale * scale * scale) return false;
+  const double inv = 1.0 / det;
+  const double co11 = a * f - c * c;
+  const double co12 = -(a * e - b * c);
+  const double co22 = a * d - b * b;
+  out->v[0] = co00 * inv;
+  out->v[1] = co01 * inv;
+  out->v[2] = co02 * inv;
+  out->v[3] = co01 * inv;
+  out->v[4] = co11 * inv;
+  out->v[5] = co12 * inv;
+  out->v[6] = co02 * inv;
+  out->v[7] = co12 * inv;
+  out->v[8] = co22 * inv;
+  return true;
+}
+
+/// Right-hand side of the free-column fit: ([c1,c2,1]ᵀ t).
+void ComputeRhs(const double* c1, const double* c2, const double* t, std::size_t m,
+                double rhs[3]) {
+  double r0 = 0, r1 = 0, r2 = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    r0 += c1[i] * t[i];
+    r1 += c2[i] * t[i];
+    r2 += t[i];
+  }
+  rhs[0] = r0;
+  rhs[1] = r1;
+  rhs[2] = r2;
+}
+
+/// x = ginv · rhs.
+void Solve3(const Mat3& ginv, const double rhs[3], double x[3]) {
+  x[0] = ginv.v[0] * rhs[0] + ginv.v[1] * rhs[1] + ginv.v[2] * rhs[2];
+  x[1] = ginv.v[3] * rhs[0] + ginv.v[4] * rhs[1] + ginv.v[5] * rhs[2];
+  x[2] = ginv.v[6] * rhs[0] + ginv.v[7] * rhs[1] + ginv.v[8] * rhs[2];
+}
+
+/// Degenerate fallback when the Gram is singular (pivot columns collinear):
+/// fit t ≈ x0·c1 + x2·1 only.
+void FitRankDeficient(const double* c1, const double* t, std::size_t m, double x[3]) {
+  double s11 = 0, h1 = 0, r0 = 0, r2 = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    s11 += c1[i] * c1[i];
+    h1 += c1[i];
+    r0 += c1[i] * t[i];
+    r2 += t[i];
+  }
+  const double md = static_cast<double>(m);
+  const double det = s11 * md - h1 * h1;
+  if (std::fabs(det) < 1e-12 * (std::fabs(s11) + 1.0) * md) {
+    x[0] = 0.0;
+    x[1] = 0.0;
+    x[2] = m == 0 ? 0.0 : r2 / md;
+    return;
+  }
+  x[0] = (r0 * md - h1 * r2) / det;
+  x[1] = 0.0;
+  x[2] = (s11 * r2 - h1 * r0) / det;
+}
+
+/// Assembles the transform from the free-column solution; the common
+/// column's coefficients are exact by construction (see file docs).
+AffineTransform MakeTransform(bool series_first, const double x[3]) {
+  AffineTransform t;
+  if (series_first) {
+    t.a11 = 1.0;
+    t.a21 = 0.0;
+    t.b1 = 0.0;
+    t.a12 = x[0];
+    t.a22 = x[1];
+    t.b2 = x[2];
+  } else {
+    t.a12 = 0.0;
+    t.a22 = 1.0;
+    t.b2 = 0.0;
+    t.a11 = x[0];
+    t.a21 = x[1];
+    t.b1 = x[2];
+  }
+  return t;
+}
+
+/// The marching/fitting engine shared by SYMEX and SYMEX+. It writes into
+/// the model's hash maps via explicit references handed over by RunSymex.
+class SymexRunner {
+ public:
+  using AffHash = std::unordered_map<std::uint64_t, AffineRecord>;
+  using PivotHash = std::unordered_map<std::uint64_t, PivotHashEntry>;
+
+  SymexRunner(const ts::DataMatrix& data, const AfclstResult& clustering,
+              const SymexOptions& options, AffHash* aff_hash, PivotHash* pivot_hash,
+              SymexStats* stats)
+      : data_(data),
+        clustering_(clustering),
+        options_(options),
+        aff_hash_(aff_hash),
+        pivot_hash_(pivot_hash),
+        stats_(stats),
+        n_(data.n()),
+        m_(data.m()),
+        total_pairs_(ts::SequencePairCount(data.n())) {}
+
+  void March() {
+    if (n_ < 2) return;
+    // Two fronts (Algorithm 2): ee from the corner inward, ew from the
+    // middle outward. 0-based: ee = (0, n-1); ew = (mid, mid+1).
+    const long n = static_cast<long>(n_);
+    const long mid = (n - 2) / 2;
+    long ee_u = 0, ee_v = n - 1;
+    long ew_u = mid, ew_v = mid + 1;
+    int flip = 0;
+    while (!Done()) {
+      const bool ee_alive = ee_u <= n - 2 || ee_v >= 1;
+      const bool ew_alive = ew_u >= 0 || ew_v <= n - 1;
+      if (!ee_alive && !ew_alive) break;
+      if (flip == 0) {
+        if (ee_alive) {
+          CreatePivots(ee_u, ee_v);
+          ++ee_u;
+          --ee_v;
+        }
+        flip = 1;
+      } else {
+        if (ew_alive) {
+          CreatePivots(ew_u, ew_v);
+          --ew_u;
+          ++ew_v;
+        }
+        flip = 0;
+      }
+    }
+  }
+
+ private:
+  bool Done() const {
+    return aff_hash_->size() >= total_pairs_ || aff_hash_->size() >= options_.max_relationships;
+  }
+
+  /// Algorithm 2's CreatePivots: a row scan at uz (pivots (uz, ω(v))) and a
+  /// column scan at vz (pivots (ω(u), vz)).
+  void CreatePivots(long uz, long vz) {
+    const long n = static_cast<long>(n_);
+    if (uz >= 0 && uz <= n - 2) {
+      for (long v = uz + 1; v < n; ++v) {
+        if (Done()) return;
+        SolveInsert(static_cast<ts::SeriesId>(uz), static_cast<ts::SeriesId>(v),
+                    /*series_first=*/true);
+      }
+    }
+    if (vz >= 1 && vz <= n - 1) {
+      for (long u = 0; u < vz; ++u) {
+        if (Done()) return;
+        SolveInsert(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(vz),
+                    /*series_first=*/false);
+      }
+    }
+  }
+
+  /// Algorithm 2's SolveInsert: skip if already related, otherwise fit and
+  /// record the relationship and its pivot.
+  void SolveInsert(ts::SeriesId u, ts::SeriesId v, bool series_first) {
+    const ts::SequencePair e(u, v);
+    auto [it, inserted] = aff_hash_->try_emplace(e.Key());
+    if (!inserted) return;
+
+    PivotPair pivot;
+    pivot.series_first = series_first;
+    if (series_first) {
+      pivot.series = u;
+      pivot.cluster = static_cast<std::uint32_t>(clustering_.assignment[v]);
+    } else {
+      pivot.series = v;
+      pivot.cluster = static_cast<std::uint32_t>(clustering_.assignment[u]);
+    }
+
+    const double* c1;  // pivot matrix column 1
+    const double* c2;  // pivot matrix column 2
+    const double* t;   // free target column
+    const double* center = clustering_.centers.ColData(pivot.cluster);
+    if (series_first) {
+      c1 = data_.ColumnData(u);
+      c2 = center;
+      t = data_.ColumnData(v);
+    } else {
+      c1 = center;
+      c2 = data_.ColumnData(v);
+      t = data_.ColumnData(u);
+    }
+
+    double x[3];
+    if (options_.cache_pseudo_inverse) {
+      FitCached(pivot, c1, c2, t, x);
+    } else {
+      FitUncached(pivot, c1, c2, t, x);
+    }
+
+    AffineRecord& rec = it->second;
+    rec.pivot = pivot;
+    rec.transform = MakeTransform(series_first, x);
+    pivot_hash_->try_emplace(pivot.Key(), PivotHashEntry{pivot, {}});
+  }
+
+  /// SYMEX+ path: the inverse normal-equation factor is cached per pivot;
+  /// only the right-hand side is pair-specific.
+  void FitCached(const PivotPair& pivot, const double* c1, const double* c2, const double* t,
+                 double x[3]) {
+    auto [it, inserted] = factor_cache_.try_emplace(pivot.Key());
+    if (inserted) {
+      ++stats_->cache_misses;
+      const Gram3 gram = ComputeGram(c1, c2, m_);
+      it->second.ok = InvertGram(gram, &it->second.ginv);
+    } else {
+      ++stats_->cache_hits;
+    }
+    if (!it->second.ok) {
+      FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x);
+      if (!pivot.series_first) std::swap(x[0], x[1]);
+      return;
+    }
+    double rhs[3];
+    ComputeRhs(c1, c2, t, m_, rhs);
+    Solve3(it->second.ginv, rhs, x);
+  }
+
+  /// Plain SYMEX path (Algorithm 2 verbatim): re-derive the pseudo-inverse
+  /// of [O_p, 1m] for every sequence pair, materialize it, then apply it.
+  void FitUncached(const PivotPair& pivot, const double* c1, const double* c2, const double* t,
+                   double x[3]) {
+    const Gram3 gram = ComputeGram(c1, c2, m_);
+    Mat3 ginv;
+    if (!InvertGram(gram, &ginv)) {
+      // Same fallback as the cached path: fit against the common *series*
+      // column so both variants produce identical relationships.
+      FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x);
+      if (!pivot.series_first) std::swap(x[0], x[1]);
+      return;
+    }
+    // pinv = G⁻¹ [c1, c2, 1]ᵀ, materialized row by row (3×m scratch).
+    scratch_.resize(3 * m_);
+    double* p0 = scratch_.data();
+    double* p1 = scratch_.data() + m_;
+    double* p2 = scratch_.data() + 2 * m_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      p0[i] = ginv.v[0] * c1[i] + ginv.v[1] * c2[i] + ginv.v[2];
+      p1[i] = ginv.v[3] * c1[i] + ginv.v[4] * c2[i] + ginv.v[5];
+      p2[i] = ginv.v[6] * c1[i] + ginv.v[7] * c2[i] + ginv.v[8];
+    }
+    double x0 = 0, x1 = 0, x2 = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      x0 += p0[i] * t[i];
+      x1 += p1[i] * t[i];
+      x2 += p2[i] * t[i];
+    }
+    x[0] = x0;
+    x[1] = x1;
+    x[2] = x2;
+  }
+
+  struct FactorEntry {
+    Mat3 ginv;
+    bool ok = false;
+  };
+
+  const ts::DataMatrix& data_;
+  const AfclstResult& clustering_;
+  const SymexOptions& options_;
+  AffHash* aff_hash_;
+  PivotHash* pivot_hash_;
+  SymexStats* stats_;
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t total_pairs_;
+  std::unordered_map<std::uint64_t, FactorEntry> factor_cache_;
+  std::vector<double> scratch_;
+};
+
+int LocationRow(Measure measure) {
+  switch (measure) {
+    case Measure::kMean:
+      return 0;
+    case Measure::kMedian:
+      return 1;
+    case Measure::kMode:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace
+
+const AffineRecord* AffinityModel::FindRelationship(const ts::SequencePair& e) const {
+  const auto it = aff_hash_.find(e.Key());
+  return it == aff_hash_.end() ? nullptr : &it->second;
+}
+
+const PairMatrixMeasures* AffinityModel::FindPivotMeasures(const PivotPair& p) const {
+  const auto it = pivot_hash_.find(p.Key());
+  return it == pivot_hash_.end() ? nullptr : &it->second.measures;
+}
+
+StatusOr<double> AffinityModel::CenterLocation(Measure measure, int cluster) const {
+  const int row = LocationRow(measure);
+  if (row < 0) {
+    return Status::InvalidArgument(std::string(MeasureName(measure)) + " is not an L-measure");
+  }
+  if (cluster < 0 || static_cast<std::size_t>(cluster) >= clustering_.k()) {
+    return Status::OutOfRange("cluster id out of range");
+  }
+  return center_loc_[static_cast<std::size_t>(row)][static_cast<std::size_t>(cluster)];
+}
+
+StatusOr<double> AffinityModel::SeriesMeasure(Measure measure, ts::SeriesId v) const {
+  if (v >= data_.n()) return Status::OutOfRange("series id out of range");
+  const int row = LocationRow(measure);
+  if (row < 0) {
+    return Status::InvalidArgument(std::string(MeasureName(measure)) + " is not an L-measure");
+  }
+  const int cluster = clustering_.assignment[v];
+  const SeriesAffine& sa = series_affine_[v];
+  const double center_value =
+      center_loc_[static_cast<std::size_t>(row)][static_cast<std::size_t>(cluster)];
+  // Eq. (5) in 1-D: L(s_v) ≈ gain·L(r) + offset. Exact for the mean;
+  // approximate for median/mode (affine maps are monotone, so the quantile
+  // and histogram structure are preserved up to noise).
+  return sa.gain * center_value + sa.offset;
+}
+
+StatusOr<double> AffinityModel::PairMeasure(Measure measure, const ts::SequencePair& e) const {
+  if (e.v >= data_.n()) return Status::OutOfRange("series id out of range");
+  if (IsLocation(measure)) {
+    return Status::InvalidArgument(std::string(MeasureName(measure)) + " is not a pair measure");
+  }
+  const AffineRecord* rec = FindRelationship(e);
+  if (rec == nullptr) {
+    return Status::NotFound("no affine relationship for pair (" + std::to_string(e.u) + "," +
+                            std::to_string(e.v) + ")");
+  }
+  const PairMatrixMeasures* pm = FindPivotMeasures(rec->pivot);
+  AFFINITY_CHECK(pm != nullptr);
+
+  switch (measure) {
+    case Measure::kCovariance:
+      return PropagateCovariance(*pm, rec->transform);
+    case Measure::kDotProduct:
+      return PropagateDotProduct(*pm, rec->transform);
+    case Measure::kCorrelation: {
+      AFFINITY_ASSIGN_OR_RETURN(double u, PairNormalizer(measure, e));
+      if (u == 0.0) return 0.0;
+      return PropagateCovariance(*pm, rec->transform) / u;
+    }
+    case Measure::kCosine: {
+      AFFINITY_ASSIGN_OR_RETURN(double u, PairNormalizer(measure, e));
+      if (u == 0.0) return 0.0;
+      return PropagateDotProduct(*pm, rec->transform) / u;
+    }
+    case Measure::kJaccard: {
+      const double d = PropagateDotProduct(*pm, rec->transform);
+      const double denom = series_stats_[e.u].sumsq + series_stats_[e.v].sumsq - d;
+      return denom == 0.0 ? 0.0 : d / denom;
+    }
+    case Measure::kDice: {
+      const double d = PropagateDotProduct(*pm, rec->transform);
+      const double denom = series_stats_[e.u].sumsq + series_stats_[e.v].sumsq;
+      return denom == 0.0 ? 0.0 : 2.0 * d / denom;
+    }
+    default:
+      return Status::InvalidArgument("unsupported measure");
+  }
+}
+
+StatusOr<double> AffinityModel::PairNormalizer(Measure measure, const ts::SequencePair& e) const {
+  if (e.v >= data_.n()) return Status::OutOfRange("series id out of range");
+  switch (measure) {
+    case Measure::kCorrelation:
+      return std::sqrt(series_stats_[e.u].variance * series_stats_[e.v].variance);
+    case Measure::kCosine:
+      return std::sqrt(series_stats_[e.u].sumsq * series_stats_[e.v].sumsq);
+    default:
+      return Status::InvalidArgument(std::string(MeasureName(measure)) +
+                                     " has no separable normalizer");
+  }
+}
+
+StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult clustering,
+                                 const SymexOptions& symex_options) {
+  if (data.n() < 2) {
+    return Status::InvalidArgument("SYMEX requires at least 2 series");
+  }
+  AffinityModel model;
+  model.data_ = data;
+  model.clustering_ = std::move(clustering);
+
+  // Marching + fitting.
+  {
+    Stopwatch watch;
+    model.aff_hash_.reserve(
+        std::min(ts::SequencePairCount(data.n()), symex_options.max_relationships));
+    SymexRunner runner(model.data_, model.clustering_, symex_options, &model.aff_hash_,
+                       &model.pivot_hash_, &model.stats_);
+    runner.March();
+    model.stats_.march_seconds = watch.ElapsedSeconds();
+  }
+
+  // Pre-processing: pivot measures, per-series stats, series-level
+  // relationships, centre L-measures (the one-time O(nk·m + n·m) cost).
+  {
+    Stopwatch watch;
+    const std::size_t m = data.m();
+    for (auto& [key, entry] : model.pivot_hash_) {
+      const double* center = model.clustering_.centers.ColData(entry.pivot.cluster);
+      const double* series = data.ColumnData(entry.pivot.series);
+      const double* c1 = entry.pivot.series_first ? series : center;
+      const double* c2 = entry.pivot.series_first ? center : series;
+      entry.measures = ComputePairMatrixMeasures(c1, c2, m);
+    }
+
+    model.series_stats_.resize(data.n());
+    model.series_affine_.resize(data.n());
+    for (std::size_t j = 0; j < data.n(); ++j) {
+      const double* s = data.ColumnData(static_cast<ts::SeriesId>(j));
+      double sum = 0, sumsq = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        sum += s[i];
+        sumsq += s[i] * s[i];
+      }
+      SeriesStats& st = model.series_stats_[j];
+      st.sum = sum;
+      st.sumsq = sumsq;
+      st.mean = m == 0 ? 0.0 : sum / static_cast<double>(m);
+      st.variance = m == 0 ? 0.0 : std::max(0.0, sumsq / static_cast<double>(m) - st.mean * st.mean);
+
+      // Series-level fit s ≈ gain·r + offset (normal equations on [r, 1]).
+      const int cluster = model.clustering_.assignment[j];
+      const double* r = model.clustering_.centers.ColData(static_cast<std::size_t>(cluster));
+      double rr = 0, rs = 0, hr = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        rr += r[i] * r[i];
+        rs += r[i] * s[i];
+        hr += r[i];
+      }
+      const double md = static_cast<double>(m);
+      const double det = rr * md - hr * hr;
+      SeriesAffine& sa = model.series_affine_[j];
+      if (std::fabs(det) < 1e-12 * (std::fabs(rr) + 1.0) * md) {
+        sa.gain = 0.0;
+        sa.offset = st.mean;
+      } else {
+        sa.gain = (rs * md - hr * sum) / det;
+        sa.offset = (rr * sum - hr * rs) / det;
+      }
+    }
+
+    const std::size_t k = model.clustering_.k();
+    model.center_loc_.assign(3, std::vector<double>(k, 0.0));
+    for (std::size_t l = 0; l < k; ++l) {
+      const double* r = model.clustering_.centers.ColData(l);
+      model.center_loc_[0][l] = ts::stats::Mean(r, m);
+      model.center_loc_[1][l] = ts::stats::Median(r, m);
+      model.center_loc_[2][l] = ts::stats::Mode(r, m);
+    }
+    model.stats_.preprocess_seconds = watch.ElapsedSeconds();
+  }
+
+  model.stats_.relationships = model.aff_hash_.size();
+  model.stats_.pivots = model.pivot_hash_.size();
+  return model;
+}
+
+StatusOr<AffinityModel> BuildAffinityModel(const ts::DataMatrix& data,
+                                           const AfclstOptions& afclst_options,
+                                           const SymexOptions& symex_options) {
+  Stopwatch watch;
+  AFFINITY_ASSIGN_OR_RETURN(AfclstResult clustering, RunAfclst(data, afclst_options));
+  const double afclst_seconds = watch.ElapsedSeconds();
+  AFFINITY_ASSIGN_OR_RETURN(AffinityModel model,
+                            RunSymex(data, std::move(clustering), symex_options));
+  model.stats_.afclst_seconds = afclst_seconds;
+  return model;
+}
+
+}  // namespace affinity::core

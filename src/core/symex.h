@@ -1,0 +1,221 @@
+#ifndef AFFINITY_CORE_SYMEX_H_
+#define AFFINITY_CORE_SYMEX_H_
+
+/// \file symex.h
+/// The SYMEX / SYMEX+ algorithms (Algorithm 2) and the resulting
+/// `AffinityModel` — the queryable bundle of affine relationships, pivot
+/// measures, and per-series normalizers that the WA method and the SCAPE
+/// index are built from.
+///
+/// SYMEX systematically sweeps the sequence-pair set P with two marching
+/// fronts (from the border inward and from the middle outward), assigning
+/// each sequence pair e = (u, v) a pivot pair — (u, ω(v)) when covered by a
+/// row scan, (ω(u), v) when covered by a column scan — and fitting the
+/// affine relationship Se ≈ Op·Ae + 1·beᵀ by least squares. SYMEX+ caches
+/// the per-pivot normal-equation factor so only the per-pair right-hand
+/// side remains (the paper's pseudo-inverse cache, ~4× faster).
+///
+/// Because the pivot matrix shares one column with the sequence-pair matrix,
+/// that column's transform coefficients are (1, 0, 0) *exactly*; we fix them
+/// structurally and fit only the free column, which both accelerates the fit
+/// and makes Lemma 1 (exact dot products) hold to machine precision.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/afclst.h"
+#include "core/affine.h"
+#include "core/measures.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::core {
+
+/// A pivot pair p (Definition 2 or its mirror):
+///  * series_first = true  → p = (u, ω(v)), O_p = [s_series, r_cluster];
+///  * series_first = false → p = (ω(u), v), O_p = [r_cluster, s_series].
+struct PivotPair {
+  ts::SeriesId series = 0;
+  std::uint32_t cluster = 0;
+  bool series_first = true;
+
+  /// Dense key for hashing (the paper's pivotHash key).
+  std::uint64_t Key() const {
+    return (static_cast<std::uint64_t>(series) << 33) |
+           (static_cast<std::uint64_t>(cluster) << 1) |
+           static_cast<std::uint64_t>(series_first);
+  }
+  bool operator==(const PivotPair& o) const {
+    return series == o.series && cluster == o.cluster && series_first == o.series_first;
+  }
+};
+
+/// One entry of the affHash map: the pivot a sequence pair is related to
+/// and the fitted transform O_p → S_e.
+struct AffineRecord {
+  PivotPair pivot;
+  AffineTransform transform;
+
+  /// The β vector of Table 2 — the free (non-common) column's coefficients
+  /// (a_1c, a_2c, b_c). Measure-independent, derived only from the
+  /// relationship; the decoupled half of the SCAPE key.
+  void Beta(double out[3]) const {
+    if (pivot.series_first) {
+      out[0] = transform.a12;
+      out[1] = transform.a22;
+      out[2] = transform.b2;
+    } else {
+      out[0] = transform.a11;
+      out[1] = transform.a21;
+      out[2] = transform.b1;
+    }
+  }
+};
+
+/// SYMEX configuration.
+struct SymexOptions {
+  /// true → SYMEX+ (per-pivot pseudo-inverse cache); false → plain SYMEX
+  /// (Algorithm 2 verbatim: the pseudo-inverse is re-derived per pair).
+  bool cache_pseudo_inverse = true;
+  /// Stop after this many relationships (scalability sweeps, Fig. 13/14).
+  std::size_t max_relationships = std::numeric_limits<std::size_t>::max();
+};
+
+/// Build-phase accounting, reported by benches.
+struct SymexStats {
+  std::size_t relationships = 0;     ///< |affHash|
+  std::size_t pivots = 0;            ///< |pivotHash|
+  std::size_t cache_hits = 0;        ///< pivot-factor cache hits (SYMEX+)
+  std::size_t cache_misses = 0;      ///< pivot-factor cache misses
+  double afclst_seconds = 0;         ///< clustering time
+  double march_seconds = 0;          ///< marching + fitting time
+  double preprocess_seconds = 0;     ///< pivot measures + per-series stats
+};
+
+/// Exact per-series statistics kept for normalizers (Eq. 8's "compute and
+/// store Σ(y1), Σ(y2) separately") and for the L-measure relationships.
+struct SeriesStats {
+  double mean = 0;
+  double variance = 0;  ///< population variance (correlation normalizer)
+  double sumsq = 0;     ///< ‖s‖² (cosine/Jaccard/Dice normalizers)
+  double sum = 0;
+};
+
+/// The series-level 1-D affine relationship s_v ≈ gain·r_ω(v) + offset·1
+/// used for L-measures (one per series — the "linear in n" count of
+/// Table 4's footnote).
+struct SeriesAffine {
+  double gain = 0;
+  double offset = 0;
+};
+
+/// A pivotHash entry: the pivot pair plus its pre-computed measures
+/// (filled during the pre-processing step of §4.1).
+struct PivotHashEntry {
+  PivotPair pivot;
+  PairMatrixMeasures measures;
+};
+
+/// The queryable output of SYMEX: everything the WA strategy and the SCAPE
+/// index need. Owns a copy of the data matrix (used for naive verification
+/// and pivot-measure computation).
+class AffinityModel {
+ public:
+  /// The data the model was built over.
+  const ts::DataMatrix& data() const { return data_; }
+
+  /// AFCLST output the model was built with.
+  const AfclstResult& clustering() const { return clustering_; }
+
+  /// Number of affine relationships (= |P| when not truncated).
+  std::size_t relationship_count() const { return aff_hash_.size(); }
+
+  /// Number of distinct pivot pairs.
+  std::size_t pivot_count() const { return pivot_hash_.size(); }
+
+  /// Build statistics.
+  const SymexStats& stats() const { return stats_; }
+
+  /// The affine relationship of a sequence pair, or nullptr when the model
+  /// was truncated before reaching it.
+  const AffineRecord* FindRelationship(const ts::SequencePair& e) const;
+
+  /// Pre-computed measures of a pivot matrix, or nullptr.
+  const PairMatrixMeasures* FindPivotMeasures(const PivotPair& p) const;
+
+  /// Exact per-series statistics.
+  const SeriesStats& series_stats(ts::SeriesId v) const { return series_stats_[v]; }
+
+  /// Series-level affine relationship of series v.
+  const SeriesAffine& series_affine(ts::SeriesId v) const { return series_affine_[v]; }
+
+  /// L-measure of cluster centre ℓ (measure must be an L-measure).
+  StatusOr<double> CenterLocation(Measure measure, int cluster) const;
+
+  // --- The WA method (Section 4.1) -----------------------------------------
+
+  /// L-measure of one series through its series-level relationship: O(1).
+  StatusOr<double> SeriesMeasure(Measure measure, ts::SeriesId v) const;
+
+  /// T- or D-measure of a sequence pair through its affine relationship:
+  /// O(1). NotFound when the (truncated) model lacks the relationship.
+  StatusOr<double> PairMeasure(Measure measure, const ts::SequencePair& e) const;
+
+  /// Exact stored normalizer U_e of a separable D-measure (Eq. 8).
+  StatusOr<double> PairNormalizer(Measure measure, const ts::SequencePair& e) const;
+
+  /// Iterates all relationships: fn(const ts::SequencePair&, const AffineRecord&).
+  template <typename Fn>
+  void ForEachRelationship(Fn&& fn) const {
+    for (const auto& [key, rec] : aff_hash_) {
+      const ts::SequencePair e{static_cast<ts::SeriesId>(key >> 32),
+                               static_cast<ts::SeriesId>(key & 0xffffffffULL)};
+      fn(e, rec);
+    }
+  }
+
+  /// Iterates all pivots: fn(const PivotPair&, const PairMatrixMeasures&).
+  template <typename Fn>
+  void ForEachPivot(Fn&& fn) const {
+    for (const auto& [key, entry] : pivot_hash_) {
+      fn(entry.pivot, entry.measures);
+    }
+  }
+
+ private:
+  friend StatusOr<AffinityModel> BuildAffinityModel(const ts::DataMatrix&, const AfclstOptions&,
+                                                    const SymexOptions&);
+  friend StatusOr<AffinityModel> RunSymex(const ts::DataMatrix&, AfclstResult,
+                                          const SymexOptions&);
+  friend Status SaveModel(const AffinityModel&, const std::string&);
+  friend StatusOr<AffinityModel> LoadModel(const std::string&);
+
+  ts::DataMatrix data_;
+  AfclstResult clustering_;
+  SymexStats stats_;
+  std::unordered_map<std::uint64_t, AffineRecord> aff_hash_;       // key: SequencePair::Key()
+  std::unordered_map<std::uint64_t, PivotHashEntry> pivot_hash_;   // key: PivotPair::Key()
+  std::vector<SeriesStats> series_stats_;                          // size n
+  std::vector<SeriesAffine> series_affine_;                        // size n
+  // L-measure values of the k centres: [measure][cluster];
+  // rows: 0 = mean, 1 = median, 2 = mode.
+  std::vector<std::vector<double>> center_loc_;
+};
+
+/// Runs AFCLST then SYMEX/SYMEX+ and finalizes the model (pivot measures,
+/// per-series stats, series-level relationships).
+StatusOr<AffinityModel> BuildAffinityModel(const ts::DataMatrix& data,
+                                           const AfclstOptions& afclst_options,
+                                           const SymexOptions& symex_options);
+
+/// As above with a pre-computed clustering (lets benches reuse AFCLST output
+/// across SYMEX variants).
+StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult clustering,
+                                 const SymexOptions& symex_options);
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_SYMEX_H_

@@ -1,0 +1,80 @@
+#include "dft/dft_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dft/fft.h"
+#include "ts/stats.h"
+
+namespace affinity::dft {
+
+StatusOr<DftCorrelationEstimator> DftCorrelationEstimator::Build(const ts::DataMatrix& data,
+                                                                 std::size_t coefficients) {
+  if (coefficients == 0) {
+    return Status::InvalidArgument("DftCorrelationEstimator needs >= 1 coefficient");
+  }
+  const std::size_t m = data.m();
+  if (m < 2) {
+    return Status::InvalidArgument("DftCorrelationEstimator needs series of length >= 2");
+  }
+  const std::size_t c = std::min(coefficients, m / 2);
+
+  std::vector<DftSketch> sketches(data.n());
+  std::vector<double> normalized(m);
+  for (std::size_t j = 0; j < data.n(); ++j) {
+    const double* x = data.ColumnData(static_cast<ts::SeriesId>(j));
+    const double mu = ts::stats::Mean(x, m);
+    const double var = ts::stats::Variance(x, m);
+    DftSketch& sk = sketches[j];
+    if (var <= 0.0) {
+      sk.degenerate = true;
+      sk.coefficients.assign(c, Complex(0.0, 0.0));
+      continue;
+    }
+    // x̂ = (x − μ) / (σ √m): unit-norm, zero-mean.
+    const double scale = 1.0 / std::sqrt(var * static_cast<double>(m));
+    for (std::size_t i = 0; i < m; ++i) normalized[i] = (x[i] - mu) * scale;
+    AFFINITY_ASSIGN_OR_RETURN(std::vector<Complex> spectrum, RealDft(normalized.data(), m));
+    // Unitary scaling so Parseval holds: ‖x̂‖² = Σ|X_k|².
+    const double unitary = 1.0 / std::sqrt(static_cast<double>(m));
+    sk.coefficients.resize(c);
+    for (std::size_t k = 0; k < c; ++k) sk.coefficients[k] = spectrum[k + 1] * unitary;
+  }
+  return DftCorrelationEstimator(std::move(sketches), c);
+}
+
+double DftCorrelationEstimator::Estimate(ts::SeriesId u, ts::SeriesId v) const {
+  AFFINITY_DCHECK(u < sketches_.size() && v < sketches_.size());
+  if (u == v) return 1.0;
+  const DftSketch& a = sketches_[u];
+  const DftSketch& b = sketches_[v];
+  if (a.degenerate || b.degenerate) return 0.0;
+  double dist2 = 0.0;
+  for (std::size_t k = 0; k < coefficients_; ++k) {
+    const Complex d = a.coefficients[k] - b.coefficients[k];
+    dist2 += std::norm(d);
+  }
+  // Conjugate-symmetric mirror doubles the retained energy (k and m−k).
+  dist2 *= 2.0;
+  const double rho = 1.0 - dist2 / 2.0;
+  // The truncated distance underestimates, so rho can only be overestimated;
+  // clamp to the valid range for robustness.
+  return std::clamp(rho, -1.0, 1.0);
+}
+
+la::Matrix DftCorrelationEstimator::EstimateAll() const {
+  const std::size_t n = sketches_.size();
+  la::Matrix out(n, n);
+  for (std::size_t u = 0; u < n; ++u) {
+    out(u, u) = 1.0;
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double r = Estimate(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v));
+      out(u, v) = r;
+      out(v, u) = r;
+    }
+  }
+  return out;
+}
+
+}  // namespace affinity::dft

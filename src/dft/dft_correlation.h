@@ -1,0 +1,72 @@
+#ifndef AFFINITY_DFT_DFT_CORRELATION_H_
+#define AFFINITY_DFT_DFT_CORRELATION_H_
+
+/// \file dft_correlation.h
+/// The WF baseline: correlation-coefficient approximation from the first
+/// few DFT coefficients of normalized series (StatStream / HierarchyScan
+/// family, refs [1–3] of the paper).
+///
+/// Each series x is normalized to x̂ = (x − μ)/(σ·√m) so that ‖x̂‖ = 1 and
+/// ρ(x, y) = ⟨x̂, ŷ⟩ = 1 − ‖x̂ − ŷ‖²/2. By Parseval (unitary DFT),
+/// ‖x̂ − ŷ‖² = Σ_k |X̂_k − Ŷ_k|², and because the energy of smooth series
+/// concentrates in the low frequencies, keeping the first `c` coefficients
+/// (plus their conjugate mirrors) gives the StatStream estimate
+///   ρ̂(x, y) = 1 − Σ_{k=1..c} 2·|X̂_k − Ŷ_k|² / 2.
+///
+/// WF only supports the correlation coefficient — the limitation Table 4
+/// highlights versus AFFINITY's measure-agnostic design.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dft/fft.h"
+#include "la/matrix.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::dft {
+
+/// Number of retained DFT coefficients used throughout the paper.
+inline constexpr std::size_t kDefaultCoefficients = 5;
+
+/// Per-series DFT sketch: the retained low-frequency coefficients of the
+/// unitarily scaled, normalized series.
+struct DftSketch {
+  std::vector<Complex> coefficients;  // k = 1 .. c (k = 0 vanishes after centering)
+  bool degenerate = false;            // constant series (zero variance)
+};
+
+/// Builds and queries DFT sketches for a dataset (the WF method).
+class DftCorrelationEstimator {
+ public:
+  /// Builds sketches for all series of `data`, keeping `coefficients`
+  /// low-frequency terms. O(n·m·log m) one-time cost.
+  static StatusOr<DftCorrelationEstimator> Build(
+      const ts::DataMatrix& data, std::size_t coefficients = kDefaultCoefficients);
+
+  /// Estimated correlation of series u and v in O(c).
+  /// Degenerate (constant) series estimate as 0, matching stats::Correlation.
+  double Estimate(ts::SeriesId u, ts::SeriesId v) const;
+
+  /// Estimated correlation for every sequence pair (n×n symmetric matrix,
+  /// unit diagonal) — what WF does to answer a MET/MER query.
+  la::Matrix EstimateAll() const;
+
+  /// Number of series sketched.
+  std::size_t size() const { return sketches_.size(); }
+
+  /// Number of coefficients per sketch.
+  std::size_t coefficients() const { return coefficients_; }
+
+ private:
+  DftCorrelationEstimator(std::vector<DftSketch> sketches, std::size_t coefficients)
+      : sketches_(std::move(sketches)), coefficients_(coefficients) {}
+
+  std::vector<DftSketch> sketches_;
+  std::size_t coefficients_ = kDefaultCoefficients;
+};
+
+}  // namespace affinity::dft
+
+#endif  // AFFINITY_DFT_DFT_CORRELATION_H_

@@ -1,0 +1,103 @@
+#include "dft/fft.h"
+
+#include <cmath>
+
+namespace affinity::dft {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Status Fft(std::vector<Complex>* a, bool inverse) {
+  const std::size_t n = a->size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("Fft requires a power-of-two length");
+  }
+  auto& x = *a;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  // Butterfly passes.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = x[i + k];
+        const Complex odd = x[i + k + len / 2] * w;
+        x[i + k] = even + odd;
+        x[i + k + len / 2] = even - odd;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv_n;
+  }
+  return Status::OK();
+}
+
+Status BluesteinDft(std::vector<Complex>* a, bool inverse) {
+  const std::size_t n = a->size();
+  if (n == 0) return Status::InvalidArgument("BluesteinDft requires a non-empty input");
+  if (IsPowerOfTwo(n)) return Fft(a, inverse);
+
+  // Bluestein: X_k = conj(w_k) * sum_i (x_i conj(w_i)) w_{k-i},
+  // where w_j = exp(+i π j² / n) for the forward transform.
+  const std::size_t conv_len = NextPowerOfTwo(2 * n - 1);
+  const double sign = inverse ? -1.0 : 1.0;
+
+  std::vector<Complex> chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // j² mod 2n avoids precision loss for large j.
+    const std::size_t j2 = (j * j) % (2 * n);
+    const double angle = kPi * static_cast<double>(j2) / static_cast<double>(n) * sign;
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));  // w_j with sign folded in
+  }
+
+  std::vector<Complex> av(conv_len, Complex(0.0, 0.0));
+  std::vector<Complex> bv(conv_len, Complex(0.0, 0.0));
+  for (std::size_t j = 0; j < n; ++j) av[j] = (*a)[j] * std::conj(chirp[j]);
+  bv[0] = chirp[0];
+  for (std::size_t j = 1; j < n; ++j) bv[j] = bv[conv_len - j] = chirp[j];
+
+  AFFINITY_RETURN_IF_ERROR(Fft(&av, /*inverse=*/false));
+  AFFINITY_RETURN_IF_ERROR(Fft(&bv, /*inverse=*/false));
+  for (std::size_t j = 0; j < conv_len; ++j) av[j] *= bv[j];
+  AFFINITY_RETURN_IF_ERROR(Fft(&av, /*inverse=*/true));
+
+  for (std::size_t k = 0; k < n; ++k) (*a)[k] = av[k] * std::conj(chirp[k]);
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : *a) v *= inv_n;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Complex>> RealDft(const double* x, std::size_t m) {
+  if (m == 0) return Status::InvalidArgument("RealDft requires a non-empty input");
+  std::vector<Complex> a(m);
+  for (std::size_t i = 0; i < m; ++i) a[i] = Complex(x[i], 0.0);
+  AFFINITY_RETURN_IF_ERROR(BluesteinDft(&a, /*inverse=*/false));
+  return a;
+}
+
+}  // namespace affinity::dft

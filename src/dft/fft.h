@@ -1,0 +1,43 @@
+#ifndef AFFINITY_DFT_FFT_H_
+#define AFFINITY_DFT_FFT_H_
+
+/// \file fft.h
+/// Fast Fourier transform substrate for the WF baseline.
+///
+/// The paper's comparator (WF) approximates correlation coefficients from
+/// the largest/first DFT coefficients [Zhu & Shasha, VLDB'02; Mueen et al.,
+/// SIGMOD'10]. Arbitrary series lengths (720, 1950, ...) are handled with
+/// Bluestein's chirp-z algorithm on top of an iterative radix-2 kernel.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace affinity::dft {
+
+using Complex = std::complex<double>;
+
+/// True iff n is a power of two (n ≥ 1).
+bool IsPowerOfTwo(std::size_t n);
+
+/// Smallest power of two ≥ n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// In-place radix-2 Cooley–Tukey FFT.
+/// `a->size()` must be a power of two (InvalidArgument otherwise).
+/// The inverse transform divides by n (so Fft(Fft(x), inverse) == x).
+Status Fft(std::vector<Complex>* a, bool inverse);
+
+/// DFT of arbitrary length via Bluestein's algorithm; `a` is replaced by
+/// its (forward or inverse) transform. Inverse divides by n.
+Status BluesteinDft(std::vector<Complex>* a, bool inverse);
+
+/// Forward DFT of a real series of any length. Returns the m complex
+/// coefficients X_k = Σ_i x_i e^{-2πi·ik/m} (no scaling).
+StatusOr<std::vector<Complex>> RealDft(const double* x, std::size_t m);
+
+}  // namespace affinity::dft
+
+#endif  // AFFINITY_DFT_FFT_H_

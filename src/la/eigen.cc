@@ -1,0 +1,95 @@
+#include "la/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace affinity::la {
+
+StatusOr<SymmetricEigen> JacobiEigenSym(const Matrix& input) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("JacobiEigenSym requires a square matrix");
+  }
+  const std::size_t n = input.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("JacobiEigenSym requires a non-empty matrix");
+  }
+
+  // Work on a symmetrized copy so tiny asymmetries from accumulation order
+  // cannot stall convergence.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 0.5 * (input(i, j) + input(j, i));
+    }
+  }
+  Matrix v = Matrix::Identity(n);
+
+  const int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    // Sum of squares of the strict upper triangle — the off(A) measure.
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-300) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Stable rotation angle (Golub & Van Loan, Algorithm 8.4.1).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // A <- Jᵀ A J applied to rows/columns p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> SymmetricEigenvalues(const Matrix& a) {
+  AFFINITY_ASSIGN_OR_RETURN(SymmetricEigen eig, JacobiEigenSym(a));
+  return std::move(eig.values);
+}
+
+}  // namespace affinity::la

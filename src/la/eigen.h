@@ -1,0 +1,43 @@
+#ifndef AFFINITY_LA_EIGEN_H_
+#define AFFINITY_LA_EIGEN_H_
+
+/// \file eigen.h
+/// Symmetric eigenproblem solver (cyclic Jacobi rotations).
+///
+/// The AFFINITY pipeline only ever diagonalizes *small* symmetric matrices:
+/// the 4×4 Gram matrix of the LSFD concatenation and the 2×2/3×3 normal
+/// matrices of least-squares fits. Jacobi is simple, branch-light and
+/// accurate to machine precision in that regime.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace affinity::la {
+
+/// Eigendecomposition of a symmetric matrix.
+struct SymmetricEigen {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Diagonalizes the symmetric matrix `a` with the cyclic Jacobi method.
+///
+/// \param a  square symmetric matrix (symmetry is enforced by averaging
+///           a(i,j) and a(j,i); non-square input is an InvalidArgument).
+/// \returns  eigenvalues in descending order with matching eigenvectors.
+///
+/// Converges to machine precision in O(d³ log(1/ε)) for dimension d; meant
+/// for d ≲ 64 (AFFINITY uses d ≤ 4 on hot paths).
+StatusOr<SymmetricEigen> JacobiEigenSym(const Matrix& a);
+
+/// Convenience: eigenvalues only, descending.
+StatusOr<std::vector<double>> SymmetricEigenvalues(const Matrix& a);
+
+}  // namespace affinity::la
+
+#endif  // AFFINITY_LA_EIGEN_H_

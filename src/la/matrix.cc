@@ -1,0 +1,200 @@
+#include "la/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace affinity::la {
+
+Matrix Matrix::FromRows(std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r == 0 ? 0 : rows.begin()->size();
+  Matrix out(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    AFFINITY_CHECK_EQ(row.size(), c);
+    std::size_t j = 0;
+    for (double v : row) out(i, j++) = v;
+    ++i;
+  }
+  return out;
+}
+
+Matrix Matrix::FromColumns(const std::vector<Vector>& columns) {
+  if (columns.empty()) return Matrix();
+  const std::size_t r = columns.front().size();
+  Matrix out(r, columns.size());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    AFFINITY_CHECK_EQ(columns[j].size(), r);
+    out.SetCol(j, columns[j]);
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Vector Matrix::Col(std::size_t j) const {
+  AFFINITY_CHECK_LT(j, cols_);
+  Vector out(rows_);
+  const double* src = ColData(j);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = src[i];
+  return out;
+}
+
+void Matrix::SetCol(std::size_t j, const Vector& v) {
+  AFFINITY_CHECK_LT(j, cols_);
+  AFFINITY_CHECK_EQ(v.size(), rows_);
+  double* dst = ColData(j);
+  for (std::size_t i = 0; i < rows_; ++i) dst[i] = v[i];
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  AFFINITY_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // Column-major friendly loop order: out[:,j] = sum_k this[:,k] * other(k,j).
+  for (std::size_t j = 0; j < other.cols_; ++j) {
+    double* dst = out.ColData(j);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double w = other(k, j);
+      if (w == 0.0) continue;
+      const double* src = ColData(k);
+      for (std::size_t i = 0; i < rows_; ++i) dst[i] += w * src[i];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::Multiply(const Vector& v) const {
+  AFFINITY_CHECK_EQ(cols_, v.size());
+  Vector out(rows_);
+  for (std::size_t k = 0; k < cols_; ++k) {
+    const double w = v[k];
+    if (w == 0.0) continue;
+    const double* src = ColData(k);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] += w * src[i];
+  }
+  return out;
+}
+
+Vector Matrix::TransposeMultiply(const Vector& v) const {
+  AFFINITY_CHECK_EQ(rows_, v.size());
+  Vector out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const double* src = ColData(j);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) acc += src[i] * v[i];
+    out[j] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (std::size_t a = 0; a < cols_; ++a) {
+    const double* ca = ColData(a);
+    for (std::size_t b = a; b < cols_; ++b) {
+      const double* cb = ColData(b);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < rows_; ++i) acc += ca[i] * cb[i];
+      out(a, b) = acc;
+      out(b, a) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const double* src = ColData(j);
+    for (std::size_t i = 0; i < rows_; ++i) out(j, i) = src[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  AFFINITY_CHECK_EQ(rows_, other.rows_);
+  AFFINITY_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (std::size_t idx = 0; idx < data_.size(); ++idx) out.data_[idx] += other.data_[idx];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  AFFINITY_CHECK_EQ(rows_, other.rows_);
+  AFFINITY_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (std::size_t idx = 0; idx < data_.size(); ++idx) out.data_[idx] -= other.data_[idx];
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= scalar;
+  return out;
+}
+
+Matrix Matrix::ConcatColumns(const Matrix& other) const {
+  AFFINITY_CHECK_EQ(rows_, other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const double* src = ColData(j);
+    double* dst = out.ColData(j);
+    for (std::size_t i = 0; i < rows_; ++i) dst[i] = src[i];
+  }
+  for (std::size_t j = 0; j < other.cols_; ++j) {
+    const double* src = other.ColData(j);
+    double* dst = out.ColData(cols_ + j);
+    for (std::size_t i = 0; i < rows_; ++i) dst[i] = src[i];
+  }
+  return out;
+}
+
+Matrix Matrix::CenteredColumnsCopy() const {
+  Matrix out = *this;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double* col = out.ColData(j);
+    double mu = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) mu += col[i];
+    mu /= rows_ == 0 ? 1.0 : static_cast<double>(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) col[i] -= mu;
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  AFFINITY_CHECK_EQ(rows_, other.rows_);
+  AFFINITY_CHECK_EQ(cols_, other.cols_);
+  double worst = 0.0;
+  for (std::size_t idx = 0; idx < data_.size(); ++idx) {
+    worst = std::max(worst, std::fabs(data_[idx] - other.data_[idx]));
+  }
+  return worst;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (i) os << "; ";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (j) os << ", ";
+      os << (*this)(i, j);
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace affinity::la

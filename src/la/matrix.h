@@ -1,0 +1,101 @@
+#ifndef AFFINITY_LA_MATRIX_H_
+#define AFFINITY_LA_MATRIX_H_
+
+/// \file matrix.h
+/// Dense column-major real matrix.
+///
+/// Column-major layout matches the paper's formulation (a data matrix is a
+/// concatenation of time-series *columns*) and makes column extraction,
+/// zero-meaning, and least-squares fits contiguous-memory operations.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "la/vector.h"
+
+namespace affinity::la {
+
+/// A dense rows×cols matrix of doubles, column-major, value semantics.
+class Matrix {
+ public:
+  /// An empty 0×0 matrix.
+  Matrix() = default;
+
+  /// A zero-initialized rows×cols matrix.
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from a row-major initializer list (convenient in tests):
+  /// `Matrix::FromRows({{1,2},{3,4}})` is [[1,2],[3,4]].
+  static Matrix FromRows(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds by concatenating column vectors (all the same length).
+  static Matrix FromColumns(const std::vector<Vector>& columns);
+
+  /// The n×n identity.
+  static Matrix Identity(std::size_t n);
+
+  /// Number of rows / columns.
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Unchecked element access (row i, column j).
+  double operator()(std::size_t i, std::size_t j) const { return data_[j * rows_ + i]; }
+  double& operator()(std::size_t i, std::size_t j) { return data_[j * rows_ + i]; }
+
+  /// Pointer to the contiguous storage of column `j`.
+  const double* ColData(std::size_t j) const { return data_.data() + j * rows_; }
+  double* ColData(std::size_t j) { return data_.data() + j * rows_; }
+
+  /// Copies column `j` into a Vector.
+  Vector Col(std::size_t j) const;
+
+  /// Overwrites column `j` with `v` (length must equal rows(); checked).
+  void SetCol(std::size_t j, const Vector& v);
+
+  /// Matrix product `this * other` (inner dimensions checked).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product `this * v` (dimension checked).
+  Vector Multiply(const Vector& v) const;
+
+  /// `thisᵀ * v` without materializing the transpose.
+  Vector TransposeMultiply(const Vector& v) const;
+
+  /// `thisᵀ * this` — the Gram matrix (cols×cols), computed directly.
+  Matrix Gram() const;
+
+  /// Materialized transpose.
+  Matrix Transpose() const;
+
+  /// Element-wise sum / difference (dimensions checked).
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Column-wise concatenation [this, other] (row counts must match).
+  Matrix ConcatColumns(const Matrix& other) const;
+
+  /// Returns a copy where every column has zero mean (the "hat" matrices
+  /// X̂, Ŷ of LSFD Definition 1).
+  Matrix CenteredColumnsCopy() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Maximum absolute element difference to `other` (dimensions checked).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Human-readable rendering (for tests/debugging).
+  std::string ToString() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;  // column-major
+};
+
+}  // namespace affinity::la
+
+#endif  // AFFINITY_LA_MATRIX_H_

@@ -1,0 +1,124 @@
+#include "la/solve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace affinity::la {
+
+namespace {
+
+/// In-place LU factorization with partial pivoting.
+/// Returns the pivot permutation, or an error if singular.
+StatusOr<std::vector<std::size_t>> LuFactorize(Matrix* a) {
+  const std::size_t n = a->rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot selection.
+    std::size_t pivot = k;
+    double best = std::fabs((*a)(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::fabs((*a)(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::FailedPrecondition("matrix is singular to working precision");
+    }
+    if (pivot != k) {
+      std::swap(perm[k], perm[pivot]);
+      for (std::size_t j = 0; j < n; ++j) std::swap((*a)(k, j), (*a)(pivot, j));
+    }
+    // Elimination.
+    const double inv = 1.0 / (*a)(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = (*a)(i, k) * inv;
+      (*a)(i, k) = f;
+      for (std::size_t j = k + 1; j < n; ++j) (*a)(i, j) -= f * (*a)(k, j);
+    }
+  }
+  return perm;
+}
+
+/// Solves with a prior LU factorization: forward then back substitution.
+Vector LuSolve(const Matrix& lu, const std::vector<std::size_t>& perm, const Vector& b) {
+  const std::size_t n = lu.rows();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * y[j];
+    y[i] = acc;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * x[j];
+    x[ii] = acc / lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem requires a square matrix");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLinearSystem dimension mismatch");
+  }
+  Matrix lu = a;
+  AFFINITY_ASSIGN_OR_RETURN(std::vector<std::size_t> perm, LuFactorize(&lu));
+  return LuSolve(lu, perm, b);
+}
+
+StatusOr<Matrix> SolveLinearSystems(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystems requires a square matrix");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveLinearSystems dimension mismatch");
+  }
+  Matrix lu = a;
+  AFFINITY_ASSIGN_OR_RETURN(std::vector<std::size_t> perm, LuFactorize(&lu));
+  Matrix x(a.cols(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    x.SetCol(j, LuSolve(lu, perm, b.Col(j)));
+  }
+  return x;
+}
+
+StatusOr<Matrix> Invert(const Matrix& a) {
+  return SolveLinearSystems(a, Matrix::Identity(a.rows()));
+}
+
+StatusOr<Matrix> SolveLeastSquares(const Matrix& m, const Matrix& b) {
+  if (m.rows() < m.cols()) {
+    return Status::InvalidArgument("SolveLeastSquares requires rows >= cols");
+  }
+  if (m.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveLeastSquares dimension mismatch");
+  }
+  // Normal equations: (mᵀm) X = mᵀ b.
+  const Matrix gram = m.Gram();
+  Matrix rhs(m.cols(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    rhs.SetCol(j, m.TransposeMultiply(b.Col(j)));
+  }
+  return SolveLinearSystems(gram, rhs);
+}
+
+StatusOr<Matrix> PseudoInverse(const Matrix& m) {
+  if (m.rows() < m.cols()) {
+    return Status::InvalidArgument("PseudoInverse requires rows >= cols");
+  }
+  AFFINITY_ASSIGN_OR_RETURN(Matrix gram_inv, Invert(m.Gram()));
+  // (mᵀm)⁻¹ mᵀ — p×rows. Materialized because SYMEX+ reuses it across many
+  // sequence pairs that share the pivot.
+  return gram_inv.Multiply(m.Transpose());
+}
+
+}  // namespace affinity::la

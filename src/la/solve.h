@@ -1,0 +1,44 @@
+#ifndef AFFINITY_LA_SOLVE_H_
+#define AFFINITY_LA_SOLVE_H_
+
+/// \file solve.h
+/// Small dense linear solvers and the least-squares / pseudo-inverse kernel
+/// that powers affine-relationship fitting (Algorithm 2, LeastSquares).
+///
+/// All fits in AFFINITY have the design matrix `[Op, 1m]` with exactly three
+/// columns, so we solve through the 3×3 normal equations with partially
+/// pivoted LU. This is numerically adequate for the well-scaled inputs the
+/// pipeline produces (columns are either raw series or unit-norm centres);
+/// tests cover near-collinear inputs.
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace affinity::la {
+
+/// Solves the square system `a · x = b` with partially pivoted LU.
+/// Returns FailedPrecondition if `a` is singular to working precision.
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+/// Multi-RHS variant: solves `a · X = B` column by column with a single
+/// factorization. B must have a.rows() rows.
+StatusOr<Matrix> SolveLinearSystems(const Matrix& a, const Matrix& b);
+
+/// Inverse of a small square matrix (via SolveLinearSystems against I).
+StatusOr<Matrix> Invert(const Matrix& a);
+
+/// Least-squares solve: X = argmin ‖m·X − b‖_F via normal equations.
+/// `m` is rows×p (rows ≥ p), `b` is rows×q; the result is p×q.
+StatusOr<Matrix> SolveLeastSquares(const Matrix& m, const Matrix& b);
+
+/// Moore–Penrose pseudo-inverse `(mᵀm)⁻¹ mᵀ` of a full-column-rank tall
+/// matrix (p×rows result). This is exactly what SYMEX+ caches per pivot
+/// pair (§4, "Pseudo-inverse cache").
+StatusOr<Matrix> PseudoInverse(const Matrix& m);
+
+}  // namespace affinity::la
+
+#endif  // AFFINITY_LA_SOLVE_H_

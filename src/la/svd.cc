@@ -1,0 +1,76 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eigen.h"
+
+namespace affinity::la {
+
+StatusOr<std::vector<double>> SingularValues(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SingularValues requires a non-empty matrix");
+  }
+  // Use the Gram matrix of the thinner side: eigenvalues of AᵀA (or AAᵀ)
+  // are the squared singular values.
+  const bool tall = a.rows() >= a.cols();
+  const Matrix gram = tall ? a.Gram() : a.Transpose().Gram();
+  AFFINITY_ASSIGN_OR_RETURN(std::vector<double> eig, SymmetricEigenvalues(gram));
+  std::vector<double> sigma(eig.size());
+  for (std::size_t i = 0; i < eig.size(); ++i) {
+    sigma[i] = std::sqrt(std::max(0.0, eig[i]));
+  }
+  // Eigenvalues were descending; square root preserves the order.
+  return sigma;
+}
+
+StatusOr<TopSingular> PowerIterationTopSingular(const Matrix& a, const Vector& seed_right,
+                                                int max_iters, double tol) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("PowerIterationTopSingular requires a non-empty matrix");
+  }
+  const std::size_t n = a.cols();
+
+  Vector v(n);
+  if (seed_right.empty()) {
+    // Deterministic quasi-random seed; avoids pathological alignment with a
+    // null space for the data AFFINITY feeds in.
+    for (std::size_t j = 0; j < n; ++j) v[j] = 1.0 + 0.37 * static_cast<double>(j % 7);
+  } else {
+    if (seed_right.size() != n) {
+      return Status::InvalidArgument("seed_right length must equal cols()");
+    }
+    v = seed_right;
+  }
+  if (v.Normalize() == 0.0) {
+    return Status::InvalidArgument("seed_right must be non-zero");
+  }
+
+  TopSingular out;
+  Vector u(a.rows());
+  for (int iter = 0; iter < max_iters; ++iter) {
+    out.iterations = iter + 1;
+    u = a.Multiply(v);
+    const double unorm = u.Normalize();
+    if (unorm == 0.0) {
+      // v is in the null space: the matrix is (numerically) zero along v.
+      out.sigma = 0.0;
+      out.left = u;
+      out.right = v;
+      return out;
+    }
+    Vector v_next = a.TransposeMultiply(u);
+    const double sigma = v_next.Normalize();
+    const double delta = v_next.MaxAbsDiff(v);
+    v = v_next;
+    out.sigma = sigma;
+    if (delta < tol) break;
+  }
+  out.left = a.Multiply(v);
+  const double sigma_final = out.left.Normalize();
+  if (sigma_final > 0.0) out.sigma = sigma_final;
+  out.right = v;
+  return out;
+}
+
+}  // namespace affinity::la

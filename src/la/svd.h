@@ -1,0 +1,57 @@
+#ifndef AFFINITY_LA_SVD_H_
+#define AFFINITY_LA_SVD_H_
+
+/// \file svd.h
+/// Singular-value machinery specialized for AFFINITY's two uses:
+///
+/// 1. **LSFD (Definition 1)** needs the singular values of a tall m×4
+///    concatenation [X̂, Ŷ]. We obtain them exactly as the square roots of
+///    the eigenvalues of the 4×4 Gram matrix — O(m) work plus a tiny
+///    Jacobi diagonalization.
+/// 2. **AFCLST's update phase (Algorithm 1, line 23)** needs only the left
+///    singular vector of a cluster matrix R_ℓ (m × cluster-size) belonging
+///    to the *largest* singular value. We compute it by alternating power
+///    iteration on R and Rᵀ, never materializing a Gram matrix of either
+///    side — O(m·c) per iteration.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace affinity::la {
+
+/// All singular values of `a` (rows×cols, any shape), descending order.
+///
+/// Computed from the Gram matrix of the thinner side, so the cost is
+/// O(rows·cols·min(rows,cols)) plus a min-side Jacobi solve. Exact for the
+/// small `cols` AFFINITY uses (≤ 4).
+StatusOr<std::vector<double>> SingularValues(const Matrix& a);
+
+/// Result of the dominant singular triple computation.
+struct TopSingular {
+  double sigma = 0.0;  ///< largest singular value
+  Vector left;         ///< unit left singular vector (length rows)
+  Vector right;        ///< unit right singular vector (length cols)
+  int iterations = 0;  ///< power iterations performed
+};
+
+/// Dominant singular triple of `a` by power iteration.
+///
+/// \param a          matrix with at least one column and one row
+/// \param seed_right optional starting right vector (length cols); pass an
+///                   empty vector to use a deterministic default seed.
+/// \param max_iters  iteration cap (default 100)
+/// \param tol        convergence tolerance on the right-vector update
+///
+/// Deterministic given the same seed vector. If the dominant and second
+/// singular values are equal the returned vector is *a* dominant-subspace
+/// vector, which is all AFCLST requires.
+StatusOr<TopSingular> PowerIterationTopSingular(const Matrix& a, const Vector& seed_right,
+                                                int max_iters = 100, double tol = 1e-12);
+
+}  // namespace affinity::la
+
+#endif  // AFFINITY_LA_SVD_H_

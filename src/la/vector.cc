@@ -1,0 +1,102 @@
+#include "la/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace affinity::la {
+
+Vector& Vector::operator+=(const Vector& other) {
+  AFFINITY_CHECK_EQ(size(), other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  AFFINITY_CHECK_EQ(size(), other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  for (auto& x : data_) x /= scalar;
+  return *this;
+}
+
+Vector Vector::operator+(const Vector& other) const {
+  Vector out = *this;
+  out += other;
+  return out;
+}
+
+Vector Vector::operator-(const Vector& other) const {
+  Vector out = *this;
+  out -= other;
+  return out;
+}
+
+Vector Vector::operator*(double scalar) const {
+  Vector out = *this;
+  out *= scalar;
+  return out;
+}
+
+double Vector::Dot(const Vector& other) const {
+  AFFINITY_CHECK_EQ(size(), other.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+double Vector::Norm() const { return std::sqrt(Dot(*this)); }
+
+double Vector::Sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Vector::Mean() const { return data_.empty() ? 0.0 : Sum() / static_cast<double>(size()); }
+
+double Vector::Normalize() {
+  const double n = Norm();
+  if (n > 0.0) (*this) /= n;
+  return n;
+}
+
+Vector Vector::CenteredCopy() const {
+  Vector out = *this;
+  const double mu = Mean();
+  for (auto i = std::size_t{0}; i < out.size(); ++i) out[i] -= mu;
+  return out;
+}
+
+double Vector::MaxAbsDiff(const Vector& other) const {
+  AFFINITY_CHECK_EQ(size(), other.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::string Vector::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Vector operator*(double scalar, const Vector& v) { return v * scalar; }
+
+}  // namespace affinity::la

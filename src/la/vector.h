@@ -1,0 +1,100 @@
+#ifndef AFFINITY_LA_VECTOR_H_
+#define AFFINITY_LA_VECTOR_H_
+
+/// \file vector.h
+/// Dense real column vector used throughout the linear-algebra substrate.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace affinity::la {
+
+/// A dense column vector of doubles with value semantics.
+///
+/// The element layout is contiguous; `data()` is safe to hand to kernels.
+class Vector {
+ public:
+  /// An empty (size-0) vector.
+  Vector() = default;
+
+  /// A zero-initialized vector of `n` elements.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// A vector of `n` copies of `fill`.
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+
+  /// A vector from an initializer list, e.g. `Vector v{1.0, 2.0}`.
+  Vector(std::initializer_list<double> init) : data_(init) {}
+
+  /// A vector that adopts the given storage.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  /// Number of elements.
+  std::size_t size() const { return data_.size(); }
+
+  /// True iff the vector has no elements.
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access.
+  double operator[](std::size_t i) const { return data_[i]; }
+  double& operator[](std::size_t i) { return data_[i]; }
+
+  /// Raw contiguous storage.
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  /// The underlying std::vector (read-only view).
+  const std::vector<double>& values() const { return data_; }
+
+  /// Iteration support.
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// In-place arithmetic. Sizes must match (checked).
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  /// Element-wise arithmetic (allocating).
+  Vector operator+(const Vector& other) const;
+  Vector operator-(const Vector& other) const;
+  Vector operator*(double scalar) const;
+
+  /// Dot product with `other`; sizes must match (checked).
+  double Dot(const Vector& other) const;
+
+  /// Euclidean (L2) norm.
+  double Norm() const;
+
+  /// Sum of elements.
+  double Sum() const;
+
+  /// Arithmetic mean; 0 for the empty vector.
+  double Mean() const;
+
+  /// Scales this vector to unit L2 norm; no-op on the zero vector.
+  /// Returns the norm the vector had before normalization.
+  double Normalize();
+
+  /// Returns a copy with the mean subtracted from every element.
+  Vector CenteredCopy() const;
+
+  /// Maximum absolute difference to `other`; sizes must match (checked).
+  double MaxAbsDiff(const Vector& other) const;
+
+  /// Human-readable rendering, e.g. "[1, 2, 3]" (for tests/debugging).
+  std::string ToString() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// scalar * vector convenience.
+Vector operator*(double scalar, const Vector& v);
+
+}  // namespace affinity::la
+
+#endif  // AFFINITY_LA_VECTOR_H_

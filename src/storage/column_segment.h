@@ -1,0 +1,65 @@
+#ifndef AFFINITY_STORAGE_COLUMN_SEGMENT_H_
+#define AFFINITY_STORAGE_COLUMN_SEGMENT_H_
+
+/// \file column_segment.h
+/// Fixed-capacity append-only segment of a stored time series.
+///
+/// The storage layer splits every series into segments and keeps per-segment
+/// summaries (count/min/max/sum) so scans can skip or pre-aggregate without
+/// touching samples — the standard columnar-store layout the paper's Fig. 2
+/// assumes underneath the `data_matrix` table.
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace affinity::storage {
+
+/// One immutable-once-full run of consecutive samples.
+class ColumnSegment {
+ public:
+  /// \param capacity maximum number of samples this segment holds.
+  explicit ColumnSegment(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {
+    AFFINITY_CHECK_GT(capacity_, 0u);
+    values_.reserve(capacity_);
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// True when no further samples fit.
+  bool full() const { return values_.size() >= capacity_; }
+
+  /// Number of stored samples.
+  std::size_t size() const { return values_.size(); }
+
+  /// Appends one sample; the segment must not be full (checked).
+  void Append(double v) {
+    AFFINITY_CHECK(!full());
+    values_.push_back(v);
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    sum_ += v;
+  }
+
+  /// Raw sample access.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Segment summaries (valid when size() > 0).
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> values_;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+};
+
+}  // namespace affinity::storage
+
+#endif  // AFFINITY_STORAGE_COLUMN_SEGMENT_H_

@@ -1,0 +1,117 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace affinity::storage {
+
+StatusOr<ts::SeriesId> DataMatrixTable::RegisterSeries(const std::string& name,
+                                                       const std::string& source,
+                                                       double interval_seconds) {
+  if (rows_ > 0) {
+    return Status::FailedPrecondition(
+        "cannot register series after rows have been appended (series must stay aligned)");
+  }
+  if (name.empty()) return Status::InvalidArgument("series name must be non-empty");
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists("series '" + name + "' is already registered");
+  }
+  const auto id = static_cast<ts::SeriesId>(catalog_.size());
+  catalog_.push_back(SeriesInfo{id, name, source, interval_seconds});
+  by_name_[name] = id;
+  columns_.emplace_back();
+  return id;
+}
+
+Status DataMatrixTable::AppendRow(const std::vector<double>& row) {
+  if (catalog_.empty()) {
+    return Status::FailedPrecondition("no series registered");
+  }
+  if (row.size() != catalog_.size()) {
+    return Status::InvalidArgument("row has " + std::to_string(row.size()) +
+                                   " values, table has " + std::to_string(catalog_.size()) +
+                                   " series");
+  }
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    auto& segs = columns_[j];
+    if (segs.empty() || segs.back().full()) segs.emplace_back(segment_capacity_);
+    segs.back().Append(row[j]);
+  }
+  ++rows_;
+  return Status::OK();
+}
+
+Status DataMatrixTable::AppendRows(const std::vector<std::vector<double>>& rows) {
+  for (const auto& row : rows) AFFINITY_RETURN_IF_ERROR(AppendRow(row));
+  return Status::OK();
+}
+
+StatusOr<SeriesInfo> DataMatrixTable::GetSeriesInfo(ts::SeriesId id) const {
+  if (id >= catalog_.size()) {
+    return Status::OutOfRange("series id " + std::to_string(id) + " out of range");
+  }
+  return catalog_[id];
+}
+
+StatusOr<ts::SeriesId> DataMatrixTable::FindSeries(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no series named '" + name + "'");
+  return it->second;
+}
+
+StatusOr<double> DataMatrixTable::ColumnMin(ts::SeriesId id) const {
+  if (id >= columns_.size()) return Status::OutOfRange("series id out of range");
+  if (rows_ == 0) return Status::FailedPrecondition("table is empty");
+  double out = columns_[id].front().min();
+  for (const auto& seg : columns_[id]) out = std::min(out, seg.min());
+  return out;
+}
+
+StatusOr<double> DataMatrixTable::ColumnMax(ts::SeriesId id) const {
+  if (id >= columns_.size()) return Status::OutOfRange("series id out of range");
+  if (rows_ == 0) return Status::FailedPrecondition("table is empty");
+  double out = columns_[id].front().max();
+  for (const auto& seg : columns_[id]) out = std::max(out, seg.max());
+  return out;
+}
+
+StatusOr<double> DataMatrixTable::ColumnSum(ts::SeriesId id) const {
+  if (id >= columns_.size()) return Status::OutOfRange("series id out of range");
+  double out = 0.0;
+  for (const auto& seg : columns_[id]) out += seg.sum();
+  return out;
+}
+
+StatusOr<ts::DataMatrix> DataMatrixTable::Snapshot() const {
+  if (catalog_.empty()) return Status::FailedPrecondition("no series registered");
+  if (rows_ == 0) return Status::FailedPrecondition("no rows appended");
+  la::Matrix values(rows_, catalog_.size());
+  std::vector<std::string> names(catalog_.size());
+  for (std::size_t j = 0; j < catalog_.size(); ++j) {
+    names[j] = catalog_[j].name;
+    double* dst = values.ColData(j);
+    std::size_t i = 0;
+    for (const auto& seg : columns_[j]) {
+      for (double v : seg.values()) dst[i++] = v;
+    }
+  }
+  return ts::DataMatrix(std::move(values), std::move(names));
+}
+
+StatusOr<DataMatrixTable> DataMatrixTable::FromDataMatrix(const ts::DataMatrix& data,
+                                                          const std::string& source,
+                                                          double interval_seconds) {
+  DataMatrixTable table;
+  for (std::size_t j = 0; j < data.n(); ++j) {
+    AFFINITY_RETURN_IF_ERROR(
+        table.RegisterSeries(data.name(static_cast<ts::SeriesId>(j)), source, interval_seconds)
+            .status());
+  }
+  std::vector<double> row(data.n());
+  for (std::size_t i = 0; i < data.m(); ++i) {
+    for (std::size_t j = 0; j < data.n(); ++j) row[j] = data.matrix()(i, j);
+    AFFINITY_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace affinity::storage

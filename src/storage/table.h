@@ -1,0 +1,87 @@
+#ifndef AFFINITY_STORAGE_TABLE_H_
+#define AFFINITY_STORAGE_TABLE_H_
+
+/// \file table.h
+/// The `data_matrix` table of Fig. 2: a catalog of registered series plus
+/// append-only columnar storage, with an aligned snapshot operation that
+/// produces the in-memory `ts::DataMatrix` the AFFINITY pipeline consumes.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_segment.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::storage {
+
+/// Catalog row describing one registered series.
+struct SeriesInfo {
+  ts::SeriesId id = 0;
+  std::string name;
+  std::string source;              ///< e.g. "finance", "sensor", "rss"
+  double interval_seconds = 60.0;  ///< sampling interval Δt
+};
+
+/// Append-only columnar table of aligned time series.
+///
+/// Usage:
+///   DataMatrixTable table;
+///   auto id = table.RegisterSeries("INTC", "finance", 60.0);
+///   table.AppendRow({...one value per registered series...});
+///   auto snapshot = table.Snapshot();   // -> ts::DataMatrix
+class DataMatrixTable {
+ public:
+  /// \param segment_capacity samples per column segment.
+  explicit DataMatrixTable(std::size_t segment_capacity = ColumnSegment::kDefaultCapacity)
+      : segment_capacity_(segment_capacity) {}
+
+  /// Registers a new series; names must be unique (AlreadyExists otherwise).
+  /// Registration is only allowed before the first row is appended
+  /// (FailedPrecondition afterwards — series must stay aligned).
+  StatusOr<ts::SeriesId> RegisterSeries(const std::string& name, const std::string& source,
+                                        double interval_seconds);
+
+  /// Appends one aligned sample row; `row.size()` must equal series_count().
+  Status AppendRow(const std::vector<double>& row);
+
+  /// Appends many rows (convenience for loaders).
+  Status AppendRows(const std::vector<std::vector<double>>& rows);
+
+  /// Number of registered series.
+  std::size_t series_count() const { return catalog_.size(); }
+
+  /// Number of appended rows.
+  std::size_t row_count() const { return rows_; }
+
+  /// Catalog lookup by id (OutOfRange) or name (NotFound).
+  StatusOr<SeriesInfo> GetSeriesInfo(ts::SeriesId id) const;
+  StatusOr<ts::SeriesId> FindSeries(const std::string& name) const;
+
+  /// Segment-summary aggregates over a whole column — O(#segments).
+  StatusOr<double> ColumnMin(ts::SeriesId id) const;
+  StatusOr<double> ColumnMax(ts::SeriesId id) const;
+  StatusOr<double> ColumnSum(ts::SeriesId id) const;
+
+  /// Materializes the aligned snapshot as a DataMatrix.
+  /// FailedPrecondition when the table has no series or no rows.
+  StatusOr<ts::DataMatrix> Snapshot() const;
+
+  /// Bulk-loads an existing DataMatrix into a fresh table.
+  static StatusOr<DataMatrixTable> FromDataMatrix(const ts::DataMatrix& data,
+                                                  const std::string& source,
+                                                  double interval_seconds);
+
+ private:
+  std::size_t segment_capacity_;
+  std::vector<SeriesInfo> catalog_;
+  std::unordered_map<std::string, ts::SeriesId> by_name_;
+  std::vector<std::vector<ColumnSegment>> columns_;  // per series, per segment
+  std::size_t rows_ = 0;
+};
+
+}  // namespace affinity::storage
+
+#endif  // AFFINITY_STORAGE_TABLE_H_

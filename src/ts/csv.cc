@@ -1,0 +1,93 @@
+#include "ts/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace affinity::ts {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  // Trailing comma produces an implicit empty final field.
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const DataMatrix& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.precision(17);
+  for (std::size_t j = 0; j < data.n(); ++j) {
+    if (j) out << ',';
+    out << data.name(static_cast<SeriesId>(j));
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < data.m(); ++i) {
+    for (std::size_t j = 0; j < data.n(); ++j) {
+      if (j) out << ',';
+      out << data.matrix()(i, j);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<DataMatrix> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("'" + path + "' is empty (missing header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::vector<std::string> names = SplitCsvLine(line);
+  if (names.empty()) {
+    return Status::InvalidArgument("'" + path + "' has an empty header");
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != names.size()) {
+      return Status::InvalidArgument("'" + path + "' line " + std::to_string(line_no) +
+                                     ": expected " + std::to_string(names.size()) +
+                                     " fields, got " + std::to_string(fields.size()));
+    }
+    std::vector<double> row(fields.size());
+    for (std::size_t j = 0; j < fields.size(); ++j) {
+      char* end = nullptr;
+      row[j] = std::strtod(fields[j].c_str(), &end);
+      if (end == fields[j].c_str() || *end != '\0') {
+        return Status::InvalidArgument("'" + path + "' line " + std::to_string(line_no) +
+                                       ": non-numeric value '" + fields[j] + "'");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("'" + path + "' contains a header but no samples");
+  }
+
+  la::Matrix values(rows.size(), names.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < names.size(); ++j) values(i, j) = rows[i][j];
+  }
+  return DataMatrix(std::move(values), names);
+}
+
+}  // namespace affinity::ts

@@ -1,0 +1,28 @@
+#ifndef AFFINITY_TS_CSV_H_
+#define AFFINITY_TS_CSV_H_
+
+/// \file csv.h
+/// CSV import/export of data matrices.
+///
+/// Format: one header line with comma-separated series names, then one line
+/// per sample with comma-separated values. This is the interchange format
+/// the examples use to move data in and out of the framework.
+
+#include <string>
+
+#include "common/status.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::ts {
+
+/// Writes `data` to `path`. Overwrites existing files.
+Status WriteCsv(const DataMatrix& data, const std::string& path);
+
+/// Reads a data matrix from `path`.
+/// Returns IoError when the file cannot be opened, InvalidArgument on a
+/// malformed row (wrong field count or non-numeric value).
+StatusOr<DataMatrix> ReadCsv(const std::string& path);
+
+}  // namespace affinity::ts
+
+#endif  // AFFINITY_TS_CSV_H_

@@ -1,0 +1,174 @@
+#include "ts/generators.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace affinity::ts {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// A smooth latent factor: sum of two sinusoids (diurnal + harmonic), a
+/// slow linear trend, and a random level. Unit-ish amplitude.
+la::Vector SmoothFactor(std::size_t m, Xoshiro256* rng) {
+  const double phase1 = rng->Uniform(0.0, 2.0 * kPi);
+  const double phase2 = rng->Uniform(0.0, 2.0 * kPi);
+  const double amp1 = rng->Uniform(0.6, 1.2);
+  const double amp2 = rng->Uniform(0.2, 0.6);
+  const double cycles = rng->Uniform(0.8, 2.2);  // diurnal-ish periodicity
+  const double trend = rng->Uniform(-0.5, 0.5);
+  la::Vector f(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(m);
+    f[i] = amp1 * std::sin(2.0 * kPi * cycles * t + phase1) +
+           amp2 * std::sin(4.0 * kPi * cycles * t + phase2) + trend * t;
+  }
+  return f;
+}
+
+/// A standard random walk of length m with per-step stddev `step`.
+la::Vector RandomWalk(std::size_t m, double step, Xoshiro256* rng) {
+  la::Vector w(m);
+  double x = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    x += rng->Gaussian(0.0, step);
+    w[i] = x;
+  }
+  return w;
+}
+
+/// AR(1) noise with coefficient phi and innovation stddev sigma.
+la::Vector Ar1Noise(std::size_t m, double phi, double sigma, Xoshiro256* rng) {
+  la::Vector e(m);
+  double x = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    x = phi * x + rng->Gaussian(0.0, sigma);
+    e[i] = x;
+  }
+  return e;
+}
+
+}  // namespace
+
+Dataset MakeSensorData(DatasetSpec spec) {
+  AFFINITY_CHECK_GT(spec.num_series, 0u);
+  AFFINITY_CHECK_GT(spec.num_samples, 0u);
+  AFFINITY_CHECK_GT(spec.num_clusters, 0u);
+  Xoshiro256 rng(spec.seed);
+
+  // Two latent factors per cluster: think "temperature" and "humidity
+  // response" of one campus zone.
+  std::vector<la::Vector> primary, secondary;
+  primary.reserve(spec.num_clusters);
+  secondary.reserve(spec.num_clusters);
+  for (std::size_t c = 0; c < spec.num_clusters; ++c) {
+    primary.push_back(SmoothFactor(spec.num_samples, &rng));
+    secondary.push_back(SmoothFactor(spec.num_samples, &rng));
+  }
+
+  la::Matrix values(spec.num_samples, spec.num_series);
+  std::vector<std::string> names(spec.num_series);
+  std::vector<int> truth(spec.num_series);
+  for (std::size_t j = 0; j < spec.num_series; ++j) {
+    const std::size_t c = j % spec.num_clusters;  // balanced clusters
+    truth[j] = static_cast<int>(c);
+    // Affine image of the cluster factors: gain * primary + cross * secondary
+    // + offset. Gains occasionally negative (inverted sensors exist).
+    const double gain = rng.Uniform(0.5, 2.5) * (rng.NextDouble() < 0.12 ? -1.0 : 1.0);
+    const double cross = rng.Uniform(-0.4, 0.4);
+    const double offset = rng.Uniform(-5.0, 30.0);
+    const double scale = std::fabs(gain) + std::fabs(cross);
+    la::Vector noise =
+        Ar1Noise(spec.num_samples, 0.8, spec.noise_level * scale, &rng);
+    la::Vector col(spec.num_samples);
+    for (std::size_t i = 0; i < spec.num_samples; ++i) {
+      col[i] = gain * primary[c][i] + cross * secondary[c][i] + offset + noise[i];
+    }
+    values.SetCol(j, col);
+    names[j] = "sensor-" + std::to_string(c) + "-" + std::to_string(j);
+  }
+
+  Dataset out;
+  out.matrix = DataMatrix(std::move(values), std::move(names));
+  out.name = "sensor-data";
+  out.sampling_interval_seconds = 120.0;  // 2 min, Table 3
+  out.true_cluster = std::move(truth);
+  return out;
+}
+
+Dataset MakeStockData(DatasetSpec spec) {
+  AFFINITY_CHECK_GT(spec.num_series, 0u);
+  AFFINITY_CHECK_GT(spec.num_samples, 0u);
+  AFFINITY_CHECK_GT(spec.num_clusters, 0u);
+  Xoshiro256 rng(spec.seed);
+
+  // One market factor plus one factor per sector.
+  const double step = 0.0009;  // per-minute log-return scale
+  la::Vector market = RandomWalk(spec.num_samples, step, &rng);
+  std::vector<la::Vector> sector;
+  sector.reserve(spec.num_clusters);
+  for (std::size_t c = 0; c < spec.num_clusters; ++c) {
+    sector.push_back(RandomWalk(spec.num_samples, step, &rng));
+  }
+
+  la::Matrix values(spec.num_samples, spec.num_series);
+  std::vector<std::string> names(spec.num_series);
+  std::vector<int> truth(spec.num_series);
+  for (std::size_t j = 0; j < spec.num_series; ++j) {
+    const std::size_t c = j % spec.num_clusters;
+    truth[j] = static_cast<int>(c);
+    const double w_market = rng.Uniform(0.4, 1.1);
+    const double w_sector = rng.Uniform(0.4, 1.2);
+    const double base_price = rng.Uniform(5.0, 400.0);
+    const double vol = rng.Uniform(0.7, 1.6);
+    la::Vector idio = RandomWalk(spec.num_samples, spec.noise_level * step * 40.0, &rng);
+    la::Vector col(spec.num_samples);
+    for (std::size_t i = 0; i < spec.num_samples; ++i) {
+      const double log_ret = vol * (w_market * market[i] + w_sector * sector[c][i]) + idio[i];
+      col[i] = base_price * std::exp(log_ret);
+    }
+    values.SetCol(j, col);
+    names[j] = "stk-" + std::to_string(c) + "-" + std::to_string(j);
+  }
+
+  Dataset out;
+  out.matrix = DataMatrix(std::move(values), std::move(names));
+  out.name = "stock-data";
+  out.sampling_interval_seconds = 60.0;  // 1 min, Table 3
+  out.true_cluster = std::move(truth);
+  return out;
+}
+
+Dataset MakeClusteredData(DatasetSpec spec) {
+  // The sensor generator with the caller's sizes serves as the generic
+  // clustered testbed; give it a distinguishing name.
+  Dataset out = MakeSensorData(spec);
+  out.name = "clustered-" + std::to_string(spec.num_series) + "x" +
+             std::to_string(spec.num_samples);
+  return out;
+}
+
+DataMatrix MakeExactAffineFamily(std::size_t m, std::size_t n, std::uint64_t seed) {
+  AFFINITY_CHECK_GE(n, 2u);
+  Xoshiro256 rng(seed);
+  // Two independent base signals; every series is an exact affine
+  // combination a*x + b*y + c of them, so any pair spans the same plane and
+  // all LSFDs are zero to machine precision.
+  la::Vector x = SmoothFactor(m, &rng);
+  la::Vector y = RandomWalk(m, 0.05, &rng);
+  la::Matrix values(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double a = rng.Uniform(-2.0, 2.0);
+    const double b = rng.Uniform(-2.0, 2.0);
+    const double c = rng.Uniform(-10.0, 10.0);
+    la::Vector col(m);
+    for (std::size_t i = 0; i < m; ++i) col[i] = a * x[i] + b * y[i] + c;
+    values.SetCol(j, col);
+  }
+  return DataMatrix(std::move(values));
+}
+
+}  // namespace affinity::ts

@@ -1,0 +1,100 @@
+#ifndef AFFINITY_TS_STATS_H_
+#define AFFINITY_TS_STATS_H_
+
+/// \file stats.h
+/// Scalar and matrix-level statistical kernels.
+///
+/// These kernels *are* the WN ("naive, from scratch") baseline of the paper:
+/// every call recomputes its result from the raw samples with no shared
+/// state, exactly as the naive method is costed in Section 6.
+///
+/// Conventions (pinned in DESIGN.md §6):
+///  * covariance / variance are population moments (divide by m);
+///  * the dot product is the raw inner product Σ xᵢyᵢ;
+///  * the mode quantizes to `kModeBins` equal-width bins over [min, max]
+///    and returns the centre of the most populated bin (ties → lower bin);
+///  * the median of an even-length series is the midpoint of the two
+///    central order statistics.
+
+#include <cstddef>
+
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::ts::stats {
+
+/// Number of histogram bins used by the mode estimator.
+inline constexpr int kModeBins = 256;
+
+/// Sum of elements.
+double Sum(const double* x, std::size_t m);
+
+/// Arithmetic mean (0 for m == 0).
+double Mean(const double* x, std::size_t m);
+
+/// Median via partial selection; copies the input (the caller's data is
+/// never reordered). 0 for m == 0.
+double Median(const double* x, std::size_t m);
+
+/// Histogram mode over `bins` equal-width bins (see file docs).
+double Mode(const double* x, std::size_t m, int bins = kModeBins);
+
+/// The classical naive mode estimator for continuous data: the sample with
+/// the most neighbours within a half-window of h = (max−min)/bins — i.e.
+/// the highest-local-density sample. O(m²); this is the WN baseline the
+/// paper's mode experiments cost (its reported ~3500× mode speedups and
+/// 10–100 s absolute naive-mode times are only consistent with a quadratic
+/// kernel). The histogram Mode above approximates it to within ~one bin.
+double NaiveModeEstimate(const double* x, std::size_t m, int bins = kModeBins);
+
+/// Population variance (divides by m; 0 for m == 0).
+double Variance(const double* x, std::size_t m);
+
+/// Population covariance of two aligned series.
+double Covariance(const double* x, const double* y, std::size_t m);
+
+/// Raw dot product Σ xᵢ yᵢ.
+double DotProduct(const double* x, const double* y, std::size_t m);
+
+/// Pearson correlation; 0 when either variance vanishes.
+double Correlation(const double* x, const double* y, std::size_t m);
+
+/// The correlation normalizer U = sqrt(Var(x) · Var(y)) of Eq. (8).
+double CorrelationNormalizer(const double* x, const double* y, std::size_t m);
+
+/// Convenience overloads on Vector.
+double Mean(const la::Vector& x);
+double Median(const la::Vector& x);
+double Mode(const la::Vector& x);
+double Variance(const la::Vector& x);
+double Covariance(const la::Vector& x, const la::Vector& y);
+double DotProduct(const la::Vector& x, const la::Vector& y);
+double Correlation(const la::Vector& x, const la::Vector& y);
+
+/// Column sums h1, h2 of a two-column matrix (Eq. (7)).
+la::Vector ColumnSums(const la::Matrix& x);
+
+/// 2×2 covariance matrix of a two-column matrix (Eq. (2)).
+la::Matrix PairCovarianceMatrix(const la::Matrix& x);
+
+/// 2×2 dot-product matrix XᵀX of a two-column matrix.
+la::Matrix PairDotProductMatrix(const la::Matrix& x);
+
+/// Full n×n covariance matrix Σ(S), computed from scratch (WN).
+la::Matrix CovarianceMatrix(const DataMatrix& s);
+
+/// Full n×n dot-product matrix Π(S), computed from scratch (WN).
+la::Matrix DotProductMatrix(const DataMatrix& s);
+
+/// Full n×n correlation matrix ρ(S), computed from scratch (WN).
+la::Matrix CorrelationMatrix(const DataMatrix& s);
+
+/// Per-series location measures, computed from scratch (WN).
+la::Vector MeanVector(const DataMatrix& s);
+la::Vector MedianVector(const DataMatrix& s);
+la::Vector ModeVector(const DataMatrix& s);
+
+}  // namespace affinity::ts::stats
+
+#endif  // AFFINITY_TS_STATS_H_

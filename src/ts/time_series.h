@@ -1,0 +1,68 @@
+#ifndef AFFINITY_TS_TIME_SERIES_H_
+#define AFFINITY_TS_TIME_SERIES_H_
+
+/// \file time_series.h
+/// A single named, regularly sampled time series.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "la/vector.h"
+
+namespace affinity::ts {
+
+/// Identifier of a time series inside a data matrix (1-based in the paper's
+/// notation; 0-based here, documented at every API boundary).
+using SeriesId = std::uint32_t;
+
+/// A regularly sampled time series: values plus sampling metadata.
+///
+/// AFFINITY operates on aligned series, so timestamps are implicit:
+/// sample i was taken at `start_time + i * interval_seconds`.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// \param name              human-readable name (e.g. ticker or sensor id)
+  /// \param values            the samples
+  /// \param interval_seconds  sampling interval Δt (default 60 s)
+  /// \param start_time        epoch seconds of sample 0 (default 0)
+  TimeSeries(std::string name, la::Vector values, double interval_seconds = 60.0,
+             std::int64_t start_time = 0)
+      : name_(std::move(name)),
+        values_(std::move(values)),
+        interval_seconds_(interval_seconds),
+        start_time_(start_time) {}
+
+  /// Human-readable name.
+  const std::string& name() const { return name_; }
+
+  /// The sample vector.
+  const la::Vector& values() const { return values_; }
+  la::Vector& mutable_values() { return values_; }
+
+  /// Number of samples.
+  std::size_t length() const { return values_.size(); }
+
+  /// Sampling interval in seconds.
+  double interval_seconds() const { return interval_seconds_; }
+
+  /// Epoch seconds of the first sample.
+  std::int64_t start_time() const { return start_time_; }
+
+  /// Epoch seconds of sample `i`.
+  double TimestampOf(std::size_t i) const {
+    return static_cast<double>(start_time_) + interval_seconds_ * static_cast<double>(i);
+  }
+
+ private:
+  std::string name_;
+  la::Vector values_;
+  double interval_seconds_ = 60.0;
+  std::int64_t start_time_ = 0;
+};
+
+}  // namespace affinity::ts
+
+#endif  // AFFINITY_TS_TIME_SERIES_H_

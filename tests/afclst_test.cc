@@ -1,0 +1,220 @@
+// Tests for the AFCLST clustering algorithm (core/afclst.h).
+
+#include "core/afclst.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/lsfd.h"
+#include "ts/generators.h"
+
+namespace affinity::core {
+namespace {
+
+ts::Dataset SmallDataset(std::size_t clusters = 4) {
+  ts::DatasetSpec spec;
+  spec.num_series = 48;
+  spec.num_samples = 160;
+  spec.num_clusters = clusters;
+  spec.noise_level = 0.01;
+  spec.seed = 21;
+  return ts::MakeSensorData(spec);
+}
+
+TEST(Afclst, ValidatesArguments) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(RunAfclst(ds.matrix, opt).ok());
+  opt.k = ds.matrix.n() + 1;
+  EXPECT_FALSE(RunAfclst(ds.matrix, opt).ok());
+  opt.k = 4;
+  opt.max_iterations = 0;
+  EXPECT_FALSE(RunAfclst(ds.matrix, opt).ok());
+}
+
+TEST(Afclst, OutputShapes) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions opt;
+  opt.k = 5;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->centers.rows(), ds.matrix.m());
+  EXPECT_EQ(res->centers.cols(), 5u);
+  EXPECT_EQ(res->assignment.size(), ds.matrix.n());
+  EXPECT_EQ(res->projection_errors.size(), ds.matrix.n());
+  EXPECT_EQ(res->k(), 5u);
+  EXPECT_GE(res->iterations, 1);
+}
+
+TEST(Afclst, AssignmentsInRange) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions opt;
+  opt.k = 6;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  for (std::size_t v = 0; v < ds.matrix.n(); ++v) {
+    EXPECT_GE(res->assignment[v], 0);
+    EXPECT_LT(res->assignment[v], 6);
+    EXPECT_EQ(res->Omega(static_cast<ts::SeriesId>(v)), res->assignment[v]);
+  }
+}
+
+TEST(Afclst, CentersAreUnitNorm) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions opt;
+  opt.k = 4;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  for (std::size_t l = 0; l < 4; ++l) {
+    const la::Vector c = res->centers.Col(l);
+    EXPECT_NEAR(c.Norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(Afclst, DeterministicForSeed) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions opt;
+  opt.k = 4;
+  opt.seed = 123;
+  auto a = RunAfclst(ds.matrix, opt);
+  auto b = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_NEAR(a->centers.MaxAbsDiff(b->centers), 0.0, 0.0);
+}
+
+TEST(Afclst, RecoversPlantedClusters) {
+  // Low-noise latent clusters must be recovered up to label permutation:
+  // all members of a true cluster land in the same AFCLST cluster.
+  const ts::Dataset ds = SmallDataset(4);
+  AfclstOptions opt;
+  opt.k = 4;
+  opt.max_iterations = 30;
+  opt.min_changes = 0;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  // A planted cluster counts as recovered when >= 90% of its members share
+  // one AFCLST label (random latent factors can correlate across clusters
+  // by chance, so the odd stray is legitimate).
+  std::map<int, std::map<int, int>> contingency;
+  std::map<int, int> truth_size;
+  for (std::size_t v = 0; v < ds.matrix.n(); ++v) {
+    ++contingency[ds.true_cluster[v]][res->assignment[v]];
+    ++truth_size[ds.true_cluster[v]];
+  }
+  std::size_t recovered = 0;
+  for (const auto& [truth, found] : contingency) {
+    int majority = 0;
+    for (const auto& [label, count] : found) majority = std::max(majority, count);
+    if (10 * majority >= 9 * truth_size[truth]) ++recovered;
+  }
+  EXPECT_EQ(recovered, 4u);
+}
+
+TEST(Afclst, ProjectionErrorsAreSmallOnClusteredData) {
+  const ts::Dataset ds = SmallDataset(4);
+  AfclstOptions opt;
+  opt.k = 4;
+  opt.max_iterations = 20;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  // Relative projection error per series should be tiny: the series are
+  // near-affine images of their cluster factors.
+  for (std::size_t v = 0; v < ds.matrix.n(); ++v) {
+    const double norm = ds.matrix.Column(static_cast<ts::SeriesId>(v)).Norm();
+    EXPECT_LT(res->projection_errors[v] / norm, 0.25) << "series " << v;
+  }
+}
+
+TEST(Afclst, KEqualsOneAssignsEverything) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions opt;
+  opt.k = 1;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  for (int a : res->assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(Afclst, KEqualsNIsAllowed) {
+  ts::DatasetSpec spec;
+  spec.num_series = 8;
+  spec.num_samples = 40;
+  spec.num_clusters = 2;
+  spec.seed = 5;
+  const ts::Dataset ds = ts::MakeSensorData(spec);
+  AfclstOptions opt;
+  opt.k = 8;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->k(), 8u);
+}
+
+TEST(Afclst, MoreCentersNeverHurtProjection) {
+  const ts::Dataset ds = SmallDataset(4);
+  AfclstOptions opt;
+  opt.max_iterations = 20;
+  opt.min_changes = 0;
+  opt.k = 2;
+  auto res2 = RunAfclst(ds.matrix, opt);
+  opt.k = 8;
+  auto res8 = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res2.ok());
+  ASSERT_TRUE(res8.ok());
+  double err2 = 0, err8 = 0;
+  for (std::size_t v = 0; v < ds.matrix.n(); ++v) {
+    err2 += res2->projection_errors[v];
+    err8 += res8->projection_errors[v];
+  }
+  EXPECT_LE(err8, err2 * 1.1);  // allow slack for local minima
+}
+
+TEST(PivotPairMatrixFn, BuildsCommonSeriesPlusCenter) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions opt;
+  opt.k = 3;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  const la::Matrix op = PivotPairMatrix(ds.matrix, *res, 2, 7);
+  EXPECT_EQ(op.rows(), ds.matrix.m());
+  EXPECT_EQ(op.cols(), 2u);
+  // Column 0 is series 2 verbatim.
+  for (std::size_t i = 0; i < ds.matrix.m(); ++i) {
+    EXPECT_EQ(op(i, 0), ds.matrix.matrix()(i, 2));
+  }
+  // Column 1 is the centre of series 7's cluster.
+  const int cluster = res->assignment[7];
+  for (std::size_t i = 0; i < ds.matrix.m(); ++i) {
+    EXPECT_EQ(op(i, 1), res->centers(i, static_cast<std::size_t>(cluster)));
+  }
+}
+
+TEST(PivotPairMatrixFn, LsfdToSequencePairIsSmall) {
+  // §3.3's claim: [s_u, r_ω(v)] is a good affine source for [s_u, s_v].
+  const ts::Dataset ds = SmallDataset(4);
+  AfclstOptions opt;
+  opt.k = 4;
+  opt.max_iterations = 20;
+  auto res = RunAfclst(ds.matrix, opt);
+  ASSERT_TRUE(res.ok());
+  double total_rel = 0;
+  int count = 0;
+  for (ts::SeriesId u = 0; u < 10; ++u) {
+    for (ts::SeriesId v = u + 1; v < 10; ++v) {
+      const la::Matrix se = ds.matrix.SequencePairMatrix(ts::SequencePair(u, v));
+      const la::Matrix op = PivotPairMatrix(ds.matrix, *res, u, v);
+      const double d = *Lsfd(op, se);
+      const double scale = se.CenteredColumnsCopy().FrobeniusNorm();
+      total_rel += d / (scale + 1e-12);
+      ++count;
+    }
+  }
+  EXPECT_LT(total_rel / count, 0.2);
+}
+
+}  // namespace
+}  // namespace affinity::core

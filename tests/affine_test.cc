@@ -1,0 +1,228 @@
+// Tests for affine transformations and measure propagation (core/affine.h) —
+// Eqs. (4)–(8) of the paper, including the corrected dot-product rule.
+
+#include "core/affine.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ts/stats.h"
+
+namespace affinity::core {
+namespace {
+
+la::Matrix RandomPairMatrix(std::size_t m, Xoshiro256* rng) {
+  la::Matrix x(m, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < m; ++i) x(i, j) = rng->Uniform(-3.0, 3.0);
+  }
+  return x;
+}
+
+AffineTransform RandomTransform(Xoshiro256* rng) {
+  AffineTransform t;
+  t.a11 = rng->Uniform(-2, 2);
+  t.a21 = rng->Uniform(-2, 2);
+  t.a12 = rng->Uniform(-2, 2);
+  t.a22 = rng->Uniform(-2, 2);
+  t.b1 = rng->Uniform(-5, 5);
+  t.b2 = rng->Uniform(-5, 5);
+  return t;
+}
+
+TEST(AffineTransform, DefaultIsIdentity) {
+  const AffineTransform t;
+  la::Matrix x = la::Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_NEAR(ApplyAffine(x, t).MaxAbsDiff(x), 0.0, 0.0);
+}
+
+TEST(AffineTransform, AccessorsMatchFields) {
+  AffineTransform t;
+  t.a11 = 1;
+  t.a21 = 2;
+  t.a12 = 3;
+  t.a22 = 4;
+  t.b1 = 5;
+  t.b2 = 6;
+  const la::Matrix a = t.AMatrix();
+  EXPECT_EQ(a(0, 0), 1.0);
+  EXPECT_EQ(a(1, 0), 2.0);
+  EXPECT_EQ(a(0, 1), 3.0);
+  EXPECT_EQ(a(1, 1), 4.0);
+  const la::Vector b = t.BVector();
+  EXPECT_EQ(b[0], 5.0);
+  EXPECT_EQ(b[1], 6.0);
+}
+
+TEST(ApplyAffineFn, MatchesDefinition) {
+  // Y = X·A + 1·bᵀ computed elementwise.
+  Xoshiro256 rng(1);
+  const la::Matrix x = RandomPairMatrix(7, &rng);
+  const AffineTransform t = RandomTransform(&rng);
+  const la::Matrix y = ApplyAffine(x, t);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(y(i, 0), t.a11 * x(i, 0) + t.a21 * x(i, 1) + t.b1, 1e-12);
+    EXPECT_NEAR(y(i, 1), t.a12 * x(i, 0) + t.a22 * x(i, 1) + t.b2, 1e-12);
+  }
+}
+
+TEST(ComputePairMatrixMeasuresFn, MatchesKernels) {
+  Xoshiro256 rng(2);
+  const la::Matrix x = RandomPairMatrix(50, &rng);
+  const PairMatrixMeasures pm = ComputePairMatrixMeasures(x.ColData(0), x.ColData(1), 50);
+  EXPECT_NEAR(pm.mean[0], ts::stats::Mean(x.ColData(0), 50), 1e-12);
+  EXPECT_NEAR(pm.median[1], ts::stats::Median(x.ColData(1), 50), 1e-12);
+  EXPECT_NEAR(pm.cov11, ts::stats::Variance(x.ColData(0), 50), 1e-10);
+  EXPECT_NEAR(pm.cov12, ts::stats::Covariance(x.ColData(0), x.ColData(1), 50), 1e-10);
+  EXPECT_NEAR(pm.cov22, ts::stats::Variance(x.ColData(1), 50), 1e-10);
+  EXPECT_NEAR(pm.dot12, ts::stats::DotProduct(x.ColData(0), x.ColData(1), 50), 1e-10);
+  EXPECT_NEAR(pm.h1, ts::stats::Sum(x.ColData(0), 50), 1e-10);
+  EXPECT_EQ(pm.m, 50u);
+}
+
+TEST(FitAffineFn, RecoversExactTransform) {
+  Xoshiro256 rng(3);
+  const la::Matrix x = RandomPairMatrix(30, &rng);
+  const AffineTransform truth = RandomTransform(&rng);
+  const la::Matrix y = ApplyAffine(x, truth);
+  auto fitted = FitAffine(x, y);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->a11, truth.a11, 1e-9);
+  EXPECT_NEAR(fitted->a21, truth.a21, 1e-9);
+  EXPECT_NEAR(fitted->a12, truth.a12, 1e-9);
+  EXPECT_NEAR(fitted->a22, truth.a22, 1e-9);
+  EXPECT_NEAR(fitted->b1, truth.b1, 1e-9);
+  EXPECT_NEAR(fitted->b2, truth.b2, 1e-9);
+}
+
+TEST(FitAffineFn, LeastSquaresResidualOrthogonality) {
+  Xoshiro256 rng(4);
+  const la::Matrix x = RandomPairMatrix(40, &rng);
+  const la::Matrix y = RandomPairMatrix(40, &rng);
+  auto fitted = FitAffine(x, y);
+  ASSERT_TRUE(fitted.ok());
+  const la::Matrix residual = y - ApplyAffine(x, *fitted);
+  // Residual columns must be orthogonal to x's columns and to 1.
+  for (std::size_t rc = 0; rc < 2; ++rc) {
+    const la::Vector r = residual.Col(rc);
+    EXPECT_NEAR(std::fabs(r.Dot(x.Col(0))), 0.0, 1e-8);
+    EXPECT_NEAR(std::fabs(r.Dot(x.Col(1))), 0.0, 1e-8);
+    EXPECT_NEAR(std::fabs(r.Sum()), 0.0, 1e-8);
+  }
+}
+
+TEST(FitAffineFn, ValidatesInput) {
+  la::Matrix bad(5, 3);
+  la::Matrix good(5, 2);
+  EXPECT_FALSE(FitAffine(bad, good).ok());
+  EXPECT_FALSE(FitAffine(good, bad).ok());
+  la::Matrix other(6, 2);
+  EXPECT_FALSE(FitAffine(good, other).ok());
+  la::Matrix tiny(2, 2);
+  EXPECT_FALSE(FitAffine(tiny, tiny).ok());
+}
+
+TEST(FitAffineFn, CollinearSourceFails) {
+  la::Matrix x(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 2.0 * static_cast<double>(i);  // second column collinear with first
+  }
+  // [x, 1] still has rank 3? cols: i, 2i, 1 → rank 2. Singular.
+  EXPECT_FALSE(FitAffine(x, x).ok());
+}
+
+// --- Propagation rules (Eqs. 5–8) vs direct computation on Y -------------
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Xoshiro256 rng(5);
+    x_ = RandomPairMatrix(64, &rng);
+    t_ = RandomTransform(&rng);
+    y_ = ApplyAffine(x_, t_);
+    pm_ = ComputePairMatrixMeasures(x_.ColData(0), x_.ColData(1), 64);
+  }
+
+  la::Matrix x_, y_;
+  AffineTransform t_;
+  PairMatrixMeasures pm_;
+};
+
+TEST_F(PropagationTest, MeanPropagatesExactly) {
+  // Eq. (5): L(Y)ᵀ = L(X)ᵀ A + bᵀ, exact for the mean.
+  for (int col = 0; col < 2; ++col) {
+    const double direct = ts::stats::Mean(y_.ColData(static_cast<std::size_t>(col)), 64);
+    const double propagated = PropagateLocation(pm_.mean[0], pm_.mean[1], t_, col);
+    EXPECT_NEAR(propagated, direct, 1e-10);
+  }
+}
+
+TEST_F(PropagationTest, CovariancePropagatesExactly) {
+  // Eq. (6): Σ12(Y) = a1ᵀ Σ(X) a2, exact when Y is an exact affine image.
+  const double direct = ts::stats::Covariance(y_.ColData(0), y_.ColData(1), 64);
+  EXPECT_NEAR(PropagateCovariance(pm_, t_), direct, 1e-9);
+}
+
+TEST_F(PropagationTest, VariancePropagatesExactly) {
+  for (int col = 0; col < 2; ++col) {
+    const double direct = ts::stats::Variance(y_.ColData(static_cast<std::size_t>(col)), 64);
+    EXPECT_NEAR(PropagateVariance(pm_, t_, col), direct, 1e-9);
+  }
+}
+
+TEST_F(PropagationTest, DotProductPropagatesExactly) {
+  // Eq. (7), corrected form (DESIGN.md): includes both cross terms and m·b1·b2.
+  const double direct = ts::stats::DotProduct(y_.ColData(0), y_.ColData(1), 64);
+  EXPECT_NEAR(PropagateDotProduct(pm_, t_), direct, 1e-8);
+}
+
+TEST_F(PropagationTest, SquaredNormPropagatesExactly) {
+  for (int col = 0; col < 2; ++col) {
+    const double* yc = y_.ColData(static_cast<std::size_t>(col));
+    const double direct = ts::stats::DotProduct(yc, yc, 64);
+    EXPECT_NEAR(PropagateSquaredNorm(pm_, t_, col), direct, 1e-8);
+  }
+}
+
+TEST_F(PropagationTest, PaperTable2FormWithCommonColumn) {
+  // With a1 = (1,0)ᵀ, b1 = 0 (the SYMEX structure), the propagated
+  // covariance collapses to the Table 2 key form α·β.
+  AffineTransform s = t_;
+  s.a11 = 1.0;
+  s.a21 = 0.0;
+  s.b1 = 0.0;
+  const double propagated = PropagateCovariance(pm_, s);
+  const double alpha_beta = pm_.cov11 * s.a12 + pm_.cov12 * s.a22;  // α=(Σ11,Σ12,0)·β
+  EXPECT_NEAR(propagated, alpha_beta, 1e-10);
+
+  const double dot_prop = PropagateDotProduct(pm_, s);
+  const double dot_alpha_beta = pm_.dot11 * s.a12 + pm_.dot12 * s.a22 + pm_.h1 * s.b2;
+  EXPECT_NEAR(dot_prop, dot_alpha_beta, 1e-10);
+}
+
+// Propagation across m sweeps (property-style).
+class PropagationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropagationSweep, AllRulesExactForExactImages) {
+  const auto m = static_cast<std::size_t>(GetParam());
+  Xoshiro256 rng(50 + m);
+  const la::Matrix x = RandomPairMatrix(m, &rng);
+  const AffineTransform t = RandomTransform(&rng);
+  const la::Matrix y = ApplyAffine(x, t);
+  const PairMatrixMeasures pm = ComputePairMatrixMeasures(x.ColData(0), x.ColData(1), m);
+  const double scale = 1.0 + static_cast<double>(m);
+  EXPECT_NEAR(PropagateCovariance(pm, t),
+              ts::stats::Covariance(y.ColData(0), y.ColData(1), m), 1e-10 * scale);
+  EXPECT_NEAR(PropagateDotProduct(pm, t),
+              ts::stats::DotProduct(y.ColData(0), y.ColData(1), m), 1e-9 * scale);
+  EXPECT_NEAR(PropagateLocation(pm.mean[0], pm.mean[1], t, 0),
+              ts::stats::Mean(y.ColData(0), m), 1e-11 * scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PropagationSweep, ::testing::Values(3, 8, 32, 100, 500));
+
+}  // namespace
+}  // namespace affinity::core

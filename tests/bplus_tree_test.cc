@@ -1,0 +1,277 @@
+// Tests for the B+-tree substrate (btree/bplus_tree.h), including a
+// randomized differential test against std::multimap.
+
+#include "btree/bplus_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace affinity::btree {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.begin(), t.end());
+  EXPECT_EQ(t.LowerBound(0.0), t.end());
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTree, SingleInsert) {
+  BPlusTree<int> t;
+  t.Insert(1.5, 42);
+  EXPECT_EQ(t.size(), 1u);
+  auto it = t.begin();
+  ASSERT_NE(it, t.end());
+  EXPECT_EQ(it.key(), 1.5);
+  EXPECT_EQ(it.value(), 42);
+}
+
+TEST(BPlusTree, IterationIsSorted) {
+  BPlusTree<int> t(4);  // tiny fanout forces splits early
+  const double keys[] = {5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+  for (int i = 0; i < 10; ++i) t.Insert(keys[i], i);
+  double prev = -1;
+  std::size_t count = 0;
+  for (auto it = t.begin(); it != t.end(); ++it) {
+    EXPECT_GE(it.key(), prev);
+    prev = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTree, DuplicateKeysAreKept) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 20; ++i) t.Insert(1.0, i);
+  EXPECT_EQ(t.size(), 20u);
+  std::size_t seen = 0;
+  for (auto it = t.begin(); it != t.end(); ++it) {
+    EXPECT_EQ(it.key(), 1.0);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 20u);
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTree, LowerBoundSemantics) {
+  BPlusTree<int> t(4);
+  for (double k : {1.0, 3.0, 3.0, 5.0, 7.0}) t.Insert(k, 0);
+  EXPECT_EQ(t.LowerBound(0.0).key(), 1.0);
+  EXPECT_EQ(t.LowerBound(3.0).key(), 3.0);  // first >=
+  EXPECT_EQ(t.LowerBound(4.0).key(), 5.0);
+  EXPECT_EQ(t.LowerBound(7.0).key(), 7.0);
+  EXPECT_EQ(t.LowerBound(7.5), t.end());
+}
+
+TEST(BPlusTree, UpperBoundSemantics) {
+  BPlusTree<int> t(4);
+  for (double k : {1.0, 3.0, 3.0, 5.0}) t.Insert(k, 0);
+  EXPECT_EQ(t.UpperBound(0.0).key(), 1.0);
+  EXPECT_EQ(t.UpperBound(3.0).key(), 5.0);  // strictly greater
+  EXPECT_EQ(t.UpperBound(1.0).key(), 3.0);
+  EXPECT_EQ(t.UpperBound(5.0), t.end());
+}
+
+TEST(BPlusTree, ScanGreaterThanIsStrict) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 10; ++i) t.Insert(static_cast<double>(i), i);
+  std::vector<int> got;
+  t.ScanGreaterThan(4.0, [&](double, const int& v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{5, 6, 7, 8, 9}));
+}
+
+TEST(BPlusTree, ScanLessThanIsStrict) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 10; ++i) t.Insert(static_cast<double>(i), i);
+  std::vector<int> got;
+  t.ScanLessThan(3.0, [&](double, const int& v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BPlusTree, ScanOpenRangeExcludesEndpoints) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 10; ++i) t.Insert(static_cast<double>(i), i);
+  std::vector<int> got;
+  t.ScanOpenRange(2.0, 6.0, [&](double, const int& v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(BPlusTree, EmptyRangeScans) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 5; ++i) t.Insert(static_cast<double>(i), i);
+  int count = 0;
+  t.ScanOpenRange(2.0, 2.0, [&](double, const int&) { ++count; });
+  EXPECT_EQ(count, 0);
+  t.ScanOpenRange(10.0, 20.0, [&](double, const int&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BPlusTree, HeightGrowsLogarithmically) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 1000; ++i) t.Insert(static_cast<double>(i), i);
+  EXPECT_GT(t.height(), 2u);
+  EXPECT_LT(t.height(), 12u);
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTree, DescendingInsertionStaysValid) {
+  BPlusTree<int> t(4);
+  for (int i = 1000; i-- > 0;) t.Insert(static_cast<double>(i), i);
+  EXPECT_TRUE(t.ValidateInvariants());
+  EXPECT_EQ(t.begin().value(), 0);
+}
+
+TEST(BPlusTree, NegativeAndExtremeKeys) {
+  BPlusTree<int> t(4);
+  t.Insert(-1e300, 1);
+  t.Insert(1e300, 2);
+  t.Insert(0.0, 3);
+  t.Insert(-0.0, 4);
+  EXPECT_EQ(t.begin().value(), 1);
+  EXPECT_EQ(t.LowerBound(1e299).value(), 2);
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTree, MoveSemantics) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 100; ++i) t.Insert(static_cast<double>(i), i);
+  BPlusTree<int> moved = std::move(t);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_TRUE(moved.ValidateInvariants());
+}
+
+// Differential property test: the tree must agree with std::multimap on
+// inserts, bounds, and range scans, across fanouts.
+class BPlusTreeDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreeDifferential, MatchesMultimap) {
+  const auto fanout = static_cast<std::size_t>(GetParam());
+  BPlusTree<int> tree(fanout);
+  std::multimap<double, int> reference;
+  Xoshiro256 rng(fanout);
+
+  for (int i = 0; i < 5000; ++i) {
+    // Quantized keys create plenty of duplicates.
+    const double key = std::floor(rng.Uniform(-50.0, 50.0));
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.ValidateInvariants());
+
+  // Full iteration yields the same sorted key sequence.
+  {
+    auto it = tree.begin();
+    for (auto ref = reference.begin(); ref != reference.end(); ++ref, ++it) {
+      ASSERT_NE(it, tree.end());
+      EXPECT_EQ(it.key(), ref->first);
+    }
+    EXPECT_EQ(it, tree.end());
+  }
+
+  // Random bound probes.
+  for (int probe = 0; probe < 200; ++probe) {
+    const double q = std::floor(rng.Uniform(-60.0, 60.0));
+    const auto lb_ref = reference.lower_bound(q);
+    const auto lb = tree.LowerBound(q);
+    if (lb_ref == reference.end()) {
+      EXPECT_EQ(lb, tree.end());
+    } else {
+      ASSERT_NE(lb, tree.end());
+      EXPECT_EQ(lb.key(), lb_ref->first);
+    }
+    const auto ub_ref = reference.upper_bound(q);
+    const auto ub = tree.UpperBound(q);
+    if (ub_ref == reference.end()) {
+      EXPECT_EQ(ub, tree.end());
+    } else {
+      ASSERT_NE(ub, tree.end());
+      EXPECT_EQ(ub.key(), ub_ref->first);
+    }
+  }
+
+  // Range scan count matches.
+  for (int probe = 0; probe < 50; ++probe) {
+    double lo = std::floor(rng.Uniform(-60.0, 60.0));
+    double hi = std::floor(rng.Uniform(-60.0, 60.0));
+    if (lo > hi) std::swap(lo, hi);
+    std::size_t tree_count = 0;
+    tree.ScanOpenRange(lo, hi, [&](double k, const int&) {
+      EXPECT_GT(k, lo);
+      EXPECT_LT(k, hi);
+      ++tree_count;
+    });
+    std::size_t ref_count = 0;
+    for (auto it = reference.upper_bound(lo); it != reference.end() && it->first < hi; ++it) {
+      ++ref_count;
+    }
+    EXPECT_EQ(tree_count, ref_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BPlusTreeDifferential, ::testing::Values(4, 8, 16, 64, 256));
+
+TEST(BPlusTreeReverse, EmptyTree) {
+  BPlusTree<int> t;
+  EXPECT_EQ(t.rbegin(), t.rend());
+}
+
+TEST(BPlusTreeReverse, DescendingTraversalVisitsEverything) {
+  BPlusTree<int> t(4);
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 2000; ++i) t.Insert(rng.NextDouble(), i);
+  double prev = 2.0;
+  std::size_t count = 0;
+  for (auto it = t.rbegin(); it != t.rend(); ++it) {
+    EXPECT_LE(it.key(), prev);
+    prev = it.key();
+    ++count;
+  }
+  EXPECT_EQ(count, 2000u);
+}
+
+TEST(BPlusTreeReverse, MatchesForwardReversed) {
+  BPlusTree<int> t(8);
+  Xoshiro256 rng(22);
+  for (int i = 0; i < 500; ++i) t.Insert(std::floor(rng.Uniform(-20, 20)), i);
+  std::vector<double> forward, backward;
+  for (auto it = t.begin(); it != t.end(); ++it) forward.push_back(it.key());
+  for (auto it = t.rbegin(); it != t.rend(); ++it) backward.push_back(it.key());
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(BPlusTreeReverse, SingleEntry) {
+  BPlusTree<int> t;
+  t.Insert(3.5, 1);
+  auto it = t.rbegin();
+  ASSERT_NE(it, t.rend());
+  EXPECT_EQ(it.key(), 3.5);
+  ++it;
+  EXPECT_EQ(it, t.rend());
+}
+
+TEST(BPlusTree, LargeScaleStaysValid) {
+  BPlusTree<std::size_t> t(64);
+  Xoshiro256 rng(9);
+  for (std::size_t i = 0; i < 100000; ++i) t.Insert(rng.Uniform(0.0, 1.0), i);
+  EXPECT_EQ(t.size(), 100000u);
+  EXPECT_TRUE(t.ValidateInvariants());
+  // Count via leaf chain.
+  std::size_t count = 0;
+  for (auto it = t.begin(); it != t.end(); ++it) ++count;
+  EXPECT_EQ(count, 100000u);
+}
+
+}  // namespace
+}  // namespace affinity::btree

@@ -1,0 +1,122 @@
+// Tests for CSV import/export (ts/csv.h).
+
+#include "ts/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ts/generators.h"
+
+namespace affinity::ts {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(Csv, RoundTripPreservesEverything) {
+  DatasetSpec spec;
+  spec.num_series = 5;
+  spec.num_samples = 17;
+  spec.num_clusters = 2;
+  spec.seed = 3;
+  const Dataset ds = MakeSensorData(spec);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(ds.matrix, path).ok());
+
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->n(), ds.matrix.n());
+  EXPECT_EQ(loaded->m(), ds.matrix.m());
+  EXPECT_EQ(loaded->names(), ds.matrix.names());
+  EXPECT_NEAR(loaded->matrix().MaxAbsDiff(ds.matrix.matrix()), 0.0, 1e-12);
+}
+
+TEST(Csv, ReadSimpleLiteral) {
+  const std::string path = TempPath("simple.csv");
+  WriteFile(path, "a,b\n1,2\n3,4\n");
+  auto dm = ReadCsv(path);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->n(), 2u);
+  EXPECT_EQ(dm->m(), 2u);
+  EXPECT_EQ(dm->name(0), "a");
+  EXPECT_DOUBLE_EQ(dm->matrix()(1, 1), 4.0);
+}
+
+TEST(Csv, HandlesCrLf) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,b\r\n1,2\r\n");
+  auto dm = ReadCsv(path);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->name(1), "b");
+  EXPECT_DOUBLE_EQ(dm->matrix()(0, 0), 1.0);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  WriteFile(path, "a\n1\n\n2\n");
+  auto dm = ReadCsv(path);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->m(), 2u);
+}
+
+TEST(Csv, MissingFileIsIoError) {
+  auto dm = ReadCsv(TempPath("does-not-exist.csv"));
+  ASSERT_FALSE(dm.ok());
+  EXPECT_EQ(dm.status().code(), StatusCode::kIoError);
+}
+
+TEST(Csv, EmptyFileIsInvalid) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  EXPECT_FALSE(ReadCsv(path).ok());
+}
+
+TEST(Csv, HeaderOnlyIsInvalid) {
+  const std::string path = TempPath("header-only.csv");
+  WriteFile(path, "a,b\n");
+  auto dm = ReadCsv(path);
+  ASSERT_FALSE(dm.ok());
+  EXPECT_EQ(dm.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Csv, WrongFieldCountIsInvalid) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,b\n1,2\n3\n");
+  auto dm = ReadCsv(path);
+  ASSERT_FALSE(dm.ok());
+  EXPECT_NE(dm.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(Csv, NonNumericValueIsInvalid) {
+  const std::string path = TempPath("text.csv");
+  WriteFile(path, "a\n1\nxyz\n");
+  auto dm = ReadCsv(path);
+  ASSERT_FALSE(dm.ok());
+  EXPECT_NE(dm.status().message().find("xyz"), std::string::npos);
+}
+
+TEST(Csv, ScientificNotationParses) {
+  const std::string path = TempPath("sci.csv");
+  WriteFile(path, "a\n1e-3\n-2.5E+2\n");
+  auto dm = ReadCsv(path);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_DOUBLE_EQ(dm->matrix()(0, 0), 1e-3);
+  EXPECT_DOUBLE_EQ(dm->matrix()(1, 0), -250.0);
+}
+
+TEST(Csv, WriteToUnwritablePathFails) {
+  DataMatrix dm(la::Matrix::FromRows({{1.0}}));
+  EXPECT_EQ(WriteCsv(dm, "/nonexistent-dir/x.csv").code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace affinity::ts

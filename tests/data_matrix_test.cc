@@ -1,0 +1,142 @@
+// Tests for DataMatrix, SequencePair and the pair vocabulary
+// (ts/data_matrix.h).
+
+#include "ts/data_matrix.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace affinity::ts {
+namespace {
+
+la::Matrix SmallMatrix() {
+  return la::Matrix::FromRows({{1, 10, 100}, {2, 20, 200}, {3, 30, 300}, {4, 40, 400}});
+}
+
+TEST(SequencePair, NormalizesOrder) {
+  const SequencePair a(3, 1);
+  EXPECT_EQ(a.u, 1u);
+  EXPECT_EQ(a.v, 3u);
+  EXPECT_EQ(a, SequencePair(1, 3));
+}
+
+TEST(SequencePair, OrderingIsLexicographic) {
+  EXPECT_LT(SequencePair(0, 1), SequencePair(0, 2));
+  EXPECT_LT(SequencePair(0, 9), SequencePair(1, 2));
+}
+
+TEST(SequencePair, KeysAreUniquePerPair) {
+  std::set<std::uint64_t> keys;
+  for (SeriesId u = 0; u < 30; ++u) {
+    for (SeriesId v = u + 1; v < 30; ++v) keys.insert(SequencePair(u, v).Key());
+  }
+  EXPECT_EQ(keys.size(), SequencePairCount(30));
+}
+
+TEST(SequencePair, HashSpreads) {
+  SequencePairHash h;
+  std::set<std::size_t> hashes;
+  for (SeriesId u = 0; u < 20; ++u) {
+    for (SeriesId v = u + 1; v < 20; ++v) hashes.insert(h(SequencePair(u, v)));
+  }
+  // All 190 pairs should hash distinctly (SplitMix64 finalizer).
+  EXPECT_EQ(hashes.size(), SequencePairCount(20));
+}
+
+TEST(SequencePairCountFn, MatchesFormula) {
+  EXPECT_EQ(SequencePairCount(0), 0u);
+  EXPECT_EQ(SequencePairCount(1), 0u);
+  EXPECT_EQ(SequencePairCount(2), 1u);
+  EXPECT_EQ(SequencePairCount(670), 670u * 669u / 2u);
+  EXPECT_EQ(SequencePairCount(996), 996u * 995u / 2u);
+}
+
+TEST(AllSequencePairs, EnumeratesUpperTriangle) {
+  const auto pairs = AllSequencePairs(4);
+  ASSERT_EQ(pairs.size(), 6u);
+  EXPECT_EQ(pairs[0], SequencePair(0, 1));
+  EXPECT_EQ(pairs[5], SequencePair(2, 3));
+  for (const auto& e : pairs) EXPECT_LT(e.u, e.v);
+}
+
+TEST(DataMatrix, DefaultNames) {
+  DataMatrix dm(SmallMatrix());
+  EXPECT_EQ(dm.m(), 4u);
+  EXPECT_EQ(dm.n(), 3u);
+  EXPECT_EQ(dm.name(0), "s0");
+  EXPECT_EQ(dm.name(2), "s2");
+}
+
+TEST(DataMatrix, ExplicitNames) {
+  DataMatrix dm(SmallMatrix(), {"a", "b", "c"});
+  EXPECT_EQ(dm.name(1), "b");
+  EXPECT_EQ(dm.names().size(), 3u);
+}
+
+TEST(DataMatrix, ColumnAccess) {
+  DataMatrix dm(SmallMatrix());
+  const la::Vector c1 = dm.Column(1);
+  EXPECT_EQ(c1[0], 10.0);
+  EXPECT_EQ(c1[3], 40.0);
+  EXPECT_EQ(dm.ColumnData(2)[1], 200.0);
+}
+
+TEST(DataMatrix, FromSeries) {
+  std::vector<TimeSeries> series;
+  series.emplace_back("x", la::Vector{1, 2, 3});
+  series.emplace_back("y", la::Vector{4, 5, 6});
+  auto dm = DataMatrix::FromSeries(series);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->m(), 3u);
+  EXPECT_EQ(dm->n(), 2u);
+  EXPECT_EQ(dm->name(1), "y");
+  EXPECT_EQ(dm->matrix()(2, 0), 3.0);
+}
+
+TEST(DataMatrix, FromSeriesRejectsMismatchedLengths) {
+  std::vector<TimeSeries> series;
+  series.emplace_back("x", la::Vector{1, 2, 3});
+  series.emplace_back("y", la::Vector{4, 5});
+  EXPECT_FALSE(DataMatrix::FromSeries(series).ok());
+}
+
+TEST(DataMatrix, FromSeriesRejectsEmpty) {
+  EXPECT_FALSE(DataMatrix::FromSeries({}).ok());
+}
+
+TEST(DataMatrix, SequencePairMatrixExtractsColumns) {
+  DataMatrix dm(SmallMatrix());
+  const la::Matrix se = dm.SequencePairMatrix(SequencePair(0, 2));
+  EXPECT_EQ(se.rows(), 4u);
+  EXPECT_EQ(se.cols(), 2u);
+  EXPECT_EQ(se(0, 0), 1.0);
+  EXPECT_EQ(se(0, 1), 100.0);
+}
+
+TEST(DataMatrix, FindByName) {
+  DataMatrix dm(SmallMatrix(), {"alpha", "beta", "gamma"});
+  auto id = dm.FindByName("beta");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1u);
+  EXPECT_EQ(dm.FindByName("delta").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataMatrix, PrefixKeepsLeadingSeries) {
+  DataMatrix dm(SmallMatrix(), {"a", "b", "c"});
+  const DataMatrix two = dm.Prefix(2);
+  EXPECT_EQ(two.n(), 2u);
+  EXPECT_EQ(two.m(), 4u);
+  EXPECT_EQ(two.name(1), "b");
+  EXPECT_EQ(two.matrix()(3, 1), 40.0);
+}
+
+TEST(TimeSeries, TimestampArithmetic) {
+  TimeSeries s("t", la::Vector{1, 2}, 120.0, 1000);
+  EXPECT_EQ(s.length(), 2u);
+  EXPECT_DOUBLE_EQ(s.TimestampOf(0), 1000.0);
+  EXPECT_DOUBLE_EQ(s.TimestampOf(1), 1120.0);
+}
+
+}  // namespace
+}  // namespace affinity::ts

@@ -1,0 +1,163 @@
+// Tests for the WF baseline (dft/dft_correlation.h).
+
+#include "dft/dft_correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ts/generators.h"
+#include "ts/stats.h"
+
+namespace affinity::dft {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+ts::DataMatrix SinusoidFamily(std::size_t m, std::size_t n) {
+  // Smooth low-frequency signals: the regime WF is designed for.
+  la::Matrix values(m, n);
+  Xoshiro256 rng(11);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double phase = rng.Uniform(0.0, 2.0 * kPi);
+    const double amp = rng.Uniform(0.5, 2.0);
+    const double offset = rng.Uniform(-5.0, 5.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(m);
+      values(i, j) = offset + amp * std::sin(2.0 * kPi * t + phase) +
+                     0.3 * amp * std::sin(4.0 * kPi * t + 2.0 * phase);
+    }
+  }
+  return ts::DataMatrix(std::move(values));
+}
+
+TEST(DftCorrelation, BuildValidatesArguments) {
+  const ts::DataMatrix dm = SinusoidFamily(32, 3);
+  EXPECT_FALSE(DftCorrelationEstimator::Build(dm, 0).ok());
+  la::Matrix one_row(1, 2);
+  EXPECT_FALSE(DftCorrelationEstimator::Build(ts::DataMatrix(one_row)).ok());
+}
+
+TEST(DftCorrelation, SelfCorrelationIsOne) {
+  const ts::DataMatrix dm = SinusoidFamily(64, 3);
+  auto est = DftCorrelationEstimator::Build(dm);
+  ASSERT_TRUE(est.ok());
+  for (ts::SeriesId v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(est->Estimate(v, v), 1.0);
+}
+
+TEST(DftCorrelation, IdenticalSeriesEstimateNearOne) {
+  la::Matrix values(40, 2);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const double x = std::sin(2.0 * kPi * static_cast<double>(i) / 40.0);
+    values(i, 0) = x;
+    values(i, 1) = 3.0 * x + 7.0;  // affine image: exact correlation 1
+  }
+  auto est = DftCorrelationEstimator::Build(ts::DataMatrix(values));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->Estimate(0, 1), 1.0, 1e-9);
+}
+
+TEST(DftCorrelation, AntiCorrelatedEstimateNearMinusOne) {
+  la::Matrix values(40, 2);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const double x = std::sin(2.0 * kPi * static_cast<double>(i) / 40.0);
+    values(i, 0) = x;
+    values(i, 1) = -2.0 * x + 1.0;
+  }
+  auto est = DftCorrelationEstimator::Build(ts::DataMatrix(values));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->Estimate(0, 1), -1.0, 1e-9);
+}
+
+TEST(DftCorrelation, AccurateOnSmoothSeries) {
+  const ts::DataMatrix dm = SinusoidFamily(128, 8);
+  auto est = DftCorrelationEstimator::Build(dm);
+  ASSERT_TRUE(est.ok());
+  for (ts::SeriesId u = 0; u < 8; ++u) {
+    for (ts::SeriesId v = u + 1; v < 8; ++v) {
+      const double truth = ts::stats::Correlation(dm.ColumnData(u), dm.ColumnData(v), dm.m());
+      EXPECT_NEAR(est->Estimate(u, v), truth, 0.05) << "pair (" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST(DftCorrelation, OverestimatesOnNoise) {
+  // The truncated distance underestimates, so ρ̂ >= ρ (up to clamping) —
+  // the known WF bias on white-noise-like ("uncooperative") series.
+  Xoshiro256 rng(3);
+  la::Matrix values(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    values(i, 0) = rng.Gaussian();
+    values(i, 1) = rng.Gaussian();
+  }
+  const ts::DataMatrix dm(values);
+  auto est = DftCorrelationEstimator::Build(dm);
+  ASSERT_TRUE(est.ok());
+  const double truth = ts::stats::Correlation(dm.ColumnData(0), dm.ColumnData(1), 200);
+  EXPECT_GE(est->Estimate(0, 1), truth - 1e-9);
+}
+
+TEST(DftCorrelation, EstimateIsClamped) {
+  const ts::DataMatrix dm = SinusoidFamily(64, 6);
+  auto est = DftCorrelationEstimator::Build(dm);
+  ASSERT_TRUE(est.ok());
+  for (ts::SeriesId u = 0; u < 6; ++u) {
+    for (ts::SeriesId v = 0; v < 6; ++v) {
+      const double r = est->Estimate(u, v);
+      EXPECT_GE(r, -1.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(DftCorrelation, DegenerateConstantSeriesEstimatesZero) {
+  la::Matrix values(32, 2);
+  for (std::size_t i = 0; i < 32; ++i) {
+    values(i, 0) = 5.0;  // constant
+    values(i, 1) = std::sin(static_cast<double>(i));
+  }
+  auto est = DftCorrelationEstimator::Build(ts::DataMatrix(values));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->Estimate(0, 1), 0.0);
+}
+
+TEST(DftCorrelation, EstimateAllIsSymmetricWithUnitDiagonal) {
+  const ts::DataMatrix dm = SinusoidFamily(64, 5);
+  auto est = DftCorrelationEstimator::Build(dm);
+  ASSERT_TRUE(est.ok());
+  const la::Matrix all = est->EstimateAll();
+  for (std::size_t u = 0; u < 5; ++u) {
+    EXPECT_DOUBLE_EQ(all(u, u), 1.0);
+    for (std::size_t v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(all(u, v), all(v, u));
+  }
+}
+
+TEST(DftCorrelation, CoefficientCountIsCappedByHalfLength) {
+  const ts::DataMatrix dm = SinusoidFamily(8, 2);
+  auto est = DftCorrelationEstimator::Build(dm, 100);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->coefficients(), 4u);
+}
+
+TEST(DftCorrelation, MoreCoefficientsImproveAccuracy) {
+  const ts::Dataset ds = ts::MakeSensorData(
+      {.num_series = 10, .num_samples = 100, .num_clusters = 3, .noise_level = 0.1, .seed = 5});
+  double err_small = 0, err_large = 0;
+  auto est1 = DftCorrelationEstimator::Build(ds.matrix, 2);
+  auto est2 = DftCorrelationEstimator::Build(ds.matrix, 20);
+  ASSERT_TRUE(est1.ok());
+  ASSERT_TRUE(est2.ok());
+  for (ts::SeriesId u = 0; u < 10; ++u) {
+    for (ts::SeriesId v = u + 1; v < 10; ++v) {
+      const double truth =
+          ts::stats::Correlation(ds.matrix.ColumnData(u), ds.matrix.ColumnData(v), 100);
+      err_small += std::fabs(est1->Estimate(u, v) - truth);
+      err_large += std::fabs(est2->Estimate(u, v) - truth);
+    }
+  }
+  EXPECT_LE(err_large, err_small + 1e-12);
+}
+
+}  // namespace
+}  // namespace affinity::dft

@@ -1,0 +1,140 @@
+// Tests for the Jacobi symmetric eigensolver (la/eigen.h).
+
+#include "la/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace affinity::la {
+namespace {
+
+Matrix RandomSymmetric(std::size_t n, Xoshiro256* rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng->Uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(JacobiEigen, DiagonalMatrixEigenvaluesAreDiagonal) {
+  Matrix a = Matrix::FromRows({{3, 0, 0}, {0, -1, 0}, {0, 0, 7}});
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  ASSERT_EQ(eig->values.size(), 3u);
+  EXPECT_NEAR(eig->values[0], 7.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig->values[2], -1.0, 1e-12);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, EigenvectorsSatisfyDefinition) {
+  Xoshiro256 rng(1);
+  const Matrix a = RandomSymmetric(4, &rng);
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  for (std::size_t j = 0; j < 4; ++j) {
+    const Vector v = eig->vectors.Col(j);
+    const Vector av = a.Multiply(v);
+    const Vector lv = v * eig->values[j];
+    EXPECT_NEAR(av.MaxAbsDiff(lv), 0.0, 1e-10);
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal) {
+  Xoshiro256 rng(2);
+  const Matrix a = RandomSymmetric(5, &rng);
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix vtv = eig->vectors.Gram();
+  EXPECT_NEAR(vtv.MaxAbsDiff(Matrix::Identity(5)), 0.0, 1e-10);
+}
+
+TEST(JacobiEigen, TraceEqualsEigenvalueSum) {
+  Xoshiro256 rng(3);
+  const Matrix a = RandomSymmetric(6, &rng);
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0, sum = 0;
+  for (std::size_t i = 0; i < 6; ++i) trace += a(i, i);
+  for (double v : eig->values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+TEST(JacobiEigen, ValuesSortedDescending) {
+  Xoshiro256 rng(4);
+  const Matrix a = RandomSymmetric(7, &rng);
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  for (std::size_t i = 1; i < eig->values.size(); ++i) {
+    EXPECT_GE(eig->values[i - 1], eig->values[i]);
+  }
+}
+
+TEST(JacobiEigen, PsdGramHasNonNegativeEigenvalues) {
+  Xoshiro256 rng(5);
+  Matrix b(8, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 8; ++i) b(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  auto eig = SymmetricEigenvalues(b.Gram());
+  ASSERT_TRUE(eig.ok());
+  for (double v : *eig) EXPECT_GE(v, -1e-10);
+}
+
+TEST(JacobiEigen, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(JacobiEigenSym(a).ok());
+}
+
+TEST(JacobiEigen, RejectsEmpty) {
+  Matrix a;
+  EXPECT_FALSE(JacobiEigenSym(a).ok());
+}
+
+TEST(JacobiEigen, OneByOne) {
+  Matrix a(1, 1);
+  a(0, 0) = -4.0;
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_DOUBLE_EQ(eig->values[0], -4.0);
+}
+
+// Property sweep: random symmetric matrices of several sizes must satisfy
+// the reconstruction A = V Λ Vᵀ.
+class JacobiReconstruction : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiReconstruction, ReconstructsInput) {
+  const int n = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(100 + n));
+  const Matrix a = RandomSymmetric(static_cast<std::size_t>(n), &rng);
+  auto eig = JacobiEigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix lambda(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lambda(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) =
+        eig->values[static_cast<std::size_t>(i)];
+  }
+  const Matrix rebuilt =
+      eig->vectors.Multiply(lambda).Multiply(eig->vectors.Transpose());
+  EXPECT_NEAR(rebuilt.MaxAbsDiff(a), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiReconstruction, ::testing::Values(2, 3, 4, 5, 8, 12, 16));
+
+}  // namespace
+}  // namespace affinity::la

@@ -1,0 +1,174 @@
+// Tests for the FFT substrate (dft/fft.h).
+
+#include "dft/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace affinity::dft {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// O(n²) reference DFT.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n, Complex(0, 0));
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle = sign * 2.0 * kPi * static_cast<double>(k * i) / static_cast<double>(n);
+      out[k] += x[i] * Complex(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+double MaxDiff(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+std::vector<Complex> RandomSignal(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  return x;
+}
+
+TEST(Helpers, PowerOfTwoDetection) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(720));
+}
+
+TEST(Helpers, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(720), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1950), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(6);
+  EXPECT_FALSE(Fft(&x, false).ok());
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  ASSERT_TRUE(Fft(&x, false).ok());
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v - Complex(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Fft, ConstantHasDcOnly) {
+  std::vector<Complex> x(8, Complex(2, 0));
+  ASSERT_TRUE(Fft(&x, false).ok());
+  EXPECT_NEAR(std::abs(x[0] - Complex(16, 0)), 0.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  const auto x = RandomSignal(32, 1);
+  auto fast = x;
+  ASSERT_TRUE(Fft(&fast, false).ok());
+  EXPECT_NEAR(MaxDiff(fast, NaiveDft(x, false)), 0.0, 1e-10);
+}
+
+TEST(Fft, InverseRoundTrip) {
+  const auto x = RandomSignal(64, 2);
+  auto y = x;
+  ASSERT_TRUE(Fft(&y, false).ok());
+  ASSERT_TRUE(Fft(&y, true).ok());
+  EXPECT_NEAR(MaxDiff(y, x), 0.0, 1e-12);
+}
+
+TEST(Bluestein, PowerOfTwoDelegates) {
+  const auto x = RandomSignal(16, 3);
+  auto a = x, b = x;
+  ASSERT_TRUE(Fft(&a, false).ok());
+  ASSERT_TRUE(BluesteinDft(&b, false).ok());
+  EXPECT_NEAR(MaxDiff(a, b), 0.0, 1e-12);
+}
+
+TEST(Bluestein, RejectsEmpty) {
+  std::vector<Complex> x;
+  EXPECT_FALSE(BluesteinDft(&x, false).ok());
+}
+
+TEST(Bluestein, InverseRoundTripArbitraryLength) {
+  const auto x = RandomSignal(45, 4);
+  auto y = x;
+  ASSERT_TRUE(BluesteinDft(&y, false).ok());
+  ASSERT_TRUE(BluesteinDft(&y, true).ok());
+  EXPECT_NEAR(MaxDiff(y, x), 0.0, 1e-10);
+}
+
+TEST(RealDftFn, SingleSinusoidConcentrates) {
+  // x_i = cos(2π·3·i/n): spectrum peaks at k=3 and k=n−3 with value n/2.
+  const std::size_t n = 30;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * kPi * 3.0 * static_cast<double>(i) / static_cast<double>(n));
+  }
+  auto spec = RealDft(x.data(), n);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_NEAR(std::abs((*spec)[3]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs((*spec)[n - 3]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs((*spec)[1]), 0.0, 1e-9);
+}
+
+TEST(RealDftFn, ConjugateSymmetry) {
+  Xoshiro256 rng(5);
+  std::vector<double> x(25);
+  for (auto& v : x) v = rng.Gaussian();
+  auto spec = RealDft(x.data(), 25);
+  ASSERT_TRUE(spec.ok());
+  for (std::size_t k = 1; k < 25; ++k) {
+    EXPECT_NEAR(std::abs((*spec)[k] - std::conj((*spec)[25 - k])), 0.0, 1e-9);
+  }
+}
+
+TEST(RealDftFn, ParsevalHolds) {
+  Xoshiro256 rng(6);
+  std::vector<double> x(50);
+  double time_energy = 0;
+  for (auto& v : x) {
+    v = rng.Gaussian();
+    time_energy += v * v;
+  }
+  auto spec = RealDft(x.data(), 50);
+  ASSERT_TRUE(spec.ok());
+  double freq_energy = 0;
+  for (const auto& c : *spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 50.0, time_energy, 1e-8);
+}
+
+// Property sweep: Bluestein matches the naive DFT on awkward lengths,
+// including the paper's series lengths 720 and 1950.
+class BluesteinVsNaive : public ::testing::TestWithParam<int> {};
+
+TEST_P(BluesteinVsNaive, Agree) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const auto x = RandomSignal(n, 40 + n);
+  auto fast = x;
+  ASSERT_TRUE(BluesteinDft(&fast, false).ok());
+  EXPECT_NEAR(MaxDiff(fast, NaiveDft(x, false)), 0.0, 1e-7 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BluesteinVsNaive,
+                         ::testing::Values(2, 3, 5, 7, 12, 45, 100, 243, 720));
+
+}  // namespace
+}  // namespace affinity::dft

@@ -1,0 +1,143 @@
+// Tests for the Affinity facade and the %RMSE metric (core/framework.h).
+
+#include "core/framework.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ts/generators.h"
+
+namespace affinity::core {
+namespace {
+
+ts::Dataset SmallDataset() {
+  ts::DatasetSpec spec;
+  spec.num_series = 16;
+  spec.num_samples = 64;
+  spec.num_clusters = 2;
+  spec.noise_level = 0.02;
+  spec.seed = 8;
+  return ts::MakeSensorData(spec);
+}
+
+TEST(AffinityBuild, DefaultBuildsEverything) {
+  const ts::Dataset ds = SmallDataset();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  EXPECT_NE(fw->scape(), nullptr);
+  EXPECT_NE(fw->wf(), nullptr);
+  EXPECT_EQ(fw->model().relationship_count(), ts::SequencePairCount(16));
+  EXPECT_EQ(fw->data().n(), 16u);
+}
+
+TEST(AffinityBuild, OptionalComponentsCanBeSkipped) {
+  const ts::Dataset ds = SmallDataset();
+  AffinityOptions opt;
+  opt.build_scape = false;
+  opt.build_dft = false;
+  auto fw = Affinity::Build(ds.matrix, opt);
+  ASSERT_TRUE(fw.ok());
+  EXPECT_EQ(fw->scape(), nullptr);
+  EXPECT_EQ(fw->wf(), nullptr);
+  // WN/WA still work.
+  MetRequest req;
+  req.measure = Measure::kCovariance;
+  req.tau = 0.0;
+  EXPECT_TRUE(fw->engine().Met(req, QueryMethod::kAffine).ok());
+  EXPECT_FALSE(fw->engine().Met(req, QueryMethod::kScape).ok());
+}
+
+TEST(AffinityBuild, ProfileIsPopulated) {
+  const ts::Dataset ds = SmallDataset();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  const BuildProfile& p = fw->profile();
+  EXPECT_GE(p.afclst_seconds, 0.0);
+  EXPECT_GT(p.symex_seconds, 0.0);
+  EXPECT_GT(p.total_seconds, 0.0);
+  EXPECT_GE(p.total_seconds,
+            p.afclst_seconds + p.symex_seconds + p.scape_seconds + p.dft_seconds - 1e-9);
+}
+
+TEST(AffinityBuild, RespectsAfclstOptions) {
+  const ts::Dataset ds = SmallDataset();
+  AffinityOptions opt;
+  opt.afclst.k = 5;
+  auto fw = Affinity::Build(ds.matrix, opt);
+  ASSERT_TRUE(fw.ok());
+  EXPECT_EQ(fw->model().clustering().k(), 5u);
+}
+
+TEST(AffinityBuild, PropagatesInvalidOptions) {
+  const ts::Dataset ds = SmallDataset();
+  AffinityOptions opt;
+  opt.afclst.k = 1000;  // > n
+  EXPECT_FALSE(Affinity::Build(ds.matrix, opt).ok());
+}
+
+TEST(AffinityBuild, MoveSemantics) {
+  const ts::Dataset ds = SmallDataset();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  Affinity moved = std::move(fw).value();
+  MetRequest req;
+  req.measure = Measure::kCorrelation;
+  req.tau = 0.5;
+  EXPECT_TRUE(moved.engine().Met(req, QueryMethod::kScape).ok());
+}
+
+TEST(PercentRmseFn, ZeroForIdenticalInputs) {
+  EXPECT_DOUBLE_EQ(PercentRmse({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(PercentRmseFn, EmptyInputsGiveZero) { EXPECT_DOUBLE_EQ(PercentRmse({}, {}), 0.0); }
+
+TEST(PercentRmseFn, KnownValue) {
+  // truth range = 10; each |error| = 1 → normalized RMSE = 0.1 → 10%.
+  EXPECT_NEAR(PercentRmse({0, 10}, {1, 9}), 10.0, 1e-12);
+}
+
+TEST(PercentRmseFn, ScaleInvariantInTruthUnits) {
+  const double a = PercentRmse({0, 1}, {0.1, 0.9});
+  const double b = PercentRmse({0, 1000}, {100, 900});
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(PercentRmseFn, ConstantTruthFallsBackToUnnormalized) {
+  EXPECT_NEAR(PercentRmse({5, 5}, {5, 6}), std::sqrt(0.5) * 100.0, 1e-9);
+}
+
+TEST(PercentRmseFn, DeathOnSizeMismatch) {
+  EXPECT_DEATH({ PercentRmse({1.0}, {1.0, 2.0}); }, "CHECK");
+}
+
+TEST(AffinityQuickstart, EndToEndFlow) {
+  // The README quickstart, as a test.
+  const ts::Dataset ds = SmallDataset();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+
+  MecRequest mec;
+  mec.measure = Measure::kCorrelation;
+  mec.ids = {0, 1, 2};
+  auto matrix = fw->engine().Mec(mec, QueryMethod::kAffine);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_NEAR(matrix->pair_values(0, 0), 1.0, 1e-9);
+
+  MetRequest met;
+  met.measure = Measure::kCorrelation;
+  met.tau = 0.9;
+  auto hot = fw->engine().Met(met, QueryMethod::kScape);
+  ASSERT_TRUE(hot.ok());
+
+  MerRequest mer;
+  mer.measure = Measure::kCovariance;
+  mer.lo = -0.1;
+  mer.hi = 0.1;
+  auto mild = fw->engine().Mer(mer, QueryMethod::kScape);
+  ASSERT_TRUE(mild.ok());
+}
+
+}  // namespace
+}  // namespace affinity::core

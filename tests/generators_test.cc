@@ -1,0 +1,186 @@
+// Tests for the synthetic dataset generators (ts/generators.h).
+
+#include "ts/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+
+namespace affinity::ts {
+namespace {
+
+DatasetSpec SmallSpec() {
+  DatasetSpec spec;
+  spec.num_series = 40;
+  spec.num_samples = 120;
+  spec.num_clusters = 4;
+  spec.noise_level = 0.02;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(MakeSensorData, ShapeMatchesSpec) {
+  const Dataset ds = MakeSensorData(SmallSpec());
+  EXPECT_EQ(ds.matrix.n(), 40u);
+  EXPECT_EQ(ds.matrix.m(), 120u);
+  EXPECT_EQ(ds.true_cluster.size(), 40u);
+  EXPECT_EQ(ds.name, "sensor-data");
+  EXPECT_DOUBLE_EQ(ds.sampling_interval_seconds, 120.0);
+}
+
+TEST(MakeSensorData, DefaultsMatchTable3) {
+  DatasetSpec spec = SmallSpec();
+  spec.num_series = 670;
+  spec.num_samples = 720;
+  const Dataset ds = MakeSensorData(spec);
+  EXPECT_EQ(ds.matrix.n(), 670u);
+  EXPECT_EQ(ds.matrix.m(), 720u);
+}
+
+TEST(MakeSensorData, DeterministicForSeed) {
+  const Dataset a = MakeSensorData(SmallSpec());
+  const Dataset b = MakeSensorData(SmallSpec());
+  EXPECT_NEAR(a.matrix.matrix().MaxAbsDiff(b.matrix.matrix()), 0.0, 0.0);
+}
+
+TEST(MakeSensorData, DifferentSeedsDiffer) {
+  DatasetSpec spec = SmallSpec();
+  const Dataset a = MakeSensorData(spec);
+  spec.seed = 78;
+  const Dataset b = MakeSensorData(spec);
+  EXPECT_GT(a.matrix.matrix().MaxAbsDiff(b.matrix.matrix()), 1e-6);
+}
+
+TEST(MakeSensorData, WithinClusterCorrelationBeatsCross) {
+  const Dataset ds = MakeSensorData(SmallSpec());
+  const std::size_t m = ds.matrix.m();
+  double within = 0, cross = 0;
+  int wn = 0, cn = 0;
+  for (SeriesId u = 0; u < ds.matrix.n(); ++u) {
+    for (SeriesId v = u + 1; v < ds.matrix.n(); ++v) {
+      const double r =
+          std::fabs(stats::Correlation(ds.matrix.ColumnData(u), ds.matrix.ColumnData(v), m));
+      if (ds.true_cluster[u] == ds.true_cluster[v]) {
+        within += r;
+        ++wn;
+      } else {
+        cross += r;
+        ++cn;
+      }
+    }
+  }
+  ASSERT_GT(wn, 0);
+  ASSERT_GT(cn, 0);
+  EXPECT_GT(within / wn, cross / cn);
+  EXPECT_GT(within / wn, 0.8);  // strong affine structure within clusters
+}
+
+TEST(MakeStockData, ShapeAndPositivity) {
+  DatasetSpec spec = SmallSpec();
+  spec.num_clusters = 5;
+  const Dataset ds = MakeStockData(spec);
+  EXPECT_EQ(ds.matrix.n(), 40u);
+  EXPECT_EQ(ds.name, "stock-data");
+  EXPECT_DOUBLE_EQ(ds.sampling_interval_seconds, 60.0);
+  // Prices are strictly positive.
+  for (std::size_t j = 0; j < ds.matrix.n(); ++j) {
+    for (std::size_t i = 0; i < ds.matrix.m(); ++i) {
+      EXPECT_GT(ds.matrix.matrix()(i, j), 0.0);
+    }
+  }
+}
+
+TEST(MakeStockData, DeterministicForSeed) {
+  const Dataset a = MakeStockData(SmallSpec());
+  const Dataset b = MakeStockData(SmallSpec());
+  EXPECT_NEAR(a.matrix.matrix().MaxAbsDiff(b.matrix.matrix()), 0.0, 0.0);
+}
+
+TEST(MakeStockData, SectorStructureExists) {
+  DatasetSpec spec = SmallSpec();
+  spec.num_samples = 400;
+  const Dataset ds = MakeStockData(spec);
+  const std::size_t m = ds.matrix.m();
+  double within = 0, cross = 0;
+  int wn = 0, cn = 0;
+  for (SeriesId u = 0; u < ds.matrix.n(); ++u) {
+    for (SeriesId v = u + 1; v < ds.matrix.n(); ++v) {
+      const double r =
+          stats::Correlation(ds.matrix.ColumnData(u), ds.matrix.ColumnData(v), m);
+      if (ds.true_cluster[u] == ds.true_cluster[v]) {
+        within += r;
+        ++wn;
+      } else {
+        cross += r;
+        ++cn;
+      }
+    }
+  }
+  EXPECT_GT(within / wn, cross / cn);
+}
+
+TEST(MakeClusteredData, NameEncodesShape) {
+  const Dataset ds = MakeClusteredData(SmallSpec());
+  EXPECT_EQ(ds.name, "clustered-40x120");
+}
+
+TEST(MakeExactAffineFamily, AllSeriesInTwoDimensionalAffineSpan) {
+  const DataMatrix dm = MakeExactAffineFamily(100, 8, 3);
+  EXPECT_EQ(dm.n(), 8u);
+  // Centered data matrix has rank <= 2: verify via Gram eigen-decay.
+  const la::Matrix centered = dm.matrix().CenteredColumnsCopy();
+  const la::Matrix gram = centered.Gram();
+  // Sum of all eigenvalues == trace; the trailing n-2 must be ~0. Use the
+  // fact that rank(G) = rank(centered) <= 2 ⟹ det of any 3x3 principal
+  // minor is 0. Cheap proxy: total trace vs top-2 via power iteration is
+  // overkill here — check pairwise: every column is an affine combo of
+  // cols 0,1 ⟹ residual of LS fit on [c0, c1, 1] is ~0.
+  for (std::size_t j = 2; j < 8; ++j) {
+    // Fit col j on columns 0 and 1 plus intercept using normal equations.
+    const double* c0 = dm.ColumnData(0);
+    const double* c1 = dm.ColumnData(1);
+    const double* t = dm.ColumnData(static_cast<SeriesId>(j));
+    // 3x3 normal system.
+    double g[3][3] = {}, r[3] = {};
+    for (std::size_t i = 0; i < dm.m(); ++i) {
+      const double row[3] = {c0[i], c1[i], 1.0};
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) g[a][b] += row[a] * row[b];
+        r[a] += row[a] * t[i];
+      }
+    }
+    // Solve by Cramer's rule.
+    const double det = g[0][0] * (g[1][1] * g[2][2] - g[1][2] * g[2][1]) -
+                       g[0][1] * (g[1][0] * g[2][2] - g[1][2] * g[2][0]) +
+                       g[0][2] * (g[1][0] * g[2][1] - g[1][1] * g[2][0]);
+    ASSERT_NE(det, 0.0);
+    auto solve = [&](int col) {
+      double mcopy[3][3];
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) mcopy[a][b] = g[a][b];
+      }
+      for (int a = 0; a < 3; ++a) mcopy[a][col] = r[a];
+      return (mcopy[0][0] * (mcopy[1][1] * mcopy[2][2] - mcopy[1][2] * mcopy[2][1]) -
+              mcopy[0][1] * (mcopy[1][0] * mcopy[2][2] - mcopy[1][2] * mcopy[2][0]) +
+              mcopy[0][2] * (mcopy[1][0] * mcopy[2][1] - mcopy[1][1] * mcopy[2][0])) /
+             det;
+    };
+    const double a = solve(0), b = solve(1), c = solve(2);
+    double residual = 0;
+    for (std::size_t i = 0; i < dm.m(); ++i) {
+      const double pred = a * c0[i] + b * c1[i] + c;
+      residual = std::max(residual, std::fabs(pred - t[i]));
+    }
+    EXPECT_NEAR(residual, 0.0, 1e-8);
+  }
+  (void)gram;
+}
+
+TEST(MakeExactAffineFamilyDeath, RejectsTinyFamilies) {
+  EXPECT_DEATH({ MakeExactAffineFamily(10, 1, 1); }, "CHECK");
+}
+
+}  // namespace
+}  // namespace affinity::ts

@@ -1,0 +1,222 @@
+// Cross-module integration tests: the full AFFINITY pipeline on both
+// synthetic datasets, validating the paper's qualitative claims end to end
+// (accuracy pattern of Fig. 9/10, result-set agreement of Fig. 15/16, and
+// storage → framework round trips).
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "storage/table.h"
+#include "ts/generators.h"
+#include "ts/stats.h"
+
+namespace affinity::core {
+namespace {
+
+/// Mini versions of the paper's datasets (same structure, laptop-fast).
+ts::Dataset MiniSensor() {
+  return ts::MakeSensorData(
+      {.num_series = 67, .num_samples = 72, .num_clusters = 6, .noise_level = 0.02, .seed = 42});
+}
+
+ts::Dataset MiniStock() {
+  return ts::MakeStockData(
+      {.num_series = 50, .num_samples = 130, .num_clusters = 5, .noise_level = 0.015, .seed = 7});
+}
+
+class PipelineTest : public ::testing::TestWithParam<int> {
+ protected:
+  ts::Dataset Data() const { return GetParam() == 0 ? MiniSensor() : MiniStock(); }
+};
+
+TEST_P(PipelineTest, AccuracyPatternMatchesFig9And10) {
+  const ts::Dataset ds = Data();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  const std::size_t m = ds.matrix.m();
+
+  // Pair measures: %RMSE must be ~machine precision for covariance and dot
+  // product (the paper reports 1e-12-ish) and tiny for correlation.
+  for (Measure meas : {Measure::kCovariance, Measure::kDotProduct, Measure::kCorrelation}) {
+    std::vector<double> truth, approx;
+    for (const auto& e : ts::AllSequencePairs(ds.matrix.n())) {
+      truth.push_back(
+          *NaivePairMeasure(meas, ds.matrix.ColumnData(e.u), ds.matrix.ColumnData(e.v), m));
+      approx.push_back(*fw->model().PairMeasure(meas, e));
+    }
+    EXPECT_LT(PercentRmse(truth, approx), 1e-3) << MeasureName(meas);
+  }
+
+  // L-measures: mean essentially exact; median/mode approximate but small
+  // (the paper reports up to ~3%).
+  std::vector<double> mean_t, mean_a, med_t, med_a, mode_t, mode_a;
+  for (ts::SeriesId v = 0; v < ds.matrix.n(); ++v) {
+    mean_t.push_back(ts::stats::Mean(ds.matrix.ColumnData(v), m));
+    mean_a.push_back(*fw->model().SeriesMeasure(Measure::kMean, v));
+    med_t.push_back(ts::stats::Median(ds.matrix.ColumnData(v), m));
+    med_a.push_back(*fw->model().SeriesMeasure(Measure::kMedian, v));
+    mode_t.push_back(ts::stats::Mode(ds.matrix.ColumnData(v), m));
+    mode_a.push_back(*fw->model().SeriesMeasure(Measure::kMode, v));
+  }
+  EXPECT_LT(PercentRmse(mean_t, mean_a), 1e-6);
+  EXPECT_LT(PercentRmse(med_t, med_a), 5.0);
+  EXPECT_LT(PercentRmse(mode_t, mode_a), 15.0);
+  // And the ordering of the pattern: mean ≪ median ≤ mode-ish.
+  EXPECT_LT(PercentRmse(mean_t, mean_a), PercentRmse(med_t, med_a) + 1e-9);
+}
+
+TEST_P(PipelineTest, ScapeAgreesWithWaOnEveryIndexableMeasure) {
+  const ts::Dataset ds = Data();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  const std::vector<std::pair<Measure, double>> cases = {
+      {Measure::kCovariance, 0.0}, {Measure::kDotProduct, 100.0},
+      {Measure::kCorrelation, 0.8}, {Measure::kCosine, 0.9},
+      {Measure::kMean, 1.0},       {Measure::kMedian, 1.0},
+      {Measure::kMode, 1.0},
+  };
+  for (const auto& [measure, tau] : cases) {
+    MetRequest req{measure, tau, true};
+    auto scape = fw->engine().Met(req, QueryMethod::kScape);
+    auto wa = fw->engine().Met(req, QueryMethod::kAffine);
+    ASSERT_TRUE(scape.ok()) << MeasureName(measure);
+    ASSERT_TRUE(wa.ok());
+    auto sp = scape->pairs, wp = wa->pairs;
+    std::sort(sp.begin(), sp.end());
+    std::sort(wp.begin(), wp.end());
+    EXPECT_EQ(sp, wp) << MeasureName(measure);
+    auto ss = scape->series, ws = wa->series;
+    std::sort(ss.begin(), ss.end());
+    std::sort(ws.begin(), ws.end());
+    EXPECT_EQ(ss, ws) << MeasureName(measure);
+  }
+}
+
+TEST_P(PipelineTest, ScapeNearlyMatchesGroundTruthOnCleanData) {
+  const ts::Dataset ds = Data();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  MetRequest req{Measure::kCorrelation, 0.85, true};
+  auto scape = fw->engine().Met(req, QueryMethod::kScape);
+  auto wn = fw->engine().Met(req, QueryMethod::kNaive);
+  ASSERT_TRUE(scape.ok());
+  ASSERT_TRUE(wn.ok());
+  auto sp = scape->pairs, np = wn->pairs;
+  std::sort(sp.begin(), sp.end());
+  std::sort(np.begin(), np.end());
+  std::vector<ts::SequencePair> sym;
+  std::set_symmetric_difference(sp.begin(), sp.end(), np.begin(), np.end(),
+                                std::back_inserter(sym));
+  // Approximation-induced boundary flips only: < 3% of the union.
+  EXPECT_LE(sym.size(), 1 + (sp.size() + np.size()) * 3 / 100);
+}
+
+TEST_P(PipelineTest, WfIsCorrelationOnlyAndLessAccurateThanWa) {
+  const ts::Dataset ds = Data();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  const std::size_t m = ds.matrix.m();
+  double wa_err = 0, wf_err = 0;
+  for (const auto& e : ts::AllSequencePairs(ds.matrix.n())) {
+    const double truth =
+        ts::stats::Correlation(ds.matrix.ColumnData(e.u), ds.matrix.ColumnData(e.v), m);
+    wa_err += std::fabs(*fw->model().PairMeasure(Measure::kCorrelation, e) - truth);
+    wf_err += std::fabs(fw->wf()->Estimate(e.u, e.v) - truth);
+  }
+  // The affine method dominates the 5-coefficient DFT sketch on accuracy.
+  EXPECT_LT(wa_err, wf_err);
+}
+
+TEST_P(PipelineTest, PruningLeavesNarrowVerifyBand) {
+  const ts::Dataset ds = Data();
+  auto fw = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw.ok());
+  MetRequest req{Measure::kCorrelation, 0.9, true};
+  auto scape = fw->engine().Met(req, QueryMethod::kScape);
+  ASSERT_TRUE(scape.ok());
+  const std::size_t total = fw->model().relationship_count();
+  // §5.3: the verify band must be a strict subset of the index — most
+  // entries are pruned (accepted or rejected) without touching normalizers.
+  EXPECT_LT(scape->prune.verified, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PipelineTest, ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0 ? "sensor" : "stock";
+                         });
+
+TEST(StorageIntegration, TableSnapshotFeedsFramework) {
+  const ts::Dataset ds = MiniSensor();
+  auto table = storage::DataMatrixTable::FromDataMatrix(ds.matrix, "sensor", 120.0);
+  ASSERT_TRUE(table.ok());
+  auto snapshot = table->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  auto fw = Affinity::Build(*snapshot);
+  ASSERT_TRUE(fw.ok());
+  MetRequest req{Measure::kCorrelation, 0.9, true};
+  auto result = fw->engine().Met(req, QueryMethod::kScape);
+  ASSERT_TRUE(result.ok());
+  // Same result as building from the original matrix.
+  auto fw2 = Affinity::Build(ds.matrix);
+  ASSERT_TRUE(fw2.ok());
+  auto result2 = fw2->engine().Met(req, QueryMethod::kScape);
+  ASSERT_TRUE(result2.ok());
+  auto a = result->pairs, b = result2->pairs;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExactAffineIntegration, ZeroNoiseFamilyIsExactEverywhere) {
+  // On an exact affine family every propagated measure is exact and SCAPE
+  // equals WN bit-for-bit in result-set terms.
+  const ts::DataMatrix dm = ts::MakeExactAffineFamily(120, 20, 17);
+  AffinityOptions small_k;
+  small_k.afclst.k = 2;
+  auto fw = Affinity::Build(dm, small_k);
+  ASSERT_TRUE(fw.ok());
+  const std::size_t m = dm.m();
+  for (const auto& e : ts::AllSequencePairs(dm.n())) {
+    const double truth =
+        ts::stats::Covariance(dm.ColumnData(e.u), dm.ColumnData(e.v), m);
+    EXPECT_NEAR(*fw->model().PairMeasure(Measure::kCovariance, e), truth,
+                1e-7 * (1.0 + std::fabs(truth)));
+  }
+  MetRequest req{Measure::kCorrelation, 0.5, true};
+  auto scape = fw->engine().Met(req, QueryMethod::kScape);
+  auto wn = fw->engine().Met(req, QueryMethod::kNaive);
+  ASSERT_TRUE(scape.ok());
+  ASSERT_TRUE(wn.ok());
+  auto a = scape->pairs, b = wn->pairs;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScalabilityShape, SymexPlusIsFasterThanSymex) {
+  // The Fig. 13 claim in miniature: the pseudo-inverse cache wins.
+  const ts::Dataset ds = ts::MakeSensorData(
+      {.num_series = 80, .num_samples = 200, .num_clusters = 6, .noise_level = 0.02, .seed = 2});
+  auto clustering = RunAfclst(ds.matrix, AfclstOptions{.k = 6});
+  ASSERT_TRUE(clustering.ok());
+
+  SymexOptions plain;
+  plain.cache_pseudo_inverse = false;
+  SymexOptions plus;
+  plus.cache_pseudo_inverse = true;
+  auto model_plain = RunSymex(ds.matrix, *clustering, plain);
+  auto model_plus = RunSymex(ds.matrix, *clustering, plus);
+  ASSERT_TRUE(model_plain.ok());
+  ASSERT_TRUE(model_plus.ok());
+  // Identical outputs...
+  EXPECT_EQ(model_plain->relationship_count(), model_plus->relationship_count());
+  // ...but the cached variant is measurably faster (paper: 3.5–4×; accept
+  // any definitive win to keep the test robust to machine noise).
+  EXPECT_LT(model_plus->stats().march_seconds, model_plain->stats().march_seconds);
+}
+
+}  // namespace
+}  // namespace affinity::core

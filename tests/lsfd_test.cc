@@ -1,0 +1,156 @@
+// Tests for the LSFD metric (core/lsfd.h): Definition 1 and the metric
+// axioms of Theorem 1.
+
+#include "core/lsfd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/affine.h"
+#include "la/svd.h"
+
+namespace affinity::core {
+namespace {
+
+la::Matrix RandomPairMatrix(std::size_t m, Xoshiro256* rng) {
+  la::Matrix x(m, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < m; ++i) x(i, j) = rng->Uniform(-3.0, 3.0);
+  }
+  return x;
+}
+
+TEST(Lsfd, ValidatesShapes) {
+  la::Matrix a(10, 2), b(10, 3), c(9, 2), d(1, 2);
+  EXPECT_TRUE(Lsfd(a, a).ok());
+  EXPECT_FALSE(Lsfd(a, b).ok());
+  EXPECT_FALSE(Lsfd(b, a).ok());
+  EXPECT_FALSE(Lsfd(a, c).ok());
+  EXPECT_FALSE(Lsfd(d, d).ok());
+}
+
+TEST(Lsfd, SelfDistanceIsZero) {
+  Xoshiro256 rng(1);
+  const la::Matrix x = RandomPairMatrix(40, &rng);
+  auto d = Lsfd(x, x);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-6);
+}
+
+TEST(Lsfd, ZeroForExactAffineImages) {
+  // Definition 1: DF = 0 iff Y's columns lie in the affine span of X's.
+  Xoshiro256 rng(2);
+  const la::Matrix x = RandomPairMatrix(60, &rng);
+  AffineTransform t;
+  t.a11 = 2.0;
+  t.a21 = -1.0;
+  t.a12 = 0.5;
+  t.a22 = 3.0;
+  t.b1 = 7.0;
+  t.b2 = -4.0;
+  const la::Matrix y = ApplyAffine(x, t);
+  auto d = Lsfd(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-5);
+}
+
+TEST(Lsfd, TranslationInvariant) {
+  // Zero-meaning makes pure translations free.
+  Xoshiro256 rng(3);
+  const la::Matrix x = RandomPairMatrix(30, &rng);
+  la::Matrix y = x;
+  for (std::size_t i = 0; i < 30; ++i) {
+    y(i, 0) += 100.0;
+    y(i, 1) -= 55.0;
+  }
+  auto d = Lsfd(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-6);
+}
+
+TEST(Lsfd, PositiveForIndependentData) {
+  Xoshiro256 rng(4);
+  const la::Matrix x = RandomPairMatrix(50, &rng);
+  const la::Matrix y = RandomPairMatrix(50, &rng);
+  auto d = Lsfd(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(*d, 0.1);
+}
+
+TEST(Lsfd, Symmetric) {
+  Xoshiro256 rng(5);
+  const la::Matrix x = RandomPairMatrix(25, &rng);
+  const la::Matrix y = RandomPairMatrix(25, &rng);
+  EXPECT_NEAR(*Lsfd(x, y), *Lsfd(y, x), 1e-9);
+}
+
+TEST(Lsfd, MatchesSingularValueDefinition) {
+  // DF² must equal λ3² + λ4² of the centered concatenation (Definition 1).
+  Xoshiro256 rng(6);
+  const la::Matrix x = RandomPairMatrix(35, &rng);
+  const la::Matrix y = RandomPairMatrix(35, &rng);
+  const la::Matrix concat =
+      x.CenteredColumnsCopy().ConcatColumns(y.CenteredColumnsCopy());
+  auto sv = la::SingularValues(concat);
+  ASSERT_TRUE(sv.ok());
+  const double expected = (*sv)[2] * (*sv)[2] + (*sv)[3] * (*sv)[3];
+  auto d2 = LsfdSquared(x, y);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_NEAR(*d2, expected, 1e-8 * (1.0 + expected));
+}
+
+TEST(Lsfd, SquaredIsSquare) {
+  Xoshiro256 rng(7);
+  const la::Matrix x = RandomPairMatrix(20, &rng);
+  const la::Matrix y = RandomPairMatrix(20, &rng);
+  EXPECT_NEAR(*LsfdSquared(x, y), (*Lsfd(x, y)) * (*Lsfd(x, y)), 1e-9);
+}
+
+TEST(Lsfd, SmallPerturbationSmallDistance) {
+  Xoshiro256 rng(8);
+  const la::Matrix x = RandomPairMatrix(80, &rng);
+  la::Matrix y = x;
+  for (std::size_t i = 0; i < 80; ++i) {
+    y(i, 0) += rng.Gaussian(0.0, 1e-4);
+    y(i, 1) += rng.Gaussian(0.0, 1e-4);
+  }
+  auto d = Lsfd(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(*d, 1e-2);
+}
+
+TEST(Lsfd, ScalesWithData) {
+  // DF(cX, cY) = |c|·DF(X, Y): singular values are homogeneous.
+  Xoshiro256 rng(9);
+  const la::Matrix x = RandomPairMatrix(30, &rng);
+  const la::Matrix y = RandomPairMatrix(30, &rng);
+  const double base = *Lsfd(x, y);
+  const la::Matrix x3 = x * 3.0;
+  const la::Matrix y3 = y * 3.0;
+  EXPECT_NEAR(*Lsfd(x3, y3), 3.0 * base, 1e-7 * (1.0 + base));
+}
+
+// Theorem 1: triangle inequality over random triples.
+class LsfdTriangle : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsfdTriangle, HoldsOnRandomTriples) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const la::Matrix x = RandomPairMatrix(24, &rng);
+    const la::Matrix y = RandomPairMatrix(24, &rng);
+    const la::Matrix z = RandomPairMatrix(24, &rng);
+    const double dxy = *Lsfd(x, y);
+    const double dxz = *Lsfd(x, z);
+    const double dzy = *Lsfd(z, y);
+    EXPECT_LE(dxy, dxz + dzy + 1e-9);
+    EXPECT_LE(dxz, dxy + dzy + 1e-9);
+    EXPECT_LE(dzy, dxy + dxz + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsfdTriangle, ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace affinity::core

@@ -1,0 +1,200 @@
+// Tests for la::Matrix (la/matrix.h), including algebraic property sweeps.
+
+#include "la/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace affinity::la {
+namespace {
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, Xoshiro256* rng) {
+  Matrix m(r, c);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < r; ++i) m(i, j) = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FromRowsLaysOutCorrectly) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 1), 5.0);
+}
+
+TEST(Matrix, FromColumnsConcatenates) {
+  Matrix m = Matrix::FromColumns({Vector{1, 2}, Vector{3, 4}});
+  EXPECT_EQ(m(0, 1), 3.0);
+  EXPECT_EQ(m(1, 0), 2.0);
+}
+
+TEST(Matrix, IdentityIsIdentity) {
+  Matrix id = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
+TEST(Matrix, ColumnMajorStorage) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  const double* col0 = m.ColData(0);
+  EXPECT_EQ(col0[0], 1.0);
+  EXPECT_EQ(col0[1], 3.0);
+}
+
+TEST(Matrix, ColAndSetCol) {
+  Matrix m(2, 2);
+  m.SetCol(1, Vector{7, 8});
+  const Vector c = m.Col(1);
+  EXPECT_EQ(c[0], 7.0);
+  EXPECT_EQ(c[1], 8.0);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoOp) {
+  Xoshiro256 rng(1);
+  Matrix a = RandomMatrix(4, 4, &rng);
+  EXPECT_NEAR(a.Multiply(Matrix::Identity(4)).MaxAbsDiff(a), 0.0, 1e-14);
+  EXPECT_NEAR(Matrix::Identity(4).Multiply(a).MaxAbsDiff(a), 0.0, 1e-14);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Vector x{1, 1};
+  Vector y = a.Multiply(x);
+  EXPECT_EQ(y[0], 3.0);
+  EXPECT_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, TransposeMultiplyMatchesExplicitTranspose) {
+  Xoshiro256 rng(2);
+  Matrix a = RandomMatrix(5, 3, &rng);
+  Vector v = Vector{1, -1, 2, 0.5, -0.25};
+  const Vector fast = a.TransposeMultiply(v);
+  const Vector slow = a.Transpose().Multiply(v);
+  EXPECT_NEAR(fast.MaxAbsDiff(slow), 0.0, 1e-13);
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  Xoshiro256 rng(3);
+  Matrix a = RandomMatrix(6, 3, &rng);
+  const Matrix gram = a.Gram();
+  const Matrix slow = a.Transpose().Multiply(a);
+  EXPECT_NEAR(gram.MaxAbsDiff(slow), 0.0, 1e-12);
+  // Gram is symmetric.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(gram(i, j), gram(j, i));
+  }
+}
+
+TEST(Matrix, TransposeIsInvolution) {
+  Xoshiro256 rng(4);
+  Matrix a = RandomMatrix(3, 5, &rng);
+  EXPECT_NEAR(a.Transpose().Transpose().MaxAbsDiff(a), 0.0, 0.0);
+}
+
+TEST(Matrix, AdditionAndSubtraction) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{4, 3}, {2, 1}});
+  const Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), 5.0);
+  EXPECT_EQ(sum(1, 1), 5.0);
+  const Matrix diff = sum - b;
+  EXPECT_NEAR(diff.MaxAbsDiff(a), 0.0, 0.0);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  Matrix a = Matrix::FromRows({{1, -2}});
+  const Matrix s = a * -2.0;
+  EXPECT_EQ(s(0, 0), -2.0);
+  EXPECT_EQ(s(0, 1), 4.0);
+}
+
+TEST(Matrix, ConcatColumns) {
+  Matrix a = Matrix::FromRows({{1}, {2}});
+  Matrix b = Matrix::FromRows({{3, 4}, {5, 6}});
+  const Matrix c = a.ConcatColumns(b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c(0, 0), 1.0);
+  EXPECT_EQ(c(0, 1), 3.0);
+  EXPECT_EQ(c(1, 2), 6.0);
+}
+
+TEST(Matrix, CenteredColumnsHaveZeroMean) {
+  Xoshiro256 rng(5);
+  Matrix a = RandomMatrix(10, 3, &rng);
+  const Matrix c = a.CenteredColumnsCopy();
+  for (std::size_t j = 0; j < 3; ++j) {
+    double mean = 0;
+    for (std::size_t i = 0; i < 10; ++i) mean += c(i, j);
+    EXPECT_NEAR(mean / 10.0, 0.0, 1e-14);
+  }
+}
+
+TEST(Matrix, FrobeniusNormKnownValue) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixProperty, MultiplicationIsAssociative) {
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = RandomMatrix(3, 4, &rng);
+    Matrix b = RandomMatrix(4, 2, &rng);
+    Matrix c = RandomMatrix(2, 5, &rng);
+    const Matrix left = a.Multiply(b).Multiply(c);
+    const Matrix right = a.Multiply(b.Multiply(c));
+    EXPECT_NEAR(left.MaxAbsDiff(right), 0.0, 1e-12);
+  }
+}
+
+TEST(MatrixProperty, DistributesOverAddition) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = RandomMatrix(3, 3, &rng);
+    Matrix b = RandomMatrix(3, 3, &rng);
+    Matrix c = RandomMatrix(3, 3, &rng);
+    const Matrix left = a.Multiply(b + c);
+    const Matrix right = a.Multiply(b) + a.Multiply(c);
+    EXPECT_NEAR(left.MaxAbsDiff(right), 0.0, 1e-12);
+  }
+}
+
+TEST(MatrixProperty, TransposeReversesProduct) {
+  Xoshiro256 rng(8);
+  Matrix a = RandomMatrix(3, 4, &rng);
+  Matrix b = RandomMatrix(4, 2, &rng);
+  const Matrix left = a.Multiply(b).Transpose();
+  const Matrix right = b.Transpose().Multiply(a.Transpose());
+  EXPECT_NEAR(left.MaxAbsDiff(right), 0.0, 1e-12);
+}
+
+TEST(MatrixDeath, DimensionMismatchAborts) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_DEATH({ a.Multiply(b); }, "CHECK");
+}
+
+}  // namespace
+}  // namespace affinity::la

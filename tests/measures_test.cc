@@ -1,0 +1,162 @@
+// Tests for the measure taxonomy and naive evaluation (core/measures.h).
+
+#include "core/measures.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ts/stats.h"
+
+namespace affinity::core {
+namespace {
+
+TEST(Taxonomy, ClassAssignment) {
+  EXPECT_EQ(ClassOf(Measure::kMean), MeasureClass::kLocation);
+  EXPECT_EQ(ClassOf(Measure::kMedian), MeasureClass::kLocation);
+  EXPECT_EQ(ClassOf(Measure::kMode), MeasureClass::kLocation);
+  EXPECT_EQ(ClassOf(Measure::kCovariance), MeasureClass::kDispersion);
+  EXPECT_EQ(ClassOf(Measure::kDotProduct), MeasureClass::kDispersion);
+  EXPECT_EQ(ClassOf(Measure::kCorrelation), MeasureClass::kDerived);
+  EXPECT_EQ(ClassOf(Measure::kCosine), MeasureClass::kDerived);
+  EXPECT_EQ(ClassOf(Measure::kJaccard), MeasureClass::kDerived);
+  EXPECT_EQ(ClassOf(Measure::kDice), MeasureClass::kDerived);
+}
+
+TEST(Taxonomy, Predicates) {
+  EXPECT_TRUE(IsLocation(Measure::kMode));
+  EXPECT_TRUE(IsDispersion(Measure::kDotProduct));
+  EXPECT_TRUE(IsDerived(Measure::kDice));
+  EXPECT_FALSE(IsDerived(Measure::kMean));
+}
+
+TEST(Taxonomy, BaseMeasureOfDerived) {
+  EXPECT_EQ(BaseMeasure(Measure::kCorrelation), Measure::kCovariance);
+  EXPECT_EQ(BaseMeasure(Measure::kCosine), Measure::kDotProduct);
+  EXPECT_EQ(BaseMeasure(Measure::kJaccard), Measure::kDotProduct);
+  EXPECT_EQ(BaseMeasure(Measure::kDice), Measure::kDotProduct);
+  EXPECT_EQ(BaseMeasure(Measure::kMean), Measure::kMean);  // identity on L/T
+}
+
+TEST(Taxonomy, SeparableNormalizers) {
+  EXPECT_TRUE(HasSeparableNormalizer(Measure::kCorrelation));
+  EXPECT_TRUE(HasSeparableNormalizer(Measure::kCosine));
+  EXPECT_FALSE(HasSeparableNormalizer(Measure::kJaccard));
+  EXPECT_FALSE(HasSeparableNormalizer(Measure::kDice));
+  EXPECT_FALSE(HasSeparableNormalizer(Measure::kCovariance));
+}
+
+TEST(Taxonomy, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (Measure m : AllMeasures()) names.insert(MeasureName(m));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumMeasures));
+}
+
+TEST(Taxonomy, MeasureLists) {
+  EXPECT_EQ(AllMeasures().size(), static_cast<std::size_t>(kNumMeasures));
+  EXPECT_EQ(LocationMeasures().size(), 3u);
+  EXPECT_EQ(DispersionMeasures().size(), 2u);
+  EXPECT_EQ(DerivedMeasures().size(), 4u);
+}
+
+TEST(NaiveLocation, MatchesStatsKernels) {
+  const double x[] = {4, 1, 3, 2, 5};
+  EXPECT_DOUBLE_EQ(*NaiveLocationMeasure(Measure::kMean, x, 5), 3.0);
+  EXPECT_DOUBLE_EQ(*NaiveLocationMeasure(Measure::kMedian, x, 5), 3.0);
+  EXPECT_DOUBLE_EQ(*NaiveLocationMeasure(Measure::kMode, x, 5),
+                   ts::stats::NaiveModeEstimate(x, 5));
+}
+
+TEST(NaiveLocation, RejectsPairMeasures) {
+  const double x[] = {1, 2};
+  EXPECT_FALSE(NaiveLocationMeasure(Measure::kCovariance, x, 2).ok());
+  EXPECT_FALSE(NaiveLocationMeasure(Measure::kCorrelation, x, 2).ok());
+}
+
+TEST(NaivePair, CovarianceAndDot) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {4, 6, 8};
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kCovariance, x, y, 3),
+                   ts::stats::Covariance(x, y, 3));
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kDotProduct, x, y, 3), 40.0);
+}
+
+TEST(NaivePair, CorrelationMatchesStats) {
+  const double x[] = {1, 2, 3, 5};
+  const double y[] = {2, 2, 4, 7};
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kCorrelation, x, y, 4),
+                   ts::stats::Correlation(x, y, 4));
+}
+
+TEST(NaivePair, CosineKnownValue) {
+  const double x[] = {1, 0};
+  const double y[] = {1, 1};
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kCosine, x, y, 2), 1.0 / std::sqrt(2.0), 1e-14);
+}
+
+TEST(NaivePair, CosineOfSelfIsOne) {
+  const double x[] = {2, 3, 4};
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kCosine, x, x, 3), 1.0, 1e-14);
+}
+
+TEST(NaivePair, JaccardAndDiceIdentity) {
+  // For identical vectors Jaccard = Dice = 1.
+  const double x[] = {1, 2, 3};
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kJaccard, x, x, 3), 1.0, 1e-14);
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kDice, x, x, 3), 1.0, 1e-14);
+}
+
+TEST(NaivePair, JaccardKnownValue) {
+  const double x[] = {1, 0};
+  const double y[] = {0, 1};
+  // dot = 0 → Jaccard = 0, Dice = 0.
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kJaccard, x, y, 2), 0.0);
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kDice, x, y, 2), 0.0);
+}
+
+TEST(NaivePair, DegenerateZeroVectors) {
+  const double x[] = {0, 0};
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kCosine, x, x, 2), 0.0);
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kJaccard, x, x, 2), 0.0);
+  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kDice, x, x, 2), 0.0);
+}
+
+TEST(NaivePair, RejectsLocationMeasures) {
+  const double x[] = {1, 2};
+  EXPECT_FALSE(NaivePairMeasure(Measure::kMean, x, x, 2).ok());
+}
+
+TEST(NaiveNormalizerFn, CorrelationAndCosine) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(*NaiveNormalizer(Measure::kCorrelation, x, y, 3),
+                   ts::stats::CorrelationNormalizer(x, y, 3));
+  EXPECT_DOUBLE_EQ(
+      *NaiveNormalizer(Measure::kCosine, x, y, 3),
+      std::sqrt(ts::stats::DotProduct(x, x, 3) * ts::stats::DotProduct(y, y, 3)));
+}
+
+TEST(NaiveNormalizerFn, RejectsNonSeparable) {
+  const double x[] = {1, 2};
+  EXPECT_FALSE(NaiveNormalizer(Measure::kJaccard, x, x, 2).ok());
+  EXPECT_FALSE(NaiveNormalizer(Measure::kCovariance, x, x, 2).ok());
+}
+
+TEST(DerivedDefinition, CorrelationIsCovOverNormalizer) {
+  const double x[] = {1, 3, 2, 5, 4};
+  const double y[] = {2, 3, 1, 6, 5};
+  const double cov = *NaivePairMeasure(Measure::kCovariance, x, y, 5);
+  const double u = *NaiveNormalizer(Measure::kCorrelation, x, y, 5);
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kCorrelation, x, y, 5), cov / u, 1e-14);
+}
+
+TEST(DerivedDefinition, CosineIsDotOverNormalizer) {
+  const double x[] = {1, 3, 2};
+  const double y[] = {2, 3, 1};
+  const double dot = *NaivePairMeasure(Measure::kDotProduct, x, y, 3);
+  const double u = *NaiveNormalizer(Measure::kCosine, x, y, 3);
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kCosine, x, y, 3), dot / u, 1e-14);
+}
+
+}  // namespace
+}  // namespace affinity::core

@@ -1,0 +1,107 @@
+// Tests for the cost-based query planner (core/planner.h).
+
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace affinity::core {
+namespace {
+
+QueryPlanner FullPlanner() {
+  return QueryPlanner(670, 720, {.has_model = true, .has_scape = true, .has_dft = true});
+}
+
+QueryPlanner BarePlanner() {
+  return QueryPlanner(670, 720, {.has_model = false, .has_scape = false, .has_dft = false});
+}
+
+TEST(Planner, MecPrefersAffineWhenModelExists) {
+  const PlanChoice c = FullPlanner().PlanMec(Measure::kCovariance, 10);
+  EXPECT_EQ(c.method, QueryMethod::kAffine);
+  EXPECT_GT(c.estimated_cost, 0.0);
+}
+
+TEST(Planner, MecFallsBackToNaive) {
+  const PlanChoice c = BarePlanner().PlanMec(Measure::kCovariance, 10);
+  EXPECT_EQ(c.method, QueryMethod::kNaive);
+}
+
+TEST(Planner, MetPrefersScapeForIndexableMeasures) {
+  for (Measure m : {Measure::kMean, Measure::kMedian, Measure::kMode, Measure::kCovariance,
+                    Measure::kDotProduct, Measure::kCorrelation, Measure::kCosine}) {
+    EXPECT_EQ(FullPlanner().PlanMet(m).method, QueryMethod::kScape) << MeasureName(m);
+  }
+}
+
+TEST(Planner, MetUsesAffineForNonIndexableDerivedMeasures) {
+  for (Measure m : {Measure::kJaccard, Measure::kDice}) {
+    const PlanChoice c = FullPlanner().PlanMet(m);
+    EXPECT_EQ(c.method, QueryMethod::kAffine) << MeasureName(m);
+    EXPECT_NE(c.rationale.find("not SCAPE-indexable"), std::string::npos);
+  }
+}
+
+TEST(Planner, MetWithoutIndexUsesAffine) {
+  QueryPlanner p(670, 720, {.has_model = true, .has_scape = false, .has_dft = false});
+  EXPECT_EQ(p.PlanMet(Measure::kCovariance).method, QueryMethod::kAffine);
+}
+
+TEST(Planner, MetWithNothingUsesNaive) {
+  EXPECT_EQ(BarePlanner().PlanMet(Measure::kCovariance).method, QueryMethod::kNaive);
+}
+
+TEST(Planner, MerMirrorsMet) {
+  EXPECT_EQ(FullPlanner().PlanMer(Measure::kCorrelation).method, QueryMethod::kScape);
+  EXPECT_EQ(FullPlanner().PlanMer(Measure::kJaccard).method, QueryMethod::kAffine);
+}
+
+TEST(Planner, TopKPrefersScape) {
+  const PlanChoice c = FullPlanner().PlanTopK(Measure::kCorrelation, 10);
+  EXPECT_EQ(c.method, QueryMethod::kScape);
+  EXPECT_NE(c.rationale.find("top-k"), std::string::npos);
+}
+
+TEST(Planner, CostsOrderStrategiesSensibly) {
+  // With everything built, the index plan for a selective query must be
+  // cheaper than the WA full sweep, which must be cheaper than WN.
+  QueryPlanner full = FullPlanner();
+  QueryPlanner model_only(670, 720, {.has_model = true, .has_scape = false, .has_dft = false});
+  QueryPlanner bare = BarePlanner();
+  const double scape_cost = full.PlanMet(Measure::kCovariance, 0.01).estimated_cost;
+  const double wa_cost = model_only.PlanMet(Measure::kCovariance, 0.01).estimated_cost;
+  const double wn_cost = bare.PlanMet(Measure::kCovariance, 0.01).estimated_cost;
+  EXPECT_LT(scape_cost, wa_cost);
+  EXPECT_LT(wa_cost, wn_cost);
+}
+
+TEST(Planner, SelectivityScalesIndexCost) {
+  QueryPlanner p = FullPlanner();
+  const double cheap = p.PlanMet(Measure::kCovariance, 0.001).estimated_cost;
+  const double pricey = p.PlanMet(Measure::kCovariance, 0.9).estimated_cost;
+  EXPECT_LT(cheap, pricey);
+}
+
+TEST(Planner, NaiveUnitCostsReflectKernelComplexity) {
+  QueryPlanner p = BarePlanner();
+  // Mode is quadratic, everything else linear-ish in m.
+  EXPECT_GT(p.NaiveUnitCost(Measure::kMode), 100.0 * p.NaiveUnitCost(Measure::kMedian));
+  EXPECT_LT(p.NaiveUnitCost(Measure::kDotProduct), p.NaiveUnitCost(Measure::kCovariance));
+  EXPECT_LT(p.NaiveUnitCost(Measure::kCovariance), p.NaiveUnitCost(Measure::kCorrelation));
+}
+
+TEST(Planner, LocationQueriesCostFewerEntities) {
+  QueryPlanner bare = BarePlanner();
+  const double loc = bare.PlanMet(Measure::kMean).estimated_cost;
+  const double pair = bare.PlanMet(Measure::kDotProduct).estimated_cost;
+  EXPECT_LT(loc, pair);  // n entities vs n(n−1)/2
+}
+
+TEST(Planner, RationaleIsAlwaysPresent) {
+  for (Measure m : AllMeasures()) {
+    EXPECT_FALSE(FullPlanner().PlanMet(m).rationale.empty()) << MeasureName(m);
+    EXPECT_FALSE(BarePlanner().PlanMet(m).rationale.empty()) << MeasureName(m);
+  }
+}
+
+}  // namespace
+}  // namespace affinity::core

@@ -1,0 +1,110 @@
+// Tests for the model-quality diagnostics (core/quality.h).
+
+#include "core/quality.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/symex.h"
+#include "ts/generators.h"
+
+namespace affinity::core {
+namespace {
+
+AffinityModel BuildModel(double noise, std::uint64_t seed = 3) {
+  ts::DatasetSpec spec;
+  spec.num_series = 30;
+  spec.num_samples = 100;
+  spec.num_clusters = 3;
+  spec.noise_level = noise;
+  spec.seed = seed;
+  const ts::Dataset ds = ts::MakeSensorData(spec);
+  auto model = BuildAffinityModel(ds.matrix, AfclstOptions{.k = 3}, SymexOptions{});
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(Quality, ReportShapesAndCounts) {
+  const AffinityModel model = BuildModel(0.02);
+  auto report = EvaluateModelQuality(model, 200, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->relationships, model.relationship_count());
+  EXPECT_EQ(report->pivots, model.pivot_count());
+  EXPECT_GT(report->sampled_pairs, 0u);
+  EXPECT_LE(report->sampled_pairs, 200u);
+  EXPECT_EQ(report->cluster_sizes.size(), model.clustering().k());
+  EXPECT_EQ(std::accumulate(report->cluster_sizes.begin(), report->cluster_sizes.end(),
+                            std::size_t{0}),
+            model.data().n());
+}
+
+TEST(Quality, ResidualStatisticsAreOrdered) {
+  const AffinityModel model = BuildModel(0.05);
+  auto report = EvaluateModelQuality(model, 300, 2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->mean_relative_residual, 0.0);
+  EXPECT_LE(report->mean_relative_residual, report->max_relative_residual + 1e-12);
+  EXPECT_LE(report->p95_relative_residual, report->max_relative_residual + 1e-12);
+}
+
+TEST(Quality, LowNoiseBeatsHighNoise) {
+  const AffinityModel clean = BuildModel(0.005);
+  const AffinityModel noisy = BuildModel(0.2);
+  auto clean_report = EvaluateModelQuality(clean, 300, 4);
+  auto noisy_report = EvaluateModelQuality(noisy, 300, 4);
+  ASSERT_TRUE(clean_report.ok());
+  ASSERT_TRUE(noisy_report.ok());
+  EXPECT_LT(clean_report->mean_relative_residual, noisy_report->mean_relative_residual);
+  EXPECT_LT(clean_report->mean_relative_projection_error,
+            noisy_report->mean_relative_projection_error);
+}
+
+TEST(Quality, ExactAffineFamilyHasNearZeroResiduals) {
+  const ts::DataMatrix dm = ts::MakeExactAffineFamily(80, 16, 9);
+  auto model = BuildAffinityModel(dm, AfclstOptions{.k = 2}, SymexOptions{});
+  ASSERT_TRUE(model.ok());
+  auto report = EvaluateModelQuality(*model, 120, 5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->max_relative_residual, 1e-6);
+  EXPECT_LT(report->mean_relative_lsfd, 1e-6);
+}
+
+TEST(Quality, DeterministicForSeed) {
+  const AffinityModel model = BuildModel(0.02);
+  auto a = EvaluateModelQuality(model, 100, 7);
+  auto b = EvaluateModelQuality(model, 100, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_relative_residual, b->mean_relative_residual);
+  EXPECT_EQ(a->sampled_pairs, b->sampled_pairs);
+}
+
+TEST(Quality, LsfdTracksResiduals) {
+  // LSFD lower-bounds the best possible affine fit; relative LSFD must not
+  // exceed the achieved relative residual by much (both normalized the
+  // same way).
+  const AffinityModel model = BuildModel(0.1);
+  auto report = EvaluateModelQuality(model, 300, 6);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->mean_relative_lsfd, report->max_relative_residual * 1.5 + 1e-9);
+}
+
+TEST(Quality, WorksOnTruncatedModels) {
+  ts::DatasetSpec spec;
+  spec.num_series = 30;
+  spec.num_samples = 100;
+  spec.num_clusters = 3;
+  spec.seed = 3;
+  const ts::Dataset ds = ts::MakeSensorData(spec);
+  SymexOptions symex;
+  symex.max_relationships = 40;
+  auto model = BuildAffinityModel(ds.matrix, AfclstOptions{.k = 3}, symex);
+  ASSERT_TRUE(model.ok());
+  auto report = EvaluateModelQuality(*model, 100, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->sampled_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace affinity::core

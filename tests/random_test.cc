@@ -1,0 +1,141 @@
+// Tests for the PRNG stack (common/random.h): determinism, distributional
+// sanity, and the Zipf workload sampler.
+
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace affinity {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  double acc = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) acc += rng.Uniform(0.0, 1.0);
+  EXPECT_NEAR(acc / trials, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBoundedInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, NextBoundedCoversAllResidues) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256 rng(5);
+  const int trials = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / trials;
+  const double var = sumsq / trials - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, GaussianScaled) {
+  Xoshiro256 rng(5);
+  const int trials = 100000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / trials, 10.0, 0.05);
+}
+
+TEST(ZipfSampler, SamplesInRange) {
+  Xoshiro256 rng(1);
+  ZipfSampler zipf(50, 1.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 50u);
+}
+
+TEST(ZipfSampler, RankZeroIsMostPopular) {
+  Xoshiro256 rng(1);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 0 should dominate rank 50 by roughly 51x under exponent 1.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  EXPECT_GT(counts[0], counts[10] * 3);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  Xoshiro256 rng(9);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 10, trials / 50);
+}
+
+TEST(ZipfSampler, SampleDistinctReturnsDistinct) {
+  Xoshiro256 rng(2);
+  ZipfSampler zipf(30, 1.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<std::size_t> picks = zipf.SampleDistinct(&rng, 10);
+    EXPECT_EQ(picks.size(), 10u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 10u);
+  }
+}
+
+TEST(ZipfSampler, SampleDistinctWholePopulation) {
+  Xoshiro256 rng(2);
+  ZipfSampler zipf(5, 1.0);
+  const std::vector<std::size_t> picks = zipf.SampleDistinct(&rng, 5);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+}  // namespace
+}  // namespace affinity

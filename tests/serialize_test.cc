@@ -1,0 +1,157 @@
+// Tests for model persistence (core/serialize.h): round trips, corrupt
+// inputs, and query equivalence of loaded models.
+
+#include "core/serialize.h"
+
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/scape.h"
+#include "ts/generators.h"
+
+namespace affinity::core {
+namespace {
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+AffinityModel BuildModel(std::uint64_t seed = 13) {
+  ts::DatasetSpec spec;
+  spec.num_series = 24;
+  spec.num_samples = 80;
+  spec.num_clusters = 3;
+  spec.noise_level = 0.02;
+  spec.seed = seed;
+  const ts::Dataset ds = ts::MakeSensorData(spec);
+  auto model = BuildAffinityModel(ds.matrix, AfclstOptions{.k = 3}, SymexOptions{});
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const AffinityModel original = BuildModel();
+  const std::string path = TempPath("model.affm");
+  ASSERT_TRUE(SaveModel(original, path).ok());
+
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->relationship_count(), original.relationship_count());
+  EXPECT_EQ(loaded->pivot_count(), original.pivot_count());
+  EXPECT_EQ(loaded->data().n(), original.data().n());
+  EXPECT_EQ(loaded->data().m(), original.data().m());
+  EXPECT_EQ(loaded->data().names(), original.data().names());
+  EXPECT_NEAR(loaded->data().matrix().MaxAbsDiff(original.data().matrix()), 0.0, 0.0);
+  EXPECT_NEAR(loaded->clustering().centers.MaxAbsDiff(original.clustering().centers), 0.0, 0.0);
+  EXPECT_EQ(loaded->clustering().assignment, original.clustering().assignment);
+  EXPECT_EQ(loaded->stats().relationships, original.stats().relationships);
+}
+
+TEST(Serialize, LoadedModelAnswersIdentically) {
+  const AffinityModel original = BuildModel();
+  const std::string path = TempPath("model2.affm");
+  ASSERT_TRUE(SaveModel(original, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+
+  for (const auto& e : ts::AllSequencePairs(original.data().n())) {
+    for (Measure m : {Measure::kCovariance, Measure::kDotProduct, Measure::kCorrelation}) {
+      EXPECT_DOUBLE_EQ(*loaded->PairMeasure(m, e), *original.PairMeasure(m, e));
+    }
+  }
+  for (ts::SeriesId v = 0; v < original.data().n(); ++v) {
+    for (Measure m : {Measure::kMean, Measure::kMedian, Measure::kMode}) {
+      EXPECT_DOUBLE_EQ(*loaded->SeriesMeasure(m, v), *original.SeriesMeasure(m, v));
+    }
+  }
+}
+
+TEST(Serialize, ScapeRebuildFromLoadedModelMatches) {
+  const AffinityModel original = BuildModel();
+  const std::string path = TempPath("model3.affm");
+  ASSERT_TRUE(SaveModel(original, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+
+  auto index_a = ScapeIndex::Build(original);
+  auto index_b = ScapeIndex::Build(*loaded);
+  ASSERT_TRUE(index_a.ok());
+  ASSERT_TRUE(index_b.ok());
+  auto result_a = index_a->MeasureThreshold(Measure::kCorrelation, 0.8, true);
+  auto result_b = index_b->MeasureThreshold(Measure::kCorrelation, 0.8, true);
+  ASSERT_TRUE(result_a.ok());
+  ASSERT_TRUE(result_b.ok());
+  auto pa = result_a->pairs, pb = result_b->pairs;
+  std::sort(pa.begin(), pa.end());
+  std::sort(pb.begin(), pb.end());
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Serialize, TruncatedModelRoundTrips) {
+  ts::DatasetSpec spec;
+  spec.num_series = 20;
+  spec.num_samples = 50;
+  spec.num_clusters = 2;
+  spec.seed = 9;
+  const ts::Dataset ds = ts::MakeSensorData(spec);
+  SymexOptions symex;
+  symex.max_relationships = 30;
+  auto model = BuildAffinityModel(ds.matrix, AfclstOptions{.k = 2}, symex);
+  ASSERT_TRUE(model.ok());
+  const std::string path = TempPath("trunc.affm");
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->relationship_count(), 30u);
+}
+
+TEST(Serialize, MissingFileIsIoError) {
+  EXPECT_EQ(LoadModel(TempPath("nope.affm")).status().code(), StatusCode::kIoError);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  const std::string path = TempPath("garbage.affm");
+  std::ofstream(path) << "definitely not a model";
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Serialize, TruncatedFileRejected) {
+  const AffinityModel model = BuildModel();
+  const std::string path = TempPath("full.affm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  const std::string cut = TempPath("cut.affm");
+  std::ofstream(cut, std::ios::binary) << bytes.substr(0, bytes.size() / 2);
+  auto loaded = LoadModel(cut);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Serialize, UnsupportedVersionRejected) {
+  const AffinityModel model = BuildModel();
+  const std::string path = TempPath("ver.affm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Bump the version field (bytes 4..7).
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4);
+  const std::uint32_t bad = 999;
+  f.write(reinterpret_cast<const char*>(&bad), sizeof bad);
+  f.close();
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(Serialize, SaveToUnwritablePathFails) {
+  const AffinityModel model = BuildModel();
+  EXPECT_EQ(SaveModel(model, "/nonexistent-dir/x.affm").code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace affinity::core

@@ -1,0 +1,150 @@
+// Tests for the dense solvers (la/solve.h).
+
+#include "la/solve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace affinity::la {
+namespace {
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, Xoshiro256* rng) {
+  Matrix m(r, c);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < r; ++i) m(i, j) = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+TEST(SolveLinearSystem, KnownSystem) {
+  // x + y = 3; x - y = 1  ->  x = 2, y = 1.
+  Matrix a = Matrix::FromRows({{1, 1}, {1, -1}});
+  auto x = SolveLinearSystem(a, Vector{3, 1});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  auto x = SolveLinearSystem(a, Vector{5, 7});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 5.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, DetectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  auto x = SolveLinearSystem(a, Vector{1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveLinearSystem, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, Vector{1, 2}).ok());
+}
+
+TEST(SolveLinearSystem, RejectsDimensionMismatch) {
+  Matrix a = Matrix::Identity(3);
+  EXPECT_FALSE(SolveLinearSystem(a, Vector{1, 2}).ok());
+}
+
+TEST(SolveLinearSystem, ResidualIsTinyOnRandomSystems) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix a = RandomMatrix(5, 5, &rng);
+    Vector b(5);
+    for (std::size_t i = 0; i < 5; ++i) b[i] = rng.Uniform(-1.0, 1.0);
+    auto x = SolveLinearSystem(a, b);
+    if (!x.ok()) continue;  // singular draw, fine
+    const Vector r = a.Multiply(*x) - b;
+    EXPECT_NEAR(r.Norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(SolveLinearSystems, MultiRhs) {
+  Matrix a = Matrix::FromRows({{2, 0}, {0, 4}});
+  Matrix b = Matrix::FromRows({{2, 4}, {8, 12}});
+  auto x = SolveLinearSystems(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*x)(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 1), 3.0, 1e-12);
+}
+
+TEST(Invert, InverseTimesOriginalIsIdentity) {
+  Xoshiro256 rng(2);
+  const Matrix a = RandomMatrix(4, 4, &rng);
+  auto inv = Invert(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_NEAR(a.Multiply(*inv).MaxAbsDiff(Matrix::Identity(4)), 0.0, 1e-9);
+  EXPECT_NEAR(inv->Multiply(a).MaxAbsDiff(Matrix::Identity(4)), 0.0, 1e-9);
+}
+
+TEST(SolveLeastSquares, ExactFitIsRecovered) {
+  // b = m·x exactly -> least squares returns x.
+  Xoshiro256 rng(3);
+  const Matrix m = RandomMatrix(10, 3, &rng);
+  const Matrix x_true = RandomMatrix(3, 2, &rng);
+  const Matrix b = m.Multiply(x_true);
+  auto x = SolveLeastSquares(m, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x->MaxAbsDiff(x_true), 0.0, 1e-9);
+}
+
+TEST(SolveLeastSquares, ResidualIsOrthogonalToColumns) {
+  Xoshiro256 rng(4);
+  const Matrix m = RandomMatrix(12, 3, &rng);
+  const Matrix b = RandomMatrix(12, 1, &rng);
+  auto x = SolveLeastSquares(m, b);
+  ASSERT_TRUE(x.ok());
+  const Matrix residual = b - m.Multiply(*x);
+  // mᵀ r = 0 characterizes the least-squares solution.
+  const Vector mtr = m.TransposeMultiply(residual.Col(0));
+  EXPECT_NEAR(mtr.Norm(), 0.0, 1e-9);
+}
+
+TEST(SolveLeastSquares, RejectsUnderdetermined) {
+  Matrix m(2, 3);
+  Matrix b(2, 1);
+  EXPECT_FALSE(SolveLeastSquares(m, b).ok());
+}
+
+TEST(PseudoInverse, LeftInverseProperty) {
+  Xoshiro256 rng(5);
+  const Matrix m = RandomMatrix(9, 3, &rng);
+  auto pinv = PseudoInverse(m);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_EQ(pinv->rows(), 3u);
+  EXPECT_EQ(pinv->cols(), 9u);
+  EXPECT_NEAR(pinv->Multiply(m).MaxAbsDiff(Matrix::Identity(3)), 0.0, 1e-9);
+}
+
+TEST(PseudoInverse, MatchesLeastSquaresSolution) {
+  Xoshiro256 rng(6);
+  const Matrix m = RandomMatrix(8, 3, &rng);
+  const Matrix b = RandomMatrix(8, 2, &rng);
+  auto pinv = PseudoInverse(m);
+  auto x = SolveLeastSquares(m, b);
+  ASSERT_TRUE(pinv.ok());
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(pinv->Multiply(b).MaxAbsDiff(*x), 0.0, 1e-9);
+}
+
+TEST(PseudoInverse, FailsOnRankDeficient) {
+  Matrix m(5, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    m(i, 0) = static_cast<double>(i);
+    m(i, 1) = 2.0 * static_cast<double>(i);  // collinear columns
+  }
+  EXPECT_FALSE(PseudoInverse(m).ok());
+}
+
+}  // namespace
+}  // namespace affinity::la

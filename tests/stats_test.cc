@@ -1,0 +1,274 @@
+// Tests for the statistical kernels (ts/stats.h) — the WN baseline.
+
+#include "ts/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace affinity::ts::stats {
+namespace {
+
+TEST(Mean, KnownValues) {
+  const double x[] = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(x, 4), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(x, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Mean(x, 0), 0.0);
+}
+
+TEST(Median, OddLength) {
+  const double x[] = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(Median(x, 3), 3.0);
+}
+
+TEST(Median, EvenLengthAveragesMiddle) {
+  const double x[] = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(Median(x, 4), 2.5);
+}
+
+TEST(Median, DoesNotMutateInput) {
+  const double x[] = {9, 1, 5};
+  (void)Median(x, 3);
+  EXPECT_EQ(x[0], 9.0);
+  EXPECT_EQ(x[1], 1.0);
+}
+
+TEST(Median, SingleAndEmpty) {
+  const double x[] = {7};
+  EXPECT_DOUBLE_EQ(Median(x, 1), 7.0);
+  EXPECT_DOUBLE_EQ(Median(x, 0), 0.0);
+}
+
+TEST(Median, RobustToOutliers) {
+  const double x[] = {1, 2, 3, 4, 1000};
+  EXPECT_DOUBLE_EQ(Median(x, 5), 3.0);
+}
+
+TEST(Mode, PicksDensestBin) {
+  // Cluster around 5 with one straggler at 0.
+  const double x[] = {5.0, 5.01, 5.02, 4.99, 0.0};
+  const double mode = Mode(x, 5);
+  EXPECT_NEAR(mode, 5.0, 0.05);
+}
+
+TEST(Mode, ConstantSeriesReturnsValue) {
+  const double x[] = {3.3, 3.3, 3.3};
+  EXPECT_DOUBLE_EQ(Mode(x, 3), 3.3);
+}
+
+TEST(Mode, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(Mode(nullptr, 0), 0.0); }
+
+TEST(Mode, RespectsBinCount) {
+  const double x[] = {0.0, 1.0};
+  // With two bins, bin centres are 0.25 and 0.75; tie keeps the lower bin.
+  EXPECT_DOUBLE_EQ(Mode(x, 2, 2), 0.25);
+}
+
+TEST(Mode, AffineEquivarianceApproximately) {
+  Xoshiro256 rng(1);
+  std::vector<double> x(500);
+  for (auto& v : x) v = rng.Gaussian(10.0, 2.0);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) y[i] = 3.0 * x[i] - 7.0;
+  // mode(3x-7) ≈ 3·mode(x) − 7 (bins are affine-equivariant over [min,max]).
+  EXPECT_NEAR(Mode(y.data(), 500), 3.0 * Mode(x.data(), 500) - 7.0, 1e-9);
+}
+
+TEST(NaiveMode, AgreesWithHistogramModeOnClusteredData) {
+  Xoshiro256 rng(7);
+  std::vector<double> x(400);
+  for (auto& v : x) v = rng.Gaussian(3.0, 0.5);
+  const double lo = *std::min_element(x.begin(), x.end());
+  const double hi = *std::max_element(x.begin(), x.end());
+  const double bin = (hi - lo) / kModeBins;
+  EXPECT_NEAR(NaiveModeEstimate(x.data(), 400), Mode(x.data(), 400), 3.0 * bin);
+}
+
+TEST(NaiveMode, ConstantSeries) {
+  const double x[] = {2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(NaiveModeEstimate(x, 3), 2.5);
+}
+
+TEST(NaiveMode, PicksDensestSample) {
+  const double x[] = {10.0, 1.0, 1.001, 0.999, 1.0002};
+  EXPECT_NEAR(NaiveModeEstimate(x, 5), 1.0, 0.01);
+}
+
+TEST(NaiveMode, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(NaiveModeEstimate(nullptr, 0), 0.0); }
+
+TEST(Variance, KnownValue) {
+  const double x[] = {1, 3};
+  EXPECT_DOUBLE_EQ(Variance(x, 2), 1.0);  // population variance
+}
+
+TEST(Variance, ConstantIsZero) {
+  const double x[] = {4, 4, 4};
+  EXPECT_DOUBLE_EQ(Variance(x, 3), 0.0);
+}
+
+TEST(Covariance, KnownValue) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {2, 4, 6};
+  // cov = E[xy] − E[x]E[y] = 28/3 − 2·4 = 4/3... direct: Σ(x−2)(y−4)/3 = (2+0+2)/3.
+  EXPECT_NEAR(Covariance(x, y, 3), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Covariance, SymmetricInArguments) {
+  const double x[] = {1, 5, 2, 8};
+  const double y[] = {0, 3, 3, 1};
+  EXPECT_DOUBLE_EQ(Covariance(x, y, 4), Covariance(y, x, 4));
+}
+
+TEST(Covariance, OfSelfIsVariance) {
+  const double x[] = {1, 5, 2, 8};
+  EXPECT_DOUBLE_EQ(Covariance(x, x, 4), Variance(x, 4));
+}
+
+TEST(DotProduct, KnownValue) {
+  const double x[] = {1, 2, 3};
+  const double y[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(DotProduct(x, y, 3), 32.0);
+}
+
+TEST(Correlation, PerfectPositive) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {10, 20, 30, 40};
+  EXPECT_NEAR(Correlation(x, y, 4), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {8, 6, 4, 2};
+  EXPECT_NEAR(Correlation(x, y, 4), -1.0, 1e-12);
+}
+
+TEST(Correlation, ShiftAndScaleInvariant) {
+  Xoshiro256 rng(2);
+  std::vector<double> x(100), y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = 5.0 * x[i] + 3.0;
+  }
+  EXPECT_NEAR(Correlation(x.data(), y.data(), 100), 1.0, 1e-12);
+}
+
+TEST(Correlation, ZeroVarianceGivesZero) {
+  const double x[] = {1, 1, 1};
+  const double y[] = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Correlation(x, y, 3), 0.0);
+}
+
+TEST(Correlation, BoundedByOne) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(40), y(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+      x[i] = rng.Gaussian();
+      y[i] = rng.Gaussian();
+    }
+    const double r = Correlation(x.data(), y.data(), 40);
+    EXPECT_LE(std::fabs(r), 1.0 + 1e-12);
+  }
+}
+
+TEST(CorrelationNormalizerFn, MatchesDefinition) {
+  const double x[] = {1, 2, 3, 4};
+  const double y[] = {2, 2, 4, 4};
+  EXPECT_NEAR(CorrelationNormalizer(x, y, 4), std::sqrt(Variance(x, 4) * Variance(y, 4)), 1e-14);
+}
+
+TEST(ColumnSumsFn, TwoColumns) {
+  la::Matrix x = la::Matrix::FromRows({{1, 10}, {2, 20}});
+  const la::Vector h = ColumnSums(x);
+  EXPECT_DOUBLE_EQ(h[0], 3.0);
+  EXPECT_DOUBLE_EQ(h[1], 30.0);
+}
+
+TEST(PairCovarianceMatrixFn, MatchesScalars) {
+  la::Matrix x = la::Matrix::FromRows({{1, 4}, {2, 5}, {3, 7}});
+  const la::Matrix c = PairCovarianceMatrix(x);
+  EXPECT_DOUBLE_EQ(c(0, 0), Variance(x.ColData(0), 3));
+  EXPECT_DOUBLE_EQ(c(1, 1), Variance(x.ColData(1), 3));
+  EXPECT_DOUBLE_EQ(c(0, 1), Covariance(x.ColData(0), x.ColData(1), 3));
+  EXPECT_DOUBLE_EQ(c(0, 1), c(1, 0));
+}
+
+TEST(PairDotProductMatrixFn, MatchesScalars) {
+  la::Matrix x = la::Matrix::FromRows({{1, 4}, {2, 5}});
+  const la::Matrix d = PairDotProductMatrix(x);
+  EXPECT_DOUBLE_EQ(d(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 41.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 14.0);
+}
+
+TEST(MatrixLevel, CovarianceMatrixMatchesScalars) {
+  Xoshiro256 rng(4);
+  la::Matrix values(20, 4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 20; ++i) values(i, j) = rng.Gaussian();
+  }
+  DataMatrix dm(values);
+  const la::Matrix cov = CovarianceMatrix(dm);
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      EXPECT_NEAR(cov(u, v), Covariance(dm.ColumnData(u), dm.ColumnData(v), 20), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixLevel, CorrelationMatrixHasUnitDiagonal) {
+  Xoshiro256 rng(5);
+  la::Matrix values(30, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 30; ++i) values(i, j) = rng.Gaussian();
+  }
+  DataMatrix dm(values);
+  const la::Matrix rho = CorrelationMatrix(dm);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(rho(j, j), 1.0);
+}
+
+TEST(MatrixLevel, LocationVectors) {
+  la::Matrix values = la::Matrix::FromRows({{1, 10}, {3, 30}, {2, 20}});
+  DataMatrix dm(values);
+  const la::Vector mean = MeanVector(dm);
+  const la::Vector median = MedianVector(dm);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 20.0);
+  EXPECT_DOUBLE_EQ(median[0], 2.0);
+  EXPECT_DOUBLE_EQ(median[1], 20.0);
+}
+
+TEST(VectorOverloads, AgreeWithPointerVersions) {
+  la::Vector x{1, 2, 3, 4};
+  la::Vector y{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(Mean(x), Mean(x.data(), 4));
+  EXPECT_DOUBLE_EQ(Median(x), Median(x.data(), 4));
+  EXPECT_DOUBLE_EQ(Variance(x), Variance(x.data(), 4));
+  EXPECT_DOUBLE_EQ(Covariance(x, y), Covariance(x.data(), y.data(), 4));
+  EXPECT_DOUBLE_EQ(DotProduct(x, y), DotProduct(x.data(), y.data(), 4));
+  EXPECT_DOUBLE_EQ(Correlation(x, y), Correlation(x.data(), y.data(), 4));
+}
+
+// Property sweep: covariance bilinearity cov(a·x+c, y) = a·cov(x, y).
+class CovarianceScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(CovarianceScaling, IsBilinear) {
+  const double a = GetParam();
+  Xoshiro256 rng(6);
+  std::vector<double> x(60), y(60), ax(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+    ax[i] = a * x[i] + 11.0;  // shift must not matter
+  }
+  EXPECT_NEAR(Covariance(ax.data(), y.data(), 60), a * Covariance(x.data(), y.data(), 60),
+              1e-10 * (1.0 + std::fabs(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CovarianceScaling, ::testing::Values(-3.0, -1.0, 0.0, 0.5, 2.0, 10.0));
+
+}  // namespace
+}  // namespace affinity::ts::stats

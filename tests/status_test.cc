@@ -1,0 +1,127 @@
+// Tests for affinity::Status and StatusOr (common/status.h).
+
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace affinity {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("ae").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("in").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("un").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(Status, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::Internal("x").ok());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  const Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status(), Status::OK());
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOr, ValueOrReturnsValueWhenOk) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v.value_or("fallback"), "hello");
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  std::vector<int> taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+namespace helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  AFFINITY_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  AFFINITY_ASSIGN_OR_RETURN(int h, Half(x));
+  AFFINITY_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+}  // namespace helpers
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chain(1).ok());
+  EXPECT_FALSE(helpers::Chain(-1).ok());
+  EXPECT_EQ(helpers::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacros, AssignOrReturnChains) {
+  StatusOr<int> q = helpers::Quarter(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 2);
+  EXPECT_FALSE(helpers::Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(helpers::Quarter(7).ok());
+}
+
+}  // namespace
+}  // namespace affinity

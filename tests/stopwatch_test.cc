@@ -1,0 +1,62 @@
+// Tests for the timing utilities (common/stopwatch.h).
+
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace affinity {
+namespace {
+
+TEST(Stopwatch, ElapsedIsNonNegativeAndMonotonic) {
+  Stopwatch w;
+  const double t1 = w.ElapsedSeconds();
+  const double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(Stopwatch, UnitsAreConsistent) {
+  Stopwatch w;
+  // Busy-wait a little so elapsed is strictly positive.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double s = w.ElapsedSeconds();
+  const double ms = w.ElapsedMillis();
+  EXPECT_GT(s, 0.0);
+  // Millis sampled after seconds, so ms/1000 >= s.
+  EXPECT_GE(ms / 1000.0, s * 0.5);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch w;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  const double before = w.ElapsedSeconds();
+  w.Restart();
+  EXPECT_LT(w.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(TimeAccumulator, AccumulatesAndCounts) {
+  TimeAccumulator acc;
+  acc.Add(1.5);
+  acc.Add(0.5);
+  EXPECT_DOUBLE_EQ(acc.seconds(), 2.0);
+  EXPECT_EQ(acc.count(), 2);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+  EXPECT_EQ(acc.count(), 0);
+}
+
+TEST(ScopedTimer, AddsOnDestruction) {
+  TimeAccumulator acc;
+  {
+    ScopedTimer t(&acc);
+    volatile double sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(acc.seconds(), 0.0);
+  EXPECT_EQ(acc.count(), 1);
+}
+
+}  // namespace
+}  // namespace affinity

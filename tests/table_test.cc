@@ -1,0 +1,143 @@
+// Tests for the storage layer (storage/table.h, storage/column_segment.h).
+
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/column_segment.h"
+#include "ts/generators.h"
+
+namespace affinity::storage {
+namespace {
+
+TEST(ColumnSegment, TracksSummaries) {
+  ColumnSegment seg(4);
+  seg.Append(3.0);
+  seg.Append(-1.0);
+  seg.Append(2.0);
+  EXPECT_EQ(seg.size(), 3u);
+  EXPECT_FALSE(seg.full());
+  EXPECT_DOUBLE_EQ(seg.min(), -1.0);
+  EXPECT_DOUBLE_EQ(seg.max(), 3.0);
+  EXPECT_DOUBLE_EQ(seg.sum(), 4.0);
+  seg.Append(0.0);
+  EXPECT_TRUE(seg.full());
+}
+
+TEST(ColumnSegmentDeath, AppendToFullAborts) {
+  ColumnSegment seg(1);
+  seg.Append(1.0);
+  EXPECT_DEATH({ seg.Append(2.0); }, "CHECK");
+}
+
+TEST(DataMatrixTable, RegisterAndLookup) {
+  DataMatrixTable table;
+  auto a = table.RegisterSeries("INTC", "finance", 60.0);
+  auto b = table.RegisterSeries("AMD", "finance", 60.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(table.series_count(), 2u);
+
+  auto info = table.GetSeriesInfo(1);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, "AMD");
+  EXPECT_EQ(info->source, "finance");
+
+  auto found = table.FindSeries("INTC");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0u);
+  EXPECT_EQ(table.FindSeries("MSFT").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataMatrixTable, DuplicateNameRejected) {
+  DataMatrixTable table;
+  ASSERT_TRUE(table.RegisterSeries("x", "s", 1.0).ok());
+  auto dup = table.RegisterSeries("x", "s", 1.0);
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DataMatrixTable, EmptyNameRejected) {
+  DataMatrixTable table;
+  EXPECT_EQ(table.RegisterSeries("", "s", 1.0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DataMatrixTable, RegistrationLockedAfterFirstRow) {
+  DataMatrixTable table;
+  ASSERT_TRUE(table.RegisterSeries("x", "s", 1.0).ok());
+  ASSERT_TRUE(table.AppendRow({1.0}).ok());
+  EXPECT_EQ(table.RegisterSeries("y", "s", 1.0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DataMatrixTable, AppendRowValidatesWidth) {
+  DataMatrixTable table;
+  ASSERT_TRUE(table.RegisterSeries("x", "s", 1.0).ok());
+  ASSERT_TRUE(table.RegisterSeries("y", "s", 1.0).ok());
+  EXPECT_FALSE(table.AppendRow({1.0}).ok());
+  EXPECT_FALSE(table.AppendRow({1.0, 2.0, 3.0}).ok());
+  EXPECT_TRUE(table.AppendRow({1.0, 2.0}).ok());
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(DataMatrixTable, AppendToEmptyTableFails) {
+  DataMatrixTable table;
+  EXPECT_EQ(table.AppendRow({}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DataMatrixTable, SnapshotRoundTrip) {
+  DataMatrixTable table(/*segment_capacity=*/3);  // force multiple segments
+  ASSERT_TRUE(table.RegisterSeries("a", "s", 1.0).ok());
+  ASSERT_TRUE(table.RegisterSeries("b", "s", 1.0).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.AppendRow({static_cast<double>(i), static_cast<double>(10 * i)}).ok());
+  }
+  auto snap = table.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->m(), 10u);
+  EXPECT_EQ(snap->n(), 2u);
+  EXPECT_EQ(snap->name(0), "a");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(snap->matrix()(static_cast<std::size_t>(i), 0), i);
+    EXPECT_DOUBLE_EQ(snap->matrix()(static_cast<std::size_t>(i), 1), 10.0 * i);
+  }
+}
+
+TEST(DataMatrixTable, SnapshotRequiresData) {
+  DataMatrixTable table;
+  EXPECT_FALSE(table.Snapshot().ok());
+  ASSERT_TRUE(table.RegisterSeries("a", "s", 1.0).ok());
+  EXPECT_FALSE(table.Snapshot().ok());
+}
+
+TEST(DataMatrixTable, SegmentSummaryAggregates) {
+  DataMatrixTable table(/*segment_capacity=*/2);
+  ASSERT_TRUE(table.RegisterSeries("a", "s", 1.0).ok());
+  for (double v : {5.0, -2.0, 7.0, 1.0, 0.0}) ASSERT_TRUE(table.AppendRow({v}).ok());
+  EXPECT_DOUBLE_EQ(*table.ColumnMin(0), -2.0);
+  EXPECT_DOUBLE_EQ(*table.ColumnMax(0), 7.0);
+  EXPECT_DOUBLE_EQ(*table.ColumnSum(0), 11.0);
+  EXPECT_FALSE(table.ColumnMin(1).ok());
+}
+
+TEST(DataMatrixTable, FromDataMatrixRoundTrip) {
+  const ts::Dataset ds = ts::MakeSensorData(
+      {.num_series = 6, .num_samples = 50, .num_clusters = 2, .noise_level = 0.02, .seed = 4});
+  auto table = DataMatrixTable::FromDataMatrix(ds.matrix, "sensor", 120.0);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->series_count(), 6u);
+  EXPECT_EQ(table->row_count(), 50u);
+  auto snap = table->Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_NEAR(snap->matrix().MaxAbsDiff(ds.matrix.matrix()), 0.0, 0.0);
+  EXPECT_EQ(snap->names(), ds.matrix.names());
+}
+
+TEST(DataMatrixTable, GetSeriesInfoOutOfRange) {
+  DataMatrixTable table;
+  EXPECT_EQ(table.GetSeriesInfo(0).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace affinity::storage

@@ -1,0 +1,176 @@
+// Tests for the top-k extension: ScapeIndex::TopK and QueryEngine::TopK.
+// The index-side threshold algorithm must agree exactly with the WA
+// strategy's evaluate-all-and-sort answer.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "ts/generators.h"
+
+namespace affinity::core {
+namespace {
+
+class TopKTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ts::DatasetSpec spec;
+    spec.num_series = 40;
+    spec.num_samples = 120;
+    spec.num_clusters = 4;
+    spec.noise_level = 0.02;
+    spec.seed = 77;
+    auto fw = Affinity::Build(ts::MakeSensorData(spec).matrix);
+    ASSERT_TRUE(fw.ok());
+    framework_ = new Affinity(std::move(fw).value());
+  }
+  static void TearDownTestSuite() {
+    delete framework_;
+    framework_ = nullptr;
+  }
+  static Affinity* framework_;
+};
+
+Affinity* TopKTest::framework_ = nullptr;
+
+/// WA reference: evaluate everything, sort, truncate.
+std::vector<double> ReferenceValues(const Affinity& fw, Measure measure, std::size_t k,
+                                    bool largest) {
+  std::vector<double> values;
+  if (IsLocation(measure)) {
+    for (ts::SeriesId v = 0; v < fw.data().n(); ++v) {
+      values.push_back(*fw.model().SeriesMeasure(measure, v));
+    }
+  } else {
+    for (const auto& e : ts::AllSequencePairs(fw.data().n())) {
+      values.push_back(*fw.model().PairMeasure(measure, e));
+    }
+  }
+  std::sort(values.begin(), values.end());
+  if (largest) std::reverse(values.begin(), values.end());
+  values.resize(std::min(k, values.size()));
+  return values;
+}
+
+struct TopKCase {
+  Measure measure;
+  std::size_t k;
+  bool largest;
+};
+
+class TopKEquivalence : public ::testing::TestWithParam<TopKCase> {};
+
+TEST_P(TopKEquivalence, IndexMatchesReference) {
+  ts::DatasetSpec spec;
+  spec.num_series = 36;
+  spec.num_samples = 100;
+  spec.num_clusters = 3;
+  spec.noise_level = 0.02;
+  spec.seed = 5;
+  auto fw = Affinity::Build(ts::MakeSensorData(spec).matrix);
+  ASSERT_TRUE(fw.ok());
+  const TopKCase c = GetParam();
+
+  auto result = fw->scape()->TopK(c.measure, c.k, c.largest);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<double> expected = ReferenceValues(*fw, c.measure, c.k, c.largest);
+  ASSERT_EQ(result->entries.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(result->entries[i].value, expected[i], 1e-9 * (1.0 + std::fabs(expected[i])))
+        << "rank " << i;
+  }
+  // Best-first ordering.
+  for (std::size_t i = 1; i < result->entries.size(); ++i) {
+    if (c.largest) {
+      EXPECT_GE(result->entries[i - 1].value, result->entries[i].value - 1e-12);
+    } else {
+      EXPECT_LE(result->entries[i - 1].value, result->entries[i].value + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TopKEquivalence,
+    ::testing::Values(TopKCase{Measure::kCovariance, 10, true},
+                      TopKCase{Measure::kCovariance, 10, false},
+                      TopKCase{Measure::kDotProduct, 25, true},
+                      TopKCase{Measure::kCorrelation, 10, true},
+                      TopKCase{Measure::kCorrelation, 10, false},
+                      TopKCase{Measure::kCorrelation, 100, true},
+                      TopKCase{Measure::kCosine, 15, true},
+                      TopKCase{Measure::kMean, 5, true},
+                      TopKCase{Measure::kMedian, 5, false},
+                      TopKCase{Measure::kMode, 7, true}));
+
+TEST_F(TopKTest, KZeroIsEmpty) {
+  auto result = framework_->scape()->TopK(Measure::kCorrelation, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->entries.empty());
+}
+
+TEST_F(TopKTest, KLargerThanPopulationReturnsAll) {
+  auto result = framework_->scape()->TopK(Measure::kMean, 10000, true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entries.size(), framework_->data().n());
+}
+
+TEST_F(TopKTest, RejectsNonIndexableMeasures) {
+  EXPECT_EQ(framework_->scape()->TopK(Measure::kJaccard, 5).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(TopKTest, ThresholdAlgorithmPrunesForDerivedMeasures) {
+  // For a small k the TA must examine far fewer entries than the index holds.
+  auto result = framework_->scape()->TopK(Measure::kCorrelation, 5, true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entries.size(), 5u);
+  EXPECT_LT(result->examined, framework_->model().relationship_count());
+}
+
+TEST_F(TopKTest, EngineDispatchAgreesAcrossMethods) {
+  TopKRequest request;
+  request.measure = Measure::kCovariance;
+  request.k = 12;
+  auto scape = framework_->engine().TopK(request, QueryMethod::kScape);
+  auto wa = framework_->engine().TopK(request, QueryMethod::kAffine);
+  auto wn = framework_->engine().TopK(request, QueryMethod::kNaive);
+  ASSERT_TRUE(scape.ok());
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wn.ok());
+  ASSERT_EQ(scape->entries.size(), 12u);
+  ASSERT_EQ(wa->entries.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(scape->entries[i].value, wa->entries[i].value,
+                1e-9 * (1.0 + std::fabs(wa->entries[i].value)));
+    // WN is the ground truth; WA/SCAPE approximate it closely on clean data.
+    EXPECT_NEAR(scape->entries[i].value, wn->entries[i].value,
+                1e-3 * (1.0 + std::fabs(wn->entries[i].value)));
+  }
+}
+
+TEST_F(TopKTest, EngineValidation) {
+  TopKRequest request;
+  request.measure = Measure::kCorrelation;
+  request.k = 3;
+  EXPECT_FALSE(framework_->engine().TopK(request, QueryMethod::kDft).ok());
+
+  const ts::DataMatrix& data = framework_->data();
+  QueryEngine bare(&data);
+  EXPECT_EQ(bare.TopK(request, QueryMethod::kScape).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(bare.TopK(request, QueryMethod::kNaive).ok());
+}
+
+TEST_F(TopKTest, TopPairsAreMutuallyDistinct) {
+  auto result = framework_->scape()->TopK(Measure::kCorrelation, 50, true);
+  ASSERT_TRUE(result.ok());
+  std::vector<ts::SequencePair> pairs;
+  for (const auto& entry : result->entries) pairs.push_back(entry.pair);
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(std::adjacent_find(pairs.begin(), pairs.end()), pairs.end());
+}
+
+}  // namespace
+}  // namespace affinity::core

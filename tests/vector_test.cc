@@ -1,0 +1,129 @@
+// Tests for la::Vector (la/vector.h).
+
+#include "la/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace affinity::la {
+namespace {
+
+TEST(Vector, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(Vector, SizedConstructorZeroInitializes) {
+  Vector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, FillConstructor) {
+  Vector v(3, 2.5);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(v[i], 2.5);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(Vector, AdoptsStorage) {
+  Vector v(std::vector<double>{5.0, 6.0});
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 5.0);
+}
+
+TEST(Vector, ElementwiseArithmetic) {
+  Vector a{1, 2, 3};
+  Vector b{10, 20, 30};
+  Vector sum = a + b;
+  Vector diff = b - a;
+  EXPECT_EQ(sum[2], 33.0);
+  EXPECT_EQ(diff[0], 9.0);
+  a += b;
+  EXPECT_EQ(a[1], 22.0);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0);
+}
+
+TEST(Vector, ScalarArithmetic) {
+  Vector a{1, -2};
+  Vector scaled = a * 3.0;
+  EXPECT_EQ(scaled[0], 3.0);
+  EXPECT_EQ(scaled[1], -6.0);
+  Vector scaled2 = 2.0 * a;
+  EXPECT_EQ(scaled2[1], -4.0);
+  a *= -1.0;
+  EXPECT_EQ(a[0], -1.0);
+  a /= 2.0;
+  EXPECT_EQ(a[0], -0.5);
+}
+
+TEST(Vector, DotAndNorm) {
+  Vector a{3, 4};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  Vector b{1, 0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 3.0);
+}
+
+TEST(Vector, SumAndMean) {
+  Vector a{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(a.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(Vector().Mean(), 0.0);
+}
+
+TEST(Vector, NormalizeMakesUnitNorm) {
+  Vector a{3, 4};
+  const double old_norm = a.Normalize();
+  EXPECT_DOUBLE_EQ(old_norm, 5.0);
+  EXPECT_NEAR(a.Norm(), 1.0, 1e-15);
+  EXPECT_NEAR(a[0], 0.6, 1e-15);
+}
+
+TEST(Vector, NormalizeZeroVectorIsNoOp) {
+  Vector a(3);
+  EXPECT_DOUBLE_EQ(a.Normalize(), 0.0);
+  EXPECT_EQ(a[0], 0.0);
+}
+
+TEST(Vector, CenteredCopyHasZeroMean) {
+  Vector a{1, 2, 3, 10};
+  Vector c = a.CenteredCopy();
+  EXPECT_NEAR(c.Mean(), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(a.Mean(), 4.0);  // original untouched
+}
+
+TEST(Vector, MaxAbsDiff) {
+  Vector a{1, 2, 3};
+  Vector b{1, 5, 2};
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(Vector, ToStringRendersElements) {
+  Vector a{1, 2};
+  EXPECT_EQ(a.ToString(), "[1, 2]");
+}
+
+TEST(Vector, IterationWorks) {
+  Vector a{1, 2, 3};
+  double sum = 0;
+  for (double x : a) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+TEST(VectorDeath, SizeMismatchAborts) {
+  Vector a{1, 2};
+  Vector b{1, 2, 3};
+  EXPECT_DEATH({ a.Dot(b); }, "CHECK");
+}
+
+}  // namespace
+}  // namespace affinity::la
