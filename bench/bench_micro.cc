@@ -9,21 +9,36 @@
 //    speedups are enormous);
 //  * B+-tree fanout sweep (SCAPE's sorted-container constant);
 //  * FFT sizes used by the WF comparator (720 and 1950 are not powers of
-//    two → Bluestein).
+//    two → Bluestein);
+//  * parallel scaling: MET/MER WN/WA sweeps and Affinity::Build at 1, 2,
+//    4, and hardware_concurrency threads over the (scaled) stock dataset.
+//
+// Perf trajectory: run with
+//   bench_micro --benchmark_format=json --benchmark_out=micro.json
+// and compare the "threads" counter across PRs; each parallel benchmark
+// exports its thread count as a counter so the JSON is self-describing.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <complex>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "common/check.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/affine.h"
+#include "core/framework.h"
 #include "core/lsfd.h"
 #include "dft/fft.h"
 #include "la/solve.h"
 #include "la/svd.h"
+#include "ts/generators.h"
 #include "ts/stats.h"
 
 namespace {
@@ -211,6 +226,127 @@ void BM_PowerIterationCenter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PowerIterationCenter);
+
+// --- Parallel scaling: batched sweeps and framework build -----------------------
+//
+// The stock dataset (Table 3) at micro scale — big enough that the O(n²)
+// pair sweeps dominate, small enough for tight iteration.
+
+const ts::Dataset& StockMicro() {
+  static const ts::Dataset dataset = [] {
+    ts::DatasetSpec spec;
+    spec.num_series = 120;
+    spec.num_samples = 240;
+    spec.num_clusters = 10;
+    spec.noise_level = 0.015;
+    spec.seed = 7;
+    return ts::MakeStockData(spec);
+  }();
+  return dataset;
+}
+
+const core::Affinity& StockFramework() {
+  static const core::Affinity fw = [] {
+    auto built = core::Affinity::Build(StockMicro().matrix);
+    AFFINITY_CHECK(built.ok());
+    return std::move(built).value();
+  }();
+  return fw;
+}
+
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 4) b->Arg(static_cast<long>(hw));
+  b->UseRealTime();  // wall clock, not per-thread CPU
+}
+
+/// A query engine over the stock data with the requested sweep
+/// parallelism; `owned_pool` keeps the pool alive for the state's scope.
+core::QueryEngine SweepEngine(std::size_t threads, std::unique_ptr<ThreadPool>* owned_pool,
+                              bool with_model) {
+  core::QueryEngine engine(&StockFramework().data());
+  if (with_model) engine.AttachModel(&StockFramework().model());
+  if (threads > 1) {
+    *owned_pool = std::make_unique<ThreadPool>(threads);
+    engine.SetExec(ExecContext{owned_pool->get()});
+  }
+  return engine;
+}
+
+void BM_MetSweepWN(benchmark::State& state) {
+  std::unique_ptr<ThreadPool> pool;
+  const core::QueryEngine engine =
+      SweepEngine(static_cast<std::size_t>(state.range(0)), &pool, /*with_model=*/false);
+  core::MetRequest req;
+  req.measure = core::Measure::kCorrelation;
+  req.tau = 0.9;
+  for (auto _ : state) {
+    auto result = engine.Met(req, core::QueryMethod::kNaive);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MetSweepWN)->Apply(ThreadArgs);
+
+void BM_MetSweepWA(benchmark::State& state) {
+  std::unique_ptr<ThreadPool> pool;
+  const core::QueryEngine engine =
+      SweepEngine(static_cast<std::size_t>(state.range(0)), &pool, /*with_model=*/true);
+  core::MetRequest req;
+  req.measure = core::Measure::kCorrelation;
+  req.tau = 0.9;
+  for (auto _ : state) {
+    auto result = engine.Met(req, core::QueryMethod::kAffine);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MetSweepWA)->Apply(ThreadArgs);
+
+void BM_MerSweepWN(benchmark::State& state) {
+  std::unique_ptr<ThreadPool> pool;
+  const core::QueryEngine engine =
+      SweepEngine(static_cast<std::size_t>(state.range(0)), &pool, /*with_model=*/false);
+  core::MerRequest req;
+  req.measure = core::Measure::kCovariance;
+  req.lo = -0.5;
+  req.hi = 0.5;
+  for (auto _ : state) {
+    auto result = engine.Mer(req, core::QueryMethod::kNaive);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MerSweepWN)->Apply(ThreadArgs);
+
+void BM_MerSweepWA(benchmark::State& state) {
+  std::unique_ptr<ThreadPool> pool;
+  const core::QueryEngine engine =
+      SweepEngine(static_cast<std::size_t>(state.range(0)), &pool, /*with_model=*/true);
+  core::MerRequest req;
+  req.measure = core::Measure::kCovariance;
+  req.lo = -0.5;
+  req.hi = 0.5;
+  for (auto _ : state) {
+    auto result = engine.Mer(req, core::QueryMethod::kAffine);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MerSweepWA)->Apply(ThreadArgs);
+
+void BM_AffinityBuild(benchmark::State& state) {
+  core::AffinityOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto fw = core::Affinity::Build(StockMicro().matrix, options);
+    AFFINITY_CHECK(fw.ok());
+    benchmark::DoNotOptimize(fw);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AffinityBuild)->Apply(ThreadArgs);
 
 }  // namespace
 

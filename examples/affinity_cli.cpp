@@ -145,17 +145,17 @@ int Met(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", fw.status().ToString().c_str());
     return 1;
   }
-  const core::QueryPlanner planner(fw->data().n(), fw->data().m(),
-                                   {.has_model = true, .has_scape = true, .has_dft = true});
-  const core::PlanChoice choice = planner.PlanMet(measure);
+  // kAuto: the engine consults the planner over what is actually built
+  // and reports the executed plan with the result.
   core::MetRequest request{measure, std::atof(argv[4]), true};
-  auto result = fw->engine().Met(request, choice.method);
+  auto result = fw->engine().Met(request);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("strategy: %s (%s)\n", std::string(core::QueryMethodName(choice.method)).c_str(),
-              choice.rationale.c_str());
+  std::printf("strategy: %s (%s)\n",
+              std::string(core::QueryMethodName(result->plan.method)).c_str(),
+              result->plan.rationale.c_str());
   PrintSelection(fw->data(), *result);
   return 0;
 }
@@ -169,16 +169,15 @@ int Mer(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", fw.status().ToString().c_str());
     return 1;
   }
-  const core::QueryPlanner planner(fw->data().n(), fw->data().m(),
-                                   {.has_model = true, .has_scape = true, .has_dft = true});
-  const core::PlanChoice choice = planner.PlanMer(measure);
   core::MerRequest request{measure, std::atof(argv[4]), std::atof(argv[5])};
-  auto result = fw->engine().Mer(request, choice.method);
+  auto result = fw->engine().Mer(request);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("strategy: %s\n", std::string(core::QueryMethodName(choice.method)).c_str());
+  std::printf("strategy: %s (%s)\n",
+              std::string(core::QueryMethodName(result->plan.method)).c_str(),
+              result->plan.rationale.c_str());
   PrintSelection(fw->data(), *result);
   return 0;
 }
@@ -192,18 +191,16 @@ int TopK(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", fw.status().ToString().c_str());
     return 1;
   }
-  const core::QueryPlanner planner(fw->data().n(), fw->data().m(),
-                                   {.has_model = true, .has_scape = true, .has_dft = true});
   const std::size_t k = std::strtoull(argv[4], nullptr, 10);
-  const core::PlanChoice choice = planner.PlanTopK(measure, k);
   core::TopKRequest request{measure, k, true};
-  auto result = fw->engine().TopK(request, choice.method);
+  auto result = fw->engine().TopK(request);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
   std::printf("strategy: %s — examined %zu entries for top-%zu\n",
-              std::string(core::QueryMethodName(choice.method)).c_str(), result->examined, k);
+              std::string(core::QueryMethodName(result->plan.method)).c_str(), result->examined,
+              k);
   for (const auto& entry : result->entries) {
     if (core::IsLocation(measure)) {
       std::printf("  %-20s %.6f\n", fw->data().name(entry.series).c_str(), entry.value);

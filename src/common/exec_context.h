@@ -1,0 +1,71 @@
+#ifndef AFFINITY_COMMON_EXEC_CONTEXT_H_
+#define AFFINITY_COMMON_EXEC_CONTEXT_H_
+
+/// \file exec_context.h
+/// The execution context threaded through every hot path (DESIGN.md §7).
+///
+/// An `ExecContext` is a non-owning handle to an optional `ThreadPool`.
+/// Default-constructed it means "sequential": `ParallelChunks` then runs
+/// the identical chunk loop inline, so the sequential and parallel paths
+/// share one code path and one chunk decomposition — the foundation of
+/// the thread-count-invariance guarantee.
+///
+/// Ownership: whoever creates the pool (an `Affinity` framework, a
+/// `StreamingAffinity`, a bench harness) must keep it alive for as long
+/// as any ExecContext pointing at it is used.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace affinity {
+
+/// Non-owning execution handle passed by value through build and query
+/// paths. Copyable and cheap.
+struct ExecContext {
+  ThreadPool* pool = nullptr;  ///< nullptr → sequential execution
+
+  /// Worker parallelism this context offers (1 when sequential).
+  std::size_t threads() const { return pool == nullptr ? 1 : pool->size(); }
+};
+
+/// Number of chunks `ParallelChunks` splits `count` items into — exposed
+/// so callers can pre-size per-chunk merge buffers. Depends only on
+/// `count`, never on the context (see ThreadPool::NumChunks).
+inline std::size_t ExecNumChunks(std::size_t count) { return ThreadPool::NumChunks(count); }
+
+/// Runs `body(chunk, begin, end)` over [0, count), using the context's
+/// pool when present and the identical sequential loop otherwise. Blocks
+/// until all chunks complete; the lowest-indexed failing chunk's
+/// exception is rethrown.
+template <typename Body>
+void ParallelChunks(const ExecContext& exec, std::size_t count, const Body& body) {
+  if (exec.pool != nullptr) {
+    exec.pool->ParallelFor(count, body);
+  } else {
+    ThreadPool::SequentialFor(count, body);
+  }
+}
+
+/// Fallible variant: `body(chunk, begin, end)` returns a Status. All
+/// chunks run; the first error *by chunk index* is returned (matching
+/// what a sequential loop would have hit first — deterministic
+/// regardless of scheduling). OK when every chunk succeeded.
+template <typename Body>
+Status TryParallelChunks(const ExecContext& exec, std::size_t count, const Body& body) {
+  std::vector<Status> errors(ExecNumChunks(count), Status::OK());
+  ParallelChunks(exec, count, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    errors[chunk] = body(chunk, begin, end);
+  });
+  for (Status& s : errors) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace affinity
+
+#endif  // AFFINITY_COMMON_EXEC_CONTEXT_H_

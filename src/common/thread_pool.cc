@@ -1,0 +1,150 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace affinity {
+
+namespace {
+
+/// Set while a thread is executing pool work; nested ParallelFor calls
+/// from such a thread run inline instead of re-entering the queue.
+thread_local bool t_in_pool_worker = false;
+
+/// Chunk boundaries: even split of `count` into `chunks` pieces with the
+/// remainder spread over the leading chunks.
+std::size_t ChunkBegin(std::size_t count, std::size_t chunks, std::size_t c) {
+  return c * (count / chunks) + std::min(c, count % chunks);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+std::size_t ThreadPool::NumChunks(std::size_t count) {
+  // Fixed policy, independent of the worker count (the determinism
+  // contract): enough chunks that dynamic claiming load-balances well,
+  // few enough that per-chunk scratch and merges stay cheap.
+  constexpr std::size_t kMaxChunks = 128;
+  return count < kMaxChunks ? count : kMaxChunks;
+}
+
+void ThreadPool::SequentialFor(std::size_t count,
+                               const std::function<void(std::size_t, std::size_t, std::size_t)>&
+                                   body) {
+  if (count == 0) return;
+  const std::size_t chunks = NumChunks(count);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    body(c, ChunkBegin(count, chunks, c), ChunkBegin(count, chunks, c + 1));
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t, std::size_t, std::size_t)>&
+                                 body) {
+  if (count == 0) return;
+  const std::size_t chunks = NumChunks(count);
+  if (chunks == 1 || workers_.empty() || t_in_pool_worker) {
+    SequentialFor(count, body);
+    return;
+  }
+
+  // Shared per-call state; shared_ptr keeps it alive for any helper task
+  // that wakes up after the call already returned.
+  struct State {
+    std::size_t count;
+    std::size_t chunks;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body;
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    std::exception_ptr error;
+    std::size_t error_chunk = 0;
+
+    void RunChunks() {
+      for (;;) {
+        const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) return;
+        std::exception_ptr eptr;
+        try {
+          (*body)(c, ChunkBegin(count, chunks, c), ChunkBegin(count, chunks, c + 1));
+        } catch (...) {
+          eptr = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        if (eptr && (!error || c < error_chunk)) {
+          error = eptr;
+          error_chunk = c;
+        }
+        if (++done == chunks) done_cv.notify_all();
+      }
+    }
+  };
+
+  auto state = std::make_shared<State>();
+  state->count = count;
+  state->chunks = chunks;
+  state->body = &body;
+
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    Schedule([state] { state->RunChunks(); });
+  }
+
+  // The calling thread works too; mark it as a pool worker so nested
+  // ParallelFor calls inside `body` run inline.
+  const bool was_worker = t_in_pool_worker;
+  t_in_pool_worker = true;
+  state->RunChunks();
+  t_in_pool_worker = was_worker;
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->done == state->chunks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace affinity

@@ -1,0 +1,95 @@
+#ifndef AFFINITY_COMMON_THREAD_POOL_H_
+#define AFFINITY_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// The shared execution subsystem: a fixed-size task pool plus a
+/// deterministic chunked parallel-for (DESIGN.md §7).
+///
+/// Every parallel hot path in the library — MET/MER/MEC sweeps, the
+/// AFCLST/SYMEX+/SCAPE/WF build phases, streaming rebuilds — funnels
+/// through `ThreadPool::ParallelFor`. The determinism contract is:
+///
+///  * the decomposition of `count` items into chunks depends ONLY on
+///    `count` (never on the worker count), and
+///  * callers merge per-chunk results in chunk-index order,
+///
+/// so query results and built structures are bitwise identical at any
+/// thread count, including 1 (sequential execution uses the exact same
+/// chunk loop). Chunks are claimed dynamically by whichever worker is
+/// free, which only affects wall-clock, never output.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace affinity {
+
+/// A fixed-size pool of worker threads with a shared FIFO task queue.
+///
+/// Construction spawns the workers; destruction drains outstanding tasks
+/// and joins. All methods are thread-safe. The pool is intentionally
+/// minimal: higher layers use `ParallelFor`, not raw `Schedule`.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means one per hardware thread.
+  /// A pool of size 1 still owns one worker (useful for testing the
+  /// machinery), but `ExecContext` treats "no pool" as sequential.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Waits for queued tasks to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task for asynchronous execution.
+  void Schedule(std::function<void()> task);
+
+  /// Runs `body(chunk, begin, end)` over [0, count) split into
+  /// `NumChunks(count)` contiguous chunks, in parallel, and blocks until
+  /// every chunk completed. The calling thread participates, so the pool
+  /// is never idle-waited from a hot path.
+  ///
+  /// If a chunk body throws, the remaining chunks still run and the
+  /// exception of the *lowest-indexed* failing chunk is rethrown here
+  /// (deterministic regardless of scheduling).
+  ///
+  /// Calls from inside a pool worker (nested parallelism) degrade to
+  /// inline sequential execution rather than deadlocking.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t chunk, std::size_t begin,
+                                            std::size_t end)>& body);
+
+  /// The chunk decomposition policy behind ParallelFor: how many chunks
+  /// `count` items are split into. Depends only on `count` so callers can
+  /// pre-size per-chunk merge buffers. Chunk c covers
+  /// [c*count/chunks, (c+1)*count/chunks).
+  static std::size_t NumChunks(std::size_t count);
+
+  /// Runs the same chunk loop sequentially on the calling thread — the
+  /// pool-less fallback used by ExecContext. Exceptions propagate from
+  /// the first failing chunk directly.
+  static void SequentialFor(std::size_t count,
+                            const std::function<void(std::size_t chunk, std::size_t begin,
+                                                     std::size_t end)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_COMMON_THREAD_POOL_H_

@@ -24,7 +24,8 @@ double ProjectionError(const double* s, const double* r, std::size_t m, double s
 
 }  // namespace
 
-StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions& options) {
+StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions& options,
+                                 const ExecContext& exec) {
   const std::size_t n = data.n();
   const std::size_t m = data.m();
   if (n == 0 || m == 0) return Status::InvalidArgument("AFCLST requires a non-empty data matrix");
@@ -50,10 +51,12 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
   // Cached squared norms of the centred series (initialization and every
   // assignment round use them).
   std::vector<double> norm2(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const double* s = centered.ColData(j);
-    norm2[j] = ts::stats::DotProduct(s, s, m);
-  }
+  ParallelChunks(exec, n, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const double* s = centered.ColData(j);
+      norm2[j] = ts::stats::DotProduct(s, s, m);
+    }
+  });
 
   // Initialization phase: Algorithm 1 seeds with random columns; we harden
   // it with farthest-first (k-means++-style) seeding — centre 0 is a random
@@ -66,9 +69,11 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
     if (first.Normalize() == 0.0) first[0] = 1.0;  // constant series: arbitrary axis
     centers.SetCol(0, first);
     std::vector<double> best_err(n, 0.0);
-    for (std::size_t j = 0; j < n; ++j) {
-      best_err[j] = ProjectionError(centered.ColData(j), centers.ColData(0), m, norm2[j]);
-    }
+    ParallelChunks(exec, n, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        best_err[j] = ProjectionError(centered.ColData(j), centers.ColData(0), m, norm2[j]);
+      }
+    });
     for (std::size_t l = 1; l < k; ++l) {
       std::size_t farthest = 0;
       for (std::size_t j = 1; j < n; ++j) {
@@ -77,10 +82,12 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
       la::Vector c = centered.Col(farthest);
       if (c.Normalize() == 0.0) c[0] = 1.0;
       centers.SetCol(l, c);
-      for (std::size_t j = 0; j < n; ++j) {
-        best_err[j] = std::min(
-            best_err[j], ProjectionError(centered.ColData(j), centers.ColData(l), m, norm2[j]));
-      }
+      ParallelChunks(exec, n, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          best_err[j] = std::min(
+              best_err[j], ProjectionError(centered.ColData(j), centers.ColData(l), m, norm2[j]));
+        }
+      });
     }
   }
 
@@ -91,51 +98,63 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
-    // Assignment phase.
-    int changes = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* s = centered.ColData(j);
-      double best_err = std::numeric_limits<double>::infinity();
-      int best_cluster = 0;
-      for (std::size_t l = 0; l < k; ++l) {
-        const double err = ProjectionError(s, centers.ColData(l), m, norm2[j]);
-        if (err < best_err) {
-          best_err = err;
-          best_cluster = static_cast<int>(l);
+    // Assignment phase: the n × k distance computation fans out over
+    // series; per-chunk change counts are summed afterwards (integer sum —
+    // identical at any thread count).
+    std::vector<int> chunk_changes(ExecNumChunks(n), 0);
+    ParallelChunks(exec, n, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        const double* s = centered.ColData(j);
+        double best_err = std::numeric_limits<double>::infinity();
+        int best_cluster = 0;
+        for (std::size_t l = 0; l < k; ++l) {
+          const double err = ProjectionError(s, centers.ColData(l), m, norm2[j]);
+          if (err < best_err) {
+            best_err = err;
+            best_cluster = static_cast<int>(l);
+          }
         }
+        if (result.assignment[j] != best_cluster) {
+          result.assignment[j] = best_cluster;
+          ++chunk_changes[c];
+        }
+        result.projection_errors[j] = best_err;
       }
-      if (result.assignment[j] != best_cluster) {
-        result.assignment[j] = best_cluster;
-        ++changes;
-      }
-      result.projection_errors[j] = best_err;
-    }
+    });
+    int changes = 0;
+    for (const int c : chunk_changes) changes += c;
 
     // Convergence test (Algorithm 1, line 16): fewer than δ_min changes.
     if (changes <= options.min_changes && iter > 0) break;
 
     // Update phase: centre ℓ = dominant left singular vector of R_ℓ.
+    // Empty-cluster re-seeds draw from the rng first, sequentially in
+    // cluster order, so the random sequence never depends on scheduling;
+    // the SVD-based updates then fan out over clusters.
+    std::vector<std::vector<la::Vector>> members(k);
+    for (std::size_t j = 0; j < n; ++j) {
+      members[static_cast<std::size_t>(result.assignment[j])].push_back(centered.Col(j));
+    }
     for (std::size_t l = 0; l < k; ++l) {
-      std::vector<la::Vector> members;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (result.assignment[j] == static_cast<int>(l)) {
-          members.push_back(centered.Col(j));
-        }
-      }
-      if (members.empty()) {
-        // Empty cluster: re-seed from a random (centred) series.
+      if (members[l].empty()) {
         la::Vector c = centered.Col(rng.NextBounded(n));
         if (c.Normalize() == 0.0) c[0] = 1.0;
         centers.SetCol(l, c);
-        continue;
-      }
-      const la::Matrix r_l = la::Matrix::FromColumns(members);
-      AFFINITY_ASSIGN_OR_RETURN(la::TopSingular top,
-                                la::PowerIterationTopSingular(r_l, la::Vector()));
-      if (top.sigma > 0.0) {
-        centers.SetCol(l, top.left);
       }
     }
+    AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+        exec, k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+          for (std::size_t l = lo; l < hi; ++l) {
+            if (members[l].empty()) continue;  // already re-seeded above
+            const la::Matrix r_l = la::Matrix::FromColumns(members[l]);
+            auto top = la::PowerIterationTopSingular(r_l, la::Vector());
+            if (!top.ok()) return top.status();
+            if (top->sigma > 0.0) {
+              centers.SetCol(l, top->left);
+            }
+          }
+          return Status::OK();
+        }));
   }
 
   result.centers = std::move(centers);

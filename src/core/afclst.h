@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "la/matrix.h"
 #include "ts/data_matrix.h"
@@ -51,9 +52,13 @@ struct AfclstResult {
   std::size_t k() const { return centers.cols(); }
 };
 
-/// Runs AFCLST on the columns of `data`.
+/// Runs AFCLST on the columns of `data`. The per-series distance
+/// computations (assignment phase and seeding) and the per-cluster centre
+/// updates fan out over `exec`; the clustering is identical at any thread
+/// count (re-seeding randomness is drawn sequentially).
 /// InvalidArgument when k is 0, exceeds n, or data is empty.
-StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions& options);
+StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions& options,
+                                 const ExecContext& exec = {});
 
 /// The m×2 *pivot pair matrix* O_p = [s_u, r_ω(v)] of Definition 2 for the
 /// sequence pair (u, v) under `clustering`.

@@ -9,11 +9,25 @@
 namespace affinity::core {
 
 StatusOr<Affinity> Affinity::Build(const ts::DataMatrix& data, const AffinityOptions& options) {
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
+  }
+  ExecContext exec{pool.get()};
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, BuildWith(data, options, exec));
+  fw.pool_ = std::move(pool);  // transfer ownership; exec_ already points at it
+  return fw;
+}
+
+StatusOr<Affinity> Affinity::BuildWith(const ts::DataMatrix& data, const AffinityOptions& options,
+                                       const ExecContext& exec) {
   Stopwatch total;
   Affinity fw;
+  fw.exec_ = exec;
+  fw.profile_.threads = exec.threads();
 
   AFFINITY_ASSIGN_OR_RETURN(AffinityModel model,
-                            BuildAffinityModel(data, options.afclst, options.symex));
+                            BuildAffinityModel(data, options.afclst, options.symex, exec));
   fw.model_ = std::make_unique<AffinityModel>(std::move(model));
   fw.profile_.afclst_seconds = fw.model_->stats().afclst_seconds;
   fw.profile_.symex_seconds = fw.model_->stats().march_seconds;
@@ -21,7 +35,8 @@ StatusOr<Affinity> Affinity::Build(const ts::DataMatrix& data, const AffinityOpt
 
   if (options.build_scape) {
     Stopwatch watch;
-    AFFINITY_ASSIGN_OR_RETURN(ScapeIndex index, ScapeIndex::Build(*fw.model_, options.scape));
+    AFFINITY_ASSIGN_OR_RETURN(ScapeIndex index,
+                              ScapeIndex::Build(*fw.model_, options.scape, exec));
     fw.scape_ = std::make_unique<ScapeIndex>(std::move(index));
     fw.profile_.scape_seconds = watch.ElapsedSeconds();
   }
@@ -30,7 +45,7 @@ StatusOr<Affinity> Affinity::Build(const ts::DataMatrix& data, const AffinityOpt
     Stopwatch watch;
     AFFINITY_ASSIGN_OR_RETURN(
         dft::DftCorrelationEstimator wf,
-        dft::DftCorrelationEstimator::Build(fw.model_->data(), options.dft_coefficients));
+        dft::DftCorrelationEstimator::Build(fw.model_->data(), options.dft_coefficients, exec));
     fw.wf_ = std::make_unique<dft::DftCorrelationEstimator>(std::move(wf));
     fw.profile_.dft_seconds = watch.ElapsedSeconds();
   }
@@ -39,6 +54,7 @@ StatusOr<Affinity> Affinity::Build(const ts::DataMatrix& data, const AffinityOpt
   fw.engine_->AttachModel(fw.model_.get());
   if (fw.scape_) fw.engine_->AttachScape(fw.scape_.get());
   if (fw.wf_) fw.engine_->EnableDft(options.dft_coefficients);
+  fw.engine_->SetExec(exec);
 
   fw.profile_.total_seconds = total.ElapsedSeconds();
   return fw;

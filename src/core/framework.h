@@ -8,14 +8,22 @@
 ///
 /// \code
 ///   auto dataset = affinity::ts::MakeStockData();
-///   auto fw = affinity::core::Affinity::Build(dataset.matrix);
+///   affinity::core::AffinityOptions options;
+///   options.threads = 0;  // one worker per hardware thread
+///   auto fw = affinity::core::Affinity::Build(dataset.matrix, options);
 ///   affinity::core::MetRequest req{affinity::core::Measure::kCorrelation, 0.9};
-///   auto hot_pairs = fw->engine().Met(req, affinity::core::QueryMethod::kScape);
+///   auto hot_pairs = fw->engine().Met(req);  // kAuto: planner picks SCAPE
 /// \endcode
+///
+/// Build phases and full-sweep queries execute over a shared thread pool
+/// (owned by the framework, or supplied externally via `BuildWith`);
+/// results are identical at any thread count (DESIGN.md §7).
 
 #include <memory>
 
+#include "common/exec_context.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/query.h"
 #include "core/scape.h"
 #include "core/symex.h"
@@ -32,6 +40,10 @@ struct AffinityOptions {
   bool build_scape = true;  ///< build the SCAPE index
   bool build_dft = true;    ///< build the WF comparator sketches
   std::size_t dft_coefficients = dft::kDefaultCoefficients;
+  /// Worker threads for build phases and full-sweep queries: 1 =
+  /// sequential (no pool), 0 = one per hardware thread, otherwise the
+  /// exact count. Ignored by `BuildWith` (the supplied context rules).
+  std::size_t threads = 1;
 };
 
 /// Wall-clock accounting of one Build call.
@@ -42,14 +54,23 @@ struct BuildProfile {
   double scape_seconds = 0;
   double dft_seconds = 0;
   double total_seconds = 0;
+  std::size_t threads = 1;        ///< parallelism the build ran with
 };
 
-/// The assembled framework. Owns the model, index, sketches, and engine;
-/// movable, not copyable.
+/// The assembled framework. Owns the model, index, sketches, engine, and
+/// (when `options.threads != 1`) the thread pool; movable, not copyable.
 class Affinity {
  public:
-  /// Builds everything over a copy of `data`.
+  /// Builds everything over a copy of `data`. When `options.threads` asks
+  /// for parallelism the framework creates and owns the pool; it serves
+  /// both the build and all subsequent engine queries.
   static StatusOr<Affinity> Build(const ts::DataMatrix& data, const AffinityOptions& options = {});
+
+  /// As Build, but executes over a caller-supplied context (e.g. a pool
+  /// shared across streaming rebuilds). The pool behind `exec` must
+  /// outlive the returned framework; `options.threads` is ignored.
+  static StatusOr<Affinity> BuildWith(const ts::DataMatrix& data, const AffinityOptions& options,
+                                      const ExecContext& exec);
 
   Affinity(Affinity&&) noexcept = default;
   Affinity& operator=(Affinity&&) noexcept = default;
@@ -69,12 +90,17 @@ class Affinity {
   /// Build-phase timings.
   const BuildProfile& profile() const { return profile_; }
 
+  /// The execution context the framework builds and queries with.
+  const ExecContext& exec() const { return exec_; }
+
   /// The data the framework answers queries over.
   const ts::DataMatrix& data() const { return model_->data(); }
 
  private:
   Affinity() = default;
 
+  std::unique_ptr<ThreadPool> pool_;  ///< set when Build created its own
+  ExecContext exec_;
   std::unique_ptr<AffinityModel> model_;
   std::unique_ptr<ScapeIndex> scape_;
   std::unique_ptr<dft::DftCorrelationEstimator> wf_;

@@ -1,6 +1,8 @@
 #include "core/planner.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 namespace affinity::core {
 
@@ -16,6 +18,22 @@ constexpr double kLookupCost = 24.0;  ///< hash probe + propagation flops (WA)
 constexpr double kTreeStep = 8.0;     ///< B-tree descent/emit per entry (SCAPE)
 
 }  // namespace
+
+std::string_view QueryMethodName(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kNaive:
+      return "WN";
+    case QueryMethod::kAffine:
+      return "WA";
+    case QueryMethod::kDft:
+      return "WF";
+    case QueryMethod::kScape:
+      return "SCAPE";
+    case QueryMethod::kAuto:
+      return "AUTO";
+  }
+  return "?";
+}
 
 double QueryPlanner::NaiveUnitCost(Measure measure) const {
   const double m = static_cast<double>(m_);
@@ -73,8 +91,14 @@ PlanChoice QueryPlanner::PlanSelection(Measure measure, double selectivity, bool
                       indexable ? "WA: model available but SCAPE not built"
                                 : "WA: measure not SCAPE-indexable (no separable normalizer)"};
   }
+  // WF is never chosen automatically — its sketch truncation is a coarse
+  // approximation; callers wanting it request kDft explicitly. The
+  // rationale still reports its availability.
+  const bool wf_applies = caps_.has_dft && measure == Measure::kCorrelation;
   return PlanChoice{QueryMethod::kNaive, entities * NaiveUnitCost(measure),
-                    "WN: no model or index built"};
+                    wf_applies ? "WN: no model or index built (WF sketches available but "
+                                 "approximate; request WF explicitly)"
+                               : "WN: no model or index built"};
 }
 
 PlanChoice QueryPlanner::PlanMet(Measure measure, double selectivity) const {

@@ -11,15 +11,35 @@
 /// only, SCAPE cannot answer MEC, Jaccard/Dice are not indexable), and
 /// returns the cheapest admissible strategy with an explanation.
 ///
+/// `QueryEngine` (query.h) consults the planner for every
+/// `QueryMethod::kAuto` query, deriving the capability set from whatever
+/// has been attached; the chosen plan is surfaced in the response.
+///
+/// The planner never selects WF: its sketch-truncated correlations are a
+/// coarse, per-query approximation, so automatic dispatch only reports
+/// its availability in the rationale and callers opt in with an explicit
+/// kDft. (WA/SCAPE answers are exact to machine precision for pair
+/// measures — Lemma 1 — while median/mode propagate through the affine
+/// fit as the close approximation the paper's design accepts; see
+/// symex.h and DESIGN.md §3.)
+///
 /// Costs are abstract "scalar operation" counts, good for ranking
 /// strategies, not for predicting wall time.
 
 #include <string>
+#include <string_view>
 
 #include "core/measures.h"
-#include "core/query.h"
 
 namespace affinity::core {
+
+/// Strategy used to answer a query. `kAuto` defers the choice to the
+/// QueryPlanner at query time. (Defined here — the planner is the layer
+/// below the engine — and re-exported by query.h.)
+enum class QueryMethod { kNaive, kAffine, kDft, kScape, kAuto };
+
+/// Display name: "WN", "WA", "WF", "SCAPE", "AUTO".
+std::string_view QueryMethodName(QueryMethod method);
 
 /// The planner's verdict for one query.
 struct PlanChoice {

@@ -1,7 +1,9 @@
 #include "core/query.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -14,24 +16,59 @@ bool KeepGreater(double value, double tau, double /*unused*/) { return value > t
 bool KeepLesser(double value, double tau, double /*unused*/) { return value < tau; }
 bool KeepInside(double value, double lo, double hi) { return lo < value && value < hi; }
 
-}  // namespace
-
-std::string_view QueryMethodName(QueryMethod method) {
-  switch (method) {
-    case QueryMethod::kNaive:
-      return "WN";
-    case QueryMethod::kAffine:
-      return "WA";
-    case QueryMethod::kDft:
-      return "WF";
-    case QueryMethod::kScape:
-      return "SCAPE";
-  }
-  return "?";
+/// Number of pairs (u', v') with u' < u, in the lexicographic (u, v) order
+/// used by every sweep: f(u) = u·(2n − u − 1)/2.
+std::size_t PairsBeforeRow(std::size_t u, std::size_t n) {
+  return u * (2 * n - u - 1) / 2;
 }
+
+/// The idx-th sequence pair in lexicographic order over n series — O(1)
+/// (plus a fix-up loop for floating-point slack), so parallel chunks can
+/// seek into the middle of the O(n²) sweep.
+ts::SequencePair PairFromIndex(std::size_t idx, std::size_t n) {
+  const double nd = static_cast<double>(n);
+  const double disc = (2.0 * nd - 1.0) * (2.0 * nd - 1.0) - 8.0 * static_cast<double>(idx);
+  double guess = (2.0 * nd - 1.0 - std::sqrt(disc > 0.0 ? disc : 0.0)) / 2.0;
+  if (guess < 0.0) guess = 0.0;
+  std::size_t u = static_cast<std::size_t>(guess);
+  if (u > n - 2) u = n - 2;
+  while (u > 0 && PairsBeforeRow(u, n) > idx) --u;
+  while (PairsBeforeRow(u + 1, n) <= idx) ++u;
+  const std::size_t v = u + 1 + (idx - PairsBeforeRow(u, n));
+  return ts::SequencePair(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v));
+}
+
+/// Advances (u, v) to the next pair in lexicographic order.
+void NextPair(std::size_t n, std::size_t* u, std::size_t* v) {
+  if (++*v >= n) {
+    ++*u;
+    *v = *u + 1;
+  }
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine(const ts::DataMatrix* data) : data_(data) {
   AFFINITY_CHECK(data != nullptr);
+}
+
+QueryPlanner::Capabilities QueryEngine::Capabilities() const {
+  QueryPlanner::Capabilities caps;
+  caps.has_model = model_ != nullptr;
+  caps.has_scape = scape_ != nullptr;
+  caps.has_dft = wf_coefficients_ > 0;
+  return caps;
+}
+
+ExecutedPlan QueryEngine::ResolvePlan(
+    QueryMethod method, const std::function<PlanChoice(const QueryPlanner&)>& plan) const {
+  if (method != QueryMethod::kAuto) {
+    ExecutedPlan explicit_plan;
+    explicit_plan.method = method;
+    explicit_plan.rationale = "explicitly requested " + std::string(QueryMethodName(method));
+    return explicit_plan;
+  }
+  return plan(QueryPlanner(data_->n(), data_->m(), Capabilities()));
 }
 
 Status QueryEngine::CheckIds(const std::vector<ts::SeriesId>& ids) const {
@@ -90,20 +127,33 @@ StatusOr<double> QueryEngine::Value(Measure measure, ts::SeriesId u, ts::SeriesI
       return Status::Internal("WF values are computed batch-wise (see Mec/Met/Mer)");
     case QueryMethod::kScape:
       return Status::InvalidArgument("SCAPE answers MET/MER queries, not MEC");
+    case QueryMethod::kAuto:
+      return Status::Internal("kAuto must be resolved before per-value dispatch");
   }
   return Status::Internal("unreachable");
 }
 
 StatusOr<MecResponse> QueryEngine::Mec(const MecRequest& request, QueryMethod method) const {
   AFFINITY_RETURN_IF_ERROR(CheckIds(request.ids));
+  ExecutedPlan plan = ResolvePlan(method, [&](const QueryPlanner& planner) {
+    return planner.PlanMec(request.measure, request.ids.size());
+  });
+  method = plan.method;
+
   MecResponse out;
+  out.plan = std::move(plan);
   const std::size_t count = request.ids.size();
   if (IsLocation(request.measure)) {
     out.location = la::Vector(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      AFFINITY_ASSIGN_OR_RETURN(double v, SeriesValue(request.measure, request.ids[i], method));
-      out.location[i] = v;
-    }
+    AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+        exec_, count, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+          for (std::size_t i = lo; i < hi; ++i) {
+            auto value = SeriesValue(request.measure, request.ids[i], method);
+            if (!value.ok()) return value.status();
+            out.location[i] = *value;
+          }
+          return Status::OK();
+        }));
     return out;
   }
   if (method == QueryMethod::kDft) {
@@ -117,20 +167,26 @@ StatusOr<MecResponse> QueryEngine::Mec(const MecRequest& request, QueryMethod me
     for (std::size_t i = 0; i < count; ++i) subset.SetCol(i, data_->Column(request.ids[i]));
     AFFINITY_ASSIGN_OR_RETURN(
         dft::DftCorrelationEstimator wf,
-        dft::DftCorrelationEstimator::Build(ts::DataMatrix(std::move(subset)),
-                                            wf_coefficients_));
+        dft::DftCorrelationEstimator::Build(ts::DataMatrix(std::move(subset)), wf_coefficients_,
+                                            exec_));
     out.pair_values = wf.EstimateAll();
     return out;
   }
   out.pair_values = la::Matrix(count, count);
-  for (std::size_t i = 0; i < count; ++i) {
-    for (std::size_t j = i; j < count; ++j) {
-      AFFINITY_ASSIGN_OR_RETURN(
-          double v, Value(request.measure, request.ids[i], request.ids[j], method));
-      out.pair_values(i, j) = v;
-      out.pair_values(j, i) = v;
-    }
-  }
+  // Row i fills cells (i, j) and (j, i) for j ≥ i — rows write disjoint
+  // cell sets, so the chunked fill needs no synchronization.
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec_, count, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (std::size_t j = i; j < count; ++j) {
+            auto value = Value(request.measure, request.ids[i], request.ids[j], method);
+            if (!value.ok()) return value.status();
+            out.pair_values(i, j) = *value;
+            out.pair_values(j, i) = *value;
+          }
+        }
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -143,13 +199,24 @@ StatusOr<SelectionResult> QueryEngine::SelectByPredicateDft(Measure measure,
   }
   // Per-query sketch construction, then the O(c)-per-pair estimate.
   AFFINITY_ASSIGN_OR_RETURN(dft::DftCorrelationEstimator wf,
-                            dft::DftCorrelationEstimator::Build(*data_, wf_coefficients_));
+                            dft::DftCorrelationEstimator::Build(*data_, wf_coefficients_, exec_));
   SelectionResult out;
   const std::size_t n = data_->n();
-  for (ts::SeriesId u = 0; u + 1 < n; ++u) {
-    for (ts::SeriesId v = u + 1; v < n; ++v) {
-      if (keep(wf.Estimate(u, v), a, b)) out.pairs.emplace_back(u, v);
+  if (n < 2) return out;
+  const std::size_t total = ts::SequencePairCount(n);
+  std::vector<std::vector<ts::SequencePair>> parts(ExecNumChunks(total));
+  ParallelChunks(exec_, total, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    ts::SequencePair p = PairFromIndex(lo, n);
+    std::size_t u = p.u, v = p.v;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (keep(wf.Estimate(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v)), a, b)) {
+        parts[c].emplace_back(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v));
+      }
+      NextPair(n, &u, &v);
     }
+  });
+  for (std::vector<ts::SequencePair>& part : parts) {
+    out.pairs.insert(out.pairs.end(), part.begin(), part.end());
   }
   return out;
 }
@@ -160,84 +227,148 @@ StatusOr<SelectionResult> QueryEngine::SelectByPredicate(Measure measure, QueryM
   SelectionResult out;
   const std::size_t n = data_->n();
   if (IsLocation(measure)) {
-    for (ts::SeriesId v = 0; v < n; ++v) {
-      AFFINITY_ASSIGN_OR_RETURN(double value, SeriesValue(measure, v, method));
-      if (keep(value, a, b)) out.series.push_back(v);
+    std::vector<std::vector<ts::SeriesId>> parts(ExecNumChunks(n));
+    AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+        exec_, n, [&](std::size_t c, std::size_t lo, std::size_t hi) -> Status {
+          for (std::size_t v = lo; v < hi; ++v) {
+            auto value = SeriesValue(measure, static_cast<ts::SeriesId>(v), method);
+            if (!value.ok()) return value.status();
+            if (keep(*value, a, b)) parts[c].push_back(static_cast<ts::SeriesId>(v));
+          }
+          return Status::OK();
+        }));
+    for (std::vector<ts::SeriesId>& part : parts) {
+      out.series.insert(out.series.end(), part.begin(), part.end());
     }
     return out;
   }
-  for (ts::SeriesId u = 0; u + 1 < n; ++u) {
-    for (ts::SeriesId v = u + 1; v < n; ++v) {
-      AFFINITY_ASSIGN_OR_RETURN(double value, Value(measure, u, v, method));
-      if (keep(value, a, b)) out.pairs.emplace_back(u, v);
-    }
+  if (n < 2) return out;
+  const std::size_t total = ts::SequencePairCount(n);
+  std::vector<std::vector<ts::SequencePair>> parts(ExecNumChunks(total));
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec_, total, [&](std::size_t c, std::size_t lo, std::size_t hi) -> Status {
+        ts::SequencePair p = PairFromIndex(lo, n);
+        std::size_t u = p.u, v = p.v;
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto value =
+              Value(measure, static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v), method);
+          if (!value.ok()) return value.status();
+          if (keep(*value, a, b)) {
+            parts[c].emplace_back(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v));
+          }
+          NextPair(n, &u, &v);
+        }
+        return Status::OK();
+      }));
+  for (std::vector<ts::SequencePair>& part : parts) {
+    out.pairs.insert(out.pairs.end(), part.begin(), part.end());
   }
   return out;
 }
 
 StatusOr<SelectionResult> QueryEngine::Met(const MetRequest& request, QueryMethod method) const {
-  if (method == QueryMethod::kDft) {
-    return SelectByPredicateDft(request.measure, request.greater ? KeepGreater : KeepLesser,
-                                request.tau, 0.0);
-  }
-  if (method == QueryMethod::kScape) {
-    if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
-    AFFINITY_ASSIGN_OR_RETURN(
-        ScapeQueryResult r, scape_->MeasureThreshold(request.measure, request.tau, request.greater));
-    SelectionResult out;
-    out.series = std::move(r.series);
-    out.pairs = std::move(r.pairs);
-    out.prune = r.prune;
-    return out;
-  }
-  return SelectByPredicate(request.measure, method, request.greater ? KeepGreater : KeepLesser,
-                           request.tau, 0.0);
+  ExecutedPlan plan = ResolvePlan(
+      method, [&](const QueryPlanner& planner) { return planner.PlanMet(request.measure); });
+  method = plan.method;
+  StatusOr<SelectionResult> result = [&]() -> StatusOr<SelectionResult> {
+    if (method == QueryMethod::kDft) {
+      return SelectByPredicateDft(request.measure, request.greater ? KeepGreater : KeepLesser,
+                                  request.tau, 0.0);
+    }
+    if (method == QueryMethod::kScape) {
+      if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
+      AFFINITY_ASSIGN_OR_RETURN(
+          ScapeQueryResult r,
+          scape_->MeasureThreshold(request.measure, request.tau, request.greater));
+      SelectionResult out;
+      out.series = std::move(r.series);
+      out.pairs = std::move(r.pairs);
+      out.prune = r.prune;
+      return out;
+    }
+    return SelectByPredicate(request.measure, method, request.greater ? KeepGreater : KeepLesser,
+                             request.tau, 0.0);
+  }();
+  if (!result.ok()) return result.status();
+  result->plan = std::move(plan);
+  return result;
 }
 
 StatusOr<SelectionResult> QueryEngine::Mer(const MerRequest& request, QueryMethod method) const {
   if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
-  if (method == QueryMethod::kDft) {
-    return SelectByPredicateDft(request.measure, KeepInside, request.lo, request.hi);
-  }
-  if (method == QueryMethod::kScape) {
-    if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
-    AFFINITY_ASSIGN_OR_RETURN(ScapeQueryResult r,
-                              scape_->MeasureRange(request.measure, request.lo, request.hi));
-    SelectionResult out;
-    out.series = std::move(r.series);
-    out.pairs = std::move(r.pairs);
-    out.prune = r.prune;
-    return out;
-  }
-  return SelectByPredicate(request.measure, method, KeepInside, request.lo, request.hi);
+  ExecutedPlan plan = ResolvePlan(
+      method, [&](const QueryPlanner& planner) { return planner.PlanMer(request.measure); });
+  method = plan.method;
+  StatusOr<SelectionResult> result = [&]() -> StatusOr<SelectionResult> {
+    if (method == QueryMethod::kDft) {
+      return SelectByPredicateDft(request.measure, KeepInside, request.lo, request.hi);
+    }
+    if (method == QueryMethod::kScape) {
+      if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
+      AFFINITY_ASSIGN_OR_RETURN(ScapeQueryResult r,
+                                scape_->MeasureRange(request.measure, request.lo, request.hi));
+      SelectionResult out;
+      out.series = std::move(r.series);
+      out.pairs = std::move(r.pairs);
+      out.prune = r.prune;
+      return out;
+    }
+    return SelectByPredicate(request.measure, method, KeepInside, request.lo, request.hi);
+  }();
+  if (!result.ok()) return result.status();
+  result->plan = std::move(plan);
+  return result;
 }
 
-StatusOr<ScapeTopKResult> QueryEngine::TopK(const TopKRequest& request,
-                                            QueryMethod method) const {
+StatusOr<TopKResult> QueryEngine::TopK(const TopKRequest& request, QueryMethod method) const {
+  ExecutedPlan plan = ResolvePlan(method, [&](const QueryPlanner& planner) {
+    return planner.PlanTopK(request.measure, request.k);
+  });
+  method = plan.method;
   if (method == QueryMethod::kScape) {
     if (scape_ == nullptr) return Status::FailedPrecondition("SCAPE index not attached");
-    return scape_->TopK(request.measure, request.k, request.largest);
+    AFFINITY_ASSIGN_OR_RETURN(ScapeTopKResult r,
+                              scape_->TopK(request.measure, request.k, request.largest));
+    TopKResult out;
+    static_cast<ScapeTopKResult&>(out) = std::move(r);
+    out.plan = std::move(plan);
+    return out;
   }
   if (method == QueryMethod::kDft) {
     return Status::InvalidArgument("top-k supports WN, WA, and SCAPE");
   }
-  // WN/WA: evaluate every entity, then partial-sort.
-  std::vector<ScapeTopKEntry> all;
+  // WN/WA: evaluate every entity in parallel, then partial-sort.
   const std::size_t n = data_->n();
+  const std::size_t total =
+      IsLocation(request.measure) ? n : ts::SequencePairCount(n);
+  std::vector<ScapeTopKEntry> all(total);
   if (IsLocation(request.measure)) {
-    all.reserve(n);
-    for (ts::SeriesId v = 0; v < n; ++v) {
-      AFFINITY_ASSIGN_OR_RETURN(double value, SeriesValue(request.measure, v, method));
-      all.push_back(ScapeTopKEntry{ts::SequencePair{}, v, value});
-    }
+    AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+        exec_, total, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+          for (std::size_t v = lo; v < hi; ++v) {
+            auto value = SeriesValue(request.measure, static_cast<ts::SeriesId>(v), method);
+            if (!value.ok()) return value.status();
+            all[v] = ScapeTopKEntry{ts::SequencePair{}, static_cast<ts::SeriesId>(v), *value};
+          }
+          return Status::OK();
+        }));
   } else {
-    all.reserve(ts::SequencePairCount(n));
-    for (ts::SeriesId u = 0; u + 1 < n; ++u) {
-      for (ts::SeriesId v = u + 1; v < n; ++v) {
-        AFFINITY_ASSIGN_OR_RETURN(double value, Value(request.measure, u, v, method));
-        all.push_back(ScapeTopKEntry{ts::SequencePair(u, v), 0, value});
-      }
-    }
+    AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+        exec_, total, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+          ts::SequencePair p = PairFromIndex(lo, n);
+          std::size_t u = p.u, v = p.v;
+          for (std::size_t i = lo; i < hi; ++i) {
+            auto value =
+                Value(request.measure, static_cast<ts::SeriesId>(u),
+                      static_cast<ts::SeriesId>(v), method);
+            if (!value.ok()) return value.status();
+            all[i] = ScapeTopKEntry{
+                ts::SequencePair(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v)),
+                kNoSeries, *value};
+            NextPair(n, &u, &v);
+          }
+          return Status::OK();
+        }));
   }
   const std::size_t k = request.k < all.size() ? request.k : all.size();
   const auto better = [&](const ScapeTopKEntry& a, const ScapeTopKEntry& b) {
@@ -245,9 +376,10 @@ StatusOr<ScapeTopKResult> QueryEngine::TopK(const TopKRequest& request,
   };
   std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(), better);
   all.resize(k);
-  ScapeTopKResult out;
+  TopKResult out;
   out.entries = std::move(all);
-  out.examined = IsLocation(request.measure) ? n : ts::SequencePairCount(n);
+  out.examined = total;
+  out.plan = std::move(plan);
   return out;
 }
 

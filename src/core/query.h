@@ -9,16 +9,30 @@
 ///  * **WA** — affine relationships (Section 4.1): O(1) per value after the
 ///    one-time SYMEX+ preprocessing;
 ///  * **WF** — top-5-DFT-coefficient approximation (correlation only);
-///  * **SCAPE** — the index of Section 5 (MET/MER only).
+///  * **SCAPE** — the index of Section 5 (MET/MER only);
+///
+/// or with **AUTO**, which consults the cost-based `QueryPlanner`
+/// (planner.h) over the capabilities actually attached and dispatches to
+/// the cheapest admissible strategy. Every response carries the
+/// `ExecutedPlan` that answered it, for EXPLAIN-style introspection.
+///
+/// Full-sweep queries (MET/MER over all O(n²) sequence pairs, MEC pair
+/// matrices, top-k) execute as deterministic chunked parallel loops over
+/// the engine's `ExecContext` — results are identical at any thread
+/// count (DESIGN.md §7).
 ///
 /// The engine is the measurement surface of every benchmark: Figs. 9–12
 /// time MEC under WN/WA; Figs. 15–16 and Table 4 time MET/MER under all
 /// four strategies.
 
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/measures.h"
+#include "core/planner.h"
 #include "core/scape.h"
 #include "core/symex.h"
 #include "dft/dft_correlation.h"
@@ -28,11 +42,10 @@
 
 namespace affinity::core {
 
-/// Strategy used to answer a query.
-enum class QueryMethod { kNaive, kAffine, kDft, kScape };
-
-/// Display name: "WN", "WA", "WF", "SCAPE".
-std::string_view QueryMethodName(QueryMethod method);
+/// The strategy that actually answered a query — the planner's choice
+/// (cost estimate and rationale included) for `kAuto` queries, or a fixed
+/// "explicitly requested" record otherwise.
+using ExecutedPlan = PlanChoice;
 
 /// Query 1 — measure computation over a set of series ψ.
 struct MecRequest {
@@ -45,6 +58,7 @@ struct MecRequest {
 struct MecResponse {
   la::Vector location;
   la::Matrix pair_values;
+  ExecutedPlan plan;
 };
 
 /// Query 2 — measure threshold: entities with measure > τ (or < τ).
@@ -75,16 +89,23 @@ struct SelectionResult {
   std::vector<ts::SeriesId> series;
   std::vector<ts::SequencePair> pairs;
   PruneStats prune;
+  ExecutedPlan plan;
+};
+
+/// Engine-level top-k result: the index-side entries plus the plan that
+/// produced them.
+struct TopKResult : ScapeTopKResult {
+  ExecutedPlan plan;
 };
 
 /// Strategy-dispatching query processor.
 ///
 /// The engine never owns its inputs; the caller guarantees that `data` (and
-/// any attached model/index/estimator) outlives it. `Affinity` (framework.h)
-/// packages the ownership story for typical users.
+/// any attached model/index/estimator/thread pool) outlives it. `Affinity`
+/// (framework.h) packages the ownership story for typical users.
 class QueryEngine {
  public:
-  /// An engine that can only answer with WN.
+  /// An engine that can only answer with WN, sequentially.
   explicit QueryEngine(const ts::DataMatrix* data);
 
   /// Enables the WA strategy.
@@ -102,22 +123,43 @@ class QueryEngine {
   /// Enables the SCAPE strategy (MET/MER).
   void AttachScape(const ScapeIndex* scape) { scape_ = scape; }
 
+  /// Sets the execution context used by full-sweep queries. The pool (if
+  /// any) must outlive the engine; default is sequential.
+  void SetExec(const ExecContext& exec) { exec_ = exec; }
+
+  /// The engine's execution context.
+  const ExecContext& exec() const { return exec_; }
+
+  /// The planner capabilities implied by what is attached — the basis of
+  /// every `kAuto` dispatch.
+  QueryPlanner::Capabilities Capabilities() const;
+
   /// Query 1. FailedPrecondition when the strategy is not attached;
   /// InvalidArgument for strategy/measure mismatches (e.g. WF with a
   /// non-correlation measure) or out-of-range ids.
-  StatusOr<MecResponse> Mec(const MecRequest& request, QueryMethod method) const;
+  StatusOr<MecResponse> Mec(const MecRequest& request,
+                            QueryMethod method = QueryMethod::kAuto) const;
 
   /// Query 2 over all series (L) or all sequence pairs (T/D).
-  StatusOr<SelectionResult> Met(const MetRequest& request, QueryMethod method) const;
+  StatusOr<SelectionResult> Met(const MetRequest& request,
+                                QueryMethod method = QueryMethod::kAuto) const;
 
   /// Query 3 over all series (L) or all sequence pairs (T/D).
-  StatusOr<SelectionResult> Mer(const MerRequest& request, QueryMethod method) const;
+  StatusOr<SelectionResult> Mer(const MerRequest& request,
+                                QueryMethod method = QueryMethod::kAuto) const;
 
   /// Top-k query (extension). WN/WA evaluate all entities and select;
   /// SCAPE runs the index-side threshold algorithm. Results are best-first.
-  StatusOr<ScapeTopKResult> TopK(const TopKRequest& request, QueryMethod method) const;
+  StatusOr<TopKResult> TopK(const TopKRequest& request,
+                            QueryMethod method = QueryMethod::kAuto) const;
 
  private:
+  /// kAuto → the planner's verdict over current capabilities (`plan` is
+  /// called with a ready planner); anything else → an "explicitly
+  /// requested" record. The single point where auto dispatch resolves.
+  ExecutedPlan ResolvePlan(QueryMethod method,
+                           const std::function<PlanChoice(const QueryPlanner&)>& plan) const;
+
   Status CheckIds(const std::vector<ts::SeriesId>& ids) const;
   StatusOr<double> Value(Measure measure, ts::SeriesId u, ts::SeriesId v,
                          QueryMethod method) const;
@@ -133,6 +175,7 @@ class QueryEngine {
   const AffinityModel* model_ = nullptr;
   std::size_t wf_coefficients_ = 0;  ///< 0 = WF disabled
   const ScapeIndex* scape_ = nullptr;
+  ExecContext exec_;
 };
 
 }  // namespace affinity::core

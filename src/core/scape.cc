@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -74,21 +76,26 @@ int ScapeIndex::LocationFamilyIndex(Measure m) {
   }
 }
 
-StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOptions& options) {
+StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOptions& options,
+                                       const ExecContext& exec) {
   Stopwatch watch;
   ScapeIndex index;
 
   // ---- Pair-level pivot nodes (T/D-measures). -----------------------------
+  // Phase 1 (sequential): discover pivots, fix their αq keys, and group
+  // the relationships per pivot. The per-pivot group order is the model's
+  // iteration order — independent of the execution context.
   std::unordered_map<std::uint64_t, std::size_t> pivot_slot;
   pivot_slot.reserve(model.pivot_count());
   index.pair_pivots_.reserve(model.pivot_count());
+  std::vector<std::vector<std::pair<ts::SequencePair, const AffineRecord*>>> grouped;
+  grouped.reserve(model.pivot_count());
 
-  Status build_error = Status::OK();
   model.ForEachRelationship([&](const ts::SequencePair& e, const AffineRecord& rec) {
-    if (!build_error.ok()) return;
     const auto [it, inserted] = pivot_slot.try_emplace(rec.pivot.Key(), index.pair_pivots_.size());
     if (inserted) {
       index.pair_pivots_.emplace_back(options.btree_fanout);
+      grouped.emplace_back();
       PairPivotNode& node = index.pair_pivots_.back();
       node.pivot = rec.pivot;
       const PairMatrixMeasures* pm = model.FindPivotMeasures(rec.pivot);
@@ -98,40 +105,50 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
       node.trees[0].norm = Norm3(node.trees[0].alpha);
       node.trees[1].norm = Norm3(node.trees[1].alpha);
     }
-    PairPivotNode& node = index.pair_pivots_[it->second];
-
-    double beta[3];
-    rec.Beta(beta);
-    const Measure kNormalizerOf[2] = {Measure::kCorrelation, Measure::kCosine};
-    for (int family = 0; family < 2; ++family) {
-      PairTree& pt = node.trees[family];
-      auto u_or = model.PairNormalizer(kNormalizerOf[family], e);
-      if (!u_or.ok()) {
-        build_error = u_or.status();
-        return;
-      }
-      const double u = *u_or;
-      const double xi = pt.norm > 0.0 ? Dot3(pt.alpha, beta) / pt.norm : 0.0;
-      SeqEntry entry{e, u, xi};
-      if (pt.norm > 0.0 && u > 0.0) {
-        // Regular entry: keyed in the B-tree; contributes normalizer bounds.
-        pt.u_min = std::min(pt.u_min, u);
-        pt.u_max = std::max(pt.u_max, u);
-        pt.tree.Insert(xi, entry);
-      } else {
-        // Degenerate pivot (‖α‖ = 0 → T-value ≡ 0) or zero normalizer
-        // (constant series → D-value ≡ 0): evaluated from the side list.
-        pt.degenerate.push_back(entry);
-      }
-    }
+    grouped[it->second].emplace_back(e, &rec);
     ++index.pair_entries_;
   });
-  AFFINITY_RETURN_IF_ERROR(build_error);
+
+  // Phase 2 (parallel over pivots): every pivot's trees are private to
+  // its chunk item, so construction fans out with no synchronization and
+  // a fixed per-tree insertion order.
+  const std::size_t pivot_count = index.pair_pivots_.size();
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec, pivot_count, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+    for (std::size_t slot = lo; slot < hi; ++slot) {
+      PairPivotNode& node = index.pair_pivots_[slot];
+      for (const auto& [e, rec] : grouped[slot]) {
+        double beta[3];
+        rec->Beta(beta);
+        const Measure kNormalizerOf[2] = {Measure::kCorrelation, Measure::kCosine};
+        for (int family = 0; family < 2; ++family) {
+          PairTree& pt = node.trees[static_cast<std::size_t>(family)];
+          auto u_or = model.PairNormalizer(kNormalizerOf[family], e);
+          if (!u_or.ok()) return u_or.status();
+          const double u = *u_or;
+          const double xi = pt.norm > 0.0 ? Dot3(pt.alpha, beta) / pt.norm : 0.0;
+          SeqEntry entry{e, u, xi};
+          if (pt.norm > 0.0 && u > 0.0) {
+            // Regular entry: keyed in the B-tree; contributes normalizer bounds.
+            pt.u_min = std::min(pt.u_min, u);
+            pt.u_max = std::max(pt.u_max, u);
+            pt.tree.Insert(xi, entry);
+          } else {
+            // Degenerate pivot (‖α‖ = 0 → T-value ≡ 0) or zero normalizer
+            // (constant series → D-value ≡ 0): evaluated from the side list.
+            pt.degenerate.push_back(entry);
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }));
 
   // ---- Per-cluster pivot nodes (L-measures). -------------------------------
   const std::size_t k = model.clustering().k();
   const std::size_t n = model.data().n();
   index.loc_pivots_.reserve(k);
+  std::vector<std::vector<ts::SeriesId>> members(k);
   for (std::size_t l = 0; l < k; ++l) {
     index.loc_pivots_.emplace_back(options.btree_fanout);
     LocPivotNode& node = index.loc_pivots_.back();
@@ -146,16 +163,23 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
     }
   }
   for (std::size_t v = 0; v < n; ++v) {
-    const int cluster = model.clustering().assignment[v];
-    const SeriesAffine& sa = model.series_affine(static_cast<ts::SeriesId>(v));
-    LocPivotNode& node = index.loc_pivots_[static_cast<std::size_t>(cluster)];
-    for (int f = 0; f < 3; ++f) {
-      LocTree& lt = node.trees[f];
-      const double xi = (lt.alpha[0] * sa.gain + lt.alpha[1] * sa.offset) / lt.norm;
-      lt.tree.Insert(xi, static_cast<ts::SeriesId>(v));
-    }
+    members[static_cast<std::size_t>(model.clustering().assignment[v])].push_back(
+        static_cast<ts::SeriesId>(v));
     ++index.series_entries_;
   }
+  ParallelChunks(exec, k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t l = lo; l < hi; ++l) {
+      LocPivotNode& node = index.loc_pivots_[l];
+      for (const ts::SeriesId v : members[l]) {
+        const SeriesAffine& sa = model.series_affine(v);
+        for (int f = 0; f < 3; ++f) {
+          LocTree& lt = node.trees[f];
+          const double xi = (lt.alpha[0] * sa.gain + lt.alpha[1] * sa.offset) / lt.norm;
+          lt.tree.Insert(xi, v);
+        }
+      }
+    }
+  });
 
   index.build_seconds_ = watch.ElapsedSeconds();
   return index;

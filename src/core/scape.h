@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "btree/bplus_tree.h"
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/measures.h"
 #include "core/symex.h"
@@ -77,12 +78,20 @@ struct ScapeQueryResult {
   PruneStats prune;
 };
 
-/// One top-k result entry. For pair measures `pair` is set; for L-measures
-/// `series` is set.
+/// Sentinel marking "this top-k entry has no series" (pair-measure
+/// entries). A real series id can be 0, so absence needs an explicit
+/// out-of-band value rather than a default of 0.
+inline constexpr ts::SeriesId kNoSeries = std::numeric_limits<ts::SeriesId>::max();
+
+/// One top-k result entry. For pair measures `pair` is set and `series`
+/// stays `kNoSeries`; for L-measures `series` is set.
 struct ScapeTopKEntry {
   ts::SequencePair pair;
-  ts::SeriesId series = 0;
+  ts::SeriesId series = kNoSeries;
   double value = 0.0;
+
+  /// True for L-measure entries (a series id is present).
+  bool has_series() const { return series != kNoSeries; }
 };
 
 /// Result of a top-k query, ordered best-first.
@@ -102,8 +111,11 @@ class ScapeIndex {
   /// Builds the index over every affine relationship in `model`.
   /// Indexes covariance & dot-product trees per pair pivot (serving
   /// covariance, dot product, correlation, cosine) and mean/median/mode
-  /// trees per cluster (serving the L-measures).
-  static StatusOr<ScapeIndex> Build(const AffinityModel& model, const ScapeOptions& options = {});
+  /// trees per cluster (serving the L-measures). Per-pivot tree
+  /// construction fans out over `exec`; the built index is identical at
+  /// any thread count (per-tree insertion order is fixed).
+  static StatusOr<ScapeIndex> Build(const AffinityModel& model, const ScapeOptions& options = {},
+                                    const ExecContext& exec = {});
 
   /// MET query (Query 2): entities whose `measure` is greater (or lesser)
   /// than `tau`. Unimplemented for Jaccard/Dice (no separable normalizer —

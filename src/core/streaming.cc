@@ -17,7 +17,13 @@ StatusOr<StreamingAffinity> StreamingAffinity::Create(const std::vector<std::str
   for (const std::string& name : names) {
     AFFINITY_RETURN_IF_ERROR(table.RegisterSeries(name, "stream", 1.0).status());
   }
-  return StreamingAffinity(std::move(table), options);
+  // One pool for the stream's lifetime: every rebuild reuses it, so the
+  // per-rebuild cost is the build itself, never thread setup.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.build.threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.build.threads);
+  }
+  return StreamingAffinity(std::move(table), options, std::move(pool));
 }
 
 Status StreamingAffinity::Append(const std::vector<double>& row) {
@@ -39,7 +45,7 @@ Status StreamingAffinity::Rebuild() {
   }
   AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix snapshot, table_.Snapshot());
   AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix window, ts::TailWindow(snapshot, options_.window));
-  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::Build(window, options_.build));
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::BuildWith(window, options_.build, exec()));
   framework_ = std::make_unique<Affinity>(std::move(fw));
   snapshot_row_ = rows_;
   rows_since_rebuild_ = 0;

@@ -10,12 +10,19 @@
 /// rebuilt over the trailing analysis window every `rebuild_interval` rows.
 /// Between rebuilds, queries answer against the last snapshot — the
 /// standard freshness/cost trade-off, made explicit by `snapshot_age()`.
+///
+/// Rebuilds run over one thread pool owned by the stream (sized by
+/// `StreamingOptions::build.threads`) and created once at `Create` time,
+/// so large-window rebuilds fan out across cores instead of stalling
+/// ingest on one, and no per-rebuild pool setup cost is paid.
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/framework.h"
 #include "storage/table.h"
 #include "ts/rolling.h"
@@ -67,10 +74,17 @@ class StreamingAffinity {
   /// The underlying storage table (for inspection / checkpointing).
   const storage::DataMatrixTable& table() const { return table_; }
 
- private:
-  StreamingAffinity(storage::DataMatrixTable table, StreamingOptions options)
-      : table_(std::move(table)), options_(options) {}
+  /// The execution context rebuilds (and snapshot queries) run over.
+  ExecContext exec() const { return ExecContext{pool_.get()}; }
 
+ private:
+  StreamingAffinity(storage::DataMatrixTable table, StreamingOptions options,
+                    std::unique_ptr<ThreadPool> pool)
+      : pool_(std::move(pool)), table_(std::move(table)), options_(options) {}
+
+  // Declared first so it outlives the framework snapshot whose engine
+  // holds an ExecContext pointing at it (members destroy in reverse).
+  std::unique_ptr<ThreadPool> pool_;
   storage::DataMatrixTable table_;
   StreamingOptions options_;
   std::unique_ptr<Affinity> framework_;

@@ -1,5 +1,6 @@
 #include "core/symex.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -132,6 +133,13 @@ AffineTransform MakeTransform(bool series_first, const double x[3]) {
 
 /// The marching/fitting engine shared by SYMEX and SYMEX+. It writes into
 /// the model's hash maps via explicit references handed over by RunSymex.
+///
+/// Execution is split in two: `March()` walks the two fronts sequentially
+/// (the marching order *is* the pivot-assignment policy, so it cannot be
+/// reordered) while only recording work items; `Fit()` then performs the
+/// least-squares fits as a deterministic chunked parallel loop — each
+/// item writes its own pre-inserted hash slot, so no synchronization is
+/// needed and the fitted model is identical at any thread count.
 class SymexRunner {
  public:
   using AffHash = std::unordered_map<std::uint64_t, AffineRecord>;
@@ -181,7 +189,43 @@ class SymexRunner {
     }
   }
 
+  /// Fits every relationship recorded by March(). SYMEX+ first computes
+  /// the per-pivot inverse normal-equation factors (parallel over pivots),
+  /// then solves the per-pair right-hand sides (parallel over pairs);
+  /// plain SYMEX re-derives the pseudo-inverse per pair, with per-chunk
+  /// scratch.
+  void Fit(const ExecContext& exec) {
+    if (options_.cache_pseudo_inverse) {
+      ParallelChunks(exec, factor_order_.size(),
+                     [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         const FactorRef& ref = factor_order_[i];
+                         const Gram3 gram = ComputeGram(ref.c1, ref.c2, m_);
+                         ref.entry->ok = InvertGram(gram, &ref.entry->ginv);
+                       }
+                     });
+      stats_->cache_misses += factor_order_.size();
+      stats_->cache_hits += work_.size() - factor_order_.size();
+      ParallelChunks(exec, work_.size(),
+                     [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) FitCached(work_[i]);
+                     });
+      return;
+    }
+    ParallelChunks(exec, work_.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+      std::vector<double> scratch(3 * m_);
+      for (std::size_t i = lo; i < hi; ++i) FitUncached(work_[i], scratch.data());
+    });
+  }
+
  private:
+  /// One deferred fit: the pre-inserted record plus its sequence pair.
+  struct WorkItem {
+    AffineRecord* rec;
+    ts::SeriesId u;
+    ts::SeriesId v;
+  };
+
   bool Done() const {
     return aff_hash_->size() >= total_pairs_ || aff_hash_->size() >= options_.max_relationships;
   }
@@ -206,8 +250,8 @@ class SymexRunner {
     }
   }
 
-  /// Algorithm 2's SolveInsert: skip if already related, otherwise fit and
-  /// record the relationship and its pivot.
+  /// Algorithm 2's SolveInsert: skip if already related, otherwise record
+  /// the relationship, its pivot, and a deferred fit work item.
   void SolveInsert(ts::SeriesId u, ts::SeriesId v, bool series_first) {
     const ts::SequencePair e(u, v);
     auto [it, inserted] = aff_hash_->try_emplace(e.Key());
@@ -223,59 +267,71 @@ class SymexRunner {
       pivot.cluster = static_cast<std::uint32_t>(clustering_.assignment[u]);
     }
 
-    const double* c1;  // pivot matrix column 1
-    const double* c2;  // pivot matrix column 2
-    const double* t;   // free target column
-    const double* center = clustering_.centers.ColData(pivot.cluster);
-    if (series_first) {
-      c1 = data_.ColumnData(u);
-      c2 = center;
-      t = data_.ColumnData(v);
-    } else {
-      c1 = center;
-      c2 = data_.ColumnData(v);
-      t = data_.ColumnData(u);
-    }
-
-    double x[3];
-    if (options_.cache_pseudo_inverse) {
-      FitCached(pivot, c1, c2, t, x);
-    } else {
-      FitUncached(pivot, c1, c2, t, x);
-    }
-
     AffineRecord& rec = it->second;
     rec.pivot = pivot;
-    rec.transform = MakeTransform(series_first, x);
     pivot_hash_->try_emplace(pivot.Key(), PivotHashEntry{pivot, {}});
+    if (options_.cache_pseudo_inverse) {
+      // Create the factor slot now (first-seen pivot order); computed in
+      // parallel by Fit(). Slot addresses are stable under rehash.
+      auto [fit, factor_inserted] = factor_cache_.try_emplace(pivot.Key());
+      if (factor_inserted) {
+        const double* c1;
+        const double* c2;
+        const double* t_unused;
+        Columns(pivot, u, v, &c1, &c2, &t_unused);
+        factor_order_.push_back(FactorRef{&fit->second, c1, c2});
+      }
+    }
+    work_.push_back(WorkItem{&rec, u, v});
   }
 
-  /// SYMEX+ path: the inverse normal-equation factor is cached per pivot;
-  /// only the right-hand side is pair-specific.
-  void FitCached(const PivotPair& pivot, const double* c1, const double* c2, const double* t,
-                 double x[3]) {
-    auto [it, inserted] = factor_cache_.try_emplace(pivot.Key());
-    if (inserted) {
-      ++stats_->cache_misses;
-      const Gram3 gram = ComputeGram(c1, c2, m_);
-      it->second.ok = InvertGram(gram, &it->second.ginv);
+  /// The design columns of a fit: pivot matrix columns (c1, c2) and the
+  /// free target column t, resolved from the pivot and the pair.
+  void Columns(const PivotPair& pivot, ts::SeriesId u, ts::SeriesId v, const double** c1,
+               const double** c2, const double** t) const {
+    const double* center = clustering_.centers.ColData(pivot.cluster);
+    if (pivot.series_first) {
+      *c1 = data_.ColumnData(u);
+      *c2 = center;
+      *t = data_.ColumnData(v);
     } else {
-      ++stats_->cache_hits;
+      *c1 = center;
+      *c2 = data_.ColumnData(v);
+      *t = data_.ColumnData(u);
     }
+  }
+
+  /// SYMEX+ path: the inverse normal-equation factor was computed once per
+  /// pivot; only the right-hand side is pair-specific.
+  void FitCached(const WorkItem& item) {
+    const PivotPair& pivot = item.rec->pivot;
+    const double* c1;
+    const double* c2;
+    const double* t;
+    Columns(pivot, item.u, item.v, &c1, &c2, &t);
+    const auto it = factor_cache_.find(pivot.Key());
+    double x[3];
     if (!it->second.ok) {
       FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x);
       if (!pivot.series_first) std::swap(x[0], x[1]);
-      return;
+    } else {
+      double rhs[3];
+      ComputeRhs(c1, c2, t, m_, rhs);
+      Solve3(it->second.ginv, rhs, x);
     }
-    double rhs[3];
-    ComputeRhs(c1, c2, t, m_, rhs);
-    Solve3(it->second.ginv, rhs, x);
+    item.rec->transform = MakeTransform(pivot.series_first, x);
   }
 
   /// Plain SYMEX path (Algorithm 2 verbatim): re-derive the pseudo-inverse
-  /// of [O_p, 1m] for every sequence pair, materialize it, then apply it.
-  void FitUncached(const PivotPair& pivot, const double* c1, const double* c2, const double* t,
-                   double x[3]) {
+  /// of [O_p, 1m] for every sequence pair, materialize it (into the
+  /// caller's 3×m scratch), then apply it.
+  void FitUncached(const WorkItem& item, double* scratch) {
+    const PivotPair& pivot = item.rec->pivot;
+    const double* c1;
+    const double* c2;
+    const double* t;
+    Columns(pivot, item.u, item.v, &c1, &c2, &t);
+    double x[3];
     const Gram3 gram = ComputeGram(c1, c2, m_);
     Mat3 ginv;
     if (!InvertGram(gram, &ginv)) {
@@ -283,13 +339,12 @@ class SymexRunner {
       // column so both variants produce identical relationships.
       FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x);
       if (!pivot.series_first) std::swap(x[0], x[1]);
+      item.rec->transform = MakeTransform(pivot.series_first, x);
       return;
     }
-    // pinv = G⁻¹ [c1, c2, 1]ᵀ, materialized row by row (3×m scratch).
-    scratch_.resize(3 * m_);
-    double* p0 = scratch_.data();
-    double* p1 = scratch_.data() + m_;
-    double* p2 = scratch_.data() + 2 * m_;
+    double* p0 = scratch;
+    double* p1 = scratch + m_;
+    double* p2 = scratch + 2 * m_;
     for (std::size_t i = 0; i < m_; ++i) {
       p0[i] = ginv.v[0] * c1[i] + ginv.v[1] * c2[i] + ginv.v[2];
       p1[i] = ginv.v[3] * c1[i] + ginv.v[4] * c2[i] + ginv.v[5];
@@ -304,11 +359,19 @@ class SymexRunner {
     x[0] = x0;
     x[1] = x1;
     x[2] = x2;
+    item.rec->transform = MakeTransform(pivot.series_first, x);
   }
 
   struct FactorEntry {
     Mat3 ginv;
     bool ok = false;
+  };
+
+  /// A factor to compute: the cache slot plus the pivot's design columns.
+  struct FactorRef {
+    FactorEntry* entry;
+    const double* c1;
+    const double* c2;
   };
 
   const ts::DataMatrix& data_;
@@ -321,7 +384,8 @@ class SymexRunner {
   std::size_t m_;
   std::size_t total_pairs_;
   std::unordered_map<std::uint64_t, FactorEntry> factor_cache_;
-  std::vector<double> scratch_;
+  std::vector<FactorRef> factor_order_;  ///< first-seen pivot order
+  std::vector<WorkItem> work_;           ///< marching order
 };
 
 int LocationRow(Measure measure) {
@@ -433,7 +497,7 @@ StatusOr<double> AffinityModel::PairNormalizer(Measure measure, const ts::Sequen
 }
 
 StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult clustering,
-                                 const SymexOptions& symex_options) {
+                                 const SymexOptions& symex_options, const ExecContext& exec) {
   if (data.n() < 2) {
     return Status::InvalidArgument("SYMEX requires at least 2 series");
   }
@@ -441,7 +505,7 @@ StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult cluste
   model.data_ = data;
   model.clustering_ = std::move(clustering);
 
-  // Marching + fitting.
+  // Marching (sequential structure discovery) + fitting (parallel).
   {
     Stopwatch watch;
     model.aff_hash_.reserve(
@@ -449,57 +513,70 @@ StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult cluste
     SymexRunner runner(model.data_, model.clustering_, symex_options, &model.aff_hash_,
                        &model.pivot_hash_, &model.stats_);
     runner.March();
+    runner.Fit(exec);
     model.stats_.march_seconds = watch.ElapsedSeconds();
   }
 
   // Pre-processing: pivot measures, per-series stats, series-level
   // relationships, centre L-measures (the one-time O(nk·m + n·m) cost).
+  // Each output slot belongs to exactly one item, so both passes fan out.
   {
     Stopwatch watch;
     const std::size_t m = data.m();
-    for (auto& [key, entry] : model.pivot_hash_) {
-      const double* center = model.clustering_.centers.ColData(entry.pivot.cluster);
-      const double* series = data.ColumnData(entry.pivot.series);
-      const double* c1 = entry.pivot.series_first ? series : center;
-      const double* c2 = entry.pivot.series_first ? center : series;
-      entry.measures = ComputePairMatrixMeasures(c1, c2, m);
-    }
+    std::vector<PivotHashEntry*> pivot_entries;
+    pivot_entries.reserve(model.pivot_hash_.size());
+    for (auto& [key, entry] : model.pivot_hash_) pivot_entries.push_back(&entry);
+    ParallelChunks(exec, pivot_entries.size(),
+                   [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i) {
+                       PivotHashEntry& entry = *pivot_entries[i];
+                       const double* center =
+                           model.clustering_.centers.ColData(entry.pivot.cluster);
+                       const double* series = data.ColumnData(entry.pivot.series);
+                       const double* c1 = entry.pivot.series_first ? series : center;
+                       const double* c2 = entry.pivot.series_first ? center : series;
+                       entry.measures = ComputePairMatrixMeasures(c1, c2, m);
+                     }
+                   });
 
     model.series_stats_.resize(data.n());
     model.series_affine_.resize(data.n());
-    for (std::size_t j = 0; j < data.n(); ++j) {
-      const double* s = data.ColumnData(static_cast<ts::SeriesId>(j));
-      double sum = 0, sumsq = 0;
-      for (std::size_t i = 0; i < m; ++i) {
-        sum += s[i];
-        sumsq += s[i] * s[i];
-      }
-      SeriesStats& st = model.series_stats_[j];
-      st.sum = sum;
-      st.sumsq = sumsq;
-      st.mean = m == 0 ? 0.0 : sum / static_cast<double>(m);
-      st.variance = m == 0 ? 0.0 : std::max(0.0, sumsq / static_cast<double>(m) - st.mean * st.mean);
+    ParallelChunks(exec, data.n(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        const double* s = data.ColumnData(static_cast<ts::SeriesId>(j));
+        double sum = 0, sumsq = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          sum += s[i];
+          sumsq += s[i] * s[i];
+        }
+        SeriesStats& st = model.series_stats_[j];
+        st.sum = sum;
+        st.sumsq = sumsq;
+        st.mean = m == 0 ? 0.0 : sum / static_cast<double>(m);
+        st.variance =
+            m == 0 ? 0.0 : std::max(0.0, sumsq / static_cast<double>(m) - st.mean * st.mean);
 
-      // Series-level fit s ≈ gain·r + offset (normal equations on [r, 1]).
-      const int cluster = model.clustering_.assignment[j];
-      const double* r = model.clustering_.centers.ColData(static_cast<std::size_t>(cluster));
-      double rr = 0, rs = 0, hr = 0;
-      for (std::size_t i = 0; i < m; ++i) {
-        rr += r[i] * r[i];
-        rs += r[i] * s[i];
-        hr += r[i];
+        // Series-level fit s ≈ gain·r + offset (normal equations on [r, 1]).
+        const int cluster = model.clustering_.assignment[j];
+        const double* r = model.clustering_.centers.ColData(static_cast<std::size_t>(cluster));
+        double rr = 0, rs = 0, hr = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          rr += r[i] * r[i];
+          rs += r[i] * s[i];
+          hr += r[i];
+        }
+        const double md = static_cast<double>(m);
+        const double det = rr * md - hr * hr;
+        SeriesAffine& sa = model.series_affine_[j];
+        if (std::fabs(det) < 1e-12 * (std::fabs(rr) + 1.0) * md) {
+          sa.gain = 0.0;
+          sa.offset = st.mean;
+        } else {
+          sa.gain = (rs * md - hr * sum) / det;
+          sa.offset = (rr * sum - hr * rs) / det;
+        }
       }
-      const double md = static_cast<double>(m);
-      const double det = rr * md - hr * hr;
-      SeriesAffine& sa = model.series_affine_[j];
-      if (std::fabs(det) < 1e-12 * (std::fabs(rr) + 1.0) * md) {
-        sa.gain = 0.0;
-        sa.offset = st.mean;
-      } else {
-        sa.gain = (rs * md - hr * sum) / det;
-        sa.offset = (rr * sum - hr * rs) / det;
-      }
-    }
+    });
 
     const std::size_t k = model.clustering_.k();
     model.center_loc_.assign(3, std::vector<double>(k, 0.0));
@@ -519,12 +596,13 @@ StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult cluste
 
 StatusOr<AffinityModel> BuildAffinityModel(const ts::DataMatrix& data,
                                            const AfclstOptions& afclst_options,
-                                           const SymexOptions& symex_options) {
+                                           const SymexOptions& symex_options,
+                                           const ExecContext& exec) {
   Stopwatch watch;
-  AFFINITY_ASSIGN_OR_RETURN(AfclstResult clustering, RunAfclst(data, afclst_options));
+  AFFINITY_ASSIGN_OR_RETURN(AfclstResult clustering, RunAfclst(data, afclst_options, exec));
   const double afclst_seconds = watch.ElapsedSeconds();
   AFFINITY_ASSIGN_OR_RETURN(AffinityModel model,
-                            RunSymex(data, std::move(clustering), symex_options));
+                            RunSymex(data, std::move(clustering), symex_options, exec));
   model.stats_.afclst_seconds = afclst_seconds;
   return model;
 }

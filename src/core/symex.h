@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/afclst.h"
 #include "core/affine.h"
@@ -187,9 +188,9 @@ class AffinityModel {
 
  private:
   friend StatusOr<AffinityModel> BuildAffinityModel(const ts::DataMatrix&, const AfclstOptions&,
-                                                    const SymexOptions&);
+                                                    const SymexOptions&, const ExecContext&);
   friend StatusOr<AffinityModel> RunSymex(const ts::DataMatrix&, AfclstResult,
-                                          const SymexOptions&);
+                                          const SymexOptions&, const ExecContext&);
   friend Status SaveModel(const AffinityModel&, const std::string&);
   friend StatusOr<AffinityModel> LoadModel(const std::string&);
 
@@ -206,15 +207,20 @@ class AffinityModel {
 };
 
 /// Runs AFCLST then SYMEX/SYMEX+ and finalizes the model (pivot measures,
-/// per-series stats, series-level relationships).
+/// per-series stats, series-level relationships). The marching order is
+/// inherently sequential (it decides pivot assignment), but the fitting
+/// and pre-processing passes fan out over `exec`; the model is identical
+/// at any thread count.
 StatusOr<AffinityModel> BuildAffinityModel(const ts::DataMatrix& data,
                                            const AfclstOptions& afclst_options,
-                                           const SymexOptions& symex_options);
+                                           const SymexOptions& symex_options,
+                                           const ExecContext& exec = {});
 
 /// As above with a pre-computed clustering (lets benches reuse AFCLST output
 /// across SYMEX variants).
 StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult clustering,
-                                 const SymexOptions& symex_options);
+                                 const SymexOptions& symex_options,
+                                 const ExecContext& exec = {});
 
 }  // namespace affinity::core
 

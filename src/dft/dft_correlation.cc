@@ -10,7 +10,8 @@
 namespace affinity::dft {
 
 StatusOr<DftCorrelationEstimator> DftCorrelationEstimator::Build(const ts::DataMatrix& data,
-                                                                 std::size_t coefficients) {
+                                                                 std::size_t coefficients,
+                                                                 const ExecContext& exec) {
   if (coefficients == 0) {
     return Status::InvalidArgument("DftCorrelationEstimator needs >= 1 coefficient");
   }
@@ -20,27 +21,34 @@ StatusOr<DftCorrelationEstimator> DftCorrelationEstimator::Build(const ts::DataM
   }
   const std::size_t c = std::min(coefficients, m / 2);
 
+  // Every sketch is independent, so the per-series FFTs fan out; each
+  // chunk reuses one normalization scratch buffer.
   std::vector<DftSketch> sketches(data.n());
-  std::vector<double> normalized(m);
-  for (std::size_t j = 0; j < data.n(); ++j) {
-    const double* x = data.ColumnData(static_cast<ts::SeriesId>(j));
-    const double mu = ts::stats::Mean(x, m);
-    const double var = ts::stats::Variance(x, m);
-    DftSketch& sk = sketches[j];
-    if (var <= 0.0) {
-      sk.degenerate = true;
-      sk.coefficients.assign(c, Complex(0.0, 0.0));
-      continue;
-    }
-    // x̂ = (x − μ) / (σ √m): unit-norm, zero-mean.
-    const double scale = 1.0 / std::sqrt(var * static_cast<double>(m));
-    for (std::size_t i = 0; i < m; ++i) normalized[i] = (x[i] - mu) * scale;
-    AFFINITY_ASSIGN_OR_RETURN(std::vector<Complex> spectrum, RealDft(normalized.data(), m));
-    // Unitary scaling so Parseval holds: ‖x̂‖² = Σ|X_k|².
-    const double unitary = 1.0 / std::sqrt(static_cast<double>(m));
-    sk.coefficients.resize(c);
-    for (std::size_t k = 0; k < c; ++k) sk.coefficients[k] = spectrum[k + 1] * unitary;
-  }
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec, data.n(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+        std::vector<double> normalized(m);
+        for (std::size_t j = lo; j < hi; ++j) {
+          const double* x = data.ColumnData(static_cast<ts::SeriesId>(j));
+          const double mu = ts::stats::Mean(x, m);
+          const double var = ts::stats::Variance(x, m);
+          DftSketch& sk = sketches[j];
+          if (var <= 0.0) {
+            sk.degenerate = true;
+            sk.coefficients.assign(c, Complex(0.0, 0.0));
+            continue;
+          }
+          // x̂ = (x − μ) / (σ √m): unit-norm, zero-mean.
+          const double scale = 1.0 / std::sqrt(var * static_cast<double>(m));
+          for (std::size_t i = 0; i < m; ++i) normalized[i] = (x[i] - mu) * scale;
+          auto spectrum = RealDft(normalized.data(), m);
+          if (!spectrum.ok()) return spectrum.status();
+          // Unitary scaling so Parseval holds: ‖x̂‖² = Σ|X_k|².
+          const double unitary = 1.0 / std::sqrt(static_cast<double>(m));
+          sk.coefficients.resize(c);
+          for (std::size_t k = 0; k < c; ++k) sk.coefficients[k] = (*spectrum)[k + 1] * unitary;
+        }
+        return Status::OK();
+      }));
   return DftCorrelationEstimator(std::move(sketches), c);
 }
 

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "dft/fft.h"
 #include "la/matrix.h"
@@ -41,9 +42,11 @@ struct DftSketch {
 class DftCorrelationEstimator {
  public:
   /// Builds sketches for all series of `data`, keeping `coefficients`
-  /// low-frequency terms. O(n·m·log m) one-time cost.
+  /// low-frequency terms. O(n·m·log m) one-time cost; the per-series FFTs
+  /// fan out over `exec` (sketches are identical at any thread count).
   static StatusOr<DftCorrelationEstimator> Build(
-      const ts::DataMatrix& data, std::size_t coefficients = kDefaultCoefficients);
+      const ts::DataMatrix& data, std::size_t coefficients = kDefaultCoefficients,
+      const ExecContext& exec = {});
 
   /// Estimated correlation of series u and v in O(c).
   /// Degenerate (constant) series estimate as 0, matching stats::Correlation.

@@ -214,8 +214,20 @@ TEST(ScalabilityShape, SymexPlusIsFasterThanSymex) {
   // Identical outputs...
   EXPECT_EQ(model_plain->relationship_count(), model_plus->relationship_count());
   // ...but the cached variant is measurably faster (paper: 3.5–4×; accept
-  // any definitive win to keep the test robust to machine noise).
-  EXPECT_LT(model_plus->stats().march_seconds, model_plain->stats().march_seconds);
+  // any definitive win to keep the test robust to machine noise). Wall
+  // times are best-of-3 so a scheduler hiccup during one run (e.g. a
+  // concurrent ctest process) cannot invert the comparison.
+  const auto best_march_seconds = [&](const SymexOptions& options) {
+    double best = model_plain->stats().march_seconds;  // overwritten below
+    for (int run = 0; run < 3; ++run) {
+      auto model = RunSymex(ds.matrix, *clustering, options);
+      EXPECT_TRUE(model.ok());
+      const double seconds = model->stats().march_seconds;
+      if (run == 0 || seconds < best) best = seconds;
+    }
+    return best;
+  };
+  EXPECT_LT(best_march_seconds(plus), best_march_seconds(plain));
 }
 
 }  // namespace

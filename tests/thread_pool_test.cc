@@ -1,0 +1,170 @@
+// Tests for the shared execution subsystem (common/thread_pool.h,
+// common/exec_context.h): chunk-decomposition determinism, edge cases
+// (zero items, fewer items than threads), exception propagation, and the
+// sequential fallback.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/exec_context.h"
+
+namespace affinity {
+namespace {
+
+TEST(ThreadPool, SizeIsRequestedCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SizeZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForZeroItemsNeverInvokesBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, FewerItemsThanThreadsCoversEachItemOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, LargeCountCoversEachItemExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10007;  // prime: exercises uneven chunks
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunkDecompositionIsIndependentOfThreadCount) {
+  // The determinism contract: (chunk, begin, end) triples are a function
+  // of the item count alone.
+  const auto collect = [](std::size_t workers, std::size_t count) {
+    std::set<std::tuple<std::size_t, std::size_t, std::size_t>> chunks;
+    std::mutex mutex;
+    ThreadPool pool(workers);
+    pool.ParallelFor(count, [&](std::size_t c, std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(mutex);
+      chunks.emplace(c, b, e);
+    });
+    return chunks;
+  };
+  for (const std::size_t count : {1u, 7u, 128u, 1000u}) {
+    const auto one = collect(1, count);
+    const auto four = collect(4, count);
+    EXPECT_EQ(one, four) << "count=" << count;
+    EXPECT_EQ(one.size(), ThreadPool::NumChunks(count));
+  }
+}
+
+TEST(ThreadPool, SequentialForMatchesParallelDecomposition) {
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> seq;
+  ThreadPool::SequentialFor(100, [&](std::size_t c, std::size_t b, std::size_t e) {
+    seq.emplace_back(c, b, e);
+  });
+  ASSERT_EQ(seq.size(), ThreadPool::NumChunks(100));
+  // Chunks are emitted in order and partition [0, 100).
+  std::size_t expected_begin = 0;
+  for (std::size_t c = 0; c < seq.size(); ++c) {
+    EXPECT_EQ(std::get<0>(seq[c]), c);
+    EXPECT_EQ(std::get<1>(seq[c]), expected_begin);
+    EXPECT_GT(std::get<2>(seq[c]), std::get<1>(seq[c]));
+    expected_begin = std::get<2>(seq[c]);
+  }
+  EXPECT_EQ(expected_begin, 100u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromLowestFailingChunk) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 64;  // 64 chunks of one item each
+  try {
+    pool.ParallelFor(kCount, [&](std::size_t chunk, std::size_t, std::size_t) {
+      if (chunk >= 5) throw std::runtime_error("chunk " + std::to_string(chunk));
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 5");
+  }
+}
+
+TEST(ThreadPool, AllChunksStillRunWhenOneThrows) {
+  ThreadPool pool(2);
+  constexpr std::size_t kCount = 32;
+  std::vector<std::atomic<int>> hits(kCount);
+  EXPECT_THROW(pool.ParallelFor(kCount,
+                                [&](std::size_t, std::size_t begin, std::size_t end) {
+                                  for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                                  if (begin == 0) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_items{0};
+  pool.ParallelFor(4, [&](std::size_t, std::size_t, std::size_t) {
+    pool.ParallelFor(8, [&](std::size_t, std::size_t begin, std::size_t end) {
+      inner_items += static_cast<int>(end - begin);
+    });
+  });
+  EXPECT_EQ(inner_items.load(), 4 * 8);
+}
+
+TEST(ThreadPool, ScheduleRunsTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Schedule([&] { ++ran; });
+    }
+    // Destructor drains the queue.
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ExecContext, DefaultIsSequential) {
+  ExecContext exec;
+  EXPECT_EQ(exec.pool, nullptr);
+  EXPECT_EQ(exec.threads(), 1u);
+  std::vector<int> hits(17, 0);
+  ParallelChunks(exec, hits.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ExecContext, ReportsPoolThreads) {
+  ThreadPool pool(3);
+  ExecContext exec{&pool};
+  EXPECT_EQ(exec.threads(), 3u);
+}
+
+TEST(ExecContext, NumChunksMatchesPoolPolicy) {
+  EXPECT_EQ(ExecNumChunks(0), ThreadPool::NumChunks(0));
+  EXPECT_EQ(ExecNumChunks(5), 5u);
+  EXPECT_EQ(ExecNumChunks(1 << 20), ThreadPool::NumChunks(1 << 20));
+}
+
+}  // namespace
+}  // namespace affinity

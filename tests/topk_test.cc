@@ -163,6 +163,41 @@ TEST_F(TopKTest, EngineValidation) {
   EXPECT_TRUE(bare.TopK(request, QueryMethod::kNaive).ok());
 }
 
+TEST_F(TopKTest, PairEntriesCarryNoSeries) {
+  // Pair-measure entries must not pretend to reference series 0: absence
+  // is the explicit kNoSeries sentinel, never a default of 0.
+  auto scape = framework_->scape()->TopK(Measure::kCorrelation, 8, true);
+  ASSERT_TRUE(scape.ok());
+  for (const auto& entry : scape->entries) {
+    EXPECT_FALSE(entry.has_series());
+    EXPECT_EQ(entry.series, kNoSeries);
+  }
+  TopKRequest request;
+  request.measure = Measure::kCovariance;
+  request.k = 8;
+  for (QueryMethod method : {QueryMethod::kNaive, QueryMethod::kAffine}) {
+    auto engine_result = framework_->engine().TopK(request, method);
+    ASSERT_TRUE(engine_result.ok());
+    for (const auto& entry : engine_result->entries) {
+      EXPECT_FALSE(entry.has_series());
+    }
+  }
+}
+
+TEST_F(TopKTest, LocationEntriesCarryARealSeriesIncludingZero) {
+  // All n series fit in the result, so series 0 must appear as a *valid*
+  // id — distinguishable from the sentinel.
+  auto result = framework_->scape()->TopK(Measure::kMean, 10000, true);
+  ASSERT_TRUE(result.ok());
+  bool saw_series_zero = false;
+  for (const auto& entry : result->entries) {
+    EXPECT_TRUE(entry.has_series());
+    EXPECT_LT(entry.series, framework_->data().n());
+    if (entry.series == 0) saw_series_zero = true;
+  }
+  EXPECT_TRUE(saw_series_zero);
+}
+
 TEST_F(TopKTest, TopPairsAreMutuallyDistinct) {
   auto result = framework_->scape()->TopK(Measure::kCorrelation, 50, true);
   ASSERT_TRUE(result.ok());
