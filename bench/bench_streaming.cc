@@ -1,0 +1,191 @@
+// Steady-state streaming refresh latency: incremental maintenance vs full
+// rebuild (DESIGN.md §8), over the synthetic stock generator.
+//
+// For every (window, interval) configuration the harness feeds a
+// StreamingAffinity past its first build, then times each subsequent
+// refresh (the Append calls that absorb one interval). The incremental
+// path pays O(interval) per relationship plus O(n·window) exact
+// recomputation; the rebuild path pays the full AFCLST → SYMEX+ → SCAPE
+// build. The headline row is window=1024, interval=1, where the delta
+// path must be ≥ 5× faster.
+//
+// Output: human-readable rows on stdout, plus google-benchmark-compatible
+// JSON with --benchmark_format=json [--benchmark_out=FILE] so CI can
+// upload a BENCH_*.json artifact without needing the benchmark library.
+//
+//   $ ./bench_streaming --quick
+//   $ ./bench_streaming --benchmark_format=json --benchmark_out=BENCH_streaming.json
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/streaming.h"
+#include "ts/generators.h"
+
+namespace {
+
+using namespace affinity;
+
+struct Config {
+  std::size_t window;
+  std::size_t interval;
+  core::UpdateMode mode;
+};
+
+struct Result {
+  Config config;
+  std::size_t refreshes = 0;
+  double mean_seconds = 0;
+  double min_seconds = 0;
+  std::size_t rekeys = 0;
+  std::size_t refits = 0;
+};
+
+const char* ModeName(core::UpdateMode mode) {
+  return mode == core::UpdateMode::kIncremental ? "incremental" : "rebuild";
+}
+
+Result RunConfig(const Config& config, const ts::Dataset& feed, std::size_t measured) {
+  core::StreamingOptions options;
+  options.window = config.window;
+  options.rebuild_interval = config.interval;
+  options.mode = config.mode;
+  options.build.afclst.k = 6;
+  options.build.build_dft = false;
+  auto stream = core::StreamingAffinity::Create(feed.matrix.names(), options);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", stream.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<double> row(feed.matrix.n());
+  std::size_t next = 0;
+  const auto append = [&]() {
+    for (std::size_t j = 0; j < feed.matrix.n(); ++j) {
+      row[j] = feed.matrix.matrix()(next % feed.matrix.m(), j);
+    }
+    ++next;
+    const auto result = stream->Append(row);
+    if (!result.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", result.status.ToString().c_str());
+      std::exit(1);
+    }
+    return result;
+  };
+
+  // Warm up through the first full build plus one refresh.
+  while (!stream->ready()) append();
+  for (std::size_t i = 0; i < config.interval; ++i) append();
+
+  Result out;
+  out.config = config;
+  out.min_seconds = 1e300;
+  double total = 0;
+  for (std::size_t r = 0; r < measured; ++r) {
+    Stopwatch watch;
+    bool refreshed = false;
+    for (std::size_t i = 0; i < config.interval; ++i) refreshed |= append().refreshed;
+    const double seconds = watch.ElapsedSeconds();
+    if (!refreshed) {
+      std::fprintf(stderr, "expected a refresh per interval\n");
+      std::exit(1);
+    }
+    total += seconds;
+    out.min_seconds = std::min(out.min_seconds, seconds);
+    ++out.refreshes;
+  }
+  out.mean_seconds = total / static_cast<double>(out.refreshes);
+  out.rekeys = stream->maintenance().tree_rekeys;
+  out.refits = stream->maintenance().relationships_refit;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
+    else if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) out_path = argv[i] + 16;
+    else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--quick] [--benchmark_format=json] [--benchmark_out=FILE]\n",
+                  argv[0]);
+      return 0;
+    }
+  }
+
+  // Synthetic stock generator (Table 3 stand-in) at a width that keeps the
+  // rebuild baseline affordable (the paper's n=996 would take minutes per
+  // rebuild config; the incremental/rebuild gap only widens with n).
+  ts::DatasetSpec spec;
+  spec.num_series = 128;
+  spec.num_samples = 2048;
+  spec.num_clusters = 6;
+  spec.noise_level = 0.015;
+  spec.seed = 7;
+  const ts::Dataset feed = ts::MakeStockData(spec);
+
+  const std::size_t measured_incremental = quick ? 8 : 32;
+  const std::size_t measured_rebuild = quick ? 4 : 12;
+
+  std::vector<Config> configs;
+  for (const std::size_t window : {std::size_t{256}, std::size_t{1024}}) {
+    for (const std::size_t interval : {std::size_t{1}, std::size_t{16}}) {
+      configs.push_back({window, interval, core::UpdateMode::kIncremental});
+      configs.push_back({window, interval, core::UpdateMode::kRebuild});
+    }
+  }
+
+  std::printf("# bench_streaming — steady-state refresh latency, stock generator "
+              "(n=%zu)\n", spec.num_series);
+  std::printf("window,interval,mode,refreshes,mean_us,min_us\n");
+  std::vector<Result> results;
+  for (const Config& config : configs) {
+    const std::size_t measured =
+        config.mode == core::UpdateMode::kIncremental ? measured_incremental : measured_rebuild;
+    Result r = RunConfig(config, feed, measured);
+    results.push_back(r);
+    std::printf("%zu,%zu,%s,%zu,%.1f,%.1f\n", config.window, config.interval,
+                ModeName(config.mode), r.refreshes, r.mean_seconds * 1e6, r.min_seconds * 1e6);
+  }
+
+  // Headline speedups (the ≥5× acceptance bar lives at 1024/1).
+  std::printf("\nwindow,interval,rebuild_over_incremental\n");
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const Result& inc = results[i];
+    const Result& reb = results[i + 1];
+    std::printf("%zu,%zu,%.2fx\n", inc.config.window, inc.config.interval,
+                reb.mean_seconds / inc.mean_seconds);
+  }
+
+  if (json) {
+    FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"context\": {\"executable\": \"bench_streaming\", "
+                 "\"num_series\": %zu},\n  \"benchmarks\": [\n", spec.num_series);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      std::fprintf(out,
+                   "    {\"name\": \"steady_refresh/window:%zu/interval:%zu/mode:%s\", "
+                   "\"run_type\": \"iteration\", \"iterations\": %zu, "
+                   "\"real_time\": %.3f, \"cpu_time\": %.3f, \"time_unit\": \"us\", "
+                   "\"rekeys\": %zu, \"refits\": %zu}%s\n",
+                   r.config.window, r.config.interval, ModeName(r.config.mode), r.refreshes,
+                   r.mean_seconds * 1e6, r.mean_seconds * 1e6, r.rekeys, r.refits,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (!out_path.empty()) std::fclose(out);
+  }
+  return 0;
+}

@@ -2,11 +2,13 @@
 //
 // Rows arrive one at a time (here: a synthetic sensor feed replayed at
 // ingest speed); the StreamingAffinity wrapper maintains the trailing
-// analysis window and rebuilds the full stack (AFCLST → SYMEX+ → SCAPE)
-// every `rebuild_interval` rows. After each rebuild the demo runs a
-// top-k correlation query and prints how the leader board drifts as the
-// window slides — the real-time deployment the paper's introduction
-// motivates.
+// analysis window and refreshes the stack (AFCLST → SYMEX+ → SCAPE) every
+// `rebuild_interval` rows — incrementally (delta updates through every
+// layer, DESIGN.md §8) with drift-monitored escalation back to full
+// rebuilds when the regime shifts (the demo splices two different seeds
+// so that actually happens). After each refresh the demo runs a top-k
+// correlation query and prints how the leader board drifts as the window
+// slides — the real-time deployment the paper's introduction motivates.
 //
 //   $ ./streaming_demo
 
@@ -38,6 +40,7 @@ int main() {
   StreamingOptions options;
   options.window = 120;
   options.rebuild_interval = 60;
+  options.mode = affinity::core::UpdateMode::kIncremental;
   options.build.afclst.k = 3;
   options.build.build_dft = false;
 
@@ -48,23 +51,24 @@ int main() {
   }
 
   std::vector<double> row(phase1.matrix.n());
-  std::size_t last_report = 0;
   for (int phase = 0; phase < 2; ++phase) {
     const affinity::ts::DataMatrix& feed = (phase == 0 ? phase1 : phase2).matrix;
     for (std::size_t i = 0; i < feed.m(); ++i) {
       for (std::size_t j = 0; j < feed.n(); ++j) row[j] = feed.matrix()(i, j);
-      if (const auto status = stream->Append(row); !status.ok()) {
-        std::fprintf(stderr, "append failed: %s\n", status.ToString().c_str());
+      const auto result = stream->Append(row);
+      if (!result.ok()) {
+        std::fprintf(stderr, "append failed: %s\n", result.status.ToString().c_str());
         return 1;
       }
-      if (stream->ready() && stream->rebuild_count() != last_report &&
-          stream->snapshot_age() == 0) {
-        last_report = stream->rebuild_count();
+      if (result.refreshed) {
         affinity::core::TopKRequest request{Measure::kCorrelation, 3, true};
         auto top = stream->framework()->engine().TopK(request, QueryMethod::kScape);
         if (!top.ok()) return 1;
-        std::printf("t=%4zu  rebuild #%zu  top correlated pairs:", stream->rows_ingested(),
-                    stream->rebuild_count());
+        std::printf("t=%4zu  %s  top correlated pairs:", stream->rows_ingested(),
+                    result.escalated ? "escalated rebuild"
+                    : result.mode == affinity::core::UpdateMode::kIncremental
+                        ? "incremental refresh"
+                        : "full rebuild     ");
         for (const auto& entry : top->entries) {
           std::printf("  (%s,%s %.3f)", stream->framework()->data().name(entry.pair.u).c_str(),
                       stream->framework()->data().name(entry.pair.v).c_str(), entry.value);
@@ -87,7 +91,16 @@ int main() {
   if (!restored.ok()) return 1;
   std::printf("\ncheckpointed model to %s and restored it: %zu relationships intact\n",
               checkpoint.c_str(), restored->relationship_count());
-  std::printf("ingested %zu rows, %zu rebuilds, final snapshot age %zu\n",
-              stream->rows_ingested(), stream->rebuild_count(), stream->snapshot_age());
+  const auto& profile = stream->maintenance();
+  std::printf("ingested %zu rows, %zu full builds, %zu incremental refreshes "
+              "(%zu escalations), final snapshot age %zu\n",
+              stream->rows_ingested(), stream->rebuild_count(), stream->refresh_count(),
+              profile.escalations, stream->snapshot_age());
+  std::printf("maintenance: %zu rows absorbed, %zu delta updates, %zu exact refits, "
+              "%zu index re-keys, residual %.4f (baseline %.4f), resident rows %zu\n",
+              profile.rows_absorbed, profile.relationships_updated,
+              profile.relationships_refit, profile.tree_rekeys,
+              profile.mean_relative_residual, profile.baseline_mean_residual,
+              stream->table().retained_row_count());
   return 0;
 }

@@ -10,14 +10,21 @@
 ///    scalar-projection key ξ);
 ///  * leaves are chained, so a threshold query is one descent plus a
 ///    linear leaf walk over exactly the result set;
-///  * values are payloads (`V`), typically a sequence-node struct.
+///  * values are payloads (`V`), typically a sequence-node struct;
+///  * entries can be erased (`Erase`) and moved (`ReKey` = erase + insert)
+///    with classic underflow rebalancing — borrow from a sibling, else
+///    merge, collapsing the root when it drops to one child — so the
+///    incremental maintenance path (DESIGN.md §8) can slide scalar
+///    projections inside a live index instead of rebuilding it.
 ///
 /// The tree is single-threaded by design: the SCAPE index is built once
-/// per dataset snapshot and queried read-only afterwards.
+/// per dataset snapshot, queried read-only, and mutated only from the
+/// (externally serialized) maintenance path.
 
 #include <algorithm>
 #include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -139,6 +146,42 @@ class BPlusTree {
     ++size_;
   }
 
+  /// Erases one entry with key `key` whose value satisfies `pred(value)`.
+  /// Among duplicates the first match in key order is removed. Underflowing
+  /// nodes borrow from a sibling or merge with one; an internal root with a
+  /// single remaining child collapses. Returns true iff an entry was erased.
+  template <typename Pred>
+  bool Erase(double key, Pred&& pred) {
+    return EraseExtract(key, pred, nullptr);
+  }
+
+  /// Erases one entry with key `key` (first among duplicates).
+  bool Erase(double key) {
+    return Erase(key, [](const V&) { return true; });
+  }
+
+  /// Moves one entry matching (`old_key`, `pred`) to `new_key`, preserving
+  /// its payload — the erase + insert the SCAPE maintenance path applies
+  /// when a scalar projection ξ changes. Among equal final keys the moved
+  /// entry lands after existing ones (insertion-order stability, matching
+  /// Insert). Returns false (and changes nothing) when no entry matched.
+  template <typename Pred>
+  bool ReKey(double old_key, double new_key, Pred&& pred) {
+    return ReKey(old_key, new_key, std::forward<Pred>(pred), [](V&) {});
+  }
+
+  /// As ReKey, additionally applying `update(value&)` to the payload
+  /// between the erase and the re-insert (the SCAPE maintenance path
+  /// refreshes the cached normalizer riding in each entry).
+  template <typename Pred, typename Update>
+  bool ReKey(double old_key, double new_key, Pred&& pred, Update&& update) {
+    V moved{};
+    if (!EraseExtract(old_key, pred, &moved)) return false;
+    update(moved);
+    Insert(new_key, std::move(moved));
+    return true;
+  }
+
   /// Number of entries.
   std::size_t size() const { return size_; }
 
@@ -206,7 +249,8 @@ class BPlusTree {
   }
 
   /// Validates structural invariants (sorted keys, uniform leaf depth,
-  /// correct leaf chain, child/key counts). For tests; O(size).
+  /// correct leaf chain, child/key counts, non-root occupancy floors).
+  /// For tests; O(size).
   bool ValidateInvariants() const {
     std::size_t leaf_depth = 0;
     const Node* node = root_.get();
@@ -225,6 +269,148 @@ class BPlusTree {
     double split_key = 0.0;
     std::unique_ptr<Node> new_node;  // null when no split happened
   };
+
+  /// Minimum occupancy of non-root nodes. Splits produce nodes at or above
+  /// these floors, and deletion rebalances back up to them.
+  std::size_t MinLeafKeys() const { return max_entries_ / 2; }
+  std::size_t MinInternalChildren() const { return (max_entries_ + 1) / 2; }
+
+  /// Erase driver: removes the first (key, pred) match, moving its payload
+  /// into `out` when non-null, then restores the root invariants.
+  template <typename Pred>
+  bool EraseExtract(double key, Pred& pred, V* out) {
+    if (!EraseRecursive(root_.get(), key, pred, out)) return false;
+    --size_;
+    if (!root_->is_leaf) {
+      auto* inner = static_cast<InternalNode*>(root_.get());
+      if (inner->children.size() == 1) {
+        root_ = std::move(inner->children.front());
+        --height_;
+      }
+    }
+    return true;
+  }
+
+  /// Recursive erase. The parent rebalances an underflowing child after the
+  /// recursive call reports success; the root itself is exempt from
+  /// occupancy floors (handled by EraseExtract's collapse).
+  template <typename Pred>
+  bool EraseRecursive(Node* node, double key, Pred& pred, V* out) {
+    if (node->is_leaf) {
+      auto* leaf = static_cast<LeafNode*>(node);
+      const auto lo = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      for (auto it = lo; it != leaf->keys.end() && *it == key; ++it) {
+        const auto idx = static_cast<std::size_t>(it - leaf->keys.begin());
+        if (!pred(leaf->values[idx])) continue;
+        if (out != nullptr) *out = std::move(leaf->values[idx]);
+        leaf->keys.erase(it);
+        leaf->values.erase(leaf->values.begin() + static_cast<long>(idx));
+        return true;
+      }
+      return false;
+    }
+    auto* inner = static_cast<InternalNode*>(node);
+    // A split promotes the right half's first key, so a run of duplicates
+    // can straddle a separator *equal* to the key (the left child may hold
+    // entries equal to its right separator). Probe every candidate child in
+    // key order until one erases.
+    std::size_t i = 0;
+    while (i < inner->keys.size() && key > inner->keys[i]) ++i;
+    for (; i < inner->children.size(); ++i) {
+      if (i > 0 && inner->keys[i - 1] > key) break;
+      if (EraseRecursive(inner->children[i].get(), key, pred, out)) {
+        RebalanceChild(inner, i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Restores the occupancy floor of `parent->children[i]` after an erase
+  /// below it: borrow from a richer sibling first (a key rotation through
+  /// the separator), otherwise merge with one.
+  void RebalanceChild(InternalNode* parent, std::size_t i) {
+    Node* child = parent->children[i].get();
+    if (child->is_leaf) {
+      auto* leaf = static_cast<LeafNode*>(child);
+      if (leaf->keys.size() >= MinLeafKeys()) return;
+      if (i > 0) {
+        auto* left = static_cast<LeafNode*>(parent->children[i - 1].get());
+        if (left->keys.size() > MinLeafKeys()) {
+          leaf->keys.insert(leaf->keys.begin(), left->keys.back());
+          leaf->values.insert(leaf->values.begin(), std::move(left->values.back()));
+          left->keys.pop_back();
+          left->values.pop_back();
+          parent->keys[i - 1] = leaf->keys.front();
+          return;
+        }
+      }
+      if (i + 1 < parent->children.size()) {
+        auto* right = static_cast<LeafNode*>(parent->children[i + 1].get());
+        if (right->keys.size() > MinLeafKeys()) {
+          leaf->keys.push_back(right->keys.front());
+          leaf->values.push_back(std::move(right->values.front()));
+          right->keys.erase(right->keys.begin());
+          right->values.erase(right->values.begin());
+          parent->keys[i] = right->keys.front();
+          return;
+        }
+      }
+      MergeLeaves(parent, i > 0 ? i - 1 : i);
+      return;
+    }
+    auto* node = static_cast<InternalNode*>(child);
+    if (node->children.size() >= MinInternalChildren()) return;
+    if (i > 0) {
+      auto* left = static_cast<InternalNode*>(parent->children[i - 1].get());
+      if (left->children.size() > MinInternalChildren()) {
+        node->keys.insert(node->keys.begin(), parent->keys[i - 1]);
+        node->children.insert(node->children.begin(), std::move(left->children.back()));
+        parent->keys[i - 1] = left->keys.back();
+        left->keys.pop_back();
+        left->children.pop_back();
+        return;
+      }
+    }
+    if (i + 1 < parent->children.size()) {
+      auto* right = static_cast<InternalNode*>(parent->children[i + 1].get());
+      if (right->children.size() > MinInternalChildren()) {
+        node->keys.push_back(parent->keys[i]);
+        node->children.push_back(std::move(right->children.front()));
+        parent->keys[i] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        right->children.erase(right->children.begin());
+        return;
+      }
+    }
+    MergeInternal(parent, i > 0 ? i - 1 : i);
+  }
+
+  /// Merges leaf `left_idx + 1` into leaf `left_idx` (combined size stays
+  /// ≤ max: one side is underflowing, the other at the floor) and drops the
+  /// separator. The leaf chain is re-linked across the removed node.
+  void MergeLeaves(InternalNode* parent, std::size_t left_idx) {
+    auto* left = static_cast<LeafNode*>(parent->children[left_idx].get());
+    auto* right = static_cast<LeafNode*>(parent->children[left_idx + 1].get());
+    left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+    for (auto& v : right->values) left->values.push_back(std::move(v));
+    left->next = right->next;
+    if (right->next != nullptr) right->next->prev = left;
+    parent->keys.erase(parent->keys.begin() + static_cast<long>(left_idx));
+    parent->children.erase(parent->children.begin() + static_cast<long>(left_idx) + 1);
+  }
+
+  /// Merges internal node `left_idx + 1` into `left_idx`, pulling the
+  /// separator down between the two key runs.
+  void MergeInternal(InternalNode* parent, std::size_t left_idx) {
+    auto* left = static_cast<InternalNode*>(parent->children[left_idx].get());
+    auto* right = static_cast<InternalNode*>(parent->children[left_idx + 1].get());
+    left->keys.push_back(parent->keys[left_idx]);
+    left->keys.insert(left->keys.end(), right->keys.begin(), right->keys.end());
+    for (auto& c : right->children) left->children.push_back(std::move(c));
+    parent->keys.erase(parent->keys.begin() + static_cast<long>(left_idx));
+    parent->children.erase(parent->children.begin() + static_cast<long>(left_idx) + 1);
+  }
 
   ConstIterator Bound(double key, bool strict) const {
     const Node* node = root_.get();
@@ -317,6 +503,7 @@ class BPlusTree {
       if (depth != leaf_depth) return false;
       const auto* leaf = static_cast<const LeafNode*>(node);
       if (leaf->keys.size() != leaf->values.size()) return false;
+      if (depth != 0 && leaf->keys.size() < MinLeafKeys()) return false;
       for (std::size_t i = 1; i < leaf->keys.size(); ++i) {
         if (leaf->keys[i - 1] > leaf->keys[i]) return false;
       }
@@ -337,6 +524,7 @@ class BPlusTree {
     const auto* inner = static_cast<const InternalNode*>(node);
     if (inner->children.size() != inner->keys.size() + 1) return false;
     if (inner->children.size() > max_entries_ + 1) return false;
+    if (inner->children.size() < (depth == 0 ? 2u : MinInternalChildren())) return false;
     for (std::size_t i = 1; i < inner->keys.size(); ++i) {
       if (inner->keys[i - 1] > inner->keys[i]) return false;
     }

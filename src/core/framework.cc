@@ -47,6 +47,7 @@ StatusOr<Affinity> Affinity::BuildWith(const ts::DataMatrix& data, const Affinit
         dft::DftCorrelationEstimator wf,
         dft::DftCorrelationEstimator::Build(fw.model_->data(), options.dft_coefficients, exec));
     fw.wf_ = std::make_unique<dft::DftCorrelationEstimator>(std::move(wf));
+    fw.dft_coefficients_ = options.dft_coefficients;
     fw.profile_.dft_seconds = watch.ElapsedSeconds();
   }
 
@@ -58,6 +59,15 @@ StatusOr<Affinity> Affinity::BuildWith(const ts::DataMatrix& data, const Affinit
 
   fw.profile_.total_seconds = total.ElapsedSeconds();
   return fw;
+}
+
+Status Affinity::RefreshWf() {
+  if (wf_ == nullptr) return Status::OK();
+  AFFINITY_ASSIGN_OR_RETURN(
+      dft::DftCorrelationEstimator wf,
+      dft::DftCorrelationEstimator::Build(model_->data(), dft_coefficients_, exec_));
+  *wf_ = std::move(wf);
+  return Status::OK();
 }
 
 double PercentRmse(const std::vector<double>& truth, const std::vector<double>& approx) {

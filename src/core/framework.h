@@ -32,6 +32,8 @@
 
 namespace affinity::core {
 
+class StreamingAffinity;
+
 /// End-to-end build configuration.
 struct AffinityOptions {
   AfclstOptions afclst;     ///< clustering (k, γ_max, δ_min)
@@ -96,8 +98,19 @@ class Affinity {
   /// The data the framework answers queries over.
   const ts::DataMatrix& data() const { return model_->data(); }
 
+  /// Rebuilds the WF comparator sketches over the current model data — the
+  /// incremental maintenance path calls this after sliding the window so
+  /// `wf()` stays coherent with the snapshot. No-op when WF was not built.
+  Status RefreshWf();
+
  private:
   Affinity() = default;
+
+  // The incremental maintenance path (core/incremental) mutates the model
+  // and index in place through the streaming facade.
+  friend class StreamingAffinity;
+  AffinityModel* mutable_model() { return model_.get(); }
+  ScapeIndex* mutable_scape() { return scape_.get(); }
 
   std::unique_ptr<ThreadPool> pool_;  ///< set when Build created its own
   ExecContext exec_;
@@ -106,6 +119,7 @@ class Affinity {
   std::unique_ptr<dft::DftCorrelationEstimator> wf_;
   std::unique_ptr<QueryEngine> engine_;
   BuildProfile profile_;
+  std::size_t dft_coefficients_ = 0;  ///< remembered for RefreshWf
 };
 
 // ---------------------------------------------------------------------------

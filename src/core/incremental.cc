@@ -1,0 +1,395 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "la/solve.h"
+
+namespace affinity::core {
+
+namespace {
+
+constexpr double kTiny = 1e-300;
+
+/// Removes one occurrence of `evicted` from the sorted window [col, col+m)
+/// and inserts `added`, shifting only the span between the two positions.
+void SortedReplace(double* col, std::size_t m, double evicted, double added) {
+  double* end = col + m;
+  double* out = std::lower_bound(col, end, evicted);  // exact match exists
+  double* in = std::upper_bound(col, end, added);
+  if (in > out + 1) {
+    std::memmove(out, out + 1, static_cast<std::size_t>(in - out - 1) * sizeof(double));
+    in[-1] = added;
+  } else if (in < out) {
+    std::memmove(in + 1, in, static_cast<std::size_t>(out - in) * sizeof(double));
+    *in = added;
+  } else {
+    *out = added;
+  }
+}
+
+}  // namespace
+
+StatusOr<IncrementalMaintainer> IncrementalMaintainer::Create(AffinityModel* model,
+                                                              ScapeIndex* scape,
+                                                              const IncrementalOptions& options,
+                                                              const ExecContext& exec) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("incremental maintenance requires a model");
+  }
+  if (options.exact_refit_period < 1) {
+    return Status::InvalidArgument("exact_refit_period must be >= 1");
+  }
+  IncrementalMaintainer mt;
+  mt.model_ = model;
+  mt.scape_ = scape;
+  mt.options_ = options;
+  mt.window_ = model->data().m();
+  mt.n_ = model->data().n();
+  const ts::DataMatrix& data = model->data();
+  const std::size_t m = mt.window_;
+
+  // Build-window means, frozen so the centre extension keeps centering new
+  // samples the way AFCLST centered the build window.
+  mt.frozen_means_.resize(mt.n_);
+  for (std::size_t j = 0; j < mt.n_; ++j) {
+    mt.frozen_means_[j] = model->series_stats(static_cast<ts::SeriesId>(j)).mean;
+  }
+
+  // Centre-extension weights: each centre is the dominant left singular
+  // vector of its centered member matrix, hence an exact linear
+  // combination of the centered member columns — recover the combination
+  // by least squares so the centre evaluates on rows AFCLST never saw.
+  const AfclstResult& clustering = model->clustering_;
+  const std::size_t k = clustering.k();
+  std::vector<std::vector<ts::SeriesId>> members(k);
+  for (std::size_t v = 0; v < mt.n_; ++v) {
+    members[static_cast<std::size_t>(clustering.assignment[v])].push_back(
+        static_cast<ts::SeriesId>(v));
+  }
+  mt.center_weights_.resize(k);
+  for (std::size_t l = 0; l < k; ++l) {
+    if (members[l].empty()) continue;  // empty cluster: centre extends as 0
+    la::Matrix centered(m, members[l].size());
+    for (std::size_t idx = 0; idx < members[l].size(); ++idx) {
+      const ts::SeriesId v = members[l][idx];
+      const double* s = data.ColumnData(v);
+      const double mean = mt.frozen_means_[v];
+      double* dst = centered.ColData(idx);
+      for (std::size_t i = 0; i < m; ++i) dst[i] = s[i] - mean;
+    }
+    la::Matrix target(m, 1);
+    const double* r = clustering.centers.ColData(l);
+    double* dst = target.ColData(0);
+    for (std::size_t i = 0; i < m; ++i) dst[i] = r[i];
+    auto beta = la::SolveLeastSquares(centered, target);
+    if (!beta.ok()) {
+      // Collinear members make the combination ambiguous; leave the
+      // extension at 0 and let the drift monitor escalate if it matters.
+      continue;
+    }
+    mt.center_weights_[l].reserve(members[l].size());
+    for (std::size_t idx = 0; idx < members[l].size(); ++idx) {
+      mt.center_weights_[l].emplace_back(members[l][idx], (*beta)(idx, 0));
+    }
+  }
+
+  // Sorted views of every window column (series, then centres), kept live
+  // by evict/insert shifts so refreshes never re-select medians.
+  mt.sorted_cols_ = la::Matrix(m, mt.n_ + k);
+  for (std::size_t c = 0; c < mt.n_ + k; ++c) {
+    const double* src = c < mt.n_ ? data.ColumnData(static_cast<ts::SeriesId>(c))
+                                  : clustering.centers.ColData(c - mt.n_);
+    double* dst = mt.sorted_cols_.ColData(c);
+    std::copy(src, src + m, dst);
+    std::sort(dst, dst + m);
+  }
+
+  // Pivot and relationship slots, in the model's (deterministic) hash
+  // iteration order; the pointed-at hash nodes are stable under the
+  // maintenance path, which never inserts or erases structure.
+  std::unordered_map<std::uint64_t, std::size_t> pivot_index;
+  pivot_index.reserve(model->pivot_hash_.size());
+  mt.pivot_slots_.reserve(model->pivot_hash_.size());
+  for (auto& [key, entry] : model->pivot_hash_) {
+    pivot_index.emplace(key, mt.pivot_slots_.size());
+    PivotSlot ps;
+    ps.entry = &entry;
+    mt.pivot_slots_.push_back(ps);
+  }
+  mt.slots_.reserve(model->aff_hash_.size());
+  for (auto& [key, rec] : model->aff_hash_) {
+    PairSlot s;
+    s.e = ts::SequencePair(static_cast<ts::SeriesId>(key >> 32),
+                           static_cast<ts::SeriesId>(key & 0xffffffffULL));
+    s.rec = &rec;
+    const auto it = pivot_index.find(rec.pivot.Key());
+    if (it == pivot_index.end()) {
+      return Status::Internal("relationship references an unknown pivot");
+    }
+    s.pivot_slot = it->second;
+    mt.slots_.push_back(s);
+  }
+
+  // Materialize every accumulator exactly and capture the drift-monitor
+  // baseline. Re-solving here reproduces the SYMEX+ fits bit for bit
+  // (shared kernels, identical accumulation order).
+  std::size_t refits = 0;
+  AFFINITY_RETURN_IF_ERROR(mt.SolveRelationships(kRefitAll, exec, &refits));
+  mt.profile_.baseline_mean_residual = mt.profile_.mean_relative_residual;
+  return mt;
+}
+
+void IncrementalMaintainer::SlotColumns(const PairSlot& s, const double** c1, const double** c2,
+                                        const double** t) const {
+  const PivotPair& pivot = s.rec->pivot;
+  const double* center = model_->clustering_.centers.ColData(pivot.cluster);
+  if (pivot.series_first) {
+    *c1 = model_->data_.ColumnData(s.e.u);
+    *c2 = center;
+    *t = model_->data_.ColumnData(s.e.v);
+  } else {
+    *c1 = center;
+    *c2 = model_->data_.ColumnData(s.e.v);
+    *t = model_->data_.ColumnData(s.e.u);
+  }
+}
+
+bool IncrementalMaintainer::WillRefit(std::size_t slot_index, std::size_t refresh_index,
+                                      const PairSlot& slot) const {
+  if (refresh_index == kRefitAll || options_.exact_refit_period <= 1) return true;
+  if (slot_index % options_.exact_refit_period ==
+      refresh_index % options_.exact_refit_period) {
+    return true;
+  }
+  return slot.rel_residual - slot.residual_at_refit > options_.refit_drift_threshold;
+}
+
+Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
+                                                 const ExecContext& exec,
+                                                 std::size_t* refit_count) {
+  const std::size_t m = window_;
+
+  // Refresh the per-pivot inverse normal-equation factors from the exactly
+  // recomputed pivot measures (the Gram shares the measures' sums, so this
+  // matches a from-scratch ComputeGram bit for bit).
+  ParallelChunks(exec, pivot_slots_.size(),
+                 [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     PivotSlot& ps = pivot_slots_[i];
+                     ps.invertible =
+                         fit::InvertGram(fit::GramFromMeasures(ps.entry->measures), &ps.ginv);
+                   }
+                 });
+
+  // Re-solve every relationship. Each slot writes only its own hash node;
+  // refit counts and residual sums merge in chunk order (§7 determinism).
+  std::vector<std::size_t> refits(ExecNumChunks(slots_.size()), 0);
+  std::vector<double> residual_sums(ExecNumChunks(slots_.size()), 0.0);
+  ParallelChunks(exec, slots_.size(), [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+    std::size_t local_refits = 0;
+    double local_sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      PairSlot& s = slots_[i];
+      const PivotSlot& ps = pivot_slots_[s.pivot_slot];
+      const PivotPair& pivot = s.rec->pivot;
+      const bool refit = WillRefit(i, refresh_index, s);
+      if (refit) {
+        const double* c1;
+        const double* c2;
+        const double* t;
+        SlotColumns(s, &c1, &c2, &t);
+        s.rhs.Reset(c1, c2, t, m);
+        ++local_refits;
+      }
+      const double rhs[3] = {s.rhs.c1t, s.rhs.c2t, s.rhs.t};
+      double x[3];
+      if (!ps.invertible) {
+        // Rank-deficient fallback (pivot columns collinear), from the same
+        // maintained sums: series-side moments are in the exact pivot
+        // measures, the pair sums in the accumulators — O(1), and after a
+        // Reset bit-identical to the build path's FitRankDeficient.
+        const PairMatrixMeasures& pm = ps.entry->measures;
+        const double s11 = pivot.series_first ? pm.dot11 : pm.dot22;
+        const double sh1 = pivot.series_first ? pm.h1 : pm.h2;
+        const double r0 = pivot.series_first ? rhs[0] : rhs[1];
+        fit::SolveRankDeficient(s11, sh1, r0, rhs[2], m, x);
+        // Back to design-column order (the dropped coordinate is the
+        // centre column, which sits first when the series is second).
+        if (!pivot.series_first) std::swap(x[0], x[1]);
+      } else {
+        fit::Solve3(ps.ginv, rhs, x);
+      }
+      s.rec->transform = fit::MakeTransform(pivot.series_first, x);
+      // Residual monitor through the normal-equation identity
+      // ‖t − Xx̂‖² = tᵀt − x̂ᵀ(Xᵀt), normalized by ‖centered t‖ (the scale
+      // core/quality uses). O(1) per relationship; x is in design-column
+      // coordinates, so it holds for the restricted fit too (a zero sits
+      // in the dropped coordinate).
+      const ts::SeriesId t_series = pivot.series_first ? s.e.v : s.e.u;
+      const SeriesStats& st = model_->series_stats_[t_series];
+      const double resid2 =
+          std::max(0.0, st.sumsq - (x[0] * rhs[0] + x[1] * rhs[1] + x[2] * rhs[2]));
+      s.rel_residual = std::sqrt(resid2) /
+                       (std::sqrt(static_cast<double>(m) * st.variance) + kTiny);
+      if (refit) s.residual_at_refit = s.rel_residual;
+      local_sum += s.rel_residual;
+    }
+    refits[chunk] = local_refits;
+    residual_sums[chunk] = local_sum;
+  });
+
+  std::size_t total_refits = 0;
+  double sum = 0.0;
+  for (std::size_t c = 0; c < refits.size(); ++c) {
+    total_refits += refits[c];
+    sum += residual_sums[c];
+  }
+  *refit_count = total_refits;
+  profile_.mean_relative_residual =
+      slots_.empty() ? 0.0 : sum / static_cast<double>(slots_.size());
+  return Status::OK();
+}
+
+StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<double>>& rows,
+                                              const ExecContext& exec) {
+  Stopwatch watch;
+  const std::size_t w = window_;
+  const std::size_t d = rows.size();
+  if (d == 0) return false;
+  for (const auto& row : rows) {
+    if (row.size() != n_) {
+      return Status::InvalidArgument("row has " + std::to_string(row.size()) +
+                                     " values, stream has " + std::to_string(n_) + " series");
+    }
+  }
+  const std::size_t tail = std::min(d, w);  // rows entering the window
+  const std::size_t keep = w - tail;        // old rows surviving the slide
+  const std::size_t skip = d - tail;        // rows that fly through entirely
+  // A slide covering the whole window replaces every sample: an exact
+  // refit costs the same as the delta would and keeps the model
+  // bit-identical to a from-scratch fit.
+  const std::size_t refresh_index = tail == w ? kRefitAll : profile_.refreshes;
+  const std::size_t k = model_->clustering_.k();
+
+  // ---- Extended centre values for the entering rows (computed before
+  // anything slides; the evictions below still need the old matrices).
+  la::Matrix center_tails(tail, k);
+  ParallelChunks(exec, k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t l = lo; l < hi; ++l) {
+      double* dst = center_tails.ColData(l);
+      for (std::size_t r = 0; r < tail; ++r) {
+        double acc = 0.0;
+        for (const auto& [v, weight] : center_weights_[l]) {
+          acc += (rows[skip + r][v] - frozen_means_[v]) * weight;
+        }
+        dst[r] = acc;
+      }
+    }
+  });
+
+  // ---- Delta-update the per-pair accumulators: evict the leaving rows
+  // (read from the old matrices), add the entering ones. Slots scheduled
+  // for an exact refit skip the delta — their accumulators re-materialize
+  // in the solve pass.
+  ParallelChunks(exec, slots_.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      PairSlot& s = slots_[i];
+      if (WillRefit(i, refresh_index, s)) continue;
+      const PivotPair& pivot = s.rec->pivot;
+      const double* c1;
+      const double* c2;
+      const double* t;
+      SlotColumns(s, &c1, &c2, &t);  // still the old matrices here
+      for (std::size_t r = 0; r < tail; ++r) s.rhs.Evict(c1[r], c2[r], t[r]);
+      const ts::SeriesId t_series = pivot.series_first ? s.e.v : s.e.u;
+      const double* center_tail = center_tails.ColData(pivot.cluster);
+      for (std::size_t r = 0; r < tail; ++r) {
+        const std::vector<double>& row = rows[skip + r];
+        const double c1v = pivot.series_first ? row[s.e.u] : center_tail[r];
+        const double c2v = pivot.series_first ? center_tail[r] : row[s.e.v];
+        s.rhs.Add(c1v, c2v, row[t_series]);
+      }
+    }
+  });
+
+  // ---- Maintain the sorted column views (before the slide: evictions
+  // read the old columns). A full-window slide just re-sorts.
+  ParallelChunks(exec, n_ + k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      double* sorted = sorted_cols_.ColData(c);
+      const bool is_series = c < n_;
+      const double* old_col = is_series
+                                  ? model_->data_.ColumnData(static_cast<ts::SeriesId>(c))
+                                  : model_->clustering_.centers.ColData(c - n_);
+      const double* added_tail = is_series ? nullptr : center_tails.ColData(c - n_);
+      if (tail == w) {
+        for (std::size_t r = 0; r < w; ++r) {
+          sorted[r] = is_series ? rows[skip + r][c] : added_tail[r];
+        }
+        std::sort(sorted, sorted + w);
+        continue;
+      }
+      for (std::size_t r = 0; r < tail; ++r) {
+        const double added = is_series ? rows[skip + r][c] : added_tail[r];
+        SortedReplace(sorted, w, old_col[r], added);
+      }
+    }
+  });
+
+  // ---- Slide the window matrices in place (no reallocation: the model's
+  // data matrix is 2·window·n bytes of hot state) and recompute all exact
+  // derived state.
+  la::Matrix& values = model_->data_.mutable_matrix();
+  ParallelChunks(exec, n_, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      double* col = values.ColData(j);
+      for (std::size_t i = 0; i < keep; ++i) col[i] = col[tail + i];
+      for (std::size_t r = 0; r < tail; ++r) col[keep + r] = rows[skip + r][j];
+    }
+  });
+  la::Matrix& centers = model_->clustering_.centers;
+  ParallelChunks(exec, k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t l = lo; l < hi; ++l) {
+      double* col = centers.ColData(l);
+      const double* src_tail = center_tails.ColData(l);
+      for (std::size_t i = 0; i < keep; ++i) col[i] = col[tail + i];
+      for (std::size_t r = 0; r < tail; ++r) col[keep + r] = src_tail[r];
+    }
+  });
+  model_->RecomputeDerived(exec, &sorted_cols_);
+
+  // ---- Re-solve relationships and re-key the index. ----------------------
+  std::size_t refits = 0;
+  AFFINITY_RETURN_IF_ERROR(SolveRelationships(refresh_index, exec, &refits));
+  std::size_t rekeys = 0;
+  if (scape_ != nullptr) {
+    AFFINITY_ASSIGN_OR_RETURN(rekeys, scape_->Refresh(*model_, exec));
+  }
+
+  // ---- Drift monitor: escalate when the population residual level left
+  // the band the baseline established at the last full build.
+  const bool escalate =
+      profile_.mean_relative_residual >
+      options_.escalation_factor * profile_.baseline_mean_residual + options_.escalation_slack;
+
+  ++profile_.refreshes;
+  profile_.rows_absorbed += d;
+  profile_.last_rows_absorbed = d;
+  profile_.relationships_refit += refits;
+  profile_.last_relationships_refit = refits;
+  profile_.relationships_updated += slots_.size() - refits;
+  profile_.last_relationships_updated = slots_.size() - refits;
+  profile_.tree_rekeys += rekeys;
+  profile_.last_tree_rekeys = rekeys;
+  if (escalate) ++profile_.escalations;
+  profile_.last_refresh_seconds = watch.ElapsedSeconds();
+  return escalate;
+}
+
+}  // namespace affinity::core

@@ -1,0 +1,184 @@
+#ifndef AFFINITY_CORE_INCREMENTAL_H_
+#define AFFINITY_CORE_INCREMENTAL_H_
+
+/// \file incremental.h
+/// Incremental sliding-window maintenance of a built AFFINITY stack
+/// (DESIGN.md §8) — the delta alternative to rebuilding AFCLST → SYMEX+ →
+/// SCAPE from scratch every refresh.
+///
+/// The maintainer freezes the model *structure* captured at the last full
+/// build — cluster assignment ω, the pivot set, and the marching-order
+/// relationship set — and slides everything *numeric* under it:
+///
+///  * cluster centres extend linearly to new rows through frozen
+///    combination weights (the centre is a linear combination of its
+///    centered member columns, so the combination evaluates exactly on
+///    fresh samples);
+///  * per-series moments, pivot measures, series-level relationships and
+///    centre L-measures are recomputed exactly over the new window
+///    (`AffinityModel::RecomputeDerived`, O(n·window)) — published moments
+///    and measures stay bit-identical to a from-scratch build over the
+///    same window and clustering;
+///  * the O(n²) per-pair right-hand sides are maintained by ring-buffer
+///    add/evict updates (`ts::RollingCrossSums`, O(interval) per pair) and
+///    re-solved against the pivots' refreshed 3×3 normal-equation factors;
+///    a per-pair residual monitor triggers full-precision refits (which
+///    reproduce a from-scratch fit bit for bit), and a round-robin exact
+///    refit cadence bounds accumulated round-off for the rest;
+///  * the SCAPE index re-keys in place (`ScapeIndex::Refresh`).
+///
+/// A model-level drift monitor — the population mean relative fit residual,
+/// the quantity `core/quality` samples — escalates to a full rebuild when
+/// the frozen clustering stops describing the data.
+///
+/// All loops fan out over the caller's ExecContext with the §7 determinism
+/// guarantee: the maintained model is identical at any thread count.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "core/fit_kernels.h"
+#include "core/scape.h"
+#include "core/symex.h"
+#include "ts/rolling.h"
+
+namespace affinity::core {
+
+/// Tuning knobs of the incremental maintenance path.
+struct IncrementalOptions {
+  /// A relationship whose relative fit residual has *risen* by more than
+  /// this since its last exact refit is refit at full precision (exact
+  /// right-hand side recomputation) instead of delta-updated. The trigger
+  /// is on drift, not level: a stably poor fit is a data property the
+  /// escalation monitor owns, while a worsening one gets exact treatment
+  /// where the model is moving fastest.
+  double refit_drift_threshold = 0.1;
+  /// Round-robin exact-refit cadence: every refresh, relationships with
+  /// slot index ≡ refresh counter (mod period) are refit at full
+  /// precision, so every accumulator is re-materialized at least once per
+  /// `period` refreshes. 1 = refit everything every refresh, making the
+  /// whole maintained model bit-identical to a from-scratch SYMEX+ build
+  /// over the same window and clustering.
+  std::size_t exact_refit_period = 32;
+  /// Escalate to a full rebuild when the population mean relative residual
+  /// exceeds `escalation_factor` × the at-build baseline +
+  /// `escalation_slack`.
+  double escalation_factor = 1.5;
+  double escalation_slack = 0.02;
+};
+
+/// Per-refresh and cumulative accounting of the maintenance path.
+struct MaintenanceProfile {
+  std::size_t refreshes = 0;               ///< incremental refreshes run
+  std::size_t rows_absorbed = 0;           ///< rows slid into the window
+  std::size_t relationships_updated = 0;   ///< delta-updated re-solves
+  std::size_t relationships_refit = 0;     ///< full-precision refits
+  std::size_t tree_rekeys = 0;             ///< SCAPE index move operations
+  std::size_t escalations = 0;             ///< drift-monitor trips
+  double last_refresh_seconds = 0.0;
+  std::size_t last_rows_absorbed = 0;
+  std::size_t last_relationships_updated = 0;
+  std::size_t last_relationships_refit = 0;
+  std::size_t last_tree_rekeys = 0;
+  /// Population mean relative fit residual after the last refresh (the
+  /// drift-monitor signal) and its baseline at the last full build.
+  double mean_relative_residual = 0.0;
+  double baseline_mean_residual = 0.0;
+};
+
+/// Slides a built (model, index) pair along the stream. Create() captures
+/// the frozen structure and the accumulators from a freshly built model;
+/// Advance() absorbs new rows. The model and index must outlive the
+/// maintainer and must not be structurally modified elsewhere.
+class IncrementalMaintainer {
+ public:
+  /// Captures maintenance state from a freshly built model (and its SCAPE
+  /// index, which may be null when the deployment does not build one).
+  /// O(pairs · window): materializes every per-pair accumulator exactly and
+  /// records the drift-monitor baseline.
+  static StatusOr<IncrementalMaintainer> Create(AffinityModel* model, ScapeIndex* scape,
+                                                const IncrementalOptions& options,
+                                                const ExecContext& exec = {});
+
+  /// Slides the window by `rows` (each one aligned sample per series, in
+  /// arrival order) and refreshes every layer. Returns true when the drift
+  /// monitor requests escalation to a full rebuild (the refresh itself is
+  /// still completed, so the snapshot stays coherent either way).
+  StatusOr<bool> Advance(const std::vector<std::vector<double>>& rows,
+                         const ExecContext& exec = {});
+
+  /// Maintenance accounting.
+  const MaintenanceProfile& profile() const { return profile_; }
+
+  /// The analysis window length (rows).
+  std::size_t window() const { return window_; }
+
+ private:
+  /// One maintained relationship: the hash slot it publishes into plus its
+  /// windowed right-hand-side accumulators and monitor state.
+  struct PairSlot {
+    ts::SequencePair e;
+    AffineRecord* rec = nullptr;     ///< stable pointer into affHash
+    std::size_t pivot_slot = 0;      ///< index into pivot_slots_
+    ts::RollingCrossSums rhs;        ///< (Σc1·t, Σc2·t, Σt) over the window
+    double rel_residual = 0.0;       ///< monitor value from the last refresh
+    double residual_at_refit = 0.0;  ///< level when last exactly refit
+  };
+
+  /// One maintained pivot: its hash entry plus the inverse normal-equation
+  /// factor refreshed from the exactly recomputed pivot measures.
+  struct PivotSlot {
+    PivotHashEntry* entry = nullptr;  ///< stable pointer into pivotHash
+    fit::Mat3 ginv{};
+    bool invertible = false;
+  };
+
+  IncrementalMaintainer() = default;
+
+  /// Recomputes pivot factors, re-solves / refits every relationship, and
+  /// refreshes the residual monitor. `refresh_index` drives the
+  /// round-robin refit schedule; kRefitAll forces exact refits everywhere
+  /// (used by Create to materialize the accumulators).
+  static constexpr std::size_t kRefitAll = ~std::size_t{0};
+  Status SolveRelationships(std::size_t refresh_index, const ExecContext& exec,
+                            std::size_t* refit_count);
+
+  /// The design columns of slot `s` in the *current* model matrices.
+  void SlotColumns(const PairSlot& s, const double** c1, const double** c2,
+                   const double** t) const;
+
+  /// The (deterministic) exact-refit schedule: round-robin cadence plus
+  /// the residual-drift trigger. Shared by the delta pass and the solve
+  /// pass so a slot is never delta-updated and then re-materialized
+  /// inconsistently.
+  bool WillRefit(std::size_t slot_index, std::size_t refresh_index, const PairSlot& slot) const;
+
+  AffinityModel* model_ = nullptr;
+  ScapeIndex* scape_ = nullptr;
+  IncrementalOptions options_;
+  std::size_t window_ = 0;
+  std::size_t n_ = 0;
+
+  /// Frozen centre-extension state: per cluster, the (member, weight) list
+  /// reproducing the centre as a combination of centered member columns,
+  /// and the build-window means the centering froze.
+  std::vector<std::vector<std::pair<ts::SeriesId, double>>> center_weights_;
+  std::vector<double> frozen_means_;
+
+  /// Every window column kept sorted (columns 0..n-1 the series, n..n+k-1
+  /// the centres), maintained by O(interval) evict/insert shifts per slide
+  /// so the refresh reads medians as order statistics instead of running a
+  /// selection per column (`RecomputeDerived`'s sorted view).
+  la::Matrix sorted_cols_;
+
+  std::vector<PivotSlot> pivot_slots_;
+  std::vector<PairSlot> slots_;
+  MaintenanceProfile profile_;
+};
+
+}  // namespace affinity::core
+
+#endif  // AFFINITY_CORE_INCREMENTAL_H_

@@ -106,6 +106,8 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
       node.trees[1].norm = Norm3(node.trees[1].alpha);
     }
     grouped[it->second].emplace_back(e, &rec);
+    index.pair_pivots_[it->second].members.push_back(e);
+    index.pair_pivots_[it->second].member_recs.push_back(&rec);
     ++index.pair_entries_;
   });
 
@@ -128,7 +130,8 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
           const double u = *u_or;
           const double xi = pt.norm > 0.0 ? Dot3(pt.alpha, beta) / pt.norm : 0.0;
           SeqEntry entry{e, u, xi};
-          if (pt.norm > 0.0 && u > 0.0) {
+          const bool in_tree = pt.norm > 0.0 && u > 0.0;
+          if (in_tree) {
             // Regular entry: keyed in the B-tree; contributes normalizer bounds.
             pt.u_min = std::min(pt.u_min, u);
             pt.u_max = std::max(pt.u_max, u);
@@ -138,6 +141,8 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
             // (constant series → D-value ≡ 0): evaluated from the side list.
             pt.degenerate.push_back(entry);
           }
+          pt.member_keys.push_back(xi);
+          pt.member_in_tree.push_back(in_tree ? 1 : 0);
         }
       }
     }
@@ -170,12 +175,14 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
   ParallelChunks(exec, k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
     for (std::size_t l = lo; l < hi; ++l) {
       LocPivotNode& node = index.loc_pivots_[l];
-      for (const ts::SeriesId v : members[l]) {
+      node.members = members[l];
+      for (const ts::SeriesId v : node.members) {
         const SeriesAffine& sa = model.series_affine(v);
         for (int f = 0; f < 3; ++f) {
           LocTree& lt = node.trees[f];
           const double xi = (lt.alpha[0] * sa.gain + lt.alpha[1] * sa.offset) / lt.norm;
           lt.tree.Insert(xi, v);
+          lt.member_keys.push_back(xi);
         }
       }
     }
@@ -183,6 +190,129 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
 
   index.build_seconds_ = watch.ElapsedSeconds();
   return index;
+}
+
+StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const ExecContext& exec) {
+  // ---- Pair-level pivot nodes. ---------------------------------------------
+  // Per-pivot work is private to its chunk item; move counts merge in
+  // chunk-index order so the total is thread-count invariant.
+  std::vector<std::size_t> moves(ExecNumChunks(pair_pivots_.size()), 0);
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec, pair_pivots_.size(),
+      [&](std::size_t chunk, std::size_t lo, std::size_t hi) -> Status {
+        std::size_t ops = 0;
+        for (std::size_t slot = lo; slot < hi; ++slot) {
+          PairPivotNode& node = pair_pivots_[slot];
+          const PairMatrixMeasures* pm = model.FindPivotMeasures(node.pivot);
+          if (pm == nullptr) {
+            return Status::FailedPrecondition(
+                "SCAPE refresh: pivot structure changed since build");
+          }
+          CovarianceAlpha(*pm, node.pivot.series_first, node.trees[0].alpha);
+          DotProductAlpha(*pm, node.pivot.series_first, node.trees[1].alpha);
+          node.trees[0].norm = Norm3(node.trees[0].alpha);
+          node.trees[1].norm = Norm3(node.trees[1].alpha);
+          for (int family = 0; family < 2; ++family) {
+            PairTree& pt = node.trees[static_cast<std::size_t>(family)];
+            pt.u_min = std::numeric_limits<double>::infinity();
+            pt.u_max = 0.0;
+            // The side list regenerates in member order (its scan order is
+            // part of the query-result order contract).
+            pt.degenerate.clear();
+          }
+          for (std::size_t i = 0; i < node.members.size(); ++i) {
+            const ts::SequencePair e = node.members[i];
+            const AffineRecord* rec = node.member_recs[i];
+            double beta[3];
+            rec->Beta(beta);
+            // Per-family normalizers, inlined from PairNormalizer (same
+            // expressions, so the refreshed keys match a rebuilt index
+            // bit for bit): correlation for the covariance family, cosine
+            // for the dot-product family.
+            const SeriesStats& su = model.series_stats(e.u);
+            const SeriesStats& sv = model.series_stats(e.v);
+            const double normalizer[2] = {std::sqrt(su.variance * sv.variance),
+                                          std::sqrt(su.sumsq * sv.sumsq)};
+            for (int family = 0; family < 2; ++family) {
+              PairTree& pt = node.trees[static_cast<std::size_t>(family)];
+              const double u = normalizer[family];
+              const double xi = pt.norm > 0.0 ? Dot3(pt.alpha, beta) / pt.norm : 0.0;
+              const bool in_tree = pt.norm > 0.0 && u > 0.0;
+              const bool was_in_tree = pt.member_in_tree[i] != 0;
+              const double old_key = pt.member_keys[i];
+              const auto same_pair = [&](const SeqEntry& s) { return s.e == e; };
+              if (in_tree) {
+                pt.u_min = std::min(pt.u_min, u);
+                pt.u_max = std::max(pt.u_max, u);
+                if (was_in_tree) {
+                  if (!pt.tree.ReKey(old_key, xi, same_pair, [&](SeqEntry& s) {
+                        s.u = u;
+                        s.xi = xi;
+                      })) {
+                    return Status::Internal("SCAPE refresh: entry missing from tree");
+                  }
+                } else {
+                  pt.tree.Insert(xi, SeqEntry{e, u, xi});
+                }
+                ++ops;
+              } else {
+                if (was_in_tree) {
+                  if (!pt.tree.Erase(old_key, same_pair)) {
+                    return Status::Internal("SCAPE refresh: entry missing from tree");
+                  }
+                  ++ops;
+                }
+                pt.degenerate.push_back(SeqEntry{e, u, xi});
+              }
+              pt.member_keys[i] = xi;
+              pt.member_in_tree[i] = in_tree ? 1 : 0;
+            }
+          }
+        }
+        moves[chunk] = ops;
+        return Status::OK();
+      }));
+
+  // ---- Per-cluster pivot nodes (L-measures). -------------------------------
+  std::vector<std::size_t> loc_moves(ExecNumChunks(loc_pivots_.size()), 0);
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec, loc_pivots_.size(),
+      [&](std::size_t chunk, std::size_t lo, std::size_t hi) -> Status {
+        std::size_t ops = 0;
+        for (std::size_t l = lo; l < hi; ++l) {
+          LocPivotNode& node = loc_pivots_[l];
+          const Measure kLoc[3] = {Measure::kMean, Measure::kMedian, Measure::kMode};
+          for (int f = 0; f < 3; ++f) {
+            auto center_or = model.CenterLocation(kLoc[f], static_cast<int>(l));
+            if (!center_or.ok()) return center_or.status();
+            LocTree& lt = node.trees[f];
+            lt.alpha[0] = *center_or;
+            lt.alpha[1] = 1.0;
+            lt.norm = std::sqrt(*center_or * *center_or + 1.0);
+          }
+          for (std::size_t i = 0; i < node.members.size(); ++i) {
+            const ts::SeriesId v = node.members[i];
+            const SeriesAffine& sa = model.series_affine(v);
+            for (int f = 0; f < 3; ++f) {
+              LocTree& lt = node.trees[f];
+              const double xi = (lt.alpha[0] * sa.gain + lt.alpha[1] * sa.offset) / lt.norm;
+              if (!lt.tree.ReKey(lt.member_keys[i], xi,
+                                 [&](const ts::SeriesId& s) { return s == v; })) {
+                return Status::Internal("SCAPE refresh: series entry missing from tree");
+              }
+              lt.member_keys[i] = xi;
+              ++ops;
+            }
+          }
+        }
+        loc_moves[chunk] = ops;
+        return Status::OK();
+      }));
+
+  std::size_t total = 0;
+  for (std::size_t c : moves) total += c;
+  for (std::size_t c : loc_moves) total += c;
+  return total;
 }
 
 StatusOr<ScapeQueryResult> ScapeIndex::MeasureThreshold(Measure measure, double tau,

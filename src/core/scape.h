@@ -127,6 +127,25 @@ class ScapeIndex {
   /// (lo, hi). InvalidArgument when lo > hi.
   StatusOr<ScapeQueryResult> MeasureRange(Measure measure, double lo, double hi) const;
 
+  /// Re-keys the index in place against a maintained model whose derived
+  /// state (pivot measures, per-series stats, series-level relationships,
+  /// centre L-measures, transforms) has been refreshed for a new window —
+  /// the incremental alternative to rebuilding the index (DESIGN.md §8).
+  ///
+  /// The relationship/pivot *structure* must be unchanged since Build (the
+  /// incremental path freezes clustering and marching); only keys and
+  /// cached normalizers move. Every entry's scalar projection ξ and
+  /// normalizer U are recomputed from the model exactly as Build computes
+  /// them, then moved inside its per-(pivot, family) tree by an erase +
+  /// insert; entries migrate between a tree and its degenerate side list
+  /// when a pivot or normalizer degenerates (or recovers). Per-pivot work
+  /// fans out over `exec`; the refreshed index is identical — same entry
+  /// sets, same equal-key order — to a from-scratch Build over the same
+  /// model, at any thread count.
+  ///
+  /// Returns the number of index move operations (re-keys + migrations).
+  StatusOr<std::size_t> Refresh(const AffinityModel& model, const ExecContext& exec = {});
+
   /// Top-k query (extension): the k entities with the largest (or smallest)
   /// value of `measure`, best-first.
   ///
@@ -162,6 +181,9 @@ class ScapeIndex {
   };
 
   /// Sorted container + key metadata for one (pivot, T-measure family).
+  /// `member_keys` / `member_in_tree` shadow the owning node's `members`
+  /// list with each entry's current location, so Refresh can erase by the
+  /// key an entry was last filed under.
   struct PairTree {
     explicit PairTree(std::size_t fanout) : tree(fanout) {}
     double alpha[3] = {0, 0, 0};
@@ -170,13 +192,21 @@ class ScapeIndex {
     double u_max = 0.0;
     btree::BPlusTree<SeqEntry> tree;        ///< keyed by ξ, entries with U > 0
     std::vector<SeqEntry> degenerate;       ///< U == 0 entries (D-value ≡ 0)
+    std::vector<double> member_keys;        ///< current ξ, aligned with members
+    std::vector<std::uint8_t> member_in_tree;  ///< 1 = in tree, 0 = side list
   };
 
-  /// Pivot node: trees for the two T-measure families (Fig. 7).
+  /// Pivot node: trees for the two T-measure families (Fig. 7), plus the
+  /// build-order member list the maintenance path walks (the order fixes
+  /// equal-key placement, keeping refreshed and rebuilt indexes identical).
   struct PairPivotNode {
     explicit PairPivotNode(std::size_t fanout) : trees{PairTree(fanout), PairTree(fanout)} {}
     PivotPair pivot;
     std::array<PairTree, 2> trees;  ///< 0 = covariance, 1 = dot product
+    std::vector<ts::SequencePair> members;  ///< grouped relationship order
+    /// The members' affine records, cached at build time (hash nodes are
+    /// stable; Refresh requires the same model instance it was built from).
+    std::vector<const AffineRecord*> member_recs;
   };
 
   /// Per-cluster pivot node for the L-measures.
@@ -185,11 +215,13 @@ class ScapeIndex {
     double alpha[2] = {0, 0};
     double norm = 1.0;
     btree::BPlusTree<ts::SeriesId> tree;  ///< keyed by ξ over series
+    std::vector<double> member_keys;      ///< current ξ, aligned with members
   };
   struct LocPivotNode {
     explicit LocPivotNode(std::size_t fanout)
         : trees{LocTree(fanout), LocTree(fanout), LocTree(fanout)} {}
     std::array<LocTree, 3> trees;  ///< 0 = mean, 1 = median, 2 = mode
+    std::vector<ts::SeriesId> members;    ///< cluster members, series order
   };
 
   ScapeIndex() = default;

@@ -1,6 +1,19 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+
 namespace affinity::core {
+
+namespace {
+
+/// Segment capacity keeping post-compaction residency O(window): small
+/// windows get small segments, large ones cap at the storage default.
+std::size_t DeriveSegmentCapacity(const StreamingOptions& options) {
+  if (options.segment_capacity > 0) return options.segment_capacity;
+  return std::clamp<std::size_t>(options.window / 4, 16, 1024);
+}
+
+}  // namespace
 
 StatusOr<StreamingAffinity> StreamingAffinity::Create(const std::vector<std::string>& names,
                                                       const StreamingOptions& options) {
@@ -13,28 +26,103 @@ StatusOr<StreamingAffinity> StreamingAffinity::Create(const std::vector<std::str
   if (options.rebuild_interval < 1) {
     return Status::InvalidArgument("streaming requires rebuild_interval >= 1");
   }
-  storage::DataMatrixTable table;
+  if (options.incremental.exact_refit_period < 1) {
+    return Status::InvalidArgument("streaming requires exact_refit_period >= 1");
+  }
+  storage::DataMatrixTable table(DeriveSegmentCapacity(options));
   for (const std::string& name : names) {
     AFFINITY_RETURN_IF_ERROR(table.RegisterSeries(name, "stream", 1.0).status());
   }
-  // One pool for the stream's lifetime: every rebuild reuses it, so the
-  // per-rebuild cost is the build itself, never thread setup.
+  // One pool for the stream's lifetime: every refresh reuses it, so the
+  // per-refresh cost is the refresh itself, never thread setup.
   std::unique_ptr<ThreadPool> pool;
   if (options.build.threads != 1) {
     pool = std::make_unique<ThreadPool>(options.build.threads);
   }
-  return StreamingAffinity(std::move(table), options, std::move(pool));
+  StreamingAffinity stream(std::move(table), options, std::move(pool));
+  stream.rolling_.reserve(names.size());
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    stream.rolling_.emplace_back(options.window);
+  }
+  return stream;
 }
 
-Status StreamingAffinity::Append(const std::vector<double>& row) {
-  AFFINITY_RETURN_IF_ERROR(table_.AppendRow(row));
+AppendResult StreamingAffinity::Append(const std::vector<double>& row) {
+  AppendResult out;
+  out.status = table_.AppendRow(row);
+  if (!out.status.ok()) return out;
   ++rows_;
-  ++rows_since_rebuild_;
-  if (rows_ >= options_.window &&
-      (framework_ == nullptr || rows_since_rebuild_ >= options_.rebuild_interval)) {
-    return Rebuild();
+  ++rows_since_refresh_;
+  // O(1)-per-sample window moments (ts/rolling): the between-refresh
+  // freshness signal, live even while the snapshot ages.
+  for (std::size_t j = 0; j < row.size(); ++j) rolling_[j].Push(row[j]);
+  if (options_.mode == UpdateMode::kIncremental && framework_ != nullptr) {
+    pending_.push_back(row);
   }
-  return Status::OK();
+  if (rows_ >= options_.window &&
+      (framework_ == nullptr || rows_since_refresh_ >= options_.rebuild_interval)) {
+    out = Refresh();
+  }
+  // Absorbed rows are reclaimed at segment granularity so resident storage
+  // stays O(window) on unbounded streams.
+  if (rows_ > options_.window) {
+    table_.CompactBefore(rows_ - options_.window);
+  }
+  return out;
+}
+
+AppendResult StreamingAffinity::Refresh() {
+  AppendResult out;
+  if (options_.mode == UpdateMode::kIncremental && maintainer_ != nullptr) {
+    out.mode = UpdateMode::kIncremental;
+    auto escalate = maintainer_->Advance(pending_, exec());
+    pending_.clear();
+    if (!escalate.ok()) {
+      // The maintainer may be half-mutated; recover by re-freezing the
+      // whole stack from the table (the rows are all still there) rather
+      // than resuming delta maintenance on corrupted state.
+      ++maintenance_.escalations;
+      out.escalated = true;
+      out.status = Rebuild();
+      out.refreshed = out.status.ok();
+      return out;
+    }
+    // Accumulate maintenance accounting across maintainer generations
+    // (escalation re-freezes the structure and resets the maintainer).
+    const MaintenanceProfile& p = maintainer_->profile();
+    ++maintenance_.refreshes;
+    maintenance_.rows_absorbed += p.last_rows_absorbed;
+    maintenance_.relationships_updated += p.last_relationships_updated;
+    maintenance_.relationships_refit += p.last_relationships_refit;
+    maintenance_.tree_rekeys += p.last_tree_rekeys;
+    maintenance_.last_refresh_seconds = p.last_refresh_seconds;
+    maintenance_.last_rows_absorbed = p.last_rows_absorbed;
+    maintenance_.last_relationships_updated = p.last_relationships_updated;
+    maintenance_.last_relationships_refit = p.last_relationships_refit;
+    maintenance_.last_tree_rekeys = p.last_tree_rekeys;
+    maintenance_.mean_relative_residual = p.mean_relative_residual;
+    maintenance_.baseline_mean_residual = p.baseline_mean_residual;
+    ++refreshes_;
+    snapshot_row_ = rows_;
+    rows_since_refresh_ = 0;
+    if (*escalate) {
+      ++maintenance_.escalations;
+      out.escalated = true;
+      out.status = Rebuild();
+      out.refreshed = out.status.ok();
+      return out;
+    }
+    // WF sketches (when built) are refreshed over the slid window so the
+    // facade stays coherent — only when the incremental snapshot is kept
+    // (a rebuild constructs fresh sketches itself).
+    out.status = framework_->RefreshWf();
+    out.refreshed = out.status.ok();
+    return out;
+  }
+  out.mode = UpdateMode::kRebuild;
+  out.status = Rebuild();
+  out.refreshed = out.status.ok();
+  return out;
 }
 
 Status StreamingAffinity::Rebuild() {
@@ -47,8 +135,19 @@ Status StreamingAffinity::Rebuild() {
   AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix window, ts::TailWindow(snapshot, options_.window));
   AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::BuildWith(window, options_.build, exec()));
   framework_ = std::make_unique<Affinity>(std::move(fw));
+  maintainer_ = nullptr;
+  if (options_.mode == UpdateMode::kIncremental) {
+    AFFINITY_ASSIGN_OR_RETURN(
+        IncrementalMaintainer maintainer,
+        IncrementalMaintainer::Create(framework_->mutable_model(), framework_->mutable_scape(),
+                                      options_.incremental, exec()));
+    maintainer_ = std::make_unique<IncrementalMaintainer>(std::move(maintainer));
+    maintenance_.mean_relative_residual = maintainer_->profile().mean_relative_residual;
+    maintenance_.baseline_mean_residual = maintainer_->profile().baseline_mean_residual;
+  }
+  pending_.clear();
   snapshot_row_ = rows_;
-  rows_since_rebuild_ = 0;
+  rows_since_refresh_ = 0;
   ++rebuilds_;
   return Status::OK();
 }

@@ -6,15 +6,29 @@
 ///
 /// The paper motivates both "real-time and archival settings"; this wrapper
 /// provides the real-time half: rows stream into the storage layer's
-/// `data_matrix` table, and the framework (AFCLST → SYMEX+ → SCAPE) is
-/// rebuilt over the trailing analysis window every `rebuild_interval` rows.
-/// Between rebuilds, queries answer against the last snapshot — the
-/// standard freshness/cost trade-off, made explicit by `snapshot_age()`.
+/// `data_matrix` table and the framework (AFCLST → SYMEX+ → SCAPE) is
+/// refreshed over the trailing analysis window every `rebuild_interval`
+/// rows. Two refresh policies are offered (`UpdateMode`):
 ///
-/// Rebuilds run over one thread pool owned by the stream (sized by
+///  * `kRebuild` — every refresh is a from-scratch parallel build of the
+///    whole stack (the original behaviour);
+///  * `kIncremental` — after the first full build, refreshes delta-update
+///    every layer in place through `core/incremental` (DESIGN.md §8):
+///    O(interval) ring-buffer accumulator updates per relationship instead
+///    of O(window) refits, exact recomputation of all per-series /
+///    per-pivot state, and in-place SCAPE re-keying. A drift monitor
+///    escalates back to a full rebuild when the frozen clustering stops
+///    describing the data.
+///
+/// Between refreshes, queries answer against the last snapshot — the
+/// standard freshness/cost trade-off, made explicit by `snapshot_age()`.
+/// Resident storage stays O(window): absorbed rows are reclaimed from the
+/// table at segment granularity (`DataMatrixTable::CompactBefore`).
+///
+/// Refreshes run over one thread pool owned by the stream (sized by
 /// `StreamingOptions::build.threads`) and created once at `Create` time,
-/// so large-window rebuilds fan out across cores instead of stalling
-/// ingest on one, and no per-rebuild pool setup cost is paid.
+/// so large-window refreshes fan out across cores instead of stalling
+/// ingest on one, and no per-refresh pool setup cost is paid.
 
 #include <memory>
 #include <string>
@@ -24,19 +38,50 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/framework.h"
+#include "core/incremental.h"
 #include "storage/table.h"
 #include "ts/rolling.h"
 
 namespace affinity::core {
 
+/// Snapshot refresh policy.
+enum class UpdateMode {
+  kRebuild,      ///< full from-scratch build every refresh
+  kIncremental,  ///< delta maintenance with drift-monitored escalation
+};
+
 /// Streaming configuration.
 struct StreamingOptions {
-  /// Trailing samples per rebuild (the analysis window).
+  /// Trailing samples per refresh (the analysis window).
   std::size_t window = 256;
-  /// Rebuild the framework after this many appended rows (≥ 1).
+  /// Refresh the snapshot after this many appended rows (≥ 1).
   std::size_t rebuild_interval = 64;
-  /// Build configuration for each snapshot.
+  /// Refresh policy (see file docs).
+  UpdateMode mode = UpdateMode::kRebuild;
+  /// Tuning of the incremental path (kIncremental only).
+  IncrementalOptions incremental;
+  /// Build configuration for each full build.
   AffinityOptions build;
+  /// Storage segment capacity; 0 derives one from the window so resident
+  /// rows stay O(window) after compaction.
+  std::size_t segment_capacity = 0;
+};
+
+/// Outcome of one Append call. `status` reports append/refresh failures;
+/// `refreshed` distinguishes "a refresh ran (and succeeded)" from "no
+/// refresh was due" — previously both returned a bare OK.
+struct AppendResult {
+  Status status = Status::OK();
+  /// True when this append triggered a snapshot refresh that succeeded.
+  bool refreshed = false;
+  /// Path that served the refresh (meaningful when `refreshed`).
+  UpdateMode mode = UpdateMode::kRebuild;
+  /// True when this refresh escalated to a full rebuild — the incremental
+  /// drift monitor tripped, or a maintenance error forced recovery by
+  /// re-freezing the stack from the table.
+  bool escalated = false;
+
+  bool ok() const { return status.ok(); }
 };
 
 /// Ingest-and-query wrapper: append aligned rows, query the latest
@@ -48,33 +93,50 @@ class StreamingAffinity {
   static StatusOr<StreamingAffinity> Create(const std::vector<std::string>& names,
                                             const StreamingOptions& options);
 
-  /// Appends one aligned row (one value per series). Triggers a rebuild
+  /// Appends one aligned row (one value per series). Triggers a refresh
   /// when the window is filled and `rebuild_interval` rows arrived since
-  /// the last one. Returns the rebuild's status when one runs.
-  Status Append(const std::vector<double>& row);
+  /// the last one; see AppendResult for how outcomes are reported.
+  AppendResult Append(const std::vector<double>& row);
 
   /// True once at least one framework snapshot exists.
   bool ready() const { return framework_ != nullptr; }
 
-  /// The current framework snapshot (nullptr before the first rebuild).
+  /// The current framework snapshot (nullptr before the first build).
   const Affinity* framework() const { return framework_.get(); }
 
   /// Rows ingested in total.
   std::size_t rows_ingested() const { return rows_; }
 
-  /// Rows appended since the current snapshot was built (freshness).
+  /// Rows appended since the current snapshot was refreshed (freshness).
   std::size_t snapshot_age() const { return ready() ? rows_ - snapshot_row_ : 0; }
 
-  /// Number of rebuilds performed.
+  /// Number of full from-scratch builds performed (including the first
+  /// build and incremental escalations).
   std::size_t rebuild_count() const { return rebuilds_; }
 
-  /// Forces a rebuild now (FailedPrecondition before `window` rows exist).
+  /// Number of incremental refreshes performed.
+  std::size_t refresh_count() const { return refreshes_; }
+
+  /// Maintenance accounting of the incremental path (zeros in kRebuild
+  /// mode or before the first build).
+  const MaintenanceProfile& maintenance() const { return maintenance_; }
+
+  /// Per-series rolling moments over the trailing window, maintained in
+  /// O(1) per append (`ts/rolling`) — a between-refresh freshness signal:
+  /// compare against the snapshot's `model().series_stats()` to see how
+  /// far the live window has drifted from the answered one.
+  const std::vector<ts::RollingStats>& rolling_stats() const { return rolling_; }
+
+  /// Forces a full rebuild now (FailedPrecondition before `window` rows
+  /// exist). In kIncremental mode this also re-freezes the maintenance
+  /// structure (clustering, pivots, baselines).
   Status Rebuild();
 
-  /// The underlying storage table (for inspection / checkpointing).
+  /// The underlying storage table (for inspection / checkpointing). Only
+  /// the trailing O(window) rows stay resident (CompactBefore).
   const storage::DataMatrixTable& table() const { return table_; }
 
-  /// The execution context rebuilds (and snapshot queries) run over.
+  /// The execution context refreshes (and snapshot queries) run over.
   ExecContext exec() const { return ExecContext{pool_.get()}; }
 
  private:
@@ -82,16 +144,25 @@ class StreamingAffinity {
                     std::unique_ptr<ThreadPool> pool)
       : pool_(std::move(pool)), table_(std::move(table)), options_(options) {}
 
+  /// Runs one refresh (incremental or full, per options/state); called by
+  /// Append when the interval elapses.
+  AppendResult Refresh();
+
   // Declared first so it outlives the framework snapshot whose engine
   // holds an ExecContext pointing at it (members destroy in reverse).
   std::unique_ptr<ThreadPool> pool_;
   storage::DataMatrixTable table_;
   StreamingOptions options_;
   std::unique_ptr<Affinity> framework_;
+  std::unique_ptr<IncrementalMaintainer> maintainer_;
+  MaintenanceProfile maintenance_;
+  std::vector<ts::RollingStats> rolling_;
+  std::vector<std::vector<double>> pending_;  ///< rows since the last refresh
   std::size_t rows_ = 0;
   std::size_t snapshot_row_ = 0;
-  std::size_t rows_since_rebuild_ = 0;
+  std::size_t rows_since_refresh_ = 0;
   std::size_t rebuilds_ = 0;
+  std::size_t refreshes_ = 0;
 };
 
 }  // namespace affinity::core

@@ -6,130 +6,21 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "core/fit_kernels.h"
 #include "ts/stats.h"
 
 namespace affinity::core {
 
 namespace {
 
-/// Packed symmetric 3×3 Gram of the design matrix [c1, c2, 1m]:
-/// order g11, g12, g13, g22, g23, g33.
-struct Gram3 {
-  double g[6];
-};
-
-/// Row-major 3×3 matrix (the cached inverse normal-equation factor).
-struct Mat3 {
-  double v[9];
-};
-
-/// Gram of [c1, c2, 1m] in one fused pass (the per-pivot cost).
-Gram3 ComputeGram(const double* c1, const double* c2, std::size_t m) {
-  double s11 = 0, s12 = 0, s22 = 0, h1 = 0, h2 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    s11 += c1[i] * c1[i];
-    s12 += c1[i] * c2[i];
-    s22 += c2[i] * c2[i];
-    h1 += c1[i];
-    h2 += c2[i];
-  }
-  return Gram3{{s11, s12, h1, s22, h2, static_cast<double>(m)}};
-}
-
-/// Inverts the packed symmetric Gram; returns false when (numerically)
-/// singular — i.e. the pivot columns are collinear or constant.
-bool InvertGram(const Gram3& gm, Mat3* out) {
-  const double a = gm.g[0], b = gm.g[1], c = gm.g[2];
-  const double d = gm.g[3], e = gm.g[4], f = gm.g[5];
-  // Full symmetric matrix [[a,b,c],[b,d,e],[c,e,f]].
-  const double co00 = d * f - e * e;
-  const double co01 = -(b * f - c * e);
-  const double co02 = b * e - c * d;
-  const double det = a * co00 + b * co01 + c * co02;
-  // Scale-aware singularity test.
-  const double scale = std::fabs(a) + std::fabs(d) + std::fabs(f) + 1e-30;
-  if (std::fabs(det) < 1e-12 * scale * scale * scale) return false;
-  const double inv = 1.0 / det;
-  const double co11 = a * f - c * c;
-  const double co12 = -(a * e - b * c);
-  const double co22 = a * d - b * b;
-  out->v[0] = co00 * inv;
-  out->v[1] = co01 * inv;
-  out->v[2] = co02 * inv;
-  out->v[3] = co01 * inv;
-  out->v[4] = co11 * inv;
-  out->v[5] = co12 * inv;
-  out->v[6] = co02 * inv;
-  out->v[7] = co12 * inv;
-  out->v[8] = co22 * inv;
-  return true;
-}
-
-/// Right-hand side of the free-column fit: ([c1,c2,1]ᵀ t).
-void ComputeRhs(const double* c1, const double* c2, const double* t, std::size_t m,
-                double rhs[3]) {
-  double r0 = 0, r1 = 0, r2 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    r0 += c1[i] * t[i];
-    r1 += c2[i] * t[i];
-    r2 += t[i];
-  }
-  rhs[0] = r0;
-  rhs[1] = r1;
-  rhs[2] = r2;
-}
-
-/// x = ginv · rhs.
-void Solve3(const Mat3& ginv, const double rhs[3], double x[3]) {
-  x[0] = ginv.v[0] * rhs[0] + ginv.v[1] * rhs[1] + ginv.v[2] * rhs[2];
-  x[1] = ginv.v[3] * rhs[0] + ginv.v[4] * rhs[1] + ginv.v[5] * rhs[2];
-  x[2] = ginv.v[6] * rhs[0] + ginv.v[7] * rhs[1] + ginv.v[8] * rhs[2];
-}
-
-/// Degenerate fallback when the Gram is singular (pivot columns collinear):
-/// fit t ≈ x0·c1 + x2·1 only.
-void FitRankDeficient(const double* c1, const double* t, std::size_t m, double x[3]) {
-  double s11 = 0, h1 = 0, r0 = 0, r2 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    s11 += c1[i] * c1[i];
-    h1 += c1[i];
-    r0 += c1[i] * t[i];
-    r2 += t[i];
-  }
-  const double md = static_cast<double>(m);
-  const double det = s11 * md - h1 * h1;
-  if (std::fabs(det) < 1e-12 * (std::fabs(s11) + 1.0) * md) {
-    x[0] = 0.0;
-    x[1] = 0.0;
-    x[2] = m == 0 ? 0.0 : r2 / md;
-    return;
-  }
-  x[0] = (r0 * md - h1 * r2) / det;
-  x[1] = 0.0;
-  x[2] = (s11 * r2 - h1 * r0) / det;
-}
-
-/// Assembles the transform from the free-column solution; the common
-/// column's coefficients are exact by construction (see file docs).
-AffineTransform MakeTransform(bool series_first, const double x[3]) {
-  AffineTransform t;
-  if (series_first) {
-    t.a11 = 1.0;
-    t.a21 = 0.0;
-    t.b1 = 0.0;
-    t.a12 = x[0];
-    t.a22 = x[1];
-    t.b2 = x[2];
-  } else {
-    t.a12 = 0.0;
-    t.a22 = 1.0;
-    t.b2 = 0.0;
-    t.a11 = x[0];
-    t.a21 = x[1];
-    t.b1 = x[2];
-  }
-  return t;
-}
+using fit::ComputeGram;
+using fit::ComputeRhs;
+using fit::FitRankDeficient;
+using fit::Gram3;
+using fit::InvertGram;
+using fit::MakeTransform;
+using fit::Mat3;
+using fit::Solve3;
 
 /// The marching/fitting engine shared by SYMEX and SYMEX+. It writes into
 /// the model's hash maps via explicit references handed over by RunSymex.
@@ -403,6 +294,152 @@ int LocationRow(Measure measure) {
 
 }  // namespace
 
+void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* sorted_columns) {
+  const ts::DataMatrix& data = data_;
+  const std::size_t m = data.m();
+  const std::size_t n = data.n();
+  const std::size_t k = clustering_.k();
+
+  // Every location and moment statistic a pivot needs is a per-*column*
+  // quantity — only the dot12/cov12 cross terms are pair-specific — so
+  // compute each distinct column (n series + k centres) exactly once
+  // instead of once per pivot side. Every accumulator below is its own
+  // sequential chain, so the assembled values are bit-identical to the
+  // fused per-pivot passes this replaces (and to ComputePairMatrixMeasures
+  // over the same columns).
+  struct ColumnStats {
+    double sum = 0, sumsq = 0;      // h / dot diagonal chains
+    double mean = 0, median = 0, mode = 0;
+  };
+  std::vector<ColumnStats> columns(n + k);
+  ParallelChunks(exec, n + k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    // Per-chunk scratch: stats::Median/Mode allocate per call, which adds
+    // up when this runs every streaming refresh. The order statistic and
+    // the histogram argmax are permutation- and scratch-independent, so
+    // the values match the stats:: functions bit for bit.
+    std::vector<double> sorted;
+    std::vector<std::uint32_t> hist;
+    for (std::size_t c = lo; c < hi; ++c) {
+      const double* x = c < n ? data.ColumnData(static_cast<ts::SeriesId>(c))
+                              : clustering_.centers.ColData(c - n);
+      ColumnStats& cs = columns[c];
+      double sum = 0, sumsq = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        sum += x[i];
+        sumsq += x[i] * x[i];
+      }
+      cs.sum = sum;
+      cs.sumsq = sumsq;
+      cs.mean = m == 0 ? 0.0 : sum / static_cast<double>(m);
+      if (sorted_columns != nullptr && m > 0) {
+        // Medians are order statistics and mode bins are counts, so the
+        // pre-sorted view yields the same doubles the selection-based
+        // kernels produce from the raw column.
+        const double* sc = sorted_columns->ColData(c);
+        const std::size_t mid = m / 2;
+        cs.median = m % 2 == 1 ? sc[mid] : 0.5 * (sc[mid - 1] + sc[mid]);
+        cs.mode = ts::stats::ModeWithScratch(sc, m, ts::stats::kModeBins, &hist);
+      } else {
+        cs.median = ts::stats::MedianWithScratch(x, m, &sorted);
+        cs.mode = ts::stats::ModeWithScratch(x, m, ts::stats::kModeBins, &hist);
+      }
+    }
+  });
+
+  // Pivot measures: cached per-column stats plus the one cross sum. The
+  // pass is memory-bound (two window columns per pivot), so iterate pivots
+  // grouped by series column — the series column then stays cache-hot
+  // across its ~k pivots. Each entry owns its output slot, so the order is
+  // free to choose (and fixed: sorted by key, independent of hash layout).
+  std::vector<PivotHashEntry*> pivot_entries;
+  pivot_entries.reserve(pivot_hash_.size());
+  for (auto& [key, entry] : pivot_hash_) pivot_entries.push_back(&entry);
+  std::sort(pivot_entries.begin(), pivot_entries.end(),
+            [](const PivotHashEntry* a, const PivotHashEntry* b) {
+              return a->pivot.Key() < b->pivot.Key();
+            });
+  ParallelChunks(exec, pivot_entries.size(),
+                 [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     PivotHashEntry& entry = *pivot_entries[i];
+                     const double* center = clustering_.centers.ColData(entry.pivot.cluster);
+                     const double* series = data.ColumnData(entry.pivot.series);
+                     const double* c1 = entry.pivot.series_first ? series : center;
+                     const double* c2 = entry.pivot.series_first ? center : series;
+                     const ColumnStats& cs_series = columns[entry.pivot.series];
+                     const ColumnStats& cs_center = columns[n + entry.pivot.cluster];
+                     const ColumnStats& cs1 = entry.pivot.series_first ? cs_series : cs_center;
+                     const ColumnStats& cs2 = entry.pivot.series_first ? cs_center : cs_series;
+                     double s12 = 0;
+                     for (std::size_t r = 0; r < m; ++r) s12 += c1[r] * c2[r];
+                     PairMatrixMeasures& pm = entry.measures;
+                     pm.m = m;
+                     pm.mean[0] = cs1.mean;
+                     pm.mean[1] = cs2.mean;
+                     pm.median[0] = cs1.median;
+                     pm.median[1] = cs2.median;
+                     pm.mode[0] = cs1.mode;
+                     pm.mode[1] = cs2.mode;
+                     pm.dot11 = cs1.sumsq;
+                     pm.dot12 = s12;
+                     pm.dot22 = cs2.sumsq;
+                     pm.h1 = cs1.sum;
+                     pm.h2 = cs2.sum;
+                     if (m > 0) {
+                       const double inv_m = 1.0 / static_cast<double>(m);
+                       pm.cov11 = cs1.sumsq * inv_m - cs1.mean * cs1.mean;
+                       pm.cov12 = s12 * inv_m - cs1.mean * cs2.mean;
+                       pm.cov22 = cs2.sumsq * inv_m - cs2.mean * cs2.mean;
+                     } else {
+                       pm.cov11 = pm.cov12 = pm.cov22 = 0;
+                     }
+                   }
+                 });
+
+  series_stats_.resize(n);
+  series_affine_.resize(n);
+  ParallelChunks(exec, n, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const double* s = data.ColumnData(static_cast<ts::SeriesId>(j));
+      const ColumnStats& cs = columns[j];
+      SeriesStats& st = series_stats_[j];
+      st.sum = cs.sum;
+      st.sumsq = cs.sumsq;
+      st.mean = m == 0 ? 0.0 : cs.sum / static_cast<double>(m);
+      st.variance =
+          m == 0 ? 0.0
+                 : std::max(0.0, cs.sumsq / static_cast<double>(m) - st.mean * st.mean);
+
+      // Series-level fit s ≈ gain·r + offset (normal equations on [r, 1]).
+      const int cluster = clustering_.assignment[j];
+      const double* r = clustering_.centers.ColData(static_cast<std::size_t>(cluster));
+      double rs = 0;
+      for (std::size_t i = 0; i < m; ++i) rs += r[i] * s[i];
+      // The centre's normal-equation diagonals are the column-stats sums
+      // (same accumulation chains, bitwise equal).
+      const double rr = columns[n + static_cast<std::size_t>(cluster)].sumsq;
+      const double hr = columns[n + static_cast<std::size_t>(cluster)].sum;
+      const double md = static_cast<double>(m);
+      const double det = rr * md - hr * hr;
+      SeriesAffine& sa = series_affine_[j];
+      if (std::fabs(det) < 1e-12 * (std::fabs(rr) + 1.0) * md) {
+        sa.gain = 0.0;
+        sa.offset = st.mean;
+      } else {
+        sa.gain = (rs * md - hr * cs.sum) / det;
+        sa.offset = (rr * cs.sum - hr * rs) / det;
+      }
+    }
+  });
+
+  center_loc_.assign(3, std::vector<double>(k, 0.0));
+  for (std::size_t l = 0; l < k; ++l) {
+    center_loc_[0][l] = columns[n + l].mean;
+    center_loc_[1][l] = columns[n + l].median;
+    center_loc_[2][l] = columns[n + l].mode;
+  }
+}
+
 const AffineRecord* AffinityModel::FindRelationship(const ts::SequencePair& e) const {
   const auto it = aff_hash_.find(e.Key());
   return it == aff_hash_.end() ? nullptr : &it->second;
@@ -519,73 +556,9 @@ StatusOr<AffinityModel> RunSymex(const ts::DataMatrix& data, AfclstResult cluste
 
   // Pre-processing: pivot measures, per-series stats, series-level
   // relationships, centre L-measures (the one-time O(nk·m + n·m) cost).
-  // Each output slot belongs to exactly one item, so both passes fan out.
   {
     Stopwatch watch;
-    const std::size_t m = data.m();
-    std::vector<PivotHashEntry*> pivot_entries;
-    pivot_entries.reserve(model.pivot_hash_.size());
-    for (auto& [key, entry] : model.pivot_hash_) pivot_entries.push_back(&entry);
-    ParallelChunks(exec, pivot_entries.size(),
-                   [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
-                     for (std::size_t i = lo; i < hi; ++i) {
-                       PivotHashEntry& entry = *pivot_entries[i];
-                       const double* center =
-                           model.clustering_.centers.ColData(entry.pivot.cluster);
-                       const double* series = data.ColumnData(entry.pivot.series);
-                       const double* c1 = entry.pivot.series_first ? series : center;
-                       const double* c2 = entry.pivot.series_first ? center : series;
-                       entry.measures = ComputePairMatrixMeasures(c1, c2, m);
-                     }
-                   });
-
-    model.series_stats_.resize(data.n());
-    model.series_affine_.resize(data.n());
-    ParallelChunks(exec, data.n(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
-      for (std::size_t j = lo; j < hi; ++j) {
-        const double* s = data.ColumnData(static_cast<ts::SeriesId>(j));
-        double sum = 0, sumsq = 0;
-        for (std::size_t i = 0; i < m; ++i) {
-          sum += s[i];
-          sumsq += s[i] * s[i];
-        }
-        SeriesStats& st = model.series_stats_[j];
-        st.sum = sum;
-        st.sumsq = sumsq;
-        st.mean = m == 0 ? 0.0 : sum / static_cast<double>(m);
-        st.variance =
-            m == 0 ? 0.0 : std::max(0.0, sumsq / static_cast<double>(m) - st.mean * st.mean);
-
-        // Series-level fit s ≈ gain·r + offset (normal equations on [r, 1]).
-        const int cluster = model.clustering_.assignment[j];
-        const double* r = model.clustering_.centers.ColData(static_cast<std::size_t>(cluster));
-        double rr = 0, rs = 0, hr = 0;
-        for (std::size_t i = 0; i < m; ++i) {
-          rr += r[i] * r[i];
-          rs += r[i] * s[i];
-          hr += r[i];
-        }
-        const double md = static_cast<double>(m);
-        const double det = rr * md - hr * hr;
-        SeriesAffine& sa = model.series_affine_[j];
-        if (std::fabs(det) < 1e-12 * (std::fabs(rr) + 1.0) * md) {
-          sa.gain = 0.0;
-          sa.offset = st.mean;
-        } else {
-          sa.gain = (rs * md - hr * sum) / det;
-          sa.offset = (rr * sum - hr * rs) / det;
-        }
-      }
-    });
-
-    const std::size_t k = model.clustering_.k();
-    model.center_loc_.assign(3, std::vector<double>(k, 0.0));
-    for (std::size_t l = 0; l < k; ++l) {
-      const double* r = model.clustering_.centers.ColData(l);
-      model.center_loc_[0][l] = ts::stats::Mean(r, m);
-      model.center_loc_[1][l] = ts::stats::Median(r, m);
-      model.center_loc_[2][l] = ts::stats::Mode(r, m);
-    }
+    model.RecomputeDerived(exec);
     model.stats_.preprocess_seconds = watch.ElapsedSeconds();
   }
 

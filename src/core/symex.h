@@ -186,7 +186,25 @@ class AffinityModel {
     }
   }
 
+  /// Recomputes every derived quantity from `data()` and `clustering()`:
+  /// pivot measures, per-series stats, series-level relationships, and the
+  /// centre L-measures — exactly the pre-processing pass of RunSymex. The
+  /// incremental maintenance path calls this after sliding the window so
+  /// published moments and measures stay bit-identical to a from-scratch
+  /// build over the same window and clustering (DESIGN.md §8).
+  ///
+  /// `sorted_columns`, when given, must hold every window column sorted
+  /// ascending — columns 0..n-1 the data series, n..n+k-1 the cluster
+  /// centres. Medians are then read as order statistics and modes
+  /// histogrammed without a selection pass (the maintenance path keeps
+  /// these sorted incrementally). The published values are identical
+  /// either way: order statistics and bin counts do not depend on the
+  /// input permutation.
+  void RecomputeDerived(const ExecContext& exec = {},
+                        const la::Matrix* sorted_columns = nullptr);
+
  private:
+  friend class IncrementalMaintainer;
   friend StatusOr<AffinityModel> BuildAffinityModel(const ts::DataMatrix&, const AfclstOptions&,
                                                     const SymexOptions&, const ExecContext&);
   friend StatusOr<AffinityModel> RunSymex(const ts::DataMatrix&, AfclstResult,

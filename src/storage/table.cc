@@ -45,6 +45,22 @@ Status DataMatrixTable::AppendRows(const std::vector<std::vector<double>>& rows)
   return Status::OK();
 }
 
+std::size_t DataMatrixTable::CompactBefore(std::size_t row) {
+  if (catalog_.empty() || row <= first_retained_) return 0;
+  if (row > rows_) row = rows_;
+  // Only whole segments are reclaimed, and all retained leading segments
+  // are full (partial fills only ever exist at the tail), so the boundary
+  // arithmetic stays aligned across every column.
+  const std::size_t whole_segments = (row - first_retained_) / segment_capacity_;
+  if (whole_segments == 0) return 0;
+  for (auto& segs : columns_) {
+    segs.erase(segs.begin(), segs.begin() + static_cast<long>(whole_segments));
+  }
+  const std::size_t reclaimed = whole_segments * segment_capacity_;
+  first_retained_ += reclaimed;
+  return reclaimed;
+}
+
 StatusOr<SeriesInfo> DataMatrixTable::GetSeriesInfo(ts::SeriesId id) const {
   if (id >= catalog_.size()) {
     return Status::OutOfRange("series id " + std::to_string(id) + " out of range");
@@ -60,7 +76,7 @@ StatusOr<ts::SeriesId> DataMatrixTable::FindSeries(const std::string& name) cons
 
 StatusOr<double> DataMatrixTable::ColumnMin(ts::SeriesId id) const {
   if (id >= columns_.size()) return Status::OutOfRange("series id out of range");
-  if (rows_ == 0) return Status::FailedPrecondition("table is empty");
+  if (retained_row_count() == 0) return Status::FailedPrecondition("table is empty");
   double out = columns_[id].front().min();
   for (const auto& seg : columns_[id]) out = std::min(out, seg.min());
   return out;
@@ -68,7 +84,7 @@ StatusOr<double> DataMatrixTable::ColumnMin(ts::SeriesId id) const {
 
 StatusOr<double> DataMatrixTable::ColumnMax(ts::SeriesId id) const {
   if (id >= columns_.size()) return Status::OutOfRange("series id out of range");
-  if (rows_ == 0) return Status::FailedPrecondition("table is empty");
+  if (retained_row_count() == 0) return Status::FailedPrecondition("table is empty");
   double out = columns_[id].front().max();
   for (const auto& seg : columns_[id]) out = std::max(out, seg.max());
   return out;
@@ -83,8 +99,8 @@ StatusOr<double> DataMatrixTable::ColumnSum(ts::SeriesId id) const {
 
 StatusOr<ts::DataMatrix> DataMatrixTable::Snapshot() const {
   if (catalog_.empty()) return Status::FailedPrecondition("no series registered");
-  if (rows_ == 0) return Status::FailedPrecondition("no rows appended");
-  la::Matrix values(rows_, catalog_.size());
+  if (retained_row_count() == 0) return Status::FailedPrecondition("no rows retained");
+  la::Matrix values(retained_row_count(), catalog_.size());
   std::vector<std::string> names(catalog_.size());
   for (std::size_t j = 0; j < catalog_.size(); ++j) {
     names[j] = catalog_[j].name;

@@ -25,13 +25,21 @@ struct SeriesInfo {
   double interval_seconds = 60.0;  ///< sampling interval Δt
 };
 
-/// Append-only columnar table of aligned time series.
+/// Append-only columnar table of aligned time series, with segment-level
+/// reclamation for windowed deployments.
 ///
 /// Usage:
 ///   DataMatrixTable table;
 ///   auto id = table.RegisterSeries("INTC", "finance", 60.0);
 ///   table.AppendRow({...one value per registered series...});
 ///   auto snapshot = table.Snapshot();   // -> ts::DataMatrix
+///
+/// `CompactBefore(row)` drops whole segments that lie entirely below a
+/// logical row, so a streaming ingester can keep resident storage O(window)
+/// while logical row numbering stays stable: `row_count()` keeps counting
+/// every row ever appended and `first_retained_row()` reports how many of
+/// the leading ones have been reclaimed. Snapshots and the column
+/// aggregates cover the retained rows only.
 class DataMatrixTable {
  public:
   /// \param segment_capacity samples per column segment.
@@ -53,20 +61,34 @@ class DataMatrixTable {
   /// Number of registered series.
   std::size_t series_count() const { return catalog_.size(); }
 
-  /// Number of appended rows.
+  /// Number of appended rows (including reclaimed ones).
   std::size_t row_count() const { return rows_; }
+
+  /// Logical index of the first row still resident (0 before any
+  /// compaction; always a segment-capacity multiple).
+  std::size_t first_retained_row() const { return first_retained_; }
+
+  /// Number of rows currently resident: row_count() − first_retained_row().
+  std::size_t retained_row_count() const { return rows_ - first_retained_; }
+
+  /// Reclaims every whole segment lying entirely before logical row `row`
+  /// (segment granularity: up to segment_capacity − 1 older rows stay
+  /// resident). Returns the number of rows reclaimed by this call.
+  std::size_t CompactBefore(std::size_t row);
 
   /// Catalog lookup by id (OutOfRange) or name (NotFound).
   StatusOr<SeriesInfo> GetSeriesInfo(ts::SeriesId id) const;
   StatusOr<ts::SeriesId> FindSeries(const std::string& name) const;
 
-  /// Segment-summary aggregates over a whole column — O(#segments).
+  /// Segment-summary aggregates over a column's retained rows —
+  /// O(#segments).
   StatusOr<double> ColumnMin(ts::SeriesId id) const;
   StatusOr<double> ColumnMax(ts::SeriesId id) const;
   StatusOr<double> ColumnSum(ts::SeriesId id) const;
 
-  /// Materializes the aligned snapshot as a DataMatrix.
-  /// FailedPrecondition when the table has no series or no rows.
+  /// Materializes the aligned snapshot of the retained rows as a
+  /// DataMatrix. FailedPrecondition when the table has no series or no
+  /// retained rows.
   StatusOr<ts::DataMatrix> Snapshot() const;
 
   /// Bulk-loads an existing DataMatrix into a fresh table.
@@ -80,6 +102,7 @@ class DataMatrixTable {
   std::unordered_map<std::string, ts::SeriesId> by_name_;
   std::vector<std::vector<ColumnSegment>> columns_;  // per series, per segment
   std::size_t rows_ = 0;
+  std::size_t first_retained_ = 0;  // logical row of columns_[j].front()[0]
 };
 
 }  // namespace affinity::storage

@@ -87,6 +87,11 @@ class DataMatrix {
   /// The underlying m×n matrix.
   const la::Matrix& matrix() const { return values_; }
 
+  /// Mutable access to the underlying matrix — the incremental window
+  /// maintenance path (DESIGN.md §8) slides columns in place instead of
+  /// reallocating the window every refresh. Dimensions must not change.
+  la::Matrix& mutable_matrix() { return values_; }
+
   /// Name of series `id`.
   const std::string& name(SeriesId id) const { return names_[id]; }
 

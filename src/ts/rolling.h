@@ -95,6 +95,47 @@ class RollingCovariance {
   double sum_xy_ = 0;
 };
 
+/// Windowed add/evict accumulator of the right-hand-side sums
+/// (Σ c1·t, Σ c2·t, Σ t) a normal-equation refit over [c1, c2, 1m] needs.
+/// Unlike RollingStats it keeps no ring of its own: the caller owns one
+/// shared ring of window rows (the sliding data matrix) and supplies the
+/// evicted values — the layout that lets the incremental maintenance path
+/// (DESIGN.md §8) keep O(pairs) accumulators without O(pairs · window)
+/// memory.
+struct RollingCrossSums {
+  double c1t = 0.0;  ///< Σ c1ᵢ·tᵢ over the window
+  double c2t = 0.0;  ///< Σ c2ᵢ·tᵢ
+  double t = 0.0;    ///< Σ tᵢ
+
+  /// Absorbs one aligned sample entering the window.
+  void Add(double c1, double c2, double tv) {
+    c1t += c1 * tv;
+    c2t += c2 * tv;
+    t += tv;
+  }
+
+  /// Removes one aligned sample leaving the window.
+  void Evict(double c1, double c2, double tv) {
+    c1t -= c1 * tv;
+    c2t -= c2 * tv;
+    t -= tv;
+  }
+
+  /// Overwrites with exact sums over the full window — the periodic
+  /// re-materialization that bounds subtract-on-evict round-off.
+  void Reset(const double* c1, const double* c2, const double* tv, std::size_t m) {
+    double r0 = 0, r1 = 0, r2 = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      r0 += c1[i] * tv[i];
+      r1 += c2[i] * tv[i];
+      r2 += tv[i];
+    }
+    c1t = r0;
+    c2t = r1;
+    t = r2;
+  }
+};
+
 /// The last `window` rows of `data` as a new DataMatrix — the snapshot a
 /// windowed deployment rebuilds the AFFINITY model from.
 /// InvalidArgument when window is 0 or exceeds data.m().

@@ -19,8 +19,14 @@ double Mean(const double* x, std::size_t m) {
 }
 
 double Median(const double* x, std::size_t m) {
+  std::vector<double> buf;
+  return MedianWithScratch(x, m, &buf);
+}
+
+double MedianWithScratch(const double* x, std::size_t m, std::vector<double>* scratch) {
   if (m == 0) return 0.0;
-  std::vector<double> buf(x, x + m);
+  scratch->assign(x, x + m);
+  std::vector<double>& buf = *scratch;
   const std::size_t mid = m / 2;
   std::nth_element(buf.begin(), buf.begin() + static_cast<long>(mid), buf.end());
   const double upper = buf[mid];
@@ -32,6 +38,12 @@ double Median(const double* x, std::size_t m) {
 }
 
 double Mode(const double* x, std::size_t m, int bins) {
+  std::vector<std::uint32_t> hist;
+  return ModeWithScratch(x, m, bins, &hist);
+}
+
+double ModeWithScratch(const double* x, std::size_t m, int bins,
+                       std::vector<std::uint32_t>* hist_scratch) {
   if (m == 0) return 0.0;
   AFFINITY_CHECK_GT(bins, 0);
   double lo = x[0], hi = x[0];
@@ -41,7 +53,8 @@ double Mode(const double* x, std::size_t m, int bins) {
   }
   if (hi <= lo) return lo;  // constant series
   const double width = (hi - lo) / static_cast<double>(bins);
-  std::vector<std::uint32_t> hist(static_cast<std::size_t>(bins), 0);
+  hist_scratch->assign(static_cast<std::size_t>(bins), 0);
+  std::vector<std::uint32_t>& hist = *hist_scratch;
   const double inv_width = static_cast<double>(bins) / (hi - lo);
   for (std::size_t i = 0; i < m; ++i) {
     auto b = static_cast<long>((x[i] - lo) * inv_width);

@@ -17,6 +17,8 @@
 ///    central order statistics.
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "la/matrix.h"
 #include "la/vector.h"
@@ -37,8 +39,19 @@ double Mean(const double* x, std::size_t m);
 /// never reordered). 0 for m == 0.
 double Median(const double* x, std::size_t m);
 
+/// As Median, reusing `*scratch` for the working copy — for callers that
+/// evaluate many columns per pass (the per-refresh recomputation of
+/// DESIGN.md §8). The result is the central order statistic, so it is
+/// identical to Median() bit for bit.
+double MedianWithScratch(const double* x, std::size_t m, std::vector<double>* scratch);
+
 /// Histogram mode over `bins` equal-width bins (see file docs).
 double Mode(const double* x, std::size_t m, int bins = kModeBins);
+
+/// As Mode, reusing `*hist` for the histogram; identical to Mode() bit for
+/// bit (bin counts are order-independent).
+double ModeWithScratch(const double* x, std::size_t m, int bins,
+                       std::vector<std::uint32_t>* hist);
 
 /// The classical naive mode estimator for continuous data: the sample with
 /// the most neighbours within a half-window of h = (max−min)/bins — i.e.

@@ -261,6 +261,186 @@ TEST(BPlusTreeReverse, SingleEntry) {
   EXPECT_EQ(it, t.rend());
 }
 
+TEST(BPlusTreeErase, EraseFromLeafRoot) {
+  BPlusTree<int> t;
+  t.Insert(1.0, 1);
+  t.Insert(2.0, 2);
+  EXPECT_TRUE(t.Erase(1.0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.Erase(1.0));  // already gone
+  EXPECT_FALSE(t.Erase(9.0));  // never existed
+  EXPECT_TRUE(t.Erase(2.0));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.begin(), t.end());
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTreeErase, PredicateSelectsAmongDuplicates) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 10; ++i) t.Insert(1.0, i);
+  EXPECT_TRUE(t.Erase(1.0, [](const int& v) { return v == 7; }));
+  EXPECT_FALSE(t.Erase(1.0, [](const int& v) { return v == 7; }));
+  std::vector<int> left;
+  for (auto it = t.begin(); it != t.end(); ++it) left.push_back(it.value());
+  EXPECT_EQ(left, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 8, 9}));
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTreeErase, DrainAscendingTriggersMergeChains) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 1000; ++i) t.Insert(static_cast<double>(i), i);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Erase(static_cast<double>(i))) << i;
+    ASSERT_TRUE(t.ValidateInvariants()) << i;
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1u);
+}
+
+TEST(BPlusTreeErase, DrainDescendingTriggersBorrowFromLeft) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 1000; ++i) t.Insert(static_cast<double>(i), i);
+  for (int i = 1000; i-- > 0;) {
+    ASSERT_TRUE(t.Erase(static_cast<double>(i))) << i;
+    ASSERT_TRUE(t.ValidateInvariants()) << i;
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BPlusTreeErase, RootCollapsesAsTreeShrinks) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 500; ++i) t.Insert(static_cast<double>(i), i);
+  const std::size_t tall = t.height();
+  ASSERT_GT(tall, 2u);
+  Xoshiro256 rng(5);
+  std::vector<int> alive(500);
+  for (int i = 0; i < 500; ++i) alive[static_cast<std::size_t>(i)] = i;
+  while (alive.size() > 3) {
+    const std::size_t pick = rng.NextBounded(alive.size());
+    ASSERT_TRUE(t.Erase(static_cast<double>(alive[pick])));
+    alive.erase(alive.begin() + static_cast<long>(pick));
+    ASSERT_TRUE(t.ValidateInvariants());
+  }
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(BPlusTreeErase, ReKeyMovesEntryAndKeepsPayload) {
+  BPlusTree<int> t(4);
+  for (int i = 0; i < 100; ++i) t.Insert(static_cast<double>(i), i);
+  EXPECT_TRUE(t.ReKey(42.0, -5.0, [](const int& v) { return v == 42; }));
+  EXPECT_FALSE(t.ReKey(42.0, 0.0, [](const int& v) { return v == 42; }));
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(t.begin().key(), -5.0);
+  EXPECT_EQ(t.begin().value(), 42);
+  EXPECT_TRUE(t.ValidateInvariants());
+}
+
+TEST(BPlusTreeErase, ReKeyAmongEqualKeysAppendsAfterExisting) {
+  BPlusTree<int> t(4);
+  t.Insert(1.0, 10);
+  t.Insert(2.0, 20);
+  t.Insert(2.0, 21);
+  ASSERT_TRUE(t.ReKey(1.0, 2.0, [](const int&) { return true; }));
+  std::vector<int> order;
+  for (auto it = t.begin(); it != t.end(); ++it) order.push_back(it.value());
+  EXPECT_EQ(order, (std::vector<int>{20, 21, 10}));
+}
+
+// Randomized insert/erase/re-key differential test against std::multimap.
+// Values are unique so an erase can target one specific entry on both
+// sides; quantized keys create long duplicate runs that straddle node
+// splits (the hard case for deletion descent).
+class BPlusTreeEraseDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreeEraseDifferential, MatchesMultimap) {
+  const auto fanout = static_cast<std::size_t>(GetParam());
+  BPlusTree<int> tree(fanout);
+  std::multimap<double, int> reference;
+  Xoshiro256 rng(1000 + fanout);
+  int next_value = 0;
+
+  const auto erase_ref = [&](double key, int value) {
+    for (auto [it, end] = reference.equal_range(key); it != end; ++it) {
+      if (it->second == value) {
+        reference.erase(it);
+        return;
+      }
+    }
+    FAIL() << "oracle out of sync";
+  };
+
+  for (int step = 0; step < 8000; ++step) {
+    const std::size_t op = rng.NextBounded(10);
+    if (op < 5 || reference.empty()) {
+      // Insert (biased so the tree both grows and shrinks over time).
+      const double key = std::floor(rng.Uniform(-30.0, 30.0));
+      tree.Insert(key, next_value);
+      reference.emplace(key, next_value);
+      ++next_value;
+    } else if (op < 8) {
+      // Erase a uniformly random live entry.
+      auto ref = std::next(reference.begin(),
+                           static_cast<long>(rng.NextBounded(reference.size())));
+      const double key = ref->first;
+      const int value = ref->second;
+      ASSERT_TRUE(tree.Erase(key, [&](const int& v) { return v == value; }));
+      erase_ref(key, value);
+    } else {
+      // Re-key a random live entry to a random new key.
+      auto ref = std::next(reference.begin(),
+                           static_cast<long>(rng.NextBounded(reference.size())));
+      const double key = ref->first;
+      const int value = ref->second;
+      const double new_key = std::floor(rng.Uniform(-30.0, 30.0));
+      ASSERT_TRUE(tree.ReKey(key, new_key, [&](const int& v) { return v == value; }));
+      erase_ref(key, value);
+      reference.emplace(new_key, value);
+    }
+    if (step % 256 == 0) {
+      ASSERT_TRUE(tree.ValidateInvariants()) << "step " << step;
+    }
+    ASSERT_EQ(tree.size(), reference.size());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants());
+
+  // Final contents agree: same sorted key sequence and same per-key value
+  // multisets.
+  auto it = tree.begin();
+  auto ref = reference.begin();
+  std::multimap<double, int> tree_entries;
+  for (; ref != reference.end(); ++ref, ++it) {
+    ASSERT_NE(it, tree.end());
+    EXPECT_EQ(it.key(), ref->first);
+    tree_entries.emplace(it.key(), it.value());
+  }
+  EXPECT_EQ(it, tree.end());
+  for (const auto& [key, value] : reference) {
+    bool found = false;
+    for (auto [lo, hi] = tree_entries.equal_range(key); lo != hi; ++lo) {
+      if (lo->second == value) {
+        tree_entries.erase(lo);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing (" << key << ", " << value << ")";
+  }
+  EXPECT_TRUE(tree_entries.empty());
+
+  // Drain everything through Erase to exercise deep merge chains.
+  while (!reference.empty()) {
+    auto pick = std::next(reference.begin(),
+                          static_cast<long>(rng.NextBounded(reference.size())));
+    ASSERT_TRUE(tree.Erase(pick->first, [&](const int& v) { return v == pick->second; }));
+    reference.erase(pick);
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.ValidateInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BPlusTreeEraseDifferential, ::testing::Values(4, 8, 64));
+
 TEST(BPlusTree, LargeScaleStaysValid) {
   BPlusTree<std::size_t> t(64);
   Xoshiro256 rng(9);

@@ -10,6 +10,7 @@
 
 #include "core/framework.h"
 #include "core/scape.h"
+#include "core/streaming.h"
 #include "ts/generators.h"
 
 namespace affinity::core {
@@ -86,6 +87,81 @@ TEST(Serialize, ScapeRebuildFromLoadedModelMatches) {
   std::sort(pa.begin(), pa.end());
   std::sort(pb.begin(), pb.end());
   EXPECT_EQ(pa, pb);
+}
+
+TEST(Serialize, IncrementallyMaintainedModelRoundTripsBitIdentically) {
+  // A model produced by incremental maintenance (DESIGN.md §8) — slid
+  // window, extended centres, delta-updated transforms — must persist
+  // exactly like a built one: save → load → every field bit-identical.
+  ts::DatasetSpec spec;
+  spec.num_series = 10;
+  spec.num_samples = 200;
+  spec.num_clusters = 3;
+  spec.noise_level = 0.03;
+  spec.seed = 31;
+  const ts::Dataset ds = ts::MakeSensorData(spec);
+
+  StreamingOptions options;
+  options.window = 40;
+  options.rebuild_interval = 4;
+  options.mode = UpdateMode::kIncremental;
+  options.build.afclst.k = 3;
+  options.build.build_dft = false;
+  auto stream = StreamingAffinity::Create(ds.matrix.names(), options);
+  ASSERT_TRUE(stream.ok());
+  std::vector<double> row(ds.matrix.n());
+  for (std::size_t i = 0; i < 80; ++i) {  // first build + 10 slides
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    ASSERT_TRUE(stream->Append(row).ok());
+  }
+  ASSERT_GE(stream->refresh_count(), 10u);
+  const AffinityModel& maintained = stream->framework()->model();
+
+  const std::string path = TempPath("incremental.affm");
+  ASSERT_TRUE(SaveModel(maintained, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Bit-identical payload: window data, extended centres, per-series
+  // stats and relationships, every transform.
+  EXPECT_EQ(loaded->data().matrix().MaxAbsDiff(maintained.data().matrix()), 0.0);
+  EXPECT_EQ(loaded->clustering().centers.MaxAbsDiff(maintained.clustering().centers), 0.0);
+  EXPECT_EQ(loaded->clustering().assignment, maintained.clustering().assignment);
+  for (ts::SeriesId v = 0; v < maintained.data().n(); ++v) {
+    EXPECT_EQ(loaded->series_stats(v).mean, maintained.series_stats(v).mean);
+    EXPECT_EQ(loaded->series_stats(v).variance, maintained.series_stats(v).variance);
+    EXPECT_EQ(loaded->series_stats(v).sum, maintained.series_stats(v).sum);
+    EXPECT_EQ(loaded->series_stats(v).sumsq, maintained.series_stats(v).sumsq);
+    EXPECT_EQ(loaded->series_affine(v).gain, maintained.series_affine(v).gain);
+    EXPECT_EQ(loaded->series_affine(v).offset, maintained.series_affine(v).offset);
+  }
+  maintained.ForEachRelationship([&](const ts::SequencePair& e, const AffineRecord& rec) {
+    const AffineRecord* lr = loaded->FindRelationship(e);
+    ASSERT_NE(lr, nullptr);
+    EXPECT_EQ(lr->pivot.Key(), rec.pivot.Key());
+    EXPECT_EQ(lr->transform.a11, rec.transform.a11);
+    EXPECT_EQ(lr->transform.a21, rec.transform.a21);
+    EXPECT_EQ(lr->transform.a12, rec.transform.a12);
+    EXPECT_EQ(lr->transform.a22, rec.transform.a22);
+    EXPECT_EQ(lr->transform.b1, rec.transform.b1);
+    EXPECT_EQ(lr->transform.b2, rec.transform.b2);
+  });
+  maintained.ForEachPivot([&](const PivotPair& p, const PairMatrixMeasures& pm) {
+    const PairMatrixMeasures* lp = loaded->FindPivotMeasures(p);
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->cov12, pm.cov12);
+    EXPECT_EQ(lp->dot12, pm.dot12);
+    EXPECT_EQ(lp->h1, pm.h1);
+    EXPECT_EQ(lp->h2, pm.h2);
+  });
+
+  // And the loaded model re-saves to the same byte count (a cheap guard
+  // against asymmetric read/write paths).
+  const std::string path2 = TempPath("incremental2.affm");
+  ASSERT_TRUE(SaveModel(*loaded, path2).ok());
+  std::ifstream a(path, std::ios::binary | std::ios::ate);
+  std::ifstream b(path2, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(a.tellg(), b.tellg());
 }
 
 TEST(Serialize, TruncatedModelRoundTrips) {

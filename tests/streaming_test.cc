@@ -2,6 +2,7 @@
 
 #include "core/streaming.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -33,7 +34,7 @@ Status Feed(StreamingAffinity* stream, const ts::Dataset& ds, std::size_t begin,
   std::vector<double> row(ds.matrix.n());
   for (std::size_t i = begin; i < end; ++i) {
     for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
-    AFFINITY_RETURN_IF_ERROR(stream->Append(row));
+    AFFINITY_RETURN_IF_ERROR(stream->Append(row).status);
   }
   return Status::OK();
 }
@@ -128,6 +129,127 @@ TEST(Streaming, AppendValidatesRowWidth) {
   ASSERT_TRUE(stream.ok());
   EXPECT_FALSE(stream->Append({1.0, 2.0}).ok());
   EXPECT_TRUE(stream->Append({1.0, 2.0, 3.0, 4.0}).ok());
+}
+
+TEST(Streaming, AppendResultDistinguishesRefreshFromNoRefresh) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  std::vector<double> row(ds.matrix.n());
+  std::size_t refreshed = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    const AppendResult result = stream->Append(row);
+    ASSERT_TRUE(result.ok());
+    // Refreshes run at rows 40, 60, 80, 100 with window 40 / interval 20;
+    // every other append reports OK *without* claiming a refresh ran.
+    const bool expect_refresh = (i + 1) == 40 || ((i + 1) > 40 && (i + 1) % 20 == 0);
+    EXPECT_EQ(result.refreshed, expect_refresh) << "row " << i + 1;
+    if (result.refreshed) {
+      EXPECT_EQ(result.mode, UpdateMode::kRebuild);
+      ++refreshed;
+    }
+  }
+  EXPECT_EQ(refreshed, 4u);
+  EXPECT_EQ(stream->rebuild_count(), 4u);
+}
+
+TEST(Streaming, ResidentRowsStayBoundedAcross10kAppends) {
+  StreamingOptions options = SmallOptions();
+  options.window = 64;
+  options.rebuild_interval = 32;
+  auto stream = StreamingAffinity::Create(Names(4), options);
+  ASSERT_TRUE(stream.ok());
+  Xoshiro256 rng(3);
+  std::vector<double> row(4);
+  std::size_t max_resident = 0;
+  for (int i = 0; i < 10000; ++i) {
+    for (double& v : row) v = rng.Uniform(-1.0, 1.0);
+    ASSERT_TRUE(stream->Append(row).ok());
+    max_resident = std::max(max_resident, stream->table().retained_row_count());
+  }
+  EXPECT_EQ(stream->rows_ingested(), 10000u);
+  // O(window) residency: the window plus at most two segments of slack
+  // (compaction reclaims whole segments only).
+  const std::size_t segment = 16;  // DeriveSegmentCapacity(window 64)
+  EXPECT_LE(max_resident, options.window + 2 * segment);
+  // The snapshot still sees the full trailing window.
+  ASSERT_TRUE(stream->ready());
+  EXPECT_EQ(stream->framework()->data().m(), options.window);
+}
+
+StreamingOptions IncrementalOptions_() {
+  StreamingOptions options = SmallOptions();
+  options.mode = UpdateMode::kIncremental;
+  return options;
+}
+
+TEST(Streaming, IncrementalModeRefreshesWithoutFullRebuilds) {
+  auto stream = StreamingAffinity::Create(Names(10), IncrementalOptions_());
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 100).ok());
+  // Refreshes at rows 40 (first full build), 60, 80, 100 (incremental).
+  EXPECT_EQ(stream->rebuild_count(), 1u);
+  EXPECT_EQ(stream->refresh_count(), 3u);
+  EXPECT_EQ(stream->snapshot_age(), 0u);
+  EXPECT_EQ(stream->framework()->data().m(), 40u);
+  // The snapshot window slid: its last row is source row 99.
+  const ts::DataMatrix& snap = stream->framework()->data();
+  for (std::size_t j = 0; j < snap.n(); ++j) {
+    EXPECT_DOUBLE_EQ(snap.matrix()(39, j), ds.matrix.matrix()(99, j));
+    EXPECT_DOUBLE_EQ(snap.matrix()(0, j), ds.matrix.matrix()(60, j));
+  }
+  // Accounting: every refresh absorbed the interval and re-keyed the index.
+  const MaintenanceProfile& profile = stream->maintenance();
+  EXPECT_EQ(profile.refreshes, 3u);
+  EXPECT_EQ(profile.rows_absorbed, 60u);
+  EXPECT_GT(profile.tree_rekeys, 0u);
+  EXPECT_GT(profile.relationships_refit + profile.relationships_updated, 0u);
+  // Queries work against the maintained snapshot.
+  MetRequest request{Measure::kCorrelation, 0.9, true};
+  auto result = stream->framework()->engine().Met(request, QueryMethod::kScape);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->pairs.size(), 0u);
+}
+
+TEST(Streaming, IncrementalEscalatesOnRegimeChange) {
+  StreamingOptions options = IncrementalOptions_();
+  options.incremental.escalation_factor = 1.25;
+  options.incremental.escalation_slack = 0.01;
+  auto stream = StreamingAffinity::Create(Names(10), options);
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset calm = TestData();
+  ASSERT_TRUE(Feed(&*stream, calm, 0, 60).ok());
+  ASSERT_EQ(stream->rebuild_count(), 1u);
+  // Feed an unrelated regime (different seed and cluster structure): the
+  // frozen clustering stops fitting and the drift monitor must escalate.
+  ts::DatasetSpec spec;
+  spec.num_series = 10;
+  spec.num_samples = 200;
+  spec.num_clusters = 5;
+  spec.noise_level = 0.3;
+  spec.seed = 99;
+  const ts::Dataset shifted = ts::MakeSensorData(spec);
+  ASSERT_TRUE(Feed(&*stream, shifted, 0, 200).ok());
+  EXPECT_GT(stream->maintenance().escalations, 0u);
+  EXPECT_GT(stream->rebuild_count(), 1u);
+}
+
+TEST(Streaming, RollingStatsTrackTheLiveWindow) {
+  StreamingOptions options = SmallOptions();
+  auto stream = StreamingAffinity::Create(Names(10), options);
+  ASSERT_TRUE(stream.ok());
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 55).ok());
+  // The rolling stats cover rows 15..54 (window 40) even though the
+  // snapshot was built at row 40 — the live freshness signal.
+  ASSERT_EQ(stream->rolling_stats().size(), 10u);
+  const ts::RollingStats& rs = stream->rolling_stats()[2];
+  ASSERT_TRUE(rs.full());
+  double expect = 0;
+  for (std::size_t i = 15; i < 55; ++i) expect += ds.matrix.matrix()(i, 2);
+  EXPECT_NEAR(rs.Sum(), expect, 1e-9);
 }
 
 TEST(Streaming, ForcedRebuildResetsAge) {

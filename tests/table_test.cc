@@ -139,5 +139,55 @@ TEST(DataMatrixTable, GetSeriesInfoOutOfRange) {
   EXPECT_EQ(table.GetSeriesInfo(0).status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(DataMatrixTable, CompactBeforeReclaimsWholeSegments) {
+  DataMatrixTable table(/*segment_capacity=*/4);
+  ASSERT_TRUE(table.RegisterSeries("a", "s", 1.0).ok());
+  ASSERT_TRUE(table.RegisterSeries("b", "s", 1.0).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.AppendRow({static_cast<double>(i), static_cast<double>(-i)}).ok());
+  }
+  EXPECT_EQ(table.CompactBefore(0), 0u);
+  // Row 6 lies in the second segment: only the first (rows 0–3) can go.
+  EXPECT_EQ(table.CompactBefore(6), 4u);
+  EXPECT_EQ(table.first_retained_row(), 4u);
+  EXPECT_EQ(table.row_count(), 10u);
+  EXPECT_EQ(table.retained_row_count(), 6u);
+  // Re-compacting below the retained frontier is a no-op.
+  EXPECT_EQ(table.CompactBefore(4), 0u);
+
+  auto snap = table.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->m(), 6u);
+  EXPECT_DOUBLE_EQ(snap->matrix()(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(snap->matrix()(5, 1), -9.0);
+
+  // Aggregates cover the retained rows only.
+  EXPECT_DOUBLE_EQ(*table.ColumnMin(0), 4.0);
+  EXPECT_DOUBLE_EQ(*table.ColumnSum(0), 4 + 5 + 6 + 7 + 8 + 9);
+
+  // Appends continue seamlessly after compaction.
+  ASSERT_TRUE(table.AppendRow({10.0, -10.0}).ok());
+  EXPECT_EQ(table.row_count(), 11u);
+  EXPECT_EQ(table.retained_row_count(), 7u);
+}
+
+TEST(DataMatrixTable, CompactBeforeEverythingEmptiesTable) {
+  DataMatrixTable table(/*segment_capacity=*/2);
+  ASSERT_TRUE(table.RegisterSeries("a", "s", 1.0).ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(table.AppendRow({1.0}).ok());
+  EXPECT_EQ(table.CompactBefore(4), 4u);
+  EXPECT_EQ(table.retained_row_count(), 0u);
+  EXPECT_FALSE(table.Snapshot().ok());
+  EXPECT_FALSE(table.ColumnMin(0).ok());
+  // The table still accepts rows (logical numbering continues).
+  ASSERT_TRUE(table.AppendRow({2.0}).ok());
+  EXPECT_EQ(table.row_count(), 5u);
+  EXPECT_EQ(table.retained_row_count(), 1u);
+  auto snap = table.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->m(), 1u);
+  EXPECT_DOUBLE_EQ(snap->matrix()(0, 0), 2.0);
+}
+
 }  // namespace
 }  // namespace affinity::storage
