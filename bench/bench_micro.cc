@@ -20,10 +20,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -35,15 +38,53 @@
 #include "core/affine.h"
 #include "core/framework.h"
 #include "core/lsfd.h"
+#include "core/streaming.h"
 #include "dft/fft.h"
 #include "la/solve.h"
 #include "la/svd.h"
+#include "shard/sharded.h"
 #include "ts/generators.h"
 #include "ts/stats.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: replacement operator new/delete so the
+// streaming/router hot-path benchmarks can report allocations per append
+// (the DESIGN.md §9 zero-allocation claim, measured rather than asserted).
+//
+// GCC treats the replaced operator new as the builtin and then flags the
+// malloc/free pairing at every inlined call site (false positive), so
+// silence that diagnostic file-wide.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) == 0) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace affinity;
+
+std::size_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
 
 la::Matrix RandomPair(std::size_t m, std::uint64_t seed) {
   Xoshiro256 rng(seed);
@@ -347,6 +388,89 @@ void BM_AffinityBuild(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_AffinityBuild)->Apply(ThreadArgs);
+
+// --- Append hot-path allocation accounting (DESIGN.md §9) ------------------
+
+/// Steady-state streaming append: rolling-moment updates plus the
+/// preallocated pending-row pool. `allocs_per_append` counts non-refresh
+/// appends only; the residue is segment-granular storage growth
+/// (~n/segment_capacity per append), not per-row buffers.
+void BM_StreamingAppendAllocs(benchmark::State& state) {
+  ts::DatasetSpec spec;
+  spec.num_series = 32;
+  spec.num_samples = 512;
+  spec.num_clusters = 4;
+  spec.seed = 11;
+  const ts::Dataset feed = ts::MakeStockData(spec);
+  core::StreamingOptions options;
+  options.window = 256;
+  options.rebuild_interval = 64;
+  options.mode = core::UpdateMode::kIncremental;
+  options.build.afclst.k = 4;
+  options.build.build_dft = false;
+  options.segment_capacity = 1024;
+  auto stream = core::StreamingAffinity::Create(feed.matrix.names(), options);
+  AFFINITY_CHECK(stream.ok());
+  std::vector<double> row(feed.matrix.n());
+  std::size_t next = 0;
+  const auto fill = [&]() {
+    for (std::size_t j = 0; j < feed.matrix.n(); ++j) {
+      row[j] = feed.matrix.matrix()(next % feed.matrix.m(), j);
+    }
+    ++next;
+  };
+  while (!stream->ready()) {
+    fill();
+    AFFINITY_CHECK(stream->Append(row).ok());
+  }
+  // One full interval warms the pending pool to its steady-state capacity.
+  for (std::size_t i = 0; i < options.rebuild_interval; ++i) {
+    fill();
+    AFFINITY_CHECK(stream->Append(row).ok());
+  }
+  std::size_t appends = 0;
+  std::size_t allocs = 0;
+  for (auto _ : state) {
+    fill();
+    const std::size_t before = AllocCount();
+    const auto result = stream->Append(row);
+    const std::size_t after = AllocCount();
+    AFFINITY_CHECK(result.ok());
+    if (!result.refreshed) {
+      allocs += after - before;
+      ++appends;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["allocs_per_append"] =
+      appends == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(appends);
+}
+BENCHMARK(BM_StreamingAppendAllocs);
+
+/// Router scatter: the per-shard row buffers are preallocated once, so a
+/// scatter is pure copying — `allocs_per_scatter` must be 0.
+void BM_RouterScatterAllocs(benchmark::State& state) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < 64; ++i) names.push_back("s" + std::to_string(i));
+  auto partitioner =
+      shard::SeriesPartitioner::Create(names, 8, shard::PartitionScheme::kHash);
+  AFFINITY_CHECK(partitioner.ok());
+  shard::ShardRouter router(std::move(*partitioner));
+  std::vector<double> row(64);
+  for (std::size_t j = 0; j < 64; ++j) row[j] = static_cast<double>(j) * 0.25;
+  std::size_t scatters = 0;
+  std::size_t allocs = 0;
+  for (auto _ : state) {
+    const std::size_t before = AllocCount();
+    const auto& scattered = router.Scatter(row);
+    allocs += AllocCount() - before;
+    ++scatters;
+    benchmark::DoNotOptimize(scattered);
+  }
+  state.counters["allocs_per_scatter"] =
+      scatters == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(scatters);
+}
+BENCHMARK(BM_RouterScatterAllocs);
 
 }  // namespace
 

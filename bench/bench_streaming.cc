@@ -1,5 +1,6 @@
 // Steady-state streaming refresh latency: incremental maintenance vs full
-// rebuild (DESIGN.md §8), over the synthetic stock generator.
+// rebuild (DESIGN.md §8), over the synthetic stock generator — plus the
+// sharded-router scaling sweep (DESIGN.md §9).
 //
 // For every (window, interval) configuration the harness feeds a
 // StreamingAffinity past its first build, then times each subsequent
@@ -9,21 +10,32 @@
 // build. The headline row is window=1024, interval=1, where the delta
 // path must be ≥ 5× faster.
 //
+// With --shards=LIST (e.g. --shards=1,8) the harness instead sweeps
+// `ShardedAffinity` at each shard count over one shared pool, timing the
+// steady-state interval (scatter appends + concurrent per-shard
+// incremental refreshes). The acceptance bar: 8-shard steady-state
+// refresh latency within 2× of the 1-shard configuration at the same
+// thread count (per-shard relationship counts shrink quadratically, so
+// sharding should win outright).
+//
 // Output: human-readable rows on stdout, plus google-benchmark-compatible
 // JSON with --benchmark_format=json [--benchmark_out=FILE] so CI can
 // upload a BENCH_*.json artifact without needing the benchmark library.
 //
 //   $ ./bench_streaming --quick
 //   $ ./bench_streaming --benchmark_format=json --benchmark_out=BENCH_streaming.json
+//   $ ./bench_streaming --quick --shards=1,8 --benchmark_out=BENCH_shard_streaming.json
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
 #include "core/streaming.h"
+#include "shard/sharded.h"
 #include "ts/generators.h"
 
 namespace {
@@ -47,6 +59,145 @@ struct Result {
 
 const char* ModeName(core::UpdateMode mode) {
   return mode == core::UpdateMode::kIncremental ? "incremental" : "rebuild";
+}
+
+struct ShardConfig {
+  std::size_t shards;
+  std::size_t threads;
+  std::size_t window;
+  std::size_t interval;
+};
+
+struct ShardResult {
+  ShardConfig config;
+  std::size_t refreshes = 0;
+  double mean_seconds = 0;
+  double min_seconds = 0;
+  std::size_t rekeys = 0;
+  std::size_t refits = 0;
+};
+
+ShardResult RunShardConfig(const ShardConfig& config, const ts::Dataset& feed,
+                           std::size_t measured) {
+  shard::ShardedOptions options;
+  options.shards = config.shards;
+  options.streaming.window = config.window;
+  options.streaming.rebuild_interval = config.interval;
+  options.streaming.mode = core::UpdateMode::kIncremental;
+  options.streaming.build.afclst.k = config.shards > 1 ? 3 : 6;
+  options.streaming.build.build_dft = false;
+  options.streaming.build.threads = config.threads;
+  auto service = shard::ShardedAffinity::Create(feed.matrix.names(), options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "sharded create failed: %s\n", service.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<double> row(feed.matrix.n());
+  std::size_t next = 0;
+  const auto append = [&]() {
+    for (std::size_t j = 0; j < feed.matrix.n(); ++j) {
+      row[j] = feed.matrix.matrix()(next % feed.matrix.m(), j);
+    }
+    ++next;
+    const auto result = service->Append(row);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sharded append failed: %s\n", result.status.ToString().c_str());
+      std::exit(1);
+    }
+    return result;
+  };
+
+  while (!service->ready()) append();
+  for (std::size_t i = 0; i < config.interval; ++i) append();
+
+  ShardResult out;
+  out.config = config;
+  out.min_seconds = 1e300;
+  double total = 0;
+  for (std::size_t r = 0; r < measured; ++r) {
+    Stopwatch watch;
+    bool refreshed = false;
+    for (std::size_t i = 0; i < config.interval; ++i) refreshed |= append().refreshed;
+    const double seconds = watch.ElapsedSeconds();
+    if (!refreshed) {
+      std::fprintf(stderr, "expected a refresh per interval\n");
+      std::exit(1);
+    }
+    total += seconds;
+    out.min_seconds = std::min(out.min_seconds, seconds);
+    ++out.refreshes;
+  }
+  out.mean_seconds = total / static_cast<double>(out.refreshes);
+  out.rekeys = service->maintenance().tree_rekeys;
+  out.refits = service->maintenance().relationships_refit;
+  return out;
+}
+
+int RunShardSweep(const std::vector<std::size_t>& shard_counts, bool quick, bool json,
+                  const std::string& out_path) {
+  ts::DatasetSpec spec;
+  spec.num_series = 128;
+  spec.num_samples = 2048;
+  spec.num_clusters = 6;
+  spec.noise_level = 0.015;
+  spec.seed = 7;
+  const ts::Dataset feed = ts::MakeStockData(spec);
+  const std::size_t measured = quick ? 8 : 32;
+  const std::size_t threads = 8;
+
+  std::vector<ShardConfig> configs;
+  for (const std::size_t shards : shard_counts) {
+    configs.push_back({shards, threads, 256, 16});
+    configs.push_back({shards, threads, 256, 1});
+  }
+
+  std::printf("# bench_streaming --shards — steady-state sharded refresh latency, "
+              "stock generator (n=%zu, threads=%zu)\n", spec.num_series, threads);
+  std::printf("shards,threads,window,interval,refreshes,mean_us,min_us\n");
+  std::vector<ShardResult> results;
+  for (const ShardConfig& config : configs) {
+    ShardResult r = RunShardConfig(config, feed, measured);
+    results.push_back(r);
+    std::printf("%zu,%zu,%zu,%zu,%zu,%.1f,%.1f\n", config.shards, config.threads, config.window,
+                config.interval, r.refreshes, r.mean_seconds * 1e6, r.min_seconds * 1e6);
+  }
+
+  // Scaling headline: each shard count vs the first listed (typically 1).
+  if (results.size() > 2) {
+    std::printf("\nshards,interval,speedup_vs_first\n");
+    for (std::size_t i = 2; i < results.size(); ++i) {
+      const ShardResult& base = results[i % 2];
+      const ShardResult& r = results[i];
+      std::printf("%zu,%zu,%.2fx\n", r.config.shards, r.config.interval,
+                  base.mean_seconds / r.mean_seconds);
+    }
+  }
+
+  if (json) {
+    FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"context\": {\"executable\": \"bench_streaming\", "
+                 "\"mode\": \"sharded\", \"num_series\": %zu, \"threads\": %zu},\n"
+                 "  \"benchmarks\": [\n", spec.num_series, threads);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ShardResult& r = results[i];
+      std::fprintf(out,
+                   "    {\"name\": \"shard_refresh/shards:%zu/threads:%zu/window:%zu/"
+                   "interval:%zu\", \"run_type\": \"iteration\", \"iterations\": %zu, "
+                   "\"real_time\": %.3f, \"cpu_time\": %.3f, \"time_unit\": \"us\", "
+                   "\"rekeys\": %zu, \"refits\": %zu}%s\n",
+                   r.config.shards, r.config.threads, r.config.window, r.config.interval,
+                   r.refreshes, r.mean_seconds * 1e6, r.mean_seconds * 1e6, r.rekeys, r.refits,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (!out_path.empty()) std::fclose(out);
+  }
+  return 0;
 }
 
 Result RunConfig(const Config& config, const ts::Dataset& feed, std::size_t measured) {
@@ -110,15 +261,31 @@ int main(int argc, char** argv) {
   bool json = false;
   bool quick = false;
   std::string out_path;
+  std::vector<std::size_t> shard_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
     else if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) out_path = argv[i] + 16;
     else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--benchmark_format=json] [--benchmark_out=FILE]\n",
-                  argv[0]);
+    else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      for (const char* p = argv[i] + 9; *p != '\0';) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || v == 0) {
+          std::fprintf(stderr, "bad --shards list\n");
+          return 1;
+        }
+        shard_counts.push_back(static_cast<std::size_t>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--quick] [--shards=N,M,...] [--benchmark_format=json] "
+                  "[--benchmark_out=FILE]\n", argv[0]);
       return 0;
     }
+  }
+
+  if (!shard_counts.empty()) {
+    return RunShardSweep(shard_counts, quick, json, out_path);
   }
 
   // Synthetic stock generator (Table 3 stand-in) at a width that keeps the

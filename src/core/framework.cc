@@ -22,12 +22,31 @@ StatusOr<Affinity> Affinity::Build(const ts::DataMatrix& data, const AffinityOpt
 StatusOr<Affinity> Affinity::BuildWith(const ts::DataMatrix& data, const AffinityOptions& options,
                                        const ExecContext& exec) {
   Stopwatch total;
+  AFFINITY_ASSIGN_OR_RETURN(AffinityModel model,
+                            BuildAffinityModel(data, options.afclst, options.symex, exec));
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, FromModelWith(std::move(model), options, exec));
+  fw.profile_.total_seconds = total.ElapsedSeconds();  // include the model build
+  return fw;
+}
+
+StatusOr<Affinity> Affinity::FromModel(AffinityModel model, const AffinityOptions& options) {
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
+  }
+  ExecContext exec{pool.get()};
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, FromModelWith(std::move(model), options, exec));
+  fw.pool_ = std::move(pool);  // transfer ownership; exec_ already points at it
+  return fw;
+}
+
+StatusOr<Affinity> Affinity::FromModelWith(AffinityModel model, const AffinityOptions& options,
+                                           const ExecContext& exec) {
+  Stopwatch total;
   Affinity fw;
   fw.exec_ = exec;
   fw.profile_.threads = exec.threads();
 
-  AFFINITY_ASSIGN_OR_RETURN(AffinityModel model,
-                            BuildAffinityModel(data, options.afclst, options.symex, exec));
   fw.model_ = std::make_unique<AffinityModel>(std::move(model));
   fw.profile_.afclst_seconds = fw.model_->stats().afclst_seconds;
   fw.profile_.symex_seconds = fw.model_->stats().march_seconds;

@@ -74,6 +74,19 @@ class Affinity {
   static StatusOr<Affinity> BuildWith(const ts::DataMatrix& data, const AffinityOptions& options,
                                       const ExecContext& exec);
 
+  /// Reassembles a queryable framework around an already-built model —
+  /// one restored by `LoadModel` or carried in a shard manifest
+  /// (serialize.h) — rebuilding the SCAPE index and WF sketches per
+  /// `options` without re-running AFCLST / SYMEX+ (rebuilding the index
+  /// from a model is linear and fast, Fig. 14). Pool ownership follows
+  /// `Build`: `options.threads` sizes a framework-owned pool.
+  static StatusOr<Affinity> FromModel(AffinityModel model, const AffinityOptions& options = {});
+
+  /// As FromModel over a caller-supplied execution context (the pool must
+  /// outlive the framework; `options.threads` is ignored).
+  static StatusOr<Affinity> FromModelWith(AffinityModel model, const AffinityOptions& options,
+                                          const ExecContext& exec);
+
   Affinity(Affinity&&) noexcept = default;
   Affinity& operator=(Affinity&&) noexcept = default;
 

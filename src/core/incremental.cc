@@ -258,13 +258,22 @@ Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
 
 StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<double>>& rows,
                                               const ExecContext& exec) {
+  return Advance(rows, rows.size(), exec);
+}
+
+StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<double>>& rows,
+                                              std::size_t count, const ExecContext& exec) {
   Stopwatch watch;
   const std::size_t w = window_;
-  const std::size_t d = rows.size();
+  if (count > rows.size()) {
+    return Status::InvalidArgument("Advance count " + std::to_string(count) + " exceeds " +
+                                   std::to_string(rows.size()) + " supplied rows");
+  }
+  const std::size_t d = count;
   if (d == 0) return false;
-  for (const auto& row : rows) {
-    if (row.size() != n_) {
-      return Status::InvalidArgument("row has " + std::to_string(row.size()) +
+  for (std::size_t i = 0; i < d; ++i) {
+    if (rows[i].size() != n_) {
+      return Status::InvalidArgument("row has " + std::to_string(rows[i].size()) +
                                      " values, stream has " + std::to_string(n_) + " series");
     }
   }
@@ -390,6 +399,38 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
   if (escalate) ++profile_.escalations;
   profile_.last_refresh_seconds = watch.ElapsedSeconds();
   return escalate;
+}
+
+MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>& shards) {
+  MaintenanceProfile out;
+  std::size_t with_residual = 0;
+  double residual_sum = 0.0;
+  double baseline_sum = 0.0;
+  for (const MaintenanceProfile& p : shards) {
+    out.refreshes += p.refreshes;
+    out.rows_absorbed += p.rows_absorbed;
+    out.relationships_updated += p.relationships_updated;
+    out.relationships_refit += p.relationships_refit;
+    out.tree_rekeys += p.tree_rekeys;
+    out.escalations += p.escalations;
+    out.last_rows_absorbed += p.last_rows_absorbed;
+    out.last_relationships_updated += p.last_relationships_updated;
+    out.last_relationships_refit += p.last_relationships_refit;
+    out.last_tree_rekeys += p.last_tree_rekeys;
+    // Shards refresh concurrently: the slowest one is the latency the
+    // router's append actually paid.
+    out.last_refresh_seconds = std::max(out.last_refresh_seconds, p.last_refresh_seconds);
+    if (p.baseline_mean_residual > 0.0 || p.mean_relative_residual > 0.0) {
+      ++with_residual;
+      residual_sum += p.mean_relative_residual;
+      baseline_sum += p.baseline_mean_residual;
+    }
+  }
+  if (with_residual > 0) {
+    out.mean_relative_residual = residual_sum / static_cast<double>(with_residual);
+    out.baseline_mean_residual = baseline_sum / static_cast<double>(with_residual);
+  }
+  return out;
 }
 
 }  // namespace affinity::core

@@ -87,7 +87,35 @@ struct MaintenanceProfile {
   /// drift-monitor signal) and its baseline at the last full build.
   double mean_relative_residual = 0.0;
   double baseline_mean_residual = 0.0;
+
+  /// Folds one refresh's accounting (a maintainer's `last_*` readings plus
+  /// its residual levels) into this cumulative record — used by the stream
+  /// to accumulate across maintainer generations and by the shard router
+  /// to aggregate across shards. Cumulative counters add; `last_*` and the
+  /// residual levels copy (callers aggregating shards combine them with
+  /// AggregateShardProfiles instead, which maxes latency and averages
+  /// residuals).
+  void AbsorbRefresh(const MaintenanceProfile& refresh) {
+    ++refreshes;
+    rows_absorbed += refresh.last_rows_absorbed;
+    relationships_updated += refresh.last_relationships_updated;
+    relationships_refit += refresh.last_relationships_refit;
+    tree_rekeys += refresh.last_tree_rekeys;
+    last_refresh_seconds = refresh.last_refresh_seconds;
+    last_rows_absorbed = refresh.last_rows_absorbed;
+    last_relationships_updated = refresh.last_relationships_updated;
+    last_relationships_refit = refresh.last_relationships_refit;
+    last_tree_rekeys = refresh.last_tree_rekeys;
+    mean_relative_residual = refresh.mean_relative_residual;
+    baseline_mean_residual = refresh.baseline_mean_residual;
+  }
 };
+
+/// Cross-shard aggregation of per-shard maintenance accounting: counters
+/// sum, `last_refresh_seconds` takes the slowest shard (shards refresh
+/// concurrently, so the max is the wall-clock the router saw), residual
+/// levels average over shards that have one.
+MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>& shards);
 
 /// Slides a built (model, index) pair along the stream. Create() captures
 /// the frozen structure and the accumulators from a freshly built model;
@@ -109,6 +137,13 @@ class IncrementalMaintainer {
   /// still completed, so the snapshot stays coherent either way).
   StatusOr<bool> Advance(const std::vector<std::vector<double>>& rows,
                          const ExecContext& exec = {});
+
+  /// As above, consuming only the first `count` entries of `rows` — the
+  /// shape that lets the streaming layer hand over a preallocated row pool
+  /// whose capacity never shrinks, keeping the append hot path
+  /// allocation-free (DESIGN.md §9). `count` must be ≤ rows.size().
+  StatusOr<bool> Advance(const std::vector<std::vector<double>>& rows, std::size_t count,
+                         const ExecContext& exec);
 
   /// Maintenance accounting.
   const MaintenanceProfile& profile() const { return profile_; }

@@ -58,16 +58,31 @@ double QueryPlanner::NaiveUnitCost(Measure measure) const {
   return m;
 }
 
+PlanChoice QueryPlanner::Shardify(PlanChoice choice, Measure measure) const {
+  if (topology_.shards <= 1 || IsLocation(measure)) return choice;
+  // Pairs spanning two shards are outside every per-shard model/index; the
+  // router computes them from scratch over the aligned shard snapshots,
+  // then k-way-merges the per-shard and cross-shard runs.
+  const double cross =
+      static_cast<double>(topology_.cross_pairs) * NaiveUnitCost(measure);
+  choice.estimated_cost += cross;
+  choice.rationale += "; scatter-gather over " + std::to_string(topology_.shards) +
+                      " shards (+" + std::to_string(topology_.cross_pairs) +
+                      " cross-shard pairs via WN, k-way merge)";
+  return choice;
+}
+
 PlanChoice QueryPlanner::PlanMec(Measure measure, std::size_t ids) const {
   const double entities = IsLocation(measure)
                               ? static_cast<double>(ids)
                               : static_cast<double>(ids) * static_cast<double>(ids + 1) / 2.0;
   const double wn_cost = entities * NaiveUnitCost(measure);
   if (caps_.has_model) {
-    return PlanChoice{QueryMethod::kAffine, entities * kLookupCost,
-                      "WA: O(1) propagation per requested entity (model available)"};
+    return Shardify(PlanChoice{QueryMethod::kAffine, entities * kLookupCost,
+                               "WA: O(1) propagation per requested entity (model available)"},
+                    measure);
   }
-  return PlanChoice{QueryMethod::kNaive, wn_cost, "WN: no model built"};
+  return Shardify(PlanChoice{QueryMethod::kNaive, wn_cost, "WN: no model built"}, measure);
 }
 
 PlanChoice QueryPlanner::PlanSelection(Measure measure, double selectivity, bool top_k,
@@ -84,21 +99,25 @@ PlanChoice QueryPlanner::PlanSelection(Measure measure, double selectivity, bool
     PlanChoice choice{QueryMethod::kScape, descent + emitted * kTreeStep,
                       top_k ? "SCAPE: threshold-algorithm top-k over pivot trees"
                             : "SCAPE: key-range scan per pivot, no per-entity computation"};
-    return choice;
+    return Shardify(std::move(choice), measure);
   }
   if (caps_.has_model) {
-    return PlanChoice{QueryMethod::kAffine, entities * kLookupCost,
-                      indexable ? "WA: model available but SCAPE not built"
-                                : "WA: measure not SCAPE-indexable (no separable normalizer)"};
+    return Shardify(
+        PlanChoice{QueryMethod::kAffine, entities * kLookupCost,
+                   indexable ? "WA: model available but SCAPE not built"
+                             : "WA: measure not SCAPE-indexable (no separable normalizer)"},
+        measure);
   }
   // WF is never chosen automatically — its sketch truncation is a coarse
   // approximation; callers wanting it request kDft explicitly. The
   // rationale still reports its availability.
   const bool wf_applies = caps_.has_dft && measure == Measure::kCorrelation;
-  return PlanChoice{QueryMethod::kNaive, entities * NaiveUnitCost(measure),
-                    wf_applies ? "WN: no model or index built (WF sketches available but "
-                                 "approximate; request WF explicitly)"
-                               : "WN: no model or index built"};
+  return Shardify(
+      PlanChoice{QueryMethod::kNaive, entities * NaiveUnitCost(measure),
+                 wf_applies ? "WN: no model or index built (WF sketches available but "
+                              "approximate; request WF explicitly)"
+                            : "WN: no model or index built"},
+      measure);
 }
 
 PlanChoice QueryPlanner::PlanMet(Measure measure, double selectivity) const {

@@ -59,8 +59,22 @@ class QueryPlanner {
     bool has_dft = false;    ///< WF sketches
   };
 
-  QueryPlanner(std::size_t n, std::size_t m, Capabilities caps)
-      : n_(n), m_(m), caps_(caps) {}
+  /// Shard topology of the deployment answering the query. The default is
+  /// the unsharded (single-instance) case. With `shards > 1` the planner
+  /// plans the *per-shard* strategy (n then means series per shard) and
+  /// charges every candidate the scatter-gather surcharge: pairs spanning
+  /// two shards are invisible to every per-shard structure, so the router
+  /// evaluates them naively over the aligned shard snapshots (query.h's
+  /// `EvaluateCrossPairs`) whatever strategy the shards run.
+  struct Topology {
+    std::size_t shards = 1;       ///< independent model instances
+    std::size_t cross_pairs = 0;  ///< sequence pairs spanning two shards
+  };
+
+  QueryPlanner(std::size_t n, std::size_t m, Capabilities caps) : n_(n), m_(m), caps_(caps) {}
+
+  QueryPlanner(std::size_t n, std::size_t m, Capabilities caps, Topology topology)
+      : n_(n), m_(m), caps_(caps), topology_(topology) {}
 
   /// Plans Query 1 for a ψ of `ids` series.
   PlanChoice PlanMec(Measure measure, std::size_t ids) const;
@@ -83,9 +97,16 @@ class QueryPlanner {
   PlanChoice PlanSelection(Measure measure, double selectivity, bool top_k,
                            std::size_t k) const;
 
+  /// Adds the scatter-gather surcharge (cross-shard WN sweep + k-way
+  /// merge) to a per-shard plan and annotates the rationale. Identity when
+  /// the topology is unsharded or the measure is per-series (L-measures
+  /// never span shards).
+  PlanChoice Shardify(PlanChoice choice, Measure measure) const;
+
   std::size_t n_;
   std::size_t m_;
   Capabilities caps_;
+  Topology topology_{};
 };
 
 }  // namespace affinity::core

@@ -12,10 +12,6 @@ namespace affinity::core {
 
 namespace {
 
-bool KeepGreater(double value, double tau, double /*unused*/) { return value > tau; }
-bool KeepLesser(double value, double tau, double /*unused*/) { return value < tau; }
-bool KeepInside(double value, double lo, double hi) { return lo < value && value < hi; }
-
 /// Number of pairs (u', v') with u' < u, in the lexicographic (u, v) order
 /// used by every sweep: f(u) = u·(2n − u − 1)/2.
 std::size_t PairsBeforeRow(std::size_t u, std::size_t n) {
@@ -47,6 +43,28 @@ void NextPair(std::size_t n, std::size_t* u, std::size_t* v) {
 }
 
 }  // namespace
+
+StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
+                                                 const std::vector<CrossPair>& pairs,
+                                                 std::size_t m, const ExecContext& exec) {
+  if (IsLocation(measure)) {
+    return Status::InvalidArgument("cross-shard evaluation covers pair measures only");
+  }
+  std::vector<double> values(pairs.size());
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec, pairs.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (pairs[i].u == nullptr || pairs[i].v == nullptr) {
+            return Status::InvalidArgument("cross-shard pair with unresolved columns");
+          }
+          auto value = NaivePairMeasure(measure, pairs[i].u, pairs[i].v, m);
+          if (!value.ok()) return value.status();
+          values[i] = *value;
+        }
+        return Status::OK();
+      }));
+  return values;
+}
 
 QueryEngine::QueryEngine(const ts::DataMatrix* data) : data_(data) {
   AFFINITY_CHECK(data != nullptr);

@@ -98,6 +98,34 @@ struct TopKResult : ScapeTopKResult {
   ExecutedPlan plan;
 };
 
+/// The selection predicates — keep(value, a, b) — shared by the engine's
+/// MET/MER sweeps, the streaming freshness-blend path, and the shard
+/// router's cross-shard sweep, so bound semantics (strict comparisons,
+/// open ranges) are defined exactly once.
+inline bool KeepGreater(double value, double tau, double /*unused*/) { return value > tau; }
+inline bool KeepLesser(double value, double tau, double /*unused*/) { return value < tau; }
+inline bool KeepInside(double value, double lo, double hi) { return lo < value && value < hi; }
+
+/// One cross-shard pair scheduled for naive evaluation: the global
+/// sequence pair plus its two aligned column spans, each resolved by the
+/// caller from (possibly different) shard snapshots.
+struct CrossPair {
+  ts::SequencePair pair;
+  const double* u = nullptr;
+  const double* v = nullptr;
+};
+
+/// Evaluates `measure` for every cross-shard pair from scratch (WN) over
+/// its aligned length-`m` column spans — the cross-shard half of a
+/// scatter-gather MET/MER/MEC/top-k (DESIGN.md §9). No per-shard model or
+/// index covers a pair spanning two shards, so the router resolves each
+/// pair's columns against the shard snapshots and sweeps them here as a
+/// deterministic chunked parallel loop over `exec`. Values are returned
+/// index-aligned with `pairs`. InvalidArgument for L-measures.
+StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
+                                                 const std::vector<CrossPair>& pairs,
+                                                 std::size_t m, const ExecContext& exec = {});
+
 /// Strategy-dispatching query processor.
 ///
 /// The engine never owns its inputs; the caller guarantees that `data` (and

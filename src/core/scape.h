@@ -104,6 +104,14 @@ struct ScapeTopKResult {
   std::size_t examined = 0;
 };
 
+/// K-way heap merge of best-first top-k runs (the gather half of a
+/// scatter-gather top-k, DESIGN.md §9): each run must already be ordered
+/// best-first under `largest`; the merged result is the global best `k`
+/// entries. Ties in value break by (series, pair) so the merged order is
+/// deterministic regardless of how entries were distributed over runs.
+/// `examined` counts are summed.
+ScapeTopKResult MergeTopK(const std::vector<ScapeTopKResult>& runs, std::size_t k, bool largest);
+
 /// The SCAPE index. Built once from an AffinityModel snapshot; queries are
 /// read-only and lock-free.
 class ScapeIndex {

@@ -244,4 +244,41 @@ StatusOr<ScapeTopKResult> ScapeIndex::TopK(Measure measure, std::size_t k, bool 
   return result;
 }
 
+ScapeTopKResult MergeTopK(const std::vector<ScapeTopKResult>& runs, std::size_t k,
+                          bool largest) {
+  // "a better than b" in the query direction, with a deterministic
+  // (series, pair) tiebreak so merged order never depends on run layout.
+  const auto better = [largest](const ScapeTopKEntry& a, const ScapeTopKEntry& b) {
+    if (a.value != b.value) return largest ? a.value > b.value : a.value < b.value;
+    if (a.series != b.series) return a.series < b.series;
+    return a.pair < b.pair;
+  };
+
+  // Frontier heap over run heads: each run is already best-first, so the
+  // globally best unmerged entry is always some run's head.
+  struct Head {
+    std::size_t run;
+    std::size_t pos;
+  };
+  ScapeTopKResult out;
+  const auto worse_head = [&](const Head& a, const Head& b) {
+    return better(runs[b.run].entries[b.pos], runs[a.run].entries[a.pos]);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(worse_head)> frontier(worse_head);
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    out.examined += runs[r].examined;
+    if (!runs[r].entries.empty()) frontier.push(Head{r, 0});
+  }
+  out.entries.reserve(k);
+  while (out.entries.size() < k && !frontier.empty()) {
+    const Head head = frontier.top();
+    frontier.pop();
+    out.entries.push_back(runs[head.run].entries[head.pos]);
+    if (head.pos + 1 < runs[head.run].entries.size()) {
+      frontier.push(Head{head.run, head.pos + 1});
+    }
+  }
+  return out;
+}
+
 }  // namespace affinity::core

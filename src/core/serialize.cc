@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <vector>
 
 namespace affinity::core {
@@ -155,6 +157,13 @@ PairMatrixMeasures ReadMeasures(Reader* r) {
 Status SaveModel(const AffinityModel& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  AFFINITY_RETURN_IF_ERROR(WriteModelStream(model, out));
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status WriteModelStream(const AffinityModel& model, std::ostream& out) {
   Writer w(&out);
 
   out.write(kMagic, sizeof kMagic);
@@ -225,20 +234,27 @@ Status SaveModel(const AffinityModel& model, const std::string& path) {
   w.F64(model.stats_.march_seconds);
   w.F64(model.stats_.preprocess_seconds);
 
-  out.flush();
-  if (!out) return Status::IoError("write to '" + path + "' failed");
+  if (!w.ok()) return Status::IoError("model stream write failed");
   return Status::OK();
 }
 
 StatusOr<AffinityModel> LoadModel(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  auto model = ReadModelStream(in);
+  if (!model.ok()) {
+    return Status(model.status().code(), "'" + path + "': " + model.status().message());
+  }
+  return model;
+}
+
+StatusOr<AffinityModel> ReadModelStream(std::istream& in) {
   Reader r(&in);
 
   char magic[4] = {};
   in.read(magic, sizeof magic);
   if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("'" + path + "' is not an AFFINITY model file");
+    return Status::InvalidArgument("not an AFFINITY model payload");
   }
   const std::uint32_t version = r.U32();
   if (version != kModelFormatVersion) {
@@ -251,11 +267,11 @@ StatusOr<AffinityModel> LoadModel(const std::string& path) {
   la::Matrix values = ReadMatrix(&r);
   const std::size_t name_count = r.Size(1u << 28);
   if (!r.ok() || name_count != values.cols()) {
-    return Status::InvalidArgument("'" + path + "': corrupt data-matrix section");
+    return Status::InvalidArgument("corrupt data-matrix section");
   }
   std::vector<std::string> names(name_count);
   for (auto& name : names) name = r.Str();
-  if (!r.ok()) return Status::InvalidArgument("'" + path + "': corrupt names section");
+  if (!r.ok()) return Status::InvalidArgument("corrupt names section");
   model.data_ = ts::DataMatrix(std::move(values), std::move(names));
 
   model.clustering_.centers = ReadMatrix(&r);
@@ -267,7 +283,7 @@ StatusOr<AffinityModel> LoadModel(const std::string& path) {
   model.clustering_.projection_errors.resize(proj_count);
   r.F64Span(model.clustering_.projection_errors.data(), proj_count);
   if (!r.ok() || assign_count != model.data_.n()) {
-    return Status::InvalidArgument("'" + path + "': corrupt clustering section");
+    return Status::InvalidArgument("corrupt clustering section");
   }
 
   const std::size_t rel_count = r.Size(1u << 30);
@@ -310,7 +326,7 @@ StatusOr<AffinityModel> LoadModel(const std::string& path) {
     sa.offset = r.F64();
   }
   if (!r.ok() || stats_count != model.data_.n() || affine_count != model.data_.n()) {
-    return Status::InvalidArgument("'" + path + "': corrupt per-series section");
+    return Status::InvalidArgument("corrupt per-series section");
   }
 
   const std::size_t loc_rows = r.Size(16);
@@ -329,10 +345,10 @@ StatusOr<AffinityModel> LoadModel(const std::string& path) {
   model.stats_.march_seconds = r.F64();
   model.stats_.preprocess_seconds = r.F64();
 
-  if (!r.ok()) return Status::InvalidArgument("'" + path + "': truncated or corrupt payload");
+  if (!r.ok()) return Status::InvalidArgument("truncated or corrupt payload");
   if (model.stats_.relationships != model.aff_hash_.size() ||
       model.stats_.pivots != model.pivot_hash_.size()) {
-    return Status::InvalidArgument("'" + path + "': inconsistent section counts");
+    return Status::InvalidArgument("inconsistent section counts");
   }
   return model;
 }

@@ -16,7 +16,13 @@
 /// is linear and fast (Fig. 14), and that keeps the format free of B-tree
 /// layout details. Byte order is native (documented non-goal: moving model
 /// files between endiannesses).
+///
+/// The stream-level entry points (`WriteModelStream` / `ReadModelStream`)
+/// expose the same framed payload over an open stream — the unit a shard
+/// manifest (src/shard) embeds once per shard, so a whole sharded
+/// deployment round-trips through one file.
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -34,6 +40,16 @@ Status SaveModel(const AffinityModel& model, const std::string& path);
 /// IoError when unreadable; InvalidArgument on bad magic, unsupported
 /// version, or a truncated/corrupt payload.
 StatusOr<AffinityModel> LoadModel(const std::string& path);
+
+/// Writes one framed model payload (magic + version + body) to an open
+/// binary stream, leaving the stream positioned after it — composable:
+/// a manifest writes its own header, then N of these back to back.
+/// IoError when the stream fails.
+Status WriteModelStream(const AffinityModel& model, std::ostream& out);
+
+/// Reads one framed model payload from an open binary stream (the inverse
+/// of WriteModelStream), leaving the stream positioned after it.
+StatusOr<AffinityModel> ReadModelStream(std::istream& in);
 
 }  // namespace affinity::core
 

@@ -1,6 +1,7 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace affinity::core {
 
@@ -15,13 +16,17 @@ std::size_t DeriveSegmentCapacity(const StreamingOptions& options) {
 
 }  // namespace
 
-StatusOr<StreamingAffinity> StreamingAffinity::Create(const std::vector<std::string>& names,
-                                                      const StreamingOptions& options) {
-  if (names.size() < 2) {
-    return Status::InvalidArgument("streaming requires at least 2 series");
+Status ValidateStreamingOptions(const StreamingOptions& options, std::size_t series_count) {
+  if (series_count < 2) {
+    return Status::InvalidArgument("streaming requires at least 2 series (have " +
+                                   std::to_string(series_count) + ")");
   }
   if (options.window < 2) {
     return Status::InvalidArgument("streaming requires window >= 2");
+  }
+  if (options.window > (std::size_t{1} << 24)) {
+    return Status::InvalidArgument("window " + std::to_string(options.window) +
+                                   " exceeds the 2^24 sanity bound");
   }
   if (options.rebuild_interval < 1) {
     return Status::InvalidArgument("streaming requires rebuild_interval >= 1");
@@ -29,22 +34,147 @@ StatusOr<StreamingAffinity> StreamingAffinity::Create(const std::vector<std::str
   if (options.incremental.exact_refit_period < 1) {
     return Status::InvalidArgument("streaming requires exact_refit_period >= 1");
   }
-  storage::DataMatrixTable table(DeriveSegmentCapacity(options));
-  for (const std::string& name : names) {
-    AFFINITY_RETURN_IF_ERROR(table.RegisterSeries(name, "stream", 1.0).status());
+  if (options.incremental.escalation_factor <= 0.0) {
+    return Status::InvalidArgument("streaming requires escalation_factor > 0");
   }
+  return Status::OK();
+}
+
+double BlendPairMeasure(Measure measure, double snapshot_corr, double snapshot_value,
+                        const ts::RollingStats& u, const ts::RollingStats& v) {
+  const double m = static_cast<double>(u.count());
+  if (m == 0.0) return snapshot_value;
+  const double var_u = u.Variance();
+  const double var_v = v.Variance();
+  // The blended covariance: snapshot correlation × live scales. A live
+  // constant series has zero covariance with anything, exactly.
+  const double cov = (var_u > 0.0 && var_v > 0.0)
+                         ? snapshot_corr * std::sqrt(var_u * var_v)
+                         : 0.0;
+  // Population identity Σuv = m·(cov + mean_u·mean_v) lifts the blend to
+  // the dot product, and the live energies normalize the rest.
+  const double dot = m * (cov + u.Mean() * v.Mean());
+  switch (measure) {
+    case Measure::kCovariance:
+      return cov;
+    case Measure::kCorrelation:
+      // Scale-free: the live marginals carry no cross information.
+      return snapshot_corr;
+    case Measure::kDotProduct:
+      return dot;
+    case Measure::kCosine: {
+      const double denom = std::sqrt(u.SumSquares() * v.SumSquares());
+      return denom > 0.0 ? dot / denom : snapshot_value;
+    }
+    case Measure::kJaccard: {
+      const double denom = u.SumSquares() + v.SumSquares() - dot;
+      return denom != 0.0 ? dot / denom : snapshot_value;
+    }
+    case Measure::kDice: {
+      const double denom = u.SumSquares() + v.SumSquares();
+      return denom > 0.0 ? 2.0 * dot / denom : snapshot_value;
+    }
+    default:
+      return snapshot_value;  // L-measures are not pair measures
+  }
+}
+
+StatusOr<StreamingAffinity> StreamingAffinity::Create(const std::vector<std::string>& names,
+                                                      const StreamingOptions& options) {
+  AFFINITY_RETURN_IF_ERROR(ValidateStreamingOptions(options, names.size()));
   // One pool for the stream's lifetime: every refresh reuses it, so the
   // per-refresh cost is the refresh itself, never thread setup.
   std::unique_ptr<ThreadPool> pool;
   if (options.build.threads != 1) {
     pool = std::make_unique<ThreadPool>(options.build.threads);
   }
-  StreamingAffinity stream(std::move(table), options, std::move(pool));
-  stream.rolling_.reserve(names.size());
-  for (std::size_t j = 0; j < names.size(); ++j) {
-    stream.rolling_.emplace_back(options.window);
+  ExecContext exec{pool.get()};
+  storage::DataMatrixTable table(DeriveSegmentCapacity(options));
+  for (const std::string& name : names) {
+    if (name.empty()) return Status::InvalidArgument("series names must be non-empty");
+    AFFINITY_RETURN_IF_ERROR(table.RegisterSeries(name, "stream", 1.0).status());
+  }
+  StreamingAffinity stream(std::move(table), options, std::move(pool), exec);
+  stream.InitBuffers(names.size());
+  return stream;
+}
+
+StatusOr<StreamingAffinity> StreamingAffinity::CreateWith(const std::vector<std::string>& names,
+                                                          const StreamingOptions& options,
+                                                          const ExecContext& exec) {
+  AFFINITY_RETURN_IF_ERROR(ValidateStreamingOptions(options, names.size()));
+  storage::DataMatrixTable table(DeriveSegmentCapacity(options));
+  for (const std::string& name : names) {
+    if (name.empty()) return Status::InvalidArgument("series names must be non-empty");
+    AFFINITY_RETURN_IF_ERROR(table.RegisterSeries(name, "stream", 1.0).status());
+  }
+  StreamingAffinity stream(std::move(table), options, nullptr, exec);
+  stream.InitBuffers(names.size());
+  return stream;
+}
+
+StatusOr<StreamingAffinity> StreamingAffinity::Restore(AffinityModel model,
+                                                       const StreamingOptions& options,
+                                                       const ExecContext& exec) {
+  const std::size_t n = model.data().n();
+  const std::size_t m = model.data().m();
+  AFFINITY_RETURN_IF_ERROR(ValidateStreamingOptions(options, n));
+  if (m != options.window) {
+    return Status::InvalidArgument("checkpointed window has " + std::to_string(m) +
+                                   " rows but options.window is " +
+                                   std::to_string(options.window));
+  }
+  // The checkpointed window becomes the resident table content; logical
+  // row numbering restarts at `window`.
+  storage::DataMatrixTable table(DeriveSegmentCapacity(options));
+  for (const std::string& name : model.data().names()) {
+    if (name.empty()) return Status::InvalidArgument("series names must be non-empty");
+    AFFINITY_RETURN_IF_ERROR(table.RegisterSeries(name, "stream", 1.0).status());
+  }
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row[j] = model.data().matrix()(i, j);
+    AFFINITY_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  StreamingAffinity stream(std::move(table), options, nullptr, exec);
+  stream.InitBuffers(n);
+  // Replay the window through the rolling moments so the live marginals
+  // match the restored snapshot exactly.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) stream.rolling_[j].Push(model.data().matrix()(i, j));
+  }
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw,
+                            Affinity::FromModelWith(std::move(model), options.build, exec));
+  stream.framework_ = std::make_unique<Affinity>(std::move(fw));
+  stream.rows_ = m;
+  stream.snapshot_row_ = m;
+  stream.rebuilds_ = 1;
+  if (options.mode == UpdateMode::kIncremental) {
+    AFFINITY_ASSIGN_OR_RETURN(
+        IncrementalMaintainer maintainer,
+        IncrementalMaintainer::Create(stream.framework_->mutable_model(),
+                                      stream.framework_->mutable_scape(), options.incremental,
+                                      exec));
+    stream.maintainer_ = std::make_unique<IncrementalMaintainer>(std::move(maintainer));
+    stream.maintenance_.mean_relative_residual =
+        stream.maintainer_->profile().mean_relative_residual;
+    stream.maintenance_.baseline_mean_residual =
+        stream.maintainer_->profile().baseline_mean_residual;
   }
   return stream;
+}
+
+void StreamingAffinity::InitBuffers(std::size_t series_count) {
+  rolling_.reserve(series_count);
+  for (std::size_t j = 0; j < series_count; ++j) {
+    rolling_.emplace_back(options_.window);
+  }
+  if (options_.mode == UpdateMode::kIncremental) {
+    // One interval of rows, preallocated once: the append hot path copies
+    // into this pool and never allocates in steady state.
+    pending_.resize(options_.rebuild_interval);
+    for (auto& pending_row : pending_) pending_row.reserve(series_count);
+  }
 }
 
 AppendResult StreamingAffinity::Append(const std::vector<double>& row) {
@@ -53,11 +183,13 @@ AppendResult StreamingAffinity::Append(const std::vector<double>& row) {
   if (!out.status.ok()) return out;
   ++rows_;
   ++rows_since_refresh_;
-  // O(1)-per-sample window moments (ts/rolling): the between-refresh
-  // freshness signal, live even while the snapshot ages.
+  // O(1)-per-sample window moments (ts/rolling): the live marginals behind
+  // the freshness blend, current even while the snapshot ages.
   for (std::size_t j = 0; j < row.size(); ++j) rolling_[j].Push(row[j]);
   if (options_.mode == UpdateMode::kIncremental && framework_ != nullptr) {
-    pending_.push_back(row);
+    if (pending_used_ == pending_.size()) pending_.emplace_back();
+    pending_[pending_used_].assign(row.begin(), row.end());
+    ++pending_used_;
   }
   if (rows_ >= options_.window &&
       (framework_ == nullptr || rows_since_refresh_ >= options_.rebuild_interval)) {
@@ -75,8 +207,8 @@ AppendResult StreamingAffinity::Refresh() {
   AppendResult out;
   if (options_.mode == UpdateMode::kIncremental && maintainer_ != nullptr) {
     out.mode = UpdateMode::kIncremental;
-    auto escalate = maintainer_->Advance(pending_, exec());
-    pending_.clear();
+    auto escalate = maintainer_->Advance(pending_, pending_used_, exec_);
+    pending_used_ = 0;
     if (!escalate.ok()) {
       // The maintainer may be half-mutated; recover by re-freezing the
       // whole stack from the table (the rows are all still there) rather
@@ -89,19 +221,7 @@ AppendResult StreamingAffinity::Refresh() {
     }
     // Accumulate maintenance accounting across maintainer generations
     // (escalation re-freezes the structure and resets the maintainer).
-    const MaintenanceProfile& p = maintainer_->profile();
-    ++maintenance_.refreshes;
-    maintenance_.rows_absorbed += p.last_rows_absorbed;
-    maintenance_.relationships_updated += p.last_relationships_updated;
-    maintenance_.relationships_refit += p.last_relationships_refit;
-    maintenance_.tree_rekeys += p.last_tree_rekeys;
-    maintenance_.last_refresh_seconds = p.last_refresh_seconds;
-    maintenance_.last_rows_absorbed = p.last_rows_absorbed;
-    maintenance_.last_relationships_updated = p.last_relationships_updated;
-    maintenance_.last_relationships_refit = p.last_relationships_refit;
-    maintenance_.last_tree_rekeys = p.last_tree_rekeys;
-    maintenance_.mean_relative_residual = p.mean_relative_residual;
-    maintenance_.baseline_mean_residual = p.baseline_mean_residual;
+    maintenance_.AbsorbRefresh(maintainer_->profile());
     ++refreshes_;
     snapshot_row_ = rows_;
     rows_since_refresh_ = 0;
@@ -133,23 +253,258 @@ Status StreamingAffinity::Rebuild() {
   }
   AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix snapshot, table_.Snapshot());
   AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix window, ts::TailWindow(snapshot, options_.window));
-  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::BuildWith(window, options_.build, exec()));
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::BuildWith(window, options_.build, exec_));
   framework_ = std::make_unique<Affinity>(std::move(fw));
   maintainer_ = nullptr;
   if (options_.mode == UpdateMode::kIncremental) {
     AFFINITY_ASSIGN_OR_RETURN(
         IncrementalMaintainer maintainer,
         IncrementalMaintainer::Create(framework_->mutable_model(), framework_->mutable_scape(),
-                                      options_.incremental, exec()));
+                                      options_.incremental, exec_));
     maintainer_ = std::make_unique<IncrementalMaintainer>(std::move(maintainer));
     maintenance_.mean_relative_residual = maintainer_->profile().mean_relative_residual;
     maintenance_.baseline_mean_residual = maintainer_->profile().baseline_mean_residual;
   }
-  pending_.clear();
+  pending_used_ = 0;
   snapshot_row_ = rows_;
   rows_since_refresh_ = 0;
   ++rebuilds_;
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Freshness-bounded queries (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+ExecutedPlan StreamingAffinity::BlendPlan() const {
+  ExecutedPlan plan;
+  plan.method = QueryMethod::kAffine;
+  plan.rationale = "freshness blend: snapshot structure (age " +
+                   std::to_string(snapshot_age()) +
+                   " rows) rescaled by live rolling marginals";
+  return plan;
+}
+
+StatusOr<double> StreamingAffinity::BlendedSeriesValue(Measure measure, ts::SeriesId v) const {
+  if (!ready()) return Status::FailedPrecondition("no snapshot yet");
+  if (v >= rolling_.size()) {
+    return Status::OutOfRange("series id " + std::to_string(v) + " out of range");
+  }
+  switch (measure) {
+    case Measure::kMean:
+      // The rolling window serves the live mean exactly.
+      return rolling_[v].Mean();
+    case Measure::kMedian:
+    case Measure::kMode:
+      // No O(1) live form — the snapshot value stands (documented).
+      return framework_->model().SeriesMeasure(measure, v);
+    default:
+      return Status::InvalidArgument("not an L-measure");
+  }
+}
+
+StatusOr<double> StreamingAffinity::BlendedPairValue(Measure measure, ts::SeriesId u,
+                                                     ts::SeriesId v) const {
+  if (!ready()) return Status::FailedPrecondition("no snapshot yet");
+  const std::size_t n = rolling_.size();
+  if (u >= n || v >= n) return Status::OutOfRange("series id out of range");
+  if (u == v) return Status::InvalidArgument("blended pair values require u != v");
+  const AffinityModel& model = framework_->model();
+  const ts::SequencePair e(u, v);
+  // Structure from the snapshot: the WA correlation when the relationship
+  // exists, the naive snapshot correlation otherwise (truncated models).
+  double rho;
+  if (auto wa = model.PairMeasure(Measure::kCorrelation, e); wa.ok()) {
+    rho = *wa;
+  } else {
+    const ts::DataMatrix& snap = framework_->data();
+    AFFINITY_ASSIGN_OR_RETURN(rho, NaivePairMeasure(Measure::kCorrelation, snap.ColumnData(e.u),
+                                                    snap.ColumnData(e.v), snap.m()));
+  }
+  double fallback;
+  if (auto wa = model.PairMeasure(measure, e); wa.ok()) {
+    fallback = *wa;
+  } else {
+    const ts::DataMatrix& snap = framework_->data();
+    AFFINITY_ASSIGN_OR_RETURN(fallback, NaivePairMeasure(measure, snap.ColumnData(e.u),
+                                                         snap.ColumnData(e.v), snap.m()));
+  }
+  return BlendPairMeasure(measure, rho, fallback, rolling_[e.u], rolling_[e.v]);
+}
+
+StatusOr<SelectionResult> StreamingAffinity::BlendedSelect(Measure measure,
+                                                           bool (*keep)(double, double, double),
+                                                           double a, double b) const {
+  SelectionResult out;
+  const std::size_t n = rolling_.size();
+  if (IsLocation(measure)) {
+    for (std::size_t v = 0; v < n; ++v) {
+      AFFINITY_ASSIGN_OR_RETURN(const double value,
+                                BlendedSeriesValue(measure, static_cast<ts::SeriesId>(v)));
+      if (keep(value, a, b)) out.series.push_back(static_cast<ts::SeriesId>(v));
+    }
+    return out;
+  }
+  if (n < 2) return out;
+  const std::vector<ts::SequencePair> pairs = ts::AllSequencePairs(n);
+  std::vector<std::vector<ts::SequencePair>> parts(ExecNumChunks(pairs.size()));
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec_, pairs.size(), [&](std::size_t c, std::size_t lo, std::size_t hi) -> Status {
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto value = BlendedPairValue(measure, pairs[i].u, pairs[i].v);
+          if (!value.ok()) return value.status();
+          if (keep(*value, a, b)) parts[c].push_back(pairs[i]);
+        }
+        return Status::OK();
+      }));
+  for (std::vector<ts::SequencePair>& part : parts) {
+    out.pairs.insert(out.pairs.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+StatusOr<TopKResult> StreamingAffinity::BlendedTopK(const TopKRequest& request) const {
+  const std::size_t n = rolling_.size();
+  const std::size_t total =
+      IsLocation(request.measure) ? n : ts::SequencePairCount(n);
+  std::vector<ScapeTopKEntry> all(total);
+  if (IsLocation(request.measure)) {
+    for (std::size_t v = 0; v < n; ++v) {
+      AFFINITY_ASSIGN_OR_RETURN(const double value,
+                                BlendedSeriesValue(request.measure, static_cast<ts::SeriesId>(v)));
+      all[v] = ScapeTopKEntry{ts::SequencePair{}, static_cast<ts::SeriesId>(v), value};
+    }
+  } else {
+    const std::vector<ts::SequencePair> pairs = ts::AllSequencePairs(n);
+    AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+        exec_, pairs.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+          for (std::size_t i = lo; i < hi; ++i) {
+            auto value = BlendedPairValue(request.measure, pairs[i].u, pairs[i].v);
+            if (!value.ok()) return value.status();
+            all[i] = ScapeTopKEntry{pairs[i], kNoSeries, *value};
+          }
+          return Status::OK();
+        }));
+  }
+  const std::size_t k = request.k < all.size() ? request.k : all.size();
+  const auto better = [&](const ScapeTopKEntry& a, const ScapeTopKEntry& b) {
+    return request.largest ? a.value > b.value : a.value < b.value;
+  };
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k), all.end(), better);
+  all.resize(k);
+  TopKResult out;
+  out.entries = std::move(all);
+  out.examined = total;
+  return out;
+}
+
+StatusOr<MecResponse> StreamingAffinity::BlendedMec(const MecRequest& request) const {
+  if (request.ids.empty()) return Status::InvalidArgument("MEC requires a non-empty id set");
+  const std::size_t n = rolling_.size();
+  for (const ts::SeriesId id : request.ids) {
+    if (id >= n) {
+      return Status::OutOfRange("series id " + std::to_string(id) + " out of range (n=" +
+                                std::to_string(n) + ")");
+    }
+  }
+  MecResponse out;
+  const std::size_t count = request.ids.size();
+  if (IsLocation(request.measure)) {
+    out.location = la::Vector(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      AFFINITY_ASSIGN_OR_RETURN(out.location[i],
+                                BlendedSeriesValue(request.measure, request.ids[i]));
+    }
+    return out;
+  }
+  out.pair_values = la::Matrix(count, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i; j < count; ++j) {
+      double value;
+      if (request.ids[i] == request.ids[j]) {
+        // Diagonal: live per-series moments (the engine's diagonal
+        // semantics, served from the rolling window).
+        const ts::RollingStats& rs = rolling_[request.ids[i]];
+        switch (request.measure) {
+          case Measure::kCovariance:
+            value = rs.Variance();
+            break;
+          case Measure::kDotProduct:
+            value = rs.SumSquares();
+            break;
+          case Measure::kCorrelation:
+            value = rs.Variance() > 0.0 ? 1.0 : 0.0;
+            break;
+          case Measure::kCosine:
+          case Measure::kJaccard:
+          case Measure::kDice:
+            value = rs.SumSquares() > 0.0 ? 1.0 : 0.0;
+            break;
+          default:
+            return Status::InvalidArgument("not a pair measure");
+        }
+      } else {
+        AFFINITY_ASSIGN_OR_RETURN(
+            value, BlendedPairValue(request.measure, request.ids[i], request.ids[j]));
+      }
+      out.pair_values(i, j) = value;
+      out.pair_values(j, i) = value;
+    }
+  }
+  return out;
+}
+
+StatusOr<MecResponse> StreamingAffinity::Mec(const MecRequest& request,
+                                             const FreshnessOptions& options,
+                                             FreshnessReport* report) const {
+  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
+  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
+  if (!NeedsBlend(options)) return framework_->engine().Mec(request, options.method);
+  if (report != nullptr) report->blended = true;
+  AFFINITY_ASSIGN_OR_RETURN(MecResponse out, BlendedMec(request));
+  out.plan = BlendPlan();
+  return out;
+}
+
+StatusOr<SelectionResult> StreamingAffinity::Met(const MetRequest& request,
+                                                 const FreshnessOptions& options,
+                                                 FreshnessReport* report) const {
+  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
+  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
+  if (!NeedsBlend(options)) return framework_->engine().Met(request, options.method);
+  if (report != nullptr) report->blended = true;
+  AFFINITY_ASSIGN_OR_RETURN(
+      SelectionResult out,
+      BlendedSelect(request.measure, request.greater ? KeepGreater : KeepLesser, request.tau,
+                    0.0));
+  out.plan = BlendPlan();
+  return out;
+}
+
+StatusOr<SelectionResult> StreamingAffinity::Mer(const MerRequest& request,
+                                                 const FreshnessOptions& options,
+                                                 FreshnessReport* report) const {
+  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
+  if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
+  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
+  if (!NeedsBlend(options)) return framework_->engine().Mer(request, options.method);
+  if (report != nullptr) report->blended = true;
+  AFFINITY_ASSIGN_OR_RETURN(SelectionResult out,
+                            BlendedSelect(request.measure, KeepInside, request.lo, request.hi));
+  out.plan = BlendPlan();
+  return out;
+}
+
+StatusOr<TopKResult> StreamingAffinity::TopK(const TopKRequest& request,
+                                             const FreshnessOptions& options,
+                                             FreshnessReport* report) const {
+  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
+  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
+  if (!NeedsBlend(options)) return framework_->engine().TopK(request, options.method);
+  if (report != nullptr) report->blended = true;
+  AFFINITY_ASSIGN_OR_RETURN(TopKResult out, BlendedTopK(request));
+  out.plan = BlendPlan();
+  return out;
 }
 
 }  // namespace affinity::core

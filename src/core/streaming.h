@@ -21,14 +21,25 @@
 ///    describing the data.
 ///
 /// Between refreshes, queries answer against the last snapshot — the
-/// standard freshness/cost trade-off, made explicit by `snapshot_age()`.
-/// Resident storage stays O(window): absorbed rows are reclaimed from the
-/// table at segment granularity (`DataMatrixTable::CompactBefore`).
+/// standard freshness/cost trade-off, made explicit by `snapshot_age()`
+/// and bounded on demand by `FreshnessOptions::max_staleness`: when the
+/// snapshot is older than the bound, answers are *blended* — the snapshot
+/// supplies the scale-free pair structure (its correlations), the live
+/// per-series rolling moments (maintained O(1) per append) supply the
+/// current marginals (DESIGN.md §9).
 ///
-/// Refreshes run over one thread pool owned by the stream (sized by
-/// `StreamingOptions::build.threads`) and created once at `Create` time,
-/// so large-window refreshes fan out across cores instead of stalling
-/// ingest on one, and no per-refresh pool setup cost is paid.
+/// A `StreamingAffinity` is one model instance over one series group. The
+/// sharded service (src/shard) runs N of them over disjoint groups behind
+/// a router; the single-instance deployment is exactly the N = 1 case of
+/// that router, so this class is also its per-shard engine: construction
+/// variants exist for a router-owned pool (`CreateWith`) and for restoring
+/// a shard from a manifest checkpoint (`Restore`).
+///
+/// Resident storage stays O(window): absorbed rows are reclaimed from the
+/// table at segment granularity (`DataMatrixTable::CompactBefore`). The
+/// append hot path is allocation-free in steady state: rolling moments
+/// update in place and pending rows are copied into a preallocated pool
+/// whose capacity never shrinks (verified by a bench_micro counter).
 
 #include <memory>
 #include <string>
@@ -67,6 +78,13 @@ struct StreamingOptions {
   std::size_t segment_capacity = 0;
 };
 
+/// Validates a streaming configuration for `series_count` series — the
+/// single Status surface behind `StreamingAffinity::Create` and the shard
+/// router's per-shard construction (bad configs report instead of
+/// crashing). Checks series/window/interval bounds, incremental tuning,
+/// and basic window-size sanity (`window ≤ 2^24`).
+Status ValidateStreamingOptions(const StreamingOptions& options, std::size_t series_count);
+
 /// Outcome of one Append call. `status` reports append/refresh failures;
 /// `refreshed` distinguishes "a refresh ran (and succeeded)" from "no
 /// refresh was due" — previously both returned a bare OK.
@@ -84,14 +102,63 @@ struct AppendResult {
   bool ok() const { return status.ok(); }
 };
 
+/// Freshness-bounded query options (DESIGN.md §9).
+struct FreshnessOptions {
+  /// Strategy per shard/instance; kAuto consults the planner.
+  QueryMethod method = QueryMethod::kAuto;
+  /// Maximum acceptable snapshot age, in appended rows; 0 = no bound
+  /// (always serve the snapshot). When the snapshot is older, answers are
+  /// blended: pair measures keep the snapshot's scale-free structure (its
+  /// correlation) and take scale from the live rolling moments; means are
+  /// served live. Median/mode have no O(1) live form and stay
+  /// snapshot-aged even under a bound (documented limitation).
+  std::size_t max_staleness = 0;
+};
+
+/// Freshness report attached to a streaming answer: how old the snapshot
+/// that structured the answer is, and whether the staleness bound forced
+/// the live-marginal blend.
+struct FreshnessReport {
+  std::size_t snapshot_age = 0;
+  bool blended = false;
+};
+
+/// Live-marginal blend of one pair measure (DESIGN.md §9): the snapshot
+/// supplies the scale-free structure `snapshot_corr`, the rolling windows
+/// of the two series supply the current marginals (mean, variance, energy,
+/// count). `snapshot_value` of the requested measure is the fallback when
+/// the blend degenerates (zero live energy). Correlation itself is
+/// scale-free, so its blend is the snapshot value. The windows must be
+/// aligned (same count).
+double BlendPairMeasure(Measure measure, double snapshot_corr, double snapshot_value,
+                        const ts::RollingStats& u, const ts::RollingStats& v);
+
 /// Ingest-and-query wrapper: append aligned rows, query the latest
 /// framework snapshot.
 class StreamingAffinity {
  public:
-  /// Creates a stream over the named series.
-  /// InvalidArgument for empty names, window < 2, or rebuild_interval < 1.
+  /// Creates a stream over the named series with its own thread pool
+  /// (sized by `options.build.threads`). InvalidArgument for invalid
+  /// options (see ValidateStreamingOptions) or empty/duplicate names.
   static StatusOr<StreamingAffinity> Create(const std::vector<std::string>& names,
                                             const StreamingOptions& options);
+
+  /// As Create, but refreshes execute over a caller-supplied context — the
+  /// shard router shares one pool across all its shards this way. The pool
+  /// behind `exec` must outlive the stream; `options.build.threads` is
+  /// ignored.
+  static StatusOr<StreamingAffinity> CreateWith(const std::vector<std::string>& names,
+                                                const StreamingOptions& options,
+                                                const ExecContext& exec);
+
+  /// Restores a ready stream from a checkpointed model (serialize.h): the
+  /// model's data matrix becomes the resident window (its m() must equal
+  /// `options.window`), the framework is reassembled around it
+  /// (`Affinity::FromModelWith`), rolling moments are replayed, and — in
+  /// kIncremental mode — a fresh maintainer is frozen from the restored
+  /// stack. Logical row numbering restarts at `window`.
+  static StatusOr<StreamingAffinity> Restore(AffinityModel model, const StreamingOptions& options,
+                                             const ExecContext& exec);
 
   /// Appends one aligned row (one value per series). Triggers a refresh
   /// when the window is filled and `rebuild_interval` rows arrived since
@@ -122,10 +189,32 @@ class StreamingAffinity {
   const MaintenanceProfile& maintenance() const { return maintenance_; }
 
   /// Per-series rolling moments over the trailing window, maintained in
-  /// O(1) per append (`ts/rolling`) — a between-refresh freshness signal:
-  /// compare against the snapshot's `model().series_stats()` to see how
-  /// far the live window has drifted from the answered one.
+  /// O(1) per append (`ts/rolling`) — the live marginals the freshness
+  /// blend draws on, and a drift signal against the snapshot's
+  /// `model().series_stats()`.
   const std::vector<ts::RollingStats>& rolling_stats() const { return rolling_; }
+
+  // --- Freshness-bounded queries (DESIGN.md §9) ---------------------------
+  //
+  // Each forwards to the snapshot engine when the snapshot satisfies the
+  // staleness bound, and otherwise answers with the live-marginal blend
+  // (a full sweep — the SCAPE index orders snapshot values, not blended
+  // ones). All are FailedPrecondition before the first build. `report`,
+  // when non-null, receives the snapshot age and whether blending ran.
+
+  StatusOr<MecResponse> Mec(const MecRequest& request, const FreshnessOptions& options = {},
+                            FreshnessReport* report = nullptr) const;
+  StatusOr<SelectionResult> Met(const MetRequest& request, const FreshnessOptions& options = {},
+                                FreshnessReport* report = nullptr) const;
+  StatusOr<SelectionResult> Mer(const MerRequest& request, const FreshnessOptions& options = {},
+                                FreshnessReport* report = nullptr) const;
+  StatusOr<TopKResult> TopK(const TopKRequest& request, const FreshnessOptions& options = {},
+                            FreshnessReport* report = nullptr) const;
+
+  /// The blended value of one pair (u ≠ v) or series measure — the unit
+  /// the blended sweeps and the shard router's gather are built from.
+  StatusOr<double> BlendedPairValue(Measure measure, ts::SeriesId u, ts::SeriesId v) const;
+  StatusOr<double> BlendedSeriesValue(Measure measure, ts::SeriesId v) const;
 
   /// Forces a full rebuild now (FailedPrecondition before `window` rows
   /// exist). In kIncremental mode this also re-freezes the maintenance
@@ -136,28 +225,54 @@ class StreamingAffinity {
   /// the trailing O(window) rows stay resident (CompactBefore).
   const storage::DataMatrixTable& table() const { return table_; }
 
+  /// The streaming configuration the stream was created with.
+  const StreamingOptions& options() const { return options_; }
+
   /// The execution context refreshes (and snapshot queries) run over.
-  ExecContext exec() const { return ExecContext{pool_.get()}; }
+  const ExecContext& exec() const { return exec_; }
 
  private:
   StreamingAffinity(storage::DataMatrixTable table, StreamingOptions options,
-                    std::unique_ptr<ThreadPool> pool)
-      : pool_(std::move(pool)), table_(std::move(table)), options_(options) {}
+                    std::unique_ptr<ThreadPool> pool, ExecContext exec)
+      : pool_(std::move(pool)), exec_(exec), table_(std::move(table)), options_(options) {}
+
+  /// Shared tail of every construction path: rolling windows and the
+  /// preallocated pending-row pool.
+  void InitBuffers(std::size_t series_count);
 
   /// Runs one refresh (incremental or full, per options/state); called by
   /// Append when the interval elapses.
   AppendResult Refresh();
 
+  /// True when `options` demands fresher answers than the snapshot offers.
+  bool NeedsBlend(const FreshnessOptions& options) const {
+    return options.max_staleness > 0 && snapshot_age() > options.max_staleness;
+  }
+
+  /// Blended full-sweep selection / top-k / MEC (see file docs).
+  StatusOr<SelectionResult> BlendedSelect(Measure measure, bool (*keep)(double, double, double),
+                                          double a, double b) const;
+  StatusOr<TopKResult> BlendedTopK(const TopKRequest& request) const;
+  StatusOr<MecResponse> BlendedMec(const MecRequest& request) const;
+
+  /// The ExecutedPlan stamped on blended answers.
+  ExecutedPlan BlendPlan() const;
+
   // Declared first so it outlives the framework snapshot whose engine
   // holds an ExecContext pointing at it (members destroy in reverse).
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;  ///< set when Create sized its own
+  ExecContext exec_;
   storage::DataMatrixTable table_;
   StreamingOptions options_;
   std::unique_ptr<Affinity> framework_;
   std::unique_ptr<IncrementalMaintainer> maintainer_;
   MaintenanceProfile maintenance_;
   std::vector<ts::RollingStats> rolling_;
-  std::vector<std::vector<double>> pending_;  ///< rows since the last refresh
+  /// Preallocated pool of rows awaiting the next incremental refresh:
+  /// `pending_[0..pending_used_)` are live; capacity (one interval of rows)
+  /// never shrinks, so steady-state appends allocate nothing.
+  std::vector<std::vector<double>> pending_;
+  std::size_t pending_used_ = 0;
   std::size_t rows_ = 0;
   std::size_t snapshot_row_ = 0;
   std::size_t rows_since_refresh_ = 0;

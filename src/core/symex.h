@@ -21,6 +21,7 @@
 /// and makes Lemma 1 (exact dot products) hold to machine precision.
 
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <string>
 #include <unordered_map>
@@ -209,8 +210,8 @@ class AffinityModel {
                                                     const SymexOptions&, const ExecContext&);
   friend StatusOr<AffinityModel> RunSymex(const ts::DataMatrix&, AfclstResult,
                                           const SymexOptions&, const ExecContext&);
-  friend Status SaveModel(const AffinityModel&, const std::string&);
-  friend StatusOr<AffinityModel> LoadModel(const std::string&);
+  friend Status WriteModelStream(const AffinityModel&, std::ostream&);
+  friend StatusOr<AffinityModel> ReadModelStream(std::istream&);
 
   ts::DataMatrix data_;
   AfclstResult clustering_;

@@ -1,0 +1,110 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace affinity::shard {
+
+namespace {
+
+/// Stable 64-bit name hash (FNV-1a folded through a SplitMix64 finalizer):
+/// deterministic across processes and standard libraries, unlike
+/// std::hash.
+std::uint64_t NameHash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+std::string_view PartitionSchemeName(PartitionScheme scheme) {
+  return scheme == PartitionScheme::kHash ? "hash" : "range";
+}
+
+StatusOr<SeriesPartitioner> SeriesPartitioner::Create(const std::vector<std::string>& names,
+                                                      std::size_t shards,
+                                                      PartitionScheme scheme) {
+  const std::size_t n = names.size();
+  if (shards < 1) return Status::InvalidArgument("need at least 1 shard");
+  if (n < 2 * shards) {
+    return Status::InvalidArgument("cannot split " + std::to_string(n) + " series into " +
+                                   std::to_string(shards) +
+                                   " shards: every shard needs >= 2 series");
+  }
+  std::vector<std::size_t> shard_of(n);
+  if (scheme == PartitionScheme::kRange) {
+    // Contiguous blocks, remainder spread over the leading shards.
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = s * (n / shards) + std::min(s, n % shards);
+      const std::size_t end = (s + 1) * (n / shards) + std::min(s + 1, n % shards);
+      for (std::size_t i = begin; i < end; ++i) shard_of[i] = s;
+    }
+  } else {
+    // Hash order, then a round-robin deal: balanced within one series per
+    // shard whatever the names, yet fully determined by them.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::uint64_t> hashes(n);
+    for (std::size_t i = 0; i < n; ++i) hashes[i] = NameHash(names[i]);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return hashes[a] != hashes[b] ? hashes[a] < hashes[b] : a < b;
+    });
+    for (std::size_t pos = 0; pos < n; ++pos) shard_of[order[pos]] = pos % shards;
+  }
+  return FinishFrom(std::move(shard_of), shards, scheme);
+}
+
+StatusOr<SeriesPartitioner> SeriesPartitioner::FromAssignment(
+    const std::vector<std::uint32_t>& shard_of, std::size_t shards, PartitionScheme scheme) {
+  if (shards < 1) return Status::InvalidArgument("need at least 1 shard");
+  std::vector<std::size_t> wide(shard_of.size());
+  for (std::size_t i = 0; i < shard_of.size(); ++i) {
+    if (shard_of[i] >= shards) {
+      return Status::InvalidArgument("series " + std::to_string(i) + " assigned to shard " +
+                                     std::to_string(shard_of[i]) + " of " +
+                                     std::to_string(shards));
+    }
+    wide[i] = shard_of[i];
+  }
+  return FinishFrom(std::move(wide), shards, scheme);
+}
+
+StatusOr<SeriesPartitioner> SeriesPartitioner::FinishFrom(std::vector<std::size_t> shard_of,
+                                                          std::size_t shards,
+                                                          PartitionScheme scheme) {
+  SeriesPartitioner p;
+  p.scheme_ = scheme;
+  p.shard_of_ = std::move(shard_of);
+  p.groups_.resize(shards);
+  p.local_of_.resize(p.shard_of_.size());
+  // Ascending global-id walk keeps every group ascending, so local ids are
+  // monotone in global ids within a shard.
+  for (std::size_t i = 0; i < p.shard_of_.size(); ++i) {
+    const std::size_t s = p.shard_of_[i];
+    p.local_of_[i] = static_cast<ts::SeriesId>(p.groups_[s].size());
+    p.groups_[s].push_back(static_cast<ts::SeriesId>(i));
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (p.groups_[s].size() < 2) {
+      return Status::InvalidArgument("shard " + std::to_string(s) + " got " +
+                                     std::to_string(p.groups_[s].size()) +
+                                     " series; every shard needs >= 2");
+    }
+  }
+  return p;
+}
+
+std::size_t SeriesPartitioner::cross_pair_count() const {
+  std::size_t intra = 0;
+  for (const auto& group : groups_) intra += ts::SequencePairCount(group.size());
+  return ts::SequencePairCount(n()) - intra;
+}
+
+}  // namespace affinity::shard

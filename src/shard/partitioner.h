@@ -1,0 +1,99 @@
+#ifndef AFFINITY_SHARD_PARTITIONER_H_
+#define AFFINITY_SHARD_PARTITIONER_H_
+
+/// \file partitioner.h
+/// Series-group partitioning for the sharded streaming service
+/// (DESIGN.md §9).
+///
+/// A `SeriesPartitioner` assigns each of the n registered series to exactly
+/// one of N shards (disjoint cover) and owns the two id spaces the router
+/// translates between: *global* ids (the caller's view, 0..n-1) and *local*
+/// ids (each shard's dense 0..|group|-1 view — the column index inside that
+/// shard's `StreamingAffinity`). Within a shard, local order is ascending
+/// global id, so per-shard query results translate back monotonically.
+///
+/// Two schemes:
+///  * `kRange` — contiguous blocks of the registration order, sizes within
+///    one of each other. Best when adjacent ids are related (e.g. one
+///    exchange's tickers registered together).
+///  * `kHash` — series are ordered by a stable 64-bit hash of their *name*
+///    and dealt round-robin. Deterministic across runs and processes (no
+///    std::hash), balanced within one series per shard, and independent of
+///    registration order — the scheme for hostile or unknown id layouts.
+///
+/// Every shard must receive at least 2 series (a one-series shard cannot
+/// model relationships); Create reports InvalidArgument otherwise.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::shard {
+
+/// How series are assigned to shards.
+enum class PartitionScheme : std::uint32_t { kRange = 0, kHash = 1 };
+
+/// Display name: "range" / "hash".
+std::string_view PartitionSchemeName(PartitionScheme scheme);
+
+/// A disjoint cover of n series by N shard groups, with global↔local id
+/// translation. Immutable once created.
+class SeriesPartitioner {
+ public:
+  /// Partitions `names.size()` series into `shards` groups.
+  /// InvalidArgument when shards < 1 or any shard would get < 2 series
+  /// (i.e. names.size() < 2·shards).
+  static StatusOr<SeriesPartitioner> Create(const std::vector<std::string>& names,
+                                            std::size_t shards, PartitionScheme scheme);
+
+  /// Rebuilds a partitioner from a persisted per-series shard assignment
+  /// (the manifest round-trip). Validates the same invariants as Create.
+  static StatusOr<SeriesPartitioner> FromAssignment(const std::vector<std::uint32_t>& shard_of,
+                                                    std::size_t shards, PartitionScheme scheme);
+
+  /// Number of shards N.
+  std::size_t shards() const { return groups_.size(); }
+
+  /// Number of series n.
+  std::size_t n() const { return shard_of_.size(); }
+
+  /// The scheme this partition was produced by.
+  PartitionScheme scheme() const { return scheme_; }
+
+  /// Shard owning a global series id.
+  std::size_t shard_of(ts::SeriesId global) const { return shard_of_[global]; }
+
+  /// The id of a global series inside its shard (dense, ascending in
+  /// global id).
+  ts::SeriesId local_id(ts::SeriesId global) const { return local_of_[global]; }
+
+  /// The global id of shard-local series `local` in shard `s`.
+  ts::SeriesId global_id(std::size_t s, ts::SeriesId local) const { return groups_[s][local]; }
+
+  /// Global ids owned by shard `s`, ascending.
+  const std::vector<ts::SeriesId>& group(std::size_t s) const { return groups_[s]; }
+
+  /// Number of sequence pairs whose endpoints live in different shards —
+  /// the pairs every per-shard structure is blind to (planner Topology).
+  std::size_t cross_pair_count() const;
+
+ private:
+  SeriesPartitioner() = default;
+
+  /// Builds groups_/local_of_ from a filled shard_of_; validates ≥2 series
+  /// per shard.
+  static StatusOr<SeriesPartitioner> FinishFrom(std::vector<std::size_t> shard_of,
+                                                std::size_t shards, PartitionScheme scheme);
+
+  PartitionScheme scheme_ = PartitionScheme::kRange;
+  std::vector<std::size_t> shard_of_;            ///< global id → shard
+  std::vector<ts::SeriesId> local_of_;           ///< global id → local id
+  std::vector<std::vector<ts::SeriesId>> groups_;  ///< shard → global ids, ascending
+};
+
+}  // namespace affinity::shard
+
+#endif  // AFFINITY_SHARD_PARTITIONER_H_

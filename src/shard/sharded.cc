@@ -1,0 +1,749 @@
+#include "shard/sharded.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <queue>
+#include <utility>
+
+#include "core/serialize.h"
+
+namespace affinity::shard {
+
+namespace {
+
+using core::AppendResult;
+using core::CrossPair;
+using core::ExecutedPlan;
+using core::FreshnessOptions;
+using core::FreshnessReport;
+using core::Measure;
+using core::QueryMethod;
+using core::QueryPlanner;
+using core::ScapeTopKEntry;
+using core::ScapeTopKResult;
+
+/// K-way heap merge of sorted runs into one sorted vector — the gather
+/// step for selection results (runs: per-shard answers + the cross-shard
+/// sweep, each sorted ascending under `less`).
+template <typename T, typename Less>
+std::vector<T> MergeSortedRuns(const std::vector<std::vector<T>>& runs, Less less) {
+  struct Head {
+    std::size_t run;
+    std::size_t pos;
+  };
+  const auto head_greater = [&](const Head& a, const Head& b) {
+    return less(runs[b.run][b.pos], runs[a.run][a.pos]);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(head_greater)> frontier(head_greater);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (!runs[r].empty()) frontier.push(Head{r, 0});
+  }
+  std::vector<T> out;
+  out.reserve(total);
+  while (!frontier.empty()) {
+    const Head head = frontier.top();
+    frontier.pop();
+    out.push_back(runs[head.run][head.pos]);
+    if (head.pos + 1 < runs[head.run].size()) frontier.push(Head{head.run, head.pos + 1});
+  }
+  return out;
+}
+
+// --- Manifest framing (composes with serialize.h model payloads) ----------
+
+constexpr char kManifestMagic[4] = {'A', 'F', 'F', 'S'};
+constexpr std::uint32_t kManifestVersion = 1;
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+bool ReadU32(std::istream& in, std::uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof *v);
+  return in.gcount() == sizeof *v;
+}
+bool ReadU64(std::istream& in, std::uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof *v);
+  return in.gcount() == sizeof *v;
+}
+bool ReadF64(std::istream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof *v);
+  return in.gcount() == sizeof *v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardRouter.
+// ---------------------------------------------------------------------------
+
+ShardRouter::ShardRouter(SeriesPartitioner partitioner) : partitioner_(std::move(partitioner)) {
+  scatter_.resize(partitioner_.shards());
+  for (std::size_t s = 0; s < partitioner_.shards(); ++s) {
+    scatter_[s].resize(partitioner_.group(s).size());
+  }
+  // Cross-shard pairs, (u, v)-lex in global ids, fixed for the router's
+  // lifetime: the complement of the per-shard pair sets.
+  const std::size_t n = partitioner_.n();
+  cross_pairs_.reserve(partitioner_.cross_pair_count());
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (partitioner_.shard_of(static_cast<ts::SeriesId>(u)) !=
+          partitioner_.shard_of(static_cast<ts::SeriesId>(v))) {
+        cross_pairs_.emplace_back(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v));
+      }
+    }
+  }
+}
+
+const std::vector<std::vector<double>>& ShardRouter::Scatter(const std::vector<double>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const auto id = static_cast<ts::SeriesId>(i);
+    scatter_[partitioner_.shard_of(id)][partitioner_.local_id(id)] = row[i];
+  }
+  return scatter_;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedAffinity: construction and ingest.
+// ---------------------------------------------------------------------------
+
+ShardedAffinity::ShardedAffinity(ShardedOptions options, SeriesPartitioner partitioner,
+                                 std::unique_ptr<ThreadPool> pool)
+    : pool_(std::move(pool)),
+      exec_{pool_.get()},
+      options_(std::move(options)),
+      router_(std::move(partitioner)) {}
+
+StatusOr<ShardedAffinity> ShardedAffinity::Create(const std::vector<std::string>& names,
+                                                  const ShardedOptions& options) {
+  AFFINITY_ASSIGN_OR_RETURN(
+      SeriesPartitioner partitioner,
+      SeriesPartitioner::Create(names, options.shards, options.partition));
+  // Validate against the *smallest* shard so bad geometry reports before
+  // any pool or table is built.
+  std::size_t min_group = names.size();
+  for (std::size_t s = 0; s < partitioner.shards(); ++s) {
+    min_group = std::min(min_group, partitioner.group(s).size());
+  }
+  AFFINITY_RETURN_IF_ERROR(core::ValidateStreamingOptions(options.streaming, min_group));
+  // One pool shared by every shard: scatter appends fan out across it, and
+  // per-shard refreshes run concurrently on it (nested parallel loops
+  // degrade to in-worker sequential execution — one worker per shard).
+  std::unique_ptr<ThreadPool> pool;
+  if (options.streaming.build.threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.streaming.build.threads);
+  }
+  ShardedAffinity service(options, std::move(partitioner), std::move(pool));
+  AFFINITY_RETURN_IF_ERROR(service.InitShards(names));
+  return service;
+}
+
+Status ShardedAffinity::InitShards(const std::vector<std::string>& names) {
+  const SeriesPartitioner& partitioner = router_.partitioner();
+  shards_.reserve(partitioner.shards());
+  for (std::size_t s = 0; s < partitioner.shards(); ++s) {
+    std::vector<std::string> local_names;
+    local_names.reserve(partitioner.group(s).size());
+    for (const ts::SeriesId id : partitioner.group(s)) local_names.push_back(names[id]);
+    AFFINITY_ASSIGN_OR_RETURN(
+        core::StreamingAffinity stream,
+        core::StreamingAffinity::CreateWith(local_names, options_.streaming, exec_));
+    shards_.push_back(std::move(stream));
+  }
+  append_results_.resize(shards_.size());
+  return Status::OK();
+}
+
+AppendResult ShardedAffinity::Append(const std::vector<double>& row) {
+  AppendResult out;
+  if (row.size() != router_.partitioner().n()) {
+    out.status = Status::InvalidArgument("row has " + std::to_string(row.size()) +
+                                         " values, service has " +
+                                         std::to_string(router_.partitioner().n()) + " series");
+    return out;
+  }
+  const std::vector<std::vector<double>>& scattered = router_.Scatter(row);
+  ++rows_;
+  // One chunk per shard: appends (and any due refreshes) run concurrently
+  // on the shared pool, each shard's own maintenance sequential within its
+  // worker.
+  ParallelChunks(exec_, shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo,
+                                            std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) append_results_[s] = shards_[s].Append(scattered[s]);
+  });
+  // Aggregate: first error by shard index; any refresh / escalation shows,
+  // with the mode of the lowest refreshed shard.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const AppendResult& r = append_results_[s];
+    if (!r.status.ok() && out.status.ok()) {
+      out.status = Status(r.status.code(), "shard " + std::to_string(s) + ": " +
+                                               std::string(r.status.message()));
+    }
+    if (r.refreshed && !out.refreshed) {
+      out.refreshed = true;
+      out.mode = r.mode;
+    }
+    out.escalated = out.escalated || r.escalated;
+  }
+  return out;
+}
+
+bool ShardedAffinity::ready() const {
+  for (const core::StreamingAffinity& shard : shards_) {
+    if (!shard.ready()) return false;
+  }
+  return !shards_.empty();
+}
+
+core::MaintenanceProfile ShardedAffinity::maintenance() const {
+  std::vector<core::MaintenanceProfile> profiles;
+  profiles.reserve(shards_.size());
+  for (const core::StreamingAffinity& shard : shards_) profiles.push_back(shard.maintenance());
+  return core::AggregateShardProfiles(profiles);
+}
+
+std::vector<std::size_t> ShardedAffinity::snapshot_ages() const {
+  std::vector<std::size_t> ages;
+  ages.reserve(shards_.size());
+  for (const core::StreamingAffinity& shard : shards_) ages.push_back(shard.snapshot_age());
+  return ages;
+}
+
+Status ShardedAffinity::Rebuild() {
+  return TryParallelChunks(exec_, shards_.size(),
+                           [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+                             for (std::size_t s = lo; s < hi; ++s) {
+                               AFFINITY_RETURN_IF_ERROR(shards_[s].Rebuild());
+                             }
+                             return Status::OK();
+                           });
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather queries.
+// ---------------------------------------------------------------------------
+
+std::vector<ShardFreshness> ShardedAffinity::Freshness(const FreshnessOptions& options) const {
+  std::vector<ShardFreshness> out(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out[s].snapshot_age = shards_[s].snapshot_age();
+    out[s].blended =
+        options.max_staleness > 0 && out[s].snapshot_age > options.max_staleness;
+  }
+  return out;
+}
+
+bool ShardedAffinity::NeedsBlend(const FreshnessOptions& options) const {
+  if (options.max_staleness == 0) return false;
+  for (const core::StreamingAffinity& shard : shards_) {
+    if (shard.snapshot_age() > options.max_staleness) return true;
+  }
+  return false;
+}
+
+StatusOr<ExecutedPlan> ShardedAffinity::ResolveShardPlan(
+    const std::function<core::PlanChoice(const QueryPlanner&)>& plan,
+    const FreshnessOptions& options) const {
+  if (!ready()) {
+    return Status::FailedPrecondition("no shard snapshots yet (need window rows)");
+  }
+  // Blend trumps strategy choice: a stale deployment answers with the
+  // live-marginal blend sweep whatever is attached.
+  if (NeedsBlend(options)) {
+    std::size_t max_age = 0;
+    for (const core::StreamingAffinity& shard : shards_) {
+      max_age = std::max(max_age, shard.snapshot_age());
+    }
+    ExecutedPlan blended;
+    blended.method = QueryMethod::kAffine;
+    blended.rationale = "freshness blend over " + std::to_string(shards_.size()) +
+                        " shards: snapshot structure (age " + std::to_string(max_age) +
+                        " rows) rescaled by live rolling marginals";
+    return blended;
+  }
+  if (options.method != QueryMethod::kAuto) {
+    ExecutedPlan explicit_plan;
+    explicit_plan.method = options.method;
+    explicit_plan.rationale = "explicitly requested " +
+                              std::string(core::QueryMethodName(options.method)) +
+                              " per shard; scatter-gather over " +
+                              std::to_string(shards_.size()) + " shards";
+    return explicit_plan;
+  }
+  // Shard-aware auto dispatch: capabilities every shard can serve, per-
+  // shard dimensions, and the cross-pair surcharge via the Topology.
+  QueryPlanner::Capabilities caps{true, true, true};
+  std::size_t max_n = 0;
+  for (const core::StreamingAffinity& shard : shards_) {
+    const QueryPlanner::Capabilities c = shard.framework()->engine().Capabilities();
+    caps.has_model = caps.has_model && c.has_model;
+    caps.has_scape = caps.has_scape && c.has_scape;
+    caps.has_dft = caps.has_dft && c.has_dft;
+    max_n = std::max(max_n, shard.framework()->data().n());
+  }
+  const QueryPlanner::Topology topology{shards_.size(),
+                                        router_.partitioner().cross_pair_count()};
+  const QueryPlanner planner(max_n, options_.streaming.window, caps, topology);
+  return plan(planner);
+}
+
+StatusOr<std::vector<double>> ShardedAffinity::CrossPairValues(Measure measure,
+                                                               bool blend) const {
+  const std::vector<ts::SequencePair>& cross = router_.cross_pairs();
+  const SeriesPartitioner& partitioner = router_.partitioner();
+  std::vector<CrossPair> resolved(cross.size());
+  for (std::size_t i = 0; i < cross.size(); ++i) {
+    const ts::SequencePair e = cross[i];
+    const core::StreamingAffinity& su = shards_[partitioner.shard_of(e.u)];
+    const core::StreamingAffinity& sv = shards_[partitioner.shard_of(e.v)];
+    resolved[i] = CrossPair{e, su.framework()->data().ColumnData(partitioner.local_id(e.u)),
+                            sv.framework()->data().ColumnData(partitioner.local_id(e.v))};
+  }
+  const std::size_t window = options_.streaming.window;
+  AFFINITY_ASSIGN_OR_RETURN(std::vector<double> values,
+                            core::EvaluateCrossPairs(measure, resolved, window, exec_));
+  if (!blend || measure == Measure::kCorrelation) return values;
+  // Blend: snapshot correlation carries the structure, live rolling
+  // moments the marginals (same semantics as the per-shard blend).
+  AFFINITY_ASSIGN_OR_RETURN(
+      const std::vector<double> rhos,
+      core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window, exec_));
+  for (std::size_t i = 0; i < cross.size(); ++i) {
+    const ts::SequencePair e = cross[i];
+    const ts::RollingStats& ru =
+        shards_[partitioner.shard_of(e.u)].rolling_stats()[partitioner.local_id(e.u)];
+    const ts::RollingStats& rv =
+        shards_[partitioner.shard_of(e.v)].rolling_stats()[partitioner.local_id(e.v)];
+    values[i] = core::BlendPairMeasure(measure, rhos[i], values[i], ru, rv);
+  }
+  return values;
+}
+
+StatusOr<ShardedSelection> ShardedAffinity::SelectAcrossShards(
+    Measure measure, bool (*keep)(double, double, double), double a, double b,
+    const std::function<core::PlanChoice(const QueryPlanner&)>& plan,
+    const std::function<StatusOr<core::SelectionResult>(
+        const core::StreamingAffinity&, const FreshnessOptions&, FreshnessReport*)>& shard_query,
+    const FreshnessOptions& options) const {
+  AFFINITY_ASSIGN_OR_RETURN(ExecutedPlan resolved, ResolveShardPlan(plan, options));
+  ShardedSelection out;
+  out.shards = Freshness(options);
+  FreshnessOptions per_shard = options;
+  if (options.method == QueryMethod::kAuto) per_shard.method = resolved.method;
+
+  const SeriesPartitioner& partitioner = router_.partitioner();
+  const bool location = core::IsLocation(measure);
+  const std::size_t n_shards = shards_.size();
+  // One chunk per shard, like Append: per-shard index scans run
+  // concurrently on the pool; every write below is shard-disjoint.
+  std::vector<std::vector<ts::SeriesId>> series_runs(n_shards);
+  std::vector<std::vector<ts::SequencePair>> pair_runs(n_shards);
+  std::vector<core::PruneStats> prunes(n_shards);
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec_, n_shards, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+        for (std::size_t s = lo; s < hi; ++s) {
+          FreshnessReport report;
+          AFFINITY_ASSIGN_OR_RETURN(core::SelectionResult r,
+                                    shard_query(shards_[s], per_shard, &report));
+          out.shards[s] = ShardFreshness{report.snapshot_age, report.blended};
+          prunes[s] = r.prune;
+          if (location) {
+            for (ts::SeriesId& v : r.series) v = partitioner.global_id(s, v);
+            std::sort(r.series.begin(), r.series.end());
+            series_runs[s] = std::move(r.series);
+          } else {
+            for (ts::SequencePair& e : r.pairs) {
+              e = ts::SequencePair(partitioner.global_id(s, e.u), partitioner.global_id(s, e.v));
+            }
+            std::sort(r.pairs.begin(), r.pairs.end());
+            pair_runs[s] = std::move(r.pairs);
+          }
+        }
+        return Status::OK();
+      }));
+  for (const core::PruneStats& p : prunes) out.result.prune += p;
+  if (!location && n_shards > 1) {
+    AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> values,
+                              CrossPairValues(measure, NeedsBlend(options)));
+    const std::vector<ts::SequencePair>& cross = router_.cross_pairs();
+    std::vector<ts::SequencePair> kept;
+    for (std::size_t i = 0; i < cross.size(); ++i) {
+      if (keep(values[i], a, b)) kept.push_back(cross[i]);
+    }
+    pair_runs.push_back(std::move(kept));  // already lex-sorted
+  }
+  if (location) {
+    out.result.series = MergeSortedRuns(series_runs, std::less<ts::SeriesId>{});
+  } else {
+    out.result.pairs = MergeSortedRuns(pair_runs, std::less<ts::SequencePair>{});
+  }
+  out.result.plan = std::move(resolved);
+  return out;
+}
+
+StatusOr<ShardedSelection> ShardedAffinity::Met(const core::MetRequest& request,
+                                                const FreshnessOptions& options) const {
+  return SelectAcrossShards(
+      request.measure, request.greater ? core::KeepGreater : core::KeepLesser, request.tau, 0.0,
+      [&](const QueryPlanner& planner) { return planner.PlanMet(request.measure); },
+      [&](const core::StreamingAffinity& shard, const FreshnessOptions& per_shard,
+          FreshnessReport* report) { return shard.Met(request, per_shard, report); },
+      options);
+}
+
+StatusOr<ShardedSelection> ShardedAffinity::Mer(const core::MerRequest& request,
+                                                const FreshnessOptions& options) const {
+  if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
+  return SelectAcrossShards(
+      request.measure, core::KeepInside, request.lo, request.hi,
+      [&](const QueryPlanner& planner) { return planner.PlanMer(request.measure); },
+      [&](const core::StreamingAffinity& shard, const FreshnessOptions& per_shard,
+          FreshnessReport* report) { return shard.Mer(request, per_shard, report); },
+      options);
+}
+
+StatusOr<ShardedTopK> ShardedAffinity::TopK(const core::TopKRequest& request,
+                                            const FreshnessOptions& options) const {
+  AFFINITY_ASSIGN_OR_RETURN(
+      ExecutedPlan plan,
+      ResolveShardPlan(
+          [&](const QueryPlanner& planner) {
+            return planner.PlanTopK(request.measure, request.k);
+          },
+          options));
+  ShardedTopK out;
+  out.shards = Freshness(options);
+  FreshnessOptions per_shard = options;
+  if (options.method == QueryMethod::kAuto) per_shard.method = plan.method;
+
+  const SeriesPartitioner& partitioner = router_.partitioner();
+  std::vector<ScapeTopKResult> runs(shards_.size());
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec_, shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+        for (std::size_t s = lo; s < hi; ++s) {
+          FreshnessReport report;
+          AFFINITY_ASSIGN_OR_RETURN(core::TopKResult r,
+                                    shards_[s].TopK(request, per_shard, &report));
+          out.shards[s] = ShardFreshness{report.snapshot_age, report.blended};
+          for (ScapeTopKEntry& entry : r.entries) {
+            if (entry.has_series()) {
+              entry.series = partitioner.global_id(s, entry.series);
+            } else {
+              entry.pair = ts::SequencePair(partitioner.global_id(s, entry.pair.u),
+                                            partitioner.global_id(s, entry.pair.v));
+            }
+          }
+          runs[s] = std::move(r);
+        }
+        return Status::OK();
+      }));
+  if (!core::IsLocation(request.measure) && shards_.size() > 1) {
+    AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> values,
+                              CrossPairValues(request.measure, NeedsBlend(options)));
+    const std::vector<ts::SequencePair>& cross = router_.cross_pairs();
+    ScapeTopKResult cross_run;
+    cross_run.entries.resize(cross.size());
+    for (std::size_t i = 0; i < cross.size(); ++i) {
+      cross_run.entries[i] = ScapeTopKEntry{cross[i], core::kNoSeries, values[i]};
+    }
+    const std::size_t k = std::min(request.k, cross_run.entries.size());
+    const auto better = [&](const ScapeTopKEntry& a, const ScapeTopKEntry& b) {
+      return request.largest ? a.value > b.value : a.value < b.value;
+    };
+    std::partial_sort(cross_run.entries.begin(),
+                      cross_run.entries.begin() + static_cast<long>(k), cross_run.entries.end(),
+                      better);
+    cross_run.entries.resize(k);
+    cross_run.examined = cross.size();
+    runs.push_back(std::move(cross_run));
+  }
+  static_cast<ScapeTopKResult&>(out.result) = core::MergeTopK(runs, request.k, request.largest);
+  out.result.plan = std::move(plan);
+  return out;
+}
+
+StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
+                                          const FreshnessOptions& options) const {
+  AFFINITY_ASSIGN_OR_RETURN(
+      ExecutedPlan plan,
+      ResolveShardPlan(
+          [&](const QueryPlanner& planner) {
+            return planner.PlanMec(request.measure, request.ids.size());
+          },
+          options));
+  if (request.ids.empty()) return Status::InvalidArgument("MEC requires a non-empty id set");
+  const SeriesPartitioner& partitioner = router_.partitioner();
+  for (const ts::SeriesId id : request.ids) {
+    if (id >= partitioner.n()) {
+      return Status::OutOfRange("series id " + std::to_string(id) + " out of range (n=" +
+                                std::to_string(partitioner.n()) + ")");
+    }
+  }
+  ShardedMec out;
+  out.shards = Freshness(options);
+  FreshnessOptions per_shard = options;
+  if (options.method == QueryMethod::kAuto) per_shard.method = plan.method;
+
+  // Slice the request per shard, remembering each id's request position.
+  std::vector<std::vector<std::size_t>> positions(shards_.size());
+  std::vector<core::MecRequest> slices(shards_.size());
+  for (std::size_t i = 0; i < request.ids.size(); ++i) {
+    const std::size_t s = partitioner.shard_of(request.ids[i]);
+    positions[s].push_back(i);
+    slices[s].measure = request.measure;
+    slices[s].ids.push_back(partitioner.local_id(request.ids[i]));
+  }
+
+  const std::size_t count = request.ids.size();
+  const bool location = core::IsLocation(request.measure);
+  if (location) {
+    out.response.location = la::Vector(count);
+  } else {
+    out.response.pair_values = la::Matrix(count, count);
+  }
+  // One chunk per shard (writes are shard-disjoint request positions).
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec_, shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+        for (std::size_t s = lo; s < hi; ++s) {
+          if (slices[s].ids.empty()) continue;
+          FreshnessReport report;
+          AFFINITY_ASSIGN_OR_RETURN(core::MecResponse r,
+                                    shards_[s].Mec(slices[s], per_shard, &report));
+          out.shards[s] = ShardFreshness{report.snapshot_age, report.blended};
+          if (location) {
+            for (std::size_t t = 0; t < positions[s].size(); ++t) {
+              out.response.location[positions[s][t]] = r.location[t];
+            }
+          } else {
+            for (std::size_t a = 0; a < positions[s].size(); ++a) {
+              for (std::size_t b = 0; b < positions[s].size(); ++b) {
+                out.response.pair_values(positions[s][a], positions[s][b]) = r.pair_values(a, b);
+              }
+            }
+          }
+        }
+        return Status::OK();
+      }));
+  if (!location) {
+    // Cross-shard cells: resolve each requested (i, j) spanning two shards
+    // against the aligned snapshots and evaluate naively (blended when the
+    // staleness bound trips).
+    const bool blend = NeedsBlend(options);
+    std::vector<CrossPair> resolved;
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = i + 1; j < count; ++j) {
+        if (partitioner.shard_of(request.ids[i]) == partitioner.shard_of(request.ids[j])) {
+          continue;
+        }
+        const ts::SeriesId u = request.ids[i];
+        const ts::SeriesId v = request.ids[j];
+        const core::StreamingAffinity& su = shards_[partitioner.shard_of(u)];
+        const core::StreamingAffinity& sv = shards_[partitioner.shard_of(v)];
+        resolved.push_back(
+            CrossPair{ts::SequencePair(u, v),
+                      su.framework()->data().ColumnData(partitioner.local_id(u)),
+                      sv.framework()->data().ColumnData(partitioner.local_id(v))});
+        cells.emplace_back(i, j);
+      }
+    }
+    if (!resolved.empty()) {
+      const std::size_t window = options_.streaming.window;
+      AFFINITY_ASSIGN_OR_RETURN(
+          std::vector<double> values,
+          core::EvaluateCrossPairs(request.measure, resolved, window, exec_));
+      if (blend && request.measure != Measure::kCorrelation) {
+        AFFINITY_ASSIGN_OR_RETURN(
+            const std::vector<double> rhos,
+            core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window, exec_));
+        for (std::size_t idx = 0; idx < resolved.size(); ++idx) {
+          const ts::SeriesId u = request.ids[cells[idx].first];
+          const ts::SeriesId v = request.ids[cells[idx].second];
+          const ts::RollingStats& ru =
+              shards_[partitioner.shard_of(u)].rolling_stats()[partitioner.local_id(u)];
+          const ts::RollingStats& rv =
+              shards_[partitioner.shard_of(v)].rolling_stats()[partitioner.local_id(v)];
+          values[idx] = core::BlendPairMeasure(request.measure, rhos[idx], values[idx], ru, rv);
+        }
+      }
+      for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+        out.response.pair_values(cells[idx].first, cells[idx].second) = values[idx];
+        out.response.pair_values(cells[idx].second, cells[idx].first) = values[idx];
+      }
+    }
+  }
+  out.response.plan = std::move(plan);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-manifest persistence.
+// ---------------------------------------------------------------------------
+
+Status ShardedAffinity::Save(const std::string& path) const {
+  if (!ready()) {
+    return Status::FailedPrecondition("every shard needs a snapshot before Save");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const SeriesPartitioner& partitioner = router_.partitioner();
+
+  out.write(kManifestMagic, sizeof kManifestMagic);
+  WriteU32(out, kManifestVersion);
+  WriteU64(out, partitioner.shards());
+  WriteU64(out, partitioner.n());
+  WriteU32(out, static_cast<std::uint32_t>(partitioner.scheme()));
+  for (std::size_t i = 0; i < partitioner.n(); ++i) {
+    WriteU32(out, static_cast<std::uint32_t>(partitioner.shard_of(static_cast<ts::SeriesId>(i))));
+  }
+  // Streaming geometry and build/maintenance tuning the restored
+  // deployment must agree on (a post-restore escalation rebuilds with
+  // these, so they cannot silently reset to defaults).
+  WriteU64(out, options_.streaming.window);
+  WriteU64(out, options_.streaming.rebuild_interval);
+  WriteU32(out, options_.streaming.mode == core::UpdateMode::kIncremental ? 1 : 0);
+  WriteU64(out, options_.streaming.segment_capacity);
+  WriteU64(out, options_.streaming.build.afclst.k);
+  WriteU32(out, static_cast<std::uint32_t>(options_.streaming.build.afclst.max_iterations));
+  WriteU32(out, static_cast<std::uint32_t>(options_.streaming.build.afclst.min_changes));
+  WriteU64(out, options_.streaming.build.afclst.seed);
+  WriteU32(out, options_.streaming.build.symex.cache_pseudo_inverse ? 1 : 0);
+  WriteU64(out, options_.streaming.build.symex.max_relationships);
+  WriteU64(out, options_.streaming.build.scape.btree_fanout);
+  WriteU32(out, options_.streaming.build.build_scape ? 1 : 0);
+  WriteU32(out, options_.streaming.build.build_dft ? 1 : 0);
+  WriteU64(out, options_.streaming.build.dft_coefficients);
+  WriteF64(out, options_.streaming.incremental.refit_drift_threshold);
+  WriteU64(out, options_.streaming.incremental.exact_refit_period);
+  WriteF64(out, options_.streaming.incremental.escalation_factor);
+  WriteF64(out, options_.streaming.incremental.escalation_slack);
+  // One model payload per shard (serialize.h framing).
+  for (const core::StreamingAffinity& shard : shards_) {
+    AFFINITY_RETURN_IF_ERROR(core::WriteModelStream(shard.framework()->model(), out));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<ShardedAffinity> ShardedAffinity::Load(const std::string& path, std::size_t threads) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  if (in.gcount() != 4 || std::memcmp(magic, kManifestMagic, 4) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an AFFINITY shard manifest");
+  }
+  std::uint32_t version = 0;
+  if (!ReadU32(in, &version) || version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported shard manifest version");
+  }
+  std::uint64_t shards = 0;
+  std::uint64_t n = 0;
+  std::uint32_t scheme_raw = 0;
+  if (!ReadU64(in, &shards) || !ReadU64(in, &n) || !ReadU32(in, &scheme_raw) || shards == 0 ||
+      shards > (1u << 20) || n > (1u << 28) || scheme_raw > 1) {
+    return Status::InvalidArgument("'" + path + "': corrupt shard manifest header");
+  }
+  std::vector<std::uint32_t> assignment(n);
+  for (auto& a : assignment) {
+    if (!ReadU32(in, &a)) {
+      return Status::InvalidArgument("'" + path + "': corrupt shard assignment");
+    }
+  }
+  ShardedOptions options;
+  options.shards = static_cast<std::size_t>(shards);
+  options.partition = static_cast<PartitionScheme>(scheme_raw);
+  std::uint64_t window = 0;
+  std::uint64_t interval = 0;
+  std::uint32_t mode = 0;
+  std::uint64_t segment_capacity = 0;
+  if (!ReadU64(in, &window) || !ReadU64(in, &interval) || !ReadU32(in, &mode) ||
+      !ReadU64(in, &segment_capacity) || mode > 1) {
+    return Status::InvalidArgument("'" + path + "': corrupt streaming geometry");
+  }
+  options.streaming.window = static_cast<std::size_t>(window);
+  options.streaming.rebuild_interval = static_cast<std::size_t>(interval);
+  options.streaming.mode = mode == 1 ? core::UpdateMode::kIncremental : core::UpdateMode::kRebuild;
+  options.streaming.segment_capacity = static_cast<std::size_t>(segment_capacity);
+  std::uint64_t k = 0;
+  std::uint32_t max_iterations = 0;
+  std::uint32_t min_changes = 0;
+  std::uint64_t afclst_seed = 0;
+  std::uint32_t cache_pinv = 0;
+  std::uint64_t max_relationships = 0;
+  std::uint64_t btree_fanout = 0;
+  std::uint32_t build_scape = 0;
+  std::uint32_t build_dft = 0;
+  std::uint64_t dft_coefficients = 0;
+  std::uint64_t refit_period = 0;
+  core::IncrementalOptions incremental;
+  if (!ReadU64(in, &k) || !ReadU32(in, &max_iterations) || !ReadU32(in, &min_changes) ||
+      !ReadU64(in, &afclst_seed) || !ReadU32(in, &cache_pinv) ||
+      !ReadU64(in, &max_relationships) || !ReadU64(in, &btree_fanout) ||
+      !ReadU32(in, &build_scape) || !ReadU32(in, &build_dft) ||
+      !ReadU64(in, &dft_coefficients) || !ReadF64(in, &incremental.refit_drift_threshold) ||
+      !ReadU64(in, &refit_period) || !ReadF64(in, &incremental.escalation_factor) ||
+      !ReadF64(in, &incremental.escalation_slack) || cache_pinv > 1 || build_scape > 1 ||
+      build_dft > 1) {
+    return Status::InvalidArgument("'" + path + "': corrupt build-tuning section");
+  }
+  options.streaming.build.afclst.k = static_cast<std::size_t>(k);
+  options.streaming.build.afclst.max_iterations = static_cast<int>(max_iterations);
+  options.streaming.build.afclst.min_changes = static_cast<int>(min_changes);
+  options.streaming.build.afclst.seed = afclst_seed;
+  options.streaming.build.symex.cache_pseudo_inverse = cache_pinv == 1;
+  options.streaming.build.symex.max_relationships = static_cast<std::size_t>(max_relationships);
+  options.streaming.build.scape.btree_fanout = static_cast<std::size_t>(btree_fanout);
+  options.streaming.build.build_scape = build_scape == 1;
+  options.streaming.build.build_dft = build_dft == 1;
+  options.streaming.build.dft_coefficients = static_cast<std::size_t>(dft_coefficients);
+  incremental.exact_refit_period = static_cast<std::size_t>(refit_period);
+  options.streaming.incremental = incremental;
+  options.streaming.build.threads = threads;
+
+  AFFINITY_ASSIGN_OR_RETURN(
+      SeriesPartitioner partitioner,
+      SeriesPartitioner::FromAssignment(assignment, options.shards, options.partition));
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) pool = std::make_unique<ThreadPool>(threads);
+  ShardedAffinity service(options, std::move(partitioner), std::move(pool));
+  service.shards_.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    auto model = core::ReadModelStream(in);
+    if (!model.ok()) {
+      return Status(model.status().code(), "'" + path + "' shard " + std::to_string(s) + ": " +
+                                               std::string(model.status().message()));
+    }
+    if (model->data().n() != service.router_.partitioner().group(s).size()) {
+      return Status::InvalidArgument("'" + path + "' shard " + std::to_string(s) +
+                                     ": model width disagrees with the shard assignment");
+    }
+    AFFINITY_ASSIGN_OR_RETURN(
+        core::StreamingAffinity stream,
+        core::StreamingAffinity::Restore(std::move(model).value(), options.streaming,
+                                         service.exec_));
+    service.shards_.push_back(std::move(stream));
+  }
+  service.append_results_.resize(options.shards);
+  // Logical row numbering restarts at `window` (each restored shard's
+  // resident window is its whole history).
+  service.rows_ = options.streaming.window;
+  return service;
+}
+
+}  // namespace affinity::shard

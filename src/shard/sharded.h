@@ -1,0 +1,235 @@
+#ifndef AFFINITY_SHARD_SHARDED_H_
+#define AFFINITY_SHARD_SHARDED_H_
+
+/// \file sharded.h
+/// The sharded streaming service (DESIGN.md §9): N independent
+/// `StreamingAffinity` instances over disjoint series groups behind one
+/// router — the ROADMAP's "millions of users" deployment shape.
+///
+/// **Ingest.** `Append` scatters each global row into per-shard rows
+/// (reusable buffers, no per-append allocation) and runs every shard's
+/// append — including any due snapshot refresh — concurrently over one
+/// shared thread pool. Shards refresh in lockstep (same window/interval,
+/// aligned rows), so all shard snapshots always cover the same logical
+/// trailing window.
+///
+/// **Queries.** MET/MER/MEC/top-k run scatter-gather: the shard-aware
+/// planner (`QueryPlanner::Topology`) resolves one strategy, every shard
+/// answers over its own model/index (`StreamingAffinity` freshness
+/// queries), and the router adds the pairs no shard can see — pairs
+/// spanning two shards — by evaluating them naively over the aligned
+/// shard snapshots (`core::EvaluateCrossPairs`). Results merge by k-way
+/// heap merge (`core::MergeTopK` for top-k; sorted-run merges for
+/// selections), making the merged answer identical to an unsharded
+/// instance over the same data (asserted in tests at 1/2/8 shards).
+///
+/// **Freshness.** `FreshnessOptions::max_staleness` bounds the snapshot
+/// age an answer may reflect; shards older than the bound blend live
+/// rolling marginals into their answers (streaming.h), and the response
+/// reports every shard's actual snapshot age.
+///
+/// The single-instance deployment is exactly the N = 1 case: one shard,
+/// no cross pairs, every query a pure pass-through.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/streaming.h"
+#include "shard/partitioner.h"
+
+namespace affinity::shard {
+
+/// Sharded service configuration.
+struct ShardedOptions {
+  /// Number of independent model instances (≥ 1).
+  std::size_t shards = 1;
+  /// How series are assigned to shards.
+  PartitionScheme partition = PartitionScheme::kRange;
+  /// Per-shard streaming configuration. `streaming.build.threads` sizes
+  /// the single router-owned pool all shards share (1 = sequential, 0 =
+  /// one per hardware thread).
+  core::StreamingOptions streaming;
+};
+
+/// Per-shard freshness attached to every scatter-gather answer.
+struct ShardFreshness {
+  std::size_t snapshot_age = 0;  ///< rows appended since that shard's refresh
+  bool blended = false;          ///< that shard answered with the live blend
+};
+
+/// A MET/MER answer in global ids, plus per-shard freshness.
+struct ShardedSelection {
+  core::SelectionResult result;
+  std::vector<ShardFreshness> shards;
+};
+
+/// A MEC answer (locations / pair matrix in request order), plus
+/// per-shard freshness.
+struct ShardedMec {
+  core::MecResponse response;
+  std::vector<ShardFreshness> shards;
+};
+
+/// A top-k answer in global ids, plus per-shard freshness.
+struct ShardedTopK {
+  core::TopKResult result;
+  std::vector<ShardFreshness> shards;
+};
+
+/// Owns the partition and the scatter/gather id plumbing: reusable
+/// per-shard row buffers for ingest and the precomputed cross-shard pair
+/// list for queries.
+class ShardRouter {
+ public:
+  explicit ShardRouter(SeriesPartitioner partitioner);
+
+  const SeriesPartitioner& partitioner() const { return partitioner_; }
+
+  /// Scatters one global row into per-shard rows. The returned reference
+  /// aliases internal buffers reused on every call — valid until the next
+  /// Scatter (the allocation-free append hot path).
+  const std::vector<std::vector<double>>& Scatter(const std::vector<double>& row);
+
+  /// Every sequence pair spanning two shards, (u, v)-lex order in global
+  /// ids; precomputed once at construction.
+  const std::vector<ts::SequencePair>& cross_pairs() const { return cross_pairs_; }
+
+ private:
+  SeriesPartitioner partitioner_;
+  std::vector<std::vector<double>> scatter_;
+  std::vector<ts::SequencePair> cross_pairs_;
+};
+
+/// The sharded ingest-and-query service. Movable, not copyable.
+class ShardedAffinity {
+ public:
+  /// Creates N shards over the named series. Status errors (never crashes)
+  /// for invalid configurations: see ValidateStreamingOptions plus the
+  /// shard-count bounds of SeriesPartitioner::Create.
+  static StatusOr<ShardedAffinity> Create(const std::vector<std::string>& names,
+                                          const ShardedOptions& options);
+
+  /// Appends one aligned global row; every shard ingests its slice
+  /// concurrently on the shared pool. The aggregated result reports the
+  /// first per-shard error (by shard index), whether any shard refreshed /
+  /// escalated, and the refresh mode of the lowest refreshed shard.
+  core::AppendResult Append(const std::vector<double>& row);
+
+  /// True once every shard has a snapshot (they refresh in lockstep, so
+  /// this flips for all shards on the same append).
+  bool ready() const;
+
+  /// Rows ingested (global rows; every shard saw each of them).
+  std::size_t rows_ingested() const { return rows_; }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Shard s (its framework, rolling stats, maintenance accounting).
+  const core::StreamingAffinity& shard(std::size_t s) const { return shards_[s]; }
+
+  const ShardRouter& router() const { return router_; }
+
+  /// Cross-shard aggregation of the per-shard maintenance accounting
+  /// (counters summed, last-refresh latency maxed — shards refresh
+  /// concurrently; residual levels averaged).
+  core::MaintenanceProfile maintenance() const;
+
+  /// Every shard's snapshot age, indexed by shard.
+  std::vector<std::size_t> snapshot_ages() const;
+
+  /// Forces a full rebuild of every shard (concurrently).
+  Status Rebuild();
+
+  // --- Scatter-gather queries (global ids) --------------------------------
+
+  StatusOr<ShardedMec> Mec(const core::MecRequest& request,
+                           const core::FreshnessOptions& options = {}) const;
+  StatusOr<ShardedSelection> Met(const core::MetRequest& request,
+                                 const core::FreshnessOptions& options = {}) const;
+  StatusOr<ShardedSelection> Mer(const core::MerRequest& request,
+                                 const core::FreshnessOptions& options = {}) const;
+  StatusOr<ShardedTopK> TopK(const core::TopKRequest& request,
+                             const core::FreshnessOptions& options = {}) const;
+
+  // --- Shard-manifest persistence (serialize.h framing) -------------------
+
+  /// Saves the whole deployment to one file: a manifest header (shard
+  /// count, partition assignment, streaming geometry, names) followed by
+  /// every shard's model payload (`core::WriteModelStream`). All shards
+  /// must be ready. IoError / FailedPrecondition on failure.
+  Status Save(const std::string& path) const;
+
+  /// Restores a deployment saved by Save: every shard comes back ready,
+  /// answering over its checkpointed window, with logical row numbering
+  /// restarted at `window`. `threads` sizes the restored shared pool
+  /// (1 = sequential, 0 = hardware). In kIncremental mode the maintenance
+  /// structure re-freezes from the checkpoint — an exact refit of every
+  /// relationship, as after an escalation — so answers may differ from the
+  /// pre-checkpoint delta-maintained state by the bounded round-off the
+  /// exact-refit cadence normally reclaims (~1e-13 relative; DESIGN.md §8).
+  static StatusOr<ShardedAffinity> Load(const std::string& path, std::size_t threads = 1);
+
+  /// The configuration the service was created with.
+  const ShardedOptions& options() const { return options_; }
+
+  /// The shared execution context (scatter appends and gather sweeps).
+  const ExecContext& exec() const { return exec_; }
+
+ private:
+  ShardedAffinity(ShardedOptions options, SeriesPartitioner partitioner,
+                  std::unique_ptr<ThreadPool> pool);
+
+  /// Builds the per-shard streams (used by Create and Load).
+  Status InitShards(const std::vector<std::string>& names);
+
+  /// The globally resolved plan for a sharded query: per-shard strategy
+  /// from the shard-aware planner (Topology carries shard count and cross
+  /// pairs). FailedPrecondition before the first refresh.
+  StatusOr<core::ExecutedPlan> ResolveShardPlan(
+      const std::function<core::PlanChoice(const core::QueryPlanner&)>& plan,
+      const core::FreshnessOptions& options) const;
+
+  /// True when the staleness bound demands blending: the *oldest* shard
+  /// snapshot exceeds it. The single gate shared by plan resolution and
+  /// the cross-shard sweep, so a lone stale shard can never leak raw
+  /// snapshot values into an answer stamped as blended.
+  bool NeedsBlend(const core::FreshnessOptions& options) const;
+
+  /// The shared MET/MER gather: per-shard selections run concurrently on
+  /// the pool (`shard_query` invokes one shard's Met/Mer), local ids are
+  /// rewritten to global, the cross-shard sweep applies `keep(value, a,
+  /// b)`, and the sorted runs k-way merge.
+  StatusOr<ShardedSelection> SelectAcrossShards(
+      core::Measure measure, bool (*keep)(double, double, double), double a, double b,
+      const std::function<core::PlanChoice(const core::QueryPlanner&)>& plan,
+      const std::function<StatusOr<core::SelectionResult>(
+          const core::StreamingAffinity&, const core::FreshnessOptions&,
+          core::FreshnessReport*)>& shard_query,
+      const core::FreshnessOptions& options) const;
+
+  /// Values of every cross-shard pair (index-aligned with
+  /// router_.cross_pairs()): naive over the aligned shard snapshots, or
+  /// the live-marginal blend when `blend` is set.
+  StatusOr<std::vector<double>> CrossPairValues(core::Measure measure, bool blend) const;
+
+  /// Collects per-shard freshness for a response.
+  std::vector<ShardFreshness> Freshness(const core::FreshnessOptions& options) const;
+
+  // Pool first: shards hold ExecContexts pointing at it (destroy last).
+  std::unique_ptr<ThreadPool> pool_;
+  ExecContext exec_;
+  ShardedOptions options_;
+  ShardRouter router_;
+  std::vector<core::StreamingAffinity> shards_;
+  /// Reused per-append result buffer (allocation-free hot path).
+  std::vector<core::AppendResult> append_results_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace affinity::shard
+
+#endif  // AFFINITY_SHARD_SHARDED_H_

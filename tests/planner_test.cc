@@ -103,5 +103,33 @@ TEST(Planner, RationaleIsAlwaysPresent) {
   }
 }
 
+TEST(Planner, ShardTopologyChargesCrossPairSweep) {
+  QueryPlanner::Capabilities caps;
+  caps.has_model = true;
+  caps.has_scape = true;
+  // 4 shards of 4 series over m=64; 96 of the 120 global pairs cross.
+  const QueryPlanner flat(4, 64, caps);
+  const QueryPlanner sharded(4, 64, caps, QueryPlanner::Topology{4, 96});
+
+  const PlanChoice a = flat.PlanMet(Measure::kCovariance);
+  const PlanChoice b = sharded.PlanMet(Measure::kCovariance);
+  // Same per-shard strategy, plus exactly the cross-shard WN surcharge.
+  EXPECT_EQ(b.method, a.method);
+  EXPECT_NEAR(b.estimated_cost - a.estimated_cost,
+              96.0 * sharded.NaiveUnitCost(Measure::kCovariance), 1e-9);
+  EXPECT_NE(b.rationale.find("scatter-gather over 4 shards"), std::string::npos);
+  EXPECT_NE(b.rationale.find("96 cross-shard pairs"), std::string::npos);
+
+  // L-measures never span shards: no surcharge, unchanged rationale.
+  const PlanChoice l = sharded.PlanMet(Measure::kMean);
+  EXPECT_EQ(l.estimated_cost, flat.PlanMet(Measure::kMean).estimated_cost);
+  EXPECT_EQ(l.rationale.find("scatter-gather"), std::string::npos);
+
+  // The default topology is the unsharded identity.
+  const QueryPlanner one(4, 64, caps, QueryPlanner::Topology{1, 0});
+  EXPECT_EQ(one.PlanTopK(Measure::kCorrelation, 5).rationale,
+            flat.PlanTopK(Measure::kCorrelation, 5).rationale);
+}
+
 }  // namespace
 }  // namespace affinity::core

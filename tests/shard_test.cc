@@ -1,0 +1,551 @@
+// Tests for the sharded streaming service (src/shard): partitioner
+// invariants, scatter-gather equivalence with the unsharded baseline at
+// 1/2/8 shards × 1/2/8 threads, freshness-bounded (blended) answers, and
+// the shard-manifest round-trip.
+
+#include "shard/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "ts/generators.h"
+
+namespace affinity::shard {
+namespace {
+
+using core::FreshnessOptions;
+using core::Measure;
+using core::MecRequest;
+using core::MetRequest;
+using core::MerRequest;
+using core::QueryMethod;
+using core::TopKRequest;
+
+std::string TempPath(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+std::vector<std::string> Names(std::size_t n) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back("s" + std::to_string(i));
+  return out;
+}
+
+ts::Dataset TestData(std::size_t n = 16, std::uint64_t seed = 12) {
+  ts::DatasetSpec spec;
+  spec.num_series = n;
+  spec.num_samples = 240;
+  spec.num_clusters = 3;
+  spec.noise_level = 0.02;
+  spec.seed = seed;
+  return ts::MakeSensorData(spec);
+}
+
+ShardedOptions SmallOptions(std::size_t shards, std::size_t threads = 1) {
+  ShardedOptions options;
+  options.shards = shards;
+  options.streaming.window = 40;
+  options.streaming.rebuild_interval = 20;
+  options.streaming.mode = core::UpdateMode::kIncremental;
+  options.streaming.build.afclst.k = 2;
+  options.streaming.build.build_dft = false;
+  options.streaming.build.threads = threads;
+  return options;
+}
+
+/// Feeds rows [begin, end) of `ds` into the sharded service.
+void Feed(ShardedAffinity* service, const ts::Dataset& ds, std::size_t begin, std::size_t end) {
+  std::vector<double> row(ds.matrix.n());
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    ASSERT_TRUE(service->Append(row).ok());
+  }
+}
+
+void FeedStream(core::StreamingAffinity* stream, const ts::Dataset& ds, std::size_t begin,
+                std::size_t end) {
+  std::vector<double> row(ds.matrix.n());
+  for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    ASSERT_TRUE(stream->Append(row).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SeriesPartitioner.
+// ---------------------------------------------------------------------------
+
+TEST(Partitioner, RangeIsContiguousDisjointCover) {
+  auto p = SeriesPartitioner::Create(Names(10), 3, PartitionScheme::kRange);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->shards(), 3u);
+  std::set<ts::SeriesId> seen;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto& group = p->group(s);
+    EXPECT_GE(group.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(group.begin(), group.end()));
+    // Contiguous block.
+    EXPECT_EQ(group.back() - group.front() + 1, group.size());
+    for (ts::SeriesId id : group) {
+      EXPECT_TRUE(seen.insert(id).second) << "series in two shards";
+      EXPECT_EQ(p->shard_of(id), s);
+      EXPECT_EQ(p->global_id(s, p->local_id(id)), id);
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Partitioner, HashIsBalancedDeterministicCover) {
+  const auto names = Names(17);
+  auto a = SeriesPartitioner::Create(names, 4, PartitionScheme::kHash);
+  auto b = SeriesPartitioner::Create(names, 4, PartitionScheme::kHash);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::set<ts::SeriesId> seen;
+  for (std::size_t s = 0; s < 4; ++s) {
+    // Balanced within one series per shard: 17/4 → sizes in {4, 5}.
+    EXPECT_GE(a->group(s).size(), 4u);
+    EXPECT_LE(a->group(s).size(), 5u);
+    EXPECT_EQ(a->group(s), b->group(s)) << "hash partition must be deterministic";
+    for (ts::SeriesId id : a->group(s)) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(Partitioner, CrossPairCountMatchesEnumeration) {
+  auto p = SeriesPartitioner::Create(Names(9), 2, PartitionScheme::kHash);
+  ASSERT_TRUE(p.ok());
+  std::size_t cross = 0;
+  for (std::size_t u = 0; u < 9; ++u) {
+    for (std::size_t v = u + 1; v < 9; ++v) {
+      if (p->shard_of(u) != p->shard_of(v)) ++cross;
+    }
+  }
+  EXPECT_EQ(p->cross_pair_count(), cross);
+}
+
+TEST(Partitioner, RejectsBadGeometry) {
+  EXPECT_FALSE(SeriesPartitioner::Create(Names(4), 0, PartitionScheme::kRange).ok());
+  EXPECT_FALSE(SeriesPartitioner::Create(Names(4), 3, PartitionScheme::kRange).ok());
+  EXPECT_FALSE(SeriesPartitioner::Create(Names(5), 3, PartitionScheme::kHash).ok());
+  EXPECT_TRUE(SeriesPartitioner::Create(Names(6), 3, PartitionScheme::kRange).ok());
+}
+
+TEST(Partitioner, FromAssignmentRoundTrips) {
+  auto p = SeriesPartitioner::Create(Names(11), 3, PartitionScheme::kHash);
+  ASSERT_TRUE(p.ok());
+  std::vector<std::uint32_t> assignment(11);
+  for (std::size_t i = 0; i < 11; ++i) {
+    assignment[i] = static_cast<std::uint32_t>(p->shard_of(i));
+  }
+  auto q = SeriesPartitioner::FromAssignment(assignment, 3, PartitionScheme::kHash);
+  ASSERT_TRUE(q.ok());
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_EQ(p->group(s), q->group(s));
+  // Out-of-range shard id rejected.
+  assignment[0] = 7;
+  EXPECT_FALSE(SeriesPartitioner::FromAssignment(assignment, 3, PartitionScheme::kHash).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Construction validation (Status, never a crash).
+// ---------------------------------------------------------------------------
+
+TEST(Sharded, CreateValidatesOptions) {
+  EXPECT_FALSE(ShardedAffinity::Create(Names(16), SmallOptions(0)).ok());
+  EXPECT_FALSE(ShardedAffinity::Create(Names(16), SmallOptions(9)).ok());  // 16 < 2·9
+  ShardedOptions bad = SmallOptions(2);
+  bad.streaming.window = 1;
+  EXPECT_FALSE(ShardedAffinity::Create(Names(16), bad).ok());
+  bad = SmallOptions(2);
+  bad.streaming.rebuild_interval = 0;
+  EXPECT_FALSE(ShardedAffinity::Create(Names(16), bad).ok());
+  bad = SmallOptions(2);
+  bad.streaming.incremental.exact_refit_period = 0;
+  EXPECT_FALSE(ShardedAffinity::Create(Names(16), bad).ok());
+  bad = SmallOptions(2);
+  bad.streaming.incremental.escalation_factor = 0.0;
+  EXPECT_FALSE(ShardedAffinity::Create(Names(16), bad).ok());
+  EXPECT_TRUE(ShardedAffinity::Create(Names(16), SmallOptions(2)).ok());
+}
+
+TEST(Sharded, AppendValidatesRowWidth) {
+  auto service = ShardedAffinity::Create(Names(8), SmallOptions(2));
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE(service->Append({1.0, 2.0}).ok());
+  EXPECT_TRUE(service->Append(std::vector<double>(8, 1.0)).ok());
+}
+
+TEST(Sharded, QueriesFailBeforeFirstSnapshot) {
+  auto service = ShardedAffinity::Create(Names(8), SmallOptions(2));
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE(service->ready());
+  MetRequest request{Measure::kCorrelation, 0.9, true};
+  EXPECT_EQ(service->Met(request).status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Sharded, ShardsRefreshInLockstep) {
+  const ts::Dataset ds = TestData();
+  auto service = ShardedAffinity::Create(ds.matrix.names(), SmallOptions(4));
+  ASSERT_TRUE(service.ok());
+  std::vector<double> row(ds.matrix.n());
+  std::size_t refreshes = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    const core::AppendResult result = service->Append(row);
+    ASSERT_TRUE(result.ok());
+    const bool expect_refresh = (i + 1) == 40 || ((i + 1) > 40 && (i + 1) % 20 == 0);
+    EXPECT_EQ(result.refreshed, expect_refresh) << "row " << i + 1;
+    if (result.refreshed) ++refreshes;
+  }
+  EXPECT_EQ(refreshes, 4u);
+  EXPECT_TRUE(service->ready());
+  EXPECT_EQ(service->rows_ingested(), 100u);
+  // Lockstep: every shard's snapshot is the same age.
+  for (const std::size_t age : service->snapshot_ages()) EXPECT_EQ(age, 0u);
+  // Maintenance aggregation saw every shard's refreshes (first build at 40
+  // plus 3 incremental refreshes per shard).
+  EXPECT_EQ(service->maintenance().refreshes, 4u * 3u);
+  EXPECT_GT(service->maintenance().tree_rekeys, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather equivalence with the unsharded baseline.
+// ---------------------------------------------------------------------------
+
+/// Canonical order for comparing selection answers.
+template <typename T>
+std::vector<T> Sorted(std::vector<T> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Sharded, AnswersMatchUnshardedBaseline) {
+  const ts::Dataset ds = TestData();
+  // Unsharded baseline over the same 120 rows.
+  core::StreamingOptions base_options = SmallOptions(1).streaming;
+  auto baseline = core::StreamingAffinity::Create(ds.matrix.names(), base_options);
+  ASSERT_TRUE(baseline.ok());
+  FeedStream(&*baseline, ds, 0, 120);
+  ASSERT_TRUE(baseline->ready());
+
+  const MetRequest met{Measure::kCorrelation, 0.9, true};
+  const MerRequest mer{Measure::kCovariance, -0.1, 0.1};
+  const MetRequest met_mean{Measure::kMean, 0.0, true};
+  const TopKRequest topk{Measure::kCorrelation, 5, true};
+  MecRequest mec;
+  mec.measure = Measure::kCovariance;
+  mec.ids = {0, 3, 7, 9, 12, 15};  // spans every shard at 8 shards
+
+  auto base_met = baseline->Met(met);
+  auto base_mer = baseline->Mer(mer);
+  auto base_met_mean = baseline->Met(met_mean);
+  auto base_topk = baseline->TopK(topk);
+  auto base_mec = baseline->Mec(mec);
+  ASSERT_TRUE(base_met.ok());
+  ASSERT_TRUE(base_mer.ok());
+  ASSERT_TRUE(base_met_mean.ok());
+  ASSERT_TRUE(base_topk.ok());
+  ASSERT_TRUE(base_mec.ok());
+  ASSERT_GT(base_met->pairs.size(), 0u);
+  ASSERT_GT(base_mer->pairs.size(), 0u);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " threads=" + std::to_string(threads));
+      auto service = ShardedAffinity::Create(ds.matrix.names(), SmallOptions(shards, threads));
+      ASSERT_TRUE(service.ok());
+      Feed(&*service, ds, 0, 120);
+      ASSERT_TRUE(service->ready());
+
+      auto s_met = service->Met(met);
+      ASSERT_TRUE(s_met.ok());
+      EXPECT_EQ(Sorted(s_met->result.pairs), Sorted(base_met->pairs));
+
+      auto s_mer = service->Mer(mer);
+      ASSERT_TRUE(s_mer.ok());
+      EXPECT_EQ(Sorted(s_mer->result.pairs), Sorted(base_mer->pairs));
+
+      auto s_met_mean = service->Met(met_mean);
+      ASSERT_TRUE(s_met_mean.ok());
+      EXPECT_EQ(Sorted(s_met_mean->result.series), Sorted(base_met_mean->series));
+
+      auto s_topk = service->TopK(topk);
+      ASSERT_TRUE(s_topk.ok());
+      ASSERT_EQ(s_topk->result.entries.size(), base_topk->entries.size());
+      // Same entity set, same order by value; values equal to a few ulps
+      // (per-shard WA and cross-shard WN round differently).
+      std::vector<ts::SequencePair> s_pairs;
+      std::vector<ts::SequencePair> b_pairs;
+      for (std::size_t i = 0; i < base_topk->entries.size(); ++i) {
+        s_pairs.push_back(s_topk->result.entries[i].pair);
+        b_pairs.push_back(base_topk->entries[i].pair);
+        EXPECT_NEAR(s_topk->result.entries[i].value, base_topk->entries[i].value, 1e-9);
+      }
+      EXPECT_EQ(Sorted(s_pairs), Sorted(b_pairs));
+
+      auto s_mec = service->Mec(mec);
+      ASSERT_TRUE(s_mec.ok());
+      for (std::size_t i = 0; i < mec.ids.size(); ++i) {
+        for (std::size_t j = 0; j < mec.ids.size(); ++j) {
+          EXPECT_NEAR(s_mec->response.pair_values(i, j), base_mec->pair_values(i, j), 1e-9)
+              << "cell " << i << "," << j;
+        }
+      }
+
+      // The executed plan is shard-aware: at N > 1 the rationale records
+      // the scatter-gather and the kAuto dispatch still resolves.
+      if (shards > 1) {
+        EXPECT_NE(s_met->result.plan.rationale.find("scatter-gather"), std::string::npos);
+      }
+    }
+  }
+}
+
+TEST(Sharded, HashPartitionAlsoMatchesBaseline) {
+  const ts::Dataset ds = TestData();
+  core::StreamingOptions base_options = SmallOptions(1).streaming;
+  auto baseline = core::StreamingAffinity::Create(ds.matrix.names(), base_options);
+  ASSERT_TRUE(baseline.ok());
+  FeedStream(&*baseline, ds, 0, 120);
+
+  ShardedOptions options = SmallOptions(4);
+  options.partition = PartitionScheme::kHash;
+  auto service = ShardedAffinity::Create(ds.matrix.names(), options);
+  ASSERT_TRUE(service.ok());
+  Feed(&*service, ds, 0, 120);
+
+  const MetRequest met{Measure::kCorrelation, 0.9, true};
+  auto base = baseline->Met(met);
+  auto sharded = service->Met(met);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(Sorted(sharded->result.pairs), Sorted(base->pairs));
+}
+
+TEST(Sharded, ResultsAreIdenticalAcrossThreadCounts) {
+  const ts::Dataset ds = TestData();
+  std::vector<ShardedTopK> per_thread;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    auto service = ShardedAffinity::Create(ds.matrix.names(), SmallOptions(4, threads));
+    ASSERT_TRUE(service.ok());
+    Feed(&*service, ds, 0, 100);
+    auto topk = service->TopK(TopKRequest{Measure::kCovariance, 7, true});
+    ASSERT_TRUE(topk.ok());
+    per_thread.push_back(std::move(*topk));
+  }
+  for (std::size_t t = 1; t < per_thread.size(); ++t) {
+    ASSERT_EQ(per_thread[t].result.entries.size(), per_thread[0].result.entries.size());
+    for (std::size_t i = 0; i < per_thread[0].result.entries.size(); ++i) {
+      EXPECT_EQ(per_thread[t].result.entries[i].pair, per_thread[0].result.entries[i].pair);
+      // Bitwise: the §7 determinism contract extends through the router.
+      EXPECT_EQ(per_thread[t].result.entries[i].value, per_thread[0].result.entries[i].value);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Freshness-bounded answers.
+// ---------------------------------------------------------------------------
+
+TEST(Sharded, FreshnessReportsAgeAndBlends) {
+  const ts::Dataset ds = TestData();
+  auto service = ShardedAffinity::Create(ds.matrix.names(), SmallOptions(2));
+  ASSERT_TRUE(service.ok());
+  Feed(&*service, ds, 0, 40);  // first snapshot at row 40
+  ASSERT_TRUE(service->ready());
+
+  // Age the snapshot by 5 rows with a ×3 amplitude regime so the live
+  // marginals clearly disagree with the snapshot.
+  std::vector<double> row(ds.matrix.n());
+  for (std::size_t i = 40; i < 45; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = 3.0 * ds.matrix.matrix()(i, j);
+    ASSERT_TRUE(service->Append(row).ok());
+  }
+
+  MecRequest mec;
+  mec.measure = Measure::kCovariance;
+  mec.ids = {0, 15};  // different shards at 2-way range partition
+
+  // Unbounded: snapshot answer, age reported, no blending.
+  auto stale = service->Mec(mec);
+  ASSERT_TRUE(stale.ok());
+  for (const ShardFreshness& f : stale->shards) {
+    EXPECT_EQ(f.snapshot_age, 5u);
+    EXPECT_FALSE(f.blended);
+  }
+
+  // Bounded tighter than the age: blended answer, flagged per shard.
+  FreshnessOptions bounded;
+  bounded.max_staleness = 2;
+  auto fresh = service->Mec(mec, bounded);
+  ASSERT_TRUE(fresh.ok());
+  for (const ShardFreshness& f : fresh->shards) {
+    EXPECT_EQ(f.snapshot_age, 5u);
+    EXPECT_TRUE(f.blended);
+  }
+
+  // The blend tracks the live scale: snapshot correlation × live σuσv.
+  MecRequest corr = mec;
+  corr.measure = Measure::kCorrelation;
+  auto rho = service->Mec(corr);
+  ASSERT_TRUE(rho.ok());
+  const auto& su = service->shard(service->router().partitioner().shard_of(0));
+  const auto& sv = service->shard(service->router().partitioner().shard_of(15));
+  const ts::RollingStats& ru =
+      su.rolling_stats()[service->router().partitioner().local_id(0)];
+  const ts::RollingStats& rv =
+      sv.rolling_stats()[service->router().partitioner().local_id(15)];
+  const double expected =
+      rho->response.pair_values(0, 1) * std::sqrt(ru.Variance() * rv.Variance());
+  EXPECT_NEAR(fresh->response.pair_values(0, 1), expected, 1e-9);
+  // And it moved away from the stale snapshot answer (the ×3 regime).
+  EXPECT_GT(std::abs(fresh->response.pair_values(0, 1)),
+            1.5 * std::abs(stale->response.pair_values(0, 1)));
+
+  // Blended correlation is the snapshot correlation (scale-free).
+  auto fresh_corr = service->Mec(corr, bounded);
+  ASSERT_TRUE(fresh_corr.ok());
+  EXPECT_DOUBLE_EQ(fresh_corr->response.pair_values(0, 1), rho->response.pair_values(0, 1));
+
+  // A fresh-enough snapshot is never blended.
+  FreshnessOptions loose;
+  loose.max_staleness = 10;
+  auto unblended = service->Mec(mec, loose);
+  ASSERT_TRUE(unblended.ok());
+  for (const ShardFreshness& f : unblended->shards) EXPECT_FALSE(f.blended);
+  EXPECT_DOUBLE_EQ(unblended->response.pair_values(0, 1), stale->response.pair_values(0, 1));
+}
+
+TEST(Streaming, FreshnessBlendOnSingleInstance) {
+  const ts::Dataset ds = TestData(10);
+  core::StreamingOptions options;
+  options.window = 40;
+  options.rebuild_interval = 20;
+  options.build.afclst.k = 2;
+  options.build.build_dft = false;
+  auto stream = core::StreamingAffinity::Create(ds.matrix.names(), options);
+  ASSERT_TRUE(stream.ok());
+  FeedStream(&*stream, ds, 0, 40);
+  ASSERT_TRUE(stream->ready());
+  std::vector<double> row(ds.matrix.n());
+  for (std::size_t i = 40; i < 44; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = 2.0 * ds.matrix.matrix()(i, j);
+    ASSERT_TRUE(stream->Append(row).ok());
+  }
+  EXPECT_EQ(stream->snapshot_age(), 4u);
+
+  // Blended mean equals the live rolling mean exactly.
+  FreshnessOptions bounded;
+  bounded.max_staleness = 1;
+  core::FreshnessReport report;
+  MecRequest mec;
+  mec.measure = Measure::kMean;
+  mec.ids = {2};
+  auto blended = stream->Mec(mec, bounded, &report);
+  ASSERT_TRUE(blended.ok());
+  EXPECT_TRUE(report.blended);
+  EXPECT_EQ(report.snapshot_age, 4u);
+  EXPECT_DOUBLE_EQ(blended->location[0], stream->rolling_stats()[2].Mean());
+
+  // Blended top-k runs the sweep (plan documents the blend).
+  auto topk = stream->TopK(TopKRequest{Measure::kCovariance, 3, true}, bounded, &report);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_TRUE(report.blended);
+  EXPECT_EQ(topk->entries.size(), 3u);
+  EXPECT_NE(topk->plan.rationale.find("freshness blend"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Shard-manifest round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(Sharded, ManifestRoundTripPreservesAnswers) {
+  const ts::Dataset ds = TestData();
+  auto service = ShardedAffinity::Create(ds.matrix.names(), SmallOptions(2));
+  ASSERT_TRUE(service.ok());
+  Feed(&*service, ds, 0, 100);  // first build + 3 incremental refreshes
+  ASSERT_TRUE(service->ready());
+  EXPECT_GT(service->maintenance().refreshes, 0u);
+
+  const std::string path = TempPath("sharded.affs");
+  ASSERT_TRUE(service->Save(path).ok());
+  auto loaded = ShardedAffinity::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->ready());
+  EXPECT_EQ(loaded->shard_count(), 2u);
+  // Build/maintenance tuning survives the round trip (a post-restore
+  // escalation must rebuild with the original knobs, not defaults).
+  EXPECT_EQ(loaded->options().streaming.build.afclst.k, 2u);
+  EXPECT_FALSE(loaded->options().streaming.build.build_dft);
+  EXPECT_EQ(loaded->options().streaming.rebuild_interval, 20u);
+
+  const MetRequest met{Measure::kCorrelation, 0.9, true};
+  const TopKRequest topk{Measure::kCorrelation, 5, true};
+  auto met_a = service->Met(met);
+  auto met_b = loaded->Met(met);
+  ASSERT_TRUE(met_a.ok());
+  ASSERT_TRUE(met_b.ok());
+  EXPECT_EQ(met_a->result.pairs, met_b->result.pairs);
+
+  auto topk_a = service->TopK(topk);
+  auto topk_b = loaded->TopK(topk);
+  ASSERT_TRUE(topk_a.ok());
+  ASSERT_TRUE(topk_b.ok());
+  ASSERT_EQ(topk_a->result.entries.size(), topk_b->result.entries.size());
+  for (std::size_t i = 0; i < topk_a->result.entries.size(); ++i) {
+    EXPECT_EQ(topk_a->result.entries[i].pair, topk_b->result.entries[i].pair);
+    EXPECT_NEAR(topk_a->result.entries[i].value, topk_b->result.entries[i].value, 1e-9);
+  }
+
+  // Load re-freezes the maintainer (an exact refit of every relationship,
+  // as after an escalation), so values may shift by the bounded round-off
+  // the refit cadence normally reclaims — compare to that tolerance.
+  MecRequest mec;
+  mec.measure = Measure::kDotProduct;
+  mec.ids = {1, 8, 14};
+  auto mec_a = service->Mec(mec);
+  auto mec_b = loaded->Mec(mec);
+  ASSERT_TRUE(mec_a.ok());
+  ASSERT_TRUE(mec_b.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double a = mec_a->response.pair_values(i, j);
+      const double b = mec_b->response.pair_values(i, j);
+      EXPECT_NEAR(a, b, 1e-8 * (1.0 + std::abs(a)));
+    }
+  }
+
+  // The restored deployment keeps streaming: one interval → a refresh.
+  std::vector<double> row(ds.matrix.n());
+  bool refreshed = false;
+  for (std::size_t i = 100; i < 120; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    const auto result = loaded->Append(row);
+    ASSERT_TRUE(result.ok());
+    refreshed |= result.refreshed;
+  }
+  EXPECT_TRUE(refreshed);
+}
+
+TEST(Sharded, LoadRejectsCorruptManifests) {
+  EXPECT_EQ(ShardedAffinity::Load(TempPath("missing.affs")).status().code(),
+            StatusCode::kIoError);
+  const std::string path = TempPath("garbage.affs");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a manifest at all";
+  }
+  EXPECT_EQ(ShardedAffinity::Load(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace affinity::shard

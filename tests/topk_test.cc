@@ -198,6 +198,36 @@ TEST_F(TopKTest, LocationEntriesCarryARealSeriesIncludingZero) {
   EXPECT_TRUE(saw_series_zero);
 }
 
+TEST(MergeTopKFn, MergesBestFirstRunsWithDeterministicTies) {
+  const auto entry = [](ts::SeriesId u, ts::SeriesId v, double value) {
+    return ScapeTopKEntry{ts::SequencePair(u, v), kNoSeries, value};
+  };
+  std::vector<ScapeTopKResult> runs(3);
+  runs[0].entries = {entry(0, 1, 9.0), entry(0, 2, 5.0), entry(0, 3, 1.0)};
+  runs[0].examined = 7;
+  runs[1].entries = {entry(4, 5, 8.0), entry(4, 6, 5.0)};
+  runs[1].examined = 3;
+  runs[2].entries = {};  // an empty run (e.g. a shard smaller than k)
+  const ScapeTopKResult merged = MergeTopK(runs, 4, /*largest=*/true);
+  ASSERT_EQ(merged.entries.size(), 4u);
+  EXPECT_EQ(merged.examined, 10u);
+  EXPECT_DOUBLE_EQ(merged.entries[0].value, 9.0);
+  EXPECT_DOUBLE_EQ(merged.entries[1].value, 8.0);
+  // Tie at 5.0 breaks by pair id: (0,2) before (4,6) regardless of run order.
+  EXPECT_EQ(merged.entries[2].pair, ts::SequencePair(0, 2));
+  EXPECT_EQ(merged.entries[3].pair, ts::SequencePair(4, 6));
+
+  // Smallest-first direction, k larger than the union.
+  std::vector<ScapeTopKResult> asc(2);
+  asc[0].entries = {entry(0, 1, 1.0), entry(0, 2, 3.0)};
+  asc[1].entries = {entry(3, 4, 2.0)};
+  const ScapeTopKResult small = MergeTopK(asc, 10, /*largest=*/false);
+  ASSERT_EQ(small.entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(small.entries[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(small.entries[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(small.entries[2].value, 3.0);
+}
+
 TEST_F(TopKTest, TopPairsAreMutuallyDistinct) {
   auto result = framework_->scape()->TopK(Measure::kCorrelation, 50, true);
   ASSERT_TRUE(result.ok());
