@@ -37,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "core/affine.h"
 #include "core/framework.h"
+#include "core/kernels.h"
 #include "core/lsfd.h"
 #include "core/streaming.h"
 #include "dft/fft.h"
@@ -178,6 +179,176 @@ void BM_ScratchCovariance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScratchCovariance)->Arg(720)->Arg(1950);
+
+// --- Blocked summation kernels (DESIGN.md §10) -------------------------------
+//
+// Named BM_Kernel* so CI can carve them into BENCH_kernels.json with
+// --benchmark_filter=Kernel. Throughput kernels report bytes/second
+// (GB/s in the JSON); the sweep pair reports pairs/second — the fused,
+// marginal-hoisted sweep must be ≥ 2× the seed's multi-pass loop on
+// derived measures at window ≥ 1024.
+
+void BM_KernelScalarDot(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomSeries(m, 21);
+  const std::vector<double> y = RandomSeries(m, 22);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += x[i] * y[i];
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * sizeof(double)));
+}
+BENCHMARK(BM_KernelScalarDot)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_KernelBlockedDot(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomSeries(m, 21);
+  const std::vector<double> y = RandomSeries(m, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::kernels::BlockedDot(x.data(), y.data(), m));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * sizeof(double)));
+}
+BENCHMARK(BM_KernelBlockedDot)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_KernelColumnMarginals(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomSeries(m, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::kernels::ColumnMarginals(x.data(), m));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * sizeof(double)));
+}
+BENCHMARK(BM_KernelColumnMarginals)->Arg(1024)->Arg(65536);
+
+void BM_KernelFusedPairMoments(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> x = RandomSeries(m, 24);
+  const std::vector<double> y = RandomSeries(m, 25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputePairMoments(x.data(), y.data(), m));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * sizeof(double)));
+}
+BENCHMARK(BM_KernelFusedPairMoments)->Arg(1024)->Arg(65536);
+
+/// The matrix behind the pairs/second sweeps: n columns of window m.
+la::Matrix SweepMatrix(std::size_t n, std::size_t m) {
+  Xoshiro256 rng(26);
+  la::Matrix x(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) x(i, j) = rng.Gaussian(10.0, 3.0);
+  }
+  return x;
+}
+
+/// Seed-style derived sweep: three separate sequential scans per pair
+/// (the pre-PR NaivePairMeasure cost model for cosine/Jaccard/Dice).
+void BM_KernelPairSweepSeed(benchmark::State& state) {
+  const std::size_t n = 48;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix x = SweepMatrix(n, m);
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        const double* cu = x.ColData(u);
+        const double* cv = x.ColData(v);
+        double nx = 0, ny = 0, d = 0;
+        for (std::size_t i = 0; i < m; ++i) nx += cu[i] * cu[i];
+        for (std::size_t i = 0; i < m; ++i) ny += cv[i] * cv[i];
+        for (std::size_t i = 0; i < m; ++i) d += cu[i] * cv[i];
+        const double norm = std::sqrt(nx * ny);
+        acc += norm == 0.0 ? 0.0 : d / norm;
+        ++pairs;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_KernelPairSweepSeed)->Arg(1024)->Arg(2048);
+
+/// The new sweep: marginals hoisted once, one fused blocked dot per pair
+/// (exactly what QueryEngine's WN MET/MER/top-k now run per chunk).
+void BM_KernelPairSweepHoisted(benchmark::State& state) {
+  const std::size_t n = 48;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix x = SweepMatrix(n, m);
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    std::vector<core::kernels::Marginals> marginals(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      marginals[j] = core::kernels::ColumnMarginals(x.ColData(j), m);
+    }
+    double acc = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        const double dot = core::kernels::BlockedDot(x.ColData(u), x.ColData(v), m);
+        acc += *core::PairMeasureFromMoments(
+            core::Measure::kCosine,
+            core::PairMomentsFromMarginals(marginals[u], marginals[v], dot, m));
+        ++pairs;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_KernelPairSweepHoisted)->Arg(1024)->Arg(2048);
+
+/// Same comparison for correlation, whose seed path cost ~7 scans
+/// (covariance + two centered variances, each with its mean pass).
+void BM_KernelCorrelationSweepSeed(benchmark::State& state) {
+  const std::size_t n = 48;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix x = SweepMatrix(n, m);
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        acc += ts::stats::Correlation(x.ColData(u), x.ColData(v), m);
+        ++pairs;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_KernelCorrelationSweepSeed)->Arg(1024)->Arg(2048);
+
+void BM_KernelCorrelationSweepHoisted(benchmark::State& state) {
+  const std::size_t n = 48;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const la::Matrix x = SweepMatrix(n, m);
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    std::vector<core::kernels::Marginals> marginals(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      marginals[j] = core::kernels::ColumnMarginals(x.ColData(j), m);
+    }
+    double acc = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        const double dot = core::kernels::BlockedDot(x.ColData(u), x.ColData(v), m);
+        acc += *core::PairMeasureFromMoments(
+            core::Measure::kCorrelation,
+            core::PairMomentsFromMarginals(marginals[u], marginals[v], dot, m));
+        ++pairs;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_KernelCorrelationSweepHoisted)->Arg(1024)->Arg(2048);
 
 // --- Mode estimators ----------------------------------------------------------
 

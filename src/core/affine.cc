@@ -1,6 +1,7 @@
 #include "core/affine.h"
 
 #include "common/check.h"
+#include "core/kernels.h"
 #include "la/solve.h"
 #include "ts/stats.h"
 
@@ -20,31 +21,28 @@ la::Vector AffineTransform::BVector() const { return la::Vector{b1, b2}; }
 PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2, std::size_t m) {
   PairMatrixMeasures out;
   out.m = m;
-  out.mean[0] = ts::stats::Mean(x1, m);
-  out.mean[1] = ts::stats::Mean(x2, m);
   out.median[0] = ts::stats::Median(x1, m);
   out.median[1] = ts::stats::Median(x2, m);
   out.mode[0] = ts::stats::Mode(x1, m);
   out.mode[1] = ts::stats::Mode(x2, m);
-  // One fused pass for the second moments and sums.
-  double s11 = 0, s12 = 0, s22 = 0, h1 = 0, h2 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    s11 += x1[i] * x1[i];
-    s12 += x1[i] * x2[i];
-    s22 += x2[i] * x2[i];
-    h1 += x1[i];
-    h2 += x2[i];
-  }
-  out.dot11 = s11;
-  out.dot12 = s12;
-  out.dot22 = s22;
-  out.h1 = h1;
-  out.h2 = h2;
+  // One fused blocked pass for the second moments and sums — chain-equal
+  // to ComputeGram and RecomputeDerived over the same columns.
+  double g[5];  // s11, s12, s22, h1, h2
+  kernels::FusedGram5(x1, x2, m, g);
+  out.dot11 = g[0];
+  out.dot12 = g[1];
+  out.dot22 = g[2];
+  out.h1 = g[3];
+  out.h2 = g[4];
   if (m > 0) {
+    // Means from the fused sums, divided (not inv-multiplied) exactly as
+    // RecomputeDerived derives them, so the two routes agree bitwise.
+    out.mean[0] = g[3] / static_cast<double>(m);
+    out.mean[1] = g[4] / static_cast<double>(m);
     const double inv_m = 1.0 / static_cast<double>(m);
-    out.cov11 = s11 * inv_m - out.mean[0] * out.mean[0];
-    out.cov12 = s12 * inv_m - out.mean[0] * out.mean[1];
-    out.cov22 = s22 * inv_m - out.mean[1] * out.mean[1];
+    out.cov11 = g[0] * inv_m - out.mean[0] * out.mean[0];
+    out.cov12 = g[1] * inv_m - out.mean[0] * out.mean[1];
+    out.cov22 = g[2] * inv_m - out.mean[1] * out.mean[1];
   }
   return out;
 }

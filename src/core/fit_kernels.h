@@ -10,11 +10,15 @@
 /// equivalence contract (DESIGN.md §8) promises that an exact refit
 /// reproduces a from-scratch fit *bit for bit*, which requires both paths
 /// to run the same accumulation order and the same singularity policy.
+/// All sums run in the canonical blocked order of core/kernels, so they
+/// also match the hoisted column marginals of RecomputeDerived and a
+/// RollingCrossSums::Reset over the same columns (DESIGN.md §10).
 
 #include <cmath>
 #include <cstddef>
 
 #include "core/affine.h"
+#include "core/kernels.h"
 
 namespace affinity::core::fit {
 
@@ -30,19 +34,14 @@ struct Mat3 {
 };
 
 /// Gram of [c1, c2, 1m] in one fused pass (the per-pivot cost). Each
-/// accumulator is an independent sequential sum, so the entries are
+/// accumulator is an independent blocked chain, so the entries are
 /// bit-identical to the matching PairMatrixMeasures sums over the same
-/// columns (dot11/dot12/dot22/h1/h2).
+/// columns (dot11/dot12/dot22/h1/h2) and to the hoisted column marginals
+/// RecomputeDerived assembles them from.
 inline Gram3 ComputeGram(const double* c1, const double* c2, std::size_t m) {
-  double s11 = 0, s12 = 0, s22 = 0, h1 = 0, h2 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    s11 += c1[i] * c1[i];
-    s12 += c1[i] * c2[i];
-    s22 += c2[i] * c2[i];
-    h1 += c1[i];
-    h2 += c2[i];
-  }
-  return Gram3{{s11, s12, h1, s22, h2, static_cast<double>(m)}};
+  double g[5];  // s11, s12, s22, h1, h2
+  kernels::FusedGram5(c1, c2, m, g);
+  return Gram3{{g[0], g[1], g[3], g[2], g[4], static_cast<double>(m)}};
 }
 
 /// Assembles the Gram from pre-computed pivot measures — the same six sums
@@ -80,18 +79,12 @@ inline bool InvertGram(const Gram3& gm, Mat3* out) {
   return true;
 }
 
-/// Right-hand side of the free-column fit: ([c1,c2,1]ᵀ t).
+/// Right-hand side of the free-column fit: ([c1,c2,1]ᵀ t). The same
+/// blocked kernel RollingCrossSums::Reset runs, so a re-materialized
+/// incremental accumulator matches this bit for bit.
 inline void ComputeRhs(const double* c1, const double* c2, const double* t, std::size_t m,
                        double rhs[3]) {
-  double r0 = 0, r1 = 0, r2 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    r0 += c1[i] * t[i];
-    r1 += c2[i] * t[i];
-    r2 += t[i];
-  }
-  rhs[0] = r0;
-  rhs[1] = r1;
-  rhs[2] = r2;
+  kernels::FusedCross3(c1, c2, t, m, rhs);
 }
 
 /// x = ginv · rhs.
@@ -121,16 +114,16 @@ inline void SolveRankDeficient(double s11, double h1, double r0, double r2, std:
 }
 
 /// Degenerate fallback when the Gram is singular (pivot columns collinear):
-/// fit t ≈ x0·c1 + x2·1 only.
+/// fit t ≈ x0·c1 + x2·1 only. Sums run as the same blocked chains the
+/// incremental path feeds SolveRankDeficient from (pivot measures + a
+/// Reset rhs), keeping the two routes bit-identical.
 inline void FitRankDeficient(const double* c1, const double* t, std::size_t m, double x[3]) {
-  double s11 = 0, h1 = 0, r0 = 0, r2 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    s11 += c1[i] * c1[i];
-    h1 += c1[i];
-    r0 += c1[i] * t[i];
-    r2 += t[i];
-  }
-  SolveRankDeficient(s11, h1, r0, r2, m, x);
+  const kernels::Marginals mc = kernels::ColumnMarginals(c1, m);
+  // Σc1·t / Σt as the same chains FusedCross3 feeds the incremental
+  // accumulators (r0 = chain of BlockedDot(c1, t), r2 = BlockedSum(t)).
+  const double r0 = kernels::BlockedDot(c1, t, m);
+  const double r2 = kernels::BlockedSum(t, m);
+  SolveRankDeficient(mc.sumsq, mc.sum, r0, r2, m, x);
 }
 
 /// Assembles the transform from the free-column solution; the common

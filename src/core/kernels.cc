@@ -1,0 +1,27 @@
+#include "core/kernels.h"
+
+#include "common/exec_context.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::core::kernels {
+
+std::vector<Marginals> HoistMarginals(const ts::DataMatrix& data, const ExecContext& exec) {
+  std::vector<Marginals> out(data.n());
+  ParallelChunks(exec, data.n(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      out[j] = ColumnMarginals(data.ColumnData(static_cast<ts::SeriesId>(j)), data.m());
+    }
+  });
+  return out;
+}
+
+std::vector<Marginals> HoistMarginals(const std::vector<const double*>& columns, std::size_t m,
+                                      const ExecContext& exec) {
+  std::vector<Marginals> out(columns.size());
+  ParallelChunks(exec, columns.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) out[j] = ColumnMarginals(columns[j], m);
+  });
+  return out;
+}
+
+}  // namespace affinity::core::kernels

@@ -1,0 +1,225 @@
+#ifndef AFFINITY_CORE_KERNELS_H_
+#define AFFINITY_CORE_KERNELS_H_
+
+/// \file kernels.h
+/// The hot-path summation kernels behind every naive pair sweep, the
+/// SYMEX+/incremental fit accumulators, and the shard router's cross-pair
+/// evaluation (DESIGN.md §10).
+///
+/// All kernels accumulate in one **canonical blocked order**: the input is
+/// cut into fixed blocks of `kBlockElems` elements; within a block, four
+/// independent lanes (`kLanes`) accumulate stride-4 element groups (the
+/// classic unroll that breaks the FP dependency chain and lets the
+/// compiler SLP-vectorize without -ffast-math); a block reduces as
+/// `(l0 + l1) + (l2 + l3)`; block partials add sequentially. The order
+/// depends only on the length `m` — never on thread count, pointer
+/// alignment, or which fused kernel runs the chain — so:
+///
+///  * every sweep is bitwise identical at any thread count (§7), and
+///  * **chain equality**: the Σx² chain of `FusedDot3(x, y)` is bitwise
+///    equal to `BlockedDot(x, x)` and to the `sumsq` chain of
+///    `ColumnMarginals(x)`. Marginal hoisting (compute Σx, Σx² once per
+///    column, then one fused Σxy pass per pair) therefore reproduces the
+///    single fused per-pair pass bit for bit.
+///
+/// The fixed block size is also the seam the ROADMAP's "bit-identity-
+/// preserving blocked summation" for sliding dot12 needs: a slide that
+/// only touches whole blocks can reuse untouched block partials without
+/// changing a single bit of the total.
+///
+/// The primitive layer is header-only on purpose: `ts/stats` and
+/// `ts/rolling` sit *below* core in the link order but must share the
+/// canonical accumulation order (DotProduct, RollingCrossSums::Reset);
+/// inline definitions give them that without a link cycle. Batch helpers
+/// that need `ExecContext` live in kernels.cc.
+
+#include <cstddef>
+#include <vector>
+
+namespace affinity {
+struct ExecContext;
+namespace ts {
+class DataMatrix;
+}  // namespace ts
+}  // namespace affinity
+
+namespace affinity::core::kernels {
+
+/// Fixed accumulation block, in elements. Changing this changes the bits
+/// of every sum in the system — bump only with a DESIGN.md §10 note.
+inline constexpr std::size_t kBlockElems = 1024;
+
+/// Independent accumulator lanes per chain (the unroll width).
+inline constexpr std::size_t kLanes = 4;
+
+namespace detail {
+
+/// Accumulates `kChains` independent sums over [0, m) in the canonical
+/// blocked order. `term(i, v)` writes the i-th element of every chain
+/// into v[0..kChains). Each chain's reduction order is a function of `m`
+/// alone, so any two kernels running the same chain agree bitwise.
+template <int kChains, class Term>
+inline void Accumulate(std::size_t m, const Term& term, double* out) {
+  for (int c = 0; c < kChains; ++c) out[c] = 0.0;
+  for (std::size_t base = 0; base < m; base += kBlockElems) {
+    const std::size_t end = base + kBlockElems < m ? base + kBlockElems : m;
+    double lanes[kChains][kLanes] = {};
+    std::size_t i = base;
+    for (; i + kLanes <= end; i += kLanes) {
+      double v0[kChains], v1[kChains], v2[kChains], v3[kChains];
+      term(i, v0);
+      term(i + 1, v1);
+      term(i + 2, v2);
+      term(i + 3, v3);
+      for (int c = 0; c < kChains; ++c) {
+        lanes[c][0] += v0[c];
+        lanes[c][1] += v1[c];
+        lanes[c][2] += v2[c];
+        lanes[c][3] += v3[c];
+      }
+    }
+    for (std::size_t l = 0; i < end; ++i, ++l) {
+      double v[kChains];
+      term(i, v);
+      for (int c = 0; c < kChains; ++c) lanes[c][l] += v[c];
+    }
+    for (int c = 0; c < kChains; ++c) {
+      out[c] += (lanes[c][0] + lanes[c][1]) + (lanes[c][2] + lanes[c][3]);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Σ xᵢ in the canonical blocked order.
+inline double BlockedSum(const double* x, std::size_t m) {
+  double out;
+  detail::Accumulate<1>(m, [x](std::size_t i, double* v) { v[0] = x[i]; }, &out);
+  return out;
+}
+
+/// Σ xᵢyᵢ in the canonical blocked order.
+inline double BlockedDot(const double* x, const double* y, std::size_t m) {
+  double out;
+  detail::Accumulate<1>(m, [x, y](std::size_t i, double* v) { v[0] = x[i] * y[i]; }, &out);
+  return out;
+}
+
+/// Per-column marginals of one pass: Σx, Σx², min, max. The sum/sumsq
+/// chains equal `BlockedSum(x)` / `BlockedDot(x, x)` bitwise; min/max are
+/// order-independent. Empty columns report all-zero marginals.
+struct Marginals {
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+inline Marginals ColumnMarginals(const double* x, std::size_t m) {
+  Marginals out;
+  if (m == 0) return out;
+  // min/max ride the same single pass inside the term callback (each
+  // element is visited exactly once); they are order-independent, so the
+  // sum/sumsq chains stay bitwise equal to BlockedSum/BlockedDot.
+  double lo = x[0], hi = x[0];
+  double sums[2];
+  detail::Accumulate<2>(
+      m,
+      [x, &lo, &hi](std::size_t i, double* v) {
+        const double xi = x[i];
+        v[0] = xi;
+        v[1] = xi * xi;
+        lo = xi < lo ? xi : lo;
+        hi = xi > hi ? xi : hi;
+      },
+      sums);
+  out.sum = sums[0];
+  out.sumsq = sums[1];
+  out.min = lo;
+  out.max = hi;
+  return out;
+}
+
+/// Σxy, Σx², Σy² in one fused pass — the per-pair cost of every derived
+/// measure once the marginals are hoisted elsewhere.
+inline void FusedDot3(const double* x, const double* y, std::size_t m, double* dot_xy,
+                      double* dot_xx, double* dot_yy) {
+  double out[3];
+  detail::Accumulate<3>(
+      m,
+      [x, y](std::size_t i, double* v) {
+        v[0] = x[i] * y[i];
+        v[1] = x[i] * x[i];
+        v[2] = y[i] * y[i];
+      },
+      out);
+  *dot_xy = out[0];
+  *dot_xx = out[1];
+  *dot_yy = out[2];
+}
+
+/// The normal-equation right-hand side (Σc1·t, Σc2·t, Σt) in one fused
+/// pass — shared by the SYMEX+ build fit (fit_kernels.h) and the
+/// incremental accumulator re-materialization (RollingCrossSums::Reset),
+/// which must agree bitwise (DESIGN.md §8).
+inline void FusedCross3(const double* c1, const double* c2, const double* t, std::size_t m,
+                        double out[3]) {
+  detail::Accumulate<3>(
+      m,
+      [c1, c2, t](std::size_t i, double* v) {
+        v[0] = c1[i] * t[i];
+        v[1] = c2[i] * t[i];
+        v[2] = t[i];
+      },
+      out);
+}
+
+/// The five Gram sums of the design [c1, c2, 1m] — s11, s12, s22, h1, h2
+/// — in one fused pass. Chain-equal to ColumnMarginals/BlockedDot over
+/// the same columns, which is what lets `GramFromMeasures` (assembled
+/// from hoisted pivot measures) match `ComputeGram` bit for bit.
+inline void FusedGram5(const double* c1, const double* c2, std::size_t m, double out[5]) {
+  detail::Accumulate<5>(
+      m,
+      [c1, c2](std::size_t i, double* v) {
+        v[0] = c1[i] * c1[i];
+        v[1] = c1[i] * c2[i];
+        v[2] = c2[i] * c2[i];
+        v[3] = c1[i];
+        v[4] = c2[i];
+      },
+      out);
+}
+
+/// Σx, Σx², Σy, Σy², Σxy in one fused pass — the full co-moment set of a
+/// pair, from which every T/D pair measure is computable without touching
+/// the raw columns again (core::PairMeasureFromMoments). Chain-equal to
+/// ColumnMarginals(x/y) + BlockedDot(x, y).
+inline void FusedPairMoments(const double* x, const double* y, std::size_t m, double out[5]) {
+  detail::Accumulate<5>(
+      m,
+      [x, y](std::size_t i, double* v) {
+        v[0] = x[i];
+        v[1] = x[i] * x[i];
+        v[2] = y[i];
+        v[3] = y[i] * y[i];
+        v[4] = x[i] * y[i];
+      },
+      out);
+}
+
+// --- Batch helpers (kernels.cc) --------------------------------------------
+
+/// Marginals of every column of `data`, hoisted once per query as a
+/// deterministic chunked parallel loop (one chain per column, so the
+/// result is thread-count invariant).
+std::vector<Marginals> HoistMarginals(const ts::DataMatrix& data, const ExecContext& exec);
+
+/// As above over an explicit column list (the shard router's resolved
+/// cross-pair columns), all of length `m`.
+std::vector<Marginals> HoistMarginals(const std::vector<const double*>& columns, std::size_t m,
+                                      const ExecContext& exec);
+
+}  // namespace affinity::core::kernels
+
+#endif  // AFFINITY_CORE_KERNELS_H_

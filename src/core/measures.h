@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/kernels.h"
 #include "ts/data_matrix.h"
 
 namespace affinity::core {
@@ -80,9 +81,49 @@ std::vector<Measure> DerivedMeasures();
 /// L-measure of one series, from scratch. InvalidArgument for non-L measures.
 StatusOr<double> NaiveLocationMeasure(Measure m, const double* x, std::size_t len);
 
-/// T- or D-measure of a pair of series, from scratch.
-/// InvalidArgument for L-measures.
+/// The full co-moment set of an aligned pair — everything any T/D pair
+/// measure needs, so a measure is computable from precomputed moments
+/// without touching the raw columns (DESIGN.md §10). Populated either by
+/// one fused blocked pass (`ComputePairMoments`) or assembled from hoisted
+/// per-column marginals plus one cross dot (`PairMomentsFromMarginals`);
+/// the two routes agree bitwise (kernel chain equality).
+struct PairMoments {
+  std::size_t m = 0;
+  double sum_x = 0.0;
+  double sumsq_x = 0.0;
+  double sum_y = 0.0;
+  double sumsq_y = 0.0;
+  double dot_xy = 0.0;
+};
+
+/// One fused blocked pass over the pair (kernels::FusedPairMoments).
+PairMoments ComputePairMoments(const double* x, const double* y, std::size_t len);
+
+/// Assembles the co-moments from hoisted column marginals and the cross
+/// dot Σxy — the per-pair O(1) path of a marginal-hoisted sweep.
+inline PairMoments PairMomentsFromMarginals(const kernels::Marginals& mx,
+                                            const kernels::Marginals& my, double dot_xy,
+                                            std::size_t len) {
+  return PairMoments{len, mx.sum, mx.sumsq, my.sum, my.sumsq, dot_xy};
+}
+
+/// Any T/D pair measure from co-moments alone (population covariance
+/// Σxy/m − μxμy, variances clamped at 0, degenerate normalizers → 0 per
+/// DESIGN.md §6). InvalidArgument for L-measures.
+StatusOr<double> PairMeasureFromMoments(Measure m, const PairMoments& pm);
+
+/// T- or D-measure of a pair of series, from scratch: one fused blocked
+/// pass (`ComputePairMoments`) + `PairMeasureFromMoments`. Bitwise equal
+/// to every marginal-hoisted sweep and to the shard router's cross-pair
+/// evaluation over the same columns.
 StatusOr<double> NaivePairMeasure(Measure m, const double* x, const double* y, std::size_t len);
+
+/// The seed's sequential multi-scan evaluation (centered covariance, one
+/// full scan per dot product) — kept as the numeric test oracle the
+/// blocked kernels are verified against (tests/kernels_test.cc;
+/// tolerance documented in DESIGN.md §10). Not used on any query path.
+StatusOr<double> NaivePairMeasureScalar(Measure m, const double* x, const double* y,
+                                        std::size_t len);
 
 /// The normalizer U of a separable D-measure (Eq. 8), from scratch.
 /// InvalidArgument unless HasSeparableNormalizer(m).

@@ -16,6 +16,7 @@ double EntityCount(Measure measure, std::size_t n) {
 
 constexpr double kLookupCost = 24.0;  ///< hash probe + propagation flops (WA)
 constexpr double kTreeStep = 8.0;     ///< B-tree descent/emit per entry (SCAPE)
+constexpr double kMomentEvalCost = 12.0;  ///< PairMeasureFromMoments on warm co-moments
 
 }  // namespace
 
@@ -36,6 +37,12 @@ std::string_view QueryMethodName(QueryMethod method) {
 }
 
 double QueryPlanner::NaiveUnitCost(Measure measure) const {
+  // Calibrated to the marginal-hoisted blocked kernels (DESIGN.md §10):
+  // every pair measure costs one fused Σxy pass (2m flops); the hoisted
+  // per-column marginals (amortized ~2m/n per pair over a full sweep) and
+  // the O(1) moment assembly are folded into the constants, which keeps
+  // the seed ordering dot < covariance < correlation the crossover tests
+  // rely on.
   const double m = static_cast<double>(m_);
   switch (measure) {
     case Measure::kMean:
@@ -45,15 +52,15 @@ double QueryPlanner::NaiveUnitCost(Measure measure) const {
     case Measure::kMode:
       return m * m;  // O(m²) density estimator (see stats.h)
     case Measure::kCovariance:
-      return 6.0 * m;  // two mean passes + centered product pass
+      return 2.5 * m;  // fused dot + mean assembly from hoisted marginals
     case Measure::kDotProduct:
-      return 2.0 * m;
+      return 2.0 * m;  // the bare fused dot
     case Measure::kCorrelation:
-      return 10.0 * m;  // covariance + two variances
+      return 3.0 * m;  // + variance normalizer from hoisted marginals
     case Measure::kCosine:
     case Measure::kJaccard:
     case Measure::kDice:
-      return 6.0 * m;  // three dot products
+      return 3.0 * m;  // + energy normalizer from hoisted marginals
   }
   return m;
 }
@@ -62,13 +69,23 @@ PlanChoice QueryPlanner::Shardify(PlanChoice choice, Measure measure) const {
   if (topology_.shards <= 1 || IsLocation(measure)) return choice;
   // Pairs spanning two shards are outside every per-shard model/index; the
   // router computes them from scratch over the aligned shard snapshots,
-  // then k-way-merges the per-shard and cross-shard runs.
-  const double cross =
-      static_cast<double>(topology_.cross_pairs) * NaiveUnitCost(measure);
+  // then k-way-merges the per-shard and cross-shard runs. Pairs on the
+  // router's warm co-moment watch-list skip the raw sweep entirely — they
+  // cost one O(1) moment evaluation instead of a fused column pass.
+  const std::size_t cached = topology_.cached_cross_pairs < topology_.cross_pairs
+                                 ? topology_.cached_cross_pairs
+                                 : topology_.cross_pairs;
+  const std::size_t swept = topology_.cross_pairs - cached;
+  const double cross = static_cast<double>(swept) * NaiveUnitCost(measure) +
+                       static_cast<double>(cached) * kMomentEvalCost;
   choice.estimated_cost += cross;
   choice.rationale += "; scatter-gather over " + std::to_string(topology_.shards) +
                       " shards (+" + std::to_string(topology_.cross_pairs) +
                       " cross-shard pairs via WN, k-way merge)";
+  if (cached > 0) {
+    choice.rationale +=
+        "; " + std::to_string(cached) + " cross pairs served from warm co-moments";
+  }
   return choice;
 }
 

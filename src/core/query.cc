@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "core/kernels.h"
 
 namespace affinity::core {
 
@@ -46,20 +48,45 @@ void NextPair(std::size_t n, std::size_t* u, std::size_t* v) {
 
 StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
                                                  const std::vector<CrossPair>& pairs,
-                                                 std::size_t m, const ExecContext& exec) {
+                                                 std::size_t m, const ExecContext& exec,
+                                                 std::vector<PairMoments>* moments,
+                                                 CrossSweepStats* stats) {
   if (IsLocation(measure)) {
     return Status::InvalidArgument("cross-shard evaluation covers pair measures only");
   }
+  // Hoist the marginals of every *distinct* column once (a column from one
+  // shard pairs with every column of every other shard, so the dedup is
+  // what turns the sweep from O(pairs·m·passes) into O(columns·m +
+  // pairs·m) with exactly one fused pass per pair).
+  std::unordered_map<const double*, std::size_t> column_index;
+  std::vector<const double*> columns;
+  column_index.reserve(2 * pairs.size());
+  for (const CrossPair& pair : pairs) {
+    if (pair.u == nullptr || pair.v == nullptr) {
+      return Status::InvalidArgument("cross-shard pair with unresolved columns");
+    }
+    for (const double* col : {pair.u, pair.v}) {
+      if (column_index.try_emplace(col, columns.size()).second) columns.push_back(col);
+    }
+  }
+  const std::vector<kernels::Marginals> marginals = kernels::HoistMarginals(columns, m, exec);
+  if (stats != nullptr) {
+    stats->pairs_scanned += pairs.size();
+    stats->columns_hoisted += columns.size();
+  }
   std::vector<double> values(pairs.size());
+  if (moments != nullptr) moments->resize(pairs.size());
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec, pairs.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
         for (std::size_t i = lo; i < hi; ++i) {
-          if (pairs[i].u == nullptr || pairs[i].v == nullptr) {
-            return Status::InvalidArgument("cross-shard pair with unresolved columns");
-          }
-          auto value = NaivePairMeasure(measure, pairs[i].u, pairs[i].v, m);
+          const kernels::Marginals& mu = marginals[column_index.at(pairs[i].u)];
+          const kernels::Marginals& mv = marginals[column_index.at(pairs[i].v)];
+          const PairMoments pm = PairMomentsFromMarginals(
+              mu, mv, kernels::BlockedDot(pairs[i].u, pairs[i].v, m), m);
+          auto value = PairMeasureFromMoments(measure, pm);
           if (!value.ok()) return value.status();
           values[i] = *value;
+          if (moments != nullptr) (*moments)[i] = pm;
         }
         return Status::OK();
       }));
@@ -191,13 +218,32 @@ StatusOr<MecResponse> QueryEngine::Mec(const MecRequest& request, QueryMethod me
     return out;
   }
   out.pair_values = la::Matrix(count, count);
+  // WN: hoist each requested column's marginals once — O(count·m) — then
+  // exactly one fused blocked dot per cell; the diagonal reuses the
+  // hoisted Σx² chain (bit-equal to BlockedDot(x, x)) with no extra scan.
+  std::vector<kernels::Marginals> marginals;
+  std::vector<const double*> cols;
+  if (method == QueryMethod::kNaive) {
+    cols.resize(count);
+    for (std::size_t i = 0; i < count; ++i) cols[i] = data_->ColumnData(request.ids[i]);
+    marginals = kernels::HoistMarginals(cols, data_->m(), exec_);
+  }
   // Row i fills cells (i, j) and (j, i) for j ≥ i — rows write disjoint
   // cell sets, so the chunked fill needs no synchronization.
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec_, count, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
         for (std::size_t i = lo; i < hi; ++i) {
           for (std::size_t j = i; j < count; ++j) {
-            auto value = Value(request.measure, request.ids[i], request.ids[j], method);
+            StatusOr<double> value = [&]() -> StatusOr<double> {
+              if (method != QueryMethod::kNaive) {
+                return Value(request.measure, request.ids[i], request.ids[j], method);
+              }
+              const double dot = i == j ? marginals[i].sumsq
+                                        : kernels::BlockedDot(cols[i], cols[j], data_->m());
+              return PairMeasureFromMoments(
+                  request.measure,
+                  PairMomentsFromMarginals(marginals[i], marginals[j], dot, data_->m()));
+            }();
             if (!value.ok()) return value.status();
             out.pair_values(i, j) = *value;
             out.pair_values(j, i) = *value;
@@ -261,6 +307,22 @@ StatusOr<SelectionResult> QueryEngine::SelectByPredicate(Measure measure, QueryM
     return out;
   }
   if (n < 2) return out;
+  // WN sweeps hoist every column's marginals once per query (O(n·m)),
+  // then pay exactly one fused blocked dot per pair — the marginal
+  // hoisting of DESIGN.md §10. Each pair's value is computed whole by one
+  // chunk, so results stay bitwise identical at any thread count.
+  std::vector<kernels::Marginals> marginals;
+  if (method == QueryMethod::kNaive) marginals = kernels::HoistMarginals(*data_, exec_);
+  const auto pair_value = [&](std::size_t u, std::size_t v) -> StatusOr<double> {
+    if (method != QueryMethod::kNaive) {
+      return Value(measure, static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v), method);
+    }
+    const double dot = kernels::BlockedDot(data_->ColumnData(static_cast<ts::SeriesId>(u)),
+                                           data_->ColumnData(static_cast<ts::SeriesId>(v)),
+                                           data_->m());
+    return PairMeasureFromMoments(
+        measure, PairMomentsFromMarginals(marginals[u], marginals[v], dot, data_->m()));
+  };
   const std::size_t total = ts::SequencePairCount(n);
   std::vector<std::vector<ts::SequencePair>> parts(ExecNumChunks(total));
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
@@ -268,8 +330,7 @@ StatusOr<SelectionResult> QueryEngine::SelectByPredicate(Measure measure, QueryM
         ts::SequencePair p = PairFromIndex(lo, n);
         std::size_t u = p.u, v = p.v;
         for (std::size_t i = lo; i < hi; ++i) {
-          auto value =
-              Value(measure, static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v), method);
+          auto value = pair_value(u, v);
           if (!value.ok()) return value.status();
           if (keep(*value, a, b)) {
             parts[c].emplace_back(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v));
@@ -371,14 +432,27 @@ StatusOr<TopKResult> QueryEngine::TopK(const TopKRequest& request, QueryMethod m
           return Status::OK();
         }));
   } else {
+    // Marginal-hoisted WN sweep, exactly as SelectByPredicate.
+    std::vector<kernels::Marginals> marginals;
+    if (method == QueryMethod::kNaive) marginals = kernels::HoistMarginals(*data_, exec_);
     AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
         exec_, total, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
           ts::SequencePair p = PairFromIndex(lo, n);
           std::size_t u = p.u, v = p.v;
           for (std::size_t i = lo; i < hi; ++i) {
-            auto value =
-                Value(request.measure, static_cast<ts::SeriesId>(u),
-                      static_cast<ts::SeriesId>(v), method);
+            StatusOr<double> value = [&]() -> StatusOr<double> {
+              if (method != QueryMethod::kNaive) {
+                return Value(request.measure, static_cast<ts::SeriesId>(u),
+                             static_cast<ts::SeriesId>(v), method);
+              }
+              const double dot =
+                  kernels::BlockedDot(data_->ColumnData(static_cast<ts::SeriesId>(u)),
+                                      data_->ColumnData(static_cast<ts::SeriesId>(v)),
+                                      data_->m());
+              return PairMeasureFromMoments(
+                  request.measure,
+                  PairMomentsFromMarginals(marginals[u], marginals[v], dot, data_->m()));
+            }();
             if (!value.ok()) return value.status();
             all[i] = ScapeTopKEntry{
                 ts::SequencePair(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v)),

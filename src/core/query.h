@@ -115,16 +115,31 @@ struct CrossPair {
   const double* v = nullptr;
 };
 
+/// Raw-scan accounting of one cross-pair sweep — the counters behind the
+/// shard router's co-moment-cache hit ratio (a warm cache must report
+/// zero pair scans; bench_streaming surfaces them).
+struct CrossSweepStats {
+  std::size_t pairs_scanned = 0;    ///< pairs whose columns were read (one fused dot each)
+  std::size_t columns_hoisted = 0;  ///< distinct columns whose marginals were computed
+};
+
 /// Evaluates `measure` for every cross-shard pair from scratch (WN) over
 /// its aligned length-`m` column spans — the cross-shard half of a
 /// scatter-gather MET/MER/MEC/top-k (DESIGN.md §9). No per-shard model or
 /// index covers a pair spanning two shards, so the router resolves each
 /// pair's columns against the shard snapshots and sweeps them here as a
-/// deterministic chunked parallel loop over `exec`. Values are returned
-/// index-aligned with `pairs`. InvalidArgument for L-measures.
+/// deterministic chunked parallel loop over `exec`: marginals of every
+/// distinct column hoisted once, then exactly one fused blocked dot per
+/// pair (DESIGN.md §10) — bitwise equal to `NaivePairMeasure` over the
+/// same columns. Values are returned index-aligned with `pairs`; when
+/// `moments` is non-null it receives each pair's co-moments (the shard
+/// router's cross co-moment cache fills from them), and `stats`
+/// accumulates raw-scan counters. InvalidArgument for L-measures.
 StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
                                                  const std::vector<CrossPair>& pairs,
-                                                 std::size_t m, const ExecContext& exec = {});
+                                                 std::size_t m, const ExecContext& exec = {},
+                                                 std::vector<PairMoments>* moments = nullptr,
+                                                 CrossSweepStats* stats = nullptr);
 
 /// Strategy-dispatching query processor.
 ///

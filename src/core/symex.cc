@@ -303,10 +303,10 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
   // Every location and moment statistic a pivot needs is a per-*column*
   // quantity — only the dot12/cov12 cross terms are pair-specific — so
   // compute each distinct column (n series + k centres) exactly once
-  // instead of once per pivot side. Every accumulator below is its own
-  // sequential chain, so the assembled values are bit-identical to the
-  // fused per-pivot passes this replaces (and to ComputePairMatrixMeasures
-  // over the same columns).
+  // instead of once per pivot side. Every accumulator runs as its own
+  // canonical blocked chain (core/kernels), so the assembled values are
+  // bit-identical to the fused per-pivot/gram kernels over the same
+  // columns (ComputeGram, ComputePairMatrixMeasures, FusedPairMoments).
   struct ColumnStats {
     double sum = 0, sumsq = 0;      // h / dot diagonal chains
     double mean = 0, median = 0, mode = 0;
@@ -323,14 +323,10 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
       const double* x = c < n ? data.ColumnData(static_cast<ts::SeriesId>(c))
                               : clustering_.centers.ColData(c - n);
       ColumnStats& cs = columns[c];
-      double sum = 0, sumsq = 0;
-      for (std::size_t i = 0; i < m; ++i) {
-        sum += x[i];
-        sumsq += x[i] * x[i];
-      }
-      cs.sum = sum;
-      cs.sumsq = sumsq;
-      cs.mean = m == 0 ? 0.0 : sum / static_cast<double>(m);
+      const kernels::Marginals marg = kernels::ColumnMarginals(x, m);
+      cs.sum = marg.sum;
+      cs.sumsq = marg.sumsq;
+      cs.mean = m == 0 ? 0.0 : marg.sum / static_cast<double>(m);
       if (sorted_columns != nullptr && m > 0) {
         // Medians are order statistics and mode bins are counts, so the
         // pre-sorted view yields the same doubles the selection-based
@@ -370,8 +366,9 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
                      const ColumnStats& cs_center = columns[n + entry.pivot.cluster];
                      const ColumnStats& cs1 = entry.pivot.series_first ? cs_series : cs_center;
                      const ColumnStats& cs2 = entry.pivot.series_first ? cs_center : cs_series;
-                     double s12 = 0;
-                     for (std::size_t r = 0; r < m; ++r) s12 += c1[r] * c2[r];
+                     // The one remaining O(window) term per pivot; the
+                     // blocked chain equals ComputeGram's s12 bit for bit.
+                     const double s12 = kernels::BlockedDot(c1, c2, m);
                      PairMatrixMeasures& pm = entry.measures;
                      pm.m = m;
                      pm.mean[0] = cs1.mean;
@@ -413,8 +410,7 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
       // Series-level fit s ≈ gain·r + offset (normal equations on [r, 1]).
       const int cluster = clustering_.assignment[j];
       const double* r = clustering_.centers.ColData(static_cast<std::size_t>(cluster));
-      double rs = 0;
-      for (std::size_t i = 0; i < m; ++i) rs += r[i] * s[i];
+      const double rs = kernels::BlockedDot(r, s, m);
       // The centre's normal-equation diagonals are the column-stats sums
       // (same accumulation chains, bitwise equal).
       const double rr = columns[n + static_cast<std::size_t>(cluster)].sumsq;

@@ -1,0 +1,143 @@
+#include "shard/cross_cache.h"
+
+#include <unordered_map>
+
+#include "core/kernels.h"
+
+namespace affinity::shard {
+
+CrossMomentCache::CrossMomentCache(const std::vector<ts::SequencePair>& cross_pairs,
+                                   std::size_t window, const CrossCacheOptions& options)
+    : window_(window),
+      exact_resync_period_(options.exact_resync_period < 1 ? 1 : options.exact_resync_period) {
+  const std::size_t watched =
+      options.budget < cross_pairs.size() ? options.budget : cross_pairs.size();
+  if (watched == 0 || window == 0) return;
+  // Distinct series across the watch-list share one ring each.
+  std::unordered_map<ts::SeriesId, std::size_t> slot_of;
+  entries_.reserve(watched);
+  for (std::size_t i = 0; i < watched; ++i) {
+    PairEntry entry;
+    for (const bool first : {true, false}) {
+      const ts::SeriesId id = first ? cross_pairs[i].u : cross_pairs[i].v;
+      auto [it, inserted] = slot_of.try_emplace(id, series_.size());
+      if (inserted) {
+        SeriesSlot slot;
+        slot.id = id;
+        slot.ring.assign(window, 0.0);
+        series_.push_back(std::move(slot));
+      }
+      (first ? entry.u_slot : entry.v_slot) = it->second;
+    }
+    entries_.push_back(entry);
+  }
+}
+
+void CrossMomentCache::Observe(const std::vector<double>& row) {
+  if (entries_.empty()) return;
+  const bool full = count_ == window_;
+  // Pairs first: the eviction needs both rings' outgoing values, which
+  // the per-series update below overwrites.
+  for (PairEntry& entry : entries_) {
+    const SeriesSlot& su = series_[entry.u_slot];
+    const SeriesSlot& sv = series_[entry.v_slot];
+    if (full) entry.dot -= su.ring[head_] * sv.ring[head_];
+    entry.dot += row[su.id] * row[sv.id];
+  }
+  for (SeriesSlot& slot : series_) {
+    const double x = row[slot.id];
+    if (full) {
+      const double evicted = slot.ring[head_];
+      slot.sum -= evicted;
+      slot.sumsq -= evicted * evicted;
+    }
+    slot.ring[head_] = x;
+    slot.sum += x;
+    slot.sumsq += x * x;
+  }
+  head_ = (head_ + 1) % window_;
+  if (!full) ++count_;
+  ++stats_.observed_rows;
+}
+
+void CrossMomentCache::Stamp(std::uint64_t generation) {
+  if (entries_.empty()) return;
+  if (count_ < window_) {
+    // The rings do not cover the snapshot window yet (e.g. a restored
+    // deployment): anything previously stamped is stale.
+    Invalidate();
+    return;
+  }
+  // Periodic exact re-materialization: unroll every ring into snapshot
+  // row order (oldest → newest — exactly the snapshot column layout) and
+  // rebuild all accumulators with the canonical blocked kernels, so the
+  // stamped moments are bitwise identical to the raw cross sweep.
+  const bool exact = stamps_since_resync_ == 0;
+  std::vector<std::vector<double>> unrolled;
+  if (exact) {
+    unrolled.resize(series_.size());
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      unrolled[s].resize(window_);
+      for (std::size_t i = 0; i < window_; ++i) {
+        unrolled[s][i] = series_[s].ring[(head_ + i) % window_];
+      }
+      const core::kernels::Marginals marg =
+          core::kernels::ColumnMarginals(unrolled[s].data(), window_);
+      series_[s].sum = marg.sum;
+      series_[s].sumsq = marg.sumsq;
+    }
+    ++stats_.exact_stamps;
+  }
+  for (PairEntry& entry : entries_) {
+    if (exact) {
+      entry.dot = core::kernels::BlockedDot(unrolled[entry.u_slot].data(),
+                                            unrolled[entry.v_slot].data(), window_);
+    }
+    const SeriesSlot& su = series_[entry.u_slot];
+    const SeriesSlot& sv = series_[entry.v_slot];
+    entry.stamped =
+        core::PairMoments{window_, su.sum, su.sumsq, sv.sum, sv.sumsq, entry.dot};
+    entry.stamped_generation = generation;
+  }
+  ++stats_.stamps;
+  stamps_since_resync_ = (stamps_since_resync_ + 1) % exact_resync_period_;
+}
+
+void CrossMomentCache::Invalidate() {
+  if (entries_.empty()) return;
+  for (PairEntry& entry : entries_) entry.stamped_generation = 0;
+  stamps_since_resync_ = 0;  // the next stamp re-materializes exactly
+  ++stats_.invalidations;
+}
+
+bool CrossMomentCache::Lookup(std::size_t cross_index, std::uint64_t generation,
+                              core::PairMoments* out) {
+  if (!Watches(cross_index)) return false;
+  PairEntry& entry = entries_[cross_index];
+  if (generation == 0 || entry.stamped_generation != generation) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *out = entry.stamped;
+  return true;
+}
+
+void CrossMomentCache::Store(std::size_t cross_index, std::uint64_t generation,
+                             const core::PairMoments& pm) {
+  if (!Watches(cross_index) || generation == 0) return;
+  PairEntry& entry = entries_[cross_index];
+  entry.stamped = pm;
+  entry.stamped_generation = generation;
+}
+
+std::size_t CrossMomentCache::StampedCount(std::uint64_t generation) const {
+  if (generation == 0) return 0;
+  std::size_t count = 0;
+  for (const PairEntry& entry : entries_) {
+    if (entry.stamped_generation == generation) ++count;
+  }
+  return count;
+}
+
+}  // namespace affinity::shard

@@ -1,0 +1,149 @@
+#ifndef AFFINITY_SHARD_CROSS_CACHE_H_
+#define AFFINITY_SHARD_CROSS_CACHE_H_
+
+/// \file cross_cache.h
+/// The cross-shard co-moment cache (ROADMAP "cross-shard pair budget";
+/// DESIGN.md §10).
+///
+/// The cross sweep is ≈ (1 − 1/N) of all pair-measure work in an N-shard
+/// deployment: every pair spanning two shards is invisible to every
+/// per-shard model and index, so the router re-reads its two snapshot
+/// columns on every MET/MER/top-k. This cache designates a *watch-list*
+/// of hot cross pairs (the first `budget` pairs of the router's lex-
+/// ordered cross list) and maintains their full co-moment set — Σu, Σu²,
+/// Σv, Σv², Σuv — by **rolling add/evict updates**: every appended global
+/// row costs O(watched) accumulator work, and each lockstep snapshot
+/// refresh freezes ("stamps") the rolled live moments as that
+/// generation's snapshot moments. A warm query then serves every watched
+/// pair from `core::PairMeasureFromMoments` with **zero raw column
+/// scans** (verified by the CrossSweepStats counters in
+/// bench_streaming).
+///
+/// Numerics: rolled stamps inherit subtract-on-evict round-off, bounded
+/// by re-materializing from the value rings with the canonical blocked
+/// kernels every `exact_resync_period` stamps — the same policy
+/// RollingCrossSums uses (rolling.h). An exact stamp (and any miss fill,
+/// which stores the sweep's own moments) is bitwise identical to the raw
+/// cross sweep over the snapshot columns.
+///
+/// Invalidation: generation-stamped. The owner bumps the generation on
+/// every lockstep refresh (stamp) and drops all stamped moments on
+/// escalation, manual rebuild, or restore (Invalidate); a stale or
+/// never-stamped entry simply misses and is re-filled by the sweep.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/measures.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::shard {
+
+/// Cache configuration (ShardedOptions::cross_cache).
+struct CrossCacheOptions {
+  /// Watched cross pairs (0 disables the cache). The watch-list is the
+  /// first `budget` pairs of the router's lex-ordered cross-pair list.
+  std::size_t budget = 0;
+  /// Stamps between exact blocked re-materializations from the rings
+  /// (bounds rolled-stamp drift; ≥ 1). The first stamp is always exact.
+  std::size_t exact_resync_period = 64;
+};
+
+/// Cache accounting, cumulative since construction.
+struct CrossCacheStats {
+  std::size_t hits = 0;            ///< watched pairs served from warm co-moments
+  std::size_t misses = 0;          ///< watched pairs that fell through to the raw sweep
+  std::size_t stamps = 0;          ///< rolled generation stamps
+  std::size_t exact_stamps = 0;    ///< blocked re-materializations from the rings
+  std::size_t invalidations = 0;   ///< escalation / rebuild / restore drops
+  std::size_t observed_rows = 0;   ///< appended rows rolled through the accumulators
+
+  double HitRatio() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Rolling co-moment accumulators for a designated cross-pair watch-list.
+/// Not thread-safe; owned and driven by ShardedAffinity's append/query
+/// surface (which is single-threaded at the router level).
+class CrossMomentCache {
+ public:
+  /// A disabled cache (no watch-list); every call is a cheap no-op.
+  CrossMomentCache() = default;
+
+  /// Watches the first min(budget, cross_pairs.size()) pairs of the
+  /// router's cross list over windows of `window` samples.
+  CrossMomentCache(const std::vector<ts::SequencePair>& cross_pairs, std::size_t window,
+                   const CrossCacheOptions& options);
+
+  bool enabled() const { return !entries_.empty(); }
+
+  /// Watched pairs (indices [0, watched()) of the router's cross list).
+  std::size_t watched() const { return entries_.size(); }
+
+  /// True when the router's cross pair at `cross_index` is watched.
+  bool Watches(std::size_t cross_index) const { return cross_index < entries_.size(); }
+
+  /// Rolls one appended global row through every watched series ring and
+  /// pair accumulator: O(watched series + watched pairs).
+  void Observe(const std::vector<double>& row);
+
+  /// Freezes the rolled live co-moments as generation `generation`'s
+  /// snapshot moments — called on every lockstep refresh, after the
+  /// refresh-triggering row was Observed (live window == new snapshot
+  /// window). No-op until the rings hold a full window. Every
+  /// `exact_resync_period` stamps re-materializes rings → accumulators
+  /// with the blocked kernels first.
+  void Stamp(std::uint64_t generation);
+
+  /// Drops every stamped entry (escalation / manual rebuild / restore).
+  /// The rings keep rolling — the next Stamp re-validates.
+  void Invalidate();
+
+  /// Cached snapshot moments of cross pair `cross_index`, if stamped at
+  /// `generation`. Counts a hit or miss for watched indices.
+  bool Lookup(std::size_t cross_index, std::uint64_t generation, core::PairMoments* out);
+
+  /// Installs sweep-computed moments for a watched pair (miss fill);
+  /// no-op for unwatched indices.
+  void Store(std::size_t cross_index, std::uint64_t generation, const core::PairMoments& pm);
+
+  /// Watched pairs currently stamped at `generation` — the planner's
+  /// Topology::cached_cross_pairs input.
+  std::size_t StampedCount(std::uint64_t generation) const;
+
+  const CrossCacheStats& stats() const { return stats_; }
+
+ private:
+  /// One watched series: its value ring over the window plus rolled
+  /// marginal sums (shared by every watched pair touching the series).
+  struct SeriesSlot {
+    ts::SeriesId id = 0;
+    std::vector<double> ring;
+    double sum = 0.0;
+    double sumsq = 0.0;
+  };
+
+  /// One watched cross pair: rolled Σuv plus the frozen snapshot moments.
+  struct PairEntry {
+    std::size_t u_slot = 0;
+    std::size_t v_slot = 0;
+    double dot = 0.0;
+    core::PairMoments stamped;
+    std::uint64_t stamped_generation = 0;  ///< 0 = never stamped / dropped
+  };
+
+  std::size_t window_ = 0;
+  std::size_t exact_resync_period_ = 64;
+  std::size_t head_ = 0;   ///< shared ring cursor (all rings advance together)
+  std::size_t count_ = 0;  ///< samples currently in the rings (≤ window_)
+  std::size_t stamps_since_resync_ = 0;
+  std::vector<SeriesSlot> series_;
+  std::vector<PairEntry> entries_;
+  CrossCacheStats stats_;
+};
+
+}  // namespace affinity::shard
+
+#endif  // AFFINITY_SHARD_CROSS_CACHE_H_

@@ -163,6 +163,8 @@ Status ShardedAffinity::InitShards(const std::vector<std::string>& names) {
     shards_.push_back(std::move(stream));
   }
   append_results_.resize(shards_.size());
+  cross_cache_ =
+      CrossMomentCache(router_.cross_pairs(), options_.streaming.window, options_.cross_cache);
   return Status::OK();
 }
 
@@ -176,6 +178,10 @@ AppendResult ShardedAffinity::Append(const std::vector<double>& row) {
   }
   const std::vector<std::vector<double>>& scattered = router_.Scatter(row);
   ++rows_;
+  // Roll the cross watch-list before the shard appends: a refresh below
+  // absorbs this row, so the rolled live window must already include it
+  // when the post-refresh Stamp freezes it as the snapshot moments.
+  cross_cache_.Observe(row);
   // One chunk per shard: appends (and any due refreshes) run concurrently
   // on the shared pool, each shard's own maintenance sequential within its
   // worker.
@@ -196,6 +202,17 @@ AppendResult ShardedAffinity::Append(const std::vector<double>& row) {
       out.mode = r.mode;
     }
     out.escalated = out.escalated || r.escalated;
+  }
+  if (out.refreshed) {
+    ++cross_generation_;
+    if (out.escalated || !out.status.ok()) {
+      // Conservative: a rebuild (or a half-failed lockstep refresh)
+      // re-froze shard state; drop the stamps and let the next sweep
+      // re-fill exactly.
+      cross_cache_.Invalidate();
+    } else {
+      cross_cache_.Stamp(cross_generation_);
+    }
   }
   return out;
 }
@@ -222,6 +239,10 @@ std::vector<std::size_t> ShardedAffinity::snapshot_ages() const {
 }
 
 Status ShardedAffinity::Rebuild() {
+  // A manual rebuild re-snapshots every shard mid-interval; the cached
+  // generation no longer describes the snapshots, so drop it.
+  ++cross_generation_;
+  cross_cache_.Invalidate();
   return TryParallelChunks(exec_, shards_.size(),
                            [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
                              for (std::size_t s = lo; s < hi; ++s) {
@@ -294,7 +315,8 @@ StatusOr<ExecutedPlan> ShardedAffinity::ResolveShardPlan(
     max_n = std::max(max_n, shard.framework()->data().n());
   }
   const QueryPlanner::Topology topology{shards_.size(),
-                                        router_.partitioner().cross_pair_count()};
+                                        router_.partitioner().cross_pair_count(),
+                                        cross_cache_.StampedCount(cross_generation_)};
   const QueryPlanner planner(max_n, options_.streaming.window, caps, topology);
   return plan(planner);
 }
@@ -303,23 +325,58 @@ StatusOr<std::vector<double>> ShardedAffinity::CrossPairValues(Measure measure,
                                                                bool blend) const {
   const std::vector<ts::SequencePair>& cross = router_.cross_pairs();
   const SeriesPartitioner& partitioner = router_.partitioner();
-  std::vector<CrossPair> resolved(cross.size());
-  for (std::size_t i = 0; i < cross.size(); ++i) {
-    const ts::SequencePair e = cross[i];
+  const std::size_t window = options_.streaming.window;
+  const auto resolve = [&](const ts::SequencePair e) {
     const core::StreamingAffinity& su = shards_[partitioner.shard_of(e.u)];
     const core::StreamingAffinity& sv = shards_[partitioner.shard_of(e.v)];
-    resolved[i] = CrossPair{e, su.framework()->data().ColumnData(partitioner.local_id(e.u)),
-                            sv.framework()->data().ColumnData(partitioner.local_id(e.v))};
+    return CrossPair{e, su.framework()->data().ColumnData(partitioner.local_id(e.u)),
+                     sv.framework()->data().ColumnData(partitioner.local_id(e.v))};
+  };
+
+  // Warm watched pairs answer from their stamped co-moments — zero raw
+  // column scans; everything else goes through the marginal-hoisted sweep,
+  // whose per-pair moments re-fill the cache. The freshness blend bypasses
+  // the cache (it sweeps twice over the same snapshot anyway).
+  std::vector<double> values(cross.size());
+  const bool use_cache = !blend && cross_cache_.enabled();
+  std::vector<std::size_t> swept;  // cross indices needing the raw sweep
+  if (use_cache) {
+    swept.reserve(cross.size());
+    for (std::size_t i = 0; i < cross.size(); ++i) {
+      core::PairMoments pm;
+      if (cross_cache_.Lookup(i, cross_generation_, &pm)) {
+        auto value = core::PairMeasureFromMoments(measure, pm);
+        if (!value.ok()) return value.status();
+        values[i] = *value;
+      } else {
+        swept.push_back(i);
+      }
+    }
+  } else {
+    swept.resize(cross.size());
+    for (std::size_t i = 0; i < cross.size(); ++i) swept[i] = i;
   }
-  const std::size_t window = options_.streaming.window;
-  AFFINITY_ASSIGN_OR_RETURN(std::vector<double> values,
-                            core::EvaluateCrossPairs(measure, resolved, window, exec_));
+
+  std::vector<CrossPair> resolved(swept.size());
+  for (std::size_t j = 0; j < swept.size(); ++j) resolved[j] = resolve(cross[swept[j]]);
+  if (!resolved.empty()) {
+    std::vector<core::PairMoments> moments;
+    AFFINITY_ASSIGN_OR_RETURN(
+        const std::vector<double> swept_values,
+        core::EvaluateCrossPairs(measure, resolved, window, exec_,
+                                 use_cache ? &moments : nullptr, &cross_sweep_stats_));
+    for (std::size_t j = 0; j < swept.size(); ++j) {
+      values[swept[j]] = swept_values[j];
+      if (use_cache) cross_cache_.Store(swept[j], cross_generation_, moments[j]);
+    }
+  }
   if (!blend || measure == Measure::kCorrelation) return values;
   // Blend: snapshot correlation carries the structure, live rolling
-  // moments the marginals (same semantics as the per-shard blend).
-  AFFINITY_ASSIGN_OR_RETURN(
-      const std::vector<double> rhos,
-      core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window, exec_));
+  // moments the marginals (same semantics as the per-shard blend). In
+  // blend mode `resolved` covers every cross pair, index-aligned.
+  AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> rhos,
+                            core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window,
+                                                     exec_, nullptr, &cross_sweep_stats_));
   for (std::size_t i = 0; i < cross.size(); ++i) {
     const ts::SequencePair e = cross[i];
     const ts::RollingStats& ru =
@@ -539,10 +596,15 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
   if (!location) {
     // Cross-shard cells: resolve each requested (i, j) spanning two shards
     // against the aligned snapshots and evaluate naively (blended when the
-    // staleness bound trips).
+    // staleness bound trips). Warm watched pairs answer from their cached
+    // co-moments instead — the router's cross list is lex-sorted, so each
+    // cell's cross index resolves by binary search.
     const bool blend = NeedsBlend(options);
+    const bool use_cache = !blend && cross_cache_.enabled();
+    const std::vector<ts::SequencePair>& cross = router_.cross_pairs();
     std::vector<CrossPair> resolved;
     std::vector<std::pair<std::size_t, std::size_t>> cells;
+    std::vector<std::size_t> cell_cross_index;  // aligned with cells; for Store
     for (std::size_t i = 0; i < count; ++i) {
       for (std::size_t j = i + 1; j < count; ++j) {
         if (partitioner.shard_of(request.ids[i]) == partitioner.shard_of(request.ids[j])) {
@@ -550,24 +612,45 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
         }
         const ts::SeriesId u = request.ids[i];
         const ts::SeriesId v = request.ids[j];
+        const ts::SequencePair e(u, v);
+        const auto it = std::lower_bound(cross.begin(), cross.end(), e);
+        const std::size_t cross_index = static_cast<std::size_t>(it - cross.begin());
+        if (use_cache) {
+          core::PairMoments pm;
+          if (cross_cache_.Lookup(cross_index, cross_generation_, &pm)) {
+            AFFINITY_ASSIGN_OR_RETURN(const double value,
+                                      core::PairMeasureFromMoments(request.measure, pm));
+            out.response.pair_values(i, j) = value;
+            out.response.pair_values(j, i) = value;
+            continue;
+          }
+        }
         const core::StreamingAffinity& su = shards_[partitioner.shard_of(u)];
         const core::StreamingAffinity& sv = shards_[partitioner.shard_of(v)];
         resolved.push_back(
-            CrossPair{ts::SequencePair(u, v),
-                      su.framework()->data().ColumnData(partitioner.local_id(u)),
+            CrossPair{e, su.framework()->data().ColumnData(partitioner.local_id(u)),
                       sv.framework()->data().ColumnData(partitioner.local_id(v))});
         cells.emplace_back(i, j);
+        cell_cross_index.push_back(cross_index);
       }
     }
     if (!resolved.empty()) {
       const std::size_t window = options_.streaming.window;
+      std::vector<core::PairMoments> moments;
       AFFINITY_ASSIGN_OR_RETURN(
           std::vector<double> values,
-          core::EvaluateCrossPairs(request.measure, resolved, window, exec_));
+          core::EvaluateCrossPairs(request.measure, resolved, window, exec_,
+                                   use_cache ? &moments : nullptr, &cross_sweep_stats_));
+      if (use_cache) {
+        for (std::size_t idx = 0; idx < resolved.size(); ++idx) {
+          cross_cache_.Store(cell_cross_index[idx], cross_generation_, moments[idx]);
+        }
+      }
       if (blend && request.measure != Measure::kCorrelation) {
         AFFINITY_ASSIGN_OR_RETURN(
             const std::vector<double> rhos,
-            core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window, exec_));
+            core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window, exec_, nullptr,
+                                     &cross_sweep_stats_));
         for (std::size_t idx = 0; idx < resolved.size(); ++idx) {
           const ts::SeriesId u = request.ids[cells[idx].first];
           const ts::SeriesId v = request.ids[cells[idx].second];
@@ -740,6 +823,11 @@ StatusOr<ShardedAffinity> ShardedAffinity::Load(const std::string& path, std::si
     service.shards_.push_back(std::move(stream));
   }
   service.append_results_.resize(options.shards);
+  // The co-moment cache restores cold (the manifest carries no rings):
+  // its stamps stay invalid until a full window of appends has been
+  // observed and a lockstep refresh stamps it.
+  service.cross_cache_ = CrossMomentCache(service.router_.cross_pairs(),
+                                          options.streaming.window, options.cross_cache);
   // Logical row numbering restarts at `window` (each restored shard's
   // resident window is its whole history).
   service.rows_ = options.streaming.window;

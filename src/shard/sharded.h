@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/streaming.h"
+#include "shard/cross_cache.h"
 #include "shard/partitioner.h"
 
 namespace affinity::shard {
@@ -53,6 +54,13 @@ struct ShardedOptions {
   /// the single router-owned pool all shards share (1 = sequential, 0 =
   /// one per hardware thread).
   core::StreamingOptions streaming;
+  /// Cross-shard co-moment watch-list (cross_cache.h): rolling co-moments
+  /// for the first `cross_cache.budget` cross pairs, so repeated warm
+  /// MET/MER/top-k queries skip their raw cross sweep entirely. Off by
+  /// default (budget 0): cached values are rolled accumulators, identical
+  /// to the raw sweep only to the documented round-off tolerance
+  /// (DESIGN.md §10), so enabling is an explicit opt-in.
+  CrossCacheOptions cross_cache;
 };
 
 /// Per-shard freshness attached to every scatter-gather answer.
@@ -137,6 +145,14 @@ class ShardedAffinity {
   /// (counters summed, last-refresh latency maxed — shards refresh
   /// concurrently; residual levels averaged).
   core::MaintenanceProfile maintenance() const;
+
+  /// Co-moment cache accounting (zeros when the cache is disabled).
+  const CrossCacheStats& cross_cache_stats() const { return cross_cache_.stats(); }
+
+  /// Raw-scan accounting of every cross-pair sweep this service ran —
+  /// on a warm cache, repeated MET/MER/top-k queries add zero pair scans
+  /// for watched pairs (the bench_streaming acceptance counter).
+  const core::CrossSweepStats& cross_sweep_stats() const { return cross_sweep_stats_; }
 
   /// Every shard's snapshot age, indexed by shard.
   std::vector<std::size_t> snapshot_ages() const;
@@ -228,6 +244,14 @@ class ShardedAffinity {
   /// Reused per-append result buffer (allocation-free hot path).
   std::vector<core::AppendResult> append_results_;
   std::size_t rows_ = 0;
+  /// Cross-pair co-moment watch-list, rolled on every append, stamped on
+  /// every lockstep refresh, invalidated on escalation/rebuild/restore.
+  /// Mutable: queries fill misses and count hits (single-threaded at the
+  /// router surface, like the rest of the query path).
+  mutable CrossMomentCache cross_cache_;
+  /// Current snapshot generation (bumped per lockstep refresh; 0 = none).
+  std::uint64_t cross_generation_ = 0;
+  mutable core::CrossSweepStats cross_sweep_stats_;
 };
 
 }  // namespace affinity::shard

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/status.h"
+// Header-only blocked-summation primitives (no link dependency on core).
+#include "core/kernels.h"
 #include "ts/data_matrix.h"
 
 namespace affinity::ts {
@@ -122,17 +124,15 @@ struct RollingCrossSums {
   }
 
   /// Overwrites with exact sums over the full window — the periodic
-  /// re-materialization that bounds subtract-on-evict round-off.
+  /// re-materialization that bounds subtract-on-evict round-off. Runs the
+  /// blocked cross kernel so a Reset is bitwise equal to the SYMEX+ build
+  /// path's right-hand-side accumulation (fit_kernels.h / DESIGN.md §10).
   void Reset(const double* c1, const double* c2, const double* tv, std::size_t m) {
-    double r0 = 0, r1 = 0, r2 = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-      r0 += c1[i] * tv[i];
-      r1 += c2[i] * tv[i];
-      r2 += tv[i];
-    }
-    c1t = r0;
-    c2t = r1;
-    t = r2;
+    double sums[3];
+    core::kernels::FusedCross3(c1, c2, tv, m, sums);
+    c1t = sums[0];
+    c2t = sums[1];
+    t = sums[2];
   }
 };
 

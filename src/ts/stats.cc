@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/check.h"
+// Header-only blocked-summation primitives (DESIGN.md §10). Include-only:
+// the kernels are inline, so no link dependency on core is introduced.
+#include "core/kernels.h"
 
 namespace affinity::ts::stats {
 
@@ -114,9 +117,9 @@ double Covariance(const double* x, const double* y, std::size_t m) {
 }
 
 double DotProduct(const double* x, const double* y, std::size_t m) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < m; ++i) acc += x[i] * y[i];
-  return acc;
+  // Canonical blocked order, so Σxy here is bitwise equal to the fused
+  // sweep kernels over the same columns.
+  return core::kernels::BlockedDot(x, y, m);
 }
 
 double Correlation(const double* x, const double* y, std::size_t m) {
@@ -199,8 +202,8 @@ la::Matrix DotProductMatrix(const DataMatrix& s) {
   la::Matrix out(n, n);
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u; v < n; ++v) {
-      const double d = DotProduct(s.ColumnData(static_cast<SeriesId>(u)),
-                                  s.ColumnData(static_cast<SeriesId>(v)), s.m());
+      const double d = core::kernels::BlockedDot(s.ColumnData(static_cast<SeriesId>(u)),
+                                                 s.ColumnData(static_cast<SeriesId>(v)), s.m());
       out(u, v) = d;
       out(v, u) = d;
     }

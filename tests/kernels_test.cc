@@ -1,0 +1,441 @@
+// Tests for the blocked summation kernel layer (core/kernels.h,
+// DESIGN.md §10): property tests of every kernel against sequential
+// scalar oracles, the bitwise chain-equality contract that marginal
+// hoisting relies on, thread-count invariance of the rewritten naive
+// sweeps, and the cross-shard co-moment cache's hit/miss/invalidation
+// behaviour.
+
+#include "core/kernels.h"
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/fit_kernels.h"
+#include "core/measures.h"
+#include "core/query.h"
+#include "shard/sharded.h"
+#include "ts/generators.h"
+#include "ts/rolling.h"
+
+namespace affinity::core {
+namespace {
+
+// The lengths of the ISSUE checklist: empty, sub-lane, around one lane
+// group, around one block, and past it.
+const std::size_t kLengths[] = {0, 1, 7, 8, 9, 63, 1023, 1024, 1025};
+
+// Sequential scalar oracles (the seed accumulation order).
+double SeqSum(const std::vector<double>& x) {
+  double acc = 0;
+  for (const double v : x) acc += v;
+  return acc;
+}
+double SeqDot(const std::vector<double>& x, const std::vector<double>& y) {
+  double acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+struct Column {
+  const char* name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+std::vector<Column> MakeColumns(std::size_t m) {
+  Xoshiro256 rng(m * 31 + 7);
+  Column random{"random", std::vector<double>(m), std::vector<double>(m)};
+  for (auto& v : random.x) v = rng.Uniform(-3.0, 3.0);
+  for (auto& v : random.y) v = rng.Gaussian(10.0, 2.5);
+  Column constant{"constant", std::vector<double>(m, 2.5), std::vector<double>(m, -1.25)};
+  Column zero{"zero", std::vector<double>(m, 0.0), std::vector<double>(m, 0.0)};
+  Column huge{"huge", std::vector<double>(m), std::vector<double>(m)};
+  for (auto& v : huge.x) v = rng.Uniform(0.5, 2.0) * 1e140;
+  for (auto& v : huge.y) v = rng.Uniform(-2.0, -0.5) * 1e140;
+  return {random, constant, zero, huge};
+}
+
+double RelTol(double reference) { return 1e-12 * (1.0 + std::fabs(reference)); }
+
+TEST(BlockedKernels, SumAndDotMatchScalarOracle) {
+  for (const std::size_t m : kLengths) {
+    for (const Column& c : MakeColumns(m)) {
+      EXPECT_NEAR(kernels::BlockedSum(c.x.data(), m), SeqSum(c.x), RelTol(SeqSum(c.x)))
+          << c.name << " m=" << m;
+      const double dot = SeqDot(c.x, c.y);
+      EXPECT_NEAR(kernels::BlockedDot(c.x.data(), c.y.data(), m), dot, RelTol(dot))
+          << c.name << " m=" << m;
+    }
+  }
+}
+
+TEST(BlockedKernels, MarginalsMatchOraclesAndExtremes) {
+  for (const std::size_t m : kLengths) {
+    for (const Column& c : MakeColumns(m)) {
+      const kernels::Marginals marg = kernels::ColumnMarginals(c.x.data(), m);
+      EXPECT_NEAR(marg.sum, SeqSum(c.x), RelTol(SeqSum(c.x))) << c.name << " m=" << m;
+      const double sumsq = SeqDot(c.x, c.x);
+      EXPECT_NEAR(marg.sumsq, sumsq, RelTol(sumsq)) << c.name << " m=" << m;
+      if (m == 0) {
+        EXPECT_EQ(marg.min, 0.0);
+        EXPECT_EQ(marg.max, 0.0);
+      } else {
+        double lo = c.x[0], hi = c.x[0];
+        for (const double v : c.x) {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        EXPECT_EQ(marg.min, lo) << c.name << " m=" << m;
+        EXPECT_EQ(marg.max, hi) << c.name << " m=" << m;
+      }
+    }
+  }
+}
+
+// The load-bearing contract: every fused kernel's chains are bitwise
+// equal to the standalone kernels over the same data, so hoisted
+// marginals + one cross dot reproduce a fused per-pair pass exactly.
+TEST(BlockedKernels, FusedChainsAreBitwiseEqualToStandaloneKernels) {
+  for (const std::size_t m : kLengths) {
+    for (const Column& c : MakeColumns(m)) {
+      const double* x = c.x.data();
+      const double* y = c.y.data();
+      const double sum_x = kernels::BlockedSum(x, m);
+      const double sum_y = kernels::BlockedSum(y, m);
+      const double dot_xx = kernels::BlockedDot(x, x, m);
+      const double dot_yy = kernels::BlockedDot(y, y, m);
+      const double dot_xy = kernels::BlockedDot(x, y, m);
+
+      double d3_xy, d3_xx, d3_yy;
+      kernels::FusedDot3(x, y, m, &d3_xy, &d3_xx, &d3_yy);
+      EXPECT_EQ(d3_xy, dot_xy) << c.name << " m=" << m;
+      EXPECT_EQ(d3_xx, dot_xx) << c.name << " m=" << m;
+      EXPECT_EQ(d3_yy, dot_yy) << c.name << " m=" << m;
+
+      double cross[3];
+      kernels::FusedCross3(x, y, y, m, cross);  // c1=x, c2=y, t=y
+      EXPECT_EQ(cross[0], dot_xy);
+      EXPECT_EQ(cross[1], dot_yy);
+      EXPECT_EQ(cross[2], sum_y);
+
+      double gram[5];
+      kernels::FusedGram5(x, y, m, gram);
+      EXPECT_EQ(gram[0], dot_xx);
+      EXPECT_EQ(gram[1], dot_xy);
+      EXPECT_EQ(gram[2], dot_yy);
+      EXPECT_EQ(gram[3], sum_x);
+      EXPECT_EQ(gram[4], sum_y);
+
+      double pm[5];
+      kernels::FusedPairMoments(x, y, m, pm);
+      EXPECT_EQ(pm[0], sum_x);
+      EXPECT_EQ(pm[1], dot_xx);
+      EXPECT_EQ(pm[2], sum_y);
+      EXPECT_EQ(pm[3], dot_yy);
+      EXPECT_EQ(pm[4], dot_xy);
+
+      const kernels::Marginals mx = kernels::ColumnMarginals(x, m);
+      EXPECT_EQ(mx.sum, sum_x);
+      EXPECT_EQ(mx.sumsq, dot_xx);
+    }
+  }
+}
+
+// RollingCrossSums::Reset and the SYMEX+ build rhs must agree bitwise —
+// the DESIGN.md §8 equivalence contract, now routed through one kernel.
+TEST(BlockedKernels, RollingResetMatchesFitRhsBitwise) {
+  for (const std::size_t m : kLengths) {
+    const Column c = MakeColumns(m)[0];
+    std::vector<double> t(m);
+    Xoshiro256 rng(m + 5);
+    for (auto& v : t) v = rng.Gaussian(1.0, 4.0);
+    ts::RollingCrossSums sums;
+    sums.Reset(c.x.data(), c.y.data(), t.data(), m);
+    double rhs[3];
+    fit::ComputeRhs(c.x.data(), c.y.data(), t.data(), m, rhs);
+    EXPECT_EQ(sums.c1t, rhs[0]) << "m=" << m;
+    EXPECT_EQ(sums.c2t, rhs[1]) << "m=" << m;
+    EXPECT_EQ(sums.t, rhs[2]) << "m=" << m;
+  }
+}
+
+TEST(PairMomentsFn, FusedPassEqualsMarginalAssemblyBitwise) {
+  for (const std::size_t m : kLengths) {
+    for (const Column& c : MakeColumns(m)) {
+      const PairMoments fused = ComputePairMoments(c.x.data(), c.y.data(), m);
+      const PairMoments assembled = PairMomentsFromMarginals(
+          kernels::ColumnMarginals(c.x.data(), m), kernels::ColumnMarginals(c.y.data(), m),
+          kernels::BlockedDot(c.x.data(), c.y.data(), m), m);
+      EXPECT_EQ(fused.sum_x, assembled.sum_x) << c.name << " m=" << m;
+      EXPECT_EQ(fused.sumsq_x, assembled.sumsq_x) << c.name << " m=" << m;
+      EXPECT_EQ(fused.sum_y, assembled.sum_y) << c.name << " m=" << m;
+      EXPECT_EQ(fused.sumsq_y, assembled.sumsq_y) << c.name << " m=" << m;
+      EXPECT_EQ(fused.dot_xy, assembled.dot_xy) << c.name << " m=" << m;
+    }
+  }
+}
+
+TEST(PairMomentsFn, MeasuresMatchScalarOracleWithinTolerance) {
+  for (const std::size_t m : kLengths) {
+    if (m < 2) continue;
+    for (const Column& c : MakeColumns(m)) {
+      if (c.x[0] > 1e100) continue;  // the oracle's centered covariance overflows products
+      for (const Measure measure :
+           {Measure::kCovariance, Measure::kDotProduct, Measure::kCorrelation, Measure::kCosine,
+            Measure::kJaccard, Measure::kDice}) {
+        const double fused = *NaivePairMeasure(measure, c.x.data(), c.y.data(), m);
+        const double oracle = *NaivePairMeasureScalar(measure, c.x.data(), c.y.data(), m);
+        EXPECT_NEAR(fused, oracle, 1e-9 * (1.0 + std::fabs(oracle)))
+            << MeasureName(measure) << " " << c.name << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(PairMomentsFn, DegenerateColumnsAreDefinedAsZero) {
+  const PairMoments zero = ComputePairMoments(nullptr, nullptr, 0);
+  for (const Measure measure : {Measure::kCovariance, Measure::kCorrelation, Measure::kCosine,
+                                Measure::kJaccard, Measure::kDice}) {
+    EXPECT_EQ(*PairMeasureFromMoments(measure, zero), 0.0) << MeasureName(measure);
+  }
+  EXPECT_FALSE(PairMeasureFromMoments(Measure::kMean, zero).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep equivalence: the marginal-hoisted naive sweeps must return
+// bitwise-identical results at 1/2/8 threads, and per-value agree with
+// NaivePairMeasure exactly.
+// ---------------------------------------------------------------------------
+
+class HoistedSweeps : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ts::DatasetSpec spec;
+    spec.num_series = 18;
+    spec.num_samples = 80;
+    spec.num_clusters = 3;
+    spec.seed = 11;
+    dataset_ = std::make_unique<ts::Dataset>(ts::MakeSensorData(spec));
+  }
+
+  std::unique_ptr<ts::Dataset> dataset_;
+};
+
+TEST_F(HoistedSweeps, NaiveResultsAreThreadCountInvariant) {
+  for (const Measure measure : {Measure::kCovariance, Measure::kCorrelation, Measure::kCosine,
+                                Measure::kJaccard}) {
+    std::vector<SelectionResult> met_runs;
+    std::vector<TopKResult> topk_runs;
+    std::vector<MecResponse> mec_runs;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      std::unique_ptr<ThreadPool> pool;
+      QueryEngine engine(&dataset_->matrix);
+      if (threads > 1) {
+        pool = std::make_unique<ThreadPool>(threads);
+        engine.SetExec(ExecContext{pool.get()});
+      }
+      met_runs.push_back(*engine.Met({measure, 0.1, true}, QueryMethod::kNaive));
+      topk_runs.push_back(*engine.TopK({measure, 9, true}, QueryMethod::kNaive));
+      MecRequest mec;
+      mec.measure = measure;
+      mec.ids = {0, 3, 7, 11};
+      mec_runs.push_back(*engine.Mec(mec, QueryMethod::kNaive));
+    }
+    for (std::size_t t = 1; t < met_runs.size(); ++t) {
+      EXPECT_EQ(met_runs[t].pairs, met_runs[0].pairs) << MeasureName(measure);
+      ASSERT_EQ(topk_runs[t].entries.size(), topk_runs[0].entries.size());
+      for (std::size_t i = 0; i < topk_runs[0].entries.size(); ++i) {
+        EXPECT_EQ(topk_runs[t].entries[i].pair, topk_runs[0].entries[i].pair);
+        EXPECT_EQ(topk_runs[t].entries[i].value, topk_runs[0].entries[i].value);
+      }
+      EXPECT_EQ(mec_runs[t].pair_values.MaxAbsDiff(mec_runs[0].pair_values), 0.0);
+    }
+  }
+}
+
+TEST_F(HoistedSweeps, SweepValuesEqualNaivePairMeasureBitwise) {
+  QueryEngine engine(&dataset_->matrix);
+  MecRequest mec;
+  mec.measure = Measure::kCorrelation;
+  mec.ids = {1, 4, 9};
+  const MecResponse resp = *engine.Mec(mec, QueryMethod::kNaive);
+  for (std::size_t i = 0; i < mec.ids.size(); ++i) {
+    for (std::size_t j = 0; j < mec.ids.size(); ++j) {
+      if (i == j) continue;
+      const double direct = *NaivePairMeasure(
+          mec.measure, dataset_->matrix.ColumnData(mec.ids[i]),
+          dataset_->matrix.ColumnData(mec.ids[j]), dataset_->matrix.m());
+      EXPECT_EQ(resp.pair_values(i, j), direct) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace affinity::core
+
+// ---------------------------------------------------------------------------
+// Cross-shard co-moment cache behaviour (shard/cross_cache.h).
+// ---------------------------------------------------------------------------
+
+namespace affinity::shard {
+namespace {
+
+using core::Measure;
+using core::MetRequest;
+
+ShardedOptions CachedOptions(std::size_t budget) {
+  ShardedOptions options;
+  options.shards = 2;
+  options.streaming.window = 32;
+  options.streaming.rebuild_interval = 8;
+  options.streaming.mode = core::UpdateMode::kIncremental;
+  options.streaming.build.afclst.k = 2;
+  options.streaming.build.build_dft = false;
+  options.cross_cache.budget = budget;
+  return options;
+}
+
+struct Feed {
+  ts::Dataset dataset;
+  std::size_t next = 0;
+
+  explicit Feed(std::uint64_t seed) : dataset([&] {
+    ts::DatasetSpec spec;
+    spec.num_series = 10;
+    spec.num_samples = 400;
+    spec.num_clusters = 2;
+    spec.seed = seed;
+    return ts::MakeStockData(spec);
+  }()) {}
+
+  std::vector<double> Row() {
+    std::vector<double> row(dataset.matrix.n());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = dataset.matrix.matrix()(next % dataset.matrix.m(), j);
+    }
+    ++next;
+    return row;
+  }
+};
+
+void FeedUntilReady(ShardedAffinity* service, Feed* feed) {
+  while (!service->ready()) ASSERT_TRUE(service->Append(feed->Row()).ok());
+}
+
+TEST(CrossMomentCache, WarmQueriesSkipRawScansAndMatchUncached) {
+  Feed feed_a(3), feed_b(3);
+  auto cached = ShardedAffinity::Create(feed_a.dataset.matrix.names(), CachedOptions(1000));
+  auto plain = ShardedAffinity::Create(feed_b.dataset.matrix.names(), CachedOptions(0));
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(plain.ok());
+  FeedUntilReady(&*cached, &feed_a);
+  FeedUntilReady(&*plain, &feed_b);
+
+  // Every cross pair is watched, and the first stamp (at the lockstep
+  // refresh that made the service ready) is exact — so warm answers are
+  // bitwise identical to the cache-less sweep and cost zero raw scans.
+  const std::size_t watched = cached->router().cross_pairs().size();
+  ASSERT_GT(watched, 0u);
+  EXPECT_EQ(cached->cross_cache_stats().stamps, 1u);
+  EXPECT_EQ(cached->cross_cache_stats().exact_stamps, 1u);
+
+  MetRequest met{Measure::kCovariance, 0.0, true};
+  const core::CrossSweepStats before = cached->cross_sweep_stats();
+  auto cached_met = cached->Met(met, {core::QueryMethod::kNaive});
+  auto plain_met = plain->Met(met, {core::QueryMethod::kNaive});
+  ASSERT_TRUE(cached_met.ok());
+  ASSERT_TRUE(plain_met.ok());
+  EXPECT_EQ(cached_met->result.pairs, plain_met->result.pairs);
+  const core::CrossSweepStats after = cached->cross_sweep_stats();
+  EXPECT_EQ(after.pairs_scanned, before.pairs_scanned);  // zero raw pair scans
+  EXPECT_EQ(after.columns_hoisted, before.columns_hoisted);
+  EXPECT_EQ(cached->cross_cache_stats().hits, watched);
+  EXPECT_EQ(cached->cross_cache_stats().misses, 0u);
+}
+
+TEST(CrossMomentCache, InvalidationMissesOnceThenRewarms) {
+  Feed feed(5);
+  auto service = ShardedAffinity::Create(feed.dataset.matrix.names(), CachedOptions(1000));
+  ASSERT_TRUE(service.ok());
+  FeedUntilReady(&*service, &feed);
+  const std::size_t watched = service->router().cross_pairs().size();
+
+  // A manual rebuild drops every stamp.
+  ASSERT_TRUE(service->Rebuild().ok());
+  EXPECT_EQ(service->cross_cache_stats().invalidations, 1u);
+
+  MetRequest met{Measure::kCorrelation, 0.5, true};
+  ASSERT_TRUE(service->Met(met, {core::QueryMethod::kNaive}).ok());
+  EXPECT_EQ(service->cross_cache_stats().misses, watched);
+  const core::CrossSweepStats swept = service->cross_sweep_stats();
+  EXPECT_EQ(swept.pairs_scanned, watched);  // the miss fill re-scanned
+
+  // The miss fill stored sweep moments: the repeat is all hits, no scans.
+  ASSERT_TRUE(service->Met(met, {core::QueryMethod::kNaive}).ok());
+  EXPECT_EQ(service->cross_cache_stats().hits, watched);
+  EXPECT_EQ(service->cross_sweep_stats().pairs_scanned, swept.pairs_scanned);
+}
+
+TEST(CrossMomentCache, RolledStampsStayWithinToleranceAcrossRefreshes) {
+  Feed feed_a(7), feed_b(7);
+  auto cached = ShardedAffinity::Create(feed_a.dataset.matrix.names(), CachedOptions(1000));
+  auto plain = ShardedAffinity::Create(feed_b.dataset.matrix.names(), CachedOptions(0));
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(plain.ok());
+  FeedUntilReady(&*cached, &feed_a);
+  FeedUntilReady(&*plain, &feed_b);
+  // Several more refresh intervals: stamps 2..N are rolled add/evict.
+  for (int i = 0; i < 3 * 8; ++i) {
+    ASSERT_TRUE(cached->Append(feed_a.Row()).ok());
+    ASSERT_TRUE(plain->Append(feed_b.Row()).ok());
+  }
+  ASSERT_GT(cached->cross_cache_stats().stamps, 1u);
+  auto a = cached->TopK({Measure::kCosine, 12, true}, {core::QueryMethod::kNaive});
+  auto b = plain->TopK({Measure::kCosine, 12, true}, {core::QueryMethod::kNaive});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->result.entries.size(), b->result.entries.size());
+  for (std::size_t i = 0; i < a->result.entries.size(); ++i) {
+    EXPECT_EQ(a->result.entries[i].pair, b->result.entries[i].pair) << "rank " << i;
+    EXPECT_NEAR(a->result.entries[i].value, b->result.entries[i].value,
+                1e-9 * (1.0 + std::fabs(b->result.entries[i].value)));
+  }
+}
+
+TEST(CrossMomentCache, MecCrossCellsServeFromWarmCache) {
+  Feed feed(11);
+  auto service = ShardedAffinity::Create(feed.dataset.matrix.names(), CachedOptions(1000));
+  ASSERT_TRUE(service.ok());
+  FeedUntilReady(&*service, &feed);
+  // ids 0 and 9 land on different range shards, so the (0, 9) cell is a
+  // cross pair — warm, it must come from the cache with zero raw scans.
+  core::MecRequest mec;
+  mec.measure = Measure::kCovariance;
+  mec.ids = {0, 9};
+  const core::CrossSweepStats before = service->cross_sweep_stats();
+  auto response = service->Mec(mec, {core::QueryMethod::kNaive});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(service->cross_sweep_stats().pairs_scanned, before.pairs_scanned);
+  EXPECT_GT(service->cross_cache_stats().hits, 0u);
+  EXPECT_EQ(response->response.pair_values(0, 1), response->response.pair_values(1, 0));
+}
+
+TEST(CrossMomentCache, PlannerReportsWarmCoMoments) {
+  Feed feed(9);
+  auto service = ShardedAffinity::Create(feed.dataset.matrix.names(), CachedOptions(1000));
+  ASSERT_TRUE(service.ok());
+  FeedUntilReady(&*service, &feed);
+  auto met = service->Met({Measure::kCovariance, 0.0, true});
+  ASSERT_TRUE(met.ok());
+  EXPECT_NE(met->result.plan.rationale.find("served from warm co-moments"), std::string::npos)
+      << met->result.plan.rationale;
+}
+
+}  // namespace
+}  // namespace affinity::shard

@@ -76,16 +76,34 @@ TEST(NaiveLocation, RejectsPairMeasures) {
 TEST(NaivePair, CovarianceAndDot) {
   const double x[] = {1, 2, 3};
   const double y[] = {4, 6, 8};
+  // The fused path computes the population covariance from co-moments
+  // (Σxy/m − μμ); the centered scalar oracle agrees to the documented
+  // round-off tolerance (DESIGN.md §10), not bit for bit.
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kCovariance, x, y, 3),
+              ts::stats::Covariance(x, y, 3), 1e-12);
   EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kCovariance, x, y, 3),
-                   ts::stats::Covariance(x, y, 3));
+                   *PairMeasureFromMoments(Measure::kCovariance, ComputePairMoments(x, y, 3)));
   EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kDotProduct, x, y, 3), 40.0);
 }
 
 TEST(NaivePair, CorrelationMatchesStats) {
   const double x[] = {1, 2, 3, 5};
   const double y[] = {2, 2, 4, 7};
-  EXPECT_DOUBLE_EQ(*NaivePairMeasure(Measure::kCorrelation, x, y, 4),
-                   ts::stats::Correlation(x, y, 4));
+  EXPECT_NEAR(*NaivePairMeasure(Measure::kCorrelation, x, y, 4),
+              ts::stats::Correlation(x, y, 4), 1e-12);
+}
+
+TEST(NaivePair, MatchesScalarOracle) {
+  // The blocked moments path vs the seed's sequential multi-scan oracle,
+  // across every pair measure (DESIGN.md §10 tolerance).
+  const double x[] = {1.5, -2.25, 3.0, 5.5, -0.75, 4.0, 2.0};
+  const double y[] = {2.0, 2.5, -4.0, 7.25, 1.0, -3.5, 0.5};
+  for (const Measure m : {Measure::kCovariance, Measure::kDotProduct, Measure::kCorrelation,
+                          Measure::kCosine, Measure::kJaccard, Measure::kDice}) {
+    const double fused = *NaivePairMeasure(m, x, y, 7);
+    const double oracle = *NaivePairMeasureScalar(m, x, y, 7);
+    EXPECT_NEAR(fused, oracle, 1e-12 * (1.0 + std::fabs(oracle))) << MeasureName(m);
+  }
 }
 
 TEST(NaivePair, CosineKnownValue) {
