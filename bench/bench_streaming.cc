@@ -55,6 +55,9 @@ struct Result {
   double min_seconds = 0;
   std::size_t rekeys = 0;
   std::size_t refits = 0;
+  // Retained block-partial accounting (incremental mode; zeros otherwise).
+  std::size_t recompute_blocks_touched = 0;
+  std::size_t recompute_blocks_reused = 0;
 };
 
 const char* ModeName(core::UpdateMode mode) {
@@ -233,6 +236,147 @@ int RunShardSweep(const std::vector<std::size_t>& shard_counts, bool quick, bool
   return 0;
 }
 
+// --- Retained block-partial sweep (ISSUE 5 acceptance) ---------------------
+//
+// Steady-state incremental refreshes at interval 1, with the
+// BlockPartialCache on vs off: the retained path must cut the exact
+// RecomputeDerived/refit recomputation cost ≥ 3× at window 4096 and show
+// recompute_blocks_reused > 0 (interior block partials actually served
+// from the cache).
+
+struct Dot12Config {
+  std::size_t window;
+  bool retain;
+};
+
+struct Dot12Result {
+  Dot12Config config;
+  std::size_t refreshes = 0;
+  double mean_refresh_us = 0;
+  double mean_recompute_us = 0;
+  std::size_t blocks_touched = 0;
+  std::size_t blocks_reused = 0;
+};
+
+Dot12Result RunDot12Config(const Dot12Config& config, const ts::Dataset& feed,
+                           std::size_t measured) {
+  core::StreamingOptions options;
+  options.window = config.window;
+  options.rebuild_interval = 1;
+  options.mode = core::UpdateMode::kIncremental;
+  options.incremental.retain_block_partials = config.retain;
+  options.build.afclst.k = 4;
+  options.build.build_dft = false;
+  auto stream = core::StreamingAffinity::Create(feed.matrix.names(), options);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", stream.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<double> row(feed.matrix.n());
+  std::size_t next = 0;
+  const auto append = [&]() {
+    for (std::size_t j = 0; j < feed.matrix.n(); ++j) {
+      row[j] = feed.matrix.matrix()(next % feed.matrix.m(), j);
+    }
+    ++next;
+    const auto result = stream->Append(row);
+    if (!result.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", result.status.ToString().c_str());
+      std::exit(1);
+    }
+    return result;
+  };
+  while (!stream->ready()) append();
+  // One warm interval so the retained chains are past their cold build.
+  for (int i = 0; i < 2; ++i) append();
+
+  Dot12Result out;
+  out.config = config;
+  const core::MaintenanceProfile before = stream->maintenance();
+  Stopwatch watch;
+  for (std::size_t r = 0; r < measured; ++r) append();
+  const double total_seconds = watch.ElapsedSeconds();
+  const core::MaintenanceProfile after = stream->maintenance();
+  out.refreshes = after.refreshes - before.refreshes;
+  out.mean_refresh_us = total_seconds * 1e6 / static_cast<double>(out.refreshes);
+  out.mean_recompute_us = (after.recompute_seconds - before.recompute_seconds) * 1e6 /
+                          static_cast<double>(out.refreshes);
+  out.blocks_touched = after.recompute_blocks_touched - before.recompute_blocks_touched;
+  out.blocks_reused = after.recompute_blocks_reused - before.recompute_blocks_reused;
+  return out;
+}
+
+int RunDot12Sweep(bool quick, bool json, const std::string& out_path) {
+  ts::DatasetSpec spec;
+  spec.num_series = 32;
+  spec.num_samples = 6144;
+  spec.num_clusters = 4;
+  spec.noise_level = 0.015;
+  spec.seed = 7;
+  const ts::Dataset feed = ts::MakeStockData(spec);
+  const std::size_t measured = quick ? 16 : 64;
+
+  std::vector<Dot12Config> configs;
+  for (const std::size_t window : {std::size_t{1024}, std::size_t{4096}}) {
+    configs.push_back({window, true});
+    configs.push_back({window, false});
+  }
+  std::printf("# bench_streaming --dot12 — retained block partials vs cold exact "
+              "recomputation (n=%zu, interval=1)\n", spec.num_series);
+  std::printf("window,retain,refreshes,mean_refresh_us,mean_recompute_us,"
+              "recompute_blocks_touched,recompute_blocks_reused\n");
+  std::vector<Dot12Result> results;
+  for (const Dot12Config& config : configs) {
+    Dot12Result r = RunDot12Config(config, feed, measured);
+    results.push_back(r);
+    std::printf("%zu,%s,%zu,%.1f,%.1f,%zu,%zu\n", config.window,
+                config.retain ? "on" : "off", r.refreshes, r.mean_refresh_us,
+                r.mean_recompute_us, r.blocks_touched, r.blocks_reused);
+  }
+  std::printf("\nwindow,recompute_speedup_retained\n");
+  bool gate_ok = true;
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const double speedup = results[i + 1].mean_recompute_us / results[i].mean_recompute_us;
+    std::printf("%zu,%.2fx\n", results[i].config.window, speedup);
+    // The ISSUE 5 acceptance gate, enforced (not just reported): at
+    // window 4096 / interval 1 retention must cut the exact recompute
+    // cost ≥3× and actually reuse interior block partials.
+    if (results[i].config.window == 4096 &&
+        (speedup < 3.0 || results[i].blocks_reused == 0)) {
+      std::fprintf(stderr,
+                   "FAIL: retained partials at window 4096 give %.2fx (< 3x) "
+                   "or zero reused blocks (%zu)\n",
+                   speedup, results[i].blocks_reused);
+      gate_ok = false;
+    }
+  }
+  if (json) {
+    FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"context\": {\"executable\": \"bench_streaming\", "
+                 "\"mode\": \"dot12_slide\", \"num_series\": %zu},\n  \"benchmarks\": [\n",
+                 spec.num_series);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Dot12Result& r = results[i];
+      std::fprintf(out,
+                   "    {\"name\": \"dot12_slide/window:%zu/retain:%s\", "
+                   "\"run_type\": \"iteration\", \"iterations\": %zu, "
+                   "\"real_time\": %.3f, \"cpu_time\": %.3f, \"time_unit\": \"us\", "
+                   "\"recompute_us\": %.3f, \"recompute_blocks_touched\": %zu, "
+                   "\"recompute_blocks_reused\": %zu}%s\n",
+                   r.config.window, r.config.retain ? "on" : "off", r.refreshes,
+                   r.mean_refresh_us, r.mean_refresh_us, r.mean_recompute_us,
+                   r.blocks_touched, r.blocks_reused, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (!out_path.empty()) std::fclose(out);
+  }
+  return gate_ok ? 0 : 1;
+}
+
 Result RunConfig(const Config& config, const ts::Dataset& feed, std::size_t measured) {
   core::StreamingOptions options;
   options.window = config.window;
@@ -285,6 +429,8 @@ Result RunConfig(const Config& config, const ts::Dataset& feed, std::size_t meas
   out.mean_seconds = total / static_cast<double>(out.refreshes);
   out.rekeys = stream->maintenance().tree_rekeys;
   out.refits = stream->maintenance().relationships_refit;
+  out.recompute_blocks_touched = stream->maintenance().recompute_blocks_touched;
+  out.recompute_blocks_reused = stream->maintenance().recompute_blocks_reused;
   return out;
 }
 
@@ -293,12 +439,14 @@ Result RunConfig(const Config& config, const ts::Dataset& feed, std::size_t meas
 int main(int argc, char** argv) {
   bool json = false;
   bool quick = false;
+  bool dot12 = false;
   std::string out_path;
   std::vector<std::size_t> shard_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--benchmark_format=json") == 0) json = true;
     else if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) out_path = argv[i] + 16;
     else if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--dot12") == 0) dot12 = true;
     else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       for (const char* p = argv[i] + 9; *p != '\0';) {
         char* end = nullptr;
@@ -311,12 +459,15 @@ int main(int argc, char** argv) {
         p = *end == ',' ? end + 1 : end;
       }
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--shards=N,M,...] [--benchmark_format=json] "
-                  "[--benchmark_out=FILE]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--dot12] [--shards=N,M,...] "
+                  "[--benchmark_format=json] [--benchmark_out=FILE]\n", argv[0]);
       return 0;
     }
   }
 
+  if (dot12) {
+    return RunDot12Sweep(quick, json, out_path);
+  }
   if (!shard_counts.empty()) {
     return RunShardSweep(shard_counts, quick, json, out_path);
   }
@@ -379,9 +530,12 @@ int main(int argc, char** argv) {
                    "    {\"name\": \"steady_refresh/window:%zu/interval:%zu/mode:%s\", "
                    "\"run_type\": \"iteration\", \"iterations\": %zu, "
                    "\"real_time\": %.3f, \"cpu_time\": %.3f, \"time_unit\": \"us\", "
-                   "\"rekeys\": %zu, \"refits\": %zu}%s\n",
+                   "\"rekeys\": %zu, \"refits\": %zu, "
+                   "\"recompute_blocks_touched\": %zu, "
+                   "\"recompute_blocks_reused\": %zu}%s\n",
                    r.config.window, r.config.interval, ModeName(r.config.mode), r.refreshes,
                    r.mean_seconds * 1e6, r.mean_seconds * 1e6, r.rekeys, r.refits,
+                   r.recompute_blocks_touched, r.recompute_blocks_reused,
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

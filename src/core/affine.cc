@@ -18,7 +18,8 @@ la::Matrix AffineTransform::AMatrix() const {
 
 la::Vector AffineTransform::BVector() const { return la::Vector{b1, b2}; }
 
-PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2, std::size_t m) {
+PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2, std::size_t m,
+                                             std::size_t anchor) {
   PairMatrixMeasures out;
   out.m = m;
   out.median[0] = ts::stats::Median(x1, m);
@@ -26,9 +27,10 @@ PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2,
   out.mode[0] = ts::stats::Mode(x1, m);
   out.mode[1] = ts::stats::Mode(x2, m);
   // One fused blocked pass for the second moments and sums — chain-equal
-  // to ComputeGram and RecomputeDerived over the same columns.
+  // to ComputeGram and RecomputeDerived over the same columns at the same
+  // grid anchor.
   double g[5];  // s11, s12, s22, h1, h2
-  kernels::FusedGram5(x1, x2, m, g);
+  kernels::FusedGram5(x1, x2, m, g, anchor);
   out.dot11 = g[0];
   out.dot12 = g[1];
   out.dot22 = g[2];

@@ -48,8 +48,10 @@ struct PairMatrixMeasures {
   std::size_t m = 0;                       ///< number of rows
 };
 
-/// Computes all PairMatrixMeasures of the matrix [x1, x2] in O(m).
-PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2, std::size_t m);
+/// Computes all PairMatrixMeasures of the matrix [x1, x2] in O(m), with
+/// the blocked sums on the canonical grid at `anchor` (core/kernels).
+PairMatrixMeasures ComputePairMatrixMeasures(const double* x1, const double* x2, std::size_t m,
+                                             std::size_t anchor = 0);
 
 /// Fits (A, b) by least squares so that target ≈ source·A + 1·bᵀ
 /// (the LeastSquares routine of Algorithm 2). Both matrices are m×2.

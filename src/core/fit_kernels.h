@@ -38,9 +38,10 @@ struct Mat3 {
 /// bit-identical to the matching PairMatrixMeasures sums over the same
 /// columns (dot11/dot12/dot22/h1/h2) and to the hoisted column marginals
 /// RecomputeDerived assembles them from.
-inline Gram3 ComputeGram(const double* c1, const double* c2, std::size_t m) {
+inline Gram3 ComputeGram(const double* c1, const double* c2, std::size_t m,
+                         std::size_t anchor = 0) {
   double g[5];  // s11, s12, s22, h1, h2
-  kernels::FusedGram5(c1, c2, m, g);
+  kernels::FusedGram5(c1, c2, m, g, anchor);
   return Gram3{{g[0], g[1], g[3], g[2], g[4], static_cast<double>(m)}};
 }
 
@@ -83,8 +84,8 @@ inline bool InvertGram(const Gram3& gm, Mat3* out) {
 /// blocked kernel RollingCrossSums::Reset runs, so a re-materialized
 /// incremental accumulator matches this bit for bit.
 inline void ComputeRhs(const double* c1, const double* c2, const double* t, std::size_t m,
-                       double rhs[3]) {
-  kernels::FusedCross3(c1, c2, t, m, rhs);
+                       double rhs[3], std::size_t anchor = 0) {
+  kernels::FusedCross3(c1, c2, t, m, rhs, anchor);
 }
 
 /// x = ginv · rhs.
@@ -117,12 +118,13 @@ inline void SolveRankDeficient(double s11, double h1, double r0, double r2, std:
 /// fit t ≈ x0·c1 + x2·1 only. Sums run as the same blocked chains the
 /// incremental path feeds SolveRankDeficient from (pivot measures + a
 /// Reset rhs), keeping the two routes bit-identical.
-inline void FitRankDeficient(const double* c1, const double* t, std::size_t m, double x[3]) {
-  const kernels::Marginals mc = kernels::ColumnMarginals(c1, m);
+inline void FitRankDeficient(const double* c1, const double* t, std::size_t m, double x[3],
+                             std::size_t anchor = 0) {
+  const kernels::Marginals mc = kernels::ColumnMarginals(c1, m, anchor);
   // Σc1·t / Σt as the same chains FusedCross3 feeds the incremental
   // accumulators (r0 = chain of BlockedDot(c1, t), r2 = BlockedSum(t)).
-  const double r0 = kernels::BlockedDot(c1, t, m);
-  const double r2 = kernels::BlockedSum(t, m);
+  const double r0 = kernels::BlockedDot(c1, t, m, anchor);
+  const double r2 = kernels::BlockedSum(t, m, anchor);
   SolveRankDeficient(mc.sumsq, mc.sum, r0, r2, m, x);
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/stopwatch.h"
 #include "la/solve.h"
+#include "ts/stats.h"
 
 namespace affinity::core {
 
@@ -172,8 +173,10 @@ bool IncrementalMaintainer::WillRefit(std::size_t slot_index, std::size_t refres
 
 Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
                                                  const ExecContext& exec,
-                                                 std::size_t* refit_count) {
+                                                 std::size_t* refit_count,
+                                                 kernels::BlockSpanStats* span_stats) {
   const std::size_t m = window_;
+  const std::size_t anchor = model_->data_.anchor_row();
 
   // Refresh the per-pivot inverse normal-equation factors from the exactly
   // recomputed pivot measures (the Gram shares the measures' sums, so this
@@ -191,6 +194,8 @@ Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
   // refit counts and residual sums merge in chunk order (§7 determinism).
   std::vector<std::size_t> refits(ExecNumChunks(slots_.size()), 0);
   std::vector<double> residual_sums(ExecNumChunks(slots_.size()), 0.0);
+  std::vector<kernels::BlockSpanStats> chunk_spans(
+      span_stats != nullptr ? ExecNumChunks(slots_.size()) : 0);
   ParallelChunks(exec, slots_.size(), [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
     std::size_t local_refits = 0;
     double local_sum = 0.0;
@@ -204,7 +209,23 @@ Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
         const double* c2;
         const double* t;
         SlotColumns(s, &c1, &c2, &t);
-        s.rhs.Reset(c1, c2, t, m);
+        if (options_.retain_block_partials) {
+          // Exact re-materialization from retained partials: bitwise
+          // equal to Reset ≡ ComputeRhs by construction, paying only the
+          // blocks the window moved over since this chain last slid.
+          double sums[3];
+          s.rhs_chain.SlideTo(
+              anchor, m,
+              [c1, c2, t](std::size_t r, double* v) {
+                v[0] = c1[r] * t[r];
+                v[1] = c2[r] * t[r];
+                v[2] = t[r];
+              },
+              sums, span_stats != nullptr ? &chunk_spans[chunk] : nullptr);
+          s.rhs.Install(sums);
+        } else {
+          s.rhs.Reset(c1, c2, t, m, anchor);
+        }
         ++local_refits;
       }
       const double rhs[3] = {s.rhs.c1t, s.rhs.c2t, s.rhs.t};
@@ -249,6 +270,9 @@ Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
   for (std::size_t c = 0; c < refits.size(); ++c) {
     total_refits += refits[c];
     sum += residual_sums[c];
+  }
+  if (span_stats != nullptr) {
+    for (const kernels::BlockSpanStats& cs : chunk_spans) span_stats->Add(cs);
   }
   *refit_count = total_refits;
   profile_.mean_relative_residual =
@@ -328,10 +352,17 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
   });
 
   // ---- Maintain the sorted column views (before the slide: evictions
-  // read the old columns). A full-window slide just re-sorts.
+  // read the old columns). A full-window slide just re-sorts. The
+  // retained mode histograms ride the same pass: bin counts are integers,
+  // so evict/enter updates are exact while the binning — the window
+  // extremes — holds; any extremes movement invalidates and
+  // RecomputeDerived re-fills from the sorted view (DESIGN.md §10).
+  if (options_.retain_block_partials) derived_cache_.modes.resize(n_ + k);
   ParallelChunks(exec, n_ + k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
     for (std::size_t c = lo; c < hi; ++c) {
       double* sorted = sorted_cols_.ColData(c);
+      DerivedBlockCache::ColumnModeHist* mh =
+          options_.retain_block_partials ? &derived_cache_.modes[c] : nullptr;
       const bool is_series = c < n_;
       const double* old_col = is_series
                                   ? model_->data_.ColumnData(static_cast<ts::SeriesId>(c))
@@ -342,11 +373,31 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
           sorted[r] = is_series ? rows[skip + r][c] : added_tail[r];
         }
         std::sort(sorted, sorted + w);
+        if (mh != nullptr) mh->valid = false;
         continue;
       }
       for (std::size_t r = 0; r < tail; ++r) {
         const double added = is_series ? rows[skip + r][c] : added_tail[r];
-        SortedReplace(sorted, w, old_col[r], added);
+        const double evicted = old_col[r];
+        SortedReplace(sorted, w, evicted, added);
+        if (mh != nullptr && mh->valid) {
+          if (added < mh->lo || added > mh->hi) {
+            // A new extreme rebins everything; stop updating now so the
+            // bin map is never indexed out of range.
+            mh->valid = false;
+          } else {
+            const int bins = static_cast<int>(mh->counts.size());
+            --mh->counts[static_cast<std::size_t>(
+                ts::stats::ModeBinOf(evicted, mh->lo, mh->hi, bins))];
+            ++mh->counts[static_cast<std::size_t>(
+                ts::stats::ModeBinOf(added, mh->lo, mh->hi, bins))];
+          }
+        }
+      }
+      // The binning is only reusable if the extremes survived the slide
+      // (an evicted min/max shows up here as a shrunken range).
+      if (mh != nullptr && mh->valid && (sorted[0] != mh->lo || sorted[w - 1] != mh->hi)) {
+        mh->valid = false;
       }
     }
   });
@@ -371,11 +422,20 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
       for (std::size_t r = 0; r < tail; ++r) col[keep + r] = src_tail[r];
     }
   });
-  model_->RecomputeDerived(exec, &sorted_cols_);
+  // The window advanced by every consumed row (flown-through rows moved
+  // the stream position too), so the block grid moves with it — retained
+  // interior partials keep their absolute cut points (DESIGN.md §10).
+  model_->data_.advance_anchor(d);
+  DerivedBlockCache* cache = options_.retain_block_partials ? &derived_cache_ : nullptr;
+  Stopwatch recompute_watch;
+  model_->RecomputeDerived(exec, &sorted_cols_, cache);
+  const double recompute_seconds = recompute_watch.ElapsedSeconds();
 
   // ---- Re-solve relationships and re-key the index. ----------------------
+  kernels::BlockSpanStats refit_spans;
   std::size_t refits = 0;
-  AFFINITY_RETURN_IF_ERROR(SolveRelationships(refresh_index, exec, &refits));
+  AFFINITY_RETURN_IF_ERROR(SolveRelationships(refresh_index, exec, &refits,
+                                              cache != nullptr ? &refit_spans : nullptr));
   std::size_t rekeys = 0;
   if (scape_ != nullptr) {
     AFFINITY_ASSIGN_OR_RETURN(rekeys, scape_->Refresh(*model_, exec));
@@ -396,6 +456,14 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
   profile_.last_relationships_updated = slots_.size() - refits;
   profile_.tree_rekeys += rekeys;
   profile_.last_tree_rekeys = rekeys;
+  kernels::BlockSpanStats spans = refit_spans;
+  if (cache != nullptr) spans.Add(cache->last);
+  profile_.last_recompute_blocks_touched = spans.touched;
+  profile_.last_recompute_blocks_reused = spans.reused;
+  profile_.recompute_blocks_touched += spans.touched;
+  profile_.recompute_blocks_reused += spans.reused;
+  profile_.last_recompute_seconds = recompute_seconds;
+  profile_.recompute_seconds += recompute_seconds;
   if (escalate) ++profile_.escalations;
   profile_.last_refresh_seconds = watch.ElapsedSeconds();
   return escalate;
@@ -413,10 +481,18 @@ MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>&
     out.relationships_refit += p.relationships_refit;
     out.tree_rekeys += p.tree_rekeys;
     out.escalations += p.escalations;
+    out.recompute_blocks_touched += p.recompute_blocks_touched;
+    out.recompute_blocks_reused += p.recompute_blocks_reused;
+    out.recompute_seconds += p.recompute_seconds;
     out.last_rows_absorbed += p.last_rows_absorbed;
     out.last_relationships_updated += p.last_relationships_updated;
     out.last_relationships_refit += p.last_relationships_refit;
     out.last_tree_rekeys += p.last_tree_rekeys;
+    out.last_recompute_blocks_touched += p.last_recompute_blocks_touched;
+    out.last_recompute_blocks_reused += p.last_recompute_blocks_reused;
+    // Shards recompute concurrently, so the slowest one is what the
+    // append paid — same rule as last_refresh_seconds.
+    out.last_recompute_seconds = std::max(out.last_recompute_seconds, p.last_recompute_seconds);
     // Shards refresh concurrently: the slowest one is the latency the
     // router's append actually paid.
     out.last_refresh_seconds = std::max(out.last_refresh_seconds, p.last_refresh_seconds);

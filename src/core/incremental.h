@@ -68,6 +68,15 @@ struct IncrementalOptions {
   /// `escalation_slack`.
   double escalation_factor = 1.5;
   double escalation_slack = 0.02;
+  /// Retain the blocked partial sums of every exact O(window) chain
+  /// across refreshes (DESIGN.md §10): RecomputeDerived's per-column
+  /// marginals, per-pivot dot12, per-series cross terms, and the
+  /// accumulator re-materializations then recompute only the grid blocks
+  /// a slide touched — O(interval + kBlockElems) per chain — with totals
+  /// bitwise identical to the cold pass by construction. Off is the
+  /// pre-retention behaviour (every refresh re-reads the whole window);
+  /// kept as a knob so bench_streaming can measure the gap.
+  bool retain_block_partials = true;
 };
 
 /// Per-refresh and cumulative accounting of the maintenance path.
@@ -78,11 +87,20 @@ struct MaintenanceProfile {
   std::size_t relationships_refit = 0;     ///< full-precision refits
   std::size_t tree_rekeys = 0;             ///< SCAPE index move operations
   std::size_t escalations = 0;             ///< drift-monitor trips
+  /// Retained block-partial accounting (DESIGN.md §10): grid blocks
+  /// recomputed vs served from the cache across every exact chain
+  /// (RecomputeDerived + accumulator re-materializations).
+  std::size_t recompute_blocks_touched = 0;
+  std::size_t recompute_blocks_reused = 0;
+  double recompute_seconds = 0.0;          ///< cumulative RecomputeDerived wall time
   double last_refresh_seconds = 0.0;
   std::size_t last_rows_absorbed = 0;
   std::size_t last_relationships_updated = 0;
   std::size_t last_relationships_refit = 0;
   std::size_t last_tree_rekeys = 0;
+  std::size_t last_recompute_blocks_touched = 0;
+  std::size_t last_recompute_blocks_reused = 0;
+  double last_recompute_seconds = 0.0;     ///< RecomputeDerived wall time, last refresh
   /// Population mean relative fit residual after the last refresh (the
   /// drift-monitor signal) and its baseline at the last full build.
   double mean_relative_residual = 0.0;
@@ -101,11 +119,17 @@ struct MaintenanceProfile {
     relationships_updated += refresh.last_relationships_updated;
     relationships_refit += refresh.last_relationships_refit;
     tree_rekeys += refresh.last_tree_rekeys;
+    recompute_blocks_touched += refresh.last_recompute_blocks_touched;
+    recompute_blocks_reused += refresh.last_recompute_blocks_reused;
+    recompute_seconds += refresh.last_recompute_seconds;
     last_refresh_seconds = refresh.last_refresh_seconds;
     last_rows_absorbed = refresh.last_rows_absorbed;
     last_relationships_updated = refresh.last_relationships_updated;
     last_relationships_refit = refresh.last_relationships_refit;
     last_tree_rekeys = refresh.last_tree_rekeys;
+    last_recompute_blocks_touched = refresh.last_recompute_blocks_touched;
+    last_recompute_blocks_reused = refresh.last_recompute_blocks_reused;
+    last_recompute_seconds = refresh.last_recompute_seconds;
     mean_relative_residual = refresh.mean_relative_residual;
     baseline_mean_residual = refresh.baseline_mean_residual;
   }
@@ -159,6 +183,12 @@ class IncrementalMaintainer {
     AffineRecord* rec = nullptr;     ///< stable pointer into affHash
     std::size_t pivot_slot = 0;      ///< index into pivot_slots_
     ts::RollingCrossSums rhs;        ///< (Σc1·t, Σc2·t, Σt) over the window
+    /// Retained block partials of the three rhs chains: an exact refit
+    /// then re-materializes from O(interval + kBlockElems) of fresh data
+    /// instead of re-reading the whole window, bitwise equal to
+    /// RollingCrossSums::Reset (gated by
+    /// IncrementalOptions::retain_block_partials).
+    kernels::BlockChain<3> rhs_chain;
     double rel_residual = 0.0;       ///< monitor value from the last refresh
     double residual_at_refit = 0.0;  ///< level when last exactly refit
   };
@@ -176,10 +206,13 @@ class IncrementalMaintainer {
   /// Recomputes pivot factors, re-solves / refits every relationship, and
   /// refreshes the residual monitor. `refresh_index` drives the
   /// round-robin refit schedule; kRefitAll forces exact refits everywhere
-  /// (used by Create to materialize the accumulators).
+  /// (used by Create to materialize the accumulators). `span_stats`, when
+  /// non-null, accumulates the retained-partial accounting of the refit
+  /// re-materializations.
   static constexpr std::size_t kRefitAll = ~std::size_t{0};
   Status SolveRelationships(std::size_t refresh_index, const ExecContext& exec,
-                            std::size_t* refit_count);
+                            std::size_t* refit_count,
+                            kernels::BlockSpanStats* span_stats = nullptr);
 
   /// The design columns of slot `s` in the *current* model matrices.
   void SlotColumns(const PairSlot& s, const double** c1, const double** c2,
@@ -208,6 +241,14 @@ class IncrementalMaintainer {
   /// so the refresh reads medians as order statistics instead of running a
   /// selection per column (`RecomputeDerived`'s sorted view).
   la::Matrix sorted_cols_;
+
+  /// The retained block-partial cache behind RecomputeDerived (DESIGN.md
+  /// §10). Owned here because its validity is exactly the maintainer's
+  /// lifetime: the chains assume the frozen structure and the uniformly
+  /// advancing window anchor, so escalation/rebuild/restore (which create
+  /// a fresh maintainer) drop it wholesale. Unused (and empty) when
+  /// `retain_block_partials` is off.
+  DerivedBlockCache derived_cache_;
 
   std::vector<PivotSlot> pivot_slots_;
   std::vector<PairSlot> slots_;

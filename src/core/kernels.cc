@@ -7,19 +7,20 @@ namespace affinity::core::kernels {
 
 std::vector<Marginals> HoistMarginals(const ts::DataMatrix& data, const ExecContext& exec) {
   std::vector<Marginals> out(data.n());
+  const std::size_t anchor = data.anchor_row();
   ParallelChunks(exec, data.n(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
     for (std::size_t j = lo; j < hi; ++j) {
-      out[j] = ColumnMarginals(data.ColumnData(static_cast<ts::SeriesId>(j)), data.m());
+      out[j] = ColumnMarginals(data.ColumnData(static_cast<ts::SeriesId>(j)), data.m(), anchor);
     }
   });
   return out;
 }
 
 std::vector<Marginals> HoistMarginals(const std::vector<const double*>& columns, std::size_t m,
-                                      const ExecContext& exec) {
+                                      const ExecContext& exec, std::size_t anchor) {
   std::vector<Marginals> out(columns.size());
   ParallelChunks(exec, columns.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
-    for (std::size_t j = lo; j < hi; ++j) out[j] = ColumnMarginals(columns[j], m);
+    for (std::size_t j = lo; j < hi; ++j) out[j] = ColumnMarginals(columns[j], m, anchor);
   });
   return out;
 }

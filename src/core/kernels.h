@@ -11,21 +11,29 @@
 /// independent lanes (`kLanes`) accumulate stride-4 element groups (the
 /// classic unroll that breaks the FP dependency chain and lets the
 /// compiler SLP-vectorize without -ffast-math); a block reduces as
-/// `(l0 + l1) + (l2 + l3)`; block partials add sequentially. The order
-/// depends only on the length `m` — never on thread count, pointer
-/// alignment, or which fused kernel runs the chain — so:
+/// `(l0 + l1) + (l2 + l3)`; block partials add sequentially.
 ///
-///  * every sweep is bitwise identical at any thread count (§7), and
-///  * **chain equality**: the Σx² chain of `FusedDot3(x, y)` is bitwise
-///    equal to `BlockedDot(x, x)` and to the `sumsq` chain of
-///    `ColumnMarginals(x)`. Marginal hoisting (compute Σx, Σx² once per
-///    column, then one fused Σxy pass per pair) therefore reproduces the
-///    single fused per-pair pass bit for bit.
+/// **Anchored grid.** The block cuts sit on an absolute grid: a window
+/// whose first sample is stream row `anchor` is cut at the absolute rows
+/// that are multiples of `kBlockElems`, so the order is a function of
+/// `(anchor mod kBlockElems, m)` alone — never of thread count, pointer
+/// alignment, or which fused kernel runs the chain. An `anchor` of 0 (the
+/// default everywhere) reproduces the historic length-only order exactly.
+/// The grid buys:
 ///
-/// The fixed block size is also the seam the ROADMAP's "bit-identity-
-/// preserving blocked summation" for sliding dot12 needs: a slide that
-/// only touches whole blocks can reuse untouched block partials without
-/// changing a single bit of the total.
+///  * every sweep is bitwise identical at any thread count (§7);
+///  * **chain equality**: the Σx² chain of `FusedDot3(x, y, m, a)` is
+///    bitwise equal to `BlockedDot(x, x, m, a)` and to the `sumsq` chain
+///    of `ColumnMarginals(x, m, a)`. Marginal hoisting (compute Σx, Σx²
+///    once per column, then one fused Σxy pass per pair) therefore
+///    reproduces the single fused per-pair pass bit for bit;
+///  * **slide stability**: a grid block fully inside the window sums a
+///    fixed set of stream rows in a fixed internal order, so its partial
+///    is a pure function of those samples. Sliding the window forward
+///    leaves every still-covered interior block partial bit-identical —
+///    `BlockChain` below retains them, and an incremental refresh only
+///    recomputes the partial blocks the slide actually touched
+///    (O(interval + kBlockElems) per chain instead of O(window)).
 ///
 /// The primitive layer is header-only on purpose: `ts/stats` and
 /// `ts/rolling` sit *below* core in the link order but must share the
@@ -35,6 +43,8 @@
 
 #include <cstddef>
 #include <vector>
+
+#include "common/check.h"
 
 namespace affinity {
 struct ExecContext;
@@ -51,57 +61,80 @@ inline constexpr std::size_t kBlockElems = 1024;
 
 /// Independent accumulator lanes per chain (the unroll width).
 inline constexpr std::size_t kLanes = 4;
+static_assert(kBlockElems % kLanes == 0,
+              "grid blocks must start on a lane boundary so a block partial "
+              "is a pure function of its samples");
 
 namespace detail {
 
-/// Accumulates `kChains` independent sums over [0, m) in the canonical
-/// blocked order. `term(i, v)` writes the i-th element of every chain
-/// into v[0..kChains). Each chain's reduction order is a function of `m`
-/// alone, so any two kernels running the same chain agree bitwise.
+/// Accumulates `kChains` independent lane sets over the span
+/// [begin, end) of the window, adding each element at window-relative
+/// index i into lane (i - begin) % kLanes. The per-lane addition order is
+/// increasing i — exactly the order `BlockChain` appends trailing
+/// elements in, which is what makes a lane state resumable.
 template <int kChains, class Term>
-inline void Accumulate(std::size_t m, const Term& term, double* out) {
+inline void AccumulateSpan(std::size_t begin, std::size_t end, const Term& term,
+                           double lanes[kChains][kLanes]) {
+  std::size_t i = begin;
+  for (; i + kLanes <= end; i += kLanes) {
+    double v0[kChains], v1[kChains], v2[kChains], v3[kChains];
+    term(i, v0);
+    term(i + 1, v1);
+    term(i + 2, v2);
+    term(i + 3, v3);
+    for (int c = 0; c < kChains; ++c) {
+      lanes[c][0] += v0[c];
+      lanes[c][1] += v1[c];
+      lanes[c][2] += v2[c];
+      lanes[c][3] += v3[c];
+    }
+  }
+  for (std::size_t l = 0; i < end; ++i, ++l) {
+    double v[kChains];
+    term(i, v);
+    for (int c = 0; c < kChains; ++c) lanes[c][l] += v[c];
+  }
+}
+
+/// Accumulates `kChains` independent sums over [0, m) in the canonical
+/// anchored blocked order. `term(i, v)` writes the i-th element of every
+/// chain into v[0..kChains). The window's first element sits at absolute
+/// stream row `anchor`; spans are cut where (anchor + i) crosses a
+/// multiple of kBlockElems. Each chain's reduction order is a function of
+/// (anchor mod kBlockElems, m) alone, so any two kernels running the same
+/// chain at the same anchor agree bitwise.
+template <int kChains, class Term>
+inline void Accumulate(std::size_t m, const Term& term, double* out, std::size_t anchor = 0) {
   for (int c = 0; c < kChains; ++c) out[c] = 0.0;
-  for (std::size_t base = 0; base < m; base += kBlockElems) {
-    const std::size_t end = base + kBlockElems < m ? base + kBlockElems : m;
+  const std::size_t phase = anchor % kBlockElems;
+  std::size_t base = 0;
+  std::size_t end = kBlockElems - phase < m ? kBlockElems - phase : m;
+  while (base < m) {
     double lanes[kChains][kLanes] = {};
-    std::size_t i = base;
-    for (; i + kLanes <= end; i += kLanes) {
-      double v0[kChains], v1[kChains], v2[kChains], v3[kChains];
-      term(i, v0);
-      term(i + 1, v1);
-      term(i + 2, v2);
-      term(i + 3, v3);
-      for (int c = 0; c < kChains; ++c) {
-        lanes[c][0] += v0[c];
-        lanes[c][1] += v1[c];
-        lanes[c][2] += v2[c];
-        lanes[c][3] += v3[c];
-      }
-    }
-    for (std::size_t l = 0; i < end; ++i, ++l) {
-      double v[kChains];
-      term(i, v);
-      for (int c = 0; c < kChains; ++c) lanes[c][l] += v[c];
-    }
+    AccumulateSpan<kChains>(base, end, term, lanes);
     for (int c = 0; c < kChains; ++c) {
       out[c] += (lanes[c][0] + lanes[c][1]) + (lanes[c][2] + lanes[c][3]);
     }
+    base = end;
+    end = base + kBlockElems < m ? base + kBlockElems : m;
   }
 }
 
 }  // namespace detail
 
 /// Σ xᵢ in the canonical blocked order.
-inline double BlockedSum(const double* x, std::size_t m) {
+inline double BlockedSum(const double* x, std::size_t m, std::size_t anchor = 0) {
   double out;
-  detail::Accumulate<1>(m, [x](std::size_t i, double* v) { v[0] = x[i]; }, &out);
+  detail::Accumulate<1>(m, [x](std::size_t i, double* v) { v[0] = x[i]; }, &out, anchor);
   return out;
 }
 
 /// Σ xᵢyᵢ in the canonical blocked order.
-inline double BlockedDot(const double* x, const double* y, std::size_t m) {
+inline double BlockedDot(const double* x, const double* y, std::size_t m,
+                         std::size_t anchor = 0) {
   double out;
-  detail::Accumulate<1>(m, [x, y](std::size_t i, double* v) { v[0] = x[i] * y[i]; }, &out);
+  detail::Accumulate<1>(m, [x, y](std::size_t i, double* v) { v[0] = x[i] * y[i]; }, &out,
+                        anchor);
   return out;
 }
 
@@ -115,7 +148,7 @@ struct Marginals {
   double max = 0.0;
 };
 
-inline Marginals ColumnMarginals(const double* x, std::size_t m) {
+inline Marginals ColumnMarginals(const double* x, std::size_t m, std::size_t anchor = 0) {
   Marginals out;
   if (m == 0) return out;
   // min/max ride the same single pass inside the term callback (each
@@ -132,7 +165,7 @@ inline Marginals ColumnMarginals(const double* x, std::size_t m) {
         lo = xi < lo ? xi : lo;
         hi = xi > hi ? xi : hi;
       },
-      sums);
+      sums, anchor);
   out.sum = sums[0];
   out.sumsq = sums[1];
   out.min = lo;
@@ -143,7 +176,7 @@ inline Marginals ColumnMarginals(const double* x, std::size_t m) {
 /// Σxy, Σx², Σy² in one fused pass — the per-pair cost of every derived
 /// measure once the marginals are hoisted elsewhere.
 inline void FusedDot3(const double* x, const double* y, std::size_t m, double* dot_xy,
-                      double* dot_xx, double* dot_yy) {
+                      double* dot_xx, double* dot_yy, std::size_t anchor = 0) {
   double out[3];
   detail::Accumulate<3>(
       m,
@@ -152,7 +185,7 @@ inline void FusedDot3(const double* x, const double* y, std::size_t m, double* d
         v[1] = x[i] * x[i];
         v[2] = y[i] * y[i];
       },
-      out);
+      out, anchor);
   *dot_xy = out[0];
   *dot_xx = out[1];
   *dot_yy = out[2];
@@ -163,7 +196,7 @@ inline void FusedDot3(const double* x, const double* y, std::size_t m, double* d
 /// incremental accumulator re-materialization (RollingCrossSums::Reset),
 /// which must agree bitwise (DESIGN.md §8).
 inline void FusedCross3(const double* c1, const double* c2, const double* t, std::size_t m,
-                        double out[3]) {
+                        double out[3], std::size_t anchor = 0) {
   detail::Accumulate<3>(
       m,
       [c1, c2, t](std::size_t i, double* v) {
@@ -171,14 +204,15 @@ inline void FusedCross3(const double* c1, const double* c2, const double* t, std
         v[1] = c2[i] * t[i];
         v[2] = t[i];
       },
-      out);
+      out, anchor);
 }
 
 /// The five Gram sums of the design [c1, c2, 1m] — s11, s12, s22, h1, h2
 /// — in one fused pass. Chain-equal to ColumnMarginals/BlockedDot over
 /// the same columns, which is what lets `GramFromMeasures` (assembled
 /// from hoisted pivot measures) match `ComputeGram` bit for bit.
-inline void FusedGram5(const double* c1, const double* c2, std::size_t m, double out[5]) {
+inline void FusedGram5(const double* c1, const double* c2, std::size_t m, double out[5],
+                       std::size_t anchor = 0) {
   detail::Accumulate<5>(
       m,
       [c1, c2](std::size_t i, double* v) {
@@ -188,14 +222,15 @@ inline void FusedGram5(const double* c1, const double* c2, std::size_t m, double
         v[3] = c1[i];
         v[4] = c2[i];
       },
-      out);
+      out, anchor);
 }
 
 /// Σx, Σx², Σy, Σy², Σxy in one fused pass — the full co-moment set of a
 /// pair, from which every T/D pair measure is computable without touching
 /// the raw columns again (core::PairMeasureFromMoments). Chain-equal to
 /// ColumnMarginals(x/y) + BlockedDot(x, y).
-inline void FusedPairMoments(const double* x, const double* y, std::size_t m, double out[5]) {
+inline void FusedPairMoments(const double* x, const double* y, std::size_t m, double out[5],
+                             std::size_t anchor = 0) {
   detail::Accumulate<5>(
       m,
       [x, y](std::size_t i, double* v) {
@@ -205,20 +240,222 @@ inline void FusedPairMoments(const double* x, const double* y, std::size_t m, do
         v[3] = y[i] * y[i];
         v[4] = x[i] * y[i];
       },
-      out);
+      out, anchor);
 }
+
+// --- Retained block partials (DESIGN.md §10) -------------------------------
+
+/// Per-refresh accounting of a retained-partial update: how many grid
+/// blocks were recomputed or freshly completed versus served from the
+/// cache. Reported through MaintenanceProfile and bench_streaming.
+struct BlockSpanStats {
+  std::size_t touched = 0;  ///< partial/leading spans recomputed + blocks completed
+  std::size_t reused = 0;   ///< interior block partials reused bit-for-bit
+
+  void Add(const BlockSpanStats& o) {
+    touched += o.touched;
+    reused += o.reused;
+  }
+};
+
+/// Retained block partials of `kChains` fused canonical chains over one
+/// sliding window (the BlockPartialCache unit). The chain remembers, for
+/// the window [anchor, anchor + window) it last produced totals for:
+///
+///  * `interior_`: the reduced partial of every grid block fully inside
+///    the window (kChains values per block, block order), and
+///  * the **lane state of the trailing partial block** — the four
+///    unreduced lane sums over the elements accumulated into the grid
+///    block the window currently ends inside.
+///
+/// `SlideTo(new_anchor, term, out)` advances the window and produces
+/// totals bitwise identical to a cold anchored `Accumulate` over the new
+/// window, by construction: interior partials are pure functions of their
+/// samples (reused), appended samples extend the trailing lane state in
+/// the exact cold order (lane = in-block offset mod kLanes, increasing),
+/// and only the leading partial block — whose left edge the slide moved —
+/// is recomputed from the raw window. Ownership and invalidation live in
+/// IncrementalMaintainer: the chain is dropped whenever the structure it
+/// sums over changes (escalation, rebuild, restore).
+template <int kChains>
+class BlockChain {
+ public:
+  BlockChain() = default;
+
+  bool initialized() const { return init_; }
+  std::size_t anchor() const { return anchor_; }
+  std::size_t window() const { return window_; }
+
+  /// Advances the retained state to the window [new_anchor, new_anchor +
+  /// window) and writes its canonical totals. `term(i, v)` must read the
+  /// *current* window buffer at window-relative index i ∈ [0, window).
+  /// Falls back to a cold rebuild when uninitialized, when the window
+  /// length changed, when the slide moved backwards, or when the slide
+  /// covers the whole window (nothing to retain).
+  template <class Term>
+  void SlideTo(std::size_t new_anchor, std::size_t window, const Term& term,
+               double out[kChains], BlockSpanStats* stats = nullptr) {
+    if (!init_ || window != window_ || new_anchor < anchor_ || new_anchor - anchor_ >= window) {
+      Rebuild(new_anchor, window, term, stats);
+    } else {
+      Advance(new_anchor, term, stats);
+    }
+    Totals(term, out, stats);
+  }
+
+  /// Drops all retained state (the next SlideTo rebuilds cold).
+  void Invalidate() { init_ = false; }
+
+ private:
+  static std::size_t FirstGrid(std::size_t anchor) {
+    return (anchor + kBlockElems - 1) / kBlockElems;
+  }
+
+  /// Cold start: retain interiors and trailing lanes for [anchor, anchor+w).
+  template <class Term>
+  void Rebuild(std::size_t anchor, std::size_t window, const Term& term,
+               BlockSpanStats* stats) {
+    anchor_ = anchor;
+    window_ = window;
+    interior_.clear();
+    lane_block_ = FirstGrid(anchor);
+    trailing_len_ = 0;
+    for (int c = 0; c < kChains; ++c) {
+      for (std::size_t l = 0; l < kLanes; ++l) lanes_[c][l] = 0.0;
+    }
+    init_ = true;
+    Append(term, stats);
+  }
+
+  /// Warm slide: drop evicted interiors, extend the tail with the
+  /// appended samples, keep everything in between untouched.
+  template <class Term>
+  void Advance(std::size_t new_anchor, const Term& term, BlockSpanStats* stats) {
+    const std::size_t gf = FirstGrid(new_anchor);
+    // Interiors that slid out of the window (their block now starts
+    // before the new first grid row).
+    const std::size_t have = interior_.size() / kChains;
+    const std::size_t first_block = lane_block_ - have;
+    const std::size_t drop = gf > first_block ? (gf - first_block < have ? gf - first_block : have)
+                                              : 0;
+    if (drop > 0) {
+      interior_.erase(interior_.begin(),
+                      interior_.begin() + static_cast<std::ptrdiff_t>(drop * kChains));
+    }
+    if (lane_block_ < gf) {
+      // The old trailing block itself was evicted (a multi-refresh gap):
+      // discard its lane state and restart coverage at the new grid.
+      AFFINITY_DCHECK(interior_.empty());
+      lane_block_ = gf;
+      trailing_len_ = 0;
+      for (int c = 0; c < kChains; ++c) {
+        for (std::size_t l = 0; l < kLanes; ++l) lanes_[c][l] = 0.0;
+      }
+    }
+    if (stats != nullptr) stats->reused += interior_.size() / kChains;
+    anchor_ = new_anchor;
+    Append(term, stats);
+  }
+
+  /// Extends coverage from the retained end to the window end, completing
+  /// grid blocks as they fill. Lane assignment is the in-block offset mod
+  /// kLanes in increasing row order — the cold AccumulateSpan order, so a
+  /// block completed across several slides reduces to the identical bits.
+  template <class Term>
+  void Append(const Term& term, BlockSpanStats* stats) {
+    const std::size_t end_abs = anchor_ + window_;
+    std::size_t a = lane_block_ * kBlockElems + trailing_len_;
+    while (a < end_abs) {
+      const std::size_t block_end = (lane_block_ + 1) * kBlockElems;
+      const std::size_t stop = block_end < end_abs ? block_end : end_abs;
+      double v[kChains];
+      for (; a < stop; ++a) {
+        term(a - anchor_, v);
+        const std::size_t lane = (a % kBlockElems) % kLanes;
+        for (int c = 0; c < kChains; ++c) lanes_[c][lane] += v[c];
+      }
+      trailing_len_ = a - lane_block_ * kBlockElems;
+      if (trailing_len_ == kBlockElems) {
+        for (int c = 0; c < kChains; ++c) {
+          interior_.push_back((lanes_[c][0] + lanes_[c][1]) + (lanes_[c][2] + lanes_[c][3]));
+          for (std::size_t l = 0; l < kLanes; ++l) lanes_[c][l] = 0.0;
+        }
+        ++lane_block_;
+        trailing_len_ = 0;
+        if (stats != nullptr) ++stats->touched;
+      }
+    }
+  }
+
+  /// Re-reduces leading + interiors + trailing lanes in the canonical
+  /// span order. The leading partial block (present when the anchor is
+  /// off-grid) is the one span whose left edge every slide moves, so it
+  /// is recomputed from the raw window here.
+  template <class Term>
+  void Totals(const Term& term, double out[kChains], BlockSpanStats* stats) {
+    const std::size_t gf = FirstGrid(anchor_);
+    const std::size_t lead_end_abs = gf * kBlockElems < anchor_ + window_
+                                         ? gf * kBlockElems
+                                         : anchor_ + window_;
+    for (int c = 0; c < kChains; ++c) out[c] = 0.0;
+    if (lead_end_abs > anchor_) {
+      double lead[kChains][kLanes] = {};
+      detail::AccumulateSpan<kChains>(0, lead_end_abs - anchor_, term, lead);
+      for (int c = 0; c < kChains; ++c) {
+        out[c] += (lead[c][0] + lead[c][1]) + (lead[c][2] + lead[c][3]);
+      }
+      if (stats != nullptr) ++stats->touched;
+    }
+    // The cache re-anchor invariant: retained coverage must tile the rest
+    // of the window exactly — interiors for every fully covered grid
+    // block, the trailing lane state for the remainder. A window that
+    // never reaches the grid (it sits inside one block) has no retained
+    // coverage at all: the leading span above was the whole window.
+    const std::size_t have = interior_.size() / kChains;
+    if (gf * kBlockElems >= anchor_ + window_) {
+      AFFINITY_CHECK(have == 0 && trailing_len_ == 0);
+      return;
+    }
+    const std::size_t ge = (anchor_ + window_) / kBlockElems;
+    AFFINITY_CHECK(lane_block_ == ge && have == ge - gf);
+    AFFINITY_CHECK_EQ(lane_block_ * kBlockElems + trailing_len_, anchor_ + window_);
+    for (std::size_t b = 0; b < have; ++b) {
+      for (int c = 0; c < kChains; ++c) out[c] += interior_[b * kChains + c];
+    }
+    if (trailing_len_ > 0) {
+      for (int c = 0; c < kChains; ++c) {
+        out[c] += (lanes_[c][0] + lanes_[c][1]) + (lanes_[c][2] + lanes_[c][3]);
+      }
+      if (stats != nullptr) ++stats->touched;
+    }
+  }
+
+  std::size_t anchor_ = 0;
+  std::size_t window_ = 0;
+  /// Reduced partials of the fully covered grid blocks, kChains values
+  /// per block in block order; the first retained block is
+  /// `lane_block_ - interior_.size() / kChains`.
+  std::vector<double> interior_;
+  /// Grid index of the block the lane state accumulates, and how many of
+  /// its elements are folded in so far.
+  std::size_t lane_block_ = 0;
+  std::size_t trailing_len_ = 0;
+  double lanes_[kChains][kLanes] = {};
+  bool init_ = false;
+};
 
 // --- Batch helpers (kernels.cc) --------------------------------------------
 
 /// Marginals of every column of `data`, hoisted once per query as a
 /// deterministic chunked parallel loop (one chain per column, so the
-/// result is thread-count invariant).
+/// result is thread-count invariant). Runs at the matrix's block-grid
+/// anchor.
 std::vector<Marginals> HoistMarginals(const ts::DataMatrix& data, const ExecContext& exec);
 
 /// As above over an explicit column list (the shard router's resolved
-/// cross-pair columns), all of length `m`.
+/// cross-pair columns), all of length `m` anchored at `anchor`.
 std::vector<Marginals> HoistMarginals(const std::vector<const double*>& columns, std::size_t m,
-                                      const ExecContext& exec);
+                                      const ExecContext& exec, std::size_t anchor = 0);
 
 }  // namespace affinity::core::kernels
 

@@ -102,9 +102,10 @@ StatusOr<double> NaiveLocationMeasure(Measure m, const double* x, std::size_t le
   }
 }
 
-PairMoments ComputePairMoments(const double* x, const double* y, std::size_t len) {
+PairMoments ComputePairMoments(const double* x, const double* y, std::size_t len,
+                               std::size_t anchor) {
   double sums[5];
-  kernels::FusedPairMoments(x, y, len, sums);
+  kernels::FusedPairMoments(x, y, len, sums, anchor);
   return PairMoments{len, sums[0], sums[1], sums[2], sums[3], sums[4]};
 }
 
@@ -140,11 +141,12 @@ StatusOr<double> PairMeasureFromMoments(Measure m, const PairMoments& pm) {
   }
 }
 
-StatusOr<double> NaivePairMeasure(Measure m, const double* x, const double* y, std::size_t len) {
+StatusOr<double> NaivePairMeasure(Measure m, const double* x, const double* y, std::size_t len,
+                                  std::size_t anchor) {
   if (IsLocation(m)) {
     return Status::InvalidArgument(std::string(MeasureName(m)) + " is not a pair measure");
   }
-  return PairMeasureFromMoments(m, ComputePairMoments(x, y, len));
+  return PairMeasureFromMoments(m, ComputePairMoments(x, y, len, anchor));
 }
 
 StatusOr<double> NaivePairMeasureScalar(Measure m, const double* x, const double* y,
@@ -183,12 +185,14 @@ StatusOr<double> NaivePairMeasureScalar(Measure m, const double* x, const double
   }
 }
 
-StatusOr<double> NaiveNormalizer(Measure m, const double* x, const double* y, std::size_t len) {
+StatusOr<double> NaiveNormalizer(Measure m, const double* x, const double* y, std::size_t len,
+                                 std::size_t anchor) {
   switch (m) {
     case Measure::kCorrelation:
       return ts::stats::CorrelationNormalizer(x, y, len);
     case Measure::kCosine:
-      return std::sqrt(ts::stats::DotProduct(x, x, len) * ts::stats::DotProduct(y, y, len));
+      return std::sqrt(ts::stats::DotProduct(x, x, len, anchor) *
+                       ts::stats::DotProduct(y, y, len, anchor));
     default:
       return Status::InvalidArgument(std::string(MeasureName(m)) +
                                      " has no separable normalizer");

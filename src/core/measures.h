@@ -96,8 +96,10 @@ struct PairMoments {
   double dot_xy = 0.0;
 };
 
-/// One fused blocked pass over the pair (kernels::FusedPairMoments).
-PairMoments ComputePairMoments(const double* x, const double* y, std::size_t len);
+/// One fused blocked pass over the pair (kernels::FusedPairMoments) at the
+/// columns' block-grid anchor (the owning matrix's `anchor_row()`).
+PairMoments ComputePairMoments(const double* x, const double* y, std::size_t len,
+                               std::size_t anchor = 0);
 
 /// Assembles the co-moments from hoisted column marginals and the cross
 /// dot Σxy — the per-pair O(1) path of a marginal-hoisted sweep.
@@ -116,7 +118,8 @@ StatusOr<double> PairMeasureFromMoments(Measure m, const PairMoments& pm);
 /// pass (`ComputePairMoments`) + `PairMeasureFromMoments`. Bitwise equal
 /// to every marginal-hoisted sweep and to the shard router's cross-pair
 /// evaluation over the same columns.
-StatusOr<double> NaivePairMeasure(Measure m, const double* x, const double* y, std::size_t len);
+StatusOr<double> NaivePairMeasure(Measure m, const double* x, const double* y, std::size_t len,
+                                  std::size_t anchor = 0);
 
 /// The seed's sequential multi-scan evaluation (centered covariance, one
 /// full scan per dot product) — kept as the numeric test oracle the
@@ -127,7 +130,8 @@ StatusOr<double> NaivePairMeasureScalar(Measure m, const double* x, const double
 
 /// The normalizer U of a separable D-measure (Eq. 8), from scratch.
 /// InvalidArgument unless HasSeparableNormalizer(m).
-StatusOr<double> NaiveNormalizer(Measure m, const double* x, const double* y, std::size_t len);
+StatusOr<double> NaiveNormalizer(Measure m, const double* x, const double* y, std::size_t len,
+                                 std::size_t anchor = 0);
 
 }  // namespace affinity::core
 

@@ -50,7 +50,7 @@ StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
                                                  const std::vector<CrossPair>& pairs,
                                                  std::size_t m, const ExecContext& exec,
                                                  std::vector<PairMoments>* moments,
-                                                 CrossSweepStats* stats) {
+                                                 CrossSweepStats* stats, std::size_t anchor) {
   if (IsLocation(measure)) {
     return Status::InvalidArgument("cross-shard evaluation covers pair measures only");
   }
@@ -69,7 +69,8 @@ StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
       if (column_index.try_emplace(col, columns.size()).second) columns.push_back(col);
     }
   }
-  const std::vector<kernels::Marginals> marginals = kernels::HoistMarginals(columns, m, exec);
+  const std::vector<kernels::Marginals> marginals =
+      kernels::HoistMarginals(columns, m, exec, anchor);
   if (stats != nullptr) {
     stats->pairs_scanned += pairs.size();
     stats->columns_hoisted += columns.size();
@@ -82,7 +83,7 @@ StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
           const kernels::Marginals& mu = marginals[column_index.at(pairs[i].u)];
           const kernels::Marginals& mv = marginals[column_index.at(pairs[i].v)];
           const PairMoments pm = PairMomentsFromMarginals(
-              mu, mv, kernels::BlockedDot(pairs[i].u, pairs[i].v, m), m);
+              mu, mv, kernels::BlockedDot(pairs[i].u, pairs[i].v, m, anchor), m);
           auto value = PairMeasureFromMoments(measure, pm);
           if (!value.ok()) return value.status();
           values[i] = *value;
@@ -144,7 +145,8 @@ StatusOr<double> QueryEngine::Value(Measure measure, ts::SeriesId u, ts::SeriesI
                                     QueryMethod method) const {
   switch (method) {
     case QueryMethod::kNaive:
-      return NaivePairMeasure(measure, data_->ColumnData(u), data_->ColumnData(v), data_->m());
+      return NaivePairMeasure(measure, data_->ColumnData(u), data_->ColumnData(v), data_->m(),
+                              data_->anchor_row());
     case QueryMethod::kAffine: {
       if (model_ == nullptr) return Status::FailedPrecondition("WA strategy not attached");
       if (u == v) {
@@ -226,7 +228,7 @@ StatusOr<MecResponse> QueryEngine::Mec(const MecRequest& request, QueryMethod me
   if (method == QueryMethod::kNaive) {
     cols.resize(count);
     for (std::size_t i = 0; i < count; ++i) cols[i] = data_->ColumnData(request.ids[i]);
-    marginals = kernels::HoistMarginals(cols, data_->m(), exec_);
+    marginals = kernels::HoistMarginals(cols, data_->m(), exec_, data_->anchor_row());
   }
   // Row i fills cells (i, j) and (j, i) for j ≥ i — rows write disjoint
   // cell sets, so the chunked fill needs no synchronization.
@@ -239,7 +241,8 @@ StatusOr<MecResponse> QueryEngine::Mec(const MecRequest& request, QueryMethod me
                 return Value(request.measure, request.ids[i], request.ids[j], method);
               }
               const double dot = i == j ? marginals[i].sumsq
-                                        : kernels::BlockedDot(cols[i], cols[j], data_->m());
+                                        : kernels::BlockedDot(cols[i], cols[j], data_->m(),
+                                                              data_->anchor_row());
               return PairMeasureFromMoments(
                   request.measure,
                   PairMomentsFromMarginals(marginals[i], marginals[j], dot, data_->m()));
@@ -319,7 +322,7 @@ StatusOr<SelectionResult> QueryEngine::SelectByPredicate(Measure measure, QueryM
     }
     const double dot = kernels::BlockedDot(data_->ColumnData(static_cast<ts::SeriesId>(u)),
                                            data_->ColumnData(static_cast<ts::SeriesId>(v)),
-                                           data_->m());
+                                           data_->m(), data_->anchor_row());
     return PairMeasureFromMoments(
         measure, PairMomentsFromMarginals(marginals[u], marginals[v], dot, data_->m()));
   };
@@ -448,7 +451,7 @@ StatusOr<TopKResult> QueryEngine::TopK(const TopKRequest& request, QueryMethod m
               const double dot =
                   kernels::BlockedDot(data_->ColumnData(static_cast<ts::SeriesId>(u)),
                                       data_->ColumnData(static_cast<ts::SeriesId>(v)),
-                                      data_->m());
+                                      data_->m(), data_->anchor_row());
               return PairMeasureFromMoments(
                   request.measure,
                   PairMomentsFromMarginals(marginals[u], marginals[v], dot, data_->m()));

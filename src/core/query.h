@@ -134,12 +134,15 @@ struct CrossSweepStats {
 /// same columns. Values are returned index-aligned with `pairs`; when
 /// `moments` is non-null it receives each pair's co-moments (the shard
 /// router's cross co-moment cache fills from them), and `stats`
-/// accumulates raw-scan counters. InvalidArgument for L-measures.
+/// accumulates raw-scan counters. `anchor` is the columns' block-grid
+/// anchor (the shard snapshots' `anchor_row()`, identical across a
+/// lockstep deployment). InvalidArgument for L-measures.
 StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
                                                  const std::vector<CrossPair>& pairs,
                                                  std::size_t m, const ExecContext& exec = {},
                                                  std::vector<PairMoments>* moments = nullptr,
-                                                 CrossSweepStats* stats = nullptr);
+                                                 CrossSweepStats* stats = nullptr,
+                                                 std::size_t anchor = 0);
 
 /// Strategy-dispatching query processor.
 ///

@@ -169,10 +169,11 @@ Status WriteModelStream(const AffinityModel& model, std::ostream& out) {
   out.write(kMagic, sizeof kMagic);
   w.U32(kModelFormatVersion);
 
-  // Data matrix + names.
+  // Data matrix + names + block-grid anchor.
   WriteMatrix(&w, model.data_.matrix());
   w.Size(model.data_.names().size());
   for (const std::string& name : model.data_.names()) w.Str(name);
+  w.Size(model.data_.anchor_row());
 
   // Clustering.
   WriteMatrix(&w, model.clustering_.centers);
@@ -257,7 +258,7 @@ StatusOr<AffinityModel> ReadModelStream(std::istream& in) {
     return Status::InvalidArgument("not an AFFINITY model payload");
   }
   const std::uint32_t version = r.U32();
-  if (version != kModelFormatVersion) {
+  if (version < kMinModelFormatVersion || version > kModelFormatVersion) {
     return Status::InvalidArgument("unsupported model format version " +
                                    std::to_string(version));
   }
@@ -271,8 +272,13 @@ StatusOr<AffinityModel> ReadModelStream(std::istream& in) {
   }
   std::vector<std::string> names(name_count);
   for (auto& name : names) name = r.Str();
+  // v1 payloads predate the block-grid anchor; they were written (and
+  // their measures computed) at the historic phase-0 order, so 0 is the
+  // faithful default, not merely a safe one.
+  const std::size_t anchor = version >= 2 ? r.Size(~std::size_t{0} >> 1) : 0;
   if (!r.ok()) return Status::InvalidArgument("corrupt names section");
   model.data_ = ts::DataMatrix(std::move(values), std::move(names));
+  model.data_.set_anchor_row(anchor);
 
   model.clustering_.centers = ReadMatrix(&r);
   const std::size_t assign_count = r.Size(1u << 28);

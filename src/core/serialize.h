@@ -30,8 +30,13 @@
 
 namespace affinity::core {
 
-/// Current serialization format version.
-inline constexpr std::uint32_t kModelFormatVersion = 1;
+/// Current serialization format version. v2 added the data matrix's
+/// block-grid anchor (ts::DataMatrix::anchor_row, DESIGN.md §10) so a
+/// restored window keeps its place on the absolute summation grid; v1
+/// payloads still load, defaulting the anchor to 0 (the historic order
+/// they were written under).
+inline constexpr std::uint32_t kModelFormatVersion = 2;
+inline constexpr std::uint32_t kMinModelFormatVersion = 1;
 
 /// Writes `model` to `path` (overwrites). IoError on filesystem failures.
 Status SaveModel(const AffinityModel& model, const std::string& path);

@@ -9,9 +9,16 @@ namespace {
 
 /// Segment capacity keeping post-compaction residency O(window): small
 /// windows get small segments, large ones cap at the storage default.
+/// Rounded down to a power of two so derived segments always tile the
+/// canonical summation blocks (`kernels::kBlockElems`, itself a power of
+/// two) — segment boundaries then never straddle a block boundary, the
+/// layout the retained-partial cache is designed around (DESIGN.md §10).
 std::size_t DeriveSegmentCapacity(const StreamingOptions& options) {
   if (options.segment_capacity > 0) return options.segment_capacity;
-  return std::clamp<std::size_t>(options.window / 4, 16, 1024);
+  const std::size_t raw = std::clamp<std::size_t>(options.window / 4, 16, 1024);
+  std::size_t pow2 = 16;
+  while (pow2 * 2 <= raw) pow2 *= 2;
+  return pow2;
 }
 
 }  // namespace
@@ -319,7 +326,8 @@ StatusOr<double> StreamingAffinity::BlendedPairValue(Measure measure, ts::Series
   } else {
     const ts::DataMatrix& snap = framework_->data();
     AFFINITY_ASSIGN_OR_RETURN(rho, NaivePairMeasure(Measure::kCorrelation, snap.ColumnData(e.u),
-                                                    snap.ColumnData(e.v), snap.m()));
+                                                    snap.ColumnData(e.v), snap.m(),
+                                                    snap.anchor_row()));
   }
   double fallback;
   if (auto wa = model.PairMeasure(measure, e); wa.ok()) {
@@ -327,7 +335,8 @@ StatusOr<double> StreamingAffinity::BlendedPairValue(Measure measure, ts::Series
   } else {
     const ts::DataMatrix& snap = framework_->data();
     AFFINITY_ASSIGN_OR_RETURN(fallback, NaivePairMeasure(measure, snap.ColumnData(e.u),
-                                                         snap.ColumnData(e.v), snap.m()));
+                                                         snap.ColumnData(e.v), snap.m(),
+                                                         snap.anchor_row()));
   }
   return BlendPairMeasure(measure, rho, fallback, rolling_[e.u], rolling_[e.v]);
 }
@@ -454,13 +463,23 @@ StatusOr<MecResponse> StreamingAffinity::BlendedMec(const MecRequest& request) c
   return out;
 }
 
+StatusOr<bool> StreamingAffinity::PrepareFreshness(const FreshnessOptions& options,
+                                                   FreshnessReport* report) const {
+  // Zero the report unconditionally first: every exit of every freshness
+  // query path — the readiness error included — leaves the caller's
+  // report in a defined state instead of whatever it last held.
+  if (report != nullptr) *report = FreshnessReport{};
+  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
+  const bool blend = NeedsBlend(options);
+  if (report != nullptr) *report = FreshnessReport{snapshot_age(), blend};
+  return blend;
+}
+
 StatusOr<MecResponse> StreamingAffinity::Mec(const MecRequest& request,
                                              const FreshnessOptions& options,
                                              FreshnessReport* report) const {
-  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
-  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
-  if (!NeedsBlend(options)) return framework_->engine().Mec(request, options.method);
-  if (report != nullptr) report->blended = true;
+  AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
+  if (!blend) return framework_->engine().Mec(request, options.method);
   AFFINITY_ASSIGN_OR_RETURN(MecResponse out, BlendedMec(request));
   out.plan = BlendPlan();
   return out;
@@ -469,10 +488,8 @@ StatusOr<MecResponse> StreamingAffinity::Mec(const MecRequest& request,
 StatusOr<SelectionResult> StreamingAffinity::Met(const MetRequest& request,
                                                  const FreshnessOptions& options,
                                                  FreshnessReport* report) const {
-  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
-  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
-  if (!NeedsBlend(options)) return framework_->engine().Met(request, options.method);
-  if (report != nullptr) report->blended = true;
+  AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
+  if (!blend) return framework_->engine().Met(request, options.method);
   AFFINITY_ASSIGN_OR_RETURN(
       SelectionResult out,
       BlendedSelect(request.measure, request.greater ? KeepGreater : KeepLesser, request.tau,
@@ -484,11 +501,9 @@ StatusOr<SelectionResult> StreamingAffinity::Met(const MetRequest& request,
 StatusOr<SelectionResult> StreamingAffinity::Mer(const MerRequest& request,
                                                  const FreshnessOptions& options,
                                                  FreshnessReport* report) const {
-  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
+  AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
   if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
-  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
-  if (!NeedsBlend(options)) return framework_->engine().Mer(request, options.method);
-  if (report != nullptr) report->blended = true;
+  if (!blend) return framework_->engine().Mer(request, options.method);
   AFFINITY_ASSIGN_OR_RETURN(SelectionResult out,
                             BlendedSelect(request.measure, KeepInside, request.lo, request.hi));
   out.plan = BlendPlan();
@@ -498,10 +513,8 @@ StatusOr<SelectionResult> StreamingAffinity::Mer(const MerRequest& request,
 StatusOr<TopKResult> StreamingAffinity::TopK(const TopKRequest& request,
                                              const FreshnessOptions& options,
                                              FreshnessReport* report) const {
-  if (!ready()) return Status::FailedPrecondition("no snapshot yet (need window rows)");
-  if (report != nullptr) *report = FreshnessReport{snapshot_age(), false};
-  if (!NeedsBlend(options)) return framework_->engine().TopK(request, options.method);
-  if (report != nullptr) report->blended = true;
+  AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
+  if (!blend) return framework_->engine().TopK(request, options.method);
   AFFINITY_ASSIGN_OR_RETURN(TopKResult out, BlendedTopK(request));
   out.plan = BlendPlan();
   return out;

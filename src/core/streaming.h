@@ -249,6 +249,14 @@ class StreamingAffinity {
     return options.max_staleness > 0 && snapshot_age() > options.max_staleness;
   }
 
+  /// Shared prologue of the four freshness query paths: checks readiness
+  /// and *always* writes `report` (zeroed on the readiness error, the
+  /// age/blend verdict otherwise) before any per-kind logic can return —
+  /// no exit leaves the caller's report stale. Returns whether the
+  /// staleness bound forces the blended sweep.
+  StatusOr<bool> PrepareFreshness(const FreshnessOptions& options,
+                                  FreshnessReport* report) const;
+
   /// Blended full-sweep selection / top-k / MEC (see file docs).
   StatusOr<SelectionResult> BlendedSelect(Measure measure, bool (*keep)(double, double, double),
                                           double a, double b) const;

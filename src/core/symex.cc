@@ -47,6 +47,7 @@ class SymexRunner {
         stats_(stats),
         n_(data.n()),
         m_(data.m()),
+        anchor_(data.anchor_row()),
         total_pairs_(ts::SequencePairCount(data.n())) {}
 
   void March() {
@@ -91,7 +92,7 @@ class SymexRunner {
                      [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
                        for (std::size_t i = lo; i < hi; ++i) {
                          const FactorRef& ref = factor_order_[i];
-                         const Gram3 gram = ComputeGram(ref.c1, ref.c2, m_);
+                         const Gram3 gram = ComputeGram(ref.c1, ref.c2, m_, anchor_);
                          ref.entry->ok = InvertGram(gram, &ref.entry->ginv);
                        }
                      });
@@ -203,11 +204,11 @@ class SymexRunner {
     const auto it = factor_cache_.find(pivot.Key());
     double x[3];
     if (!it->second.ok) {
-      FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x);
+      FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x, anchor_);
       if (!pivot.series_first) std::swap(x[0], x[1]);
     } else {
       double rhs[3];
-      ComputeRhs(c1, c2, t, m_, rhs);
+      ComputeRhs(c1, c2, t, m_, rhs, anchor_);
       Solve3(it->second.ginv, rhs, x);
     }
     item.rec->transform = MakeTransform(pivot.series_first, x);
@@ -223,12 +224,12 @@ class SymexRunner {
     const double* t;
     Columns(pivot, item.u, item.v, &c1, &c2, &t);
     double x[3];
-    const Gram3 gram = ComputeGram(c1, c2, m_);
+    const Gram3 gram = ComputeGram(c1, c2, m_, anchor_);
     Mat3 ginv;
     if (!InvertGram(gram, &ginv)) {
       // Same fallback as the cached path: fit against the common *series*
       // column so both variants produce identical relationships.
-      FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x);
+      FitRankDeficient(pivot.series_first ? c1 : c2, t, m_, x, anchor_);
       if (!pivot.series_first) std::swap(x[0], x[1]);
       item.rec->transform = MakeTransform(pivot.series_first, x);
       return;
@@ -273,6 +274,7 @@ class SymexRunner {
   SymexStats* stats_;
   std::size_t n_;
   std::size_t m_;
+  std::size_t anchor_;  ///< block-grid anchor of the window (DESIGN.md §10)
   std::size_t total_pairs_;
   std::unordered_map<std::uint64_t, FactorEntry> factor_cache_;
   std::vector<FactorRef> factor_order_;  ///< first-seen pivot order
@@ -294,25 +296,43 @@ int LocationRow(Measure measure) {
 
 }  // namespace
 
-void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* sorted_columns) {
+void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* sorted_columns,
+                                     DerivedBlockCache* partials) {
   const ts::DataMatrix& data = data_;
   const std::size_t m = data.m();
   const std::size_t n = data.n();
   const std::size_t k = clustering_.k();
+  const std::size_t anchor = data.anchor_row();
 
   // Every location and moment statistic a pivot needs is a per-*column*
   // quantity — only the dot12/cov12 cross terms are pair-specific — so
   // compute each distinct column (n series + k centres) exactly once
   // instead of once per pivot side. Every accumulator runs as its own
-  // canonical blocked chain (core/kernels), so the assembled values are
-  // bit-identical to the fused per-pivot/gram kernels over the same
-  // columns (ComputeGram, ComputePairMatrixMeasures, FusedPairMoments).
+  // canonical blocked chain (core/kernels) at the window's grid anchor,
+  // so the assembled values are bit-identical to the fused
+  // per-pivot/gram kernels over the same columns (ComputeGram,
+  // ComputePairMatrixMeasures, FusedPairMoments) — and, when `partials`
+  // retains the chains across refreshes, to the cold pass they replace.
   struct ColumnStats {
     double sum = 0, sumsq = 0;      // h / dot diagonal chains
     double mean = 0, median = 0, mode = 0;
   };
   std::vector<ColumnStats> columns(n + k);
-  ParallelChunks(exec, n + k, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+  if (partials != nullptr) {
+    partials->columns.resize(n + k);
+    partials->series.resize(n);
+    partials->modes.resize(n + k);
+    partials->last = kernels::BlockSpanStats{};
+  }
+  // Per-chunk stats folded in chunk order (§7 determinism of the counters).
+  std::vector<kernels::BlockSpanStats> chunk_stats(
+      partials != nullptr ? ExecNumChunks(n + k) : 0);
+  const auto fold_stats = [&](std::size_t count) {
+    if (partials == nullptr) return;
+    for (const kernels::BlockSpanStats& s : chunk_stats) partials->last.Add(s);
+    chunk_stats.assign(ExecNumChunks(count), kernels::BlockSpanStats{});
+  };
+  ParallelChunks(exec, n + k, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
     // Per-chunk scratch: stats::Median/Mode allocate per call, which adds
     // up when this runs every streaming refresh. The order statistic and
     // the histogram argmax are permutation- and scratch-independent, so
@@ -323,10 +343,23 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
       const double* x = c < n ? data.ColumnData(static_cast<ts::SeriesId>(c))
                               : clustering_.centers.ColData(c - n);
       ColumnStats& cs = columns[c];
-      const kernels::Marginals marg = kernels::ColumnMarginals(x, m);
-      cs.sum = marg.sum;
-      cs.sumsq = marg.sumsq;
-      cs.mean = m == 0 ? 0.0 : marg.sum / static_cast<double>(m);
+      double sums[2];
+      if (partials != nullptr) {
+        partials->columns[c].SlideTo(
+            anchor, m,
+            [x](std::size_t i, double* v) {
+              v[0] = x[i];
+              v[1] = x[i] * x[i];
+            },
+            sums, &chunk_stats[chunk]);
+      } else {
+        const kernels::Marginals marg = kernels::ColumnMarginals(x, m, anchor);
+        sums[0] = marg.sum;
+        sums[1] = marg.sumsq;
+      }
+      cs.sum = sums[0];
+      cs.sumsq = sums[1];
+      cs.mean = m == 0 ? 0.0 : sums[0] / static_cast<double>(m);
       if (sorted_columns != nullptr && m > 0) {
         // Medians are order statistics and mode bins are counts, so the
         // pre-sorted view yields the same doubles the selection-based
@@ -334,7 +367,29 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
         const double* sc = sorted_columns->ColData(c);
         const std::size_t mid = m / 2;
         cs.median = m % 2 == 1 ? sc[mid] : 0.5 * (sc[mid - 1] + sc[mid]);
-        cs.mode = ts::stats::ModeWithScratch(sc, m, ts::stats::kModeBins, &hist);
+        const double lo = sc[0];
+        const double hi = sc[m - 1];
+        DerivedBlockCache::ColumnModeHist* mh =
+            partials != nullptr ? &partials->modes[c] : nullptr;
+        if (hi <= lo) {
+          cs.mode = lo;  // constant series (the estimator's short-circuit)
+          if (mh != nullptr) mh->valid = false;
+        } else if (mh == nullptr) {
+          cs.mode = ts::stats::ModeSortedWithScratch(sc, m, ts::stats::kModeBins, &hist);
+        } else if (mh->valid && mh->lo == lo && mh->hi == hi &&
+                   mh->counts.size() == static_cast<std::size_t>(ts::stats::kModeBins)) {
+          // The maintenance path delta-updated the integer bin counts
+          // under an unchanged binning: finish with the identical argmax
+          // and centre arithmetic.
+          cs.mode = ts::stats::ModeFromHistogram(lo, hi, mh->counts);
+        } else {
+          // Extremes moved (or first use): re-fill the retained histogram
+          // from the sorted view.
+          cs.mode = ts::stats::ModeSortedWithScratch(sc, m, ts::stats::kModeBins, &mh->counts);
+          mh->lo = lo;
+          mh->hi = hi;
+          mh->valid = true;
+        }
       } else {
         cs.median = ts::stats::MedianWithScratch(x, m, &sorted);
         cs.mode = ts::stats::ModeWithScratch(x, m, ts::stats::kModeBins, &hist);
@@ -354,8 +409,10 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
             [](const PivotHashEntry* a, const PivotHashEntry* b) {
               return a->pivot.Key() < b->pivot.Key();
             });
+  if (partials != nullptr) partials->pivots.resize(pivot_entries.size());
+  fold_stats(pivot_entries.size());
   ParallelChunks(exec, pivot_entries.size(),
-                 [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+                 [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
                    for (std::size_t i = lo; i < hi; ++i) {
                      PivotHashEntry& entry = *pivot_entries[i];
                      const double* center = clustering_.centers.ColData(entry.pivot.cluster);
@@ -367,8 +424,19 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
                      const ColumnStats& cs1 = entry.pivot.series_first ? cs_series : cs_center;
                      const ColumnStats& cs2 = entry.pivot.series_first ? cs_center : cs_series;
                      // The one remaining O(window) term per pivot; the
-                     // blocked chain equals ComputeGram's s12 bit for bit.
-                     const double s12 = kernels::BlockedDot(c1, c2, m);
+                     // blocked chain equals ComputeGram's s12 bit for bit
+                     // — retained across refreshes when `partials` is on
+                     // (the sorted-by-key slot order is stable while the
+                     // structure is frozen).
+                     double s12;
+                     if (partials != nullptr) {
+                       partials->pivots[i].SlideTo(
+                           anchor, m,
+                           [c1, c2](std::size_t r, double* v) { v[0] = c1[r] * c2[r]; }, &s12,
+                           &chunk_stats[chunk]);
+                     } else {
+                       s12 = kernels::BlockedDot(c1, c2, m, anchor);
+                     }
                      PairMatrixMeasures& pm = entry.measures;
                      pm.m = m;
                      pm.mean[0] = cs1.mean;
@@ -395,7 +463,8 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
 
   series_stats_.resize(n);
   series_affine_.resize(n);
-  ParallelChunks(exec, n, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+  fold_stats(n);
+  ParallelChunks(exec, n, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
     for (std::size_t j = lo; j < hi; ++j) {
       const double* s = data.ColumnData(static_cast<ts::SeriesId>(j));
       const ColumnStats& cs = columns[j];
@@ -410,7 +479,14 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
       // Series-level fit s ≈ gain·r + offset (normal equations on [r, 1]).
       const int cluster = clustering_.assignment[j];
       const double* r = clustering_.centers.ColData(static_cast<std::size_t>(cluster));
-      const double rs = kernels::BlockedDot(r, s, m);
+      double rs;
+      if (partials != nullptr) {
+        partials->series[j].SlideTo(
+            anchor, m, [r, s](std::size_t i, double* v) { v[0] = r[i] * s[i]; }, &rs,
+            &chunk_stats[chunk]);
+      } else {
+        rs = kernels::BlockedDot(r, s, m, anchor);
+      }
       // The centre's normal-equation diagonals are the column-stats sums
       // (same accumulation chains, bitwise equal).
       const double rr = columns[n + static_cast<std::size_t>(cluster)].sumsq;
@@ -433,6 +509,9 @@ void AffinityModel::RecomputeDerived(const ExecContext& exec, const la::Matrix* 
     center_loc_[0][l] = columns[n + l].mean;
     center_loc_[1][l] = columns[n + l].median;
     center_loc_[2][l] = columns[n + l].mode;
+  }
+  if (partials != nullptr) {
+    for (const kernels::BlockSpanStats& s : chunk_stats) partials->last.Add(s);
   }
 }
 

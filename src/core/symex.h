@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "core/afclst.h"
 #include "core/affine.h"
+#include "core/kernels.h"
 #include "core/measures.h"
 #include "ts/data_matrix.h"
 
@@ -121,6 +122,43 @@ struct PivotHashEntry {
   PairMatrixMeasures measures;
 };
 
+/// Retained block partials of RecomputeDerived's O(window) chains — the
+/// per-model slice of the BlockPartialCache (DESIGN.md §10): per-column
+/// {Σx, Σx²} marginal chains, per-pivot Σc1·c2 (the dot12 cross term),
+/// and per-series Σr·s (the series-level fit's cross term). Owned by
+/// IncrementalMaintainer, which drops it whenever the frozen structure
+/// changes (escalation, rebuild, restore); RecomputeDerived slides every
+/// chain to the current window anchor, recomputing only the grid blocks
+/// the slide touched and reusing the interior partials bit for bit.
+struct DerivedBlockCache {
+  /// Retained mode histogram of one window column. Bin counts are
+  /// integers, so the maintenance path can delta-update them exactly
+  /// (decrement evicted samples, increment entering ones) as long as the
+  /// binning — the window (min, max) — is unchanged; any extremes change
+  /// flips `valid` and RecomputeDerived re-fills from the sorted view.
+  /// The published mode is then `ModeFromHistogram`, bitwise identical to
+  /// the from-scratch estimator over the same samples.
+  struct ColumnModeHist {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::uint32_t> counts;
+    bool valid = false;
+  };
+
+  std::vector<kernels::BlockChain<2>> columns;  ///< n series + k centres
+  std::vector<kernels::BlockChain<1>> pivots;   ///< pivot dot12, sorted-by-key order
+  std::vector<kernels::BlockChain<1>> series;   ///< per-series Σ centre·series
+  std::vector<ColumnModeHist> modes;            ///< n + k mode histograms
+  kernels::BlockSpanStats last;                 ///< touched/reused of the last refresh
+
+  void Invalidate() {
+    for (auto& chain : columns) chain.Invalidate();
+    for (auto& chain : pivots) chain.Invalidate();
+    for (auto& chain : series) chain.Invalidate();
+    for (auto& mode : modes) mode.valid = false;
+  }
+};
+
 /// The queryable output of SYMEX: everything the WA strategy and the SCAPE
 /// index need. Owns a copy of the data matrix (used for naive verification
 /// and pivot-measure computation).
@@ -196,13 +234,23 @@ class AffinityModel {
   ///
   /// `sorted_columns`, when given, must hold every window column sorted
   /// ascending — columns 0..n-1 the data series, n..n+k-1 the cluster
-  /// centres. Medians are then read as order statistics and modes
-  /// histogrammed without a selection pass (the maintenance path keeps
-  /// these sorted incrementally). The published values are identical
-  /// either way: order statistics and bin counts do not depend on the
-  /// input permutation.
+  /// centres. Medians are then read as order statistics and modes binned
+  /// by boundary bisection instead of a histogram pass (the maintenance
+  /// path keeps these sorted incrementally). The published values are
+  /// identical either way: order statistics and bin counts do not depend
+  /// on the input permutation.
+  ///
+  /// `partials`, when given, retains the blocked partial sums of every
+  /// O(window) chain across calls (DESIGN.md §10): each refresh then
+  /// recomputes only the grid blocks the slide touched —
+  /// O(interval + kBlockElems) per chain instead of O(window) — and the
+  /// totals are bitwise identical to the cold pass by construction. The
+  /// cache is valid only while the data/clustering structure is frozen
+  /// (the incremental maintenance contract); its chain counts are
+  /// (re)sized here on first use.
   void RecomputeDerived(const ExecContext& exec = {},
-                        const la::Matrix* sorted_columns = nullptr);
+                        const la::Matrix* sorted_columns = nullptr,
+                        DerivedBlockCache* partials = nullptr);
 
  private:
   friend class IncrementalMaintainer;

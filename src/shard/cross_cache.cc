@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/check.h"
 #include "core/kernels.h"
 
 namespace affinity::shard {
@@ -60,7 +61,11 @@ void CrossMomentCache::Observe(const std::vector<double>& row) {
   ++stats_.observed_rows;
 }
 
-void CrossMomentCache::Stamp(std::uint64_t generation) {
+void CrossMomentCache::Stamp(std::uint64_t generation, std::size_t anchor) {
+  // 0 is the never-stamped sentinel Invalidate() writes into entries; a
+  // stamp at 0 would make dropped entries indistinguishable from fresh
+  // ones (the ISSUE 5 restore-ordering audit).
+  AFFINITY_CHECK_NE(generation, std::uint64_t{0});
   if (entries_.empty()) return;
   if (count_ < window_) {
     // The rings do not cover the snapshot window yet (e.g. a restored
@@ -70,8 +75,9 @@ void CrossMomentCache::Stamp(std::uint64_t generation) {
   }
   // Periodic exact re-materialization: unroll every ring into snapshot
   // row order (oldest → newest — exactly the snapshot column layout) and
-  // rebuild all accumulators with the canonical blocked kernels, so the
-  // stamped moments are bitwise identical to the raw cross sweep.
+  // rebuild all accumulators with the canonical blocked kernels at the
+  // snapshot's grid anchor, so the stamped moments are bitwise identical
+  // to the raw cross sweep.
   const bool exact = stamps_since_resync_ == 0;
   std::vector<std::vector<double>> unrolled;
   if (exact) {
@@ -82,7 +88,7 @@ void CrossMomentCache::Stamp(std::uint64_t generation) {
         unrolled[s][i] = series_[s].ring[(head_ + i) % window_];
       }
       const core::kernels::Marginals marg =
-          core::kernels::ColumnMarginals(unrolled[s].data(), window_);
+          core::kernels::ColumnMarginals(unrolled[s].data(), window_, anchor);
       series_[s].sum = marg.sum;
       series_[s].sumsq = marg.sumsq;
     }
@@ -91,7 +97,7 @@ void CrossMomentCache::Stamp(std::uint64_t generation) {
   for (PairEntry& entry : entries_) {
     if (exact) {
       entry.dot = core::kernels::BlockedDot(unrolled[entry.u_slot].data(),
-                                            unrolled[entry.v_slot].data(), window_);
+                                            unrolled[entry.v_slot].data(), window_, anchor);
     }
     const SeriesSlot& su = series_[entry.u_slot];
     const SeriesSlot& sv = series_[entry.v_slot];
@@ -112,9 +118,13 @@ void CrossMomentCache::Invalidate() {
 
 bool CrossMomentCache::Lookup(std::size_t cross_index, std::uint64_t generation,
                               core::PairMoments* out) {
+  // A lookup at the sentinel would match every Invalidate()d entry and
+  // serve dropped moments as hits; the router guarantees generation ≥ 1
+  // from construction and restore alike (ShardedAffinity ordering audit).
+  AFFINITY_CHECK_NE(generation, std::uint64_t{0});
   if (!Watches(cross_index)) return false;
   PairEntry& entry = entries_[cross_index];
-  if (generation == 0 || entry.stamped_generation != generation) {
+  if (entry.stamped_generation != generation) {
     ++stats_.misses;
     return false;
   }
@@ -125,7 +135,8 @@ bool CrossMomentCache::Lookup(std::size_t cross_index, std::uint64_t generation,
 
 void CrossMomentCache::Store(std::size_t cross_index, std::uint64_t generation,
                              const core::PairMoments& pm) {
-  if (!Watches(cross_index) || generation == 0) return;
+  AFFINITY_CHECK_NE(generation, std::uint64_t{0});
+  if (!Watches(cross_index)) return;
   PairEntry& entry = entries_[cross_index];
   entry.stamped = pm;
   entry.stamped_generation = generation;

@@ -94,19 +94,26 @@ class CrossMomentCache {
   /// refresh-triggering row was Observed (live window == new snapshot
   /// window). No-op until the rings hold a full window. Every
   /// `exact_resync_period` stamps re-materializes rings → accumulators
-  /// with the blocked kernels first.
-  void Stamp(std::uint64_t generation);
+  /// with the blocked kernels first, at `anchor` — the shard snapshots'
+  /// block-grid anchor (`data().anchor_row()`, identical across a
+  /// lockstep deployment) — so an exact stamp is bitwise equal to the
+  /// raw cross sweep over the snapshot columns. `generation` must be
+  /// > 0 (0 is the never-stamped sentinel; checked).
+  void Stamp(std::uint64_t generation, std::size_t anchor);
 
   /// Drops every stamped entry (escalation / manual rebuild / restore).
   /// The rings keep rolling — the next Stamp re-validates.
   void Invalidate();
 
   /// Cached snapshot moments of cross pair `cross_index`, if stamped at
-  /// `generation`. Counts a hit or miss for watched indices.
+  /// `generation`. Counts a hit or miss for watched indices. `generation`
+  /// must be > 0: a router may only consult the cache once its snapshots
+  /// form a real generation (the restore path starts at 1; checked so a
+  /// never-stamped entry — sentinel 0 — can never masquerade as a hit).
   bool Lookup(std::size_t cross_index, std::uint64_t generation, core::PairMoments* out);
 
   /// Installs sweep-computed moments for a watched pair (miss fill);
-  /// no-op for unwatched indices.
+  /// no-op for unwatched indices. `generation` must be > 0 (checked).
   void Store(std::size_t cross_index, std::uint64_t generation, const core::PairMoments& pm);
 
   /// Watched pairs currently stamped at `generation` — the planner's

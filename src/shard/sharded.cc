@@ -57,7 +57,12 @@ std::vector<T> MergeSortedRuns(const std::vector<std::vector<T>>& runs, Less les
 // --- Manifest framing (composes with serialize.h model payloads) ----------
 
 constexpr char kManifestMagic[4] = {'A', 'F', 'F', 'S'};
-constexpr std::uint32_t kManifestVersion = 1;
+// v2 added the cross co-moment cache tuning (budget, exact_resync_period)
+// so a restored router keeps its watch-list instead of silently reverting
+// to a disabled cache (part of the ISSUE 5 restore-ordering audit). v1
+// manifests still load with the cache defaults they were written under.
+constexpr std::uint32_t kManifestVersion = 2;
+constexpr std::uint32_t kMinManifestVersion = 1;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -211,10 +216,19 @@ AppendResult ShardedAffinity::Append(const std::vector<double>& row) {
       // re-fill exactly.
       cross_cache_.Invalidate();
     } else {
-      cross_cache_.Stamp(cross_generation_);
+      cross_cache_.Stamp(cross_generation_, SnapshotAnchor());
     }
   }
   return out;
+}
+
+std::size_t ShardedAffinity::SnapshotAnchor() const {
+  // Lockstep refreshes keep every shard snapshot on the same trailing
+  // window, hence on the same absolute block grid; shard 0 speaks for
+  // all (callers only run on a ready deployment).
+  return shards_.empty() || !shards_[0].ready()
+             ? 0
+             : shards_[0].framework()->data().anchor_row();
 }
 
 bool ShardedAffinity::ready() const {
@@ -364,7 +378,8 @@ StatusOr<std::vector<double>> ShardedAffinity::CrossPairValues(Measure measure,
     AFFINITY_ASSIGN_OR_RETURN(
         const std::vector<double> swept_values,
         core::EvaluateCrossPairs(measure, resolved, window, exec_,
-                                 use_cache ? &moments : nullptr, &cross_sweep_stats_));
+                                 use_cache ? &moments : nullptr, &cross_sweep_stats_,
+                                 SnapshotAnchor()));
     for (std::size_t j = 0; j < swept.size(); ++j) {
       values[swept[j]] = swept_values[j];
       if (use_cache) cross_cache_.Store(swept[j], cross_generation_, moments[j]);
@@ -376,7 +391,8 @@ StatusOr<std::vector<double>> ShardedAffinity::CrossPairValues(Measure measure,
   // blend mode `resolved` covers every cross pair, index-aligned.
   AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> rhos,
                             core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window,
-                                                     exec_, nullptr, &cross_sweep_stats_));
+                                                     exec_, nullptr, &cross_sweep_stats_,
+                                                     SnapshotAnchor()));
   for (std::size_t i = 0; i < cross.size(); ++i) {
     const ts::SequencePair e = cross[i];
     const ts::RollingStats& ru =
@@ -640,7 +656,8 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
       AFFINITY_ASSIGN_OR_RETURN(
           std::vector<double> values,
           core::EvaluateCrossPairs(request.measure, resolved, window, exec_,
-                                   use_cache ? &moments : nullptr, &cross_sweep_stats_));
+                                   use_cache ? &moments : nullptr, &cross_sweep_stats_,
+                                   SnapshotAnchor()));
       if (use_cache) {
         for (std::size_t idx = 0; idx < resolved.size(); ++idx) {
           cross_cache_.Store(cell_cross_index[idx], cross_generation_, moments[idx]);
@@ -650,7 +667,7 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
         AFFINITY_ASSIGN_OR_RETURN(
             const std::vector<double> rhos,
             core::EvaluateCrossPairs(Measure::kCorrelation, resolved, window, exec_, nullptr,
-                                     &cross_sweep_stats_));
+                                     &cross_sweep_stats_, SnapshotAnchor()));
         for (std::size_t idx = 0; idx < resolved.size(); ++idx) {
           const ts::SeriesId u = request.ids[cells[idx].first];
           const ts::SeriesId v = request.ids[cells[idx].second];
@@ -712,6 +729,8 @@ Status ShardedAffinity::Save(const std::string& path) const {
   WriteU64(out, options_.streaming.incremental.exact_refit_period);
   WriteF64(out, options_.streaming.incremental.escalation_factor);
   WriteF64(out, options_.streaming.incremental.escalation_slack);
+  WriteU64(out, options_.cross_cache.budget);
+  WriteU64(out, options_.cross_cache.exact_resync_period);
   // One model payload per shard (serialize.h framing).
   for (const core::StreamingAffinity& shard : shards_) {
     AFFINITY_RETURN_IF_ERROR(core::WriteModelStream(shard.framework()->model(), out));
@@ -731,7 +750,7 @@ StatusOr<ShardedAffinity> ShardedAffinity::Load(const std::string& path, std::si
     return Status::InvalidArgument("'" + path + "' is not an AFFINITY shard manifest");
   }
   std::uint32_t version = 0;
-  if (!ReadU32(in, &version) || version != kManifestVersion) {
+  if (!ReadU32(in, &version) || version < kMinManifestVersion || version > kManifestVersion) {
     return Status::InvalidArgument("unsupported shard manifest version");
   }
   std::uint64_t shards = 0;
@@ -796,6 +815,15 @@ StatusOr<ShardedAffinity> ShardedAffinity::Load(const std::string& path, std::si
   options.streaming.build.dft_coefficients = static_cast<std::size_t>(dft_coefficients);
   incremental.exact_refit_period = static_cast<std::size_t>(refit_period);
   options.streaming.incremental = incremental;
+  if (version >= 2) {
+    std::uint64_t cache_budget = 0;
+    std::uint64_t cache_resync = 0;
+    if (!ReadU64(in, &cache_budget) || !ReadU64(in, &cache_resync) || cache_resync == 0) {
+      return Status::InvalidArgument("'" + path + "': corrupt cross-cache section");
+    }
+    options.cross_cache.budget = static_cast<std::size_t>(cache_budget);
+    options.cross_cache.exact_resync_period = static_cast<std::size_t>(cache_resync);
+  }  // v1: pre-cache manifests keep the CrossCacheOptions defaults.
   options.streaming.build.threads = threads;
 
   AFFINITY_ASSIGN_OR_RETURN(
@@ -828,6 +856,14 @@ StatusOr<ShardedAffinity> ShardedAffinity::Load(const std::string& path, std::si
   // observed and a lockstep refresh stamps it.
   service.cross_cache_ = CrossMomentCache(service.router_.cross_pairs(),
                                           options.streaming.window, options.cross_cache);
+  // Restore-ordering audit (ISSUE 5): the restored snapshots form a real
+  // generation, so the router's counter must not sit at the cache's
+  // never-stamped sentinel 0 — a Lookup/Store at 0 would alias every
+  // Invalidate()d entry (now also CHECKed inside the cache). Starting at
+  // 1 makes post-restore sweeps legal miss-fills: the first query misses
+  // (nothing is stamped), re-fills at generation 1, and repeats serve
+  // warm until the next lockstep refresh advances the generation.
+  service.cross_generation_ = 1;
   // Logical row numbering restarts at `window` (each restored shard's
   // resident window is its whole history).
   service.rows_ = options.streaming.window;

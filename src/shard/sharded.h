@@ -235,6 +235,10 @@ class ShardedAffinity {
   /// Collects per-shard freshness for a response.
   std::vector<ShardFreshness> Freshness(const core::FreshnessOptions& options) const;
 
+  /// The shard snapshots' shared block-grid anchor (lockstep refreshes
+  /// keep every shard on the same trailing window); 0 before readiness.
+  std::size_t SnapshotAnchor() const;
+
   // Pool first: shards hold ExecContexts pointing at it (destroy last).
   std::unique_ptr<ThreadPool> pool_;
   ExecContext exec_;
@@ -249,7 +253,10 @@ class ShardedAffinity {
   /// Mutable: queries fill misses and count hits (single-threaded at the
   /// router surface, like the rest of the query path).
   mutable CrossMomentCache cross_cache_;
-  /// Current snapshot generation (bumped per lockstep refresh; 0 = none).
+  /// Current snapshot generation (bumped per lockstep refresh). 0 = "no
+  /// snapshots yet", which is also the cache's never-stamped sentinel —
+  /// queries are gated on ready(), so the cache is never consulted at 0
+  /// (CHECKed in CrossMomentCache), and Load starts restored routers at 1.
   std::uint64_t cross_generation_ = 0;
   mutable core::CrossSweepStats cross_sweep_stats_;
 };

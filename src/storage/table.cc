@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+// Header-only block-grid constants (no core link dependency): the snapshot
+// anchor below must agree with the canonical summation grid.
+#include "core/kernels.h"
+
 namespace affinity::storage {
+
+// The storage default keeps segment boundaries and summation-grid block
+// boundaries coincident, so whole-segment reclamation also preserves the
+// block alignment of the retained origin. Custom capacities may split a
+// block across segments — harmless for correctness because snapshots carry
+// the *absolute* retained origin as their grid anchor (see Snapshot), but
+// the default is the layout the retained-partial cache is designed around
+// (DESIGN.md §10).
+static_assert(core::kernels::kBlockElems % ColumnSegment::kDefaultCapacity == 0,
+              "default segment capacity must tile the canonical summation block");
 
 StatusOr<ts::SeriesId> DataMatrixTable::RegisterSeries(const std::string& name,
                                                        const std::string& source,
@@ -58,6 +73,11 @@ std::size_t DataMatrixTable::CompactBefore(std::size_t row) {
   }
   const std::size_t reclaimed = whole_segments * segment_capacity_;
   first_retained_ += reclaimed;
+  // The retained origin must stay on a segment boundary: Snapshot stamps
+  // it as the snapshot's absolute block-grid anchor, and a misaligned
+  // origin would shift every chain's block boundaries and silently
+  // invalidate retained partials downstream (DESIGN.md §10).
+  AFFINITY_CHECK_EQ(first_retained_ % segment_capacity_, 0u);
   return reclaimed;
 }
 
@@ -110,7 +130,14 @@ StatusOr<ts::DataMatrix> DataMatrixTable::Snapshot() const {
       for (double v : seg.values()) dst[i++] = v;
     }
   }
-  return ts::DataMatrix(std::move(values), std::move(names));
+  ts::DataMatrix out(std::move(values), std::move(names));
+  // Snapshots keep their place on the absolute summation grid: row 0 of
+  // the snapshot is logical row `first_retained_` of the stream, so sums
+  // over the snapshot (and over any TailWindow of it) land on the same
+  // block boundaries as the incrementally maintained window — the
+  // alignment the retained-partial cache depends on.
+  out.set_anchor_row(first_retained_);
+  return out;
 }
 
 StatusOr<DataMatrixTable> DataMatrixTable::FromDataMatrix(const ts::DataMatrix& data,

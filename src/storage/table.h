@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "storage/column_segment.h"
 #include "ts/data_matrix.h"
@@ -42,9 +43,16 @@ struct SeriesInfo {
 /// aggregates cover the retained rows only.
 class DataMatrixTable {
  public:
-  /// \param segment_capacity samples per column segment.
+  /// \param segment_capacity samples per column segment (> 0; checked).
+  /// Reclamation is whole-segment, so `first_retained_row()` advances in
+  /// multiples of this; snapshots stamp that origin as their absolute
+  /// block-grid anchor (see Snapshot), which is what keeps blocked sums
+  /// over snapshots aligned with incrementally maintained windows no
+  /// matter how the capacity relates to `kernels::kBlockElems`.
   explicit DataMatrixTable(std::size_t segment_capacity = ColumnSegment::kDefaultCapacity)
-      : segment_capacity_(segment_capacity) {}
+      : segment_capacity_(segment_capacity) {
+    AFFINITY_CHECK_GT(segment_capacity_, 0u);
+  }
 
   /// Registers a new series; names must be unique (AlreadyExists otherwise).
   /// Registration is only allowed before the first row is appended

@@ -72,7 +72,9 @@ DataMatrix DataMatrix::Prefix(std::size_t count) const {
   la::Matrix sub(m(), count);
   for (std::size_t j = 0; j < count; ++j) sub.SetCol(j, values_.Col(j));
   std::vector<std::string> names(names_.begin(), names_.begin() + static_cast<long>(count));
-  return DataMatrix(std::move(sub), std::move(names));
+  DataMatrix out(std::move(sub), std::move(names));
+  out.set_anchor_row(anchor_row_);  // same rows, same block grid
+  return out;
 }
 
 }  // namespace affinity::ts

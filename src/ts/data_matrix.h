@@ -92,6 +92,21 @@ class DataMatrix {
   /// reallocating the window every refresh. Dimensions must not change.
   la::Matrix& mutable_matrix() { return values_; }
 
+  /// The absolute stream row of row 0 — the block-grid anchor every
+  /// canonical blocked sum over this matrix runs at (core/kernels,
+  /// DESIGN.md §10). 0 for standalone matrices (the historic order); a
+  /// sliding window carries its position so grid blocks keep their
+  /// absolute cut points across slides and retained block partials stay
+  /// bit-exact. Copies and serialization preserve it.
+  std::size_t anchor_row() const { return anchor_row_; }
+
+  /// Sets the block-grid anchor (windowed snapshots, deserialization).
+  void set_anchor_row(std::size_t anchor) { anchor_row_ = anchor; }
+
+  /// Advances the anchor by `rows` — paired with an in-place slide of the
+  /// matrix by the incremental maintenance path.
+  void advance_anchor(std::size_t rows) { anchor_row_ += rows; }
+
   /// Name of series `id`.
   const std::string& name(SeriesId id) const { return names_[id]; }
 
@@ -117,6 +132,7 @@ class DataMatrix {
  private:
   la::Matrix values_;
   std::vector<std::string> names_;
+  std::size_t anchor_row_ = 0;
 };
 
 }  // namespace affinity::ts

@@ -76,7 +76,11 @@ StatusOr<DataMatrix> TailWindow(const DataMatrix& data, std::size_t window) {
     double* dst = values.ColData(j);
     for (std::size_t i = 0; i < window; ++i) dst[i] = src[start + i];
   }
-  return DataMatrix(std::move(values), data.names());
+  DataMatrix out(std::move(values), data.names());
+  // The tail keeps its place on the absolute block grid: sums over the
+  // snapshot match the maintained window's anchored chains bit for bit.
+  out.set_anchor_row(data.anchor_row() + start);
+  return out;
 }
 
 }  // namespace affinity::ts

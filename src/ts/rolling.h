@@ -125,11 +125,22 @@ struct RollingCrossSums {
 
   /// Overwrites with exact sums over the full window — the periodic
   /// re-materialization that bounds subtract-on-evict round-off. Runs the
-  /// blocked cross kernel so a Reset is bitwise equal to the SYMEX+ build
-  /// path's right-hand-side accumulation (fit_kernels.h / DESIGN.md §10).
-  void Reset(const double* c1, const double* c2, const double* tv, std::size_t m) {
+  /// blocked cross kernel at the window's block-grid anchor so a Reset is
+  /// bitwise equal to the SYMEX+ build path's right-hand-side
+  /// accumulation over the same window (fit_kernels.h / DESIGN.md §10).
+  void Reset(const double* c1, const double* c2, const double* tv, std::size_t m,
+             std::size_t anchor = 0) {
     double sums[3];
-    core::kernels::FusedCross3(c1, c2, tv, m, sums);
+    core::kernels::FusedCross3(c1, c2, tv, m, sums, anchor);
+    c1t = sums[0];
+    c2t = sums[1];
+    t = sums[2];
+  }
+
+  /// Installs sums produced elsewhere (the retained block-partial slide of
+  /// the incremental path, which is bitwise equal to Reset by
+  /// construction).
+  void Install(const double sums[3]) {
     c1t = sums[0];
     c2t = sums[1];
     t = sums[2];

@@ -71,6 +71,53 @@ double ModeWithScratch(const double* x, std::size_t m, int bins,
   return lo + (static_cast<double>(best) + 0.5) * width;
 }
 
+double ModeSortedWithScratch(const double* sorted, std::size_t m, int bins,
+                             std::vector<std::uint32_t>* hist_scratch) {
+  if (m == 0) return 0.0;
+  AFFINITY_CHECK_GT(bins, 0);
+  // Sorted input serves min/max as the end elements — the same values the
+  // linear scan of ModeWithScratch finds.
+  const double lo = sorted[0];
+  const double hi = sorted[m - 1];
+  if (hi <= lo) return lo;  // constant series
+  const double width = (hi - lo) / static_cast<double>(bins);
+  const double inv_width = static_cast<double>(bins) / (hi - lo);
+  // Identical per-element bin map to ModeWithScratch, including the top
+  // clamp. It is monotone non-decreasing in x (subtraction of a common
+  // lo, multiplication by a positive constant, and truncation all
+  // preserve order), so bin populations are boundary differences.
+  const auto bin_of = [&](double x) {
+    auto b = static_cast<long>((x - lo) * inv_width);
+    return b >= bins ? bins - 1 : b;
+  };
+  hist_scratch->assign(static_cast<std::size_t>(bins), 0);
+  std::vector<std::uint32_t>& hist = *hist_scratch;
+  const double* cur = sorted;
+  const double* const end = sorted + m;
+  for (int b = 0; b < bins && cur != end; ++b) {
+    const double* next =
+        std::partition_point(cur, end, [&](double x) { return bin_of(x) <= b; });
+    hist[static_cast<std::size_t>(b)] = static_cast<std::uint32_t>(next - cur);
+    cur = next;
+  }
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < hist.size(); ++b) {
+    if (hist[b] > hist[best]) best = b;  // ties keep the lower bin
+  }
+  return lo + (static_cast<double>(best) + 0.5) * width;
+}
+
+double ModeFromHistogram(double lo, double hi, const std::vector<std::uint32_t>& counts) {
+  AFFINITY_CHECK_GT(hi, lo);
+  AFFINITY_CHECK_GT(counts.size(), 0u);
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < counts.size(); ++b) {
+    if (counts[b] > counts[best]) best = b;  // ties keep the lower bin
+  }
+  return lo + (static_cast<double>(best) + 0.5) * width;
+}
+
 double NaiveModeEstimate(const double* x, std::size_t m, int bins) {
   if (m == 0) return 0.0;
   AFFINITY_CHECK_GT(bins, 0);
@@ -116,10 +163,10 @@ double Covariance(const double* x, const double* y, std::size_t m) {
   return acc / static_cast<double>(m);
 }
 
-double DotProduct(const double* x, const double* y, std::size_t m) {
+double DotProduct(const double* x, const double* y, std::size_t m, std::size_t anchor) {
   // Canonical blocked order, so Σxy here is bitwise equal to the fused
-  // sweep kernels over the same columns.
-  return core::kernels::BlockedDot(x, y, m);
+  // sweep kernels over the same columns at the same grid anchor.
+  return core::kernels::BlockedDot(x, y, m, anchor);
 }
 
 double Correlation(const double* x, const double* y, std::size_t m) {
@@ -202,8 +249,9 @@ la::Matrix DotProductMatrix(const DataMatrix& s) {
   la::Matrix out(n, n);
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u; v < n; ++v) {
-      const double d = core::kernels::BlockedDot(s.ColumnData(static_cast<SeriesId>(u)),
-                                                 s.ColumnData(static_cast<SeriesId>(v)), s.m());
+      const double d =
+          core::kernels::BlockedDot(s.ColumnData(static_cast<SeriesId>(u)),
+                                    s.ColumnData(static_cast<SeriesId>(v)), s.m(), s.anchor_row());
       out(u, v) = d;
       out(v, u) = d;
     }

@@ -53,6 +53,31 @@ double Mode(const double* x, std::size_t m, int bins = kModeBins);
 double ModeWithScratch(const double* x, std::size_t m, int bins,
                        std::vector<std::uint32_t>* hist);
 
+/// Mode of an ascending-sorted series: bin populations are counted by
+/// boundary bisection (O(bins·log m)) instead of a full histogram pass —
+/// the shape the incremental refresh wants, where a sorted view of every
+/// window column is already maintained. Each element's bin is the same
+/// `(x - lo)·bins/(hi - lo)` map ModeWithScratch applies (monotone in x,
+/// so bisection is valid), so the result is bitwise identical to
+/// Mode()/ModeWithScratch() over any permutation of the same samples.
+double ModeSortedWithScratch(const double* sorted, std::size_t m, int bins,
+                             std::vector<std::uint32_t>* hist);
+
+/// The bin index of `x` in the mode estimator's equal-width binning over
+/// [lo, hi) with `bins` bins — the exact per-element map Mode() applies
+/// (top clamp included). Requires hi > lo.
+inline int ModeBinOf(double x, double lo, double hi, int bins) {
+  const double inv_width = static_cast<double>(bins) / (hi - lo);
+  const auto b = static_cast<long>((x - lo) * inv_width);
+  return b >= bins ? bins - 1 : static_cast<int>(b);
+}
+
+/// Finishes the mode from already-counted bin populations over [lo, hi)
+/// (hi > lo): same argmax (ties → lower bin) and same centre arithmetic
+/// as Mode(), so a histogram maintained by exact integer delta updates
+/// yields the identical double. `counts.size()` is the bin count.
+double ModeFromHistogram(double lo, double hi, const std::vector<std::uint32_t>& counts);
+
 /// The classical naive mode estimator for continuous data: the sample with
 /// the most neighbours within a half-window of h = (max−min)/bins — i.e.
 /// the highest-local-density sample. O(m²); this is the WN baseline the
@@ -67,8 +92,10 @@ double Variance(const double* x, std::size_t m);
 /// Population covariance of two aligned series.
 double Covariance(const double* x, const double* y, std::size_t m);
 
-/// Raw dot product Σ xᵢ yᵢ.
-double DotProduct(const double* x, const double* y, std::size_t m);
+/// Raw dot product Σ xᵢ yᵢ, accumulated on the canonical block grid at
+/// `anchor` (core/kernels) — pass the owning matrix's `anchor_row()` when
+/// the columns come from a sliding window.
+double DotProduct(const double* x, const double* y, std::size_t m, std::size_t anchor = 0);
 
 /// Pearson correlation; 0 when either variance vanishes.
 double Correlation(const double* x, const double* y, std::size_t m);

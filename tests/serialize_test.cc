@@ -4,7 +4,9 @@
 #include "core/serialize.h"
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -123,7 +125,11 @@ TEST(Serialize, IncrementallyMaintainedModelRoundTripsBitIdentically) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
   // Bit-identical payload: window data, extended centres, per-series
-  // stats and relationships, every transform.
+  // stats and relationships, every transform. The block-grid anchor (the
+  // maintained window's absolute stream position, DESIGN.md §10) rides
+  // along so restored sums land on the same grid.
+  EXPECT_EQ(maintained.data().anchor_row(), 40u);  // 80 rows fed, window 40
+  EXPECT_EQ(loaded->data().anchor_row(), maintained.data().anchor_row());
   EXPECT_EQ(loaded->data().matrix().MaxAbsDiff(maintained.data().matrix()), 0.0);
   EXPECT_EQ(loaded->clustering().centers.MaxAbsDiff(maintained.clustering().centers), 0.0);
   EXPECT_EQ(loaded->clustering().assignment, maintained.clustering().assignment);
@@ -207,6 +213,47 @@ TEST(Serialize, TruncatedFileRejected) {
   auto loaded = LoadModel(cut);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Pre-anchor (v1) payloads still load: the only v2 addition is the
+// block-grid anchor, whose faithful default for v1 data is 0 (the phase
+// those payloads' measures were computed at). Reconstruct a v1 file by
+// splicing the anchor field out of a v2 payload.
+TEST(Serialize, V1PayloadLoadsWithZeroAnchor) {
+  const AffinityModel model = BuildModel();
+  const std::string path = TempPath("v1.affm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  // Walk the v2 layout to the anchor field: magic(4) version(4),
+  // matrix rows/cols(16) + data, name count(8) + length-prefixed names.
+  std::size_t off = 8;
+  const auto u64_at = [&](std::size_t pos) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + pos, sizeof v);
+    return static_cast<std::size_t>(v);
+  };
+  const std::size_t rows = u64_at(off);
+  const std::size_t cols = u64_at(off + 8);
+  off += 16 + rows * cols * sizeof(double);
+  const std::size_t name_count = u64_at(off);
+  off += 8;
+  for (std::size_t i = 0; i < name_count; ++i) off += 8 + u64_at(off);
+  ASSERT_EQ(u64_at(off), model.data().anchor_row());
+  bytes.erase(off, 8);
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, sizeof v1);
+  const std::string v1_path = TempPath("v1_spliced.affm");
+  std::ofstream(v1_path, std::ios::binary) << bytes;
+
+  auto loaded = LoadModel(v1_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->data().anchor_row(), 0u);
+  EXPECT_EQ(loaded->relationship_count(), model.relationship_count());
+  EXPECT_EQ(loaded->data().matrix().MaxAbsDiff(model.data().matrix()), 0.0);
 }
 
 TEST(Serialize, UnsupportedVersionRejected) {

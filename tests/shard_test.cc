@@ -536,6 +536,58 @@ TEST(Sharded, ManifestRoundTripPreservesAnswers) {
   EXPECT_TRUE(refreshed);
 }
 
+// Restore-ordering audit (ISSUE 5): the cross co-moment cache uses
+// stamped_generation == 0 as its never-stamped/invalidated sentinel, and
+// a freshly restored router must never Stamp/Lookup at that sentinel —
+// Load starts the router's generation at 1, so post-restore queries are
+// ordinary miss-fills (never false hits against dropped stamps) and the
+// next lockstep refresh advances to a fresh generation.
+TEST(Sharded, RestoredRouterNeverTouchesGenerationZero) {
+  const ts::Dataset ds = TestData();
+  ShardedOptions options = SmallOptions(2);
+  options.cross_cache.budget = static_cast<std::size_t>(-1);  // watch everything
+  auto service = ShardedAffinity::Create(ds.matrix.names(), options);
+  ASSERT_TRUE(service.ok());
+  Feed(&*service, ds, 0, 60);
+  ASSERT_TRUE(service->ready());
+  const std::string path = TempPath("sharded_gen.affs");
+  ASSERT_TRUE(service->Save(path).ok());
+
+  auto loaded = ShardedAffinity::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->ready());
+  const std::size_t watched = loaded->router().cross_pairs().size();
+  ASSERT_GT(watched, 0u);
+
+  // First query after restore: nothing is stamped (the manifest carries
+  // no rings), so every watched pair misses and re-fills from the sweep —
+  // a CHECK inside the cache would abort here if the router consulted it
+  // at the sentinel generation.
+  const MetRequest met{Measure::kCovariance, 0.0, true};
+  ASSERT_TRUE(loaded->Met(met, {core::QueryMethod::kNaive}).ok());
+  EXPECT_EQ(loaded->cross_cache_stats().hits, 0u);
+  EXPECT_EQ(loaded->cross_cache_stats().misses, watched);
+
+  // The miss fill stored at the restored generation: the repeat is warm
+  // with zero additional raw pair scans.
+  const core::CrossSweepStats swept = loaded->cross_sweep_stats();
+  ASSERT_TRUE(loaded->Met(met, {core::QueryMethod::kNaive}).ok());
+  EXPECT_EQ(loaded->cross_cache_stats().hits, watched);
+  EXPECT_EQ(loaded->cross_sweep_stats().pairs_scanned, swept.pairs_scanned);
+
+  // After a full window of appends the lockstep refresh stamps a *new*
+  // generation; warm answers keep flowing (no sentinel aliasing).
+  std::vector<double> row(ds.matrix.n());
+  for (std::size_t i = 60; i < 60 + 40 + 20; ++i) {
+    for (std::size_t j = 0; j < ds.matrix.n(); ++j) row[j] = ds.matrix.matrix()(i, j);
+    ASSERT_TRUE(loaded->Append(row).ok());
+  }
+  EXPECT_GT(loaded->cross_cache_stats().stamps, 0u);
+  const std::size_t hits_before = loaded->cross_cache_stats().hits;
+  ASSERT_TRUE(loaded->Met(met, {core::QueryMethod::kNaive}).ok());
+  EXPECT_EQ(loaded->cross_cache_stats().hits, hits_before + watched);
+}
+
 TEST(Sharded, LoadRejectsCorruptManifests) {
   EXPECT_EQ(ShardedAffinity::Load(TempPath("missing.affs")).status().code(),
             StatusCode::kIoError);

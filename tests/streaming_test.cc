@@ -263,5 +263,52 @@ TEST(Streaming, ForcedRebuildResetsAge) {
   EXPECT_EQ(stream->rebuild_count(), 2u);
 }
 
+// Every freshness query path must leave the caller's report in a defined
+// state on *every* exit — error branches included (a stale report used to
+// leak through Mer's lo > hi rejection and the not-ready precondition).
+TEST(Streaming, FreshnessReportWrittenOnErrorBranches) {
+  auto stream = StreamingAffinity::Create(Names(10), SmallOptions());
+  ASSERT_TRUE(stream.ok());
+  const FreshnessReport garbage{123456, true};
+
+  // Not ready: every query kind fails but still zeroes the report.
+  FreshnessReport report = garbage;
+  EXPECT_EQ(stream->Met({Measure::kCorrelation, 0.5, true}, {}, &report).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(report.snapshot_age, 0u);
+  EXPECT_FALSE(report.blended);
+  report = garbage;
+  EXPECT_EQ(stream->Mer({Measure::kCorrelation, 0.1, 0.9}, {}, &report).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(report.snapshot_age, 0u);
+  EXPECT_FALSE(report.blended);
+  report = garbage;
+  EXPECT_EQ(stream->TopK({Measure::kCorrelation, 3, true}, {}, &report).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(report.snapshot_age, 0u);
+  report = garbage;
+  MecRequest mec{Measure::kMean, {0, 1}};
+  EXPECT_EQ(stream->Mec(mec, {}, &report).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(report.snapshot_age, 0u);
+
+  // Ready, then an invalid request: the report still reflects the real
+  // snapshot age instead of whatever the caller last held.
+  const ts::Dataset ds = TestData();
+  ASSERT_TRUE(Feed(&*stream, ds, 0, 45).ok());
+  report = garbage;
+  EXPECT_EQ(stream->Mer({Measure::kCorrelation, 0.9, 0.1}, {}, &report).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(report.snapshot_age, 5u);
+  EXPECT_FALSE(report.blended);
+
+  // And the success path reports the same age plus the blend verdict.
+  report = garbage;
+  FreshnessOptions tight;
+  tight.max_staleness = 2;
+  ASSERT_TRUE(stream->Met({Measure::kCorrelation, 0.5, true}, tight, &report).ok());
+  EXPECT_EQ(report.snapshot_age, 5u);
+  EXPECT_TRUE(report.blended);
+}
+
 }  // namespace
 }  // namespace affinity::core
