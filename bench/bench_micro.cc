@@ -237,6 +237,134 @@ void BM_KernelFusedPairMoments(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelFusedPairMoments)->Arg(1024)->Arg(65536);
 
+// --- SIMD backend rows (ISSUE 6) ---------------------------------------------
+//
+// Named BM_Simd* so CI carves them into BENCH_simd.json with
+// --benchmark_filter=Simd. One GB/s row per (chain kernel, backend):
+// range(0) selects forced scalar (0) vs the dispatched best backend (1),
+// range(1) is the window; the row label records which backend actually
+// ran, so artifacts stay comparable across runner generations. Gate: the
+// dispatched BlockedDot and FusedPairMoments rows must be ≥ 2× their
+// scalar rows at window 4096 on SIMD hardware. The prefetch sweep tunes
+// kDefaultPrefetchDistance at memory-resident sizes.
+
+/// Selects the row's backend, runs the loop, restores the entry backend.
+template <class Fn>
+void RunBackendRow(benchmark::State& state, std::size_t bytes_per_iter, const Fn& fn) {
+  namespace k = core::kernels;
+  const k::Backend saved = k::ActiveBackend();
+  k::Backend row = k::Backend::kScalar;
+  if (state.range(0) != 0) AFFINITY_CHECK(k::ParseBackend("auto", &row));
+  AFFINITY_CHECK(k::SetBackend(row));
+  state.SetLabel(k::ActiveBackendName());
+  for (auto _ : state) fn();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes_per_iter));
+  k::SetBackend(saved);
+}
+
+void BM_SimdBlockedSum(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> x = RandomSeries(m, 31);
+  RunBackendRow(state, m * sizeof(double), [&] {
+    benchmark::DoNotOptimize(core::kernels::BlockedSum(x.data(), m));
+  });
+}
+BENCHMARK(BM_SimdBlockedSum)->ArgsProduct({{0, 1}, {4096, 65536}});
+
+void BM_SimdBlockedDot(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> x = RandomSeries(m, 32);
+  const std::vector<double> y = RandomSeries(m, 33);
+  RunBackendRow(state, 2 * m * sizeof(double), [&] {
+    benchmark::DoNotOptimize(core::kernels::BlockedDot(x.data(), y.data(), m));
+  });
+}
+BENCHMARK(BM_SimdBlockedDot)->ArgsProduct({{0, 1}, {4096, 65536}});
+
+void BM_SimdColumnMarginals(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> x = RandomSeries(m, 34);
+  RunBackendRow(state, m * sizeof(double), [&] {
+    benchmark::DoNotOptimize(core::kernels::ColumnMarginals(x.data(), m));
+  });
+}
+BENCHMARK(BM_SimdColumnMarginals)->ArgsProduct({{0, 1}, {4096, 65536}});
+
+void BM_SimdFusedDot3(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> x = RandomSeries(m, 35);
+  const std::vector<double> y = RandomSeries(m, 36);
+  RunBackendRow(state, 2 * m * sizeof(double), [&] {
+    double xy, xx, yy;
+    core::kernels::FusedDot3(x.data(), y.data(), m, &xy, &xx, &yy);
+    benchmark::DoNotOptimize(xy + xx + yy);
+  });
+}
+BENCHMARK(BM_SimdFusedDot3)->ArgsProduct({{0, 1}, {4096, 65536}});
+
+void BM_SimdFusedCross3(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> c1 = RandomSeries(m, 37);
+  const std::vector<double> c2 = RandomSeries(m, 38);
+  const std::vector<double> t = RandomSeries(m, 39);
+  RunBackendRow(state, 3 * m * sizeof(double), [&] {
+    double out[3];
+    core::kernels::FusedCross3(c1.data(), c2.data(), t.data(), m, out);
+    benchmark::DoNotOptimize(out[0] + out[1] + out[2]);
+  });
+}
+BENCHMARK(BM_SimdFusedCross3)->ArgsProduct({{0, 1}, {4096, 65536}});
+
+void BM_SimdFusedGram5(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> c1 = RandomSeries(m, 40);
+  const std::vector<double> c2 = RandomSeries(m, 41);
+  RunBackendRow(state, 2 * m * sizeof(double), [&] {
+    double out[5];
+    core::kernels::FusedGram5(c1.data(), c2.data(), m, out);
+    benchmark::DoNotOptimize(out[0] + out[4]);
+  });
+}
+BENCHMARK(BM_SimdFusedGram5)->ArgsProduct({{0, 1}, {4096, 65536}});
+
+void BM_SimdFusedPairMoments(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const std::vector<double> x = RandomSeries(m, 42);
+  const std::vector<double> y = RandomSeries(m, 43);
+  RunBackendRow(state, 2 * m * sizeof(double), [&] {
+    double out[5];
+    core::kernels::FusedPairMoments(x.data(), y.data(), m, out);
+    benchmark::DoNotOptimize(out[0] + out[4]);
+  });
+}
+BENCHMARK(BM_SimdFusedPairMoments)->ArgsProduct({{0, 1}, {4096, 65536}});
+
+void BM_SimdPrefetchSweep(benchmark::State& state) {
+  // Dispatched BlockedDot at a memory-resident size (the columns don't
+  // fit in cache), sweeping the software-prefetch lookahead. range(0) is
+  // the distance in elements; 0 disables the prefetch entirely.
+  namespace k = core::kernels;
+  const std::size_t m = std::size_t{1} << 21;  // 16 MiB per column
+  const std::vector<double> x = RandomSeries(m, 44);
+  const std::vector<double> y = RandomSeries(m, 45);
+  const std::size_t saved_dist = k::PrefetchDistance();
+  const k::Backend saved = k::ActiveBackend();
+  k::Backend best;
+  AFFINITY_CHECK(k::ParseBackend("auto", &best));
+  AFFINITY_CHECK(k::SetBackend(best));
+  k::SetPrefetchDistance(static_cast<std::size_t>(state.range(0)));
+  state.SetLabel(k::ActiveBackendName());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k::BlockedDot(x.data(), y.data(), m));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * sizeof(double)));
+  k::SetPrefetchDistance(saved_dist);
+  k::SetBackend(saved);
+}
+BENCHMARK(BM_SimdPrefetchSweep)->Arg(0)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
 /// The matrix behind the pairs/second sweeps: n columns of window m.
 la::Matrix SweepMatrix(std::size_t n, std::size_t m) {
   Xoshiro256 rng(26);

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "core/kernels.h"
 #include "core/streaming.h"
 #include "shard/sharded.h"
 #include "ts/generators.h"
@@ -214,8 +215,10 @@ int RunShardSweep(const std::vector<std::size_t>& shard_counts, bool quick, bool
       return 1;
     }
     std::fprintf(out, "{\n  \"context\": {\"executable\": \"bench_streaming\", "
-                 "\"mode\": \"sharded\", \"num_series\": %zu, \"threads\": %zu},\n"
-                 "  \"benchmarks\": [\n", spec.num_series, threads);
+                 "\"mode\": \"sharded\", \"num_series\": %zu, \"threads\": %zu, "
+                 "\"kernel_backend\": \"%s\"},\n"
+                 "  \"benchmarks\": [\n", spec.num_series, threads,
+                 core::kernels::ActiveBackendName());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const ShardResult& r = results[i];
       std::fprintf(out,
@@ -256,6 +259,7 @@ struct Dot12Result {
   double mean_recompute_us = 0;
   std::size_t blocks_touched = 0;
   std::size_t blocks_reused = 0;
+  std::size_t prefix_resumes = 0;
 };
 
 Dot12Result RunDot12Config(const Dot12Config& config, const ts::Dataset& feed,
@@ -303,6 +307,7 @@ Dot12Result RunDot12Config(const Dot12Config& config, const ts::Dataset& feed,
                           static_cast<double>(out.refreshes);
   out.blocks_touched = after.recompute_blocks_touched - before.recompute_blocks_touched;
   out.blocks_reused = after.recompute_blocks_reused - before.recompute_blocks_reused;
+  out.prefix_resumes = after.recompute_prefix_resumes - before.recompute_prefix_resumes;
   return out;
 }
 
@@ -324,14 +329,14 @@ int RunDot12Sweep(bool quick, bool json, const std::string& out_path) {
   std::printf("# bench_streaming --dot12 — retained block partials vs cold exact "
               "recomputation (n=%zu, interval=1)\n", spec.num_series);
   std::printf("window,retain,refreshes,mean_refresh_us,mean_recompute_us,"
-              "recompute_blocks_touched,recompute_blocks_reused\n");
+              "recompute_blocks_touched,recompute_blocks_reused,prefix_resumes\n");
   std::vector<Dot12Result> results;
   for (const Dot12Config& config : configs) {
     Dot12Result r = RunDot12Config(config, feed, measured);
     results.push_back(r);
-    std::printf("%zu,%s,%zu,%.1f,%.1f,%zu,%zu\n", config.window,
+    std::printf("%zu,%s,%zu,%.1f,%.1f,%zu,%zu,%zu\n", config.window,
                 config.retain ? "on" : "off", r.refreshes, r.mean_refresh_us,
-                r.mean_recompute_us, r.blocks_touched, r.blocks_reused);
+                r.mean_recompute_us, r.blocks_touched, r.blocks_reused, r.prefix_resumes);
   }
   std::printf("\nwindow,recompute_speedup_retained\n");
   bool gate_ok = true;
@@ -356,9 +361,12 @@ int RunDot12Sweep(bool quick, bool json, const std::string& out_path) {
       std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
       return 1;
     }
+    // The dispatched backend makes runner generations comparable: a
+    // scalar-only runner's µs rows must not be trended against avx2 ones.
     std::fprintf(out, "{\n  \"context\": {\"executable\": \"bench_streaming\", "
-                 "\"mode\": \"dot12_slide\", \"num_series\": %zu},\n  \"benchmarks\": [\n",
-                 spec.num_series);
+                 "\"mode\": \"dot12_slide\", \"num_series\": %zu, "
+                 "\"kernel_backend\": \"%s\"},\n  \"benchmarks\": [\n",
+                 spec.num_series, core::kernels::ActiveBackendName());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Dot12Result& r = results[i];
       std::fprintf(out,
@@ -366,10 +374,11 @@ int RunDot12Sweep(bool quick, bool json, const std::string& out_path) {
                    "\"run_type\": \"iteration\", \"iterations\": %zu, "
                    "\"real_time\": %.3f, \"cpu_time\": %.3f, \"time_unit\": \"us\", "
                    "\"recompute_us\": %.3f, \"recompute_blocks_touched\": %zu, "
-                   "\"recompute_blocks_reused\": %zu}%s\n",
+                   "\"recompute_blocks_reused\": %zu, \"prefix_resumes\": %zu}%s\n",
                    r.config.window, r.config.retain ? "on" : "off", r.refreshes,
                    r.mean_refresh_us, r.mean_refresh_us, r.mean_recompute_us,
-                   r.blocks_touched, r.blocks_reused, i + 1 < results.size() ? "," : "");
+                   r.blocks_touched, r.blocks_reused, r.prefix_resumes,
+                   i + 1 < results.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     if (!out_path.empty()) std::fclose(out);
@@ -523,7 +532,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(out, "{\n  \"context\": {\"executable\": \"bench_streaming\", "
-                 "\"num_series\": %zu},\n  \"benchmarks\": [\n", spec.num_series);
+                 "\"num_series\": %zu, \"kernel_backend\": \"%s\"},\n  \"benchmarks\": [\n",
+                 spec.num_series, core::kernels::ActiveBackendName());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Result& r = results[i];
       std::fprintf(out,

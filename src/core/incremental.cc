@@ -460,8 +460,10 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
   if (cache != nullptr) spans.Add(cache->last);
   profile_.last_recompute_blocks_touched = spans.touched;
   profile_.last_recompute_blocks_reused = spans.reused;
+  profile_.last_recompute_prefix_resumes = spans.prefix_resumes;
   profile_.recompute_blocks_touched += spans.touched;
   profile_.recompute_blocks_reused += spans.reused;
+  profile_.recompute_prefix_resumes += spans.prefix_resumes;
   profile_.last_recompute_seconds = recompute_seconds;
   profile_.recompute_seconds += recompute_seconds;
   if (escalate) ++profile_.escalations;
@@ -483,6 +485,7 @@ MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>&
     out.escalations += p.escalations;
     out.recompute_blocks_touched += p.recompute_blocks_touched;
     out.recompute_blocks_reused += p.recompute_blocks_reused;
+    out.recompute_prefix_resumes += p.recompute_prefix_resumes;
     out.recompute_seconds += p.recompute_seconds;
     out.last_rows_absorbed += p.last_rows_absorbed;
     out.last_relationships_updated += p.last_relationships_updated;
@@ -490,6 +493,7 @@ MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>&
     out.last_tree_rekeys += p.last_tree_rekeys;
     out.last_recompute_blocks_touched += p.last_recompute_blocks_touched;
     out.last_recompute_blocks_reused += p.last_recompute_blocks_reused;
+    out.last_recompute_prefix_resumes += p.last_recompute_prefix_resumes;
     // Shards recompute concurrently, so the slowest one is what the
     // append paid — same rule as last_refresh_seconds.
     out.last_recompute_seconds = std::max(out.last_recompute_seconds, p.last_recompute_seconds);

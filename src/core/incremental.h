@@ -92,6 +92,9 @@ struct MaintenanceProfile {
   /// (RecomputeDerived + accumulator re-materializations).
   std::size_t recompute_blocks_touched = 0;
   std::size_t recompute_blocks_reused = 0;
+  /// Leading partial blocks served from the checkpointed prefix state
+  /// (an O(kPrefixStride) resume) instead of a full block re-walk.
+  std::size_t recompute_prefix_resumes = 0;
   double recompute_seconds = 0.0;          ///< cumulative RecomputeDerived wall time
   double last_refresh_seconds = 0.0;
   std::size_t last_rows_absorbed = 0;
@@ -100,6 +103,7 @@ struct MaintenanceProfile {
   std::size_t last_tree_rekeys = 0;
   std::size_t last_recompute_blocks_touched = 0;
   std::size_t last_recompute_blocks_reused = 0;
+  std::size_t last_recompute_prefix_resumes = 0;
   double last_recompute_seconds = 0.0;     ///< RecomputeDerived wall time, last refresh
   /// Population mean relative fit residual after the last refresh (the
   /// drift-monitor signal) and its baseline at the last full build.
@@ -121,6 +125,7 @@ struct MaintenanceProfile {
     tree_rekeys += refresh.last_tree_rekeys;
     recompute_blocks_touched += refresh.last_recompute_blocks_touched;
     recompute_blocks_reused += refresh.last_recompute_blocks_reused;
+    recompute_prefix_resumes += refresh.last_recompute_prefix_resumes;
     recompute_seconds += refresh.last_recompute_seconds;
     last_refresh_seconds = refresh.last_refresh_seconds;
     last_rows_absorbed = refresh.last_rows_absorbed;
@@ -129,6 +134,7 @@ struct MaintenanceProfile {
     last_tree_rekeys = refresh.last_tree_rekeys;
     last_recompute_blocks_touched = refresh.last_recompute_blocks_touched;
     last_recompute_blocks_reused = refresh.last_recompute_blocks_reused;
+    last_recompute_prefix_resumes = refresh.last_recompute_prefix_resumes;
     last_recompute_seconds = refresh.last_recompute_seconds;
     mean_relative_residual = refresh.mean_relative_residual;
     baseline_mean_residual = refresh.baseline_mean_residual;

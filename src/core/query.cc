@@ -80,6 +80,12 @@ StatusOr<std::vector<double>> EvaluateCrossPairs(Measure measure,
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec, pairs.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
         for (std::size_t i = lo; i < hi; ++i) {
+          if (i + 1 < hi) {
+            // The next pair's columns are a strided jump away; touch
+            // their heads while this pair's dot pass runs.
+            __builtin_prefetch(pairs[i + 1].u);
+            __builtin_prefetch(pairs[i + 1].v);
+          }
           const kernels::Marginals& mu = marginals[column_index.at(pairs[i].u)];
           const kernels::Marginals& mv = marginals[column_index.at(pairs[i].v)];
           const PairMoments pm = PairMomentsFromMarginals(

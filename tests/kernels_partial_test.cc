@@ -79,6 +79,55 @@ TEST(BlockChain, SlidesMatchColdKernelsAtStraddlingWindows) {
   }
 }
 
+TEST(BlockChain, LeadingPrefixResumesMatchColdPassAndAreCounted) {
+  // Steady-state slides inside one leading block must serve the leading
+  // span from the checkpointed prefix state — an O(kPrefixStride) resume,
+  // counted in prefix_resumes — and still match the cold anchored kernel
+  // bit for bit at every step.
+  const std::size_t w = 4096;
+  for (const std::size_t interval : {std::size_t{1}, std::size_t{3}, std::size_t{129}}) {
+    Stream xs(7 * interval + 1), ys(9 * interval + 2);
+    BlockChain<1> chain;
+    BlockSpanStats stats;
+    std::size_t anchor = 1;  // off-grid from the first refresh
+    const int refreshes = 200;
+    for (int refresh = 0; refresh < refreshes; ++refresh) {
+      const std::vector<double> x = xs.Window(anchor, w);
+      const std::vector<double> y = ys.Window(anchor, w);
+      double dot;
+      chain.SlideTo(anchor, w, [&](std::size_t i, double* v) { v[0] = x[i] * y[i]; }, &dot,
+                    &stats);
+      EXPECT_EQ(dot, BlockedDot(x.data(), y.data(), w, anchor))
+          << "interval=" << interval << " anchor=" << anchor;
+      anchor += interval;
+    }
+    // Every warm refresh except the ones around a grid crossing (one cold
+    // re-walk per block entered, plus a possible on-grid landing with no
+    // leading span at all) must have resumed from a checkpoint.
+    const std::size_t crossings = (1 + interval * (refreshes - 1)) / kBlockElems;
+    EXPECT_GE(stats.prefix_resumes + 1 + 2 * crossings, static_cast<std::size_t>(refreshes))
+        << "interval=" << interval;
+    EXPECT_GT(stats.prefix_resumes, static_cast<std::size_t>(refreshes) / 2)
+        << "interval=" << interval;
+  }
+  // A window that never reaches the grid has nothing to retain: the
+  // whole window is one reversed span, recomputed cold every time, and
+  // the totals still match.
+  Stream xs(55);
+  BlockChain<1> small;
+  BlockSpanStats small_stats;
+  std::size_t anchor = 10;
+  for (int refresh = 0; refresh < 5; ++refresh) {
+    const std::vector<double> x = xs.Window(anchor, 100);
+    double sum;
+    small.SlideTo(anchor, 100, [&](std::size_t i, double* v) { v[0] = x[i]; }, &sum,
+                  &small_stats);
+    EXPECT_EQ(sum, BlockedSum(x.data(), 100, anchor));
+    anchor += 7;
+  }
+  EXPECT_EQ(small_stats.prefix_resumes, 0u);
+}
+
 TEST(BlockChain, ThreeChainSlideMatchesFusedCross3AndReset) {
   const std::size_t w = 2048;
   Stream c1s(5), c2s(6), ts_(7);
