@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kInternal = 6,
   kUnimplemented = 7,
   kIoError = 8,
+  kUnavailable = 9,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -71,6 +72,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -437,8 +437,9 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
   AFFINITY_RETURN_IF_ERROR(SolveRelationships(refresh_index, exec, &refits,
                                               cache != nullptr ? &refit_spans : nullptr));
   std::size_t rekeys = 0;
+  std::size_t rekeys_skipped = 0;
   if (scape_ != nullptr) {
-    AFFINITY_ASSIGN_OR_RETURN(rekeys, scape_->Refresh(*model_, exec));
+    AFFINITY_ASSIGN_OR_RETURN(rekeys, scape_->Refresh(*model_, exec, &rekeys_skipped));
   }
 
   // ---- Drift monitor: escalate when the population residual level left
@@ -456,6 +457,8 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
   profile_.last_relationships_updated = slots_.size() - refits;
   profile_.tree_rekeys += rekeys;
   profile_.last_tree_rekeys = rekeys;
+  profile_.scape_rekeys_skipped += rekeys_skipped;
+  profile_.last_scape_rekeys_skipped = rekeys_skipped;
   kernels::BlockSpanStats spans = refit_spans;
   if (cache != nullptr) spans.Add(cache->last);
   profile_.last_recompute_blocks_touched = spans.touched;
@@ -482,6 +485,7 @@ MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>&
     out.relationships_updated += p.relationships_updated;
     out.relationships_refit += p.relationships_refit;
     out.tree_rekeys += p.tree_rekeys;
+    out.scape_rekeys_skipped += p.scape_rekeys_skipped;
     out.escalations += p.escalations;
     out.recompute_blocks_touched += p.recompute_blocks_touched;
     out.recompute_blocks_reused += p.recompute_blocks_reused;
@@ -491,6 +495,7 @@ MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>&
     out.last_relationships_updated += p.last_relationships_updated;
     out.last_relationships_refit += p.last_relationships_refit;
     out.last_tree_rekeys += p.last_tree_rekeys;
+    out.last_scape_rekeys_skipped += p.last_scape_rekeys_skipped;
     out.last_recompute_blocks_touched += p.last_recompute_blocks_touched;
     out.last_recompute_blocks_reused += p.last_recompute_blocks_reused;
     out.last_recompute_prefix_resumes += p.last_recompute_prefix_resumes;

@@ -86,6 +86,7 @@ struct MaintenanceProfile {
   std::size_t relationships_updated = 0;   ///< delta-updated re-solves
   std::size_t relationships_refit = 0;     ///< full-precision refits
   std::size_t tree_rekeys = 0;             ///< SCAPE index move operations
+  std::size_t scape_rekeys_skipped = 0;    ///< SCAPE moves skipped (ξ and U bitwise-unchanged)
   std::size_t escalations = 0;             ///< drift-monitor trips
   /// Retained block-partial accounting (DESIGN.md §10): grid blocks
   /// recomputed vs served from the cache across every exact chain
@@ -101,6 +102,7 @@ struct MaintenanceProfile {
   std::size_t last_relationships_updated = 0;
   std::size_t last_relationships_refit = 0;
   std::size_t last_tree_rekeys = 0;
+  std::size_t last_scape_rekeys_skipped = 0;
   std::size_t last_recompute_blocks_touched = 0;
   std::size_t last_recompute_blocks_reused = 0;
   std::size_t last_recompute_prefix_resumes = 0;
@@ -123,6 +125,7 @@ struct MaintenanceProfile {
     relationships_updated += refresh.last_relationships_updated;
     relationships_refit += refresh.last_relationships_refit;
     tree_rekeys += refresh.last_tree_rekeys;
+    scape_rekeys_skipped += refresh.last_scape_rekeys_skipped;
     recompute_blocks_touched += refresh.last_recompute_blocks_touched;
     recompute_blocks_reused += refresh.last_recompute_blocks_reused;
     recompute_prefix_resumes += refresh.last_recompute_prefix_resumes;
@@ -132,6 +135,7 @@ struct MaintenanceProfile {
     last_relationships_updated = refresh.last_relationships_updated;
     last_relationships_refit = refresh.last_relationships_refit;
     last_tree_rekeys = refresh.last_tree_rekeys;
+    last_scape_rekeys_skipped = refresh.last_scape_rekeys_skipped;
     last_recompute_blocks_touched = refresh.last_recompute_blocks_touched;
     last_recompute_blocks_reused = refresh.last_recompute_blocks_reused;
     last_recompute_prefix_resumes = refresh.last_recompute_prefix_resumes;

@@ -36,6 +36,11 @@ std::string_view QueryMethodName(QueryMethod method) {
   return "?";
 }
 
+void AnnotateSnapshotServed(PlanChoice* plan, std::uint64_t generation) {
+  plan->rationale +=
+      "; served from read-optimized snapshot (generation " + std::to_string(generation) + ")";
+}
+
 double QueryPlanner::NaiveUnitCost(Measure measure) const {
   // Calibrated to the marginal-hoisted blocked kernels (DESIGN.md §10):
   // every pair measure costs one fused Σxy pass (2m flops); the hoisted

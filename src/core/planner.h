@@ -26,6 +26,7 @@
 /// Costs are abstract "scalar operation" counts, good for ranking
 /// strategies, not for predicting wall time.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -40,6 +41,15 @@ enum class QueryMethod { kNaive, kAffine, kDft, kScape, kAuto };
 
 /// Display name: "WN", "WA", "WF", "SCAPE", "AUTO".
 std::string_view QueryMethodName(QueryMethod method);
+
+struct PlanChoice;
+
+/// Marks `plan` as answered from a published read-optimized snapshot
+/// (serve/serving_snapshot.h) of epoch `generation`. Appends to the
+/// rationale only — method and cost are untouched, so a snapshot-served
+/// answer stays bitwise identical to the live engine's while EXPLAIN
+/// output still shows where it ran.
+void AnnotateSnapshotServed(PlanChoice* plan, std::uint64_t generation);
 
 /// The planner's verdict for one query.
 struct PlanChoice {

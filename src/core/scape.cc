@@ -142,6 +142,7 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
             pt.degenerate.push_back(entry);
           }
           pt.member_keys.push_back(xi);
+          pt.member_u.push_back(u);
           pt.member_in_tree.push_back(in_tree ? 1 : 0);
         }
       }
@@ -192,15 +193,18 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
   return index;
 }
 
-StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const ExecContext& exec) {
+StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const ExecContext& exec,
+                                          std::size_t* rekeys_skipped) {
   // ---- Pair-level pivot nodes. ---------------------------------------------
-  // Per-pivot work is private to its chunk item; move counts merge in
-  // chunk-index order so the total is thread-count invariant.
+  // Per-pivot work is private to its chunk item; move and skip counts merge
+  // in chunk-index order so the totals are thread-count invariant.
   std::vector<std::size_t> moves(ExecNumChunks(pair_pivots_.size()), 0);
+  std::vector<std::size_t> skips(ExecNumChunks(pair_pivots_.size()), 0);
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec, pair_pivots_.size(),
       [&](std::size_t chunk, std::size_t lo, std::size_t hi) -> Status {
         std::size_t ops = 0;
+        std::size_t skipped = 0;
         for (std::size_t slot = lo; slot < hi; ++slot) {
           PairPivotNode& node = pair_pivots_[slot];
           const PairMatrixMeasures* pm = model.FindPivotMeasures(node.pivot);
@@ -244,17 +248,23 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
               if (in_tree) {
                 pt.u_min = std::min(pt.u_min, u);
                 pt.u_max = std::max(pt.u_max, u);
-                if (was_in_tree) {
+                if (was_in_tree && xi == old_key && u == pt.member_u[i]) {
+                  // Sparse-movement fast path: key and cached normalizer are
+                  // bitwise-unchanged, so the stored entry is already exact —
+                  // skip the erase + insert entirely.
+                  ++skipped;
+                } else if (was_in_tree) {
                   if (!pt.tree.ReKey(old_key, xi, same_pair, [&](SeqEntry& s) {
                         s.u = u;
                         s.xi = xi;
                       })) {
                     return Status::Internal("SCAPE refresh: entry missing from tree");
                   }
+                  ++ops;
                 } else {
                   pt.tree.Insert(xi, SeqEntry{e, u, xi});
+                  ++ops;
                 }
-                ++ops;
               } else {
                 if (was_in_tree) {
                   if (!pt.tree.Erase(old_key, same_pair)) {
@@ -265,20 +275,24 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
                 pt.degenerate.push_back(SeqEntry{e, u, xi});
               }
               pt.member_keys[i] = xi;
+              pt.member_u[i] = u;
               pt.member_in_tree[i] = in_tree ? 1 : 0;
             }
           }
         }
         moves[chunk] = ops;
+        skips[chunk] = skipped;
         return Status::OK();
       }));
 
   // ---- Per-cluster pivot nodes (L-measures). -------------------------------
   std::vector<std::size_t> loc_moves(ExecNumChunks(loc_pivots_.size()), 0);
+  std::vector<std::size_t> loc_skips(ExecNumChunks(loc_pivots_.size()), 0);
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec, loc_pivots_.size(),
       [&](std::size_t chunk, std::size_t lo, std::size_t hi) -> Status {
         std::size_t ops = 0;
+        std::size_t skipped = 0;
         for (std::size_t l = lo; l < hi; ++l) {
           LocPivotNode& node = loc_pivots_[l];
           const Measure kLoc[3] = {Measure::kMean, Measure::kMedian, Measure::kMode};
@@ -296,6 +310,11 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
             for (int f = 0; f < 3; ++f) {
               LocTree& lt = node.trees[f];
               const double xi = (lt.alpha[0] * sa.gain + lt.alpha[1] * sa.offset) / lt.norm;
+              if (xi == lt.member_keys[i]) {
+                // Sparse-movement fast path (see the pair loop above).
+                ++skipped;
+                continue;
+              }
               if (!lt.tree.ReKey(lt.member_keys[i], xi,
                                  [&](const ts::SeriesId& s) { return s == v; })) {
                 return Status::Internal("SCAPE refresh: series entry missing from tree");
@@ -306,12 +325,19 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
           }
         }
         loc_moves[chunk] = ops;
+        loc_skips[chunk] = skipped;
         return Status::OK();
       }));
 
   std::size_t total = 0;
   for (std::size_t c : moves) total += c;
   for (std::size_t c : loc_moves) total += c;
+  if (rekeys_skipped != nullptr) {
+    std::size_t skipped_total = 0;
+    for (std::size_t c : skips) skipped_total += c;
+    for (std::size_t c : loc_skips) skipped_total += c;
+    *rekeys_skipped = skipped_total;
+  }
   return total;
 }
 

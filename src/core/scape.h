@@ -48,6 +48,10 @@
 #include "core/symex.h"
 #include "ts/data_matrix.h"
 
+namespace affinity::serve {
+class SnapshotBuilder;  // flattens the index into an immutable serving replica
+}  // namespace affinity::serve
+
 namespace affinity::core {
 
 /// SCAPE construction options.
@@ -152,7 +156,18 @@ class ScapeIndex {
   /// model, at any thread count.
   ///
   /// Returns the number of index move operations (re-keys + migrations).
-  StatusOr<std::size_t> Refresh(const AffinityModel& model, const ExecContext& exec = {});
+  ///
+  /// Sparse-movement fast path: an in-tree entry whose recomputed key ξ and
+  /// cached normalizer U are both bitwise-unchanged is left in place (no
+  /// erase + insert). When `rekeys_skipped` is non-null it receives the
+  /// number of such skipped moves (merged in chunk order, so the count is
+  /// thread-count invariant). Note one measure-zero caveat: if a *different*
+  /// entry of the same pivot re-keys onto exactly the skipped entry's key,
+  /// the equal-key order can differ from a from-scratch rebuild (the rebuild
+  /// files them in member order; the skip leaves the stale placement). Keys,
+  /// entry sets, and query answers are unaffected.
+  StatusOr<std::size_t> Refresh(const AffinityModel& model, const ExecContext& exec = {},
+                                std::size_t* rekeys_skipped = nullptr);
 
   /// Top-k query (extension): the k entities with the largest (or smallest)
   /// value of `measure`, best-first.
@@ -201,6 +216,7 @@ class ScapeIndex {
     btree::BPlusTree<SeqEntry> tree;        ///< keyed by ξ, entries with U > 0
     std::vector<SeqEntry> degenerate;       ///< U == 0 entries (D-value ≡ 0)
     std::vector<double> member_keys;        ///< current ξ, aligned with members
+    std::vector<double> member_u;           ///< current normalizer U, aligned with members
     std::vector<std::uint8_t> member_in_tree;  ///< 1 = in tree, 0 = side list
   };
 
@@ -233,6 +249,10 @@ class ScapeIndex {
   };
 
   ScapeIndex() = default;
+
+  /// The serving layer flattens the private pivot structures into sorted
+  /// contiguous arrays (src/serve); queries never mutate through this seam.
+  friend class affinity::serve::SnapshotBuilder;
 
   static int PairFamilyIndex(Measure m);      // 0 cov, 1 dot, -1 otherwise
   static int LocationFamilyIndex(Measure m);  // 0..2, -1 otherwise

@@ -168,6 +168,9 @@ StatusOr<StreamingAffinity> StreamingAffinity::Restore(AffinityModel model,
     stream.maintenance_.baseline_mean_residual =
         stream.maintainer_->profile().baseline_mean_residual;
   }
+  // A restored stream is immediately queryable, so it serves immediately
+  // too: publish the first epoch from the restored stack.
+  stream.PublishServingSnapshot();
   return stream;
 }
 
@@ -244,6 +247,7 @@ AppendResult StreamingAffinity::Refresh() {
     // (a rebuild constructs fresh sketches itself).
     out.status = framework_->RefreshWf();
     out.refreshed = out.status.ok();
+    if (out.refreshed) PublishServingSnapshot();
     return out;
   }
   out.mode = UpdateMode::kRebuild;
@@ -276,7 +280,19 @@ Status StreamingAffinity::Rebuild() {
   snapshot_row_ = rows_;
   rows_since_refresh_ = 0;
   ++rebuilds_;
+  PublishServingSnapshot();
   return Status::OK();
+}
+
+void StreamingAffinity::PublishServingSnapshot() {
+  if (framework_ == nullptr) return;
+  if (publisher_ == nullptr) {
+    publisher_ = std::make_unique<serve::EpochPublisher<serve::ServingSnapshot>>();
+  }
+  ++serving_generation_;
+  publisher_->Publish(serve::SnapshotBuilder::Build(framework_->model(), framework_->scape(),
+                                                    framework_->engine().Capabilities(),
+                                                    serving_generation_, rows_));
 }
 
 // ---------------------------------------------------------------------------
@@ -479,7 +495,18 @@ StatusOr<MecResponse> StreamingAffinity::Mec(const MecRequest& request,
                                              const FreshnessOptions& options,
                                              FreshnessReport* report) const {
   AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
-  if (!blend) return framework_->engine().Mec(request, options.method);
+  if (!blend) {
+    // Serve from the published replica when one exists (the live
+    // structures only change at publication points, so the snapshot is
+    // the live state — answers are bitwise identical). kUnavailable is
+    // the snapshot's "cannot serve this" verdict; everything else is the
+    // final answer, success or error.
+    if (auto snap = serving(); snap != nullptr) {
+      auto served = serve::SnapshotMec(*snap, request, options.method);
+      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+    }
+    return framework_->engine().Mec(request, options.method);
+  }
   AFFINITY_ASSIGN_OR_RETURN(MecResponse out, BlendedMec(request));
   out.plan = BlendPlan();
   return out;
@@ -489,7 +516,13 @@ StatusOr<SelectionResult> StreamingAffinity::Met(const MetRequest& request,
                                                  const FreshnessOptions& options,
                                                  FreshnessReport* report) const {
   AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
-  if (!blend) return framework_->engine().Met(request, options.method);
+  if (!blend) {
+    if (auto snap = serving(); snap != nullptr) {
+      auto served = serve::SnapshotMet(*snap, request, options.method);
+      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+    }
+    return framework_->engine().Met(request, options.method);
+  }
   AFFINITY_ASSIGN_OR_RETURN(
       SelectionResult out,
       BlendedSelect(request.measure, request.greater ? KeepGreater : KeepLesser, request.tau,
@@ -503,7 +536,13 @@ StatusOr<SelectionResult> StreamingAffinity::Mer(const MerRequest& request,
                                                  FreshnessReport* report) const {
   AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
   if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
-  if (!blend) return framework_->engine().Mer(request, options.method);
+  if (!blend) {
+    if (auto snap = serving(); snap != nullptr) {
+      auto served = serve::SnapshotMer(*snap, request, options.method);
+      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+    }
+    return framework_->engine().Mer(request, options.method);
+  }
   AFFINITY_ASSIGN_OR_RETURN(SelectionResult out,
                             BlendedSelect(request.measure, KeepInside, request.lo, request.hi));
   out.plan = BlendPlan();
@@ -514,7 +553,13 @@ StatusOr<TopKResult> StreamingAffinity::TopK(const TopKRequest& request,
                                              const FreshnessOptions& options,
                                              FreshnessReport* report) const {
   AFFINITY_ASSIGN_OR_RETURN(const bool blend, PrepareFreshness(options, report));
-  if (!blend) return framework_->engine().TopK(request, options.method);
+  if (!blend) {
+    if (auto snap = serving(); snap != nullptr) {
+      auto served = serve::SnapshotTopK(*snap, request, options.method);
+      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+    }
+    return framework_->engine().TopK(request, options.method);
+  }
   AFFINITY_ASSIGN_OR_RETURN(TopKResult out, BlendedTopK(request));
   out.plan = BlendPlan();
   return out;

@@ -50,6 +50,8 @@
 #include "common/thread_pool.h"
 #include "core/framework.h"
 #include "core/incremental.h"
+#include "serve/serve_query.h"
+#include "serve/serving_snapshot.h"
 #include "storage/table.h"
 #include "ts/rolling.h"
 
@@ -231,6 +233,18 @@ class StreamingAffinity {
   /// The execution context refreshes (and snapshot queries) run over.
   const ExecContext& exec() const { return exec_; }
 
+  /// The current read-optimized serving replica (DESIGN.md §11), published
+  /// by the last successful refresh/rebuild; nullptr before the first
+  /// build. The returned shared_ptr pins the epoch: any number of threads
+  /// may hold handles and run serve::SnapshotMec/Met/Mer/TopK against them
+  /// while this stream keeps appending and refreshing — readers never
+  /// block on maintenance, and an epoch is reclaimed when the last handle
+  /// drops. Answers are bitwise identical to the facade's non-blended
+  /// queries at the same epoch.
+  std::shared_ptr<const serve::ServingSnapshot> serving() const {
+    return publisher_ != nullptr ? publisher_->Acquire() : nullptr;
+  }
+
  private:
   StreamingAffinity(storage::DataMatrixTable table, StreamingOptions options,
                     std::unique_ptr<ThreadPool> pool, ExecContext exec)
@@ -266,6 +280,13 @@ class StreamingAffinity {
   /// The ExecutedPlan stamped on blended answers.
   ExecutedPlan BlendPlan() const;
 
+  /// Flattens the just-refreshed stack into a new serving epoch and
+  /// publishes it (lock-free swap). Called at every publication point —
+  /// incremental refresh success, full rebuild, restore — i.e. exactly
+  /// when the live structures change, so a published snapshot always
+  /// equals the live structures until the next publication.
+  void PublishServingSnapshot();
+
   // Declared first so it outlives the framework snapshot whose engine
   // holds an ExecContext pointing at it (members destroy in reverse).
   std::unique_ptr<ThreadPool> pool_;  ///< set when Create sized its own
@@ -286,6 +307,12 @@ class StreamingAffinity {
   std::size_t rows_since_refresh_ = 0;
   std::size_t rebuilds_ = 0;
   std::size_t refreshes_ = 0;
+  /// Epoch publication point for lock-free serving; allocated lazily at
+  /// the first publication (a stream that is never built publishes
+  /// nothing). unique_ptr keeps StreamingAffinity movable — the atomic
+  /// inside EpochPublisher is not.
+  std::unique_ptr<serve::EpochPublisher<serve::ServingSnapshot>> publisher_;
+  std::uint64_t serving_generation_ = 0;
 };
 
 }  // namespace affinity::core

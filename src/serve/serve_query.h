@@ -1,0 +1,54 @@
+#ifndef AFFINITY_SERVE_SERVE_QUERY_H_
+#define AFFINITY_SERVE_SERVE_QUERY_H_
+
+/// \file serve_query.h
+/// Query execution against a published `ServingSnapshot` (DESIGN.md §11).
+///
+/// Each function mirrors the corresponding `QueryEngine` path — same
+/// dispatch order, same error texts, same arithmetic, same result order —
+/// but reads only the snapshot's flat arrays: SCAPE scans run as
+/// `std::lower_bound`/`std::upper_bound` seeks over sorted contiguous
+/// keys instead of B+-tree descents, WA values come from the frozen
+/// tables, and WN sweeps run over the snapshot's window copy. Answers are
+/// bitwise identical to the live engine over the structures the snapshot
+/// was flattened from.
+///
+/// Everything here is const over the snapshot and allocation-local, so
+/// any number of threads may serve queries from the same snapshot
+/// concurrently, while maintenance publishes new epochs — the lock-free
+/// serving contract.
+///
+/// What a snapshot cannot serve returns `StatusCode::kUnavailable`
+/// (e.g. WF queries, whose sketches are built per query, or a WA table
+/// absent on a truncated model); the streaming facade treats that code as
+/// "fall back to the live engine" and every other status as final.
+
+#include "common/status.h"
+#include "core/query.h"
+#include "serve/serving_snapshot.h"
+
+namespace affinity::serve {
+
+/// Query 1 against the snapshot. Mirrors `QueryEngine::Mec`.
+StatusOr<core::MecResponse> SnapshotMec(const ServingSnapshot& snap,
+                                        const core::MecRequest& request,
+                                        core::QueryMethod method = core::QueryMethod::kAuto);
+
+/// Query 2 against the snapshot. Mirrors `QueryEngine::Met`.
+StatusOr<core::SelectionResult> SnapshotMet(const ServingSnapshot& snap,
+                                            const core::MetRequest& request,
+                                            core::QueryMethod method = core::QueryMethod::kAuto);
+
+/// Query 3 against the snapshot. Mirrors `QueryEngine::Mer`.
+StatusOr<core::SelectionResult> SnapshotMer(const ServingSnapshot& snap,
+                                            const core::MerRequest& request,
+                                            core::QueryMethod method = core::QueryMethod::kAuto);
+
+/// Top-k against the snapshot. Mirrors `QueryEngine::TopK`.
+StatusOr<core::TopKResult> SnapshotTopK(const ServingSnapshot& snap,
+                                        const core::TopKRequest& request,
+                                        core::QueryMethod method = core::QueryMethod::kAuto);
+
+}  // namespace affinity::serve
+
+#endif  // AFFINITY_SERVE_SERVE_QUERY_H_

@@ -1,0 +1,132 @@
+#include "serve/serving_snapshot.h"
+
+#include <utility>
+
+namespace affinity::serve {
+
+namespace {
+
+using core::Measure;
+
+/// Fills the snapshot's WA location tables (one per L-measure family).
+/// A family whose accessor errors is marked absent, not fatal.
+void FillLocationTables(const core::AffinityModel& model, ServingSnapshot* out) {
+  const std::size_t n = model.data().n();
+  const Measure kLoc[3] = {Measure::kMean, Measure::kMedian, Measure::kMode};
+  for (int f = 0; f < 3; ++f) {
+    out->location_ok[static_cast<std::size_t>(f)] = true;
+    auto& table = out->location[static_cast<std::size_t>(f)];
+    table.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      auto value = model.SeriesMeasure(kLoc[f], static_cast<ts::SeriesId>(v));
+      if (!value.ok()) {
+        out->location_ok[static_cast<std::size_t>(f)] = false;
+        table.clear();
+        break;
+      }
+      table[v] = *value;
+    }
+  }
+}
+
+/// Fills the six pair measure tables in lexicographic pair order — the
+/// order every sweep walks, so snapshot WA sweeps read values in exactly
+/// the sequence the live engine computes them. A truncated model (missing
+/// relationship → NotFound) marks the table absent.
+void FillPairTables(const core::AffinityModel& model, ServingSnapshot* out) {
+  const std::size_t n = model.data().n();
+  if (n < 2) {
+    for (auto& flag : out->pair_ok) flag = true;
+    return;
+  }
+  for (int t = 0; t < 6; ++t) {
+    const auto measure = static_cast<Measure>(static_cast<int>(Measure::kCovariance) + t);
+    auto& table = out->pair_values[static_cast<std::size_t>(t)];
+    table.reserve(ts::SequencePairCount(n));
+    bool ok = true;
+    for (std::size_t u = 0; ok && u + 1 < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        auto value = model.PairMeasure(
+            measure, ts::SequencePair(static_cast<ts::SeriesId>(u), static_cast<ts::SeriesId>(v)));
+        if (!value.ok()) {
+          ok = false;
+          table.clear();
+          break;
+        }
+        table.push_back(*value);
+      }
+    }
+    out->pair_ok[static_cast<std::size_t>(t)] = ok;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const ServingSnapshot> SnapshotBuilder::Build(
+    const core::AffinityModel& model, const core::ScapeIndex* scape,
+    const core::QueryPlanner::Capabilities& caps, std::uint64_t generation,
+    std::size_t snapshot_row) {
+  auto out = std::make_shared<ServingSnapshot>();
+  out->generation = generation;
+  out->snapshot_row = snapshot_row;
+  out->data = model.data();  // copy keeps names and the block-grid anchor
+  out->caps = caps;
+
+  const std::size_t n = model.data().n();
+  out->stats.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out->stats.push_back(model.series_stats(static_cast<ts::SeriesId>(v)));
+  }
+  FillLocationTables(model, out.get());
+  FillPairTables(model, out.get());
+
+  if (scape != nullptr) {
+    out->has_scape = true;
+    // Flatten every (pivot, family) B+-tree by in-order walk: ascending ξ
+    // with equal-key runs in tree order, so flat binary-search bounds land
+    // exactly where the tree's LowerBound/UpperBound descend.
+    out->pair_pivots.reserve(scape->pair_pivots_.size());
+    for (const auto& node : scape->pair_pivots_) {
+      FlatPairPivot flat;
+      for (int family = 0; family < 2; ++family) {
+        const auto& pt = node.trees[static_cast<std::size_t>(family)];
+        FlatPairTree& ft = flat.trees[static_cast<std::size_t>(family)];
+        ft.norm = pt.norm;
+        ft.u_min = pt.u_min;
+        ft.u_max = pt.u_max;
+        ft.keys.reserve(pt.tree.size());
+        ft.pairs.reserve(pt.tree.size());
+        ft.us.reserve(pt.tree.size());
+        for (auto it = pt.tree.begin(); it != pt.tree.end(); ++it) {
+          ft.keys.push_back(it.key());
+          ft.pairs.push_back(it.value().e);
+          ft.us.push_back(it.value().u);
+        }
+        ft.degenerate.reserve(pt.degenerate.size());
+        for (const auto& s : pt.degenerate) {
+          ft.degenerate.push_back(FlatDegenerateEntry{s.e, s.u, s.xi});
+        }
+      }
+      out->pair_pivots.push_back(std::move(flat));
+    }
+    out->loc_pivots.reserve(scape->loc_pivots_.size());
+    for (const auto& node : scape->loc_pivots_) {
+      FlatLocPivot flat;
+      for (int family = 0; family < 3; ++family) {
+        const auto& lt = node.trees[static_cast<std::size_t>(family)];
+        FlatLocTree& ft = flat.trees[static_cast<std::size_t>(family)];
+        ft.norm = lt.norm;
+        ft.keys.reserve(lt.tree.size());
+        ft.series.reserve(lt.tree.size());
+        for (auto it = lt.tree.begin(); it != lt.tree.end(); ++it) {
+          ft.keys.push_back(it.key());
+          ft.series.push_back(it.value());
+        }
+      }
+      out->loc_pivots.push_back(std::move(flat));
+    }
+  }
+  return out;
+}
+
+}  // namespace affinity::serve

@@ -1,0 +1,165 @@
+#ifndef AFFINITY_SERVE_SERVING_SNAPSHOT_H_
+#define AFFINITY_SERVE_SERVING_SNAPSHOT_H_
+
+/// \file serving_snapshot.h
+/// Lock-free snapshot serving (DESIGN.md §11): immutable, read-optimized
+/// replicas of one AFFINITY instance, published per refresh.
+///
+/// The live structures (SYMEX+ hash, SCAPE B+-trees) are mutated in place
+/// by the incremental maintenance path, so serving queries from them while
+/// a slide is absorbing would require locks. Instead, each successful
+/// refresh *flattens* the maintained stack into a `ServingSnapshot`:
+///
+///  * every SCAPE (pivot, family) B+-tree becomes a pair of sorted
+///    contiguous arrays (keys + payloads, in exact tree order) so index
+///    scans become branch-free `std::lower_bound` / `std::upper_bound`
+///    seeks plus linear array walks — cache-dense where the tree chased
+///    node pointers;
+///  * the WA surface (per-series stats, L-measure values, the six pair
+///    measure tables in lexicographic pair order) is frozen into flat
+///    arrays, so snapshot WA queries never touch the live hash;
+///  * the window itself is copied (`ts::DataMatrix` keeps its block-grid
+///    anchor), so snapshot WN sweeps are bitwise those of the live engine.
+///
+/// Snapshots are published through an `EpochPublisher` — an atomic
+/// shared_ptr swap. Readers `Acquire()` a snapshot and keep it alive for
+/// the duration of a query; writers publish a fresh replica and never
+/// touch an old one, so queries never wait on maintenance and maintenance
+/// never waits on queries. Memory lifetime is reference-counted: an old
+/// epoch is reclaimed when its last in-flight query drops it.
+///
+/// The serving contract is *bitwise identity*: every answer computed from
+/// a snapshot equals the live engine's answer over the same structures
+/// (serve_query.h mirrors each execution path exactly; the flattened scan
+/// semantics, including equal-key order, replicate the B+-tree's).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/scape.h"
+#include "core/symex.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::serve {
+
+/// One side-list (degenerate) entry: U == 0 or a degenerate pivot. Keeps
+/// ξ so T-measure queries can still evaluate value = ‖α‖·ξ directly.
+struct FlatDegenerateEntry {
+  ts::SequencePair pair;
+  double u = 0.0;
+  double xi = 0.0;
+};
+
+/// A flattened (pivot, T-measure family) SCAPE tree: the B+-tree's entries
+/// in exact key order (equal-key runs preserved), as parallel arrays.
+/// Structure-of-arrays deliberately: an accepted run is appended straight
+/// from `pairs` at 8 bytes/entry of read traffic, and only the D-measure
+/// verify band touches `us` — where the interleaved live tree drags every
+/// leaf's full entry through cache on any walk.
+struct FlatPairTree {
+  double norm = 0.0;  ///< ‖α‖; 0 marks a degenerate pivot
+  double u_min = 0.0;
+  double u_max = 0.0;
+  std::vector<double> keys;            ///< ξ ascending, tree iteration order
+  std::vector<ts::SequencePair> pairs;  ///< aligned with keys
+  std::vector<double> us;               ///< stored normalizers, aligned with keys
+  std::vector<FlatDegenerateEntry> degenerate;  ///< side list, member order
+};
+
+/// Flattened pair-level pivot node (family 0 = covariance, 1 = dot).
+struct FlatPairPivot {
+  std::array<FlatPairTree, 2> trees;
+};
+
+/// A flattened per-cluster location tree (series keyed by ξ).
+struct FlatLocTree {
+  double norm = 1.0;
+  std::vector<double> keys;
+  std::vector<ts::SeriesId> series;  ///< aligned with keys
+};
+
+/// Flattened location pivot node (0 = mean, 1 = median, 2 = mode).
+struct FlatLocPivot {
+  std::array<FlatLocTree, 3> trees;
+};
+
+/// An immutable read-optimized replica of one AFFINITY instance at one
+/// refresh epoch. Everything a MET/MER/MEC/top-k needs is embedded; no
+/// pointer into the live stack survives in here.
+struct ServingSnapshot {
+  /// Publication epoch (monotone per publisher; 0 never published).
+  std::uint64_t generation = 0;
+  /// Logical stream row count when this snapshot was published.
+  std::size_t snapshot_row = 0;
+
+  /// The analysis window (copy; anchor_row preserved) — the WN surface.
+  ts::DataMatrix data;
+
+  /// The live engine's capabilities at publication — drives the exact
+  /// same kAuto planning as the live engine.
+  core::QueryPlanner::Capabilities caps;
+
+  /// True when SCAPE pivot arrays below were flattened from a live index.
+  bool has_scape = false;
+  std::vector<FlatPairPivot> pair_pivots;
+  std::vector<FlatLocPivot> loc_pivots;
+
+  // --- WA surface ----------------------------------------------------------
+  /// Exact per-series statistics (diagonal MEC semantics).
+  std::vector<core::SeriesStats> stats;
+  /// L-measure value per series, per family (mean/median/mode).
+  std::array<std::vector<double>, 3> location;
+  std::array<bool, 3> location_ok{};  ///< false → family not servable
+  /// Pair measure tables in lexicographic (u, v) order, indexed by
+  /// `Measure - kCovariance` (covariance .. Dice). A table absent (ok
+  /// false) — e.g. a truncated model without the relationship — makes the
+  /// affected WA query kUnavailable, and the caller falls back live.
+  std::array<std::vector<double>, 6> pair_values;
+  std::array<bool, 6> pair_ok{};
+};
+
+/// Flattens live structures into `ServingSnapshot`s. Friend of
+/// `core::ScapeIndex` — the only seam that reads the private pivot trees.
+class SnapshotBuilder {
+ public:
+  /// Builds a replica of (`model`, `scape`) stamped with `generation` and
+  /// `snapshot_row`. `scape` may be null (no SCAPE surface). `caps` must
+  /// be the serving engine's capabilities so kAuto plans match. Never
+  /// fails: a WA table whose model accessor errors (truncated model) is
+  /// marked absent instead, demoting only those queries to live fallback.
+  static std::shared_ptr<const ServingSnapshot> Build(
+      const core::AffinityModel& model, const core::ScapeIndex* scape,
+      const core::QueryPlanner::Capabilities& caps, std::uint64_t generation,
+      std::size_t snapshot_row);
+};
+
+/// Epoch-based publication point: writers atomically swap in a fresh
+/// immutable snapshot; readers acquire the current one with shared
+/// ownership. The atomic<shared_ptr> swap is the only synchronization in
+/// the serving path — queries never block on maintenance.
+template <typename T>
+class EpochPublisher {
+ public:
+  /// Publishes `snapshot` as the current epoch (release ordering: all the
+  /// builder's writes happen-before any reader that acquires it).
+  void Publish(std::shared_ptr<const T> snapshot) {
+    current_.store(std::move(snapshot), std::memory_order_release);
+  }
+
+  /// The current epoch's snapshot (nullptr before the first Publish).
+  /// The returned shared_ptr keeps the epoch alive across the query.
+  std::shared_ptr<const T> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const T>> current_;
+};
+
+}  // namespace affinity::serve
+
+#endif  // AFFINITY_SERVE_SERVING_SNAPSHOT_H_

@@ -1,6 +1,9 @@
 #include "shard/cross_cache.h"
 
+#include <algorithm>
+#include <numeric>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "core/kernels.h"
@@ -14,11 +17,15 @@ CrossMomentCache::CrossMomentCache(const std::vector<ts::SequencePair>& cross_pa
   const std::size_t watched =
       options.budget < cross_pairs.size() ? options.budget : cross_pairs.size();
   if (watched == 0 || window == 0) return;
+  cross_pairs_ = cross_pairs;
+  heat_.assign(cross_pairs.size(), 0);
+  watch_of_.assign(cross_pairs.size(), kUnwatched);
   // Distinct series across the watch-list share one ring each.
   std::unordered_map<ts::SeriesId, std::size_t> slot_of;
   entries_.reserve(watched);
   for (std::size_t i = 0; i < watched; ++i) {
     PairEntry entry;
+    entry.cross_index = i;
     for (const bool first : {true, false}) {
       const ts::SeriesId id = first ? cross_pairs[i].u : cross_pairs[i].v;
       auto [it, inserted] = slot_of.try_emplace(id, series_.size());
@@ -30,6 +37,7 @@ CrossMomentCache::CrossMomentCache(const std::vector<ts::SequencePair>& cross_pa
       }
       (first ? entry.u_slot : entry.v_slot) = it->second;
     }
+    watch_of_[i] = entries_.size();
     entries_.push_back(entry);
   }
 }
@@ -38,7 +46,10 @@ void CrossMomentCache::Observe(const std::vector<double>& row) {
   if (entries_.empty()) return;
   const bool full = count_ == window_;
   // Pairs first: the eviction needs both rings' outgoing values, which
-  // the per-series update below overwrites.
+  // the per-series update below overwrites. A freshly promoted slot's
+  // ring is zero-filled, so its "evictions" subtract exact zeros and the
+  // rolling invariant dot == Σ ring_u[i]·ring_v[i] is preserved from the
+  // moment RewatchEntry materializes it.
   for (PairEntry& entry : entries_) {
     const SeriesSlot& su = series_[entry.u_slot];
     const SeriesSlot& sv = series_[entry.v_slot];
@@ -55,10 +66,99 @@ void CrossMomentCache::Observe(const std::vector<double>& row) {
     slot.ring[head_] = x;
     slot.sum += x;
     slot.sumsq += x * x;
+    if (slot.filled < window_) ++slot.filled;
   }
   head_ = (head_ + 1) % window_;
   if (!full) ++count_;
   ++stats_.observed_rows;
+}
+
+std::size_t CrossMomentCache::EnsureSlot(ts::SeriesId id) {
+  // series_ is O(2·budget) — a linear probe beats maintaining an id map
+  // through the slot GC below.
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (series_[s].id == id) return s;
+  }
+  SeriesSlot slot;
+  slot.id = id;
+  slot.ring.assign(window_, 0.0);
+  series_.push_back(std::move(slot));
+  return series_.size() - 1;
+}
+
+void CrossMomentCache::RewatchEntry(std::size_t slot, std::size_t new_index,
+                                    std::size_t anchor) {
+  PairEntry& entry = entries_[slot];
+  watch_of_[entry.cross_index] = kUnwatched;
+  entry.cross_index = new_index;
+  watch_of_[new_index] = slot;
+  entry.u_slot = EnsureSlot(cross_pairs_[new_index].u);
+  entry.v_slot = EnsureSlot(cross_pairs_[new_index].v);
+  entry.stamped_generation = 0;
+  // Materialize the rolling Σuv invariant over the current rings (zero-
+  // padded where a fresh slot has not observed a full window yet) with
+  // the canonical blocked kernel, in snapshot row order.
+  std::vector<double> u(window_);
+  std::vector<double> v(window_);
+  for (std::size_t i = 0; i < window_; ++i) {
+    u[i] = series_[entry.u_slot].ring[(head_ + i) % window_];
+    v[i] = series_[entry.v_slot].ring[(head_ + i) % window_];
+  }
+  entry.dot = core::kernels::BlockedDot(u.data(), v.data(), window_, anchor);
+}
+
+void CrossMomentCache::CollectSeriesSlots() {
+  std::vector<std::size_t> remap(series_.size(), kUnwatched);
+  std::vector<SeriesSlot> kept;
+  kept.reserve(series_.size());
+  for (PairEntry& entry : entries_) {
+    for (std::size_t* slot : {&entry.u_slot, &entry.v_slot}) {
+      if (remap[*slot] == kUnwatched) {
+        remap[*slot] = kept.size();
+        kept.push_back(std::move(series_[*slot]));
+      }
+      *slot = remap[*slot];
+    }
+  }
+  series_ = std::move(kept);
+}
+
+void CrossMomentCache::PromoteHot(std::size_t anchor) {
+  if (entries_.size() < cross_pairs_.size()) {
+    // Hottest unwatched pairs, heat desc then cross index asc.
+    std::vector<std::size_t> cands;
+    for (std::size_t ci = 0; ci < cross_pairs_.size(); ++ci) {
+      if (watch_of_[ci] == kUnwatched && heat_[ci] > 0) cands.push_back(ci);
+    }
+    if (!cands.empty()) {
+      std::sort(cands.begin(), cands.end(), [&](std::size_t a, std::size_t b) {
+        return heat_[a] != heat_[b] ? heat_[a] > heat_[b] : a < b;
+      });
+      // Coldest watched entries, heat asc then cross index desc (evict
+      // the deepest-in-the-list of equally cold entries).
+      std::vector<std::size_t> victims(entries_.size());
+      std::iota(victims.begin(), victims.end(), std::size_t{0});
+      std::sort(victims.begin(), victims.end(), [&](std::size_t a, std::size_t b) {
+        const std::uint64_t ha = heat_[entries_[a].cross_index];
+        const std::uint64_t hb = heat_[entries_[b].cross_index];
+        return ha != hb ? ha < hb : entries_[a].cross_index > entries_[b].cross_index;
+      });
+      const std::size_t swaps = std::min(cands.size(), victims.size());
+      bool changed = false;
+      for (std::size_t i = 0; i < swaps; ++i) {
+        // Strictly hotter only: ties never churn the list (hysteresis —
+        // a uniform sweep workload keeps the seeded prefix).
+        if (heat_[cands[i]] <= heat_[entries_[victims[i]].cross_index]) break;
+        RewatchEntry(victims[i], cands[i], anchor);
+        changed = true;
+        ++stats_.promotions;
+      }
+      if (changed) CollectSeriesSlots();
+    }
+  }
+  // Exponential decay: the list tracks the current query mix, not its
+  // whole history.
+  for (std::uint64_t& h : heat_) h >>= 1;
 }
 
 void CrossMomentCache::Stamp(std::uint64_t generation, std::size_t anchor) {
@@ -73,6 +173,7 @@ void CrossMomentCache::Stamp(std::uint64_t generation, std::size_t anchor) {
     Invalidate();
     return;
   }
+  PromoteHot(anchor);
   // Periodic exact re-materialization: unroll every ring into snapshot
   // row order (oldest → newest — exactly the snapshot column layout) and
   // rebuild all accumulators with the canonical blocked kernels at the
@@ -101,6 +202,11 @@ void CrossMomentCache::Stamp(std::uint64_t generation, std::size_t anchor) {
     }
     const SeriesSlot& su = series_[entry.u_slot];
     const SeriesSlot& sv = series_[entry.v_slot];
+    // Warm-up gate: a freshly promoted slot's ring is zero-padded until
+    // it has observed a full window — stamping it would freeze moments
+    // over fabricated samples. The pair keeps missing (raw sweep) until
+    // both rings cover the window.
+    if (su.filled < window_ || sv.filled < window_) continue;
     entry.stamped =
         core::PairMoments{window_, su.sum, su.sumsq, sv.sum, sv.sumsq, entry.dot};
     entry.stamped_generation = generation;
@@ -122,8 +228,11 @@ bool CrossMomentCache::Lookup(std::size_t cross_index, std::uint64_t generation,
   // serve dropped moments as hits; the router guarantees generation ≥ 1
   // from construction and restore alike (ShardedAffinity ordering audit).
   AFFINITY_CHECK_NE(generation, std::uint64_t{0});
+  // Heat accrues for every consulted index — watched or not — so the
+  // promotion pass can see which unwatched pairs the workload wants.
+  if (cross_index < heat_.size()) ++heat_[cross_index];
   if (!Watches(cross_index)) return false;
-  PairEntry& entry = entries_[cross_index];
+  PairEntry& entry = entries_[watch_of_[cross_index]];
   if (entry.stamped_generation != generation) {
     ++stats_.misses;
     return false;
@@ -137,7 +246,7 @@ void CrossMomentCache::Store(std::size_t cross_index, std::uint64_t generation,
                              const core::PairMoments& pm) {
   AFFINITY_CHECK_NE(generation, std::uint64_t{0});
   if (!Watches(cross_index)) return;
-  PairEntry& entry = entries_[cross_index];
+  PairEntry& entry = entries_[watch_of_[cross_index]];
   entry.stamped = pm;
   entry.stamped_generation = generation;
 }
@@ -149,6 +258,19 @@ std::size_t CrossMomentCache::StampedCount(std::uint64_t generation) const {
     if (entry.stamped_generation == generation) ++count;
   }
   return count;
+}
+
+void CrossMomentCache::ExportStamped(std::uint64_t generation,
+                                     std::vector<std::uint8_t>* stamped,
+                                     std::vector<core::PairMoments>* moments) const {
+  stamped->assign(cross_pairs_.size(), 0);
+  moments->assign(cross_pairs_.size(), core::PairMoments{});
+  if (generation == 0) return;
+  for (const PairEntry& entry : entries_) {
+    if (entry.stamped_generation != generation) continue;
+    (*stamped)[entry.cross_index] = 1;
+    (*moments)[entry.cross_index] = entry.stamped;
+  }
 }
 
 }  // namespace affinity::shard

@@ -9,8 +9,7 @@
 /// deployment: every pair spanning two shards is invisible to every
 /// per-shard model and index, so the router re-reads its two snapshot
 /// columns on every MET/MER/top-k. This cache designates a *watch-list*
-/// of hot cross pairs (the first `budget` pairs of the router's lex-
-/// ordered cross list) and maintains their full co-moment set — Σu, Σu²,
+/// of hot cross pairs and maintains their full co-moment set — Σu, Σu²,
 /// Σv, Σv², Σuv — by **rolling add/evict updates**: every appended global
 /// row costs O(watched) accumulator work, and each lockstep snapshot
 /// refresh freezes ("stamps") the rolled live moments as that
@@ -18,6 +17,21 @@
 /// pair from `core::PairMeasureFromMoments` with **zero raw column
 /// scans** (verified by the CrossSweepStats counters in
 /// bench_streaming).
+///
+/// Watch-list policy: the list is *seeded* with the first `budget` pairs
+/// of the router's lex-ordered cross list, then **adapts to the
+/// workload**. Every Lookup — hit, miss, or unwatched — counts one unit
+/// of heat against its cross index, and at each stamp the hottest
+/// unwatched pairs are promoted over strictly-colder watched ones (the
+/// budget is fixed; a promotion evicts the coldest entry). Heat is
+/// halved at every stamp, so the list tracks the current query mix
+/// instead of its whole history, and the strict-inequality rule gives
+/// hysteresis: a uniform sweep workload (every cross pair equally hot)
+/// never churns the list. A freshly promoted pair starts with empty
+/// value rings and is *stamp-gated* until both rings cover a full
+/// window — until then it simply misses and is served by the raw sweep,
+/// so promotion can never surface moments computed over partial
+/// windows.
 ///
 /// Numerics: rolled stamps inherit subtract-on-evict round-off, bounded
 /// by re-materializing from the value rings with the canonical blocked
@@ -41,8 +55,9 @@ namespace affinity::shard {
 
 /// Cache configuration (ShardedOptions::cross_cache).
 struct CrossCacheOptions {
-  /// Watched cross pairs (0 disables the cache). The watch-list is the
-  /// first `budget` pairs of the router's lex-ordered cross-pair list.
+  /// Watched cross pairs (0 disables the cache). The watch-list is
+  /// seeded with the first `budget` pairs of the router's lex-ordered
+  /// cross-pair list and thereafter adapts by heat promotion.
   std::size_t budget = 0;
   /// Stamps between exact blocked re-materializations from the rings
   /// (bounds rolled-stamp drift; ≥ 1). The first stamp is always exact.
@@ -57,6 +72,7 @@ struct CrossCacheStats {
   std::size_t exact_stamps = 0;    ///< blocked re-materializations from the rings
   std::size_t invalidations = 0;   ///< escalation / rebuild / restore drops
   std::size_t observed_rows = 0;   ///< appended rows rolled through the accumulators
+  std::size_t promotions = 0;      ///< hot pairs promoted onto the watch-list
 
   double HitRatio() const {
     const std::size_t total = hits + misses;
@@ -64,26 +80,30 @@ struct CrossCacheStats {
   }
 };
 
-/// Rolling co-moment accumulators for a designated cross-pair watch-list.
-/// Not thread-safe; owned and driven by ShardedAffinity's append/query
-/// surface (which is single-threaded at the router level).
+/// Rolling co-moment accumulators for a heat-adaptive cross-pair
+/// watch-list. Not thread-safe; owned and driven by ShardedAffinity's
+/// append/query surface (which is single-threaded at the router level).
 class CrossMomentCache {
  public:
   /// A disabled cache (no watch-list); every call is a cheap no-op.
   CrossMomentCache() = default;
 
-  /// Watches the first min(budget, cross_pairs.size()) pairs of the
-  /// router's cross list over windows of `window` samples.
+  /// Watches min(budget, cross_pairs.size()) pairs over windows of
+  /// `window` samples, seeded with the first pairs of the router's
+  /// cross list.
   CrossMomentCache(const std::vector<ts::SequencePair>& cross_pairs, std::size_t window,
                    const CrossCacheOptions& options);
 
   bool enabled() const { return !entries_.empty(); }
 
-  /// Watched pairs (indices [0, watched()) of the router's cross list).
+  /// Watch-list size (the effective budget).
   std::size_t watched() const { return entries_.size(); }
 
-  /// True when the router's cross pair at `cross_index` is watched.
-  bool Watches(std::size_t cross_index) const { return cross_index < entries_.size(); }
+  /// True when the router's cross pair at `cross_index` is currently on
+  /// the watch-list.
+  bool Watches(std::size_t cross_index) const {
+    return cross_index < watch_of_.size() && watch_of_[cross_index] != kUnwatched;
+  }
 
   /// Rolls one appended global row through every watched series ring and
   /// pair accumulator: O(watched series + watched pairs).
@@ -92,13 +112,17 @@ class CrossMomentCache {
   /// Freezes the rolled live co-moments as generation `generation`'s
   /// snapshot moments — called on every lockstep refresh, after the
   /// refresh-triggering row was Observed (live window == new snapshot
-  /// window). No-op until the rings hold a full window. Every
+  /// window). No-op until the rings hold a full window. Promotion runs
+  /// first: the hottest unwatched pairs displace strictly-colder
+  /// watched entries, then all heat is halved. Every
   /// `exact_resync_period` stamps re-materializes rings → accumulators
   /// with the blocked kernels first, at `anchor` — the shard snapshots'
   /// block-grid anchor (`data().anchor_row()`, identical across a
   /// lockstep deployment) — so an exact stamp is bitwise equal to the
-  /// raw cross sweep over the snapshot columns. `generation` must be
-  /// > 0 (0 is the never-stamped sentinel; checked).
+  /// raw cross sweep over the snapshot columns. Entries whose rings do
+  /// not yet cover the window (freshly promoted) are skipped.
+  /// `generation` must be > 0 (0 is the never-stamped sentinel;
+  /// checked).
   void Stamp(std::uint64_t generation, std::size_t anchor);
 
   /// Drops every stamped entry (escalation / manual rebuild / restore).
@@ -106,9 +130,11 @@ class CrossMomentCache {
   void Invalidate();
 
   /// Cached snapshot moments of cross pair `cross_index`, if stamped at
-  /// `generation`. Counts a hit or miss for watched indices. `generation`
-  /// must be > 0: a router may only consult the cache once its snapshots
-  /// form a real generation (the restore path starts at 1; checked so a
+  /// `generation`. Counts a hit or miss for watched indices, and one
+  /// unit of promotion heat for *every* index — watched or not — so the
+  /// watch-list can follow the workload. `generation` must be > 0: a
+  /// router may only consult the cache once its snapshots form a real
+  /// generation (the restore path starts at 1; checked so a
   /// never-stamped entry — sentinel 0 — can never masquerade as a hit).
   bool Lookup(std::size_t cross_index, std::uint64_t generation, core::PairMoments* out);
 
@@ -120,9 +146,20 @@ class CrossMomentCache {
   /// Topology::cached_cross_pairs input.
   std::size_t StampedCount(std::uint64_t generation) const;
 
+  /// Exports the stamped co-moments of generation `generation` over the
+  /// *full* cross list: `(*stamped)[i]` is 1 iff cross pair i is watched
+  /// and stamped at that generation, with its moments in
+  /// `(*moments)[i]`. Both vectors are resized to the cross-list length
+  /// (empty for a disabled cache). Used to freeze the warm co-moment
+  /// view into a published router snapshot (shard/shard_serve.h).
+  void ExportStamped(std::uint64_t generation, std::vector<std::uint8_t>* stamped,
+                     std::vector<core::PairMoments>* moments) const;
+
   const CrossCacheStats& stats() const { return stats_; }
 
  private:
+  static constexpr std::size_t kUnwatched = static_cast<std::size_t>(-1);
+
   /// One watched series: its value ring over the window plus rolled
   /// marginal sums (shared by every watched pair touching the series).
   struct SeriesSlot {
@@ -130,10 +167,12 @@ class CrossMomentCache {
     std::vector<double> ring;
     double sum = 0.0;
     double sumsq = 0.0;
+    std::size_t filled = 0;  ///< samples observed since the slot was created (≤ window)
   };
 
   /// One watched cross pair: rolled Σuv plus the frozen snapshot moments.
   struct PairEntry {
+    std::size_t cross_index = 0;  ///< position in the router's lex cross list
     std::size_t u_slot = 0;
     std::size_t v_slot = 0;
     double dot = 0.0;
@@ -141,11 +180,31 @@ class CrossMomentCache {
     std::uint64_t stamped_generation = 0;  ///< 0 = never stamped / dropped
   };
 
+  /// Slot of global series `id`, creating an empty (zero-ring) slot on
+  /// first use.
+  std::size_t EnsureSlot(ts::SeriesId id);
+
+  /// Swaps the hottest unwatched pairs over strictly-colder watched
+  /// entries, then halves all heat (decay). Called at stamp time.
+  void PromoteHot(std::size_t anchor);
+
+  /// Re-points entry `slot` at cross pair `new_index`: rebinds series
+  /// slots, re-materializes the rolling Σuv invariant from the current
+  /// rings, and clears the stamp.
+  void RewatchEntry(std::size_t slot, std::size_t new_index, std::size_t anchor);
+
+  /// Drops series slots no longer referenced by any entry (after
+  /// promotion rebinds) and remaps entry slot indices.
+  void CollectSeriesSlots();
+
   std::size_t window_ = 0;
   std::size_t exact_resync_period_ = 64;
   std::size_t head_ = 0;   ///< shared ring cursor (all rings advance together)
-  std::size_t count_ = 0;  ///< samples currently in the rings (≤ window_)
+  std::size_t count_ = 0;  ///< samples rolled since construction (≤ window_)
   std::size_t stamps_since_resync_ = 0;
+  std::vector<ts::SequencePair> cross_pairs_;  ///< the router's full lex cross list
+  std::vector<std::uint64_t> heat_;            ///< per-cross-index lookup counts (decayed)
+  std::vector<std::size_t> watch_of_;          ///< cross index → entry slot (kUnwatched if none)
   std::vector<SeriesSlot> series_;
   std::vector<PairEntry> entries_;
   CrossCacheStats stats_;

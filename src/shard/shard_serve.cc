@@ -1,0 +1,325 @@
+#include "shard/shard_serve.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+#include <utility>
+
+#include "common/exec_context.h"
+#include "core/planner.h"
+
+namespace affinity::shard {
+
+namespace {
+
+using core::ExecutedPlan;
+using core::Measure;
+using core::QueryMethod;
+using core::QueryPlanner;
+using core::ScapeTopKEntry;
+using core::ScapeTopKResult;
+
+/// K-way heap merge of sorted runs — the same gather step the live router
+/// runs (sharded.cc keeps its own file-local copy; the shapes must stay
+/// identical for the bitwise-identity contract).
+template <typename T, typename Less>
+std::vector<T> MergeSortedRuns(const std::vector<std::vector<T>>& runs, Less less) {
+  struct Head {
+    std::size_t run;
+    std::size_t pos;
+  };
+  const auto head_greater = [&](const Head& a, const Head& b) {
+    return less(runs[b.run][b.pos], runs[a.run][a.pos]);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(head_greater)> frontier(head_greater);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    total += runs[r].size();
+    if (!runs[r].empty()) frontier.push(Head{r, 0});
+  }
+  std::vector<T> out;
+  out.reserve(total);
+  while (!frontier.empty()) {
+    const Head head = frontier.top();
+    frontier.pop();
+    out.push_back(runs[head.run][head.pos]);
+    if (head.pos + 1 < runs[head.run].size()) frontier.push(Head{head.run, head.pos + 1});
+  }
+  return out;
+}
+
+/// The snapshot column of global series `id` (shard snapshots hold the
+/// window copies; local order matches the live shard's DataMatrix).
+const double* ColumnOf(const RouterSnapshot& snap, ts::SeriesId id) {
+  return snap.shards[snap.shard_of[id]]->data.ColumnData(snap.local_of[id]);
+}
+
+/// Mirrors ShardedAffinity::ResolveShardPlan for the unblended path. A
+/// RouterSnapshot only exists once the deployment is ready, so there is
+/// no FailedPrecondition arm; blending is live-only (the facade handles
+/// it before ever consulting a snapshot).
+template <typename PlanFn>
+ExecutedPlan ResolveRouterPlan(const RouterSnapshot& snap, QueryMethod method,
+                               const PlanFn& plan) {
+  if (method != QueryMethod::kAuto) {
+    ExecutedPlan explicit_plan;
+    explicit_plan.method = method;
+    explicit_plan.rationale = "explicitly requested " +
+                              std::string(core::QueryMethodName(method)) +
+                              " per shard; scatter-gather over " +
+                              std::to_string(snap.shards.size()) + " shards";
+    return explicit_plan;
+  }
+  const QueryPlanner::Topology topology{snap.shards.size(), snap.cross.size(),
+                                        snap.stamped_count};
+  const QueryPlanner planner(snap.max_n, snap.window, snap.caps, topology);
+  return plan(planner);
+}
+
+/// Mirrors ShardedAffinity::CrossPairValues (unblended): stamped pairs
+/// answer O(1) from the frozen co-moments — the exact moments the live
+/// cache serves at this generation — and the rest sweep the shard
+/// snapshots' window copies with the canonical blocked kernels, which is
+/// bitwise the live miss path over the same columns.
+StatusOr<std::vector<double>> RouterCrossValues(const RouterSnapshot& snap, Measure measure) {
+  std::vector<double> values(snap.cross.size());
+  std::vector<std::size_t> swept;
+  swept.reserve(snap.cross.size());
+  for (std::size_t i = 0; i < snap.cross.size(); ++i) {
+    if (i < snap.cross_stamped.size() && snap.cross_stamped[i] != 0) {
+      auto value = core::PairMeasureFromMoments(measure, snap.cross_moments[i]);
+      if (!value.ok()) return value.status();
+      values[i] = *value;
+    } else {
+      swept.push_back(i);
+    }
+  }
+  if (!swept.empty()) {
+    std::vector<core::CrossPair> resolved(swept.size());
+    for (std::size_t j = 0; j < swept.size(); ++j) {
+      const ts::SequencePair e = snap.cross[swept[j]];
+      resolved[j] = core::CrossPair{e, ColumnOf(snap, e.u), ColumnOf(snap, e.v)};
+    }
+    AFFINITY_ASSIGN_OR_RETURN(
+        const std::vector<double> swept_values,
+        core::EvaluateCrossPairs(measure, resolved, snap.window, ExecContext{}, nullptr,
+                                 nullptr, snap.anchor));
+    for (std::size_t j = 0; j < swept.size(); ++j) values[swept[j]] = swept_values[j];
+  }
+  return values;
+}
+
+/// The shared MET/MER gather, mirroring SelectAcrossShards: per-shard
+/// snapshot selections, local→global rewrite + sort, the cross-shard
+/// sweep under `keep`, then the k-way merge.
+template <typename PlanFn, typename ShardQuery>
+StatusOr<core::SelectionResult> RouterSelect(const RouterSnapshot& snap, Measure measure,
+                                             bool (*keep)(double, double, double), double a,
+                                             double b, QueryMethod method, const PlanFn& plan,
+                                             const ShardQuery& shard_query) {
+  ExecutedPlan resolved = ResolveRouterPlan(snap, method, plan);
+  const QueryMethod per_shard = method == QueryMethod::kAuto ? resolved.method : method;
+
+  core::SelectionResult out;
+  const bool location = core::IsLocation(measure);
+  const std::size_t n_shards = snap.shards.size();
+  std::vector<std::vector<ts::SeriesId>> series_runs(n_shards);
+  std::vector<std::vector<ts::SequencePair>> pair_runs(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    AFFINITY_ASSIGN_OR_RETURN(core::SelectionResult r, shard_query(*snap.shards[s], per_shard));
+    out.prune += r.prune;
+    if (location) {
+      for (ts::SeriesId& v : r.series) v = snap.groups[s][v];
+      std::sort(r.series.begin(), r.series.end());
+      series_runs[s] = std::move(r.series);
+    } else {
+      for (ts::SequencePair& e : r.pairs) {
+        e = ts::SequencePair(snap.groups[s][e.u], snap.groups[s][e.v]);
+      }
+      std::sort(r.pairs.begin(), r.pairs.end());
+      pair_runs[s] = std::move(r.pairs);
+    }
+  }
+  if (!location && n_shards > 1) {
+    AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> values,
+                              RouterCrossValues(snap, measure));
+    std::vector<ts::SequencePair> kept;
+    for (std::size_t i = 0; i < snap.cross.size(); ++i) {
+      if (keep(values[i], a, b)) kept.push_back(snap.cross[i]);
+    }
+    pair_runs.push_back(std::move(kept));  // already lex-sorted
+  }
+  if (location) {
+    out.series = MergeSortedRuns(series_runs, std::less<ts::SeriesId>{});
+  } else {
+    out.pairs = MergeSortedRuns(pair_runs, std::less<ts::SequencePair>{});
+  }
+  core::AnnotateSnapshotServed(&resolved, snap.generation);
+  out.plan = std::move(resolved);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<core::SelectionResult> RouterMet(const RouterSnapshot& snap,
+                                          const core::MetRequest& request,
+                                          QueryMethod method) {
+  return RouterSelect(
+      snap, request.measure, request.greater ? core::KeepGreater : core::KeepLesser,
+      request.tau, 0.0, method,
+      [&](const QueryPlanner& planner) { return planner.PlanMet(request.measure); },
+      [&](const serve::ServingSnapshot& shard, QueryMethod m) {
+        return serve::SnapshotMet(shard, request, m);
+      });
+}
+
+StatusOr<core::SelectionResult> RouterMer(const RouterSnapshot& snap,
+                                          const core::MerRequest& request,
+                                          QueryMethod method) {
+  if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
+  return RouterSelect(
+      snap, request.measure, core::KeepInside, request.lo, request.hi, method,
+      [&](const QueryPlanner& planner) { return planner.PlanMer(request.measure); },
+      [&](const serve::ServingSnapshot& shard, QueryMethod m) {
+        return serve::SnapshotMer(shard, request, m);
+      });
+}
+
+StatusOr<core::TopKResult> RouterTopK(const RouterSnapshot& snap,
+                                      const core::TopKRequest& request, QueryMethod method) {
+  ExecutedPlan plan = ResolveRouterPlan(snap, method, [&](const QueryPlanner& planner) {
+    return planner.PlanTopK(request.measure, request.k);
+  });
+  const QueryMethod per_shard = method == QueryMethod::kAuto ? plan.method : method;
+
+  std::vector<ScapeTopKResult> runs(snap.shards.size());
+  for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+    AFFINITY_ASSIGN_OR_RETURN(core::TopKResult r,
+                              serve::SnapshotTopK(*snap.shards[s], request, per_shard));
+    for (ScapeTopKEntry& entry : r.entries) {
+      if (entry.has_series()) {
+        entry.series = snap.groups[s][entry.series];
+      } else {
+        entry.pair = ts::SequencePair(snap.groups[s][entry.pair.u], snap.groups[s][entry.pair.v]);
+      }
+    }
+    runs[s] = std::move(r);
+  }
+  if (!core::IsLocation(request.measure) && snap.shards.size() > 1) {
+    AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> values,
+                              RouterCrossValues(snap, request.measure));
+    ScapeTopKResult cross_run;
+    cross_run.entries.resize(snap.cross.size());
+    for (std::size_t i = 0; i < snap.cross.size(); ++i) {
+      cross_run.entries[i] = ScapeTopKEntry{snap.cross[i], core::kNoSeries, values[i]};
+    }
+    const std::size_t k = std::min(request.k, cross_run.entries.size());
+    const auto better = [&](const ScapeTopKEntry& a, const ScapeTopKEntry& b) {
+      return request.largest ? a.value > b.value : a.value < b.value;
+    };
+    std::partial_sort(cross_run.entries.begin(),
+                      cross_run.entries.begin() + static_cast<long>(k), cross_run.entries.end(),
+                      better);
+    cross_run.entries.resize(k);
+    cross_run.examined = snap.cross.size();
+    runs.push_back(std::move(cross_run));
+  }
+  core::TopKResult out;
+  static_cast<ScapeTopKResult&>(out) = core::MergeTopK(runs, request.k, request.largest);
+  core::AnnotateSnapshotServed(&plan, snap.generation);
+  out.plan = std::move(plan);
+  return out;
+}
+
+StatusOr<core::MecResponse> RouterMec(const RouterSnapshot& snap, const core::MecRequest& request,
+                                      QueryMethod method) {
+  ExecutedPlan plan = ResolveRouterPlan(snap, method, [&](const QueryPlanner& planner) {
+    return planner.PlanMec(request.measure, request.ids.size());
+  });
+  if (request.ids.empty()) return Status::InvalidArgument("MEC requires a non-empty id set");
+  for (const ts::SeriesId id : request.ids) {
+    if (id >= snap.n) {
+      return Status::OutOfRange("series id " + std::to_string(id) + " out of range (n=" +
+                                std::to_string(snap.n) + ")");
+    }
+  }
+  const QueryMethod per_shard = method == QueryMethod::kAuto ? plan.method : method;
+
+  // Slice the request per shard, remembering each id's request position.
+  std::vector<std::vector<std::size_t>> positions(snap.shards.size());
+  std::vector<core::MecRequest> slices(snap.shards.size());
+  for (std::size_t i = 0; i < request.ids.size(); ++i) {
+    const std::size_t s = snap.shard_of[request.ids[i]];
+    positions[s].push_back(i);
+    slices[s].measure = request.measure;
+    slices[s].ids.push_back(snap.local_of[request.ids[i]]);
+  }
+
+  const std::size_t count = request.ids.size();
+  const bool location = core::IsLocation(request.measure);
+  core::MecResponse out;
+  if (location) {
+    out.location = la::Vector(count);
+  } else {
+    out.pair_values = la::Matrix(count, count);
+  }
+  for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+    if (slices[s].ids.empty()) continue;
+    AFFINITY_ASSIGN_OR_RETURN(core::MecResponse r,
+                              serve::SnapshotMec(*snap.shards[s], slices[s], per_shard));
+    if (location) {
+      for (std::size_t t = 0; t < positions[s].size(); ++t) {
+        out.location[positions[s][t]] = r.location[t];
+      }
+    } else {
+      for (std::size_t a = 0; a < positions[s].size(); ++a) {
+        for (std::size_t b = 0; b < positions[s].size(); ++b) {
+          out.pair_values(positions[s][a], positions[s][b]) = r.pair_values(a, b);
+        }
+      }
+    }
+  }
+  if (!location) {
+    // Cross-shard cells, mirroring the live router: each requested (i, j)
+    // spanning two shards resolves its cross index by binary search into
+    // the lex cross list; stamped pairs answer from the frozen co-moments,
+    // the rest sweep the snapshot columns.
+    std::vector<core::CrossPair> resolved;
+    std::vector<std::pair<std::size_t, std::size_t>> cells;
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t j = i + 1; j < count; ++j) {
+        if (snap.shard_of[request.ids[i]] == snap.shard_of[request.ids[j]]) continue;
+        const ts::SeriesId u = request.ids[i];
+        const ts::SeriesId v = request.ids[j];
+        const ts::SequencePair e(u, v);
+        const auto it = std::lower_bound(snap.cross.begin(), snap.cross.end(), e);
+        const std::size_t cross_index = static_cast<std::size_t>(it - snap.cross.begin());
+        if (cross_index < snap.cross_stamped.size() && snap.cross_stamped[cross_index] != 0) {
+          AFFINITY_ASSIGN_OR_RETURN(
+              const double value,
+              core::PairMeasureFromMoments(request.measure, snap.cross_moments[cross_index]));
+          out.pair_values(i, j) = value;
+          out.pair_values(j, i) = value;
+          continue;
+        }
+        resolved.push_back(core::CrossPair{e, ColumnOf(snap, u), ColumnOf(snap, v)});
+        cells.emplace_back(i, j);
+      }
+    }
+    if (!resolved.empty()) {
+      AFFINITY_ASSIGN_OR_RETURN(
+          const std::vector<double> values,
+          core::EvaluateCrossPairs(request.measure, resolved, snap.window, ExecContext{},
+                                   nullptr, nullptr, snap.anchor));
+      for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+        out.pair_values(cells[idx].first, cells[idx].second) = values[idx];
+        out.pair_values(cells[idx].second, cells[idx].first) = values[idx];
+      }
+    }
+  }
+  core::AnnotateSnapshotServed(&plan, snap.generation);
+  out.plan = std::move(plan);
+  return out;
+}
+
+}  // namespace affinity::shard

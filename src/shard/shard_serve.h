@@ -1,0 +1,109 @@
+#ifndef AFFINITY_SHARD_SHARD_SERVE_H_
+#define AFFINITY_SHARD_SHARD_SERVE_H_
+
+/// \file shard_serve.h
+/// Lock-free snapshot serving for the *sharded* deployment (DESIGN.md
+/// §11): an immutable `RouterSnapshot` bundles every shard's published
+/// `serve::ServingSnapshot` for one lockstep refresh epoch together with
+/// the routing tables (partition maps, the lex cross-pair list) and a
+/// frozen view of the cross co-moment cache, so a scatter-gather
+/// MET/MER/MEC/top-k can execute end-to-end against immutable state —
+/// zero locks, zero waiting on in-flight slides.
+///
+/// The `RouterMet`/`RouterMer`/`RouterMec`/`RouterTopK` free functions
+/// mirror `ShardedAffinity`'s gather exactly (same plan resolution, same
+/// local→global rewrite + sort, same k-way merges, same cross-pair
+/// arithmetic), so answers are bitwise identical to the live router over
+/// the same epoch. Cross pairs stamped in the frozen co-moment view are
+/// served O(1) from `core::PairMeasureFromMoments`; the rest sweep the
+/// shard snapshots' window copies with the canonical blocked kernels —
+/// the exact values the live miss path computes and re-serves.
+///
+/// Freshness blending is inherently live (it reads the rolling
+/// marginals), so router snapshots serve only the unblended path; the
+/// facade keeps handling `FreshnessOptions::max_staleness`. Anything a
+/// shard snapshot cannot serve (e.g. WF) propagates
+/// `StatusCode::kUnavailable`, and the caller falls back to the live
+/// service.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "serve/serve_query.h"
+#include "serve/serving_snapshot.h"
+#include "ts/data_matrix.h"
+
+namespace affinity::shard {
+
+/// An immutable serving replica of one sharded deployment at one lockstep
+/// refresh epoch. Holds shared ownership of every shard's serving
+/// snapshot; no pointer into the live service survives in here.
+struct RouterSnapshot {
+  /// The router's cross generation at publication (≥ 1; lockstep epochs).
+  std::uint64_t generation = 0;
+  /// Window geometry shared by every shard snapshot.
+  std::size_t window = 0;
+  /// The shard snapshots' shared block-grid anchor.
+  std::size_t anchor = 0;
+  /// Global series count.
+  std::size_t n = 0;
+
+  /// Shard s's serving snapshot for this epoch.
+  std::vector<std::shared_ptr<const serve::ServingSnapshot>> shards;
+
+  // --- Routing tables (frozen copies of the partitioner) -------------------
+  std::vector<std::size_t> shard_of;               ///< global id → shard
+  std::vector<ts::SeriesId> local_of;              ///< global id → shard-local id
+  std::vector<std::vector<ts::SeriesId>> groups;   ///< shard → local → global id
+
+  /// Every pair spanning two shards, (u, v)-lex in global ids.
+  std::vector<ts::SequencePair> cross;
+
+  // --- Frozen cross co-moment view (cross_cache.h, at publication) ---------
+  /// `cross_stamped[i]` is 1 iff cross pair i's co-moments were stamped at
+  /// this generation when the snapshot was published; its moments sit in
+  /// `cross_moments[i]`. Both are cross-list-aligned (all zeros when the
+  /// cache is disabled).
+  std::vector<std::uint8_t> cross_stamped;
+  std::vector<core::PairMoments> cross_moments;
+  /// Number of 1s in cross_stamped — the planner's cached_cross_pairs.
+  /// NOTE: the live router's count keeps growing as queries miss-fill the
+  /// cache after publication, so a served plan's *cost/rationale* may
+  /// differ from the live plan's; the chosen method (and hence every
+  /// answer value) cannot (the surcharge applies after strategy
+  /// selection).
+  std::size_t stamped_count = 0;
+
+  /// Capability intersection over the shards and the widest shard width —
+  /// the live router's kAuto planner inputs.
+  core::QueryPlanner::Capabilities caps;
+  std::size_t max_n = 0;
+};
+
+/// Query 1 against a router snapshot. Mirrors `ShardedAffinity::Mec`
+/// (unblended path); answers carry no per-shard freshness — the snapshot
+/// is one coherent epoch.
+StatusOr<core::MecResponse> RouterMec(const RouterSnapshot& snap, const core::MecRequest& request,
+                                      core::QueryMethod method = core::QueryMethod::kAuto);
+
+/// Query 2 against a router snapshot. Mirrors `ShardedAffinity::Met`.
+StatusOr<core::SelectionResult> RouterMet(const RouterSnapshot& snap,
+                                          const core::MetRequest& request,
+                                          core::QueryMethod method = core::QueryMethod::kAuto);
+
+/// Query 3 against a router snapshot. Mirrors `ShardedAffinity::Mer`.
+StatusOr<core::SelectionResult> RouterMer(const RouterSnapshot& snap,
+                                          const core::MerRequest& request,
+                                          core::QueryMethod method = core::QueryMethod::kAuto);
+
+/// Top-k against a router snapshot. Mirrors `ShardedAffinity::TopK`.
+StatusOr<core::TopKResult> RouterTopK(const RouterSnapshot& snap,
+                                      const core::TopKRequest& request,
+                                      core::QueryMethod method = core::QueryMethod::kAuto);
+
+}  // namespace affinity::shard
+
+#endif  // AFFINITY_SHARD_SHARD_SERVE_H_

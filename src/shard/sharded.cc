@@ -218,8 +218,65 @@ AppendResult ShardedAffinity::Append(const std::vector<double>& row) {
     } else {
       cross_cache_.Stamp(cross_generation_, SnapshotAnchor());
     }
+    // Every shard republished its serving snapshot during this lockstep
+    // refresh; bundle them (plus the just-stamped co-moment view) into a
+    // fresh router epoch. A half-failed refresh keeps the previous epoch
+    // (its shard snapshots are still the last coherent lockstep set).
+    if (out.status.ok()) PublishRouterSnapshot();
   }
   return out;
+}
+
+void ShardedAffinity::PublishRouterSnapshot() {
+  if (!ready()) return;
+  auto snap = std::make_shared<RouterSnapshot>();
+  snap->generation = cross_generation_;
+  snap->window = options_.streaming.window;
+  snap->n = router_.partitioner().n();
+  snap->shards.reserve(shards_.size());
+  core::QueryPlanner::Capabilities caps{true, true, true};
+  std::size_t max_n = 0;
+  for (const core::StreamingAffinity& shard : shards_) {
+    std::shared_ptr<const serve::ServingSnapshot> shard_snap = shard.serving();
+    // Defensive: a ready shard has always published (Refresh/Rebuild/
+    // Restore all do); without a full lockstep set there is no coherent
+    // epoch to serve, so keep the previous one.
+    if (shard_snap == nullptr) return;
+    caps.has_model = caps.has_model && shard_snap->caps.has_model;
+    caps.has_scape = caps.has_scape && shard_snap->caps.has_scape;
+    caps.has_dft = caps.has_dft && shard_snap->caps.has_dft;
+    max_n = std::max(max_n, shard_snap->data.n());
+    snap->shards.push_back(std::move(shard_snap));
+  }
+  snap->anchor = snap->shards[0]->data.anchor_row();
+  snap->caps = caps;
+  snap->max_n = max_n;
+  const SeriesPartitioner& partitioner = router_.partitioner();
+  snap->shard_of.resize(partitioner.n());
+  snap->local_of.resize(partitioner.n());
+  for (std::size_t i = 0; i < partitioner.n(); ++i) {
+    const auto id = static_cast<ts::SeriesId>(i);
+    snap->shard_of[i] = partitioner.shard_of(id);
+    snap->local_of[i] = partitioner.local_id(id);
+  }
+  snap->groups.reserve(partitioner.shards());
+  for (std::size_t s = 0; s < partitioner.shards(); ++s) {
+    snap->groups.push_back(partitioner.group(s));
+  }
+  snap->cross = router_.cross_pairs();
+  cross_cache_.ExportStamped(cross_generation_, &snap->cross_stamped, &snap->cross_moments);
+  // A disabled cache exports empty vectors; pad to the cross list so the
+  // serve path treats every pair as unstamped (raw sweep), like the live
+  // path with the cache off.
+  snap->cross_stamped.resize(snap->cross.size(), 0);
+  snap->cross_moments.resize(snap->cross.size());
+  std::size_t stamped = 0;
+  for (const std::uint8_t flag : snap->cross_stamped) stamped += flag;
+  snap->stamped_count = stamped;
+  if (publisher_ == nullptr) {
+    publisher_ = std::make_unique<serve::EpochPublisher<RouterSnapshot>>();
+  }
+  publisher_->Publish(std::move(snap));
 }
 
 std::size_t ShardedAffinity::SnapshotAnchor() const {
@@ -257,13 +314,15 @@ Status ShardedAffinity::Rebuild() {
   // generation no longer describes the snapshots, so drop it.
   ++cross_generation_;
   cross_cache_.Invalidate();
-  return TryParallelChunks(exec_, shards_.size(),
-                           [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
-                             for (std::size_t s = lo; s < hi; ++s) {
-                               AFFINITY_RETURN_IF_ERROR(shards_[s].Rebuild());
-                             }
-                             return Status::OK();
-                           });
+  AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
+      exec_, shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
+        for (std::size_t s = lo; s < hi; ++s) {
+          AFFINITY_RETURN_IF_ERROR(shards_[s].Rebuild());
+        }
+        return Status::OK();
+      }));
+  PublishRouterSnapshot();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -867,6 +926,10 @@ StatusOr<ShardedAffinity> ShardedAffinity::Load(const std::string& path, std::si
   // Logical row numbering restarts at `window` (each restored shard's
   // resident window is its whole history).
   service.rows_ = options.streaming.window;
+  // First router epoch: the restored shard snapshots form generation 1
+  // (every restored shard published in Restore), with an all-cold cross
+  // view — serve sweeps fill in until the first lockstep refresh.
+  service.PublishRouterSnapshot();
   return service;
 }
 

@@ -39,8 +39,10 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/streaming.h"
+#include "serve/serving_snapshot.h"
 #include "shard/cross_cache.h"
 #include "shard/partitioner.h"
+#include "shard/shard_serve.h"
 
 namespace affinity::shard {
 
@@ -154,6 +156,17 @@ class ShardedAffinity {
   /// for watched pairs (the bench_streaming acceptance counter).
   const core::CrossSweepStats& cross_sweep_stats() const { return cross_sweep_stats_; }
 
+  /// The current router serving snapshot (DESIGN.md §11): an immutable
+  /// epoch bundling every shard's serving replica plus the frozen cross
+  /// co-moment view, republished on every lockstep refresh, rebuild, and
+  /// restore. Safe to read from any thread concurrently with Append —
+  /// the returned shared_ptr keeps the whole epoch alive for the
+  /// caller's query (RouterMet/RouterMer/RouterMec/RouterTopK). nullptr
+  /// before the first refresh.
+  std::shared_ptr<const RouterSnapshot> serving() const {
+    return publisher_ != nullptr ? publisher_->Acquire() : nullptr;
+  }
+
   /// Every shard's snapshot age, indexed by shard.
   std::vector<std::size_t> snapshot_ages() const;
 
@@ -239,6 +252,13 @@ class ShardedAffinity {
   /// keep every shard on the same trailing window); 0 before readiness.
   std::size_t SnapshotAnchor() const;
 
+  /// Assembles and atomically publishes a fresh RouterSnapshot from the
+  /// shards' serving snapshots, the partitioner's routing tables, and the
+  /// cross cache's stamped co-moments. Called after every successful
+  /// lockstep refresh (Append), Rebuild, and Load; no-op before
+  /// readiness.
+  void PublishRouterSnapshot();
+
   // Pool first: shards hold ExecContexts pointing at it (destroy last).
   std::unique_ptr<ThreadPool> pool_;
   ExecContext exec_;
@@ -259,6 +279,8 @@ class ShardedAffinity {
   /// (CHECKed in CrossMomentCache), and Load starts restored routers at 1.
   std::uint64_t cross_generation_ = 0;
   mutable core::CrossSweepStats cross_sweep_stats_;
+  /// Epoch publication point for lock-free router serving (serving()).
+  std::unique_ptr<serve::EpochPublisher<RouterSnapshot>> publisher_;
 };
 
 }  // namespace affinity::shard
