@@ -439,7 +439,8 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
   std::size_t rekeys = 0;
   std::size_t rekeys_skipped = 0;
   if (scape_ != nullptr) {
-    AFFINITY_ASSIGN_OR_RETURN(rekeys, scape_->Refresh(*model_, exec, &rekeys_skipped));
+    AFFINITY_ASSIGN_OR_RETURN(rekeys,
+                              scape_->Refresh(*model_, exec, &rekeys_skipped, scape_delta_log_));
   }
 
   // ---- Drift monitor: escalate when the population residual level left
@@ -505,6 +506,16 @@ MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>&
     // Shards refresh concurrently: the slowest one is the latency the
     // router's append actually paid.
     out.last_refresh_seconds = std::max(out.last_refresh_seconds, p.last_refresh_seconds);
+    out.serve_fallbacks += p.serve_fallbacks;
+    out.epochs_published += p.epochs_published;
+    out.epochs_delta += p.epochs_delta;
+    out.window_segments_reused += p.window_segments_reused;
+    out.scape_runs_shared += p.scape_runs_shared;
+    out.scape_runs_spliced += p.scape_runs_spliced;
+    out.snapshot_bytes_copied += p.snapshot_bytes_copied;
+    out.publish_seconds += p.publish_seconds;
+    // Shards publish concurrently too: max, like the refresh latencies.
+    out.last_publish_seconds = std::max(out.last_publish_seconds, p.last_publish_seconds);
     if (p.baseline_mean_residual > 0.0 || p.mean_relative_residual > 0.0) {
       ++with_residual;
       residual_sum += p.mean_relative_residual;

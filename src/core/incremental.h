@@ -112,6 +112,20 @@ struct MaintenanceProfile {
   double mean_relative_residual = 0.0;
   double baseline_mean_residual = 0.0;
 
+  /// Serve-path publication accounting. These are filled by the epoch
+  /// publisher (streaming / shard router), NOT by the maintainer, so
+  /// AbsorbRefresh deliberately leaves them alone — the publish happens
+  /// after the refresh's accounting is absorbed.
+  std::size_t serve_fallbacks = 0;          ///< kUnavailable → live-engine answers
+  std::size_t epochs_published = 0;         ///< serving snapshots published
+  std::size_t epochs_delta = 0;             ///< ... of which via the delta path
+  std::size_t window_segments_reused = 0;   ///< COW window segments shared with prior epoch
+  std::size_t scape_runs_shared = 0;        ///< flat trees shared wholesale with prior epoch
+  std::size_t scape_runs_spliced = 0;       ///< flat trees rebuilt by dirty-range splice
+  std::size_t snapshot_bytes_copied = 0;    ///< bytes materialized across publishes
+  double publish_seconds = 0.0;             ///< cumulative publication wall time
+  double last_publish_seconds = 0.0;        ///< publication wall time, last epoch
+
   /// Folds one refresh's accounting (a maintainer's `last_*` readings plus
   /// its residual levels) into this cumulative record — used by the stream
   /// to accumulate across maintainer generations and by the shard router
@@ -185,6 +199,12 @@ class IncrementalMaintainer {
   /// The analysis window length (rows).
   std::size_t window() const { return window_; }
 
+  /// Directs the SCAPE refresh inside each Advance to record its dirty
+  /// ξ-ranges into `log` (see ScapeIndex::Refresh) — the contract the
+  /// delta snapshot builder needs. Pass nullptr to stop recording. The
+  /// log must outlive the maintainer or be reset before destruction.
+  void set_scape_delta_log(ScapeDeltaLog* log) { scape_delta_log_ = log; }
+
  private:
   /// One maintained relationship: the hash slot it publishes into plus its
   /// windowed right-hand-side accumulators and monitor state.
@@ -236,6 +256,7 @@ class IncrementalMaintainer {
 
   AffinityModel* model_ = nullptr;
   ScapeIndex* scape_ = nullptr;
+  ScapeDeltaLog* scape_delta_log_ = nullptr;
   IncrementalOptions options_;
   std::size_t window_ = 0;
   std::size_t n_ = 0;

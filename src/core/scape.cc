@@ -194,10 +194,12 @@ StatusOr<ScapeIndex> ScapeIndex::Build(const AffinityModel& model, const ScapeOp
 }
 
 StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const ExecContext& exec,
-                                          std::size_t* rekeys_skipped) {
+                                          std::size_t* rekeys_skipped, ScapeDeltaLog* delta) {
+  if (delta != nullptr) delta->Reset(pair_pivots_.size(), loc_pivots_.size());
   // ---- Pair-level pivot nodes. ---------------------------------------------
-  // Per-pivot work is private to its chunk item; move and skip counts merge
-  // in chunk-index order so the totals are thread-count invariant.
+  // Per-pivot work is private to its chunk item (including its rows of the
+  // delta log); move and skip counts merge in chunk-index order so the
+  // totals are thread-count invariant.
   std::vector<std::size_t> moves(ExecNumChunks(pair_pivots_.size()), 0);
   std::vector<std::size_t> skips(ExecNumChunks(pair_pivots_.size()), 0);
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
@@ -239,6 +241,9 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
                                           std::sqrt(su.sumsq * sv.sumsq)};
             for (int family = 0; family < 2; ++family) {
               PairTree& pt = node.trees[static_cast<std::size_t>(family)];
+              ScapeDeltaRange* dirty =
+                  delta != nullptr ? &delta->pair[slot][static_cast<std::size_t>(family)]
+                                   : nullptr;
               const double u = normalizer[family];
               const double xi = pt.norm > 0.0 ? Dot3(pt.alpha, beta) / pt.norm : 0.0;
               const bool in_tree = pt.norm > 0.0 && u > 0.0;
@@ -261,9 +266,11 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
                     return Status::Internal("SCAPE refresh: entry missing from tree");
                   }
                   ++ops;
+                  if (dirty != nullptr) dirty->Touch(old_key, xi);
                 } else {
                   pt.tree.Insert(xi, SeqEntry{e, u, xi});
                   ++ops;
+                  if (dirty != nullptr) dirty->Touch(xi, xi);
                 }
               } else {
                 if (was_in_tree) {
@@ -271,6 +278,7 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
                     return Status::Internal("SCAPE refresh: entry missing from tree");
                   }
                   ++ops;
+                  if (dirty != nullptr) dirty->Touch(old_key, old_key);
                 }
                 pt.degenerate.push_back(SeqEntry{e, u, xi});
               }
@@ -318,6 +326,9 @@ StatusOr<std::size_t> ScapeIndex::Refresh(const AffinityModel& model, const Exec
               if (!lt.tree.ReKey(lt.member_keys[i], xi,
                                  [&](const ts::SeriesId& s) { return s == v; })) {
                 return Status::Internal("SCAPE refresh: series entry missing from tree");
+              }
+              if (delta != nullptr) {
+                delta->loc[l][static_cast<std::size_t>(f)].Touch(lt.member_keys[i], xi);
               }
               lt.member_keys[i] = xi;
               ++ops;

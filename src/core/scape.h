@@ -108,6 +108,44 @@ struct ScapeTopKResult {
   std::size_t examined = 0;
 };
 
+/// Dirty ξ-interval of one (pivot, measure-family) tree across one
+/// `ScapeIndex::Refresh`, for the serving layer's delta flatten
+/// (DESIGN.md §11). The contract: every entry whose key ξ, cached
+/// normalizer U, or tree membership changed during the refresh has both
+/// its old and its new key inside [lo, hi]. Entries strictly outside the
+/// interval were left untouched (the sparse-movement fast path), so their
+/// sorted (key, entry) subsequence is identical to the previous epoch and
+/// a flattened replica may splice it wholesale. `moved == 0` means the
+/// tree is bit-identical to the previous epoch.
+struct ScapeDeltaRange {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t moved = 0;  ///< move operations recorded (0 = tree clean)
+
+  /// Folds one move whose old key was `a` and new key is `b`.
+  void Touch(double a, double b) {
+    lo = std::min(lo, std::min(a, b));
+    hi = std::max(hi, std::max(a, b));
+    ++moved;
+  }
+};
+
+/// Per-refresh dirty-range log, indexed like the index's pivot structures:
+/// `pair[pivot][family]` (family 0 = covariance, 1 = dot product) and
+/// `loc[cluster][family]` (0 = mean, 1 = median, 2 = mode). Valid only for
+/// the refresh that filled it — consumers must use it against the prior
+/// epoch's flatten of the same structure and discard it after any rebuild,
+/// restore, or escalation.
+struct ScapeDeltaLog {
+  std::vector<std::array<ScapeDeltaRange, 2>> pair;
+  std::vector<std::array<ScapeDeltaRange, 3>> loc;
+
+  void Reset(std::size_t pair_pivots, std::size_t loc_pivots) {
+    pair.assign(pair_pivots, {});
+    loc.assign(loc_pivots, {});
+  }
+};
+
 /// K-way heap merge of best-first top-k runs (the gather half of a
 /// scatter-gather top-k, DESIGN.md §9): each run must already be ordered
 /// best-first under `largest`; the merged result is the global best `k`
@@ -166,8 +204,14 @@ class ScapeIndex {
   /// the equal-key order can differ from a from-scratch rebuild (the rebuild
   /// files them in member order; the skip leaves the stale placement). Keys,
   /// entry sets, and query answers are unaffected.
+  ///
+  /// When `delta` is non-null it is reset to this index's pivot shape and
+  /// receives the refresh's dirty ξ-ranges per (pivot, family) — the
+  /// ScapeDeltaRange contract above. Each pivot is recorded by the one
+  /// chunk that owns it, so the log is identical at any thread count.
   StatusOr<std::size_t> Refresh(const AffinityModel& model, const ExecContext& exec = {},
-                                std::size_t* rekeys_skipped = nullptr);
+                                std::size_t* rekeys_skipped = nullptr,
+                                ScapeDeltaLog* delta = nullptr);
 
   /// Top-k query (extension): the k entities with the largest (or smallest)
   /// value of `measure`, best-first.

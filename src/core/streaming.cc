@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/stopwatch.h"
+
 namespace affinity::core {
 
 namespace {
@@ -163,6 +165,7 @@ StatusOr<StreamingAffinity> StreamingAffinity::Restore(AffinityModel model,
                                       stream.framework_->mutable_scape(), options.incremental,
                                       exec));
     stream.maintainer_ = std::make_unique<IncrementalMaintainer>(std::move(maintainer));
+    stream.maintainer_->set_scape_delta_log(stream.scape_delta_log_.get());
     stream.maintenance_.mean_relative_residual =
         stream.maintainer_->profile().mean_relative_residual;
     stream.maintenance_.baseline_mean_residual =
@@ -217,6 +220,11 @@ AppendResult StreamingAffinity::Refresh() {
   AppendResult out;
   if (options_.mode == UpdateMode::kIncremental && maintainer_ != nullptr) {
     out.mode = UpdateMode::kIncremental;
+    // The delta publication path may run only when the published epoch
+    // still equals the pre-Advance structures — capture that before the
+    // maintainer mutates them (and invalidates the equality).
+    const bool try_delta = delta_publish_valid_;
+    delta_publish_valid_ = false;
     auto escalate = maintainer_->Advance(pending_, pending_used_, exec_);
     pending_used_ = 0;
     if (!escalate.ok()) {
@@ -247,7 +255,7 @@ AppendResult StreamingAffinity::Refresh() {
     // (a rebuild constructs fresh sketches itself).
     out.status = framework_->RefreshWf();
     out.refreshed = out.status.ok();
-    if (out.refreshed) PublishServingSnapshot();
+    if (out.refreshed) PublishServingSnapshot(try_delta);
     return out;
   }
   out.mode = UpdateMode::kRebuild;
@@ -257,6 +265,9 @@ AppendResult StreamingAffinity::Refresh() {
 }
 
 Status StreamingAffinity::Rebuild() {
+  // A rebuild replaces the whole stack: whatever the delta log covered is
+  // history the new trees do not share.
+  delta_publish_valid_ = false;
   if (rows_ < options_.window) {
     return Status::FailedPrecondition("need " + std::to_string(options_.window) +
                                       " rows before the first rebuild (have " +
@@ -273,6 +284,7 @@ Status StreamingAffinity::Rebuild() {
         IncrementalMaintainer::Create(framework_->mutable_model(), framework_->mutable_scape(),
                                       options_.incremental, exec_));
     maintainer_ = std::make_unique<IncrementalMaintainer>(std::move(maintainer));
+    maintainer_->set_scape_delta_log(scape_delta_log_.get());
     maintenance_.mean_relative_residual = maintainer_->profile().mean_relative_residual;
     maintenance_.baseline_mean_residual = maintainer_->profile().baseline_mean_residual;
   }
@@ -284,15 +296,58 @@ Status StreamingAffinity::Rebuild() {
   return Status::OK();
 }
 
-void StreamingAffinity::PublishServingSnapshot() {
+void StreamingAffinity::PublishServingSnapshot(bool try_delta) {
   if (framework_ == nullptr) return;
   if (publisher_ == nullptr) {
-    publisher_ = std::make_unique<serve::EpochPublisher<serve::ServingSnapshot>>();
+    publisher_ = std::make_unique<serve::EpochPublisher<serve::ServingSnapshot>>(
+        options_.serving_history);
   }
   ++serving_generation_;
-  publisher_->Publish(serve::SnapshotBuilder::Build(framework_->model(), framework_->scape(),
-                                                    framework_->engine().Capabilities(),
-                                                    serving_generation_, rows_));
+  Stopwatch watch;
+  serve::PublishStats stats;
+  std::shared_ptr<const serve::ServingSnapshot> next;
+  if (try_delta && maintainer_ != nullptr) {
+    // Incremental epoch: COW window segments, shared/spliced SCAPE runs.
+    // BuildDelta declines (nullptr) when any precondition fails — shape
+    // drift, missing prior, compacted window — and the full flatten below
+    // takes over; either path publishes identical bits.
+    if (auto prior = publisher_->Acquire(); prior != nullptr) {
+      next = serve::SnapshotBuilder::BuildDelta(
+          framework_->model(), framework_->scape(), *scape_delta_log_, table_, *prior,
+          framework_->engine().Capabilities(), serving_generation_, rows_, exec_, &stats,
+          std::move(serving_scratch_));
+      serving_scratch_.reset();
+    }
+  }
+  if (next == nullptr) {
+    next = serve::SnapshotBuilder::Build(framework_->model(), framework_->scape(),
+                                         framework_->engine().Capabilities(),
+                                         serving_generation_, rows_, &stats);
+  }
+  // Recycle the retired epoch (no surviving readers) into the next delta
+  // build: its tables are rewritten in place, so steady-state publication
+  // neither frees nor allocates the replica's memory.
+  if (auto retired = publisher_->Publish(std::move(next));
+      retired != nullptr && retired.use_count() == 1) {
+    serving_scratch_ = std::const_pointer_cast<serve::ServingSnapshot>(std::move(retired));
+  }
+  delta_publish_valid_ = true;
+  const double seconds = watch.ElapsedSeconds();
+  ++maintenance_.epochs_published;
+  if (stats.delta) ++maintenance_.epochs_delta;
+  maintenance_.window_segments_reused += stats.window_segments_reused;
+  maintenance_.scape_runs_shared += stats.trees_shared;
+  maintenance_.scape_runs_spliced += stats.trees_spliced;
+  maintenance_.snapshot_bytes_copied += stats.bytes_copied;
+  maintenance_.publish_seconds += seconds;
+  maintenance_.last_publish_seconds = seconds;
+}
+
+std::shared_ptr<const serve::ServingSnapshot> StreamingAffinity::BuildColdSnapshot() const {
+  if (framework_ == nullptr) return nullptr;
+  return serve::SnapshotBuilder::Build(framework_->model(), framework_->scape(),
+                                       framework_->engine().Capabilities(), serving_generation_,
+                                       snapshot_row_);
 }
 
 // ---------------------------------------------------------------------------
@@ -504,6 +559,7 @@ StatusOr<MecResponse> StreamingAffinity::Mec(const MecRequest& request,
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotMec(*snap, request, options.method);
       if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().Mec(request, options.method);
   }
@@ -520,6 +576,7 @@ StatusOr<SelectionResult> StreamingAffinity::Met(const MetRequest& request,
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotMet(*snap, request, options.method);
       if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().Met(request, options.method);
   }
@@ -540,6 +597,7 @@ StatusOr<SelectionResult> StreamingAffinity::Mer(const MerRequest& request,
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotMer(*snap, request, options.method);
       if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().Mer(request, options.method);
   }
@@ -557,6 +615,7 @@ StatusOr<TopKResult> StreamingAffinity::TopK(const TopKRequest& request,
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotTopK(*snap, request, options.method);
       if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().TopK(request, options.method);
   }

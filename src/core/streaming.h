@@ -41,6 +41,8 @@
 /// update in place and pending rows are copied into a preallocated pool
 /// whose capacity never shrinks (verified by a bench_micro counter).
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,6 +80,11 @@ struct StreamingOptions {
   /// Storage segment capacity; 0 derives one from the window so resident
   /// rows stay O(window) after compaction.
   std::size_t segment_capacity = 0;
+  /// Historical serving epochs the publisher pins beyond the current one
+  /// (DESIGN.md §11): `serving_epoch(generation)` can recover any of the
+  /// last `serving_history` superseded epochs without copying. 0 keeps
+  /// only the current epoch (previous behaviour).
+  std::size_t serving_history = 0;
 };
 
 /// Validates a streaming configuration for `series_count` series — the
@@ -187,8 +194,16 @@ class StreamingAffinity {
   std::size_t refresh_count() const { return refreshes_; }
 
   /// Maintenance accounting of the incremental path (zeros in kRebuild
-  /// mode or before the first build).
-  const MaintenanceProfile& maintenance() const { return maintenance_; }
+  /// mode or before the first build), plus serve-path publication and
+  /// fallback counters. Returned by value: the fallback counter is
+  /// maintained by concurrent readers and folded in at call time.
+  MaintenanceProfile maintenance() const {
+    MaintenanceProfile p = maintenance_;
+    if (serve_fallbacks_ != nullptr) {
+      p.serve_fallbacks += serve_fallbacks_->load(std::memory_order_relaxed);
+    }
+    return p;
+  }
 
   /// Per-series rolling moments over the trailing window, maintained in
   /// O(1) per append (`ts/rolling`) — the live marginals the freshness
@@ -245,6 +260,20 @@ class StreamingAffinity {
     return publisher_ != nullptr ? publisher_->Acquire() : nullptr;
   }
 
+  /// A specific epoch by generation: the current one, or any superseded
+  /// epoch still pinned by the publisher's history ring
+  /// (`StreamingOptions::serving_history`). nullptr when that generation
+  /// was never published or has been evicted.
+  std::shared_ptr<const serve::ServingSnapshot> serving_epoch(std::uint64_t generation) const {
+    return publisher_ != nullptr ? publisher_->AcquireEpoch(generation) : nullptr;
+  }
+
+  /// Flattens the live stack from scratch into a snapshot stamped with the
+  /// *current* generation and snapshot row — the oracle the delta
+  /// publication path must match bitwise (tested per epoch). nullptr
+  /// before the first build. Not published; purely an inspection surface.
+  std::shared_ptr<const serve::ServingSnapshot> BuildColdSnapshot() const;
+
  private:
   StreamingAffinity(storage::DataMatrixTable table, StreamingOptions options,
                     std::unique_ptr<ThreadPool> pool, ExecContext exec)
@@ -284,8 +313,13 @@ class StreamingAffinity {
   /// publishes it (lock-free swap). Called at every publication point —
   /// incremental refresh success, full rebuild, restore — i.e. exactly
   /// when the live structures change, so a published snapshot always
-  /// equals the live structures until the next publication.
-  void PublishServingSnapshot();
+  /// equals the live structures until the next publication. With
+  /// `try_delta` (and a maintainer-recorded dirty-range log that covers
+  /// exactly the moves since the prior epoch) the flatten goes through
+  /// SnapshotBuilder::BuildDelta — COW window, shared/spliced SCAPE runs —
+  /// and falls back to the full Build when any precondition fails; the
+  /// published bits are identical either way.
+  void PublishServingSnapshot(bool try_delta = false);
 
   // Declared first so it outlives the framework snapshot whose engine
   // holds an ExecContext pointing at it (members destroy in reverse).
@@ -313,6 +347,30 @@ class StreamingAffinity {
   /// inside EpochPublisher is not.
   std::unique_ptr<serve::EpochPublisher<serve::ServingSnapshot>> publisher_;
   std::uint64_t serving_generation_ = 0;
+  /// The last *retired* epoch with no surviving readers, held for memory
+  /// recycling: the next delta build rewrites its tables in place instead
+  /// of freeing them and allocating fresh ones (the dominant fixed cost of
+  /// an interval-1 publication). Never reachable by readers — recycled
+  /// only when the publisher confirmed this was the final reference.
+  std::shared_ptr<serve::ServingSnapshot> serving_scratch_;
+  /// Dirty ξ-range log the maintainer's SCAPE refresh writes and the delta
+  /// publication path consumes (one refresh of provenance at a time).
+  /// Heap-held: the maintainer keeps a pointer to it, and the stream is
+  /// moved out of its factory functions.
+  std::unique_ptr<ScapeDeltaLog> scape_delta_log_ = std::make_unique<ScapeDeltaLog>();
+  /// True while the currently published epoch equals the live structures
+  /// (set by every successful publish, cleared the moment maintenance
+  /// mutates them). The next refresh may publish via the delta path only
+  /// when this held *before* its Advance — then `scape_delta_log_`
+  /// describes exactly the moves between the published epoch and the live
+  /// trees. An unpublished refresh (RefreshWf failure) leaves it false, so
+  /// the following epoch falls back to a full flatten instead of splicing
+  /// against a stale prior.
+  bool delta_publish_valid_ = false;
+  /// kUnavailable live-engine fallbacks taken by concurrent snapshot
+  /// readers; heap-held so the stream stays movable despite the atomic.
+  std::unique_ptr<std::atomic<std::size_t>> serve_fallbacks_ =
+      std::make_unique<std::atomic<std::size_t>>(0);
 };
 
 }  // namespace affinity::core

@@ -595,6 +595,46 @@ StatusOr<double> AffinityModel::PairMeasure(Measure measure, const ts::SequenceP
   }
 }
 
+Status AffinityModel::PairMeasures6(const ts::SequencePair& e, double out[6]) const {
+  if (e.v >= data_.n()) return Status::OutOfRange("series id out of range");
+  const AffineRecord* rec = FindRelationship(e);
+  if (rec == nullptr) {
+    return Status::NotFound("no affine relationship for pair (" + std::to_string(e.u) + "," +
+                            std::to_string(e.v) + ")");
+  }
+  PairMeasures6From(*rec, e, out);
+  return Status::OK();
+}
+
+void AffinityModel::PairMeasures6From(const AffineRecord& rec, const ts::SequencePair& e,
+                                      double out[6]) const {
+  const PairMatrixMeasures* pm = FindPivotMeasures(rec.pivot);
+  AFFINITY_CHECK(pm != nullptr);
+  PairMeasures6From(rec, e, *pm, out);
+}
+
+void AffinityModel::PairMeasures6From(const AffineRecord& rec, const ts::SequencePair& e,
+                                      const PairMatrixMeasures& pm, double out[6]) const {
+  // The same propagation and normalizer expressions as PairMeasure /
+  // PairNormalizer, evaluated once and reused — every quotient below sees
+  // the identical operands, so each slot matches the per-measure path bit
+  // for bit.
+  const double cov = PropagateCovariance(pm, rec.transform);
+  const double dot = PropagateDotProduct(pm, rec.transform);
+  const SeriesStats& su = series_stats_[e.u];
+  const SeriesStats& sv = series_stats_[e.v];
+  const double u_corr = std::sqrt(su.variance * sv.variance);
+  const double u_cos = std::sqrt(su.sumsq * sv.sumsq);
+  out[0] = cov;
+  out[1] = dot;
+  out[2] = u_corr == 0.0 ? 0.0 : cov / u_corr;
+  out[3] = u_cos == 0.0 ? 0.0 : dot / u_cos;
+  const double jaccard_denom = su.sumsq + sv.sumsq - dot;
+  out[4] = jaccard_denom == 0.0 ? 0.0 : dot / jaccard_denom;
+  const double dice_denom = su.sumsq + sv.sumsq;
+  out[5] = dice_denom == 0.0 ? 0.0 : 2.0 * dot / dice_denom;
+}
+
 StatusOr<double> AffinityModel::PairNormalizer(Measure measure, const ts::SequencePair& e) const {
   if (e.v >= data_.n()) return Status::OutOfRange("series id out of range");
   switch (measure) {

@@ -207,6 +207,30 @@ class AffinityModel {
   /// Exact stored normalizer U_e of a separable D-measure (Eq. 8).
   StatusOr<double> PairNormalizer(Measure measure, const ts::SequencePair& e) const;
 
+  /// All six pair measures of `e` (covariance .. Dice, in `Measure -
+  /// kCovariance` table order) through a single relationship lookup — the
+  /// serving layer's bulk WA fill (DESIGN.md §11). Each `out[t]` is
+  /// bitwise identical to the corresponding PairMeasure call (same
+  /// expressions, same evaluation order; the propagated T-values and the
+  /// normalizers are shared, which PairMeasure recomputes per call).
+  /// NotFound when the (truncated) model lacks the relationship.
+  Status PairMeasures6(const ts::SequencePair& e, double out[6]) const;
+
+  /// As PairMeasures6 with the relationship already in hand — the scatter
+  /// form behind the serving layer's bulk WA fill: iterating the
+  /// relationship hash once (`ForEachRelationship`) and calling this per
+  /// record skips the per-pair hash lookup entirely. `rec` must be `e`'s
+  /// record (as returned by FindRelationship); the six values are bitwise
+  /// identical to the lookup form.
+  void PairMeasures6From(const AffineRecord& rec, const ts::SequencePair& e,
+                         double out[6]) const;
+
+  /// Same, with the pivot's matrix measures already resolved — the bulk
+  /// fill resolves each of the ~k² pivots once instead of hashing per
+  /// pair. Identical bits either way.
+  void PairMeasures6From(const AffineRecord& rec, const ts::SequencePair& e,
+                         const PairMatrixMeasures& pm, double out[6]) const;
+
   /// Iterates all relationships: fn(const ts::SequencePair&, const AffineRecord&).
   template <typename Fn>
   void ForEachRelationship(Fn&& fn) const {

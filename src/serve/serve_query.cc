@@ -219,7 +219,7 @@ StatusOr<SelectionResult> SelectServed(const ServingSnapshot& snap, Measure meas
   if (n < 2) return out;
   std::vector<core::kernels::Marginals> marginals;
   if (method == QueryMethod::kNaive) {
-    marginals = core::kernels::HoistMarginals(snap.data, ExecContext{});
+    marginals = core::kernels::HoistMarginals(snap.data.dense(), ExecContext{});
   }
   for (std::size_t u = 0; u + 1 < n; ++u) {
     for (std::size_t v = u + 1; v < n; ++v) {
@@ -258,9 +258,9 @@ StatusOr<ScapeQueryResult> FlatLocationThreshold(const ServingSnapshot& snap, in
     const FlatLocTree& lt = node.trees[static_cast<std::size_t>(family)];
     const double tau_prime = tau / lt.norm;
     if (greater) {
-      AcceptSeriesRun(lt.series, FlatUpperBound(lt.keys, tau_prime), lt.keys.size(), &out);
+      AcceptSeriesRun(lt.runs->series, FlatUpperBound(lt.runs->keys, tau_prime), lt.runs->keys.size(), &out);
     } else {
-      AcceptSeriesRun(lt.series, 0, FlatLowerBound(lt.keys, tau_prime), &out);
+      AcceptSeriesRun(lt.runs->series, 0, FlatLowerBound(lt.runs->keys, tau_prime), &out);
     }
   }
   return out;
@@ -273,8 +273,8 @@ StatusOr<ScapeQueryResult> FlatLocationRange(const ServingSnapshot& snap, int fa
     const FlatLocTree& lt = node.trees[static_cast<std::size_t>(family)];
     // [ub(lo'), lb(hi')) is exactly the strict (lo', hi') band; AcceptSeriesRun
     // no-ops on an inverted run (hi' at or below the first key past lo').
-    AcceptSeriesRun(lt.series, FlatUpperBound(lt.keys, lo / lt.norm),
-                    FlatLowerBound(lt.keys, hi / lt.norm), &out);
+    AcceptSeriesRun(lt.runs->series, FlatUpperBound(lt.runs->keys, lo / lt.norm),
+                    FlatLowerBound(lt.runs->keys, hi / lt.norm), &out);
   }
   return out;
 }
@@ -292,9 +292,9 @@ StatusOr<ScapeQueryResult> FlatPairThreshold(const ServingSnapshot& snap, Measur
       if (pt.norm > 0.0) {
         const double tau_prime = tau / pt.norm;
         if (greater) {
-          AcceptPairRun(pt.pairs, FlatUpperBound(pt.keys, tau_prime), pt.keys.size(), &out);
+          AcceptPairRun(pt.runs->pairs, FlatUpperBound(pt.runs->keys, tau_prime), pt.runs->keys.size(), &out);
         } else {
-          AcceptPairRun(pt.pairs, 0, FlatLowerBound(pt.keys, tau_prime), &out);
+          AcceptPairRun(pt.runs->pairs, 0, FlatLowerBound(pt.runs->keys, tau_prime), &out);
         }
       } else {
         const bool zero_in = greater ? 0.0 > tau : 0.0 < tau;
@@ -313,7 +313,7 @@ StatusOr<ScapeQueryResult> FlatPairThreshold(const ServingSnapshot& snap, Measur
     }
 
     // D-measure §5.3 pruning over the flat key array.
-    if (pt.norm > 0.0 && !pt.keys.empty()) {
+    if (pt.norm > 0.0 && !pt.runs->keys.empty()) {
       const double b1 = tau * pt.u_min;
       const double b2 = tau * pt.u_max;
       const double lo_key = std::min(b1, b2) / pt.norm;
@@ -324,21 +324,21 @@ StatusOr<ScapeQueryResult> FlatPairThreshold(const ServingSnapshot& snap, Measur
       // for `greater` the verify band precedes the accepted tail; for
       // `lesser` the accepted head precedes the verify band.
       if (greater) {
-        const std::size_t vend = FlatUpperBound(pt.keys, hi_key);
-        for (std::size_t i = FlatLowerBound(pt.keys, lo_key); i < vend; ++i) {
-          const double value = pt.norm * pt.keys[i] / pt.us[i];
+        const std::size_t vend = FlatUpperBound(pt.runs->keys, hi_key);
+        for (std::size_t i = FlatLowerBound(pt.runs->keys, lo_key); i < vend; ++i) {
+          const double value = pt.norm * pt.runs->keys[i] / pt.runs->us[i];
           ++out.prune.verified;
-          if (value > tau) out.pairs.push_back(pt.pairs[i]);
+          if (value > tau) out.pairs.push_back(pt.runs->pairs[i]);
         }
-        AcceptPairRun(pt.pairs, vend, pt.keys.size(), &out);
+        AcceptPairRun(pt.runs->pairs, vend, pt.runs->keys.size(), &out);
       } else {
-        const std::size_t vbegin = FlatLowerBound(pt.keys, lo_key);
-        AcceptPairRun(pt.pairs, 0, vbegin, &out);
-        const std::size_t vend = FlatUpperBound(pt.keys, hi_key);
+        const std::size_t vbegin = FlatLowerBound(pt.runs->keys, lo_key);
+        AcceptPairRun(pt.runs->pairs, 0, vbegin, &out);
+        const std::size_t vend = FlatUpperBound(pt.runs->keys, hi_key);
         for (std::size_t i = vbegin; i < vend; ++i) {
-          const double value = pt.norm * pt.keys[i] / pt.us[i];
+          const double value = pt.norm * pt.runs->keys[i] / pt.runs->us[i];
           ++out.prune.verified;
-          if (value < tau) out.pairs.push_back(pt.pairs[i]);
+          if (value < tau) out.pairs.push_back(pt.runs->pairs[i]);
         }
       }
     }
@@ -362,8 +362,8 @@ StatusOr<ScapeQueryResult> FlatPairRange(const ServingSnapshot& snap, Measure me
 
     if (!derived) {
       if (pt.norm > 0.0) {
-        AcceptPairRun(pt.pairs, FlatUpperBound(pt.keys, lo / pt.norm),
-                      FlatLowerBound(pt.keys, hi / pt.norm), &out);
+        AcceptPairRun(pt.runs->pairs, FlatUpperBound(pt.runs->keys, lo / pt.norm),
+                      FlatLowerBound(pt.runs->keys, hi / pt.norm), &out);
         for (const FlatDegenerateEntry& s : pt.degenerate) {
           const double value = pt.norm * s.xi;
           if (lo < value && value < hi) out.pairs.push_back(s.pair);
@@ -375,7 +375,7 @@ StatusOr<ScapeQueryResult> FlatPairRange(const ServingSnapshot& snap, Measure me
       continue;
     }
 
-    if (pt.norm > 0.0 && !pt.keys.empty()) {
+    if (pt.norm > 0.0 && !pt.runs->keys.empty()) {
       const double l1 = lo * pt.u_min, l2 = lo * pt.u_max;
       const double h1 = hi * pt.u_min, h2 = hi * pt.u_max;
       const double reject_below = std::min(l1, l2) / pt.norm;
@@ -387,20 +387,20 @@ StatusOr<ScapeQueryResult> FlatPairRange(const ServingSnapshot& snap, Measure me
       // contiguous run [ub(accept_lo), lb(accept_hi)), clamped so an empty
       // or out-of-walk band degenerates to verify-everything — identical
       // accept/verify decisions, in the same ascending order.
-      const std::size_t begin = FlatUpperBound(pt.keys, reject_below);
-      const std::size_t end = std::max(begin, FlatLowerBound(pt.keys, reject_above));
-      const std::size_t a = std::clamp(FlatUpperBound(pt.keys, accept_lo), begin, end);
-      const std::size_t b = std::clamp(std::max(a, FlatLowerBound(pt.keys, accept_hi)), a, end);
+      const std::size_t begin = FlatUpperBound(pt.runs->keys, reject_below);
+      const std::size_t end = std::max(begin, FlatLowerBound(pt.runs->keys, reject_above));
+      const std::size_t a = std::clamp(FlatUpperBound(pt.runs->keys, accept_lo), begin, end);
+      const std::size_t b = std::clamp(std::max(a, FlatLowerBound(pt.runs->keys, accept_hi)), a, end);
       for (std::size_t i = begin; i < a; ++i) {
-        const double value = pt.norm * pt.keys[i] / pt.us[i];
+        const double value = pt.norm * pt.runs->keys[i] / pt.runs->us[i];
         ++out.prune.verified;
-        if (lo < value && value < hi) out.pairs.push_back(pt.pairs[i]);
+        if (lo < value && value < hi) out.pairs.push_back(pt.runs->pairs[i]);
       }
-      AcceptPairRun(pt.pairs, a, b, &out);
+      AcceptPairRun(pt.runs->pairs, a, b, &out);
       for (std::size_t i = b; i < end; ++i) {
-        const double value = pt.norm * pt.keys[i] / pt.us[i];
+        const double value = pt.norm * pt.runs->keys[i] / pt.runs->us[i];
         ++out.prune.verified;
-        if (lo < value && value < hi) out.pairs.push_back(pt.pairs[i]);
+        if (lo < value && value < hi) out.pairs.push_back(pt.runs->pairs[i]);
       }
     }
     if (lo < 0.0 && 0.0 < hi) {
@@ -475,25 +475,25 @@ StatusOr<ScapeTopKResult> FlatTopK(const ServingSnapshot& snap, Measure measure,
    public:
     FlatPairStream(const FlatPairTree* ft, bool largest, bool derived, double sign)
         : ft_(ft), largest_(largest), derived_(derived), sign_(sign) {
-      pos_ = largest_ ? ft_->keys.size() - 1 : 0;
-      done_ = ft_->keys.empty();
+      pos_ = largest_ ? ft_->runs->keys.size() - 1 : 0;
+      done_ = ft_->runs->keys.empty();
     }
 
     bool Exhausted() const override { return done_; }
 
     double Bound() const override {
       if (done_) return -kInf;
-      const double xi = ft_->keys[pos_];
+      const double xi = ft_->runs->keys[pos_];
       if (!derived_) return sign_ * ft_->norm * xi;
       const double scaled = sign_ * ft_->norm * xi;
       return scaled >= 0 ? scaled / ft_->u_min : scaled / ft_->u_max;
     }
 
     Candidate Take() override {
-      const double xi = ft_->keys[pos_];
+      const double xi = ft_->runs->keys[pos_];
       Candidate c;
-      c.entry.pair = ft_->pairs[pos_];
-      const double raw = derived_ ? ft_->norm * xi / ft_->us[pos_] : ft_->norm * xi;
+      c.entry.pair = ft_->runs->pairs[pos_];
+      const double raw = derived_ ? ft_->norm * xi / ft_->runs->us[pos_] : ft_->norm * xi;
       c.entry.value = raw;
       c.value = sign_ * raw;
       if (largest_) {
@@ -504,7 +504,7 @@ StatusOr<ScapeTopKResult> FlatTopK(const ServingSnapshot& snap, Measure measure,
         }
       } else {
         ++pos_;
-        if (pos_ >= ft_->keys.size()) done_ = true;
+        if (pos_ >= ft_->runs->keys.size()) done_ = true;
       }
       return c;
     }
@@ -534,18 +534,18 @@ StatusOr<ScapeTopKResult> FlatTopK(const ServingSnapshot& snap, Measure measure,
    public:
     FlatLocStream(const FlatLocTree* lt, bool largest, double sign)
         : lt_(lt), largest_(largest), sign_(sign) {
-      pos_ = largest_ ? lt_->keys.size() - 1 : 0;
-      done_ = lt_->keys.empty();
+      pos_ = largest_ ? lt_->runs->keys.size() - 1 : 0;
+      done_ = lt_->runs->keys.empty();
     }
     bool Exhausted() const override { return done_; }
     double Bound() const override {
       if (done_) return -kInf;
-      return sign_ * lt_->norm * lt_->keys[pos_];
+      return sign_ * lt_->norm * lt_->runs->keys[pos_];
     }
     Candidate Take() override {
       Candidate c;
-      c.entry.series = lt_->series[pos_];
-      const double raw = lt_->norm * lt_->keys[pos_];
+      c.entry.series = lt_->runs->series[pos_];
+      const double raw = lt_->norm * lt_->runs->keys[pos_];
       c.entry.value = raw;
       c.value = sign_ * raw;
       if (largest_) {
@@ -556,7 +556,7 @@ StatusOr<ScapeTopKResult> FlatTopK(const ServingSnapshot& snap, Measure measure,
         }
       } else {
         ++pos_;
-        if (pos_ >= lt_->keys.size()) done_ = true;
+        if (pos_ >= lt_->runs->keys.size()) done_ = true;
       }
       return c;
     }
@@ -573,14 +573,14 @@ StatusOr<ScapeTopKResult> FlatTopK(const ServingSnapshot& snap, Measure measure,
   if (loc_family >= 0) {
     for (const FlatLocPivot& node : snap.loc_pivots) {
       const FlatLocTree& lt = node.trees[static_cast<std::size_t>(loc_family)];
-      if (!lt.keys.empty()) {
+      if (!lt.runs->keys.empty()) {
         streams.push_back(std::make_unique<FlatLocStream>(&lt, largest, sign));
       }
     }
   } else {
     for (const FlatPairPivot& node : snap.pair_pivots) {
       const FlatPairTree& pt = node.trees[static_cast<std::size_t>(pair_family)];
-      if (pt.norm > 0.0 && !pt.keys.empty()) {
+      if (pt.norm > 0.0 && !pt.runs->keys.empty()) {
         streams.push_back(std::make_unique<FlatPairStream>(&pt, largest, derived, sign));
       }
       if (!pt.degenerate.empty()) {
@@ -774,7 +774,7 @@ StatusOr<core::TopKResult> SnapshotTopK(const ServingSnapshot& snap,
   } else {
     std::vector<core::kernels::Marginals> marginals;
     if (method == QueryMethod::kNaive) {
-      marginals = core::kernels::HoistMarginals(snap.data, ExecContext{});
+      marginals = core::kernels::HoistMarginals(snap.data.dense(), ExecContext{});
     }
     std::size_t i = 0;
     for (std::size_t u = 0; u + 1 < n; ++u) {

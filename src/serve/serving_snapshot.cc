@@ -1,8 +1,114 @@
 #include "serve/serving_snapshot.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <utility>
 
 namespace affinity::serve {
+
+// ---------------------------------------------------------------------------
+// CowWindow
+
+CowWindow CowWindow::FromDense(ts::DataMatrix dense) {
+  CowWindow w;
+  w.m_ = dense.m();
+  w.n_ = dense.n();
+  w.anchor_ = dense.anchor_row();
+  w.names_ = dense.names();
+  w.lazy_ = std::make_shared<Lazy>();
+  Lazy* lazy = w.lazy_.get();
+  std::call_once(lazy->once, [&] { lazy->dense = std::move(dense); });
+  return w;
+}
+
+bool CowWindow::FromTable(const storage::DataMatrixTable& table, std::size_t first_row,
+                          std::size_t rows, std::vector<std::string> names, CowWindow* out) {
+  if (rows == 0 || table.series_count() == 0) return false;
+  if (first_row < table.first_retained_row()) return false;
+  if (first_row + rows > table.row_count()) return false;
+  if (names.size() != table.series_count()) return false;
+  CowWindow w;
+  w.m_ = rows;
+  w.n_ = table.series_count();
+  w.anchor_ = first_row;
+  w.names_ = std::move(names);
+  w.lazy_ = std::make_shared<Lazy>();
+  w.cols_.resize(w.n_);
+  const std::size_t end_row = first_row + rows;
+  for (std::size_t j = 0; j < w.n_; ++j) {
+    auto segments = table.ColumnSegments(static_cast<ts::SeriesId>(j));
+    if (!segments.ok()) return false;
+    std::size_t covered = 0;
+    for (auto& ref : *segments) {
+      const std::size_t seg_end = ref.first_row + ref.rows;
+      if (seg_end <= first_row || ref.first_row >= end_row) continue;
+      const std::size_t lo = std::max(ref.first_row, first_row);
+      const std::size_t hi = std::min(seg_end, end_row);
+      Span span;
+      span.data = ref.values->data() + (lo - ref.first_row);
+      span.owner = std::move(ref.values);
+      span.rows = hi - lo;
+      covered += span.rows;
+      w.cols_[j].push_back(std::move(span));
+    }
+    if (covered != rows) return false;
+  }
+  *out = std::move(w);
+  return true;
+}
+
+const ts::DataMatrix& CowWindow::Materialize() const {
+  Lazy* lazy = lazy_.get();
+  std::call_once(lazy->once, [&] {
+    la::Matrix values(m_, n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      double* dst = values.ColData(j);
+      std::size_t i = 0;
+      for (const Span& s : cols_[j]) {
+        std::copy(s.data, s.data + s.rows, dst + i);
+        i += s.rows;
+      }
+    }
+    ts::DataMatrix dense(std::move(values), names_);
+    dense.set_anchor_row(anchor_);
+    lazy->dense = std::move(dense);
+  });
+  return lazy->dense;
+}
+
+const double* CowWindow::ColumnData(ts::SeriesId id) const {
+  return Materialize().ColumnData(id);
+}
+
+const ts::DataMatrix& CowWindow::dense() const { return Materialize(); }
+
+std::size_t CowWindow::segment_count() const {
+  std::size_t count = 0;
+  for (const auto& col : cols_) count += col.size();
+  return count;
+}
+
+std::size_t CowWindow::SharedSegmentsWith(const CowWindow& prior) const {
+  if (cols_.empty() || prior.cols_.empty()) return 0;
+  std::size_t shared = 0;
+  // Columns keep their segment lists in row order, so matching by column
+  // index is enough (a buffer never migrates between series).
+  for (std::size_t j = 0; j < cols_.size() && j < prior.cols_.size(); ++j) {
+    for (const Span& s : cols_[j]) {
+      for (const Span& p : prior.cols_[j]) {
+        if (s.owner.get() == p.owner.get()) {
+          ++shared;
+          break;
+        }
+      }
+    }
+  }
+  return shared;
+}
+
+// ---------------------------------------------------------------------------
+// WA surface fills
 
 namespace {
 
@@ -60,25 +166,244 @@ void FillPairTables(const core::AffinityModel& model, ServingSnapshot* out) {
   }
 }
 
+/// The delta path's bulk variant: one relationship lookup per pair
+/// (`PairMeasures6`) filling all six tables, fanned out over `exec`.
+/// Each value is bitwise what FillPairTables stores; a missing
+/// relationship anywhere marks all six tables absent — the same final
+/// state FillPairTables reaches, because its only failure mode (NotFound)
+/// is measure-independent.
+void FillPairTablesBulk(const core::AffinityModel& model, const ExecContext& exec,
+                        ServingSnapshot* out) {
+  const std::size_t n = model.data().n();
+  if (n < 2) {
+    for (auto& flag : out->pair_ok) flag = true;
+    return;
+  }
+  const std::size_t pairs = ts::SequencePairCount(n);
+  // A complete model (every lex pair has its relationship — the only case
+  // where the tables can be present at all) is filled by *iterating* the
+  // relationship hash once and scattering each record's six measures to
+  // its lexicographic slot: zero per-pair hash lookups, which dominate
+  // the bulk fill on the per-pair path below. Each value goes through
+  // PairMeasures6From — bitwise what the lookup form stores.
+  if (model.relationship_count() == pairs) {
+    for (auto& table : out->pair_values) table.resize(pairs);
+    // The ~k² pivot matrix measures, resolved once into a small 4×
+    // oversized linear-probe table (multiply-shift hash): per-pair
+    // resolution is one predictable probe into a handful of cache lines,
+    // where both std::unordered_map::find (prime modulo) and a binary
+    // search (log k mispredicted branches) measurably drag the fill.
+    std::size_t cap = 16;
+    while (cap < model.pivot_count() * 4) cap <<= 1;
+    int shift = 64;
+    for (std::size_t c = cap; c > 1; c >>= 1) --shift;
+    std::vector<std::pair<std::uint64_t, const core::PairMatrixMeasures*>> pivots(
+        cap, {0, nullptr});
+    const auto slot_of = [shift](std::uint64_t key) {
+      return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> shift);
+    };
+    model.ForEachPivot([&](const core::PivotPair& p, const core::PairMatrixMeasures& pm) {
+      std::size_t s = slot_of(p.Key());
+      while (pivots[s].second != nullptr) s = (s + 1) & (cap - 1);
+      pivots[s] = {p.Key(), &pm};
+    });
+    double* tables[6];
+    for (int t = 0; t < 6; ++t) tables[t] = out->pair_values[static_cast<std::size_t>(t)].data();
+    model.ForEachRelationship([&](const ts::SequencePair& e, const core::AffineRecord& rec) {
+      const std::size_t u = e.u;
+      const std::size_t p = u * n - u * (u + 1) / 2 + (e.v - u - 1);
+      const std::uint64_t pk = rec.pivot.Key();
+      std::size_t s = slot_of(pk);
+      while (pivots[s].second != nullptr && pivots[s].first != pk) s = (s + 1) & (cap - 1);
+      double values[6];
+      if (pivots[s].second != nullptr) {
+        model.PairMeasures6From(rec, e, *pivots[s].second, values);
+      } else {
+        model.PairMeasures6From(rec, e, values);
+      }
+      for (int t = 0; t < 6; ++t) tables[t][p] = values[t];
+    });
+    for (auto& flag : out->pair_ok) flag = true;
+    return;
+  }
+  for (auto& table : out->pair_values) table.resize(pairs);
+  // Lexicographic index → (u, v): row u covers [offset[u], offset[u + 1]).
+  std::vector<std::size_t> offset(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u) offset[u + 1] = offset[u] + (n - 1 - u);
+  std::atomic<bool> missing{false};
+  ParallelChunks(exec, pairs, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+    std::size_t u =
+        static_cast<std::size_t>(std::upper_bound(offset.begin(), offset.end(), lo) -
+                                 offset.begin()) -
+        1;
+    for (std::size_t p = lo; p < hi; ++p) {
+      while (p >= offset[u + 1]) ++u;
+      const auto v = static_cast<ts::SeriesId>(u + 1 + (p - offset[u]));
+      double values[6];
+      if (!model.PairMeasures6(ts::SequencePair(static_cast<ts::SeriesId>(u), v), values)
+               .ok()) {
+        missing.store(true, std::memory_order_relaxed);
+        return;
+      }
+      for (int t = 0; t < 6; ++t) out->pair_values[static_cast<std::size_t>(t)][p] = values[t];
+    }
+  });
+  if (missing.load(std::memory_order_relaxed)) {
+    for (auto& table : out->pair_values) table.clear();
+    for (auto& flag : out->pair_ok) flag = false;
+  } else {
+    for (auto& flag : out->pair_ok) flag = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat-run construction. Templated on the private ScapeIndex tree types
+// (reached through auto/deduction; SnapshotBuilder is the friend seam).
+
+/// Reclaims a retired epoch's run buffers for in-place rewrite: when the
+/// old slot holds the only reference (not shared into a live epoch, no
+/// pinned reader), the vectors — with their full capacity — are recycled;
+/// otherwise a fresh allocation is returned. Callers overwrite the
+/// contents wholesale, so reuse never changes the produced bits.
+std::shared_ptr<FlatPairRuns> ReclaimPairRuns(std::shared_ptr<const FlatPairRuns>&& old) {
+  if (old != nullptr && old.use_count() == 1) {
+    return std::const_pointer_cast<FlatPairRuns>(std::move(old));
+  }
+  return std::make_shared<FlatPairRuns>();
+}
+
+std::shared_ptr<FlatLocRuns> ReclaimLocRuns(std::shared_ptr<const FlatLocRuns>&& old) {
+  if (old != nullptr && old.use_count() == 1) {
+    return std::const_pointer_cast<FlatLocRuns>(std::move(old));
+  }
+  return std::make_shared<FlatLocRuns>();
+}
+
+template <typename PairTreeT>
+std::shared_ptr<const FlatPairRuns> WalkPairRuns(const PairTreeT& pt,
+                                                 std::shared_ptr<FlatPairRuns> into = nullptr) {
+  auto runs = into != nullptr ? std::move(into) : std::make_shared<FlatPairRuns>();
+  runs->keys.clear();
+  runs->pairs.clear();
+  runs->us.clear();
+  runs->keys.reserve(pt.tree.size());
+  runs->pairs.reserve(pt.tree.size());
+  runs->us.reserve(pt.tree.size());
+  for (auto it = pt.tree.begin(); it != pt.tree.end(); ++it) {
+    runs->keys.push_back(it.key());
+    runs->pairs.push_back(it.value().e);
+    runs->us.push_back(it.value().u);
+  }
+  return runs;
+}
+
+template <typename LocTreeT>
+std::shared_ptr<const FlatLocRuns> WalkLocRuns(const LocTreeT& lt,
+                                               std::shared_ptr<FlatLocRuns> into = nullptr) {
+  auto runs = into != nullptr ? std::move(into) : std::make_shared<FlatLocRuns>();
+  runs->keys.clear();
+  runs->series.clear();
+  runs->keys.reserve(lt.tree.size());
+  runs->series.reserve(lt.tree.size());
+  for (auto it = lt.tree.begin(); it != lt.tree.end(); ++it) {
+    runs->keys.push_back(it.key());
+    runs->series.push_back(it.value());
+  }
+  return runs;
+}
+
+constexpr std::size_t kPairEntryBytes =
+    sizeof(double) + sizeof(ts::SequencePair) + sizeof(double);
+
+/// Splices one dirty pair tree: the prior epoch's runs outside the dirty
+/// ξ-interval are untouched sorted subsequences (the ScapeDeltaRange
+/// contract), so only the [lo, hi] middle is re-walked from the live
+/// tree. Falls back to a full walk when the clean spans are too small to
+/// be worth the seek, or when the spliced length disagrees with the tree
+/// (defensive: a log/prior mismatch must never ship a wrong snapshot).
+template <typename PairTreeT>
+std::shared_ptr<const FlatPairRuns> SplicePairRuns(const PairTreeT& pt,
+                                                   const core::ScapeDeltaRange& dirty,
+                                                   const FlatPairRuns& prior,
+                                                   PublishStats* stats,
+                                                   std::shared_ptr<FlatPairRuns> into = nullptr) {
+  const std::size_t size = pt.tree.size();
+  const auto prefix_end = static_cast<std::size_t>(
+      std::lower_bound(prior.keys.begin(), prior.keys.end(), dirty.lo) - prior.keys.begin());
+  const auto suffix_begin = static_cast<std::size_t>(
+      std::upper_bound(prior.keys.begin(), prior.keys.end(), dirty.hi) - prior.keys.begin());
+  const std::size_t clean = prefix_end + (prior.keys.size() - suffix_begin);
+  if (clean < size / 4) {
+    ++stats->trees_rebuilt;
+    stats->bytes_copied += size * kPairEntryBytes;
+    return WalkPairRuns(pt, std::move(into));
+  }
+  auto runs = into != nullptr ? std::move(into) : std::make_shared<FlatPairRuns>();
+  runs->keys.reserve(size);
+  runs->pairs.reserve(size);
+  runs->us.reserve(size);
+  runs->keys.assign(prior.keys.begin(), prior.keys.begin() + static_cast<long>(prefix_end));
+  runs->pairs.assign(prior.pairs.begin(), prior.pairs.begin() + static_cast<long>(prefix_end));
+  runs->us.assign(prior.us.begin(), prior.us.begin() + static_cast<long>(prefix_end));
+  for (auto it = pt.tree.LowerBound(dirty.lo); it != pt.tree.end() && it.key() <= dirty.hi;
+       ++it) {
+    runs->keys.push_back(it.key());
+    runs->pairs.push_back(it.value().e);
+    runs->us.push_back(it.value().u);
+  }
+  runs->keys.insert(runs->keys.end(), prior.keys.begin() + static_cast<long>(suffix_begin),
+                    prior.keys.end());
+  runs->pairs.insert(runs->pairs.end(), prior.pairs.begin() + static_cast<long>(suffix_begin),
+                     prior.pairs.end());
+  runs->us.insert(runs->us.end(), prior.us.begin() + static_cast<long>(suffix_begin),
+                  prior.us.end());
+  if (runs->keys.size() != size) {
+    ++stats->trees_rebuilt;
+    stats->bytes_copied += size * kPairEntryBytes;
+    return WalkPairRuns(pt, std::move(runs));
+  }
+  ++stats->trees_spliced;
+  stats->bytes_copied += size * kPairEntryBytes;
+  return runs;
+}
+
+void AddStats(PublishStats* into, const PublishStats& from) {
+  into->bytes_copied += from.bytes_copied;
+  into->trees_shared += from.trees_shared;
+  into->trees_spliced += from.trees_spliced;
+  into->trees_rebuilt += from.trees_rebuilt;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotBuilder
 
 std::shared_ptr<const ServingSnapshot> SnapshotBuilder::Build(
     const core::AffinityModel& model, const core::ScapeIndex* scape,
     const core::QueryPlanner::Capabilities& caps, std::uint64_t generation,
-    std::size_t snapshot_row) {
+    std::size_t snapshot_row, PublishStats* stats) {
   auto out = std::make_shared<ServingSnapshot>();
   out->generation = generation;
   out->snapshot_row = snapshot_row;
-  out->data = model.data();  // copy keeps names and the block-grid anchor
+  // Dense copy keeps names and the block-grid anchor.
+  out->data = CowWindow::FromDense(model.data());
   out->caps = caps;
+
+  PublishStats local;
+  local.delta = false;
+  local.bytes_copied += model.data().m() * model.data().n() * sizeof(double);
 
   const std::size_t n = model.data().n();
   out->stats.reserve(n);
   for (std::size_t v = 0; v < n; ++v) {
     out->stats.push_back(model.series_stats(static_cast<ts::SeriesId>(v)));
   }
+  local.bytes_copied += n * sizeof(core::SeriesStats);
   FillLocationTables(model, out.get());
   FillPairTables(model, out.get());
+  for (const auto& table : out->location) local.bytes_copied += table.size() * sizeof(double);
+  for (const auto& table : out->pair_values) local.bytes_copied += table.size() * sizeof(double);
 
   if (scape != nullptr) {
     out->has_scape = true;
@@ -94,18 +419,14 @@ std::shared_ptr<const ServingSnapshot> SnapshotBuilder::Build(
         ft.norm = pt.norm;
         ft.u_min = pt.u_min;
         ft.u_max = pt.u_max;
-        ft.keys.reserve(pt.tree.size());
-        ft.pairs.reserve(pt.tree.size());
-        ft.us.reserve(pt.tree.size());
-        for (auto it = pt.tree.begin(); it != pt.tree.end(); ++it) {
-          ft.keys.push_back(it.key());
-          ft.pairs.push_back(it.value().e);
-          ft.us.push_back(it.value().u);
-        }
+        ft.runs = WalkPairRuns(pt);
+        ++local.trees_rebuilt;
+        local.bytes_copied += ft.runs->keys.size() * kPairEntryBytes;
         ft.degenerate.reserve(pt.degenerate.size());
         for (const auto& s : pt.degenerate) {
           ft.degenerate.push_back(FlatDegenerateEntry{s.e, s.u, s.xi});
         }
+        local.bytes_copied += ft.degenerate.size() * sizeof(FlatDegenerateEntry);
       }
       out->pair_pivots.push_back(std::move(flat));
     }
@@ -116,16 +437,159 @@ std::shared_ptr<const ServingSnapshot> SnapshotBuilder::Build(
         const auto& lt = node.trees[static_cast<std::size_t>(family)];
         FlatLocTree& ft = flat.trees[static_cast<std::size_t>(family)];
         ft.norm = lt.norm;
-        ft.keys.reserve(lt.tree.size());
-        ft.series.reserve(lt.tree.size());
-        for (auto it = lt.tree.begin(); it != lt.tree.end(); ++it) {
-          ft.keys.push_back(it.key());
-          ft.series.push_back(it.value());
-        }
+        ft.runs = WalkLocRuns(lt);
+        ++local.trees_rebuilt;
+        local.bytes_copied +=
+            ft.runs->keys.size() * (sizeof(double) + sizeof(ts::SeriesId));
       }
       out->loc_pivots.push_back(std::move(flat));
     }
   }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::shared_ptr<const ServingSnapshot> SnapshotBuilder::BuildDelta(
+    const core::AffinityModel& model, const core::ScapeIndex* scape,
+    const core::ScapeDeltaLog& delta, const storage::DataMatrixTable& table,
+    const ServingSnapshot& prior, const core::QueryPlanner::Capabilities& caps,
+    std::uint64_t generation, std::size_t snapshot_row, const ExecContext& exec,
+    PublishStats* stats, std::shared_ptr<ServingSnapshot> scratch) {
+  const std::size_t n = model.data().n();
+  const std::size_t m = model.data().m();
+  // Preconditions: `prior` must be the flatten of these same structures
+  // one refresh ago, `delta` must match the index shape, and the table
+  // must still retain (and agree with) the whole window. Any mismatch
+  // falls back to a full Build at the call site — never a wrong snapshot.
+  if (scape != nullptr) {
+    if (!prior.has_scape || prior.pair_pivots.size() != scape->pair_pivots_.size() ||
+        prior.loc_pivots.size() != scape->loc_pivots_.size() ||
+        delta.pair.size() != scape->pair_pivots_.size() ||
+        delta.loc.size() != scape->loc_pivots_.size()) {
+      return nullptr;
+    }
+  } else if (prior.has_scape) {
+    return nullptr;
+  }
+  if (table.series_count() != n || snapshot_row < m) return nullptr;
+  const std::size_t first_row = snapshot_row - m;
+  if (model.data().anchor_row() != first_row) return nullptr;
+
+  // A recycled retired epoch keeps all its vector capacities: in steady
+  // state every table below is rewritten in place and nothing allocates.
+  auto out = scratch != nullptr ? std::move(scratch) : std::make_shared<ServingSnapshot>();
+  out->generation = generation;
+  out->snapshot_row = snapshot_row;
+  out->caps = caps;
+  if (!CowWindow::FromTable(table, first_row, m, model.data().names(), &out->data)) {
+    return nullptr;
+  }
+  PublishStats total;
+  total.delta = true;
+  total.window_segments_total = out->data.segment_count();
+  total.window_segments_reused = out->data.SharedSegmentsWith(prior.data);
+
+  out->stats.clear();
+  out->stats.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out->stats.push_back(model.series_stats(static_cast<ts::SeriesId>(v)));
+  }
+  total.bytes_copied += n * sizeof(core::SeriesStats);
+  // The WA surface is value-level state: at interval-1 slides every value
+  // moves, so it is refilled — but through the bulk accessor and in
+  // parallel, not one hash lookup per (measure, pair).
+  FillLocationTables(model, out.get());
+  FillPairTablesBulk(model, exec, out.get());
+  for (const auto& tbl : out->location) total.bytes_copied += tbl.size() * sizeof(double);
+  for (const auto& tbl : out->pair_values) total.bytes_copied += tbl.size() * sizeof(double);
+
+  if (scape != nullptr) {
+    out->has_scape = true;
+    out->pair_pivots.resize(scape->pair_pivots_.size());
+    std::vector<PublishStats> chunk_stats(ExecNumChunks(scape->pair_pivots_.size()));
+    ParallelChunks(exec, scape->pair_pivots_.size(),
+                   [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+                     PublishStats& cs = chunk_stats[chunk];
+                     for (std::size_t slot = lo; slot < hi; ++slot) {
+                       const auto& node = scape->pair_pivots_[slot];
+                       FlatPairPivot& flat = out->pair_pivots[slot];
+                       for (int family = 0; family < 2; ++family) {
+                         const auto& pt = node.trees[static_cast<std::size_t>(family)];
+                         FlatPairTree& ft = flat.trees[static_cast<std::size_t>(family)];
+                         ft.norm = pt.norm;
+                         ft.u_min = pt.u_min;
+                         ft.u_max = pt.u_max;
+                         ft.degenerate.clear();
+                         ft.degenerate.reserve(pt.degenerate.size());
+                         for (const auto& s : pt.degenerate) {
+                           ft.degenerate.push_back(FlatDegenerateEntry{s.e, s.u, s.xi});
+                         }
+                         cs.bytes_copied += ft.degenerate.size() * sizeof(FlatDegenerateEntry);
+                         const core::ScapeDeltaRange& dirty =
+                             delta.pair[slot][static_cast<std::size_t>(family)];
+                         const FlatPairTree& prior_ft =
+                             prior.pair_pivots[slot].trees[static_cast<std::size_t>(family)];
+                         // The scratch slot's outgoing runs become the
+                         // rewrite buffer unless a live epoch still shares
+                         // them (slot-local, so safe under the fan-out).
+                         auto old_runs = std::move(ft.runs);
+                         if (dirty.moved == 0 && prior_ft.runs != nullptr &&
+                             prior_ft.runs->keys.size() == pt.tree.size()) {
+                           ft.runs = prior_ft.runs;
+                           ++cs.trees_shared;
+                         } else if (prior_ft.runs != nullptr) {
+                           ft.runs = SplicePairRuns(pt, dirty, *prior_ft.runs, &cs,
+                                                    ReclaimPairRuns(std::move(old_runs)));
+                         } else {
+                           ft.runs = WalkPairRuns(pt, ReclaimPairRuns(std::move(old_runs)));
+                           ++cs.trees_rebuilt;
+                           cs.bytes_copied += ft.runs->keys.size() * kPairEntryBytes;
+                         }
+                       }
+                     }
+                   });
+    out->loc_pivots.resize(scape->loc_pivots_.size());
+    std::vector<PublishStats> loc_stats(ExecNumChunks(scape->loc_pivots_.size()));
+    ParallelChunks(exec, scape->loc_pivots_.size(),
+                   [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+                     PublishStats& cs = loc_stats[chunk];
+                     for (std::size_t slot = lo; slot < hi; ++slot) {
+                       const auto& node = scape->loc_pivots_[slot];
+                       FlatLocPivot& flat = out->loc_pivots[slot];
+                       for (int family = 0; family < 3; ++family) {
+                         const auto& lt = node.trees[static_cast<std::size_t>(family)];
+                         FlatLocTree& ft = flat.trees[static_cast<std::size_t>(family)];
+                         ft.norm = lt.norm;
+                         const core::ScapeDeltaRange& dirty =
+                             delta.loc[slot][static_cast<std::size_t>(family)];
+                         const FlatLocTree& prior_ft =
+                             prior.loc_pivots[slot].trees[static_cast<std::size_t>(family)];
+                         // Location trees are O(cluster) small: share when
+                         // clean, otherwise a full walk is already cheap.
+                         auto old_runs = std::move(ft.runs);
+                         if (dirty.moved == 0 && prior_ft.runs != nullptr &&
+                             prior_ft.runs->keys.size() == lt.tree.size()) {
+                           ft.runs = prior_ft.runs;
+                           ++cs.trees_shared;
+                         } else {
+                           ft.runs = WalkLocRuns(lt, ReclaimLocRuns(std::move(old_runs)));
+                           ++cs.trees_rebuilt;
+                           cs.bytes_copied += ft.runs->keys.size() *
+                                              (sizeof(double) + sizeof(ts::SeriesId));
+                         }
+                       }
+                     }
+                   });
+    for (const PublishStats& cs : chunk_stats) AddStats(&total, cs);
+    for (const PublishStats& cs : loc_stats) AddStats(&total, cs);
+  } else {
+    // Defensive against a recycled scratch that once carried a SCAPE
+    // surface: a no-scape snapshot must not expose stale pivots.
+    out->has_scape = false;
+    out->pair_pivots.clear();
+    out->loc_pivots.clear();
+  }
+  if (stats != nullptr) *stats = total;
   return out;
 }
 

@@ -18,15 +18,27 @@
 ///  * the WA surface (per-series stats, L-measure values, the six pair
 ///    measure tables in lexicographic pair order) is frozen into flat
 ///    arrays, so snapshot WA queries never touch the live hash;
-///  * the window itself is copied (`ts::DataMatrix` keeps its block-grid
-///    anchor), so snapshot WN sweeps are bitwise those of the live engine.
+///  * the window is a `CowWindow`: refcounted immutable column segments
+///    shared with the storage table (and with the previous epoch), with
+///    the dense form materialized lazily on the first WN sweep.
+///
+/// Publication is *incremental* between consecutive epochs. A slide's
+/// refresh records which ξ-ranges each (pivot, family) tree dirtied
+/// (`core::ScapeDeltaLog`); `SnapshotBuilder::BuildDelta` splices the
+/// untouched sorted runs from the prior epoch's arrays (shared wholesale
+/// when a tree didn't move at all), re-emits only dirty runs from the live
+/// tree, and re-captures the window as segment references — zero sample
+/// copies. The result is bitwise identical to a from-scratch `Build` at
+/// every epoch; `Build` remains the simple single-pass oracle.
 ///
 /// Snapshots are published through an `EpochPublisher` — an atomic
-/// shared_ptr swap. Readers `Acquire()` a snapshot and keep it alive for
-/// the duration of a query; writers publish a fresh replica and never
-/// touch an old one, so queries never wait on maintenance and maintenance
-/// never waits on queries. Memory lifetime is reference-counted: an old
-/// epoch is reclaimed when its last in-flight query drops it.
+/// shared_ptr swap, optionally backed by a ring that pins the last N
+/// epochs for diagnostics / branch-diff queries. Readers `Acquire()` a
+/// snapshot (or `AcquireEpoch(g)` a pinned one) and keep it alive for the
+/// duration of a query; writers publish a fresh replica and never touch
+/// an old one, so queries never wait on maintenance and maintenance never
+/// waits on queries. Memory lifetime is reference-counted: an old epoch
+/// is reclaimed when the ring drops it and its last in-flight query ends.
 ///
 /// The serving contract is *bitwise identity*: every answer computed from
 /// a snapshot equals the live engine's answer over the same structures
@@ -36,15 +48,87 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "core/planner.h"
 #include "core/scape.h"
 #include "core/symex.h"
+#include "storage/table.h"
 #include "ts/data_matrix.h"
 
 namespace affinity::serve {
+
+/// Copy-on-write analysis window: either an owned dense matrix (full
+/// build) or refcounted column-segment references into the storage table
+/// (delta build — zero sample copies, segments shared with the previous
+/// epoch). Exposes the `DataMatrix` read surface the serving paths use;
+/// the dense form materializes lazily, once, on the first access that
+/// needs contiguous columns.
+///
+/// Aliasing contract (DESIGN.md §11): segment buffers are append-only and
+/// fully reserved, and this window only ever reads rows below its
+/// capture point `anchor_row() + m()`, while the table's writer only
+/// appends at or past it — disjoint elements, so readers and the
+/// maintenance thread never touch the same byte.
+class CowWindow {
+ public:
+  CowWindow() = default;
+
+  /// Wraps an already-materialized window (the full-build path).
+  static CowWindow FromDense(ts::DataMatrix dense);
+
+  /// Captures refcounted segment handles covering the `rows` rows ending
+  /// at the table's append point, starting at absolute row `first_row`
+  /// (which becomes the window's block-grid anchor). Zero sample copies.
+  /// Returns false when the table's retained rows cannot cover the span.
+  static bool FromTable(const storage::DataMatrixTable& table, std::size_t first_row,
+                        std::size_t rows, std::vector<std::string> names, CowWindow* out);
+
+  std::size_t m() const { return m_; }
+  std::size_t n() const { return n_; }
+  std::size_t anchor_row() const { return anchor_; }
+
+  /// Contiguous storage of series `id` (length m()). Materializes the
+  /// dense window on first use — thread-safe, at most once per window.
+  const double* ColumnData(ts::SeriesId id) const;
+
+  /// The dense window as a DataMatrix (same lazy materialization).
+  const ts::DataMatrix& dense() const;
+
+  /// Number of segment buffers this window references (0 in dense mode)
+  /// and how many of them `prior` also references — the reuse accounting
+  /// surfaced per publication.
+  std::size_t segment_count() const;
+  std::size_t SharedSegmentsWith(const CowWindow& prior) const;
+
+ private:
+  /// One run of consecutive window rows inside a shared segment buffer.
+  struct Span {
+    std::shared_ptr<const std::vector<double>> owner;
+    const double* data = nullptr;
+    std::size_t rows = 0;
+  };
+  /// Heap-held so CowWindow stays movable (std::once_flag is not) and so
+  /// concurrent readers of a shared snapshot synchronize on one flag.
+  struct Lazy {
+    std::once_flag once;
+    ts::DataMatrix dense;
+  };
+
+  const ts::DataMatrix& Materialize() const;
+
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  std::size_t anchor_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::vector<Span>> cols_;  ///< per series; empty in dense mode
+  std::shared_ptr<Lazy> lazy_;
+};
 
 /// One side-list (degenerate) entry: U == 0 or a degenerate pivot. Keeps
 /// ξ so T-measure queries can still evaluate value = ‖α‖·ξ directly.
@@ -54,19 +138,25 @@ struct FlatDegenerateEntry {
   double xi = 0.0;
 };
 
-/// A flattened (pivot, T-measure family) SCAPE tree: the B+-tree's entries
-/// in exact key order (equal-key runs preserved), as parallel arrays.
+/// The sorted SoA runs of one flattened (pivot, family) tree: the
+/// B+-tree's entries in exact key order (equal-key runs preserved).
 /// Structure-of-arrays deliberately: an accepted run is appended straight
 /// from `pairs` at 8 bytes/entry of read traffic, and only the D-measure
 /// verify band touches `us` — where the interleaved live tree drags every
-/// leaf's full entry through cache on any walk.
+/// leaf's full entry through cache on any walk. Held behind a shared_ptr
+/// so consecutive epochs share unchanged trees without copying.
+struct FlatPairRuns {
+  std::vector<double> keys;             ///< ξ ascending, tree iteration order
+  std::vector<ts::SequencePair> pairs;  ///< aligned with keys
+  std::vector<double> us;               ///< stored normalizers, aligned with keys
+};
+
+/// A flattened (pivot, T-measure family) SCAPE tree.
 struct FlatPairTree {
   double norm = 0.0;  ///< ‖α‖; 0 marks a degenerate pivot
   double u_min = 0.0;
   double u_max = 0.0;
-  std::vector<double> keys;            ///< ξ ascending, tree iteration order
-  std::vector<ts::SequencePair> pairs;  ///< aligned with keys
-  std::vector<double> us;               ///< stored normalizers, aligned with keys
+  std::shared_ptr<const FlatPairRuns> runs;     ///< never null once built
   std::vector<FlatDegenerateEntry> degenerate;  ///< side list, member order
 };
 
@@ -75,11 +165,16 @@ struct FlatPairPivot {
   std::array<FlatPairTree, 2> trees;
 };
 
-/// A flattened per-cluster location tree (series keyed by ξ).
-struct FlatLocTree {
-  double norm = 1.0;
+/// Sorted runs of a flattened per-cluster location tree (series by ξ).
+struct FlatLocRuns {
   std::vector<double> keys;
   std::vector<ts::SeriesId> series;  ///< aligned with keys
+};
+
+/// A flattened per-cluster location tree.
+struct FlatLocTree {
+  double norm = 1.0;
+  std::shared_ptr<const FlatLocRuns> runs;  ///< never null once built
 };
 
 /// Flattened location pivot node (0 = mean, 1 = median, 2 = mode).
@@ -89,15 +184,17 @@ struct FlatLocPivot {
 
 /// An immutable read-optimized replica of one AFFINITY instance at one
 /// refresh epoch. Everything a MET/MER/MEC/top-k needs is embedded; no
-/// pointer into the live stack survives in here.
+/// pointer into the live stack survives in here (shared segment buffers
+/// and flat runs are jointly owned, never aliased mutably).
 struct ServingSnapshot {
   /// Publication epoch (monotone per publisher; 0 never published).
   std::uint64_t generation = 0;
   /// Logical stream row count when this snapshot was published.
   std::size_t snapshot_row = 0;
 
-  /// The analysis window (copy; anchor_row preserved) — the WN surface.
-  ts::DataMatrix data;
+  /// The analysis window (copy-on-write; anchor_row preserved) — the WN
+  /// surface.
+  CowWindow data;
 
   /// The live engine's capabilities at publication — drives the exact
   /// same kAuto planning as the live engine.
@@ -122,32 +219,111 @@ struct ServingSnapshot {
   std::array<bool, 6> pair_ok{};
 };
 
+/// Accounting of one publication, for the maintenance profile and the
+/// `--serve-publish` bench: what was materialized vs shared.
+struct PublishStats {
+  bool delta = false;                     ///< built by BuildDelta
+  std::size_t bytes_copied = 0;           ///< bytes written into the new epoch
+  std::size_t window_segments_total = 0;  ///< segment refs captured (0 = dense copy)
+  std::size_t window_segments_reused = 0; ///< of those, shared with the prior epoch
+  std::size_t trees_shared = 0;           ///< flat trees reused wholesale
+  std::size_t trees_spliced = 0;          ///< flat trees partially spliced
+  std::size_t trees_rebuilt = 0;          ///< flat trees fully re-walked
+};
+
 /// Flattens live structures into `ServingSnapshot`s. Friend of
 /// `core::ScapeIndex` — the only seam that reads the private pivot trees.
 class SnapshotBuilder {
  public:
   /// Builds a replica of (`model`, `scape`) stamped with `generation` and
-  /// `snapshot_row`. `scape` may be null (no SCAPE surface). `caps` must
-  /// be the serving engine's capabilities so kAuto plans match. Never
-  /// fails: a WA table whose model accessor errors (truncated model) is
-  /// marked absent instead, demoting only those queries to live fallback.
+  /// `snapshot_row`, copying the window densely and walking every tree —
+  /// the from-scratch oracle every delta build must match bit for bit.
+  /// `scape` may be null (no SCAPE surface). `caps` must be the serving
+  /// engine's capabilities so kAuto plans match. Never fails: a WA table
+  /// whose model accessor errors (truncated model) is marked absent
+  /// instead, demoting only those queries to live fallback.
   static std::shared_ptr<const ServingSnapshot> Build(
       const core::AffinityModel& model, const core::ScapeIndex* scape,
       const core::QueryPlanner::Capabilities& caps, std::uint64_t generation,
-      std::size_t snapshot_row);
+      std::size_t snapshot_row, PublishStats* stats = nullptr);
+
+  /// Incremental publication (DESIGN.md §11): builds the same snapshot
+  /// `Build` would, but
+  ///  * captures the window as refcounted segment references into `table`
+  ///    (zero sample copies; segments shared with `prior`),
+  ///  * shares each flat tree's runs with `prior` when its ScapeDeltaLog
+  ///    range is clean, splices the untouched prefix/suffix runs around a
+  ///    dirty range (re-walking only the dirty middle), and falls back to
+  ///    a full walk when the dirty range covers most of the tree,
+  ///  * refills the WA surface in parallel over `exec` through the bulk
+  ///    `PairMeasures6` accessor (bitwise equal to the per-measure path).
+  ///
+  /// Valid only when `prior` was flattened from the *same* live structures
+  /// at the previous epoch and `delta` records exactly the one Refresh
+  /// between the two — the streaming layer guarantees this and resets to
+  /// `Build` after any rebuild, restore, or escalation. Returns nullptr
+  /// when a precondition does not hold (caller falls back to `Build`).
+  ///
+  /// `scratch` may pass back a *retired* epoch (one `EpochPublisher::
+  /// Publish` returned, with no surviving readers): its vectors are
+  /// overwritten in place, so the steady state allocates nothing per
+  /// epoch — the retiring epoch's memory becomes the next one's. Every
+  /// element is rewritten (or cleared) before the result is published, so
+  /// recycling never changes the produced bits.
+  static std::shared_ptr<const ServingSnapshot> BuildDelta(
+      const core::AffinityModel& model, const core::ScapeIndex* scape,
+      const core::ScapeDeltaLog& delta, const storage::DataMatrixTable& table,
+      const ServingSnapshot& prior, const core::QueryPlanner::Capabilities& caps,
+      std::uint64_t generation, std::size_t snapshot_row, const ExecContext& exec = {},
+      PublishStats* stats = nullptr, std::shared_ptr<ServingSnapshot> scratch = nullptr);
 };
 
 /// Epoch-based publication point: writers atomically swap in a fresh
 /// immutable snapshot; readers acquire the current one with shared
-/// ownership. The atomic<shared_ptr> swap is the only synchronization in
-/// the serving path — queries never block on maintenance.
+/// ownership. The atomic<shared_ptr> swap is the only synchronization on
+/// the serving fast path — queries never block on maintenance.
+///
+/// With `history > 0` the publisher additionally pins the last `history`
+/// superseded epochs in a ring, retrievable by generation through
+/// `AcquireEpoch` — diagnostics and branch-diff readers can hold an old
+/// epoch (bit-stable, still queryable) while newer epochs publish, at the
+/// cost of one mutex hop off the fast path. `T` must expose a
+/// `generation` field. Publish must stay single-writer (the maintenance
+/// thread), as before.
 template <typename T>
 class EpochPublisher {
  public:
+  EpochPublisher() = default;
+  explicit EpochPublisher(std::size_t history) : history_(history) {}
+
   /// Publishes `snapshot` as the current epoch (release ordering: all the
-  /// builder's writes happen-before any reader that acquires it).
-  void Publish(std::shared_ptr<const T> snapshot) {
-    current_.store(std::move(snapshot), std::memory_order_release);
+  /// builder's writes happen-before any reader that acquires it). The
+  /// outgoing epoch moves into the pinned ring *before* the swap, so no
+  /// generation is ever unreachable in between.
+  ///
+  /// Returns the epoch this publish *retired* — the one evicted from the
+  /// ring (or, with no ring, the replaced current) — so the caller can
+  /// recycle its memory into the next build instead of freeing ~the whole
+  /// replica on the publish critical path. nullptr when nothing retired.
+  /// A retired epoch may still be pinned by in-flight readers; recycle it
+  /// only when its use_count() is 1.
+  std::shared_ptr<const T> Publish(std::shared_ptr<const T> snapshot) {
+    std::shared_ptr<const T> retired;
+    if (history_ > 0) {
+      auto prev = current_.load(std::memory_order_acquire);
+      if (prev != nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ring_.push_back(std::move(prev));
+        while (ring_.size() > history_) {
+          retired = std::move(ring_.front());
+          ring_.pop_front();
+        }
+      }
+      current_.store(std::move(snapshot), std::memory_order_release);
+    } else {
+      retired = current_.exchange(std::move(snapshot), std::memory_order_acq_rel);
+    }
+    return retired;
   }
 
   /// The current epoch's snapshot (nullptr before the first Publish).
@@ -156,8 +332,27 @@ class EpochPublisher {
     return current_.load(std::memory_order_acquire);
   }
 
+  /// The epoch with exactly `generation`: the current one when it
+  /// matches, else a ring-pinned one, else nullptr (never published, or
+  /// already evicted by newer publishes).
+  std::shared_ptr<const T> AcquireEpoch(std::uint64_t generation) const {
+    auto current = Acquire();
+    if (current != nullptr && current->generation == generation) return current;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+      if ((*it)->generation == generation) return *it;
+    }
+    return nullptr;
+  }
+
+  /// Number of superseded epochs the ring pins.
+  std::size_t history() const { return history_; }
+
  private:
+  std::size_t history_ = 0;
   std::atomic<std::shared_ptr<const T>> current_;
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const T>> ring_;  ///< oldest first, guarded by mu_
 };
 
 }  // namespace affinity::serve

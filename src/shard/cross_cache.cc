@@ -167,6 +167,7 @@ void CrossMomentCache::Stamp(std::uint64_t generation, std::size_t anchor) {
   // ones (the ISSUE 5 restore-ordering audit).
   AFFINITY_CHECK_NE(generation, std::uint64_t{0});
   if (entries_.empty()) return;
+  ++version_;
   if (count_ < window_) {
     // The rings do not cover the snapshot window yet (e.g. a restored
     // deployment): anything previously stamped is stale.
@@ -217,6 +218,7 @@ void CrossMomentCache::Stamp(std::uint64_t generation, std::size_t anchor) {
 
 void CrossMomentCache::Invalidate() {
   if (entries_.empty()) return;
+  ++version_;
   for (PairEntry& entry : entries_) entry.stamped_generation = 0;
   stamps_since_resync_ = 0;  // the next stamp re-materializes exactly
   ++stats_.invalidations;
@@ -246,6 +248,7 @@ void CrossMomentCache::Store(std::size_t cross_index, std::uint64_t generation,
                              const core::PairMoments& pm) {
   AFFINITY_CHECK_NE(generation, std::uint64_t{0});
   if (!Watches(cross_index)) return;
+  ++version_;
   PairEntry& entry = entries_[watch_of_[cross_index]];
   entry.stamped = pm;
   entry.stamped_generation = generation;

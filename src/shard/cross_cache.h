@@ -157,6 +157,14 @@ class CrossMomentCache {
 
   const CrossCacheStats& stats() const { return stats_; }
 
+  /// Mutation version of the *exportable* stamped state: bumped by every
+  /// Stamp, Invalidate, and Store on an enabled cache (Observe and Lookup
+  /// roll live accumulators and heat only — they cannot change what
+  /// ExportStamped returns). A disabled cache stays at 0 forever. The
+  /// router compares versions across publications to skip re-freezing an
+  /// unchanged cross co-moment view (shard_serve.h).
+  std::uint64_t version() const { return version_; }
+
  private:
   static constexpr std::size_t kUnwatched = static_cast<std::size_t>(-1);
 
@@ -208,6 +216,7 @@ class CrossMomentCache {
   std::vector<SeriesSlot> series_;
   std::vector<PairEntry> entries_;
   CrossCacheStats stats_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace affinity::shard

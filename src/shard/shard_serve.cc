@@ -70,8 +70,9 @@ ExecutedPlan ResolveRouterPlan(const RouterSnapshot& snap, QueryMethod method,
                               std::to_string(snap.shards.size()) + " shards";
     return explicit_plan;
   }
-  const QueryPlanner::Topology topology{snap.shards.size(), snap.cross.size(),
-                                        snap.stamped_count};
+  const QueryPlanner::Topology topology{
+      snap.shards.size(), snap.cross.size(),
+      snap.cross_view != nullptr ? snap.cross_view->stamped_count : 0};
   const QueryPlanner planner(snap.max_n, snap.window, snap.caps, topology);
   return plan(planner);
 }
@@ -85,9 +86,10 @@ StatusOr<std::vector<double>> RouterCrossValues(const RouterSnapshot& snap, Meas
   std::vector<double> values(snap.cross.size());
   std::vector<std::size_t> swept;
   swept.reserve(snap.cross.size());
+  const RouterSnapshot::CrossMomentView* view = snap.cross_view.get();
   for (std::size_t i = 0; i < snap.cross.size(); ++i) {
-    if (i < snap.cross_stamped.size() && snap.cross_stamped[i] != 0) {
-      auto value = core::PairMeasureFromMoments(measure, snap.cross_moments[i]);
+    if (view != nullptr && i < view->stamped.size() && view->stamped[i] != 0) {
+      auto value = core::PairMeasureFromMoments(measure, view->moments[i]);
       if (!value.ok()) return value.status();
       values[i] = *value;
     } else {
@@ -286,6 +288,7 @@ StatusOr<core::MecResponse> RouterMec(const RouterSnapshot& snap, const core::Me
     // the rest sweep the snapshot columns.
     std::vector<core::CrossPair> resolved;
     std::vector<std::pair<std::size_t, std::size_t>> cells;
+    const RouterSnapshot::CrossMomentView* view = snap.cross_view.get();
     for (std::size_t i = 0; i < count; ++i) {
       for (std::size_t j = i + 1; j < count; ++j) {
         if (snap.shard_of[request.ids[i]] == snap.shard_of[request.ids[j]]) continue;
@@ -294,10 +297,11 @@ StatusOr<core::MecResponse> RouterMec(const RouterSnapshot& snap, const core::Me
         const ts::SequencePair e(u, v);
         const auto it = std::lower_bound(snap.cross.begin(), snap.cross.end(), e);
         const std::size_t cross_index = static_cast<std::size_t>(it - snap.cross.begin());
-        if (cross_index < snap.cross_stamped.size() && snap.cross_stamped[cross_index] != 0) {
+        if (view != nullptr && cross_index < view->stamped.size() &&
+            view->stamped[cross_index] != 0) {
           AFFINITY_ASSIGN_OR_RETURN(
               const double value,
-              core::PairMeasureFromMoments(request.measure, snap.cross_moments[cross_index]));
+              core::PairMeasureFromMoments(request.measure, view->moments[cross_index]));
           out.pair_values(i, j) = value;
           out.pair_values(j, i) = value;
           continue;

@@ -63,19 +63,26 @@ struct RouterSnapshot {
   std::vector<ts::SequencePair> cross;
 
   // --- Frozen cross co-moment view (cross_cache.h, at publication) ---------
-  /// `cross_stamped[i]` is 1 iff cross pair i's co-moments were stamped at
-  /// this generation when the snapshot was published; its moments sit in
-  /// `cross_moments[i]`. Both are cross-list-aligned (all zeros when the
-  /// cache is disabled).
-  std::vector<std::uint8_t> cross_stamped;
-  std::vector<core::PairMoments> cross_moments;
-  /// Number of 1s in cross_stamped — the planner's cached_cross_pairs.
-  /// NOTE: the live router's count keeps growing as queries miss-fill the
-  /// cache after publication, so a served plan's *cost/rationale* may
-  /// differ from the live plan's; the chosen method (and hence every
-  /// answer value) cannot (the surcharge applies after strategy
-  /// selection).
-  std::size_t stamped_count = 0;
+  /// One immutable freeze of the cross co-moment cache, shared across
+  /// epochs whose cache contents did not change between publications (the
+  /// router compares the cache's mutation version and re-freezes only on
+  /// change — the common steady state with the cache disabled shares one
+  /// view forever).
+  struct CrossMomentView {
+    /// `stamped[i]` is 1 iff cross pair i's co-moments were stamped at
+    /// the freezing generation; its moments sit in `moments[i]`. Both are
+    /// cross-list-aligned (all zeros when the cache is disabled).
+    std::vector<std::uint8_t> stamped;
+    std::vector<core::PairMoments> moments;
+    /// Number of 1s in `stamped` — the planner's cached_cross_pairs.
+    /// NOTE: the live router's count keeps growing as queries miss-fill
+    /// the cache after publication, so a served plan's *cost/rationale*
+    /// may differ from the live plan's; the chosen method (and hence
+    /// every answer value) cannot (the surcharge applies after strategy
+    /// selection).
+    std::size_t stamped_count = 0;
+  };
+  std::shared_ptr<const CrossMomentView> cross_view;
 
   /// Capability intersection over the shards and the widest shard width —
   /// the live router's kAuto planner inputs.

@@ -264,17 +264,29 @@ void ShardedAffinity::PublishRouterSnapshot() {
     snap->groups.push_back(partitioner.group(s));
   }
   snap->cross = router_.cross_pairs();
-  cross_cache_.ExportStamped(cross_generation_, &snap->cross_stamped, &snap->cross_moments);
-  // A disabled cache exports empty vectors; pad to the cross list so the
-  // serve path treats every pair as unstamped (raw sweep), like the live
-  // path with the cache off.
-  snap->cross_stamped.resize(snap->cross.size(), 0);
-  snap->cross_moments.resize(snap->cross.size());
-  std::size_t stamped = 0;
-  for (const std::uint8_t flag : snap->cross_stamped) stamped += flag;
-  snap->stamped_count = stamped;
+  // Re-freeze the cross co-moment view only when the cache's exportable
+  // state actually changed since the last publish (its mutation version
+  // moved). Otherwise the prior epoch's immutable view is shared — with
+  // the cache disabled (version pinned at 0) every epoch after the first
+  // shares one all-unstamped view forever.
+  if (last_cross_view_ == nullptr || cross_cache_.version() != last_cross_view_version_) {
+    auto view = std::make_shared<RouterSnapshot::CrossMomentView>();
+    cross_cache_.ExportStamped(cross_generation_, &view->stamped, &view->moments);
+    // A disabled cache exports empty vectors; pad to the cross list so the
+    // serve path treats every pair as unstamped (raw sweep), like the live
+    // path with the cache off.
+    view->stamped.resize(snap->cross.size(), 0);
+    view->moments.resize(snap->cross.size());
+    std::size_t stamped = 0;
+    for (const std::uint8_t flag : view->stamped) stamped += flag;
+    view->stamped_count = stamped;
+    last_cross_view_ = std::move(view);
+    last_cross_view_version_ = cross_cache_.version();
+  }
+  snap->cross_view = last_cross_view_;
   if (publisher_ == nullptr) {
-    publisher_ = std::make_unique<serve::EpochPublisher<RouterSnapshot>>();
+    publisher_ = std::make_unique<serve::EpochPublisher<RouterSnapshot>>(
+        options_.streaming.serving_history);
   }
   publisher_->Publish(std::move(snap));
 }

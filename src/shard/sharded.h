@@ -167,6 +167,14 @@ class ShardedAffinity {
     return publisher_ != nullptr ? publisher_->Acquire() : nullptr;
   }
 
+  /// A specific router epoch by generation: the current one, or any
+  /// superseded epoch still pinned by the publisher's history ring
+  /// (`StreamingOptions::serving_history`). nullptr when that generation
+  /// was never published or has been evicted.
+  std::shared_ptr<const RouterSnapshot> serving_epoch(std::uint64_t generation) const {
+    return publisher_ != nullptr ? publisher_->AcquireEpoch(generation) : nullptr;
+  }
+
   /// Every shard's snapshot age, indexed by shard.
   std::vector<std::size_t> snapshot_ages() const;
 
@@ -281,6 +289,13 @@ class ShardedAffinity {
   mutable core::CrossSweepStats cross_sweep_stats_;
   /// Epoch publication point for lock-free router serving (serving()).
   std::unique_ptr<serve::EpochPublisher<RouterSnapshot>> publisher_;
+  /// The cross co-moment view frozen at the last publish, shared with the
+  /// next epoch whenever the cache's mutation version has not moved —
+  /// then re-freezing would copy identical bytes (satellite fix: a
+  /// disabled or quiescent cache shares one immutable view across
+  /// epochs).
+  std::shared_ptr<const RouterSnapshot::CrossMomentView> last_cross_view_;
+  std::uint64_t last_cross_view_version_ = 0;
 };
 
 }  // namespace affinity::shard

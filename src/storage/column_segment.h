@@ -8,10 +8,21 @@
 /// summaries (count/min/max/sum) so scans can skip or pre-aggregate without
 /// touching samples — the standard columnar-store layout the paper's Fig. 2
 /// assumes underneath the `data_matrix` table.
+///
+/// The sample buffer is held behind a shared_ptr and fully reserved at
+/// construction, which gives snapshot publication a copy-on-write seam
+/// (DESIGN.md §11): `shared_values()` hands out a refcounted handle whose
+/// data pointer is stable for the segment's whole life (Append never
+/// reallocates), so a published epoch can keep reading a segment after the
+/// table reclaims it — or while the writer is still filling its tail.
+/// Readers of a shared handle may only touch rows the writer had appended
+/// when the handle's row count was captured; the writer only ever appends
+/// past that point, so the element ranges are disjoint.
 
 #include <algorithm>
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -22,30 +33,64 @@ namespace affinity::storage {
 class ColumnSegment {
  public:
   /// \param capacity maximum number of samples this segment holds.
-  explicit ColumnSegment(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {
+  explicit ColumnSegment(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity), values_(std::make_shared<std::vector<double>>()) {
     AFFINITY_CHECK_GT(capacity_, 0u);
-    values_.reserve(capacity_);
+    values_->reserve(capacity_);
   }
+
+  /// Copies allocate a fresh (reserved) buffer: a copied segment is an
+  /// independent value, never an alias of the original's samples — only
+  /// `shared_values()` handles share. Moves transfer the buffer.
+  ColumnSegment(const ColumnSegment& other)
+      : capacity_(other.capacity_),
+        values_(std::make_shared<std::vector<double>>()),
+        min_(other.min_),
+        max_(other.max_),
+        sum_(other.sum_) {
+    values_->reserve(capacity_);
+    *values_ = *other.values_;
+  }
+  ColumnSegment& operator=(const ColumnSegment& other) {
+    if (this != &other) {
+      capacity_ = other.capacity_;
+      values_ = std::make_shared<std::vector<double>>();
+      values_->reserve(capacity_);
+      *values_ = *other.values_;
+      min_ = other.min_;
+      max_ = other.max_;
+      sum_ = other.sum_;
+    }
+    return *this;
+  }
+  ColumnSegment(ColumnSegment&&) noexcept = default;
+  ColumnSegment& operator=(ColumnSegment&&) noexcept = default;
 
   static constexpr std::size_t kDefaultCapacity = 1024;
 
   /// True when no further samples fit.
-  bool full() const { return values_.size() >= capacity_; }
+  bool full() const { return values_->size() >= capacity_; }
 
   /// Number of stored samples.
-  std::size_t size() const { return values_.size(); }
+  std::size_t size() const { return values_->size(); }
 
-  /// Appends one sample; the segment must not be full (checked).
+  /// Appends one sample; the segment must not be full (checked). The
+  /// reserved buffer guarantees no reallocation, so previously captured
+  /// `shared_values()` data pointers stay valid.
   void Append(double v) {
     AFFINITY_CHECK(!full());
-    values_.push_back(v);
+    values_->push_back(v);
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
     sum_ += v;
   }
 
   /// Raw sample access.
-  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& values() const { return *values_; }
+
+  /// Refcounted handle on the sample buffer (copy-on-write publication
+  /// seam — see the file comment for the aliasing contract).
+  std::shared_ptr<const std::vector<double>> shared_values() const { return values_; }
 
   /// Segment summaries (valid when size() > 0).
   double min() const { return min_; }
@@ -54,7 +99,7 @@ class ColumnSegment {
 
  private:
   std::size_t capacity_;
-  std::vector<double> values_;
+  std::shared_ptr<std::vector<double>> values_;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
   double sum_ = 0.0;

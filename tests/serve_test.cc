@@ -320,15 +320,50 @@ TEST(RouterServe, SnapshotFreezesCrossMomentView) {
   Feed(&*service, TestData(16), 0, 60);
   auto snap = service->serving();
   ASSERT_NE(snap, nullptr);
-  ASSERT_EQ(snap->cross_stamped.size(), snap->cross.size());
-  ASSERT_EQ(snap->cross_moments.size(), snap->cross.size());
+  ASSERT_NE(snap->cross_view, nullptr);
+  const RouterSnapshot::CrossMomentView& view = *snap->cross_view;
+  ASSERT_EQ(view.stamped.size(), snap->cross.size());
+  ASSERT_EQ(view.moments.size(), snap->cross.size());
   // Every cross pair was watched since construction → all stamped.
   std::size_t stamped = 0;
-  for (std::uint8_t s : snap->cross_stamped) stamped += s;
+  for (std::uint8_t s : view.stamped) stamped += s;
   EXPECT_EQ(stamped, snap->cross.size());
-  EXPECT_EQ(snap->stamped_count, stamped);
+  EXPECT_EQ(view.stamped_count, stamped);
   for (std::size_t i = 0; i < snap->cross.size(); ++i)
-    EXPECT_EQ(snap->cross_moments[i].m, snap->window) << "pair " << i;
+    EXPECT_EQ(view.moments[i].m, snap->window) << "pair " << i;
+}
+
+TEST(RouterServe, UnchangedCrossViewIsSharedAcrossEpochs) {
+  // Disabled cache (budget 0): its mutation version is pinned at 0, so
+  // after the first publish every subsequent epoch must share the same
+  // immutable all-unstamped view instead of re-freezing a copy.
+  auto service = ShardedAffinity::Create(Names(16), ShardOptions(2));
+  ASSERT_TRUE(service.ok());
+  const ts::Dataset data = TestData(16);
+  Feed(&*service, data, 0, 48);
+  auto first = service->serving();
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(first->cross_view, nullptr);
+  Feed(&*service, data, 48, 60);
+  auto second = service->serving();
+  ASSERT_NE(second, nullptr);
+  EXPECT_GT(second->generation, first->generation);
+  EXPECT_EQ(second->cross_view.get(), first->cross_view.get());
+  EXPECT_EQ(first->cross_view->stamped_count, 0u);
+
+  // Enabled cache: every lockstep refresh stamps (version moves), so the
+  // view is legitimately re-frozen per epoch.
+  ShardedOptions warm = ShardOptions(2);
+  warm.cross_cache.budget = static_cast<std::size_t>(-1);
+  auto warm_service = ShardedAffinity::Create(Names(16), warm);
+  ASSERT_TRUE(warm_service.ok());
+  Feed(&*warm_service, data, 0, 48);
+  auto warm_first = warm_service->serving();
+  Feed(&*warm_service, data, 48, 60);
+  auto warm_second = warm_service->serving();
+  ASSERT_NE(warm_first, nullptr);
+  ASSERT_NE(warm_second, nullptr);
+  EXPECT_NE(warm_second->cross_view.get(), warm_first->cross_view.get());
 }
 
 TEST(RouterServe, LoadPublishesFirstEpoch) {
