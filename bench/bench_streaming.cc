@@ -34,11 +34,19 @@
 // flatten, bitwise identical, with bytes-copied accounting per epoch —
 // also enforced with a non-zero exit.
 //
+// With --dirty it runs the dirty-ingestion gates (DESIGN.md §12): the
+// masked pairwise-complete kernels over a fully-valid window must stay
+// within 10% of the dense kernels (the dense-fast-path contract, enforced
+// with a non-zero exit and a bitwise identity check), plus the
+// steady-state refresh cost of a stream carrying ~5% gaps through
+// AppendMasked versus the dense Append baseline.
+//
 //   $ ./bench_streaming --quick
 //   $ ./bench_streaming --benchmark_format=json --benchmark_out=BENCH_streaming.json
 //   $ ./bench_streaming --quick --shards=1,8 --benchmark_out=BENCH_shard_streaming.json
 //   $ ./bench_streaming --quick --serve --benchmark_out=BENCH_serve.json
 //   $ ./bench_streaming --quick --serve-publish --benchmark_out=BENCH_serve_publish.json
+//   $ ./bench_streaming --quick --dirty --benchmark_out=BENCH_dirty.json
 
 #include <algorithm>
 #include <atomic>
@@ -50,6 +58,9 @@
 #include <thread>
 #include <vector>
 
+#include <cstdint>
+
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/kernels.h"
 #include "core/streaming.h"
@@ -878,6 +889,328 @@ int RunServePublishSweep(bool quick, bool json, const std::string& out_path) {
   return gate_ok ? 0 : 1;
 }
 
+// --- Dirty-ingestion sweep (--dirty) ---------------------------------------
+//
+// Gate (enforced, non-zero exit): the masked pairwise-complete kernels
+// over a *fully-valid* window must cost ≤ 10% more than the dense kernels
+// on the same data — the DESIGN.md §12 dense-fast-path contract (a full
+// mask pays one O(m) byte scan and then runs the dispatched dense kernel,
+// bit for bit). The sweep also checks that identity directly: the masked
+// and dense moment checksums must be bitwise equal.
+//
+// Reported (not gated — the quality surface costs what it costs): the
+// steady-state refresh latency of a stream fed through AppendMasked with
+// ~5% of samples gapped (aligner-style: forward-filled within the
+// horizon, flagged beyond it) versus the dense Append baseline, plus the
+// published quality surface and a MET spot check over the dirty stream.
+
+struct DirtyResult {
+  // Full-mask kernel gate.
+  double dense_sweep_us = 0;
+  double masked_sweep_us = 0;
+  double masked_overhead = 0;  ///< masked/dense − 1 over the medians
+  bool bitwise_identical = false;
+  // Steady-state dirty refresh vs dense baseline.
+  std::size_t refreshes = 0;
+  double dirty_mean_us = 0;
+  double dense_mean_us = 0;
+  double gap_ratio = 0;   ///< observed invalid-cell fraction of the fed rows
+  double fill_ratio = 0;  ///< observed forward-filled fraction
+  double quality_min = 0;
+  double quality_mean = 0;
+  double met_min_score = 0;
+  std::size_t met_pairs = 0;
+};
+
+int RunDirtySweep(bool quick, bool json, const std::string& out_path) {
+  DirtyResult result;
+  bool gate_ok = true;
+
+  // Gate: masked kernels with an explicit full mask vs the dense kernels,
+  // all-pairs moment sweep over one window. Blocks alternate so clock
+  // drift cannot bias one side; medians absorb descheduled sweeps.
+  {
+    const std::size_t n = 64;
+    const std::size_t m = 4096;
+    ts::DatasetSpec spec;
+    spec.num_series = n;
+    spec.num_samples = m;
+    spec.num_clusters = 4;
+    spec.noise_level = 0.015;
+    spec.seed = 7;
+    const ts::Dataset feed = ts::MakeStockData(spec);
+    std::vector<std::vector<double>> columns(n, std::vector<double>(m));
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < m; ++i) columns[j][i] = feed.matrix.matrix()(i, j);
+    }
+    const std::vector<std::uint8_t> full(m, 1);
+
+    double dense_check = 0;
+    const auto dense_sweep = [&]() {
+      double acc = 0;
+      double mom[5];
+      for (std::size_t a = 0; a < n; ++a) {
+        acc += core::kernels::ColumnMarginals(columns[a].data(), m).sum;
+        for (std::size_t b = a + 1; b < n; ++b) {
+          core::kernels::FusedPairMoments(columns[a].data(), columns[b].data(), m, mom);
+          acc += mom[4];
+        }
+      }
+      return acc;
+    };
+    double masked_check = 0;
+    const auto masked_sweep = [&]() {
+      // The product calling convention (NormalizeMask): probe each
+      // column's mask once per sweep, then every pair call over a clean
+      // column takes the O(1) nullptr fast path instead of re-scanning
+      // O(m) bytes per pair.
+      std::vector<const std::uint8_t*> masks(n);
+      for (std::size_t a = 0; a < n; ++a) {
+        masks[a] = core::kernels::NormalizeMask(full.data(), m);
+      }
+      double acc = 0;
+      double mom[5];
+      std::size_t valid = 0;
+      for (std::size_t a = 0; a < n; ++a) {
+        acc += core::kernels::MaskedColumnMarginals(columns[a].data(), masks[a], m)
+                   .marginals.sum;
+        for (std::size_t b = a + 1; b < n; ++b) {
+          core::kernels::MaskedFusedPairMoments(columns[a].data(), columns[b].data(),
+                                                masks[a], masks[b], m, mom, &valid);
+          acc += mom[4];
+        }
+      }
+      return acc;
+    };
+
+    const std::size_t rounds = 4;
+    const std::size_t sweeps_per_round = quick ? 5 : 12;
+    std::vector<double> dense_samples;
+    std::vector<double> masked_samples;
+    dense_sweep();  // warm the cache once before either side is timed
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t s = 0; s < sweeps_per_round; ++s) {
+        Stopwatch watch;
+        dense_check = dense_sweep();
+        dense_samples.push_back(watch.ElapsedSeconds() * 1e6);
+      }
+      for (std::size_t s = 0; s < sweeps_per_round; ++s) {
+        Stopwatch watch;
+        masked_check = masked_sweep();
+        masked_samples.push_back(watch.ElapsedSeconds() * 1e6);
+      }
+    }
+    result.dense_sweep_us = MedianUs(dense_samples);
+    result.masked_sweep_us = MedianUs(masked_samples);
+    result.masked_overhead = result.masked_sweep_us / result.dense_sweep_us - 1.0;
+    result.bitwise_identical = dense_check == masked_check;
+    if (!result.bitwise_identical) {
+      std::fprintf(stderr, "FAIL: full-mask masked sweep diverged from the dense sweep\n");
+      gate_ok = false;
+    }
+    if (result.masked_overhead > 0.10) {
+      std::fprintf(stderr,
+                   "FAIL: masked kernels on a fully-valid window cost %.1f%% over dense "
+                   "(> 10%%)\n",
+                   result.masked_overhead * 100.0);
+      gate_ok = false;
+    }
+  }
+
+  // Steady-state refresh with ~5% gaps, against the dense baseline on the
+  // same values. The dirty feed reproduces the aligner's emission: a
+  // missing sample carries the last value forward, counts as filled while
+  // the gap is ≤ max_fill rows old and as an explicit gap beyond that.
+  {
+    ts::DatasetSpec spec;
+    spec.num_series = 64;
+    spec.num_samples = 2048;
+    spec.num_clusters = 4;
+    spec.noise_level = 0.015;
+    spec.seed = 7;
+    const ts::Dataset feed = ts::MakeStockData(spec);
+    const std::size_t n = feed.matrix.n();
+    const std::size_t window = 512;
+    const std::size_t interval = 16;
+    const std::size_t measured = quick ? 8 : 32;
+    const std::size_t max_fill = 4;
+
+    core::StreamingOptions options;
+    options.window = window;
+    options.rebuild_interval = interval;
+    options.mode = core::UpdateMode::kIncremental;
+    options.build.afclst.k = 4;
+    options.build.build_dft = false;
+
+    auto dirty = core::StreamingAffinity::Create(feed.matrix.names(), options);
+    auto dense = core::StreamingAffinity::Create(feed.matrix.names(), options);
+    if (!dirty.ok() || !dense.ok()) {
+      std::fprintf(stderr, "create failed\n");
+      return 1;
+    }
+
+    // Dirty stream: aligner-style masked rows with ~5% missing samples.
+    // Outages are bursty (runs of 1–10 rows) so some runs outlive the
+    // fill horizon and the stream carries explicit gaps, not just fills.
+    Xoshiro256 rng(41);
+    std::vector<double> last(n, 0.0);
+    std::vector<std::size_t> gap_age(n, 0);
+    std::vector<std::size_t> gap_left(n, 0);
+    std::vector<double> values(n);
+    std::vector<std::uint8_t> valid(n);
+    std::vector<std::uint8_t> filled(n);
+    std::size_t cells = 0, gap_cells = 0, fill_cells = 0;
+    std::size_t next = 0;
+    const auto append_dirty = [&]() {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double fresh = feed.matrix.matrix()(next % feed.matrix.m(), j);
+        if (gap_left[j] == 0 && rng.NextDouble() < 0.01) {
+          gap_left[j] = 1 + rng.NextBounded(10);
+        }
+        const bool missing = gap_left[j] > 0;
+        if (missing) {
+          --gap_left[j];
+          ++gap_age[j];
+          values[j] = last[j];
+          if (gap_age[j] <= max_fill) {
+            valid[j] = 1;
+            filled[j] = 1;
+            ++fill_cells;
+          } else {
+            valid[j] = 0;
+            filled[j] = 0;
+            ++gap_cells;
+          }
+        } else {
+          gap_age[j] = 0;
+          last[j] = fresh;
+          values[j] = fresh;
+          valid[j] = 1;
+          filled[j] = 0;
+        }
+        ++cells;
+      }
+      ++next;
+      if (!dirty->AppendMasked(values, valid, filled).ok()) {
+        std::fprintf(stderr, "masked append failed\n");
+        std::exit(1);
+      }
+    };
+    while (!dirty->ready()) append_dirty();
+    for (std::size_t i = 0; i < interval; ++i) append_dirty();
+    double dirty_total = 0;
+    {
+      Stopwatch watch;
+      for (std::size_t r = 0; r < measured; ++r) {
+        for (std::size_t i = 0; i < interval; ++i) append_dirty();
+        ++result.refreshes;
+      }
+      dirty_total = watch.ElapsedSeconds();
+    }
+
+    // Dense baseline: the same generator values through plain Append, on
+    // its own stream so the two measurements never interleave.
+    double dense_total = 0;
+    {
+      std::vector<double> row(n);
+      std::size_t dense_next = 0;
+      const auto append_dense = [&]() {
+        for (std::size_t j = 0; j < n; ++j) {
+          row[j] = feed.matrix.matrix()(dense_next % feed.matrix.m(), j);
+        }
+        ++dense_next;
+        if (!dense->Append(row).ok()) {
+          std::fprintf(stderr, "append failed\n");
+          std::exit(1);
+        }
+      };
+      while (!dense->ready()) append_dense();
+      for (std::size_t i = 0; i < interval; ++i) append_dense();
+      Stopwatch watch;
+      for (std::size_t r = 0; r < measured; ++r) {
+        for (std::size_t i = 0; i < interval; ++i) append_dense();
+      }
+      dense_total = watch.ElapsedSeconds();
+    }
+    result.dirty_mean_us = dirty_total * 1e6 / static_cast<double>(measured);
+    result.dense_mean_us = dense_total * 1e6 / static_cast<double>(measured);
+    result.gap_ratio = static_cast<double>(gap_cells) / static_cast<double>(cells);
+    result.fill_ratio = static_cast<double>(fill_cells) / static_cast<double>(cells);
+
+    const std::vector<double>& scores = dirty->quality_scores();
+    if (scores.size() != n) {
+      std::fprintf(stderr, "FAIL: quality surface not published (%zu scores)\n", scores.size());
+      return 1;
+    }
+    double qmin = 1.0, qsum = 0.0;
+    for (const double s : scores) {
+      qmin = std::min(qmin, s);
+      qsum += s;
+    }
+    result.quality_min = qmin;
+    result.quality_mean = qsum / static_cast<double>(n);
+
+    core::MetRequest req;
+    req.measure = core::Measure::kCorrelation;
+    req.tau = 0.5;
+    req.greater = true;
+    auto met = dirty->Met(req);
+    if (!met.ok() || !met->quality.populated) {
+      std::fprintf(stderr, "FAIL: MET over the dirty stream did not answer with quality\n");
+      return 1;
+    }
+    result.met_pairs = met->pairs.size();
+    result.met_min_score = met->quality.min_score;
+  }
+
+  std::printf("# bench_streaming --dirty — masked kernels & dirty-stream refresh "
+              "(DESIGN.md §12)\n");
+  std::printf("metric,value\n");
+  std::printf("dense_sweep_us,%.1f\n", result.dense_sweep_us);
+  std::printf("masked_fullmask_sweep_us,%.1f\n", result.masked_sweep_us);
+  std::printf("masked_overhead_pct,%.2f\n", result.masked_overhead * 100.0);
+  std::printf("fullmask_bitwise_identical,%s\n", result.bitwise_identical ? "yes" : "no");
+  std::printf("dirty_refresh_mean_us,%.1f\n", result.dirty_mean_us);
+  std::printf("dense_refresh_mean_us,%.1f\n", result.dense_mean_us);
+  std::printf("dirty_over_dense,%.3f\n", result.dirty_mean_us / result.dense_mean_us);
+  std::printf("gap_ratio,%.4f\n", result.gap_ratio);
+  std::printf("fill_ratio,%.4f\n", result.fill_ratio);
+  std::printf("quality_min,%.4f\n", result.quality_min);
+  std::printf("quality_mean,%.4f\n", result.quality_mean);
+  std::printf("met_pairs,%zu\n", result.met_pairs);
+  std::printf("met_min_score,%.4f\n", result.met_min_score);
+
+  if (json) {
+    FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"context\": {\"executable\": \"bench_streaming\", "
+                 "\"mode\": \"dirty\", \"kernel_backend\": \"%s\"},\n  \"benchmarks\": [\n",
+                 core::kernels::ActiveBackendName());
+    std::fprintf(out,
+                 "    {\"name\": \"masked_fullmask_sweep/window:4096\", "
+                 "\"run_type\": \"iteration\", \"iterations\": 1, \"real_time\": %.3f, "
+                 "\"cpu_time\": %.3f, \"time_unit\": \"us\", \"dense_us\": %.3f, "
+                 "\"overhead_pct\": %.3f, \"bitwise_identical\": %s},\n",
+                 result.masked_sweep_us, result.masked_sweep_us, result.dense_sweep_us,
+                 result.masked_overhead * 100.0, result.bitwise_identical ? "true" : "false");
+    std::fprintf(out,
+                 "    {\"name\": \"dirty_refresh/window:512/interval:16/gaps:5pct\", "
+                 "\"run_type\": \"iteration\", \"iterations\": %zu, \"real_time\": %.3f, "
+                 "\"cpu_time\": %.3f, \"time_unit\": \"us\", \"dense_us\": %.3f, "
+                 "\"gap_ratio\": %.4f, \"fill_ratio\": %.4f, \"quality_min\": %.4f, "
+                 "\"quality_mean\": %.4f, \"met_pairs\": %zu, \"met_min_score\": %.4f}\n",
+                 result.refreshes, result.dirty_mean_us, result.dirty_mean_us,
+                 result.dense_mean_us, result.gap_ratio, result.fill_ratio, result.quality_min,
+                 result.quality_mean, result.met_pairs, result.met_min_score);
+    std::fprintf(out, "  ]\n}\n");
+    if (!out_path.empty()) std::fclose(out);
+  }
+  return gate_ok ? 0 : 1;
+}
+
 Result RunConfig(const Config& config, const ts::Dataset& feed, std::size_t measured) {
   core::StreamingOptions options;
   options.window = config.window;
@@ -943,6 +1276,7 @@ int main(int argc, char** argv) {
   bool dot12 = false;
   bool serve = false;
   bool serve_publish = false;
+  bool dirty = false;
   std::string out_path;
   std::vector<std::size_t> shard_counts;
   for (int i = 1; i < argc; ++i) {
@@ -952,6 +1286,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--dot12") == 0) dot12 = true;
     else if (std::strcmp(argv[i], "--serve") == 0) serve = true;
     else if (std::strcmp(argv[i], "--serve-publish") == 0) serve_publish = true;
+    else if (std::strcmp(argv[i], "--dirty") == 0) dirty = true;
     else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       for (const char* p = argv[i] + 9; *p != '\0';) {
         char* end = nullptr;
@@ -964,13 +1299,16 @@ int main(int argc, char** argv) {
         p = *end == ',' ? end + 1 : end;
       }
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--dot12] [--serve] [--serve-publish] "
+      std::printf("usage: %s [--quick] [--dot12] [--serve] [--serve-publish] [--dirty] "
                   "[--shards=N,M,...] [--benchmark_format=json] [--benchmark_out=FILE]\n",
                   argv[0]);
       return 0;
     }
   }
 
+  if (dirty) {
+    return RunDirtySweep(quick, json, out_path);
+  }
   if (serve_publish) {
     return RunServePublishSweep(quick, json, out_path);
   }

@@ -38,6 +38,38 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
     return Status::InvalidArgument("AFCLST requires max_iterations >= 1");
   }
 
+  const bool quality_active =
+      options.min_center_quality > 0.0 && !options.series_quality.empty();
+  if (quality_active && options.series_quality.size() != n) {
+    return Status::InvalidArgument("AFCLST series_quality size " +
+                                   std::to_string(options.series_quality.size()) +
+                                   " does not match n=" + std::to_string(n));
+  }
+
+  // Series eligible to seed or steer a centre. Low-quality series (below
+  // min_center_quality) are excluded — they still get assigned, but a
+  // heavily forward-filled column must not define a pivot. When every
+  // series is below the bar the exclusion disables itself (a centre-less
+  // clustering is worse than a noisy one). With the exclusion off this is
+  // the identity list, and the seeding below consumes the rng exactly as
+  // before.
+  std::vector<std::size_t> seedable;
+  seedable.reserve(n);
+  std::vector<char> eligible(n, 1);
+  if (quality_active) {
+    for (std::size_t j = 0; j < n; ++j) {
+      eligible[j] = options.series_quality[j] >= options.min_center_quality ? 1 : 0;
+      if (eligible[j]) seedable.push_back(j);
+    }
+    if (seedable.size() < options.k) {  // too few clean series to seed k centres
+      seedable.clear();
+      std::fill(eligible.begin(), eligible.end(), 1);
+    }
+  }
+  if (seedable.empty()) {
+    for (std::size_t j = 0; j < n; ++j) seedable.push_back(j);
+  }
+
   Xoshiro256 rng(options.seed);
   const std::size_t k = options.k;
 
@@ -65,7 +97,7 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
   // prone to merging planted clusters.
   la::Matrix centers(m, k);
   {
-    la::Vector first = centered.Col(rng.NextBounded(n));
+    la::Vector first = centered.Col(seedable[rng.NextBounded(seedable.size())]);
     if (first.Normalize() == 0.0) first[0] = 1.0;  // constant series: arbitrary axis
     centers.SetCol(0, first);
     std::vector<double> best_err(n, 0.0);
@@ -75,8 +107,8 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
       }
     });
     for (std::size_t l = 1; l < k; ++l) {
-      std::size_t farthest = 0;
-      for (std::size_t j = 1; j < n; ++j) {
+      std::size_t farthest = seedable[0];
+      for (const std::size_t j : seedable) {
         if (best_err[j] > best_err[farthest]) farthest = j;
       }
       la::Vector c = centered.Col(farthest);
@@ -131,13 +163,19 @@ StatusOr<AfclstResult> RunAfclst(const ts::DataMatrix& data, const AfclstOptions
     // Empty-cluster re-seeds draw from the rng first, sequentially in
     // cluster order, so the random sequence never depends on scheduling;
     // the SVD-based updates then fan out over clusters.
+    // Only quality-eligible members steer the SVD; a cluster whose members
+    // are all low-quality keeps its current centre (it is not empty — its
+    // assignment is still meaningful — so it must not be re-seeded).
     std::vector<std::vector<la::Vector>> members(k);
+    std::vector<std::size_t> population(k, 0);
     for (std::size_t j = 0; j < n; ++j) {
-      members[static_cast<std::size_t>(result.assignment[j])].push_back(centered.Col(j));
+      const auto l = static_cast<std::size_t>(result.assignment[j]);
+      ++population[l];
+      if (eligible[j]) members[l].push_back(centered.Col(j));
     }
     for (std::size_t l = 0; l < k; ++l) {
-      if (members[l].empty()) {
-        la::Vector c = centered.Col(rng.NextBounded(n));
+      if (population[l] == 0) {
+        la::Vector c = centered.Col(seedable[rng.NextBounded(seedable.size())]);
         if (c.Normalize() == 0.0) c[0] = 1.0;
         centers.SetCol(l, c);
       }

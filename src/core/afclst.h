@@ -33,6 +33,17 @@ struct AfclstOptions {
   int max_iterations = 10;    ///< γ_max
   int min_changes = 10;       ///< δ_min: stop when changes ≤ this
   std::uint64_t seed = 1;     ///< centre-initialization seed
+  /// Dirty-data pivot hygiene (DESIGN.md §12): series whose composite
+  /// quality score (in `series_quality`) falls below this threshold are
+  /// still *assigned* to clusters but never seed a centre and never enter
+  /// a centre's SVD update — a gappy, heavily forward-filled series must
+  /// not steer the pivot every other series is approximated against. 0
+  /// (the default) disables the exclusion entirely.
+  double min_center_quality = 0.0;
+  /// Per-series quality scores, aligned with the data columns. Empty
+  /// disables the exclusion; otherwise the size must equal n. Ignored
+  /// when `min_center_quality` is 0.
+  std::vector<double> series_quality = {};
 };
 
 /// AFCLST output: the centres r_ℓ and the assignment function ω.

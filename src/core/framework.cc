@@ -22,6 +22,21 @@ StatusOr<Affinity> Affinity::Build(const ts::DataMatrix& data, const AffinityOpt
 StatusOr<Affinity> Affinity::BuildWith(const ts::DataMatrix& data, const AffinityOptions& options,
                                        const ExecContext& exec) {
   Stopwatch total;
+  // A single NaN/Inf sample silently poisons every moment, fit and index
+  // key downstream — reject it here, at the only gate all build paths
+  // share, with a coordinate the caller can act on. (Dirty sources repair
+  // through ts::StreamAligner before any build sees them.) The O(n·m)
+  // scan is noise next to the O(n²·m) build it protects.
+  for (std::size_t j = 0; j < data.n(); ++j) {
+    const double* col = data.ColumnData(static_cast<ts::SeriesId>(j));
+    for (std::size_t i = 0; i < data.m(); ++i) {
+      if (!std::isfinite(col[i])) {
+        return Status::InvalidArgument("data(" + std::to_string(i) + ", " + std::to_string(j) +
+                                       ") is not finite; repair dirty input through "
+                                       "ts::StreamAligner before building");
+      }
+    }
+  }
   AFFINITY_ASSIGN_OR_RETURN(AffinityModel model,
                             BuildAffinityModel(data, options.afclst, options.symex, exec));
   AFFINITY_ASSIGN_OR_RETURN(Affinity fw, FromModelWith(std::move(model), options, exec));

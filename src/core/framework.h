@@ -124,6 +124,7 @@ class Affinity {
   friend class StreamingAffinity;
   AffinityModel* mutable_model() { return model_.get(); }
   ScapeIndex* mutable_scape() { return scape_.get(); }
+  QueryEngine* mutable_engine() { return engine_.get(); }
 
   std::unique_ptr<ThreadPool> pool_;  ///< set when Build created its own
   ExecContext exec_;

@@ -288,6 +288,10 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
 StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<double>>& rows,
                                               std::size_t count, const ExecContext& exec) {
   Stopwatch watch;
+  if (inject_failures_ > 0) {
+    --inject_failures_;
+    return Status::Internal("injected maintenance failure (testing)");
+  }
   const std::size_t w = window_;
   if (count > rows.size()) {
     return Status::InvalidArgument("Advance count " + std::to_string(count) + " exceeds " +

@@ -205,6 +205,13 @@ class IncrementalMaintainer {
   /// log must outlive the maintainer or be reset before destruction.
   void set_scape_delta_log(ScapeDeltaLog* log) { scape_delta_log_ = log; }
 
+  /// Fault injection for recovery tests: the next `count` Advance calls
+  /// fail with Internal before touching any state, exercising the
+  /// caller's escalation path (streaming re-freezes the whole stack from
+  /// the table). The counter decrements per failed call and the maintainer
+  /// behaves normally once it reaches zero.
+  void InjectFailuresForTesting(std::size_t count) { inject_failures_ = count; }
+
  private:
   /// One maintained relationship: the hash slot it publishes into plus its
   /// windowed right-hand-side accumulators and monitor state.
@@ -284,6 +291,7 @@ class IncrementalMaintainer {
   std::vector<PivotSlot> pivot_slots_;
   std::vector<PairSlot> slots_;
   MaintenanceProfile profile_;
+  std::size_t inject_failures_ = 0;  ///< InjectFailuresForTesting countdown
 };
 
 }  // namespace affinity::core

@@ -41,6 +41,11 @@ void AnnotateSnapshotServed(PlanChoice* plan, std::uint64_t generation) {
       "; served from read-optimized snapshot (generation " + std::to_string(generation) + ")";
 }
 
+void AnnotateQualityFiltered(PlanChoice* plan, double min_quality, std::size_t excluded) {
+  plan->rationale += "; quality filter min_quality=" + std::to_string(min_quality) +
+                     " excluded " + std::to_string(excluded) + " candidate(s)";
+}
+
 double QueryPlanner::NaiveUnitCost(Measure measure) const {
   // Calibrated to the marginal-hoisted blocked kernels (DESIGN.md §10):
   // every pair measure costs one fused Σxy pass (2m flops); the hoisted

@@ -51,6 +51,13 @@ struct PlanChoice;
 /// output still shows where it ran.
 void AnnotateSnapshotServed(PlanChoice* plan, std::uint64_t generation);
 
+/// Marks `plan` as post-filtered by the per-series quality predicate
+/// (DESIGN.md §12): candidates touching a series whose composite quality
+/// score fell below `min_quality` were excluded (`excluded` of them).
+/// Appends to the rationale only — method and cost are untouched, so the
+/// quality filter composes with any strategy.
+void AnnotateQualityFiltered(PlanChoice* plan, double min_quality, std::size_t excluded);
+
 /// The planner's verdict for one query.
 struct PlanChoice {
   QueryMethod method = QueryMethod::kNaive;
@@ -64,9 +71,10 @@ class QueryPlanner {
  public:
   /// Which strategies are available.
   struct Capabilities {
-    bool has_model = false;  ///< WA (SYMEX output)
-    bool has_scape = false;  ///< SCAPE index
-    bool has_dft = false;    ///< WF sketches
+    bool has_model = false;    ///< WA (SYMEX output)
+    bool has_scape = false;    ///< SCAPE index
+    bool has_dft = false;      ///< WF sketches
+    bool has_quality = false;  ///< per-series quality surface (DESIGN.md §12)
   };
 
   /// Shard topology of the deployment answering the query. The default is

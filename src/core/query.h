@@ -47,10 +47,26 @@ namespace affinity::core {
 /// "explicitly requested" record otherwise.
 using ExecutedPlan = PlanChoice;
 
+/// Quality stamp of one answer (DESIGN.md §12): the worst composite
+/// quality score among the series the answer touched, and how many
+/// candidates the `min_quality` predicate excluded. `populated` is set
+/// only when a quality surface was attached to the answering engine —
+/// dense deployments without one are unchanged.
+struct AnswerQuality {
+  bool populated = false;
+  double min_score = 1.0;   ///< worst score among touched series
+  std::size_t excluded = 0; ///< candidates dropped by the predicate
+};
+
 /// Query 1 — measure computation over a set of series ψ.
 struct MecRequest {
   Measure measure = Measure::kCovariance;
   std::vector<ts::SeriesId> ids;  ///< ψ ⊆ I
+  /// Quality predicate (DESIGN.md §12): every id in ψ must have composite
+  /// quality ≥ min_quality, else the query fails FailedPrecondition (the
+  /// response shape is id-aligned, so silent exclusion is not an option).
+  /// 0 (default) disables the predicate.
+  double min_quality = 0.0;
 };
 
 /// MEC response: `location[i]` for L-measures (aligned with request ids),
@@ -59,6 +75,7 @@ struct MecResponse {
   la::Vector location;
   la::Matrix pair_values;
   ExecutedPlan plan;
+  AnswerQuality quality;
 };
 
 /// Query 2 — measure threshold: entities with measure > τ (or < τ).
@@ -66,6 +83,9 @@ struct MetRequest {
   Measure measure = Measure::kCovariance;
   double tau = 0.0;
   bool greater = true;
+  /// Quality predicate: keep only entities whose series (both endpoints
+  /// for pairs) score ≥ min_quality. 0 disables.
+  double min_quality = 0.0;
 };
 
 /// Query 3 — measure range: entities with measure strictly in (lo, hi).
@@ -73,6 +93,9 @@ struct MerRequest {
   Measure measure = Measure::kCovariance;
   double lo = 0.0;
   double hi = 0.0;
+  /// Quality predicate: keep only entities whose series (both endpoints
+  /// for pairs) score ≥ min_quality. 0 disables.
+  double min_quality = 0.0;
 };
 
 /// Top-k query (extension): the k entities with the largest (or smallest)
@@ -81,6 +104,9 @@ struct TopKRequest {
   Measure measure = Measure::kCorrelation;
   std::size_t k = 10;
   bool largest = true;
+  /// Quality predicate: only entities whose series (both endpoints for
+  /// pairs) score ≥ min_quality compete for the k slots. 0 disables.
+  double min_quality = 0.0;
 };
 
 /// Result of a MET/MER query: series ids for L-measures, sequence pairs for
@@ -90,12 +116,14 @@ struct SelectionResult {
   std::vector<ts::SequencePair> pairs;
   PruneStats prune;
   ExecutedPlan plan;
+  AnswerQuality quality;
 };
 
 /// Engine-level top-k result: the index-side entries plus the plan that
 /// produced them.
 struct TopKResult : ScapeTopKResult {
   ExecutedPlan plan;
+  AnswerQuality quality;
 };
 
 /// The selection predicates — keep(value, a, b) — shared by the engine's
@@ -169,6 +197,17 @@ class QueryEngine {
   /// Enables the SCAPE strategy (MET/MER).
   void AttachScape(const ScapeIndex* scape) { scape_ = scape; }
 
+  /// Attaches the per-series quality surface (DESIGN.md §12): composite
+  /// scores in [0, 1], one per series id. Enables the `min_quality`
+  /// request predicate and stamps every answer's AnswerQuality. The
+  /// vector must outlive the engine and track data_->n(); nullptr
+  /// detaches (requests with min_quality > 0 then fail
+  /// FailedPrecondition).
+  void AttachQuality(const std::vector<double>* scores) { quality_ = scores; }
+
+  /// The attached quality surface (nullptr when none).
+  const std::vector<double>* quality() const { return quality_; }
+
   /// Sets the execution context used by full-sweep queries. The pool (if
   /// any) must outlive the engine; default is sequential.
   void SetExec(const ExecContext& exec) { exec_ = exec; }
@@ -217,10 +256,17 @@ class QueryEngine {
                                                  bool (*keep)(double, double, double), double a,
                                                  double b) const;
 
+  /// Shared epilogue of the quality-aware query paths: verifies the
+  /// predicate is servable (quality attached when min_quality > 0).
+  Status CheckQualityPredicate(double min_quality) const;
+  /// Score of one series under the attached surface (1.0 when detached).
+  double QualityScore(ts::SeriesId v) const;
+
   const ts::DataMatrix* data_;
   const AffinityModel* model_ = nullptr;
   std::size_t wf_coefficients_ = 0;  ///< 0 = WF disabled
   const ScapeIndex* scape_ = nullptr;
+  const std::vector<double>* quality_ = nullptr;
   ExecContext exec_;
 };
 

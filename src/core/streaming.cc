@@ -147,14 +147,21 @@ StatusOr<StreamingAffinity> StreamingAffinity::Restore(AffinityModel model,
   }
   StreamingAffinity stream(std::move(table), options, nullptr, exec);
   stream.InitBuffers(n);
-  // Replay the window through the rolling moments so the live marginals
-  // match the restored snapshot exactly.
+  // Replay the window through the rolling moments (and the quality ring,
+  // as fully observed rows — a checkpoint stores no masks) so the live
+  // marginals match the restored snapshot exactly.
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) stream.rolling_[j].Push(model.data().matrix()(i, j));
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = model.data().matrix()(i, j);
+      stream.rolling_[j].Push(row[j]);
+    }
+    stream.quality_->Push(row.data(), nullptr, nullptr);
   }
+  stream.RefreshQualityScores();
   AFFINITY_ASSIGN_OR_RETURN(Affinity fw,
                             Affinity::FromModelWith(std::move(model), options.build, exec));
   stream.framework_ = std::make_unique<Affinity>(std::move(fw));
+  stream.framework_->mutable_engine()->AttachQuality(&stream.quality_scores_);
   stream.rows_ = m;
   stream.snapshot_row_ = m;
   stream.rebuilds_ = 1;
@@ -182,6 +189,8 @@ void StreamingAffinity::InitBuffers(std::size_t series_count) {
   for (std::size_t j = 0; j < series_count; ++j) {
     rolling_.emplace_back(options_.window);
   }
+  quality_ = std::make_unique<ts::QualityTracker>(series_count, options_.window);
+  quality_scores_.assign(series_count, 1.0);
   if (options_.mode == UpdateMode::kIncremental) {
     // One interval of rows, preallocated once: the append hot path copies
     // into this pool and never allocates in steady state.
@@ -191,17 +200,53 @@ void StreamingAffinity::InitBuffers(std::size_t series_count) {
 }
 
 AppendResult StreamingAffinity::Append(const std::vector<double>& row) {
+  return AppendRow(row, nullptr, nullptr);
+}
+
+AppendResult StreamingAffinity::AppendMasked(const std::vector<double>& values,
+                                             const std::vector<std::uint8_t>& valid,
+                                             const std::vector<std::uint8_t>& filled) {
   AppendResult out;
-  out.status = table_.AppendRow(row);
+  if (valid.size() != values.size() || filled.size() != values.size()) {
+    out.status = Status::InvalidArgument(
+        "AppendMasked masks must match the row (" + std::to_string(values.size()) +
+        " values, " + std::to_string(valid.size()) + " valid, " +
+        std::to_string(filled.size()) + " filled)");
+    return out;
+  }
+  return AppendRow(values, valid.data(), filled.data());
+}
+
+AppendResult StreamingAffinity::AppendRow(const std::vector<double>& values,
+                                          const std::uint8_t* valid,
+                                          const std::uint8_t* filled) {
+  AppendResult out;
+  // Reject non-finite input before any state mutates: one NaN reaching the
+  // rolling moments (or the window) would poison every downstream sum, and
+  // a partially applied row would desynchronize table/rolling/quality.
+  // Dirty streams pre-repair through ts::StreamAligner, which emits dense
+  // finite rows plus the masks.
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    if (!std::isfinite(values[j])) {
+      out.status = Status::InvalidArgument(
+          "row value for series " + std::to_string(j) +
+          " is not finite; align dirty streams through ts::StreamAligner + AppendMasked");
+      return out;
+    }
+  }
+  out.status = table_.AppendRow(values);
   if (!out.status.ok()) return out;
   ++rows_;
   ++rows_since_refresh_;
   // O(1)-per-sample window moments (ts/rolling): the live marginals behind
   // the freshness blend, current even while the snapshot ages.
-  for (std::size_t j = 0; j < row.size(); ++j) rolling_[j].Push(row[j]);
+  for (std::size_t j = 0; j < values.size(); ++j) rolling_[j].Push(values[j]);
+  // The quality ring mirrors the window's masks; a plain append is a fully
+  // observed row (null masks).
+  quality_->Push(values.data(), valid, filled);
   if (options_.mode == UpdateMode::kIncremental && framework_ != nullptr) {
     if (pending_used_ == pending_.size()) pending_.emplace_back();
-    pending_[pending_used_].assign(row.begin(), row.end());
+    pending_[pending_used_].assign(values.begin(), values.end());
     ++pending_used_;
   }
   if (rows_ >= options_.window &&
@@ -214,6 +259,11 @@ AppendResult StreamingAffinity::Append(const std::vector<double>& row) {
     table_.CompactBefore(rows_ - options_.window);
   }
   return out;
+}
+
+void StreamingAffinity::RefreshQualityScores() {
+  const std::vector<double>& scores = quality_->Scores();
+  quality_scores_.assign(scores.begin(), scores.end());
 }
 
 AppendResult StreamingAffinity::Refresh() {
@@ -255,7 +305,11 @@ AppendResult StreamingAffinity::Refresh() {
     // (a rebuild constructs fresh sketches itself).
     out.status = framework_->RefreshWf();
     out.refreshed = out.status.ok();
-    if (out.refreshed) PublishServingSnapshot(try_delta);
+    if (out.refreshed) {
+      // The quality surface advances with the snapshot it describes.
+      RefreshQualityScores();
+      PublishServingSnapshot(try_delta);
+    }
     return out;
   }
   out.mode = UpdateMode::kRebuild;
@@ -275,8 +329,17 @@ Status StreamingAffinity::Rebuild() {
   }
   AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix snapshot, table_.Snapshot());
   AFFINITY_ASSIGN_OR_RETURN(ts::DataMatrix window, ts::TailWindow(snapshot, options_.window));
-  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::BuildWith(window, options_.build, exec_));
+  // Quality advances to the rebuilt window first: the AFCLST pivot-hygiene
+  // exclusion (when enabled) and the engine's quality surface must both
+  // describe the window this build is about to freeze.
+  RefreshQualityScores();
+  AffinityOptions build = options_.build;
+  if (build.afclst.min_center_quality > 0.0) {
+    build.afclst.series_quality = quality_scores_;
+  }
+  AFFINITY_ASSIGN_OR_RETURN(Affinity fw, Affinity::BuildWith(window, build, exec_));
   framework_ = std::make_unique<Affinity>(std::move(fw));
+  framework_->mutable_engine()->AttachQuality(&quality_scores_);
   maintainer_ = nullptr;
   if (options_.mode == UpdateMode::kIncremental) {
     AFFINITY_ASSIGN_OR_RETURN(
@@ -534,6 +597,53 @@ StatusOr<MecResponse> StreamingAffinity::BlendedMec(const MecRequest& request) c
   return out;
 }
 
+namespace {
+
+// Quality stamps for snapshot-served answers (DESIGN.md §12). The serving
+// replica carries no quality surface (it bounces min_quality > 0 to the
+// live engine), but `quality_scores_` is refreshed at exactly the
+// publication points — so the live surface is as-of the served epoch and
+// the facade can stamp the answer the live engine would have produced.
+
+double FoldSeriesScore(const std::vector<double>& scores, ts::SeriesId v, double acc) {
+  return v < scores.size() ? std::min(acc, scores[v]) : acc;
+}
+
+void StampSelectionQuality(const std::vector<double>& scores, SelectionResult* out) {
+  out->quality.populated = true;
+  double lo = 1.0;
+  for (const ts::SeriesId v : out->series) lo = FoldSeriesScore(scores, v, lo);
+  for (const ts::SequencePair& p : out->pairs) {
+    lo = FoldSeriesScore(scores, p.u, lo);
+    lo = FoldSeriesScore(scores, p.v, lo);
+  }
+  out->quality.min_score = lo;
+}
+
+void StampTopKQuality(const std::vector<double>& scores, TopKResult* out) {
+  out->quality.populated = true;
+  double lo = 1.0;
+  for (const ScapeTopKEntry& e : out->entries) {
+    if (e.has_series()) {
+      lo = FoldSeriesScore(scores, e.series, lo);
+    } else {
+      lo = FoldSeriesScore(scores, e.pair.u, lo);
+      lo = FoldSeriesScore(scores, e.pair.v, lo);
+    }
+  }
+  out->quality.min_score = lo;
+}
+
+void StampMecQuality(const std::vector<double>& scores, const std::vector<ts::SeriesId>& ids,
+                     MecResponse* out) {
+  out->quality.populated = true;
+  double lo = 1.0;
+  for (const ts::SeriesId v : ids) lo = FoldSeriesScore(scores, v, lo);
+  out->quality.min_score = lo;
+}
+
+}  // namespace
+
 StatusOr<bool> StreamingAffinity::PrepareFreshness(const FreshnessOptions& options,
                                                    FreshnessReport* report) const {
   // Zero the report unconditionally first: every exit of every freshness
@@ -558,7 +668,11 @@ StatusOr<MecResponse> StreamingAffinity::Mec(const MecRequest& request,
     // final answer, success or error.
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotMec(*snap, request, options.method);
-      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      if (served.ok()) {
+        StampMecQuality(quality_scores_, request.ids, &*served);
+        return served;
+      }
+      if (served.status().code() != StatusCode::kUnavailable) return served;
       serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().Mec(request, options.method);
@@ -575,7 +689,11 @@ StatusOr<SelectionResult> StreamingAffinity::Met(const MetRequest& request,
   if (!blend) {
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotMet(*snap, request, options.method);
-      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      if (served.ok()) {
+        StampSelectionQuality(quality_scores_, &*served);
+        return served;
+      }
+      if (served.status().code() != StatusCode::kUnavailable) return served;
       serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().Met(request, options.method);
@@ -596,7 +714,11 @@ StatusOr<SelectionResult> StreamingAffinity::Mer(const MerRequest& request,
   if (!blend) {
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotMer(*snap, request, options.method);
-      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      if (served.ok()) {
+        StampSelectionQuality(quality_scores_, &*served);
+        return served;
+      }
+      if (served.status().code() != StatusCode::kUnavailable) return served;
       serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().Mer(request, options.method);
@@ -614,7 +736,11 @@ StatusOr<TopKResult> StreamingAffinity::TopK(const TopKRequest& request,
   if (!blend) {
     if (auto snap = serving(); snap != nullptr) {
       auto served = serve::SnapshotTopK(*snap, request, options.method);
-      if (served.ok() || served.status().code() != StatusCode::kUnavailable) return served;
+      if (served.ok()) {
+        StampTopKQuality(quality_scores_, &*served);
+        return served;
+      }
+      if (served.status().code() != StatusCode::kUnavailable) return served;
       serve_fallbacks_->fetch_add(1, std::memory_order_relaxed);
     }
     return framework_->engine().TopK(request, options.method);

@@ -55,6 +55,7 @@
 #include "serve/serve_query.h"
 #include "serve/serving_snapshot.h"
 #include "storage/table.h"
+#include "ts/ingest.h"
 #include "ts/rolling.h"
 
 namespace affinity::core {
@@ -169,10 +170,30 @@ class StreamingAffinity {
   static StatusOr<StreamingAffinity> Restore(AffinityModel model, const StreamingOptions& options,
                                              const ExecContext& exec);
 
-  /// Appends one aligned row (one value per series). Triggers a refresh
-  /// when the window is filled and `rebuild_interval` rows arrived since
-  /// the last one; see AppendResult for how outcomes are reported.
+  /// Appends one aligned row (one value per series). Non-finite values are
+  /// rejected with InvalidArgument before any state mutates — a NaN must
+  /// never reach the moment accumulators (use the dirty-ingestion path,
+  /// ts::StreamAligner → AppendMasked, for streams that carry them).
+  /// Triggers a refresh when the window is filled and `rebuild_interval`
+  /// rows arrived since the last one; see AppendResult for how outcomes
+  /// are reported.
   AppendResult Append(const std::vector<double>& row);
+
+  /// Appends one aligned row from the dirty-ingestion path (DESIGN.md
+  /// §12): `values` is the repaired dense row (all finite — the aligner
+  /// carries each series' last known value through fills and gaps),
+  /// `valid[j]` = 0 flags an explicit gap beyond the fill horizon,
+  /// `filled[j]` = 1 marks a forward-filled cell. The masks feed the
+  /// per-series quality surface; the dense engine sees only the repaired
+  /// values. Mask sizes must match the row (InvalidArgument otherwise).
+  AppendResult AppendMasked(const std::vector<double>& values,
+                            const std::vector<std::uint8_t>& valid,
+                            const std::vector<std::uint8_t>& filled);
+
+  /// Convenience overload for the aligner's emission type.
+  AppendResult AppendMasked(const ts::AlignedRow& row) {
+    return AppendMasked(row.values, row.valid, row.filled);
+  }
 
   /// True once at least one framework snapshot exists.
   bool ready() const { return framework_ != nullptr; }
@@ -210,6 +231,32 @@ class StreamingAffinity {
   /// blend draws on, and a drift signal against the snapshot's
   /// `model().series_stats()`.
   const std::vector<ts::RollingStats>& rolling_stats() const { return rolling_; }
+
+  /// The live per-series data-quality tracker (DESIGN.md §12): a ring
+  /// mirror of the window's validity/fill masks, updated every append
+  /// (plain appends count as fully observed rows).
+  const ts::QualityTracker& quality() const { return *quality_; }
+
+  /// Quality of one series over the current window.
+  ts::SeriesQuality series_quality(ts::SeriesId v) const { return quality_->Quality(v); }
+
+  /// The composite quality scores the snapshot engine answers
+  /// `min_quality` predicates against — refreshed at every publication
+  /// point, so the surface is as-of the snapshot the engine serves (the
+  /// same freshness contract as every other snapshot answer).
+  const std::vector<double>& quality_scores() const { return quality_scores_; }
+
+  /// Arms the incremental maintainer's fault injection (recovery tests):
+  /// the next `count` refreshes fail and must heal through escalation.
+  /// FailedPrecondition when no maintainer exists (kRebuild mode or before
+  /// the first build).
+  Status InjectMaintenanceFailureForTesting(std::size_t count) {
+    if (maintainer_ == nullptr) {
+      return Status::FailedPrecondition("no incremental maintainer to inject failures into");
+    }
+    maintainer_->InjectFailuresForTesting(count);
+    return Status::OK();
+  }
 
   // --- Freshness-bounded queries (DESIGN.md §9) ---------------------------
   //
@@ -279,9 +326,17 @@ class StreamingAffinity {
                     std::unique_ptr<ThreadPool> pool, ExecContext exec)
       : pool_(std::move(pool)), exec_(exec), table_(std::move(table)), options_(options) {}
 
-  /// Shared tail of every construction path: rolling windows and the
-  /// preallocated pending-row pool.
+  /// Shared tail of every construction path: rolling windows, the quality
+  /// tracker, and the preallocated pending-row pool.
   void InitBuffers(std::size_t series_count);
+
+  /// Common body of Append/AppendMasked; null masks mean fully observed.
+  AppendResult AppendRow(const std::vector<double>& values, const std::uint8_t* valid,
+                         const std::uint8_t* filled);
+
+  /// Copies the tracker's composite scores into `quality_scores_` (the
+  /// stable vector the engine's quality surface points at).
+  void RefreshQualityScores();
 
   /// Runs one refresh (incremental or full, per options/state); called by
   /// Append when the interval elapses.
@@ -331,6 +386,12 @@ class StreamingAffinity {
   std::unique_ptr<IncrementalMaintainer> maintainer_;
   MaintenanceProfile maintenance_;
   std::vector<ts::RollingStats> rolling_;
+  /// Ring mirror of the window's validity/fill masks (DESIGN.md §12);
+  /// heap-held so the stream stays movable with a stable tracker address.
+  std::unique_ptr<ts::QualityTracker> quality_;
+  /// Composite scores attached to the snapshot engine (AttachQuality):
+  /// refreshed at publication points, stable address across refreshes.
+  std::vector<double> quality_scores_;
   /// Preallocated pool of rows awaiting the next incremental refresh:
   /// `pending_[0..pending_used_)` are live; capacity (one interval of rows)
   /// never shrinks, so steady-state appends allocate nothing.

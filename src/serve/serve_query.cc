@@ -631,6 +631,12 @@ StatusOr<ScapeTopKResult> FlatTopK(const ServingSnapshot& snap, Measure measure,
 
 StatusOr<core::MecResponse> SnapshotMec(const ServingSnapshot& snap,
                                         const core::MecRequest& request, QueryMethod method) {
+  if (request.min_quality > 0.0) {
+    // The quality surface is live state (it advances with every append,
+    // not every publication), so a frozen replica cannot answer the
+    // predicate — bounce to the live engine.
+    return Status::Unavailable("quality predicates are not snapshot-servable");
+  }
   AFFINITY_RETURN_IF_ERROR(CheckIdsServed(snap, request.ids));
   ExecutedPlan plan = ResolvePlanServed(snap, method, [&](const QueryPlanner& planner) {
     return planner.PlanMec(request.measure, request.ids.size());
@@ -686,6 +692,9 @@ StatusOr<core::MecResponse> SnapshotMec(const ServingSnapshot& snap,
 
 StatusOr<SelectionResult> SnapshotMet(const ServingSnapshot& snap,
                                       const core::MetRequest& request, QueryMethod method) {
+  if (request.min_quality > 0.0) {
+    return Status::Unavailable("quality predicates are not snapshot-servable");
+  }
   ExecutedPlan plan = ResolvePlanServed(
       snap, method, [&](const QueryPlanner& planner) { return planner.PlanMet(request.measure); });
   method = plan.method;
@@ -715,6 +724,9 @@ StatusOr<SelectionResult> SnapshotMet(const ServingSnapshot& snap,
 
 StatusOr<SelectionResult> SnapshotMer(const ServingSnapshot& snap,
                                       const core::MerRequest& request, QueryMethod method) {
+  if (request.min_quality > 0.0) {
+    return Status::Unavailable("quality predicates are not snapshot-servable");
+  }
   if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
   ExecutedPlan plan = ResolvePlanServed(
       snap, method, [&](const QueryPlanner& planner) { return planner.PlanMer(request.measure); });
@@ -743,6 +755,9 @@ StatusOr<SelectionResult> SnapshotMer(const ServingSnapshot& snap,
 
 StatusOr<core::TopKResult> SnapshotTopK(const ServingSnapshot& snap,
                                         const core::TopKRequest& request, QueryMethod method) {
+  if (request.min_quality > 0.0) {
+    return Status::Unavailable("quality predicates are not snapshot-servable");
+  }
   ExecutedPlan plan = ResolvePlanServed(snap, method, [&](const QueryPlanner& planner) {
     return planner.PlanTopK(request.measure, request.k);
   });

@@ -194,6 +194,51 @@ AppendResult ShardedAffinity::Append(const std::vector<double>& row) {
                                             std::size_t hi) {
     for (std::size_t s = lo; s < hi; ++s) append_results_[s] = shards_[s].Append(scattered[s]);
   });
+  return FinishAppend();
+}
+
+AppendResult ShardedAffinity::AppendMasked(const std::vector<double>& values,
+                                           const std::vector<std::uint8_t>& valid,
+                                           const std::vector<std::uint8_t>& filled) {
+  AppendResult out;
+  const std::size_t n = router_.partitioner().n();
+  if (values.size() != n) {
+    out.status = Status::InvalidArgument("row has " + std::to_string(values.size()) +
+                                         " values, service has " + std::to_string(n) + " series");
+    return out;
+  }
+  if (valid.size() != n || filled.size() != n) {
+    out.status = Status::InvalidArgument("mask sizes must match the row");
+    return out;
+  }
+  const std::vector<std::vector<double>>& scattered = router_.Scatter(values);
+  // Scatter the masks along the same per-shard groups. (Allocates per
+  // call — the dirty path trades hot-path purity for the quality surface;
+  // the dense Append stays allocation-free.)
+  std::vector<std::vector<std::uint8_t>> valid_s(shards_.size());
+  std::vector<std::vector<std::uint8_t>> filled_s(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& group = router_.partitioner().group(s);
+    valid_s[s].resize(group.size());
+    filled_s[s].resize(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      valid_s[s][i] = valid[group[i]];
+      filled_s[s][i] = filled[group[i]];
+    }
+  }
+  ++rows_;
+  cross_cache_.Observe(values);
+  ParallelChunks(exec_, shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo,
+                                            std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      append_results_[s] = shards_[s].AppendMasked(scattered[s], valid_s[s], filled_s[s]);
+    }
+  });
+  return FinishAppend();
+}
+
+AppendResult ShardedAffinity::FinishAppend() {
+  AppendResult out;
   // Aggregate: first error by shard index; any refresh / escalation shows,
   // with the mode of the lowest refreshed shard.
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -475,9 +520,16 @@ StatusOr<std::vector<double>> ShardedAffinity::CrossPairValues(Measure measure,
   return values;
 }
 
+double ShardedAffinity::GlobalQualityScore(ts::SeriesId global) const {
+  const SeriesPartitioner& partitioner = router_.partitioner();
+  const std::vector<double>& scores = shards_[partitioner.shard_of(global)].quality_scores();
+  const ts::SeriesId local = partitioner.local_id(global);
+  return local < scores.size() ? scores[local] : 1.0;
+}
+
 StatusOr<ShardedSelection> ShardedAffinity::SelectAcrossShards(
     Measure measure, bool (*keep)(double, double, double), double a, double b,
-    const std::function<core::PlanChoice(const QueryPlanner&)>& plan,
+    double min_quality, const std::function<core::PlanChoice(const QueryPlanner&)>& plan,
     const std::function<StatusOr<core::SelectionResult>(
         const core::StreamingAffinity&, const FreshnessOptions&, FreshnessReport*)>& shard_query,
     const FreshnessOptions& options) const {
@@ -495,6 +547,7 @@ StatusOr<ShardedSelection> ShardedAffinity::SelectAcrossShards(
   std::vector<std::vector<ts::SeriesId>> series_runs(n_shards);
   std::vector<std::vector<ts::SequencePair>> pair_runs(n_shards);
   std::vector<core::PruneStats> prunes(n_shards);
+  std::vector<core::AnswerQuality> qualities(n_shards);
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec_, n_shards, [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
         for (std::size_t s = lo; s < hi; ++s) {
@@ -503,6 +556,7 @@ StatusOr<ShardedSelection> ShardedAffinity::SelectAcrossShards(
                                     shard_query(shards_[s], per_shard, &report));
           out.shards[s] = ShardFreshness{report.snapshot_age, report.blended};
           prunes[s] = r.prune;
+          qualities[s] = r.quality;
           if (location) {
             for (ts::SeriesId& v : r.series) v = partitioner.global_id(s, v);
             std::sort(r.series.begin(), r.series.end());
@@ -518,13 +572,34 @@ StatusOr<ShardedSelection> ShardedAffinity::SelectAcrossShards(
         return Status::OK();
       }));
   for (const core::PruneStats& p : prunes) out.result.prune += p;
+  // The merged stamp: populated only when every shard answered with a
+  // quality surface; min over shard minima, exclusions summed (cross-pair
+  // exclusions added below).
+  core::AnswerQuality merged;
+  merged.populated = n_shards > 0;
+  for (const core::AnswerQuality& q : qualities) {
+    merged.populated = merged.populated && q.populated;
+    merged.min_score = std::min(merged.min_score, q.min_score);
+    merged.excluded += q.excluded;
+  }
   if (!location && n_shards > 1) {
     AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> values,
                               CrossPairValues(measure, NeedsBlend(options)));
     const std::vector<ts::SequencePair>& cross = router_.cross_pairs();
     std::vector<ts::SequencePair> kept;
     for (std::size_t i = 0; i < cross.size(); ++i) {
-      if (keep(values[i], a, b)) kept.push_back(cross[i]);
+      if (!keep(values[i], a, b)) continue;
+      // No shard model covers a cross pair, so its quality predicate runs
+      // here, against each endpoint's shard-local surface — same
+      // conjunctive semantics as QueryEngine's post-filter.
+      const double su = GlobalQualityScore(cross[i].u);
+      const double sv = GlobalQualityScore(cross[i].v);
+      if (min_quality > 0.0 && (su < min_quality || sv < min_quality)) {
+        ++merged.excluded;
+        continue;
+      }
+      if (merged.populated) merged.min_score = std::min(merged.min_score, std::min(su, sv));
+      kept.push_back(cross[i]);
     }
     pair_runs.push_back(std::move(kept));  // already lex-sorted
   }
@@ -532,6 +607,10 @@ StatusOr<ShardedSelection> ShardedAffinity::SelectAcrossShards(
     out.result.series = MergeSortedRuns(series_runs, std::less<ts::SeriesId>{});
   } else {
     out.result.pairs = MergeSortedRuns(pair_runs, std::less<ts::SequencePair>{});
+  }
+  out.result.quality = merged;
+  if (min_quality > 0.0) {
+    core::AnnotateQualityFiltered(&resolved, min_quality, merged.excluded);
   }
   out.result.plan = std::move(resolved);
   return out;
@@ -541,6 +620,7 @@ StatusOr<ShardedSelection> ShardedAffinity::Met(const core::MetRequest& request,
                                                 const FreshnessOptions& options) const {
   return SelectAcrossShards(
       request.measure, request.greater ? core::KeepGreater : core::KeepLesser, request.tau, 0.0,
+      request.min_quality,
       [&](const QueryPlanner& planner) { return planner.PlanMet(request.measure); },
       [&](const core::StreamingAffinity& shard, const FreshnessOptions& per_shard,
           FreshnessReport* report) { return shard.Met(request, per_shard, report); },
@@ -551,7 +631,7 @@ StatusOr<ShardedSelection> ShardedAffinity::Mer(const core::MerRequest& request,
                                                 const FreshnessOptions& options) const {
   if (request.lo > request.hi) return Status::InvalidArgument("MER requires lo <= hi");
   return SelectAcrossShards(
-      request.measure, core::KeepInside, request.lo, request.hi,
+      request.measure, core::KeepInside, request.lo, request.hi, request.min_quality,
       [&](const QueryPlanner& planner) { return planner.PlanMer(request.measure); },
       [&](const core::StreamingAffinity& shard, const FreshnessOptions& per_shard,
           FreshnessReport* report) { return shard.Mer(request, per_shard, report); },
@@ -574,6 +654,7 @@ StatusOr<ShardedTopK> ShardedAffinity::TopK(const core::TopKRequest& request,
 
   const SeriesPartitioner& partitioner = router_.partitioner();
   std::vector<ScapeTopKResult> runs(shards_.size());
+  std::vector<core::AnswerQuality> qualities(shards_.size());
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec_, shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
         for (std::size_t s = lo; s < hi; ++s) {
@@ -581,6 +662,7 @@ StatusOr<ShardedTopK> ShardedAffinity::TopK(const core::TopKRequest& request,
           AFFINITY_ASSIGN_OR_RETURN(core::TopKResult r,
                                     shards_[s].TopK(request, per_shard, &report));
           out.shards[s] = ShardFreshness{report.snapshot_age, report.blended};
+          qualities[s] = r.quality;
           for (ScapeTopKEntry& entry : r.entries) {
             if (entry.has_series()) {
               entry.series = partitioner.global_id(s, entry.series);
@@ -593,14 +675,29 @@ StatusOr<ShardedTopK> ShardedAffinity::TopK(const core::TopKRequest& request,
         }
         return Status::OK();
       }));
+  core::AnswerQuality merged;
+  merged.populated = !shards_.empty();
+  for (const core::AnswerQuality& q : qualities) {
+    merged.populated = merged.populated && q.populated;
+    merged.excluded += q.excluded;
+  }
   if (!core::IsLocation(request.measure) && shards_.size() > 1) {
     AFFINITY_ASSIGN_OR_RETURN(const std::vector<double> values,
                               CrossPairValues(request.measure, NeedsBlend(options)));
     const std::vector<ts::SequencePair>& cross = router_.cross_pairs();
     ScapeTopKResult cross_run;
-    cross_run.entries.resize(cross.size());
+    cross_run.entries.reserve(cross.size());
     for (std::size_t i = 0; i < cross.size(); ++i) {
-      cross_run.entries[i] = ScapeTopKEntry{cross[i], core::kNoSeries, values[i]};
+      // Cross pairs compete only when both endpoints satisfy the quality
+      // predicate (per-shard answers already restricted their own
+      // competition).
+      if (request.min_quality > 0.0 &&
+          (GlobalQualityScore(cross[i].u) < request.min_quality ||
+           GlobalQualityScore(cross[i].v) < request.min_quality)) {
+        ++merged.excluded;
+        continue;
+      }
+      cross_run.entries.push_back(ScapeTopKEntry{cross[i], core::kNoSeries, values[i]});
     }
     const std::size_t k = std::min(request.k, cross_run.entries.size());
     const auto better = [&](const ScapeTopKEntry& a, const ScapeTopKEntry& b) {
@@ -614,6 +711,22 @@ StatusOr<ShardedTopK> ShardedAffinity::TopK(const core::TopKRequest& request,
     runs.push_back(std::move(cross_run));
   }
   static_cast<ScapeTopKResult&>(out.result) = core::MergeTopK(runs, request.k, request.largest);
+  if (merged.populated) {
+    // Exact stamp over the entries that actually survived the merge.
+    for (const ScapeTopKEntry& e : out.result.entries) {
+      if (e.has_series()) {
+        merged.min_score = std::min(merged.min_score, GlobalQualityScore(e.series));
+      } else {
+        merged.min_score = std::min(merged.min_score,
+                                    std::min(GlobalQualityScore(e.pair.u),
+                                             GlobalQualityScore(e.pair.v)));
+      }
+    }
+  }
+  out.result.quality = merged;
+  if (request.min_quality > 0.0) {
+    core::AnnotateQualityFiltered(&plan, request.min_quality, merged.excluded);
+  }
   out.result.plan = std::move(plan);
   return out;
 }
@@ -647,6 +760,7 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
     const std::size_t s = partitioner.shard_of(request.ids[i]);
     positions[s].push_back(i);
     slices[s].measure = request.measure;
+    slices[s].min_quality = request.min_quality;
     slices[s].ids.push_back(partitioner.local_id(request.ids[i]));
   }
 
@@ -658,6 +772,8 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
     out.response.pair_values = la::Matrix(count, count);
   }
   // One chunk per shard (writes are shard-disjoint request positions).
+  std::vector<core::AnswerQuality> qualities(shards_.size());
+  std::vector<char> sliced(shards_.size(), 0);
   AFFINITY_RETURN_IF_ERROR(TryParallelChunks(
       exec_, shards_.size(), [&](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) -> Status {
         for (std::size_t s = lo; s < hi; ++s) {
@@ -666,6 +782,8 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
           AFFINITY_ASSIGN_OR_RETURN(core::MecResponse r,
                                     shards_[s].Mec(slices[s], per_shard, &report));
           out.shards[s] = ShardFreshness{report.snapshot_age, report.blended};
+          qualities[s] = r.quality;
+          sliced[s] = 1;
           if (location) {
             for (std::size_t t = 0; t < positions[s].size(); ++t) {
               out.response.location[positions[s][t]] = r.location[t];
@@ -755,6 +873,18 @@ StatusOr<ShardedMec> ShardedAffinity::Mec(const core::MecRequest& request,
       }
     }
   }
+  // Merged stamp over the shards the request actually touched (every id
+  // lands in exactly one slice, and each slice already enforced the
+  // FailedPrecondition contract for its ids).
+  core::AnswerQuality merged;
+  merged.populated = true;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!sliced[s]) continue;
+    merged.populated = merged.populated && qualities[s].populated;
+    merged.min_score = std::min(merged.min_score, qualities[s].min_score);
+    merged.excluded += qualities[s].excluded;
+  }
+  out.response.quality = merged;
   out.response.plan = std::move(plan);
   return out;
 }

@@ -40,6 +40,7 @@
 #include "common/thread_pool.h"
 #include "core/streaming.h"
 #include "serve/serving_snapshot.h"
+#include "ts/ingest.h"
 #include "shard/cross_cache.h"
 #include "shard/partitioner.h"
 #include "shard/shard_serve.h"
@@ -128,6 +129,21 @@ class ShardedAffinity {
   /// first per-shard error (by shard index), whether any shard refreshed /
   /// escalated, and the refresh mode of the lowest refreshed shard.
   core::AppendResult Append(const std::vector<double>& row);
+
+  /// Appends one aligned row from the dirty-ingestion path (DESIGN.md
+  /// §12): `values` is the repaired dense row, `valid`/`filled` the
+  /// aligner's masks, all sized n. Each shard ingests its slice of the
+  /// values *and* masks, so per-shard quality surfaces (and `min_quality`
+  /// predicates routed across shards) see the same gaps the unsharded
+  /// stream would.
+  core::AppendResult AppendMasked(const std::vector<double>& values,
+                                  const std::vector<std::uint8_t>& valid,
+                                  const std::vector<std::uint8_t>& filled);
+
+  /// Convenience overload for the aligner's emission type.
+  core::AppendResult AppendMasked(const ts::AlignedRow& row) {
+    return AppendMasked(row.values, row.valid, row.filled);
+  }
 
   /// True once every shard has a snapshot (they refresh in lockstep, so
   /// this flips for all shards on the same append).
@@ -239,14 +255,26 @@ class ShardedAffinity {
   /// The shared MET/MER gather: per-shard selections run concurrently on
   /// the pool (`shard_query` invokes one shard's Met/Mer), local ids are
   /// rewritten to global, the cross-shard sweep applies `keep(value, a,
-  /// b)`, and the sorted runs k-way merge.
+  /// b)` plus the `min_quality` predicate (each endpoint's score read from
+  /// its shard's live quality surface), and the sorted runs k-way merge.
   StatusOr<ShardedSelection> SelectAcrossShards(
       core::Measure measure, bool (*keep)(double, double, double), double a, double b,
+      double min_quality,
       const std::function<core::PlanChoice(const core::QueryPlanner&)>& plan,
       const std::function<StatusOr<core::SelectionResult>(
           const core::StreamingAffinity&, const core::FreshnessOptions&,
           core::FreshnessReport*)>& shard_query,
       const core::FreshnessOptions& options) const;
+
+  /// Composite quality score of one global series id, read from its
+  /// shard's live surface (DESIGN.md §12) — the router-side lookup behind
+  /// cross-pair quality filtering and answer stamping.
+  double GlobalQualityScore(ts::SeriesId global) const;
+
+  /// Shared tail of Append/AppendMasked: aggregates `append_results_`,
+  /// rolls the cross epoch and republishes the router snapshot when a
+  /// lockstep refresh ran.
+  core::AppendResult FinishAppend();
 
   /// Values of every cross-shard pair (index-aligned with
   /// router_.cross_pairs()): naive over the aligned shard snapshots, or

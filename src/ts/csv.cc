@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -87,6 +88,62 @@ StatusOr<DataMatrix> ReadCsv(const std::string& path) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     for (std::size_t j = 0; j < names.size(); ++j) values(i, j) = rows[i][j];
   }
+  return DataMatrix(std::move(values), names);
+}
+
+StatusOr<DataMatrix> ReadCsvTolerant(const std::string& path, CsvParseReport* report) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("'" + path + "' is empty (missing header)");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::vector<std::string> names = SplitCsvLine(line);
+  if (names.empty()) {
+    return Status::InvalidArgument("'" + path + "' has an empty header");
+  }
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  CsvParseReport counts;
+  std::vector<std::vector<double>> rows;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() < names.size()) ++counts.short_rows;
+    if (fields.size() > names.size()) ++counts.long_rows;
+    std::vector<double> row(names.size(), nan);
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      if (j >= fields.size() || fields[j].empty()) {
+        // Short row or empty cell: the sample is simply absent.
+        if (j < fields.size()) ++counts.missing_fields;
+        ++counts.nan_cells;
+        continue;
+      }
+      char* end = nullptr;
+      const double value = std::strtod(fields[j].c_str(), &end);
+      if (end == fields[j].c_str() || *end != '\0') {
+        ++counts.bad_fields;
+        ++counts.nan_cells;
+        continue;  // row[j] stays NaN
+      }
+      row[j] = value;
+      if (!(value == value)) ++counts.nan_cells;  // a literal "nan" field
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("'" + path + "' contains a header but no samples");
+  }
+  counts.rows = rows.size();
+
+  la::Matrix values(rows.size(), names.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < names.size(); ++j) values(i, j) = rows[i][j];
+  }
+  if (report != nullptr) *report = counts;
   return DataMatrix(std::move(values), names);
 }
 

@@ -23,6 +23,32 @@ Status WriteCsv(const DataMatrix& data, const std::string& path);
 /// malformed row (wrong field count or non-numeric value).
 StatusOr<DataMatrix> ReadCsv(const std::string& path);
 
+/// What the tolerant reader repaired (DESIGN.md §12) — the import-side
+/// half of the data-quality story: every repaired cell is a NaN the
+/// ingestion layer (ts/ingest) then turns into a masked gap.
+struct CsvParseReport {
+  std::size_t rows = 0;            ///< sample rows parsed
+  std::size_t missing_fields = 0;  ///< empty cells → NaN
+  std::size_t bad_fields = 0;      ///< non-numeric cells → NaN
+  std::size_t short_rows = 0;      ///< rows padded with NaN to the header width
+  std::size_t long_rows = 0;       ///< rows with extra fields (dropped)
+  std::size_t nan_cells = 0;       ///< total NaN cells emitted
+
+  bool clean() const {
+    return missing_fields == 0 && bad_fields == 0 && short_rows == 0 && long_rows == 0;
+  }
+};
+
+/// As ReadCsv, but tolerant of dirty exports: empty fields, non-numeric
+/// values, and ragged rows become NaN cells (short rows are NaN-padded,
+/// extra fields dropped) instead of errors, with every repair counted in
+/// `report` (optional). Still IoError for an unreadable file and
+/// InvalidArgument for a missing/empty header or a body with no samples —
+/// a file with no usable shape is an error, not a repair. The returned
+/// matrix is NOT safe to feed `Affinity::Build` directly when the report
+/// is dirty; route it through the ingestion layer first.
+StatusOr<DataMatrix> ReadCsvTolerant(const std::string& path, CsvParseReport* report = nullptr);
+
 }  // namespace affinity::ts
 
 #endif  // AFFINITY_TS_CSV_H_

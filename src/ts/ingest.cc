@@ -1,0 +1,241 @@
+#include "ts/ingest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace affinity::ts {
+
+Status ValidateIngestOptions(const IngestOptions& options) {
+  if (!std::isfinite(options.origin)) {
+    return Status::InvalidArgument("ingest origin must be finite");
+  }
+  if (!std::isfinite(options.tick) || options.tick <= 0.0) {
+    return Status::InvalidArgument("ingest tick must be a positive finite value");
+  }
+  return Status::OK();
+}
+
+StreamAligner::StreamAligner(std::size_t n, const IngestOptions& options)
+    : n_(n),
+      options_(options),
+      last_value_(n, 0.0),
+      has_last_(n, 0),
+      last_slot_(n, 0) {
+  AFFINITY_CHECK(ValidateIngestOptions(options).ok());
+  AFFINITY_CHECK(n > 0);
+}
+
+StreamAligner::PendingRow& StreamAligner::RowForSlot(std::int64_t slot) {
+  AFFINITY_DCHECK(slot >= next_slot_);
+  const std::size_t offset = static_cast<std::size_t>(slot - next_slot_);
+  while (pending_.size() <= offset) {
+    PendingRow row;
+    row.values.assign(n_, 0.0);
+    row.observed.assign(n_, 0);
+    pending_.push_back(std::move(row));
+  }
+  return pending_[offset];
+}
+
+Status StreamAligner::Push(SeriesId series, double timestamp, double value) {
+  if (series >= n_) {
+    return Status::OutOfRange("series " + std::to_string(series) + " out of range (n=" +
+                              std::to_string(n_) + ")");
+  }
+  if (!std::isfinite(timestamp)) {
+    return Status::InvalidArgument("sample timestamp must be finite");
+  }
+  // Snap to the nearest grid slot; anything off-grid is counted so the
+  // parse/ingest report surfaces clock skew.
+  const double pos = (timestamp - options_.origin) / options_.tick;
+  const double snapped = std::nearbyint(pos);
+  const std::int64_t slot = static_cast<std::int64_t>(snapped);
+  if (slot < 0) return Status::OutOfRange("sample timestamp precedes the grid origin");
+  if (std::abs(pos - snapped) > 1e-9) ++stats_.snapped;
+  if (!std::isfinite(value)) {
+    // A NaN/Inf sample is a gap, never a poisoned moment: drop the value,
+    // leave the slot unobserved, and account for it.
+    ++stats_.nonfinite;
+    return Status::OK();
+  }
+  if (slot < next_slot_) {
+    ++stats_.late;
+    return Status::OK();
+  }
+  PendingRow& row = RowForSlot(slot);
+  if (row.observed[series]) ++stats_.duplicates;
+  row.values[series] = value;
+  row.observed[series] = 1;
+  ++stats_.samples;
+  any_sample_ = true;
+  max_slot_ = std::max(max_slot_, slot);
+  return Status::OK();
+}
+
+void StreamAligner::EmitFront(std::vector<AlignedRow>* out) {
+  AlignedRow row;
+  row.slot = next_slot_;
+  row.values.assign(n_, 0.0);
+  row.valid.assign(n_, 0);
+  row.filled.assign(n_, 0);
+  const PendingRow* pending = pending_.empty() ? nullptr : &pending_.front();
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (pending != nullptr && pending->observed[j]) {
+      row.values[j] = pending->values[j];
+      row.valid[j] = 1;
+      last_value_[j] = pending->values[j];
+      has_last_[j] = 1;
+      last_slot_[j] = next_slot_;
+      continue;
+    }
+    // Missing sample: forward-fill from the last observation while the
+    // gap is within the horizon, else an explicit (but finite) gap.
+    row.values[j] = has_last_[j] ? last_value_[j] : 0.0;
+    const bool fillable =
+        has_last_[j] &&
+        static_cast<std::size_t>(next_slot_ - last_slot_[j]) <= options_.max_fill;
+    if (fillable) {
+      row.valid[j] = 1;
+      row.filled[j] = 1;
+      ++stats_.fills;
+    } else {
+      ++stats_.gaps;
+    }
+  }
+  if (!pending_.empty()) pending_.pop_front();
+  ++next_slot_;
+  ++stats_.rows;
+  out->push_back(std::move(row));
+}
+
+std::size_t StreamAligner::EmitUpTo(double timestamp, std::vector<AlignedRow>* out) {
+  AFFINITY_CHECK(out != nullptr);
+  const double pos = (timestamp - options_.origin) / options_.tick;
+  const std::int64_t stop = static_cast<std::int64_t>(std::ceil(pos));
+  std::size_t emitted = 0;
+  while (next_slot_ < stop) {
+    EmitFront(out);
+    ++emitted;
+  }
+  return emitted;
+}
+
+std::size_t StreamAligner::Flush(std::vector<AlignedRow>* out) {
+  AFFINITY_CHECK(out != nullptr);
+  if (!any_sample_ && pending_.empty()) return 0;
+  std::size_t emitted = 0;
+  while (!pending_.empty() || next_slot_ <= max_slot_) {
+    EmitFront(out);
+    ++emitted;
+  }
+  return emitted;
+}
+
+double CompositeQualityScore(const SeriesQuality& q) {
+  if (q.length == 0) return 1.0;
+  const double len = static_cast<double>(q.length);
+  const double completeness = static_cast<double>(q.observed + q.filled) / len;
+  const double observed_frac = static_cast<double>(q.observed) / len;
+  // A plateau of 1 is no plateau: only the excess run length penalizes,
+  // so a clean window of distinct values scores exactly 1.
+  const std::size_t excess = q.longest_plateau > 0 ? q.longest_plateau - 1 : 0;
+  const double plateau_ratio = static_cast<double>(excess) / len;
+  const double base = 0.5 * (completeness + observed_frac);
+  const double score = base * (1.0 - 0.5 * plateau_ratio) * (1.0 - 0.25 * q.intermittency);
+  return std::clamp(score, 0.0, 1.0);
+}
+
+QualityTracker::QualityTracker(std::size_t n, std::size_t window)
+    : n_(n),
+      window_(window),
+      values_(n * window, 0.0),
+      valid_(n * window, 1),
+      filled_(n * window, 0) {
+  AFFINITY_CHECK(n > 0 && window > 0);
+}
+
+void QualityTracker::Push(const double* values, const std::uint8_t* valid,
+                          const std::uint8_t* filled) {
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t at = j * window_ + head_;
+    values_[at] = values[j];
+    valid_[at] = valid == nullptr ? 1 : valid[j];
+    filled_[at] = filled == nullptr ? 0 : filled[j];
+  }
+  head_ = (head_ + 1) % window_;
+  if (size_ < window_) ++size_;
+  cache_fresh_ = false;
+}
+
+SeriesQuality QualityTracker::Quality(SeriesId series) const {
+  AFFINITY_CHECK_LT(series, n_);
+  SeriesQuality q;
+  q.length = size_;
+  if (size_ == 0) return q;
+  const std::size_t start = (head_ + window_ - size_) % window_;
+  const double* vals = values_.data() + static_cast<std::size_t>(series) * window_;
+  const std::uint8_t* ok = valid_.data() + static_cast<std::size_t>(series) * window_;
+  const std::uint8_t* fil = filled_.data() + static_cast<std::size_t>(series) * window_;
+  std::size_t gap_run = 0;
+  std::size_t plateau = 0;
+  double plateau_value = 0.0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t at = (start + i) % window_;
+    const bool is_valid = ok[at] != 0;
+    const bool is_fill = is_valid && fil[at] != 0;
+    if (!is_valid) {
+      ++q.gaps;
+      if (gap_run == 0) ++q.gap_runs;
+      ++gap_run;
+      q.longest_gap = std::max(q.longest_gap, gap_run);
+    } else {
+      gap_run = 0;
+      if (is_fill) {
+        ++q.filled;
+      } else {
+        ++q.observed;
+        if (vals[at] == 0.0) ++q.intermittency;  // count; ratio below
+      }
+    }
+    // Plateau: a run of equal consecutive values (fills extend it by
+    // construction; gaps carry the last value forward, also extending).
+    if (have_prev && vals[at] == plateau_value) {
+      ++plateau;
+    } else {
+      plateau = 1;
+      plateau_value = vals[at];
+      have_prev = true;
+    }
+    q.longest_plateau = std::max(q.longest_plateau, plateau);
+  }
+  const double len = static_cast<double>(q.length);
+  q.gap_ratio = static_cast<double>(q.gaps) / len;
+  q.fill_ratio = static_cast<double>(q.filled) / len;
+  q.intermittency = q.observed == 0 ? 0.0 : q.intermittency / static_cast<double>(q.observed);
+  q.score = CompositeQualityScore(q);
+  return q;
+}
+
+const std::vector<SeriesQuality>& QualityTracker::All() const {
+  if (!cache_fresh_) {
+    cache_.resize(n_);
+    scores_.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      cache_[j] = Quality(static_cast<SeriesId>(j));
+      scores_[j] = cache_[j].score;
+    }
+    cache_fresh_ = true;
+  }
+  return cache_;
+}
+
+const std::vector<double>& QualityTracker::Scores() const {
+  All();
+  return scores_;
+}
+
+}  // namespace affinity::ts

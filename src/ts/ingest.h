@@ -1,0 +1,191 @@
+#ifndef AFFINITY_TS_INGEST_H_
+#define AFFINITY_TS_INGEST_H_
+
+/// \file ingest.h
+/// Dirty-stream ingestion (DESIGN.md §12): the alignment layer between
+/// ragged operational streams and the dense, all-finite window every
+/// engine layer above assumes.
+///
+/// Real streams arrive with irregular timestamps, gaps, NaNs and dead
+/// sensors. `StreamAligner` snaps timestamped samples onto the stream
+/// grid (origin + tick), buffers out-of-order arrivals up to a caller-
+/// driven watermark, and emits one `AlignedRow` per grid slot:
+///
+///  * an **observed** sample lands in its slot (the latest write wins on
+///    duplicates; non-finite values are dropped and counted — a NaN
+///    sample is a gap, never a poisoned moment);
+///  * a missing sample is **forward-filled** from the series' last
+///    repaired value while the gap is at most `max_fill` ticks old
+///    (valid = 1, filled = 1);
+///  * beyond the horizon the slot is an explicit **gap**: the row still
+///    carries the last known value (so dense kernels stay finite) but
+///    the validity mask flags it invalid and masked kernels exclude it.
+///
+/// The emitted (values, valid, filled) triple feeds
+/// `StreamingAffinity::AppendMasked`, which maintains the per-series
+/// `SeriesQuality` surface through a `QualityTracker` ring mirror of the
+/// window.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace affinity::ts {
+
+/// Grid and fill policy of one ingestion stream.
+struct IngestOptions {
+  double origin = 0.0;       ///< timestamp of grid slot 0
+  double tick = 1.0;         ///< grid spacing (> 0)
+  std::size_t max_fill = 8;  ///< forward-fill horizon in ticks; older → gap
+};
+
+Status ValidateIngestOptions(const IngestOptions& options);
+
+/// One dense window row produced by the aligner, plus its validity mask.
+/// `valid[j]` = the value is usable (observed, or forward-filled within
+/// the horizon); `filled[j]` = the value was synthesized by forward-fill
+/// (implies valid). A slot that is neither is an explicit gap: the value
+/// is the series' last known sample (0.0 if none yet) purely to keep the
+/// dense window finite.
+struct AlignedRow {
+  std::int64_t slot = 0;  ///< grid index: origin + slot * tick
+  std::vector<double> values;
+  std::vector<std::uint8_t> valid;
+  std::vector<std::uint8_t> filled;
+};
+
+/// Ingestion counters, cumulative since construction.
+struct IngestStats {
+  std::size_t samples = 0;     ///< accepted Push calls
+  std::size_t snapped = 0;     ///< timestamps not exactly on the grid
+  std::size_t duplicates = 0;  ///< same (series, slot) overwritten
+  std::size_t late = 0;        ///< behind the emitted watermark, dropped
+  std::size_t nonfinite = 0;   ///< NaN/Inf values dropped (become gaps)
+  std::size_t rows = 0;        ///< rows emitted
+  std::size_t fills = 0;       ///< forward-filled cells emitted
+  std::size_t gaps = 0;        ///< gap cells emitted
+};
+
+/// Aligns timestamped, possibly-ragged samples for `n` series onto the
+/// stream grid. Push order is free above the watermark; emission is
+/// caller-driven (`EmitUpTo` / `Flush`) so lateness tolerance is a caller
+/// policy, not an aligner guess.
+class StreamAligner {
+ public:
+  StreamAligner(std::size_t n, const IngestOptions& options);
+
+  /// Records one sample. The timestamp snaps to the nearest grid slot.
+  /// Non-finite values are counted and dropped (the slot stays a gap);
+  /// samples behind the watermark are counted and dropped. OutOfRange for
+  /// an unknown series.
+  Status Push(SeriesId series, double timestamp, double value);
+
+  /// Emits one row per grid slot strictly before `timestamp`, in slot
+  /// order, appending to `out`. Returns the number of rows emitted.
+  std::size_t EmitUpTo(double timestamp, std::vector<AlignedRow>* out);
+
+  /// Emits every slot up to and including the newest observed sample.
+  std::size_t Flush(std::vector<AlignedRow>* out);
+
+  std::size_t n() const { return n_; }
+  const IngestOptions& options() const { return options_; }
+  const IngestStats& stats() const { return stats_; }
+  /// Next slot to be emitted (the watermark: pushes below it are late).
+  std::int64_t watermark() const { return next_slot_; }
+
+ private:
+  struct PendingRow {
+    std::vector<double> values;
+    std::vector<std::uint8_t> observed;
+  };
+
+  PendingRow& RowForSlot(std::int64_t slot);
+  void EmitFront(std::vector<AlignedRow>* out);
+
+  std::size_t n_;
+  IngestOptions options_;
+  IngestStats stats_;
+  std::int64_t next_slot_ = 0;  ///< first unemitted slot
+  bool any_sample_ = false;
+  std::int64_t max_slot_ = 0;  ///< newest slot with an observed sample
+  /// Pending rows for slots [next_slot_, next_slot_ + pending_.size());
+  /// bounded by the out-of-orderness the caller's watermark allows.
+  std::deque<PendingRow> pending_;
+  /// Per-series forward-fill state.
+  std::vector<double> last_value_;
+  std::vector<std::uint8_t> has_last_;
+  std::vector<std::int64_t> last_slot_;  ///< slot of the last observation
+};
+
+/// The per-series data-quality surface (DESIGN.md §12), computed over the
+/// current window. Modeled on anofox-forecast's ts_stats_by health card:
+/// structural stats plus a composite score usable as a query predicate.
+struct SeriesQuality {
+  std::size_t length = 0;    ///< window rows considered
+  std::size_t observed = 0;  ///< rows actually observed
+  std::size_t filled = 0;    ///< rows synthesized by forward-fill
+  std::size_t gaps = 0;      ///< rows invalid (beyond the fill horizon)
+  std::size_t gap_runs = 0;  ///< maximal runs of consecutive gaps
+  std::size_t longest_gap = 0;
+  std::size_t longest_plateau = 0;  ///< longest constant-value run
+  double gap_ratio = 0.0;           ///< gaps / length
+  double fill_ratio = 0.0;          ///< filled / length
+  double intermittency = 0.0;       ///< zero share among observed rows
+  double score = 1.0;               ///< composite quality in [0, 1]
+};
+
+/// The composite score (DESIGN.md §12):
+///   completeness  = (observed + filled) / length
+///   observed_frac = observed / length
+///   plateau_ratio = (longest_plateau - 1) / length  (excess run only)
+///   base          = (completeness + observed_frac) / 2   — a fill counts half
+///   score = base · (1 − ½·plateau_ratio) · (1 − ¼·intermittency)
+/// clamped to [0, 1]; an empty window scores 1 (nothing wrong yet).
+double CompositeQualityScore(const SeriesQuality& q);
+
+/// Maintains the quality surface incrementally: a ring mirror of the last
+/// `window` rows (values + validity + fill flags) updated O(n) per append,
+/// with run-length stats (longest gap / plateau) recomputed lazily per
+/// ring scan and cached until the next append.
+class QualityTracker {
+ public:
+  QualityTracker(std::size_t n, std::size_t window);
+
+  /// Appends one aligned row. Null `valid` / `filled` mean fully observed.
+  void Push(const double* values, const std::uint8_t* valid, const std::uint8_t* filled);
+
+  /// Quality of one series over the current ring contents.
+  SeriesQuality Quality(SeriesId series) const;
+
+  /// Quality of every series (cached; recomputed after a Push).
+  const std::vector<SeriesQuality>& All() const;
+
+  /// Composite scores only, aligned with series ids (cached like All()).
+  const std::vector<double>& Scores() const;
+
+  std::size_t n() const { return n_; }
+  std::size_t window() const { return window_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t n_;
+  std::size_t window_;
+  std::size_t size_ = 0;  ///< rows currently in the ring (≤ window)
+  std::size_t head_ = 0;  ///< next ring slot to write
+  /// Ring storage, series-major: series j's row i lives at
+  /// [j * window_ + (start + i) % window_].
+  std::vector<double> values_;
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> filled_;
+  mutable bool cache_fresh_ = false;
+  mutable std::vector<SeriesQuality> cache_;
+  mutable std::vector<double> scores_;
+};
+
+}  // namespace affinity::ts
+
+#endif  // AFFINITY_TS_INGEST_H_

@@ -2,6 +2,7 @@
 
 #include "ts/csv.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -116,6 +117,80 @@ TEST(Csv, ScientificNotationParses) {
 TEST(Csv, WriteToUnwritablePathFails) {
   DataMatrix dm(la::Matrix::FromRows({{1.0}}));
   EXPECT_EQ(WriteCsv(dm, "/nonexistent-dir/x.csv").code(), StatusCode::kIoError);
+}
+
+// --- Tolerant reader (DESIGN.md §12) ---------------------------------------
+
+TEST(CsvTolerant, CleanFileMatchesStrictReaderWithCleanReport) {
+  const std::string path = TempPath("tolerant_clean.csv");
+  WriteFile(path, "a,b\n1,2\n3,4\n");
+  CsvParseReport report;
+  auto dm = ReadCsvTolerant(path, &report);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->n(), 2u);
+  EXPECT_EQ(dm->m(), 2u);
+  EXPECT_DOUBLE_EQ(dm->matrix()(1, 0), 3.0);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.rows, 2u);
+  EXPECT_EQ(report.nan_cells, 0u);
+}
+
+TEST(CsvTolerant, DirtyFixtureRepairsToNaNAndReports) {
+  // The dirty fixture of the ISSUE checklist: empty cells, non-numeric
+  // junk, a short row and a long row, plus a literal nan.
+  const std::string path = TempPath("tolerant_dirty.csv");
+  WriteFile(path,
+            "a,b,c\n"
+            "1,,3\n"          // empty middle cell
+            "4,oops,6\n"      // non-numeric cell
+            "7,8\n"           // short row: c missing
+            "9,10,11,12\n"    // long row: extra field dropped
+            "nan,13,14\n");   // literal NaN parses as a NaN cell
+  CsvParseReport report;
+  auto dm = ReadCsvTolerant(path, &report);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->n(), 3u);
+  EXPECT_EQ(dm->m(), 5u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.rows, 5u);
+  EXPECT_EQ(report.missing_fields, 1u);  // the empty middle cell
+  EXPECT_EQ(report.bad_fields, 1u);      // "oops"
+  EXPECT_EQ(report.short_rows, 1u);
+  EXPECT_EQ(report.long_rows, 1u);
+  EXPECT_EQ(report.nan_cells, 4u);  // empty + oops + missing c + literal nan
+
+  EXPECT_DOUBLE_EQ(dm->matrix()(0, 0), 1.0);
+  EXPECT_TRUE(std::isnan(dm->matrix()(0, 1)));
+  EXPECT_TRUE(std::isnan(dm->matrix()(1, 1)));
+  EXPECT_TRUE(std::isnan(dm->matrix()(2, 2)));
+  EXPECT_DOUBLE_EQ(dm->matrix()(3, 0), 9.0);
+  EXPECT_DOUBLE_EQ(dm->matrix()(3, 2), 11.0);
+  EXPECT_TRUE(std::isnan(dm->matrix()(4, 0)));
+  EXPECT_DOUBLE_EQ(dm->matrix()(4, 2), 14.0);
+}
+
+TEST(CsvTolerant, StructuralProblemsAreStillErrors) {
+  CsvParseReport report;
+  EXPECT_EQ(ReadCsvTolerant(TempPath("does_not_exist.csv"), &report).status().code(),
+            StatusCode::kIoError);
+
+  const std::string empty = TempPath("tolerant_empty.csv");
+  WriteFile(empty, "");
+  EXPECT_EQ(ReadCsvTolerant(empty, &report).status().code(), StatusCode::kInvalidArgument);
+
+  const std::string header_only = TempPath("tolerant_header_only.csv");
+  WriteFile(header_only, "a,b\n");
+  EXPECT_EQ(ReadCsvTolerant(header_only, &report).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTolerant, NullReportIsAccepted) {
+  const std::string path = TempPath("tolerant_noreport.csv");
+  WriteFile(path, "a\n1\n,\n");
+  auto dm = ReadCsvTolerant(path);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->m(), 2u);
+  EXPECT_TRUE(std::isnan(dm->matrix()(1, 0)));
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+// Tests for the dirty-stream ingestion layer (ts/ingest.h, DESIGN.md
+// §12): grid snapping, duplicate/late/non-finite handling, the forward-
+// fill horizon and explicit-gap semantics of the aligner, and the
+// QualityTracker's structural stats and composite score.
+
+#include "ts/ingest.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace affinity::ts {
+namespace {
+
+TEST(IngestOptions, Validation) {
+  EXPECT_TRUE(ValidateIngestOptions({}).ok());
+  IngestOptions bad_tick;
+  bad_tick.tick = 0.0;
+  EXPECT_FALSE(ValidateIngestOptions(bad_tick).ok());
+  bad_tick.tick = -1.0;
+  EXPECT_FALSE(ValidateIngestOptions(bad_tick).ok());
+  IngestOptions bad_origin;
+  bad_origin.origin = std::nan("");
+  EXPECT_FALSE(ValidateIngestOptions(bad_origin).ok());
+}
+
+TEST(StreamAligner, SnapsObservationsOntoTheGrid) {
+  IngestOptions opts;
+  opts.origin = 100.0;
+  opts.tick = 10.0;
+  StreamAligner aligner(2, opts);
+  // Slightly-skewed timestamps snap to the nearest slot and are counted.
+  ASSERT_TRUE(aligner.Push(0, 100.4, 1.0).ok());   // slot 0
+  ASSERT_TRUE(aligner.Push(1, 109.6, 2.0).ok());   // slot 1
+  ASSERT_TRUE(aligner.Push(0, 110.0, 3.0).ok());   // slot 1, exactly on grid
+  EXPECT_EQ(aligner.stats().snapped, 2u);
+
+  std::vector<AlignedRow> rows;
+  EXPECT_EQ(aligner.Flush(&rows), 2u);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].slot, 0);
+  EXPECT_EQ(rows[0].values[0], 1.0);
+  EXPECT_EQ(rows[0].valid[0], 1);
+  EXPECT_EQ(rows[0].filled[0], 0);
+  EXPECT_EQ(rows[1].values[0], 3.0);
+  EXPECT_EQ(rows[1].values[1], 2.0);
+
+  // Series 1 had nothing at slot 0: no prior observation → explicit gap
+  // with a finite placeholder value.
+  EXPECT_EQ(rows[0].valid[1], 0);
+  EXPECT_EQ(rows[0].values[1], 0.0);
+  EXPECT_TRUE(std::isfinite(rows[0].values[1]));
+}
+
+TEST(StreamAligner, RejectsBadPushes) {
+  StreamAligner aligner(2, {});
+  EXPECT_FALSE(aligner.Push(5, 0.0, 1.0).ok());                // unknown series
+  EXPECT_FALSE(aligner.Push(0, std::nan(""), 1.0).ok());       // NaN timestamp
+  EXPECT_FALSE(aligner.Push(0, -3.0, 1.0).ok());               // before the origin
+}
+
+TEST(StreamAligner, NonFiniteValuesBecomeGapsNotErrors) {
+  StreamAligner aligner(1, {});
+  ASSERT_TRUE(aligner.Push(0, 0.0, std::nan("")).ok());
+  ASSERT_TRUE(aligner.Push(0, 1.0, INFINITY).ok());
+  ASSERT_TRUE(aligner.Push(0, 2.0, 7.0).ok());
+  EXPECT_EQ(aligner.stats().nonfinite, 2u);
+
+  std::vector<AlignedRow> rows;
+  aligner.Flush(&rows);
+  ASSERT_EQ(rows.size(), 3u);
+  // Slots 0 and 1 never saw a finite sample and nothing precedes them:
+  // explicit gaps with a finite placeholder.
+  EXPECT_EQ(rows[0].valid[0], 0);
+  EXPECT_EQ(rows[1].valid[0], 0);
+  EXPECT_TRUE(std::isfinite(rows[0].values[0]));
+  EXPECT_EQ(rows[2].valid[0], 1);
+  EXPECT_EQ(rows[2].values[0], 7.0);
+}
+
+TEST(StreamAligner, DuplicatesLatestWinsAndLateDropped) {
+  StreamAligner aligner(1, {});
+  ASSERT_TRUE(aligner.Push(0, 0.0, 1.0).ok());
+  ASSERT_TRUE(aligner.Push(0, 0.0, 2.0).ok());  // duplicate slot, latest wins
+  EXPECT_EQ(aligner.stats().duplicates, 1u);
+
+  std::vector<AlignedRow> rows;
+  EXPECT_EQ(aligner.EmitUpTo(1.0, &rows), 1u);
+  EXPECT_EQ(rows[0].values[0], 2.0);
+  EXPECT_EQ(aligner.watermark(), 1);
+
+  // Slot 0 is behind the watermark now: a push there is late and dropped.
+  ASSERT_TRUE(aligner.Push(0, 0.0, 99.0).ok());
+  EXPECT_EQ(aligner.stats().late, 1u);
+}
+
+TEST(StreamAligner, OutOfOrderPushesAboveTheWatermarkLand) {
+  StreamAligner aligner(1, {});
+  ASSERT_TRUE(aligner.Push(0, 3.0, 30.0).ok());
+  ASSERT_TRUE(aligner.Push(0, 1.0, 10.0).ok());  // earlier slot, still pending
+  std::vector<AlignedRow> rows;
+  aligner.Flush(&rows);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1].values[0], 10.0);
+  EXPECT_EQ(rows[1].valid[0], 1);
+  EXPECT_EQ(rows[3].values[0], 30.0);
+}
+
+TEST(StreamAligner, ForwardFillsWithinHorizonThenGaps) {
+  IngestOptions opts;
+  opts.max_fill = 2;
+  StreamAligner aligner(1, opts);
+  ASSERT_TRUE(aligner.Push(0, 0.0, 5.0).ok());
+  ASSERT_TRUE(aligner.Push(0, 6.0, 9.0).ok());
+
+  std::vector<AlignedRow> rows;
+  aligner.Flush(&rows);
+  ASSERT_EQ(rows.size(), 7u);
+  // Slot 0: observed. Slots 1-2: within the fill horizon → filled with
+  // the last value. Slots 3-5: beyond → gaps (value still the last known
+  // sample so dense kernels stay finite). Slot 6: observed again.
+  EXPECT_EQ(rows[0].valid[0], 1);
+  EXPECT_EQ(rows[0].filled[0], 0);
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_EQ(rows[i].valid[0], 1) << i;
+    EXPECT_EQ(rows[i].filled[0], 1) << i;
+    EXPECT_EQ(rows[i].values[0], 5.0) << i;
+  }
+  for (int i = 3; i <= 5; ++i) {
+    EXPECT_EQ(rows[i].valid[0], 0) << i;
+    EXPECT_EQ(rows[i].values[0], 5.0) << i;
+  }
+  EXPECT_EQ(rows[6].valid[0], 1);
+  EXPECT_EQ(rows[6].values[0], 9.0);
+  EXPECT_EQ(aligner.stats().fills, 2u);
+  EXPECT_EQ(aligner.stats().gaps, 3u);
+  EXPECT_EQ(aligner.stats().rows, 7u);
+}
+
+TEST(StreamAligner, EmitUpToIsExclusiveOfTheTimestampSlot) {
+  StreamAligner aligner(1, {});
+  ASSERT_TRUE(aligner.Push(0, 0.0, 1.0).ok());
+  ASSERT_TRUE(aligner.Push(0, 5.0, 6.0).ok());
+  std::vector<AlignedRow> rows;
+  EXPECT_EQ(aligner.EmitUpTo(3.0, &rows), 3u);  // slots 0, 1, 2
+  EXPECT_EQ(aligner.watermark(), 3);
+  EXPECT_EQ(aligner.EmitUpTo(3.0, &rows), 0u);  // idempotent
+  EXPECT_EQ(aligner.Flush(&rows), 3u);  // slots 3, 4, 5
+}
+
+TEST(QualityTracker, CleanWindowScoresPerfect) {
+  QualityTracker tracker(2, 8);
+  const double rows[4][2] = {{1, 5}, {2, 6}, {3, 7}, {4, 8}};
+  for (const auto& r : rows) tracker.Push(r, nullptr, nullptr);
+  const SeriesQuality q = tracker.Quality(0);
+  EXPECT_EQ(q.length, 4u);
+  EXPECT_EQ(q.observed, 4u);
+  EXPECT_EQ(q.gaps, 0u);
+  EXPECT_EQ(q.filled, 0u);
+  EXPECT_EQ(q.longest_plateau, 1u);
+  EXPECT_EQ(q.score, 1.0);
+  EXPECT_EQ(tracker.Scores()[1], 1.0);
+}
+
+TEST(QualityTracker, CountsGapsFillsPlateausAndIntermittency) {
+  QualityTracker tracker(1, 16);
+  // observed 3, gap, gap, filled 3, observed 0, observed 4
+  const double vals[] = {3, 3, 3, 3, 0, 4};
+  const std::uint8_t valid[] = {1, 0, 0, 1, 1, 1};
+  const std::uint8_t filled[] = {0, 0, 0, 1, 0, 0};
+  for (std::size_t i = 0; i < 6; ++i) tracker.Push(&vals[i], &valid[i], &filled[i]);
+
+  const SeriesQuality q = tracker.Quality(0);
+  EXPECT_EQ(q.length, 6u);
+  EXPECT_EQ(q.observed, 3u);
+  EXPECT_EQ(q.filled, 1u);
+  EXPECT_EQ(q.gaps, 2u);
+  EXPECT_EQ(q.gap_runs, 1u);
+  EXPECT_EQ(q.longest_gap, 2u);
+  // Rows 0-3 all carry the value 3 (gap rows carry the last value).
+  EXPECT_EQ(q.longest_plateau, 4u);
+  EXPECT_DOUBLE_EQ(q.gap_ratio, 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(q.fill_ratio, 1.0 / 6.0);
+  // One zero among three observed rows.
+  EXPECT_DOUBLE_EQ(q.intermittency, 1.0 / 3.0);
+  EXPECT_EQ(q.score, CompositeQualityScore(q));
+  EXPECT_GT(q.score, 0.0);
+  EXPECT_LT(q.score, 1.0);
+}
+
+TEST(QualityTracker, RingEvictsOldRowsAtTheWindow) {
+  QualityTracker tracker(1, 4);
+  const std::uint8_t invalid = 0;
+  const std::uint8_t ok = 1;
+  double v = 1.0;
+  tracker.Push(&v, &invalid, nullptr);  // will be evicted
+  for (int i = 0; i < 4; ++i) {
+    v = 2.0 + i;
+    tracker.Push(&v, &ok, nullptr);
+  }
+  const SeriesQuality q = tracker.Quality(0);
+  EXPECT_EQ(q.length, 4u);
+  EXPECT_EQ(q.gaps, 0u);  // the gap row fell out of the window
+  EXPECT_EQ(q.observed, 4u);
+  EXPECT_EQ(q.score, 1.0);
+}
+
+TEST(CompositeQualityScoreFormula, MatchesTheDocumentedFormula) {
+  SeriesQuality q;
+  EXPECT_EQ(CompositeQualityScore(q), 1.0);  // empty window
+
+  q.length = 10;
+  q.observed = 6;
+  q.filled = 2;
+  q.gaps = 2;
+  q.longest_plateau = 4;
+  q.intermittency = 0.5;
+  const double completeness = 0.8;
+  const double observed_frac = 0.6;
+  const double base = 0.5 * (completeness + observed_frac);
+  // plateau_ratio counts only the excess run: (4 - 1) / 10.
+  const double want = base * (1.0 - 0.5 * 0.3) * (1.0 - 0.25 * 0.5);
+  EXPECT_DOUBLE_EQ(CompositeQualityScore(q), want);
+
+  // All-gap window clamps to 0.
+  SeriesQuality dead;
+  dead.length = 10;
+  dead.gaps = 10;
+  dead.longest_plateau = 10;
+  EXPECT_EQ(CompositeQualityScore(dead), 0.0);
+}
+
+}  // namespace
+}  // namespace affinity::ts

@@ -1,0 +1,313 @@
+// Tests for the masked pairwise-complete kernels (core/kernels.h,
+// DESIGN.md §12): bitwise identity with the dense kernels on a full
+// mask, pairwise-complete sums against sequential scalar oracles at the
+// ISSUE lengths with random and edge masks, thread-count invariance of
+// the masked marginal hoist, and the masked measure layer's degenerate
+// conventions.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/exec_context.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/kernels.h"
+#include "core/measures.h"
+
+namespace affinity::core {
+namespace {
+
+// The checklist lengths: empty, sub-lane, short, around one block, past it.
+const std::size_t kLengths[] = {0, 1, 7, 1023, 1024, 1025};
+
+struct MaskedCase {
+  const char* name;
+  std::vector<std::uint8_t> mask_x;
+  std::vector<std::uint8_t> mask_y;
+};
+
+std::vector<double> RandomColumn(std::size_t m, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(m);
+  for (auto& v : x) v = rng.Uniform(-3.0, 3.0);
+  return x;
+}
+
+std::vector<MaskedCase> MakeMasks(std::size_t m) {
+  Xoshiro256 rng(m * 101 + 3);
+  std::vector<MaskedCase> cases;
+  cases.push_back({"full", std::vector<std::uint8_t>(m, 1), std::vector<std::uint8_t>(m, 1)});
+  cases.push_back({"empty", std::vector<std::uint8_t>(m, 0), std::vector<std::uint8_t>(m, 0)});
+  MaskedCase random{"random", std::vector<std::uint8_t>(m), std::vector<std::uint8_t>(m)};
+  for (auto& b : random.mask_x) b = rng.NextBounded(4) != 0 ? 1 : 0;
+  for (auto& b : random.mask_y) b = rng.NextBounded(4) != 0 ? 1 : 0;
+  cases.push_back(std::move(random));
+  // Edge masks: only the first row valid / only the last row valid /
+  // disjoint halves (pairwise-complete set is empty though both series
+  // have plenty of valid rows).
+  MaskedCase first{"first-only", std::vector<std::uint8_t>(m, 0), std::vector<std::uint8_t>(m, 0)};
+  MaskedCase last{"last-only", std::vector<std::uint8_t>(m, 0), std::vector<std::uint8_t>(m, 0)};
+  MaskedCase disjoint{"disjoint", std::vector<std::uint8_t>(m, 0), std::vector<std::uint8_t>(m, 0)};
+  if (m > 0) {
+    first.mask_x[0] = first.mask_y[0] = 1;
+    last.mask_x[m - 1] = last.mask_y[m - 1] = 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i < m / 2) {
+        disjoint.mask_x[i] = 1;
+      } else {
+        disjoint.mask_y[i] = 1;
+      }
+    }
+  }
+  cases.push_back(std::move(first));
+  cases.push_back(std::move(last));
+  cases.push_back(std::move(disjoint));
+  return cases;
+}
+
+// Sequential pairwise-complete oracle.
+struct OracleMoments {
+  double sx = 0, sxx = 0, sy = 0, syy = 0, sxy = 0;
+  std::size_t valid = 0;
+};
+
+OracleMoments SeqPairwise(const std::vector<double>& x, const std::vector<double>& y,
+                          const std::vector<std::uint8_t>& mx,
+                          const std::vector<std::uint8_t>& my) {
+  OracleMoments o;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (mx[i] == 0 || my[i] == 0) continue;
+    o.sx += x[i];
+    o.sxx += x[i] * x[i];
+    o.sy += y[i];
+    o.syy += y[i] * y[i];
+    o.sxy += x[i] * y[i];
+    ++o.valid;
+  }
+  return o;
+}
+
+double RelTol(double reference) { return 1e-12 * (1.0 + std::fabs(reference)); }
+
+TEST(MaskedKernels, FullMaskIsBitwiseIdenticalToDense) {
+  for (const std::size_t m : kLengths) {
+    const std::vector<double> x = RandomColumn(m, m * 7 + 1);
+    const std::vector<double> y = RandomColumn(m, m * 7 + 2);
+    const std::vector<std::uint8_t> full(m, 1);
+    for (const std::size_t anchor : {std::size_t{0}, std::size_t{5}, std::size_t{1023}}) {
+      const kernels::Marginals dense = kernels::ColumnMarginals(x.data(), m, anchor);
+      // Explicit full mask and the null-mask convention must both take
+      // the dense fast path.
+      for (const std::uint8_t* mask : {full.data(), static_cast<const std::uint8_t*>(nullptr)}) {
+        const kernels::MaskedMarginals got =
+            kernels::MaskedColumnMarginals(x.data(), mask, m, anchor);
+        EXPECT_EQ(got.valid, m);
+        EXPECT_EQ(got.marginals.sum, dense.sum) << "m=" << m << " anchor=" << anchor;
+        EXPECT_EQ(got.marginals.sumsq, dense.sumsq) << "m=" << m << " anchor=" << anchor;
+        EXPECT_EQ(got.marginals.min, dense.min);
+        EXPECT_EQ(got.marginals.max, dense.max);
+      }
+
+      double dense_pair[5];
+      kernels::FusedPairMoments(x.data(), y.data(), m, dense_pair, anchor);
+      double masked_pair[5];
+      std::size_t valid = 0;
+      kernels::MaskedFusedPairMoments(x.data(), y.data(), full.data(), nullptr, m, masked_pair,
+                                      &valid, anchor);
+      EXPECT_EQ(valid, m);
+      for (int c = 0; c < 5; ++c) {
+        EXPECT_EQ(masked_pair[c], dense_pair[c]) << "m=" << m << " anchor=" << anchor << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(MaskedKernels, PairwiseCompleteMatchesScalarOracle) {
+  for (const std::size_t m : kLengths) {
+    const std::vector<double> x = RandomColumn(m, m * 13 + 1);
+    const std::vector<double> y = RandomColumn(m, m * 13 + 2);
+    for (const MaskedCase& c : MakeMasks(m)) {
+      const OracleMoments want = SeqPairwise(x, y, c.mask_x, c.mask_y);
+      double got[5];
+      std::size_t valid = 0;
+      kernels::MaskedFusedPairMoments(x.data(), y.data(), c.mask_x.data(), c.mask_y.data(), m, got,
+                                      &valid, 0);
+      EXPECT_EQ(valid, want.valid) << c.name << " m=" << m;
+      EXPECT_NEAR(got[0], want.sx, RelTol(want.sx)) << c.name << " m=" << m;
+      EXPECT_NEAR(got[1], want.sxx, RelTol(want.sxx)) << c.name << " m=" << m;
+      EXPECT_NEAR(got[2], want.sy, RelTol(want.sy)) << c.name << " m=" << m;
+      EXPECT_NEAR(got[3], want.syy, RelTol(want.syy)) << c.name << " m=" << m;
+      EXPECT_NEAR(got[4], want.sxy, RelTol(want.sxy)) << c.name << " m=" << m;
+
+      // Single-column marginals agree with a one-sided oracle.
+      const kernels::MaskedMarginals mg =
+          kernels::MaskedColumnMarginals(x.data(), c.mask_x.data(), m, 0);
+      double sum = 0, sumsq = 0;
+      std::size_t count = 0;
+      bool seen = false;
+      double lo = 0, hi = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (c.mask_x[i] == 0) continue;
+        sum += x[i];
+        sumsq += x[i] * x[i];
+        if (!seen || x[i] < lo) lo = x[i];
+        if (!seen || x[i] > hi) hi = x[i];
+        seen = true;
+        ++count;
+      }
+      EXPECT_EQ(mg.valid, count) << c.name << " m=" << m;
+      EXPECT_NEAR(mg.marginals.sum, sum, RelTol(sum)) << c.name << " m=" << m;
+      EXPECT_NEAR(mg.marginals.sumsq, sumsq, RelTol(sumsq)) << c.name << " m=" << m;
+      if (seen) {
+        EXPECT_EQ(mg.marginals.min, lo) << c.name << " m=" << m;
+        EXPECT_EQ(mg.marginals.max, hi) << c.name << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(MaskedKernels, MaskedAnchoringIsWindowInvariant) {
+  // The masked slow path runs the same anchored blocked accumulation as
+  // the dense kernels: a window's masked sums depend only on
+  // (anchor mod kBlockElems, m), so sliding by a whole block re-produces
+  // bit-identical partial sums for identical content.
+  const std::size_t m = 1500;
+  const std::vector<double> x = RandomColumn(m, 99);
+  std::vector<std::uint8_t> mask(m, 1);
+  Xoshiro256 rng(17);
+  for (auto& b : mask) b = rng.NextBounded(5) != 0 ? 1 : 0;
+
+  double a0[5], a1[5];
+  std::size_t v0 = 0, v1 = 0;
+  kernels::MaskedFusedPairMoments(x.data(), x.data(), mask.data(), mask.data(), m, a0, &v0,
+                                  kernels::kBlockElems);
+  kernels::MaskedFusedPairMoments(x.data(), x.data(), mask.data(), mask.data(), m, a1, &v1,
+                                  2 * kernels::kBlockElems);
+  EXPECT_EQ(v0, v1);
+  for (int c = 0; c < 5; ++c) EXPECT_EQ(a0[c], a1[c]);
+}
+
+TEST(MaskedKernels, HoistIsThreadCountInvariant) {
+  const std::size_t m = 1025;
+  const std::size_t n = 17;
+  std::vector<std::vector<double>> data(n);
+  std::vector<std::vector<std::uint8_t>> masks(n);
+  std::vector<const double*> columns(n);
+  std::vector<const std::uint8_t*> mask_ptrs(n);
+  Xoshiro256 rng(5);
+  for (std::size_t j = 0; j < n; ++j) {
+    data[j] = RandomColumn(m, 1000 + j);
+    masks[j].assign(m, 1);
+    if (j % 3 != 0) {  // every third column stays fully valid (dense path)
+      for (auto& b : masks[j]) b = rng.NextBounded(6) != 0 ? 1 : 0;
+    }
+    columns[j] = data[j].data();
+    mask_ptrs[j] = j % 4 == 1 ? nullptr : masks[j].data();  // exercise null entries
+  }
+
+  const std::vector<kernels::MaskedMarginals> seq =
+      kernels::HoistMaskedMarginals(columns, mask_ptrs, m, ExecContext{});
+  ASSERT_EQ(seq.size(), n);
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const std::vector<kernels::MaskedMarginals> par =
+        kernels::HoistMaskedMarginals(columns, mask_ptrs, m, ExecContext{&pool});
+    ASSERT_EQ(par.size(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(par[j].valid, seq[j].valid) << "threads=" << threads << " j=" << j;
+      EXPECT_EQ(par[j].marginals.sum, seq[j].marginals.sum) << "threads=" << threads << " j=" << j;
+      EXPECT_EQ(par[j].marginals.sumsq, seq[j].marginals.sumsq)
+          << "threads=" << threads << " j=" << j;
+      EXPECT_EQ(par[j].marginals.min, seq[j].marginals.min);
+      EXPECT_EQ(par[j].marginals.max, seq[j].marginals.max);
+    }
+  }
+
+  // Empty mask list means every column is dense.
+  const std::vector<kernels::MaskedMarginals> dense =
+      kernels::HoistMaskedMarginals(columns, {}, m, ExecContext{});
+  for (std::size_t j = 0; j < n; ++j) {
+    const kernels::Marginals want = kernels::ColumnMarginals(columns[j], m, 0);
+    EXPECT_EQ(dense[j].valid, m);
+    EXPECT_EQ(dense[j].marginals.sum, want.sum);
+    EXPECT_EQ(dense[j].marginals.sumsq, want.sumsq);
+  }
+}
+
+TEST(MaskedKernels, MaskHelpers) {
+  const std::vector<std::uint8_t> full(100, 1);
+  std::vector<std::uint8_t> holey(100, 1);
+  holey[3] = holey[97] = 0;
+  EXPECT_TRUE(kernels::MaskAllValid(nullptr, 100));
+  EXPECT_TRUE(kernels::MaskAllValid(full.data(), 100));
+  EXPECT_FALSE(kernels::MaskAllValid(holey.data(), 100));
+  EXPECT_TRUE(kernels::MaskAllValid(holey.data(), 0));
+  EXPECT_EQ(kernels::MaskInvalidCount(nullptr, 100), 0u);
+  EXPECT_EQ(kernels::MaskInvalidCount(holey.data(), 100), 2u);
+}
+
+TEST(MaskedMeasures, PairwiseCompleteMeasureMatchesDenseOnFullMask) {
+  const std::size_t m = 512;
+  const std::vector<double> x = RandomColumn(m, 41);
+  const std::vector<double> y = RandomColumn(m, 42);
+  for (const Measure ms : {Measure::kCorrelation, Measure::kCosine, Measure::kCovariance}) {
+    const auto dense = NaivePairMeasureScalar(ms, x.data(), y.data(), m);
+    ASSERT_TRUE(dense.ok());
+    const auto masked = NaivePairMeasureMasked(ms, x.data(), y.data(), nullptr, nullptr, m);
+    ASSERT_TRUE(masked.ok());
+    EXPECT_NEAR(*masked, *dense, 1e-9 * (1.0 + std::fabs(*dense)));
+  }
+}
+
+TEST(MaskedMeasures, MaskedMeasureEqualsDenseMeasureOfCompactedRows) {
+  // Pairwise-complete semantics: the masked measure over (x, y, masks)
+  // is the dense measure over the compacted pairwise-complete rows.
+  const std::size_t m = 300;
+  const std::vector<double> x = RandomColumn(m, 51);
+  const std::vector<double> y = RandomColumn(m, 52);
+  Xoshiro256 rng(53);
+  std::vector<std::uint8_t> mx(m), my(m);
+  for (auto& b : mx) b = rng.NextBounded(5) != 0 ? 1 : 0;
+  for (auto& b : my) b = rng.NextBounded(5) != 0 ? 1 : 0;
+  std::vector<double> cx, cy;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (mx[i] && my[i]) {
+      cx.push_back(x[i]);
+      cy.push_back(y[i]);
+    }
+  }
+  ASSERT_GT(cx.size(), 10u);
+  for (const Measure ms : {Measure::kCorrelation, Measure::kCosine, Measure::kCovariance}) {
+    const auto masked = NaivePairMeasureMasked(ms, x.data(), y.data(), mx.data(), my.data(), m);
+    ASSERT_TRUE(masked.ok());
+    const auto dense = NaivePairMeasureScalar(ms, cx.data(), cy.data(), cx.size());
+    ASSERT_TRUE(dense.ok());
+    EXPECT_NEAR(*masked, *dense, 1e-9 * (1.0 + std::fabs(*dense)));
+  }
+}
+
+TEST(MaskedMeasures, DegenerateAndUnsupportedCases) {
+  const std::size_t m = 64;
+  const std::vector<double> x = RandomColumn(m, 61);
+  const std::vector<double> y = RandomColumn(m, 62);
+  const std::vector<std::uint8_t> none(m, 0);
+  // Zero pairwise-complete rows degenerate to measure 0, not an error.
+  const auto empty =
+      NaivePairMeasureMasked(Measure::kCorrelation, x.data(), y.data(), none.data(), nullptr, m);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0.0);
+  // L-measures are not moment-expressible; the masked path rejects them.
+  const auto loc = NaivePairMeasureMasked(Measure::kMean, x.data(), y.data(), nullptr, nullptr, m);
+  EXPECT_FALSE(loc.ok());
+
+  PairMoments pm = ComputePairMomentsMasked(x.data(), y.data(), none.data(), none.data(), m);
+  EXPECT_EQ(pm.m, 0u);
+}
+
+}  // namespace
+}  // namespace affinity::core

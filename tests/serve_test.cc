@@ -539,5 +539,59 @@ TEST(ServeMaintenance, SlowDriftSkipsScapeRekeys) {
   EXPECT_EQ(scape->pairs, naive->pairs);
 }
 
+// ---------------------------------------------------------------------------
+// Quality predicates are not snapshot-servable (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+TEST(Serving, QualityPredicateBouncesToLiveEngine) {
+  const ts::Dataset ds = TestData();
+  auto stream = StreamingAffinity::Create(ds.matrix.names(), StreamOptions());
+  ASSERT_TRUE(stream.ok());
+  FeedStream(&*stream, ds, 0, 120);
+  ASSERT_TRUE(stream->ready());
+  auto snap = stream->serving();
+  ASSERT_NE(snap, nullptr);
+
+  // The quality surface is live state, not snapshot state: every snapshot
+  // entry point declines min_quality > 0 with kUnavailable.
+  MetRequest met{Measure::kCorrelation, 0.5, true};
+  met.min_quality = 0.5;
+  EXPECT_EQ(serve::SnapshotMet(*snap, met, QueryMethod::kAuto).status().code(),
+            StatusCode::kUnavailable);
+  MerRequest mer{Measure::kCorrelation, 0.2, 0.9};
+  mer.min_quality = 0.5;
+  EXPECT_EQ(serve::SnapshotMer(*snap, mer, QueryMethod::kAuto).status().code(),
+            StatusCode::kUnavailable);
+  TopKRequest topk{Measure::kCorrelation, 3, true};
+  topk.min_quality = 0.5;
+  EXPECT_EQ(serve::SnapshotTopK(*snap, topk, QueryMethod::kAuto).status().code(),
+            StatusCode::kUnavailable);
+  MecRequest mec;
+  mec.measure = Measure::kCorrelation;
+  mec.ids = {0, 1};
+  mec.min_quality = 0.5;
+  EXPECT_EQ(serve::SnapshotMec(*snap, mec, QueryMethod::kAuto).status().code(),
+            StatusCode::kUnavailable);
+
+  // The streaming facade counts the bounce as a serve fallback and still
+  // answers from the live engine (a dense stream scores 1.0 everywhere, so
+  // the predicate excludes nothing).
+  const std::size_t fallbacks_before = stream->maintenance().serve_fallbacks;
+  auto live = stream->Met(met);
+  ASSERT_TRUE(live.ok());
+  EXPECT_GT(stream->maintenance().serve_fallbacks, fallbacks_before);
+  EXPECT_TRUE(live->quality.populated);
+  EXPECT_EQ(live->quality.min_score, 1.0);
+  EXPECT_EQ(live->quality.excluded, 0u);
+
+  // Without the predicate, the snapshot still serves the same request.
+  met.min_quality = 0.0;
+  auto served = serve::SnapshotMet(*snap, met, QueryMethod::kAuto);
+  ASSERT_TRUE(served.ok());
+  auto unfiltered = stream->Met(met);
+  ASSERT_TRUE(unfiltered.ok());
+  ExpectSameSelection(*served, *unfiltered);
+}
+
 }  // namespace
 }  // namespace affinity::shard

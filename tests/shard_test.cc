@@ -14,8 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "core/serialize.h"
 #include "ts/generators.h"
+#include "ts/ingest.h"
 
 namespace affinity::shard {
 namespace {
@@ -597,6 +599,139 @@ TEST(Sharded, LoadRejectsCorruptManifests) {
     out << "not a manifest at all";
   }
   EXPECT_EQ(ShardedAffinity::Load(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Dirty ingestion + quality predicates across shards (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+/// Feeds `rows` dataset rows through a StreamAligner, dropping ~`dirty_pct`
+/// of the samples, and appends each emitted masked row to both sinks.
+void FeedDirtyBoth(core::StreamingAffinity* baseline, ShardedAffinity* service,
+                   const ts::Dataset& ds, std::size_t rows, double dirty_pct,
+                   std::uint64_t seed) {
+  const std::size_t n = ds.matrix.n();
+  ts::IngestOptions iopts;
+  iopts.max_fill = 3;
+  ts::StreamAligner aligner(n, iopts);
+  Xoshiro256 rng(seed);
+  std::vector<ts::AlignedRow> emitted;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.Uniform(0.0, 1.0) < dirty_pct) continue;  // sample never arrives
+      ASSERT_TRUE(aligner.Push(j, static_cast<double>(i), ds.matrix.matrix()(i, j)).ok());
+    }
+    emitted.clear();
+    aligner.EmitUpTo(static_cast<double>(i + 1), &emitted);
+    for (const ts::AlignedRow& row : emitted) {
+      ASSERT_TRUE(baseline->AppendMasked(row).ok());
+      ASSERT_TRUE(service->AppendMasked(row).ok());
+    }
+  }
+}
+
+TEST(ShardedQuality, FilteredAnswersMatchUnshardedBaseline) {
+  const ts::Dataset ds = TestData();
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    auto baseline =
+        core::StreamingAffinity::Create(ds.matrix.names(), SmallOptions(1).streaming);
+    ASSERT_TRUE(baseline.ok());
+    auto service = ShardedAffinity::Create(ds.matrix.names(), SmallOptions(shards));
+    ASSERT_TRUE(service.ok());
+    FeedDirtyBoth(&*baseline, &*service, ds, 120, 0.15, 2024);
+    ASSERT_TRUE(baseline->ready());
+    ASSERT_TRUE(service->ready());
+
+    // Both sides saw identical masks, so the per-series scores agree.
+    const std::vector<double>& scores = baseline->quality_scores();
+    double lo = 1.0, hi = 0.0;
+    for (const double s : scores) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    ASSERT_LT(lo, hi);
+    const double threshold = 0.5 * (lo + hi);
+
+    MetRequest met{Measure::kCorrelation, 0.5, true};
+    met.min_quality = threshold;
+    auto base_met = baseline->Met(met);
+    auto s_met = service->Met(met);
+    ASSERT_TRUE(base_met.ok());
+    ASSERT_TRUE(s_met.ok());
+    EXPECT_EQ(Sorted(s_met->result.pairs), Sorted(base_met->pairs));
+    EXPECT_TRUE(s_met->result.quality.populated);
+    EXPECT_GE(s_met->result.quality.min_score, threshold);
+    for (const auto& p : s_met->result.pairs) {
+      EXPECT_GE(scores[p.u], threshold);
+      EXPECT_GE(scores[p.v], threshold);
+    }
+
+    MerRequest mer{Measure::kCorrelation, 0.2, 0.9};
+    mer.min_quality = threshold;
+    auto base_mer = baseline->Mer(mer);
+    auto s_mer = service->Mer(mer);
+    ASSERT_TRUE(base_mer.ok());
+    ASSERT_TRUE(s_mer.ok());
+    EXPECT_EQ(Sorted(s_mer->result.pairs), Sorted(base_mer->pairs));
+
+    TopKRequest topk{Measure::kCorrelation, 5, true};
+    topk.min_quality = threshold;
+    auto base_topk = baseline->TopK(topk);
+    auto s_topk = service->TopK(topk);
+    ASSERT_TRUE(base_topk.ok());
+    ASSERT_TRUE(s_topk.ok());
+    ASSERT_EQ(s_topk->result.entries.size(), base_topk->entries.size());
+    std::vector<ts::SequencePair> s_pairs;
+    std::vector<ts::SequencePair> b_pairs;
+    for (std::size_t i = 0; i < base_topk->entries.size(); ++i) {
+      s_pairs.push_back(s_topk->result.entries[i].pair);
+      b_pairs.push_back(base_topk->entries[i].pair);
+      EXPECT_NEAR(s_topk->result.entries[i].value, base_topk->entries[i].value, 1e-9);
+      EXPECT_GE(scores[s_topk->result.entries[i].pair.u], threshold);
+      EXPECT_GE(scores[s_topk->result.entries[i].pair.v], threshold);
+    }
+    EXPECT_EQ(Sorted(s_pairs), Sorted(b_pairs));
+    EXPECT_TRUE(s_topk->result.quality.populated);
+
+    // MEC: an eligible id set answers with a quality stamp; a set touching
+    // a below-threshold series fails FailedPrecondition through the router
+    // exactly like the facade.
+    ts::SeriesId good = 0, bad = 0;
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (scores[j] >= threshold) good = static_cast<ts::SeriesId>(j);
+      if (scores[j] < threshold) bad = static_cast<ts::SeriesId>(j);
+    }
+    MecRequest mec_ok;
+    mec_ok.measure = Measure::kCorrelation;
+    mec_ok.ids = {good};
+    mec_ok.min_quality = threshold;
+    auto s_mec = service->Mec(mec_ok);
+    ASSERT_TRUE(s_mec.ok());
+    EXPECT_TRUE(s_mec->response.quality.populated);
+
+    MecRequest mec_bad = mec_ok;
+    mec_bad.ids = {good, bad};
+    EXPECT_EQ(service->Mec(mec_bad).status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(baseline->Mec(mec_bad).status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(ShardedQuality, AppendMaskedValidatesShapes) {
+  const ts::Dataset ds = TestData();
+  auto service = ShardedAffinity::Create(ds.matrix.names(), SmallOptions(2));
+  ASSERT_TRUE(service.ok());
+  const std::size_t n = ds.matrix.n();
+  std::vector<double> row(n, 1.0);
+  EXPECT_EQ(service
+                ->AppendMasked(row, std::vector<std::uint8_t>(n - 1, 1),
+                               std::vector<std::uint8_t>(n, 0))
+                .status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(
+      service->AppendMasked(row, std::vector<std::uint8_t>(n, 1), std::vector<std::uint8_t>(n, 0))
+          .ok());
+  EXPECT_EQ(service->rows_ingested(), 1u);
 }
 
 }  // namespace
