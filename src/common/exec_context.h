@@ -13,6 +13,14 @@
 /// Ownership: whoever creates the pool (an `Affinity` framework, a
 /// `StreamingAffinity`, a bench harness) must keep it alive for as long
 /// as any ExecContext pointing at it is used.
+///
+/// Thread safety: ExecContext is an immutable value handle — copies may
+/// be used from any thread concurrently. All synchronization lives in
+/// ThreadPool, whose locking contract is machine-checked through the
+/// GUARDED_BY/EXCLUDES annotations in thread_pool.h (DESIGN.md §13).
+/// ParallelChunks blocks the caller until every chunk finished, and the
+/// chunk decomposition depends only on `count` — never on scheduling —
+/// which is what keeps results thread-count-invariant.
 
 #include <cstddef>
 #include <utility>

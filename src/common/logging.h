@@ -6,6 +6,12 @@
 ///
 /// The library defaults to `kWarning` so that quiet programs stay quiet;
 /// benches and examples raise it to `kInfo` when narrating progress.
+///
+/// Thread safety: the global level is a single atomic, so
+/// SetLogLevel/GetLogLevel are safe from any thread (no capability to
+/// annotate — there is no lock). Each message is formatted into a
+/// message-local buffer and emitted with one stdio call, so concurrent
+/// messages never interleave mid-line.
 
 #include <sstream>
 #include <string>

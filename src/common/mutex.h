@@ -1,0 +1,59 @@
+#ifndef AFFINITY_COMMON_MUTEX_H_
+#define AFFINITY_COMMON_MUTEX_H_
+
+/// \file mutex.h
+/// Annotated mutex wrappers for clang's `-Wthread-safety` analysis
+/// (DESIGN.md §13).
+///
+/// libstdc++'s `std::mutex` carries no capability attributes, so guarded
+/// members would warn on *every* access, locked or not. `Mutex` is a
+/// zero-cost wrapper declaring the capability; `MutexLock` is the RAII
+/// guard the analysis tracks. Condition waits use
+/// `std::condition_variable_any` directly on the `Mutex` (it satisfies
+/// Lockable): the wait call unlocks/relocks internally, which is
+/// invisible to — and consistent with — the analysis, since the lock is
+/// held both at the call and at the return.
+///
+/// Convention: every new lock in the tree is an `affinity::Mutex`, its
+/// guarded members are declared `GUARDED_BY(mu_)`, and critical sections
+/// are `MutexLock` scopes (no manual lock()/unlock() pairs on hot paths).
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace affinity {
+
+/// A std::mutex declared as a thread-safety capability. Lockable (lower
+/// case lock/unlock/try_lock) so `std::condition_variable_any` can wait
+/// on it directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII critical section over `Mutex`, tracked by the analysis.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_COMMON_MUTEX_H_

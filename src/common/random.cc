@@ -80,6 +80,7 @@ ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
   cdf_.resize(n);
   double total = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
+    // affinity-lint: allow(fp-accumulate): CDF prefix sum — inherently sequential by rank
     total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
     cdf_[r] = total;
   }

@@ -1,0 +1,56 @@
+#ifndef AFFINITY_COMMON_THREAD_ANNOTATIONS_H_
+#define AFFINITY_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Clang thread-safety annotation macros (DESIGN.md §13).
+///
+/// These expand to clang's `-Wthread-safety` attributes when compiling
+/// with clang and to nothing everywhere else, so gcc builds are
+/// unaffected while every clang CI leg machine-checks the locking
+/// contracts. The macro set mirrors the conventional one (abseil, LLVM):
+///
+///  * data members guarded by a lock are declared `GUARDED_BY(mu_)`;
+///  * functions that must be called with a lock held are `REQUIRES(mu_)`;
+///  * functions that must NOT be called with it held are `EXCLUDES(mu_)`;
+///  * lock-like types are `CAPABILITY("mutex")` with `ACQUIRE`/`RELEASE`
+///    on their lock/unlock methods, and RAII guards are
+///    `SCOPED_CAPABILITY` (see mutex.h for the project's annotated
+///    wrappers — raw `std::mutex` is invisible to the analysis because
+///    libstdc++ carries no attributes).
+///
+/// `AFFINITY_HOT` is *not* a compiler attribute: it is a textual marker
+/// consumed by `tools/affinity_lint`, declaring a function body part of
+/// the allocation-free append path (DESIGN.md §13). The lint rejects
+/// heap-allocation keywords inside marked bodies.
+
+#if defined(__clang__)
+#define AFFINITY_TS_ATTR(x) __attribute__((x))
+#else
+#define AFFINITY_TS_ATTR(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) AFFINITY_TS_ATTR(capability(x))
+#define SCOPED_CAPABILITY AFFINITY_TS_ATTR(scoped_lockable)
+#define GUARDED_BY(x) AFFINITY_TS_ATTR(guarded_by(x))
+#define PT_GUARDED_BY(x) AFFINITY_TS_ATTR(pt_guarded_by(x))
+#define REQUIRES(...) AFFINITY_TS_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) AFFINITY_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) AFFINITY_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) AFFINITY_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) AFFINITY_TS_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) AFFINITY_TS_ATTR(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) AFFINITY_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) AFFINITY_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) AFFINITY_TS_ATTR(assert_capability(x))
+#define RETURN_CAPABILITY(x) AFFINITY_TS_ATTR(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS AFFINITY_TS_ATTR(no_thread_safety_analysis)
+
+/// Marks a function definition as part of the allocation-free append hot
+/// path. Enforced textually by tools/affinity_lint (rule `hot-alloc`):
+/// the body may not contain operator new, make_unique/make_shared, the
+/// malloc family, owning-container locals, or resize/reserve calls.
+/// Amortized-reserved push_back/emplace_back stays allowed — the
+/// allocs_per_append bench counter owns that contract (DESIGN.md §13).
+#define AFFINITY_HOT
+
+#endif  // AFFINITY_COMMON_THREAD_ANNOTATIONS_H_

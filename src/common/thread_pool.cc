@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_available_.notify_all();
@@ -43,7 +43,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
   task_available_.notify_one();
@@ -54,8 +54,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      // Plain while-wait (no predicate lambda): the guarded reads stay in
+      // this annotated scope, where the analysis can see the lock held.
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_available_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -99,13 +101,13 @@ void ThreadPool::ParallelFor(std::size_t count,
     std::size_t chunks;
     const std::function<void(std::size_t, std::size_t, std::size_t)>* body;
     std::atomic<std::size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::size_t done = 0;
-    std::exception_ptr error;
-    std::size_t error_chunk = 0;
+    Mutex mutex;
+    std::condition_variable_any done_cv;
+    std::size_t done GUARDED_BY(mutex) = 0;
+    std::exception_ptr error GUARDED_BY(mutex);
+    std::size_t error_chunk GUARDED_BY(mutex) = 0;
 
-    void RunChunks() {
+    void RunChunks() EXCLUDES(mutex) {
       for (;;) {
         const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
         if (c >= chunks) return;
@@ -115,7 +117,7 @@ void ThreadPool::ParallelFor(std::size_t count,
         } catch (...) {
           eptr = std::current_exception();
         }
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (eptr && (!error || c < error_chunk)) {
           error = eptr;
           error_chunk = c;
@@ -142,8 +144,8 @@ void ThreadPool::ParallelFor(std::size_t count,
   state->RunChunks();
   t_in_pool_worker = was_worker;
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock, [&] { return state->done == state->chunks; });
+  MutexLock lock(state->mutex);
+  while (state->done != state->chunks) state->done_cv.wait(state->mutex);
   if (state->error) std::rethrow_exception(state->error);
 }
 

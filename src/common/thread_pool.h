@@ -21,10 +21,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace affinity {
 
@@ -50,7 +52,7 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues one task for asynchronous execution.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Runs `body(chunk, begin, end)` over [0, count) split into
   /// `NumChunks(count)` contiguous chunks, in parallel, and blocks until
@@ -65,7 +67,7 @@ class ThreadPool {
   /// inline sequential execution rather than deadlocking.
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t chunk, std::size_t begin,
-                                            std::size_t end)>& body);
+                                            std::size_t end)>& body) EXCLUDES(mutex_);
 
   /// The chunk decomposition policy behind ParallelFor: how many chunks
   /// `count` items are split into. Depends only on `count` so callers can
@@ -81,13 +83,16 @@ class ThreadPool {
                                                      std::size_t end)>& body);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  ///< written only during construct/join
+  Mutex mutex_;
+  /// condition_variable_any so it can wait on the annotated Mutex
+  /// directly (mutex.h) — the analysis sees the capability held across
+  /// the wait call, which matches reality at both edges.
+  std::condition_variable_any task_available_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace affinity

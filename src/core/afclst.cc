@@ -17,6 +17,8 @@ namespace {
 /// ‖s − r(rᵀs)‖ = sqrt(‖s‖² − (rᵀs)²).
 double ProjectionError(const double* s, const double* r, std::size_t m, double s_norm2) {
   double dot = 0.0;
+  // affinity-lint: allow(fp-accumulate): sequential per-column dot inside the clustering
+  // loop — fixed order, identical at any thread count (columns are the parallel unit)
   for (std::size_t i = 0; i < m; ++i) dot += s[i] * r[i];
   const double err2 = s_norm2 - dot * dot;
   return std::sqrt(err2 > 0.0 ? err2 : 0.0);

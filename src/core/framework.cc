@@ -113,6 +113,7 @@ double PercentRmse(const std::vector<double>& truth, const std::vector<double>& 
   double acc = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
     const double d = (truth[i] - approx[i]) / normalizer;
+    // affinity-lint: allow(fp-accumulate): evaluation-harness RMSE — sequential diagnostic
     acc += d * d;
   }
   return std::sqrt(acc / static_cast<double>(truth.size())) * 100.0;

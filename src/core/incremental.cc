@@ -111,25 +111,37 @@ StatusOr<IncrementalMaintainer> IncrementalMaintainer::Create(AffinityModel* mod
     std::sort(dst, dst + m);
   }
 
-  // Pivot and relationship slots, in the model's (deterministic) hash
-  // iteration order; the pointed-at hash nodes are stable under the
-  // maintenance path, which never inserts or erases structure.
+  // Pivot and relationship slots, in ascending key order — canonical
+  // regardless of hash-table layout, so chunk decomposition over the
+  // slots is identical across processes too. The pointed-at hash nodes
+  // are stable under the maintenance path, which never inserts or
+  // erases structure.
+  std::vector<std::pair<std::uint64_t, PivotHashEntry*>> pivot_items;
+  pivot_items.reserve(model->pivot_hash_.size());
+  // affinity-lint: allow(unordered-iter): collect-then-sort — slot order fixed by the sort below
+  for (auto& [key, entry] : model->pivot_hash_) pivot_items.emplace_back(key, &entry);
+  std::sort(pivot_items.begin(), pivot_items.end());
   std::unordered_map<std::uint64_t, std::size_t> pivot_index;
   pivot_index.reserve(model->pivot_hash_.size());
   mt.pivot_slots_.reserve(model->pivot_hash_.size());
-  for (auto& [key, entry] : model->pivot_hash_) {
+  for (const auto& [key, entry] : pivot_items) {
     pivot_index.emplace(key, mt.pivot_slots_.size());
     PivotSlot ps;
-    ps.entry = &entry;
+    ps.entry = entry;
     mt.pivot_slots_.push_back(ps);
   }
+  std::vector<std::pair<std::uint64_t, AffineRecord*>> rel_items;
+  rel_items.reserve(model->aff_hash_.size());
+  // affinity-lint: allow(unordered-iter): collect-then-sort — slot order fixed by the sort below
+  for (auto& [key, rec] : model->aff_hash_) rel_items.emplace_back(key, &rec);
+  std::sort(rel_items.begin(), rel_items.end());
   mt.slots_.reserve(model->aff_hash_.size());
-  for (auto& [key, rec] : model->aff_hash_) {
+  for (const auto& [key, rec] : rel_items) {
     PairSlot s;
     s.e = ts::SequencePair(static_cast<ts::SeriesId>(key >> 32),
                            static_cast<ts::SeriesId>(key & 0xffffffffULL));
-    s.rec = &rec;
-    const auto it = pivot_index.find(rec.pivot.Key());
+    s.rec = rec;
+    const auto it = pivot_index.find(rec->pivot.Key());
     if (it == pivot_index.end()) {
       return Status::Internal("relationship references an unknown pivot");
     }
@@ -259,6 +271,8 @@ Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
       s.rel_residual = std::sqrt(resid2) /
                        (std::sqrt(static_cast<double>(m) * st.variance) + kTiny);
       if (refit) s.residual_at_refit = s.rel_residual;
+      // affinity-lint: allow(fp-accumulate): per-chunk partial — chunk bounds are
+      // thread-count-invariant and partials combine in fixed chunk order below
       local_sum += s.rel_residual;
     }
     refits[chunk] = local_refits;
@@ -269,6 +283,8 @@ Status IncrementalMaintainer::SolveRelationships(std::size_t refresh_index,
   double sum = 0.0;
   for (std::size_t c = 0; c < refits.size(); ++c) {
     total_refits += refits[c];
+    // affinity-lint: allow(fp-accumulate): combines chunk partials in ascending chunk
+    // order — deterministic because the decomposition is thread-count-invariant
     sum += residual_sums[c];
   }
   if (span_stats != nullptr) {
@@ -323,6 +339,8 @@ StatusOr<bool> IncrementalMaintainer::Advance(const std::vector<std::vector<doub
       for (std::size_t r = 0; r < tail; ++r) {
         double acc = 0.0;
         for (const auto& [v, weight] : center_weights_[l]) {
+          // affinity-lint: allow(fp-accumulate): weighted centre tail — member order is
+          // fixed at freeze time; the whole cell is computed on one thread
           acc += (rows[skip + r][v] - frozen_means_[v]) * weight;
         }
         dst[r] = acc;
@@ -522,7 +540,9 @@ MaintenanceProfile AggregateShardProfiles(const std::vector<MaintenanceProfile>&
     out.last_publish_seconds = std::max(out.last_publish_seconds, p.last_publish_seconds);
     if (p.baseline_mean_residual > 0.0 || p.mean_relative_residual > 0.0) {
       ++with_residual;
+      // affinity-lint: allow(fp-accumulate): profile merge in fixed shard order
       residual_sum += p.mean_relative_residual;
+      // affinity-lint: allow(fp-accumulate): profile merge in fixed shard order
       baseline_sum += p.baseline_mean_residual;
     }
   }

@@ -102,9 +102,16 @@ std::atomic<std::size_t> g_prefetch_distance{kDefaultPrefetchDistance};
 const BackendOps& ActiveOps() {
   const BackendOps* ops = g_active.load(std::memory_order_acquire);
   if (ops == nullptr) {
-    // Concurrent first calls race benignly: Resolve() is deterministic.
-    ops = Resolve();
-    g_active.store(ops, std::memory_order_release);
+    // Lazy first-use resolution. Concurrent first calls all Resolve() to
+    // the same table, but the install must be a compare-exchange: an
+    // unconditional store here could overwrite an explicit SetBackend()
+    // that raced with first use, silently reverting the caller's choice.
+    // Whoever wins the CAS defines the backend; losers adopt the winner.
+    const BackendOps* resolved = Resolve();
+    if (g_active.compare_exchange_strong(ops, resolved, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      ops = resolved;
+    }
   }
   return *ops;
 }

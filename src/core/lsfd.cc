@@ -26,6 +26,7 @@ StatusOr<double> LsfdSquared(const la::Matrix& x, const la::Matrix& y) {
   double mean[4];
   for (int j = 0; j < 4; ++j) {
     double s = 0;
+    // affinity-lint: allow(fp-accumulate): 4-column LSFD moments — sequential, fixed order
     for (std::size_t i = 0; i < m; ++i) s += cols[j][i];
     mean[j] = s / static_cast<double>(m);
   }
@@ -34,6 +35,7 @@ StatusOr<double> LsfdSquared(const la::Matrix& x, const la::Matrix& y) {
     for (int b = a; b < 4; ++b) {
       double acc = 0;
       for (std::size_t i = 0; i < m; ++i) {
+        // affinity-lint: allow(fp-accumulate): 4x4 Gram fill — sequential, fixed order
         acc += (cols[a][i] - mean[a]) * (cols[b][i] - mean[b]);
       }
       gram(a, b) = acc;

@@ -183,6 +183,8 @@ StatusOr<double> NaivePairMeasureScalar(Measure m, const double* x, const double
       // three times for the same three sums.
       double nx = 0, ny = 0, d = 0;
       for (std::size_t i = 0; i < len; ++i) {
+        // affinity-lint: allow(fp-accumulate): naive-oracle measure — the sequential
+        // reference the kernel-backed paths are asserted bit-identical against
         nx += x[i] * x[i];
         ny += y[i] * y[i];
         d += x[i] * y[i];

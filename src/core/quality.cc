@@ -1,3 +1,5 @@
+// affinity-lint: allow-file(fp-accumulate): offline diagnostics — sequential
+// per-pair reductions; never on the append or serve paths, never chunked.
 #include "core/quality.h"
 
 #include <algorithm>

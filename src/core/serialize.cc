@@ -184,10 +184,12 @@ Status WriteModelStream(const AffinityModel& model, std::ostream& out) {
   w.F64Span(model.clustering_.projection_errors.data(),
             model.clustering_.projection_errors.size());
 
-  // affHash.
+  // affHash — ForEachRelationship visits in ascending key order, so the
+  // byte stream is canonical for a given model: it cannot drift with the
+  // hash-table layout. The reader inserts by key, so order is free.
   w.Size(model.aff_hash_.size());
-  for (const auto& [key, rec] : model.aff_hash_) {
-    w.U64(key);
+  model.ForEachRelationship([&](const ts::SequencePair& e, const AffineRecord& rec) {
+    w.U64((static_cast<std::uint64_t>(e.u) << 32) | static_cast<std::uint64_t>(e.v));
     WritePivot(&w, rec.pivot);
     w.F64(rec.transform.a11);
     w.F64(rec.transform.a21);
@@ -195,15 +197,15 @@ Status WriteModelStream(const AffinityModel& model, std::ostream& out) {
     w.F64(rec.transform.a22);
     w.F64(rec.transform.b1);
     w.F64(rec.transform.b2);
-  }
+  });
 
-  // pivotHash.
+  // pivotHash — same canonical order as affHash.
   w.Size(model.pivot_hash_.size());
-  for (const auto& [key, entry] : model.pivot_hash_) {
-    w.U64(key);
-    WritePivot(&w, entry.pivot);
-    WriteMeasures(&w, entry.measures);
-  }
+  model.ForEachPivot([&](const PivotPair& p, const PairMatrixMeasures& pm) {
+    w.U64(p.Key());
+    WritePivot(&w, p);
+    WriteMeasures(&w, pm);
+  });
 
   // Per-series stats + series-level relationships.
   w.Size(model.series_stats_.size());

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace affinity::core {
 
@@ -217,9 +218,9 @@ AppendResult StreamingAffinity::AppendMasked(const std::vector<double>& values,
   return AppendRow(values, valid.data(), filled.data());
 }
 
-AppendResult StreamingAffinity::AppendRow(const std::vector<double>& values,
-                                          const std::uint8_t* valid,
-                                          const std::uint8_t* filled) {
+AFFINITY_HOT AppendResult StreamingAffinity::AppendRow(const std::vector<double>& values,
+                                                       const std::uint8_t* valid,
+                                                       const std::uint8_t* filled) {
   AppendResult out;
   // Reject non-finite input before any state mutates: one NaN reaching the
   // rolling moments (or the window) would poison every downstream sum, and

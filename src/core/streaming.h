@@ -406,6 +406,13 @@ class StreamingAffinity {
   /// the first publication (a stream that is never built publishes
   /// nothing). unique_ptr keeps StreamingAffinity movable — the atomic
   /// inside EpochPublisher is not.
+  ///
+  /// Concurrency contract (DESIGN.md §13): StreamingAffinity is
+  /// single-writer — AppendRow/Rebuild/Load run on one thread. The only
+  /// state shared with concurrent readers is this publisher (internally
+  /// synchronized; see serve/serving_snapshot.h) and `serve_fallbacks_`
+  /// below (an atomic counter). Every other member, including
+  /// `serving_scratch_` and `serving_generation_`, is writer-private.
   std::unique_ptr<serve::EpochPublisher<serve::ServingSnapshot>> publisher_;
   std::uint64_t serving_generation_ = 0;
   /// The last *retired* epoch with no surviving readers, held for memory

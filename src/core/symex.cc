@@ -244,6 +244,8 @@ class SymexRunner {
     }
     double x0 = 0, x1 = 0, x2 = 0;
     for (std::size_t i = 0; i < m_; ++i) {
+      // affinity-lint: allow(fp-accumulate): pseudo-inverse projection — sequential
+      // reference path; the bulk fits use the same order via core/kernels
       x0 += p0[i] * t[i];
       x1 += p1[i] * t[i];
       x2 += p2[i] * t[i];

@@ -20,11 +20,13 @@
 /// structurally and fit only the free column, which both accelerates the fit
 /// and makes Lemma 1 (exact dot products) hold to machine precision.
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/exec_context.h"
@@ -231,22 +233,34 @@ class AffinityModel {
   void PairMeasures6From(const AffineRecord& rec, const ts::SequencePair& e,
                          const PairMatrixMeasures& pm, double out[6]) const;
 
-  /// Iterates all relationships: fn(const ts::SequencePair&, const AffineRecord&).
+  /// Iterates all relationships in ascending pair-key order:
+  /// fn(const ts::SequencePair&, const AffineRecord&). The sort makes the
+  /// visit order canonical — SCAPE index layout and snapshot flattening
+  /// inherit it, so they cannot drift with the hash implementation.
   template <typename Fn>
   void ForEachRelationship(Fn&& fn) const {
-    for (const auto& [key, rec] : aff_hash_) {
+    std::vector<std::pair<std::uint64_t, const AffineRecord*>> items;
+    items.reserve(aff_hash_.size());
+    // affinity-lint: allow(unordered-iter): collect-then-sort — visits happen in key order below
+    for (const auto& [key, rec] : aff_hash_) items.emplace_back(key, &rec);
+    std::sort(items.begin(), items.end());
+    for (const auto& [key, rec] : items) {
       const ts::SequencePair e{static_cast<ts::SeriesId>(key >> 32),
                                static_cast<ts::SeriesId>(key & 0xffffffffULL)};
-      fn(e, rec);
+      fn(e, *rec);
     }
   }
 
-  /// Iterates all pivots: fn(const PivotPair&, const PairMatrixMeasures&).
+  /// Iterates all pivots in ascending pivot-key order:
+  /// fn(const PivotPair&, const PairMatrixMeasures&).
   template <typename Fn>
   void ForEachPivot(Fn&& fn) const {
-    for (const auto& [key, entry] : pivot_hash_) {
-      fn(entry.pivot, entry.measures);
-    }
+    std::vector<std::pair<std::uint64_t, const PivotHashEntry*>> items;
+    items.reserve(pivot_hash_.size());
+    // affinity-lint: allow(unordered-iter): collect-then-sort — visits happen in key order below
+    for (const auto& [key, entry] : pivot_hash_) items.emplace_back(key, &entry);
+    std::sort(items.begin(), items.end());
+    for (const auto& [key, entry] : items) fn(entry->pivot, entry->measures);
   }
 
   /// Recomputes every derived quantity from `data()` and `clustering()`:

@@ -61,6 +61,8 @@ double DftCorrelationEstimator::Estimate(ts::SeriesId u, ts::SeriesId v) const {
   double dist2 = 0.0;
   for (std::size_t k = 0; k < coefficients_; ++k) {
     const Complex d = a.coefficients[k] - b.coefficients[k];
+    // affinity-lint: allow(fp-accumulate): sketch distance over a handful of DFT
+    // coefficients — sequential by coefficient index, never chunked
     dist2 += std::norm(d);
   }
   // Conjugate-symmetric mirror doubles the retained energy (k and m−k).

@@ -1,3 +1,5 @@
+// affinity-lint: allow-file(fp-accumulate): sequential Jacobi sweeps — fixed
+// rotation and reduction order on one thread, never chunked.
 #include "la/eigen.h"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// affinity-lint: allow-file(fp-accumulate): sequential dense LA — fixed iteration
+// order on one thread; the parallel/chunked summation paths live in core/kernels.
 #include "la/matrix.h"
 
 #include <cmath>

@@ -55,6 +55,8 @@
 #include <vector>
 
 #include "common/exec_context.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/planner.h"
 #include "core/scape.h"
 #include "core/symex.h"
@@ -307,12 +309,12 @@ class EpochPublisher {
   /// replica on the publish critical path. nullptr when nothing retired.
   /// A retired epoch may still be pinned by in-flight readers; recycle it
   /// only when its use_count() is 1.
-  std::shared_ptr<const T> Publish(std::shared_ptr<const T> snapshot) {
+  std::shared_ptr<const T> Publish(std::shared_ptr<const T> snapshot) EXCLUDES(mu_) {
     std::shared_ptr<const T> retired;
     if (history_ > 0) {
       auto prev = current_.load(std::memory_order_acquire);
       if (prev != nullptr) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ring_.push_back(std::move(prev));
         while (ring_.size() > history_) {
           retired = std::move(ring_.front());
@@ -335,10 +337,10 @@ class EpochPublisher {
   /// The epoch with exactly `generation`: the current one when it
   /// matches, else a ring-pinned one, else nullptr (never published, or
   /// already evicted by newer publishes).
-  std::shared_ptr<const T> AcquireEpoch(std::uint64_t generation) const {
+  std::shared_ptr<const T> AcquireEpoch(std::uint64_t generation) const EXCLUDES(mu_) {
     auto current = Acquire();
     if (current != nullptr && current->generation == generation) return current;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
       if ((*it)->generation == generation) return *it;
     }
@@ -349,10 +351,11 @@ class EpochPublisher {
   std::size_t history() const { return history_; }
 
  private:
-  std::size_t history_ = 0;
+  std::size_t history_ = 0;  ///< immutable after construction
+  /// The serving fast path: swap/load only, never under mu_.
   std::atomic<std::shared_ptr<const T>> current_;
-  mutable std::mutex mu_;
-  std::deque<std::shared_ptr<const T>> ring_;  ///< oldest first, guarded by mu_
+  mutable Mutex mu_;
+  std::deque<std::shared_ptr<const T>> ring_ GUARDED_BY(mu_);  ///< oldest first
 };
 
 }  // namespace affinity::serve

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "core/kernels.h"
 
 namespace affinity::shard {
@@ -42,7 +43,7 @@ CrossMomentCache::CrossMomentCache(const std::vector<ts::SequencePair>& cross_pa
   }
 }
 
-void CrossMomentCache::Observe(const std::vector<double>& row) {
+AFFINITY_HOT void CrossMomentCache::Observe(const std::vector<double>& row) {
   if (entries_.empty()) return;
   const bool full = count_ == window_;
   // Pairs first: the eviction needs both rings' outgoing values, which

@@ -44,6 +44,12 @@
 /// every lockstep refresh (stamp) and drops all stamped moments on
 /// escalation, manual rebuild, or restore (Invalidate); a stale or
 /// never-stamped entry simply misses and is re-filled by the sweep.
+///
+/// Thread safety: none of its own — single-writer by contract
+/// (DESIGN.md §13). Observe/Stamp/Invalidate run only on the owning
+/// ShardedAffinity's lockstep write path, which is externally
+/// serialized; concurrent queries read stamped co-moments from published
+/// RouterSnapshot copies and never touch this object.
 
 #include <cstdint>
 #include <vector>

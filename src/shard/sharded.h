@@ -116,6 +116,15 @@ class ShardRouter {
 };
 
 /// The sharded ingest-and-query service. Movable, not copyable.
+///
+/// Concurrency contract (DESIGN.md §13): single-writer, multi-reader.
+/// Append/Rebuild/Load and the lockstep refresh they drive — including
+/// every CrossMomentCache access — run on one writer thread; shard
+/// fan-out inside a refresh goes through the internally synchronized
+/// ThreadPool and joins before the call returns. Queries service from
+/// the last published RouterSnapshot via the internally synchronized
+/// EpochPublisher; no query ever reads the live shards, so the writer
+/// needs no lock of its own.
 class ShardedAffinity {
  public:
   /// Creates N shards over the named series. Status errors (never crashes)

@@ -34,6 +34,7 @@ la::Vector RandomWalk(std::size_t m, double step, Xoshiro256* rng) {
   la::Vector w(m);
   double x = 0.0;
   for (std::size_t i = 0; i < m; ++i) {
+    // affinity-lint: allow(fp-accumulate): random-walk prefix — inherently sequential
     x += rng->Gaussian(0.0, step);
     w[i] = x;
   }

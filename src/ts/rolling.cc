@@ -10,7 +10,7 @@ RollingStats::RollingStats(std::size_t window) : buffer_(window, 0.0) {
   AFFINITY_CHECK_GE(window, 1u);
 }
 
-void RollingStats::Push(double x) {
+AFFINITY_HOT void RollingStats::Push(double x) {
   if (count_ == buffer_.size()) {
     const double evicted = buffer_[head_];
     sum_ -= evicted;
@@ -38,7 +38,7 @@ double RollingStats::Variance() const {
 RollingCovariance::RollingCovariance(std::size_t window)
     : x_(window), y_(window), xy_(window, 0.0) {}
 
-void RollingCovariance::Push(double x, double y) {
+AFFINITY_HOT void RollingCovariance::Push(double x, double y) {
   if (count_ == xy_.size()) {
     sum_xy_ -= xy_[head_];
   } else {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 // Header-only blocked-summation primitives (no link dependency on core).
 #include "core/kernels.h"
 #include "ts/data_matrix.h"
@@ -110,14 +111,14 @@ struct RollingCrossSums {
   double t = 0.0;    ///< Σ tᵢ
 
   /// Absorbs one aligned sample entering the window.
-  void Add(double c1, double c2, double tv) {
+  AFFINITY_HOT void Add(double c1, double c2, double tv) {
     c1t += c1 * tv;
     c2t += c2 * tv;
     t += tv;
   }
 
   /// Removes one aligned sample leaving the window.
-  void Evict(double c1, double c2, double tv) {
+  AFFINITY_HOT void Evict(double c1, double c2, double tv) {
     c1t -= c1 * tv;
     c2t -= c2 * tv;
     t -= tv;

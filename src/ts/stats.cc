@@ -1,3 +1,5 @@
+// affinity-lint: allow-file(fp-accumulate): scalar oracle routines — strictly
+// sequential left-to-right sums the SIMD kernels are verified against.
 #include "ts/stats.h"
 
 #include <algorithm>

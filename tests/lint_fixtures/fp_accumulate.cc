@@ -1,0 +1,49 @@
+// Fixture: rule `fp-accumulate` must fire on std::accumulate, std::reduce,
+// and manual double-reduction loops — and must NOT fire on element-wise
+// updates or straight-line rolling updates. Never compiled; scanned by
+// lint_test only.
+#include <numeric>
+#include <vector>
+
+double AccumulateCall(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);  // finding (line 9)
+}
+
+double ReduceCall(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // finding (line 13)
+}
+
+double ManualLoop(const double* x, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += x[i];  // finding (line 19)
+  }
+  return sum;
+}
+
+double BracelessLoop(const double* x, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += x[i];  // finding (line 26)
+  return total;
+}
+
+void ElementWise(std::vector<double>& slots, const double* x, int n) {
+  for (int i = 0; i < n; ++i) {
+    slots[i] += x[i];  // subscripted target: element-wise, no finding
+  }
+}
+
+struct Acc {
+  double dot = 0.0;
+};
+
+void MemberElementWise(std::vector<Acc>& accs, double v) {
+  for (Acc& a : accs) {
+    a.dot += v;  // member of the loop variable: no finding
+  }
+}
+
+void RollingUpdate(double v) {
+  static double rolled = 0.0;
+  rolled += v;  // straight-line (no loop): caller-defined order, no finding
+}

@@ -1,0 +1,18 @@
+// Fixture: rule `fp-contract` must fire on std::fma, the FP_CONTRACT
+// pragma, and FMA intrinsics — and must NOT fire on fmax/fmin. Never
+// compiled; scanned by lint_test only.
+#include <cmath>
+
+#pragma STDC FP_CONTRACT ON
+
+double Fused(double a, double b, double c) {
+  return std::fma(a, b, c);
+}
+
+double NotFma(double a, double b) {
+  return std::fmax(a, b) + std::fmin(a, b);
+}
+
+void Intrinsic(__m256d x, __m256d y, __m256d z, __m256d* out) {
+  *out = _mm256_fmadd_pd(x, y, z);
+}

@@ -1,0 +1,30 @@
+// Fixture: rule `hot-alloc` must fire on allocation keywords inside
+// AFFINITY_HOT bodies — and must NOT fire in unmarked functions, on
+// declarations without bodies, or on preallocated writes. Never
+// compiled; scanned by lint_test only.
+#include <memory>
+#include <vector>
+
+struct Pool {
+  std::vector<double> slots;
+  double* cursor = nullptr;
+};
+
+AFFINITY_HOT void HotAppend(Pool& pool, double v) {
+  *pool.cursor = v;
+  double* leaked = new double(v);
+  (void)leaked;
+  auto owned = std::make_unique<double>(v);
+  (void)owned;
+  pool.slots.resize(100);
+  std::vector<double> scratch;
+  (void)scratch;
+}
+
+AFFINITY_HOT void HotDeclared(Pool& pool);
+
+void ColdAppend(Pool& pool, double v) {
+  pool.slots.push_back(v);
+  double* p = new double(v);
+  delete p;
+}

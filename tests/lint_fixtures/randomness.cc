@@ -1,0 +1,19 @@
+// Fixture: rule `randomness` must fire on <random> engines and the libc
+// rand family — and must NOT fire on innocent identifiers containing
+// "rand". Never compiled; scanned by lint_test only.
+#include <random>
+#include <cstdlib>
+
+int Roll() {
+  std::mt19937 gen(42);
+  std::uniform_int_distribution<int> die(1, 6);
+  return die(gen);
+}
+
+int LibcRoll() {
+  return rand() % 6;
+}
+
+void Seed() { srand(7); }
+
+int NotRandom(int operand) { return operand + 1; }

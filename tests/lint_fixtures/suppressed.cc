@@ -1,0 +1,18 @@
+// Fixture: justified allow() directives must silence findings — both the
+// same-line and preceding-comment-line forms. Never compiled; scanned by
+// lint_test only.
+#include <numeric>
+#include <vector>
+
+double SameLine(const std::vector<double>& xs) {
+  // affinity-lint: allow(fp-accumulate): fixture — seed oracle, bit-compat asserted in tests
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double PrevLine(const double* x, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += x[i];  // affinity-lint: allow(fp-accumulate): fixture — sequential by construction
+  }
+  return sum;
+}

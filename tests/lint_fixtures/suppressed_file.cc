@@ -1,0 +1,6 @@
+// affinity-lint: allow-file(randomness): fixture — exercises file-wide suppression
+// Fixture: allow-file must silence a rule across the whole file. Never
+// compiled; scanned by lint_test only.
+#include <random>
+
+std::mt19937 MakeGen() { return std::mt19937(7); }

@@ -1,0 +1,9 @@
+// Fixture: a suppression without a justification must be reported as
+// `bad-suppression` AND must not silence the underlying finding. Never
+// compiled; scanned by lint_test only.
+#include <numeric>
+#include <vector>
+
+double Bad(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);  // affinity-lint: allow(fp-accumulate)
+}

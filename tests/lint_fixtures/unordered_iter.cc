@@ -1,0 +1,35 @@
+// Fixture: rule `unordered-iter` must fire on range-for and iterator
+// loops over unordered containers — and must NOT fire on point lookups
+// or ordered containers. Never compiled; scanned by lint_test only.
+#include <unordered_map>
+#include <vector>
+
+class Registry {
+ public:
+  std::vector<int> Ordered() const {
+    std::vector<int> out;
+    for (const auto& [key, value] : table_) {
+      out.push_back(value);
+    }
+    return out;
+  }
+
+  int Sum() const {
+    int s = 0;
+    for (auto it = table_.begin(); it != table_.end(); ++it) s += it->second;
+    return s;
+  }
+
+  bool Has(int k) const {
+    return table_.find(k) != table_.end();
+  }
+
+ private:
+  std::unordered_map<int, int> table_;
+};
+
+std::vector<int> OrderedVec(const std::vector<int>& xs) {
+  std::vector<int> out;
+  for (int x : xs) out.push_back(x);
+  return out;
+}

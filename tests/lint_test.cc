@@ -1,0 +1,145 @@
+// Tests for affinity_lint (tools/affinity_lint) — one fixture per rule,
+// plus suppression and justification coverage. Fixtures live in
+// tests/lint_fixtures/ and are never compiled; each test loads one into
+// a SourceFile whose path places it wherever the scenario needs (the
+// path-scoped exemptions key off SourceFile::path).
+
+#include "affinity_lint/lint.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace affinity::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(AFFINITY_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Lints one fixture as if it lived at `as_path`.
+LintResult LintFixtureAs(const std::string& name, const std::string& as_path) {
+  SourceFile src;
+  src.path = as_path;
+  src.content = ReadFixture(name);
+  return LintSources({src});
+}
+
+/// The 1-based lines on which `rule` fired.
+std::set<std::size_t> LinesOf(const LintResult& result, const std::string& rule) {
+  std::set<std::size_t> lines;
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule) lines.insert(f.line);
+  }
+  return lines;
+}
+
+using Lines = std::set<std::size_t>;
+
+TEST(LintFpAccumulate, FiresOnReductionsOnly) {
+  const LintResult r = LintFixtureAs("fp_accumulate.cc", "src/core/query_fixture.cc");
+  // std::accumulate (9), std::reduce (13), braced manual loop (19),
+  // braceless manual loop (26) — and nothing on the element-wise,
+  // member-of-loop-var, or straight-line rolling updates.
+  EXPECT_EQ(LinesOf(r, "fp-accumulate"), (Lines{9, 13, 19, 26}));
+  EXPECT_EQ(r.findings.size(), 4u);
+}
+
+TEST(LintFpAccumulate, KernelsPathIsExempt) {
+  // The canonical blocked chains live in core/kernels* — the same text
+  // there is the implementation of the contract, not a violation.
+  const LintResult r = LintFixtureAs("fp_accumulate.cc", "src/core/kernels_fixture.cc");
+  EXPECT_TRUE(r.findings.empty()) << FormatReport(r);
+}
+
+TEST(LintFpContract, FiresOnFmaPragmaAndIntrinsics) {
+  const LintResult r = LintFixtureAs("fp_contract.cc", "src/ts/fixture.cc");
+  // FP_CONTRACT pragma (6), std::fma (9), _mm256_fmadd_pd (17) — and
+  // nothing on std::fmax/std::fmin.
+  EXPECT_EQ(LinesOf(r, "fp-contract"), (Lines{6, 9, 17}));
+  EXPECT_EQ(r.findings.size(), 3u);
+}
+
+TEST(LintUnorderedIter, FiresOnRangeForAndIteratorLoops) {
+  const LintResult r = LintFixtureAs("unordered_iter.cc", "src/core/fixture.cc");
+  // Range-for over table_ (11), iterator loop over table_ (19) — and
+  // nothing on the point lookup or the ordered-vector loop.
+  EXPECT_EQ(LinesOf(r, "unordered-iter"), (Lines{11, 19}));
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(LintRandomness, FiresOutsideCommonRandom) {
+  const LintResult r = LintFixtureAs("randomness.cc", "src/core/fixture.cc");
+  // <random> include (4), mt19937 (8), distribution (9), rand() (14),
+  // srand() (17) — and nothing on the identifier containing "rand".
+  EXPECT_EQ(LinesOf(r, "randomness"), (Lines{4, 8, 9, 14, 17}));
+  EXPECT_EQ(r.findings.size(), 5u);
+}
+
+TEST(LintRandomness, CommonRandomPathIsExempt) {
+  const LintResult r = LintFixtureAs("randomness.cc", "src/common/random.cc");
+  EXPECT_TRUE(r.findings.empty()) << FormatReport(r);
+}
+
+TEST(LintHotAlloc, FiresInsideMarkedBodiesOnly) {
+  const LintResult r = LintFixtureAs("hot_alloc.cc", "src/ts/fixture.cc");
+  // new (15), make_unique (17), .resize( (19), owning vector local (20)
+  // — and nothing in the unmarked ColdAppend or on the body-less
+  // declaration.
+  EXPECT_EQ(LinesOf(r, "hot-alloc"), (Lines{15, 17, 19, 20}));
+  EXPECT_EQ(r.findings.size(), 4u);
+}
+
+TEST(LintSuppression, JustifiedAllowSilencesBothForms) {
+  // Same-line and preceding-comment-line allow() forms, both justified:
+  // all findings silenced and both suppressions counted as used.
+  const LintResult r = LintFixtureAs("suppressed.cc", "src/core/fixture.cc");
+  EXPECT_TRUE(r.findings.empty()) << FormatReport(r);
+  EXPECT_EQ(r.suppressions_used, 2u);
+}
+
+TEST(LintSuppression, AllowFileSilencesRuleFileWide) {
+  const LintResult r = LintFixtureAs("suppressed_file.cc", "src/core/fixture.cc");
+  EXPECT_TRUE(r.findings.empty()) << FormatReport(r);
+  EXPECT_EQ(r.suppressions_used, 2u);  // include + engine use, both covered
+}
+
+TEST(LintSuppression, UnjustifiedAllowIsReportedAndIgnored) {
+  const LintResult r = LintFixtureAs("unjustified.cc", "src/core/fixture.cc");
+  // The bare allow() is itself a finding AND does not silence the
+  // underlying fp-accumulate finding on the same line.
+  EXPECT_EQ(LinesOf(r, "bad-suppression"), (Lines{8}));
+  EXPECT_EQ(LinesOf(r, "fp-accumulate"), (Lines{8}));
+  EXPECT_EQ(r.suppressions_used, 0u);
+}
+
+TEST(LintSuppression, CommentedOutCodeDoesNotFire) {
+  SourceFile src;
+  src.path = "src/core/fixture.cc";
+  src.content =
+      "// double s = std::accumulate(xs.begin(), xs.end(), 0.0);\n"
+      "/* std::mt19937 gen(1); */\n"
+      "const char* kDoc = \"std::reduce is banned\";\n";
+  const LintResult r = LintSources({src});
+  EXPECT_TRUE(r.findings.empty()) << FormatReport(r);
+}
+
+TEST(LintReport, FormatsFileLineRuleAndSummary) {
+  const LintResult r = LintFixtureAs("unjustified.cc", "src/core/fixture.cc");
+  const std::string report = FormatReport(r);
+  EXPECT_NE(report.find("src/core/fixture.cc:8: [bad-suppression]"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("2 finding(s)"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace affinity::lint

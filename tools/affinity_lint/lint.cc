@@ -1,0 +1,797 @@
+#include "affinity_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace affinity::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text` contains `word` with non-identifier characters (or
+/// the text edge) on both sides, at or after `from`. Returns the match
+/// position through `*pos`.
+bool FindWord(const std::string& text, const std::string& word, std::size_t from,
+              std::size_t* pos) {
+  for (std::size_t at = text.find(word, from); at != std::string::npos;
+       at = text.find(word, at + 1)) {
+    const bool left_ok = at == 0 || !IsIdentChar(text[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) {
+      *pos = at;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+// ---------------------------------------------------------------------------
+// Stripping: comments and string/char literals are blanked (replaced by
+// spaces, so columns and brace structure survive) while comment text is
+// kept aside for directive parsing.
+// ---------------------------------------------------------------------------
+
+/// One `affinity-lint` directive found in a comment.
+struct Directive {
+  std::size_t line = 0;  ///< 1-based line the directive sits on
+  std::vector<std::string> rules;
+  bool file_scope = false;     ///< allow-file(...) vs allow(...)
+  bool justified = false;      ///< non-empty justification after the colon
+  bool parse_error = false;    ///< malformed directive text
+};
+
+struct Stripped {
+  std::vector<std::string> code;      ///< per line, literals/comments blanked
+  std::vector<std::string> comments;  ///< per line, comment text only
+  std::vector<Directive> directives;
+};
+
+/// Parses every `affinity-lint` directive occurrence in `comment` (one
+/// line's comment text).
+void ParseDirectives(const std::string& comment, std::size_t line, std::vector<Directive>* out) {
+  static const std::string kTag = "affinity-lint:";
+  for (std::size_t at = comment.find(kTag); at != std::string::npos;
+       at = comment.find(kTag, at + 1)) {
+    Directive d;
+    d.line = line;
+    std::size_t p = at + kTag.size();
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    if (comment.compare(p, 11, "allow-file(") == 0) {
+      d.file_scope = true;
+      p += 11;
+    } else if (comment.compare(p, 6, "allow(") == 0) {
+      p += 6;
+    } else {
+      d.parse_error = true;
+      out->push_back(std::move(d));
+      continue;
+    }
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) {
+      d.parse_error = true;
+      out->push_back(std::move(d));
+      continue;
+    }
+    std::stringstream rules(comment.substr(p, close - p));
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule = Trim(rule);
+      if (!rule.empty()) d.rules.push_back(rule);
+    }
+    if (d.rules.empty()) d.parse_error = true;
+    // Justification: a ':' after the rule list with non-space content.
+    std::size_t q = close + 1;
+    while (q < comment.size() && comment[q] == ' ') ++q;
+    if (q < comment.size() && comment[q] == ':') {
+      d.justified = !Trim(comment.substr(q + 1)).empty();
+    }
+    out->push_back(std::move(d));
+  }
+}
+
+Stripped Strip(const std::string& content) {
+  Stripped out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string code_line;
+  std::string comment_line;
+  std::size_t line = 1;
+
+  auto flush_line = [&] {
+    ParseDirectives(comment_line, line, &out.directives);
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+    ++line;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated string/char literals do not cross lines in practice.
+      if (state == State::kString || state == State::kChar) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line += ' ';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line += ' ';
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();  // final (possibly empty) line
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Symbol collection.
+// ---------------------------------------------------------------------------
+
+/// Reads the identifier starting at `p` (must be an identifier start).
+std::string ReadIdent(const std::string& text, std::size_t p) {
+  std::size_t e = p;
+  while (e < text.size() && IsIdentChar(text[e])) ++e;
+  return text.substr(p, e - p);
+}
+
+/// Collects names declared as `std::unordered_{map,set,multimap,multiset}
+/// <...> name {;,=,{}` into `names`. Works on whole-file stripped text so
+/// multi-line template arguments resolve.
+void CollectUnorderedNames(const std::string& text, std::set<std::string>* names) {
+  static const char* kKinds[] = {"unordered_map", "unordered_set", "unordered_multimap",
+                                 "unordered_multiset"};
+  for (const char* kind : kKinds) {
+    std::size_t pos = 0;
+    std::size_t at;
+    while (FindWord(text, kind, pos, &at)) {
+      pos = at + 1;
+      std::size_t p = at + std::string(kind).size();
+      while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])) != 0) ++p;
+      if (p >= text.size() || text[p] != '<') continue;
+      int depth = 0;
+      while (p < text.size()) {
+        if (text[p] == '<') ++depth;
+        if (text[p] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++p;
+      }
+      if (p >= text.size()) continue;
+      ++p;  // past '>'
+      while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])) != 0) ++p;
+      if (p >= text.size() || !IsIdentChar(text[p]) ||
+          std::isdigit(static_cast<unsigned char>(text[p])) != 0) {
+        continue;
+      }
+      const std::string name = ReadIdent(text, p);
+      std::size_t q = p + name.size();
+      while (q < text.size() && std::isspace(static_cast<unsigned char>(text[q])) != 0) ++q;
+      if (q < text.size() && (text[q] == ';' || text[q] == '=' || text[q] == '{')) {
+        names->insert(name);
+      }
+    }
+  }
+}
+
+/// Collects identifiers declared with type `double` (locals, members,
+/// parameters) — the candidate targets of a scalar FP reduction.
+void CollectDoubleScalars(const std::vector<std::string>& code, std::set<std::string>* names) {
+  for (const std::string& text : code) {
+    std::size_t pos = 0;
+    std::size_t at;
+    while (FindWord(text, "double", pos, &at)) {
+      pos = at + 6;
+      std::size_t p = at + 6;
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (p >= text.size() || !IsIdentChar(text[p]) ||
+          std::isdigit(static_cast<unsigned char>(text[p])) != 0) {
+        continue;
+      }
+      const std::string name = ReadIdent(text, p);
+      std::size_t q = p + name.size();
+      while (q < text.size() && text[q] == ' ') ++q;
+      // `double Foo(` declares a function, `double* p` / `double& r` an
+      // indirection — neither is a scalar accumulator target.
+      if (q < text.size() && (text[q] == '(' || text[q] == '*' || text[q] == '&')) continue;
+      names->insert(name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule passes. Each emits raw findings; suppressions filter afterwards.
+// ---------------------------------------------------------------------------
+
+void AddFinding(std::vector<Finding>* out, const std::string& file, std::size_t line,
+                const char* rule, std::string message) {
+  Finding f;
+  f.file = file;
+  f.line = line;
+  f.rule = rule;
+  f.message = std::move(message);
+  out->push_back(std::move(f));
+}
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// `std::fma(`, `std::fmaf(`, `std::fmal(` — but not fmax/fmin.
+bool HasStdFma(const std::string& text) {
+  for (std::size_t at = text.find("std::fma"); at != std::string::npos;
+       at = text.find("std::fma", at + 1)) {
+    std::size_t p = at + 8;
+    if (p < text.size() && (text[p] == 'f' || text[p] == 'l')) ++p;
+    if (p < text.size() && text[p] == '(') return true;
+  }
+  return false;
+}
+
+void PassFpContract(const SourceFile& src, const Stripped& s, std::vector<Finding>* out) {
+  static const char* kSubstrings[] = {"_mm_fmadd",   "_mm256_fmadd", "_mm512_fmadd",
+                                      "_mm_fmsub",   "_mm256_fmsub", "vfmaq_",
+                                      "vfmsq_",      "-ffast-math",  "ffp-contract=fast",
+                                      "FP_CONTRACT"};
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& text = s.code[i];
+    if (HasStdFma(text)) {
+      AddFinding(out, src.path, i + 1, "fp-contract",
+                 "std::fma fuses the canonical mul-then-add chains; bits change per ISA "
+                 "(DESIGN.md §10)");
+      continue;
+    }
+    for (const char* pat : kSubstrings) {
+      if (text.find(pat) != std::string::npos) {
+        AddFinding(out, src.path, i + 1, "fp-contract",
+                   std::string("'") + pat + "' contracts or reorders FP — the chains are "
+                   "separately rounded by definition (DESIGN.md §10)");
+        break;
+      }
+    }
+  }
+}
+
+void PassRandomness(const SourceFile& src, const Stripped& s, std::vector<Finding>* out) {
+  if (PathContains(src.path, "common/random")) return;
+  static const char* kSubstrings[] = {
+      "std::mt19937",          "std::minstd_rand",    "std::ranlux",
+      "std::knuth_b",          "std::default_random_engine",
+      "std::random_device",    "std::uniform_int_distribution",
+      "std::uniform_real_distribution", "std::normal_distribution",
+      "std::bernoulli_distribution",    "std::discrete_distribution",
+      "#include <random>"};
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& text = s.code[i];
+    bool hit = false;
+    for (const char* pat : kSubstrings) {
+      if (text.find(pat) != std::string::npos) {
+        AddFinding(out, src.path, i + 1, "randomness",
+                   std::string("'") + pat + "' outside common/random — all randomness must "
+                   "be seeded and owned there so runs replay");
+        hit = true;
+        break;
+      }
+    }
+    if (hit) continue;
+    for (const char* fn : {"rand", "srand"}) {
+      std::size_t pos;
+      if (!FindWord(text, fn, 0, &pos)) continue;
+      std::size_t p = pos;
+      while (p < text.size() && IsIdentChar(text[p])) ++p;
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (p < text.size() && text[p] == '(') {
+        AddFinding(out, src.path, i + 1, "randomness",
+                   "rand()/srand() outside common/random — unseedable global state");
+        break;
+      }
+    }
+  }
+}
+
+void PassUnorderedIter(const SourceFile& src, const Stripped& s,
+                       const std::set<std::string>& unordered_names,
+                       std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& text = s.code[i];
+    std::size_t at;
+    if (!FindWord(text, "for", 0, &at)) continue;
+    const std::size_t open = text.find('(', at);
+    if (open == std::string::npos) continue;
+    // The header may span lines; join a small window so the range
+    // expression resolves.
+    std::string header = text.substr(open);
+    for (std::size_t j = i + 1; j < s.code.size() && j < i + 4 &&
+                                std::count(header.begin(), header.end(), '(') >
+                                    std::count(header.begin(), header.end(), ')');
+         ++j) {
+      header += ' ';
+      header += s.code[j];
+    }
+    // Top-level ':' (not '::') splits a range-for header.
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    for (std::size_t p = 0; p < header.size(); ++p) {
+      const char c = header[p];
+      if (c == '(' || c == '[' || c == '<') ++depth;
+      if (c == ')' || c == ']' || c == '>') {
+        if (c == ')' && depth == 1) break;
+        --depth;
+      }
+      if (c == ':' && depth == 1) {
+        const bool dbl = (p > 0 && header[p - 1] == ':') ||
+                         (p + 1 < header.size() && header[p + 1] == ':');
+        if (!dbl) {
+          colon = p;
+          break;
+        }
+      }
+    }
+    std::string range;
+    if (colon != std::string::npos) {
+      const std::size_t close = header.find_last_of(')');
+      range = Trim(header.substr(colon + 1,
+                                 close == std::string::npos ? std::string::npos
+                                                            : close - colon - 1));
+    } else {
+      // Iterator loop: `for (auto it = name.begin(); ...`.
+      const std::size_t beg = header.find(".begin(");
+      if (beg == std::string::npos) continue;
+      std::size_t e = beg;
+      while (e > 0 && IsIdentChar(header[e - 1])) --e;
+      range = header.substr(e, beg - e);
+    }
+    if (range.empty()) continue;
+    // Trailing identifier of the range expression (`model->pivot_hash_`
+    // → `pivot_hash_`).
+    std::size_t e = range.size();
+    while (e > 0 && (range[e - 1] == ')' || range[e - 1] == ' ')) --e;
+    std::size_t b = e;
+    while (b > 0 && IsIdentChar(range[b - 1])) --b;
+    const std::string tail = range.substr(b, e - b);
+    if (unordered_names.count(tail) != 0 || range.find("unordered_") != std::string::npos) {
+      AddFinding(out, src.path, i + 1, "unordered-iter",
+                 "iterating '" + Trim(range) + "' — unordered container order is "
+                 "implementation-defined and must never feed result ordering; "
+                 "collect-then-sort or scatter by key instead");
+    }
+  }
+}
+
+void PassFpAccumulate(const SourceFile& src, const Stripped& s,
+                      const std::set<std::string>& doubles, std::vector<Finding>* out) {
+  if (PathContains(src.path, "core/kernels")) return;  // the canonical chains live here
+  struct LoopFrame {
+    int open_depth = 0;  ///< brace depth before the loop body '{'
+    std::vector<std::string> vars;
+  };
+  std::vector<LoopFrame> loops;
+  bool pending_loop = false;
+  std::vector<std::string> pending_vars;
+  int depth = 0;
+
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    const std::string& text = s.code[i];
+
+    if (text.find("std::accumulate") != std::string::npos ||
+        text.find("std::reduce") != std::string::npos) {
+      AddFinding(out, src.path, i + 1, "fp-accumulate",
+                 "std::accumulate/std::reduce outside core/kernels — accumulation order "
+                 "defines bits; route summation through the canonical blocked chains");
+    }
+
+    // Loop headers: remember the loop variables so element-wise updates
+    // (`e.dot += x` via `for (auto& e : ...)`) are not mistaken for
+    // scalar reductions.
+    std::size_t kw;
+    std::size_t header_end = 0;  ///< position just past the header's ')'
+    const bool is_for = FindWord(text, "for", 0, &kw);
+    const bool is_while = !is_for && FindWord(text, "while", 0, &kw);
+    if (is_for || is_while) {
+      pending_loop = true;
+      pending_vars.clear();
+      const std::size_t open = text.find('(', kw);
+      if (open != std::string::npos) {
+        int d = 0;
+        std::size_t p = open;
+        for (; p < text.size(); ++p) {
+          if (text[p] == '(') ++d;
+          if (text[p] == ')' && --d == 0) break;
+        }
+        header_end = p < text.size() ? p + 1 : text.size();
+        if (is_for) {
+          const std::string inner = text.substr(open + 1, (p > open ? p - open - 1 : 0));
+          // Range-for: var precedes the top-level ':'; classic for: vars
+          // precede '=' in the init clause.
+          const std::size_t init_end = inner.find(';');
+          const std::string init =
+              init_end == std::string::npos ? inner : inner.substr(0, init_end);
+          std::string last;
+          for (std::size_t p2 = 0; p2 < init.size(); ++p2) {
+            if (IsIdentChar(init[p2]) &&
+                std::isdigit(static_cast<unsigned char>(init[p2])) == 0) {
+              last = ReadIdent(init, p2);
+              p2 += last.size() - 1;
+            } else if (init[p2] == '=' || (init[p2] == ':' && (p2 == 0 || init[p2 - 1] != ':') &&
+                                           (p2 + 1 >= init.size() || init[p2 + 1] != ':'))) {
+              break;
+            }
+          }
+          if (!last.empty()) pending_vars.push_back(last);
+        }
+      }
+    }
+
+    // `target +=` where target is a bare double scalar inside a loop.
+    for (std::size_t at = text.find("+=", header_end); at != std::string::npos;
+         at = text.find("+=", at + 2)) {
+      std::size_t e = at;
+      while (e > 0 && text[e - 1] == ' ') --e;
+      if (e == 0 || !IsIdentChar(text[e - 1])) continue;  // a[i] += / obj.x += / ++
+      std::size_t b = e;
+      while (b > 0 && IsIdentChar(text[b - 1])) --b;
+      if (b > 0 && (text[b - 1] == '.' || text[b - 1] == ':' ||
+                    (b > 1 && text[b - 2] == '-' && text[b - 1] == '>'))) {
+        continue;  // member access — element-wise update, caller-defined order
+      }
+      const std::string target = text.substr(b, e - b);
+      const bool in_loop = !loops.empty() || pending_loop;
+      if (!in_loop || doubles.count(target) == 0) continue;
+      bool is_loop_var = false;
+      for (const LoopFrame& f : loops) {
+        for (const std::string& v : f.vars) is_loop_var = is_loop_var || v == target;
+      }
+      for (const std::string& v : pending_vars) is_loop_var = is_loop_var || v == target;
+      if (is_loop_var) continue;
+      AddFinding(out, src.path, i + 1, "fp-accumulate",
+                 "'" + target + " +=' reduction loop over double outside core/kernels — "
+                 "accumulation order defines bits; use the canonical blocked chains");
+    }
+
+    // Brace tracking: open loop frames at '{' after a header, pop them
+    // when the depth returns to the open level.
+    for (char c : text) {
+      if (c == '{') {
+        if (pending_loop) {
+          loops.push_back({depth, pending_vars});
+          pending_loop = false;
+          pending_vars.clear();
+        }
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        while (!loops.empty() && loops.back().open_depth >= depth) loops.pop_back();
+      }
+    }
+    // A braceless single-statement body ends with the line.
+    if (pending_loop && !text.empty() && text.find(';', header_end) != std::string::npos) {
+      pending_loop = false;
+      pending_vars.clear();
+    }
+  }
+}
+
+void PassHotAlloc(const SourceFile& src, const Stripped& s, std::vector<Finding>* out) {
+  if (PathContains(src.path, "common/thread_annotations")) return;  // the definition site
+  // Join with line map for cross-line body scans.
+  std::string all;
+  std::vector<std::size_t> line_of;  ///< line (1-based) of each char in `all`
+  for (std::size_t i = 0; i < s.code.size(); ++i) {
+    for (char c : s.code[i]) {
+      all += c;
+      line_of.push_back(i + 1);
+    }
+    all += '\n';
+    line_of.push_back(i + 1);
+  }
+
+  static const char* kCalls[] = {"std::make_unique", "std::make_shared", "malloc(",
+                                 "calloc(",          "realloc(",         "strdup",
+                                 "aligned_alloc",    ".resize(",         ".reserve("};
+  static const char* kOwningDecls[] = {"std::vector<", "std::string ", "std::deque<",
+                                       "std::map<", "std::unordered_"};
+
+  std::size_t at;
+  std::size_t from = 0;
+  while (FindWord(all, "AFFINITY_HOT", from, &at)) {
+    from = at + 1;
+    // Skip preprocessor lines (`#define AFFINITY_HOT ...`): the marker
+    // there introduces no function body.
+    std::size_t bol = at;
+    while (bol > 0 && all[bol - 1] != '\n') --bol;
+    while (bol < at && all[bol] == ' ') ++bol;
+    if (all[bol] == '#') continue;
+    // Definition bodies only: a ';' before the '{' marks a declaration.
+    std::size_t p = at + 12;
+    while (p < all.size() && all[p] != '{' && all[p] != ';') ++p;
+    if (p >= all.size() || all[p] == ';') continue;
+    int depth = 0;
+    std::size_t body_begin = p;
+    std::size_t body_end = p;
+    for (std::size_t q = p; q < all.size(); ++q) {
+      if (all[q] == '{') ++depth;
+      if (all[q] == '}' && --depth == 0) {
+        body_end = q;
+        break;
+      }
+    }
+    // Scan the body line by line.
+    std::size_t line_start = body_begin + 1;
+    for (std::size_t q = body_begin + 1; q <= body_end && q < all.size(); ++q) {
+      if (all[q] != '\n' && q != body_end) continue;
+      const std::string line = all.substr(line_start, q - line_start);
+      const std::size_t lineno = line_of[line_start];
+      std::size_t word_at;
+      if (FindWord(line, "new", 0, &word_at)) {
+        AddFinding(out, src.path, lineno, "hot-alloc",
+                   "operator new inside an AFFINITY_HOT body — the append hot path is "
+                   "allocation-free (DESIGN.md §13)");
+      }
+      for (const char* pat : kCalls) {
+        if (line.find(pat) != std::string::npos) {
+          AddFinding(out, src.path, lineno, "hot-alloc",
+                     std::string("'") + pat + "' inside an AFFINITY_HOT body — the append "
+                     "hot path is allocation-free (DESIGN.md §13)");
+          break;
+        }
+      }
+      if (line.find('&') == std::string::npos && line.find('*') == std::string::npos) {
+        for (const char* pat : kOwningDecls) {
+          if (line.find(pat) != std::string::npos) {
+            AddFinding(out, src.path, lineno, "hot-alloc",
+                       std::string("owning container ('") + pat + "') constructed inside an "
+                       "AFFINITY_HOT body — the append hot path is allocation-free");
+            break;
+          }
+        }
+      }
+      line_start = q + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+/// Lines each rule is suppressed on, plus file-wide allows.
+struct Suppressions {
+  std::map<std::string, std::set<std::size_t>> lines;  ///< rule → covered lines
+  std::set<std::string> file_rules;
+  std::size_t directive_count = 0;
+};
+
+Suppressions BuildSuppressions(const SourceFile& src, const Stripped& s,
+                               std::vector<Finding>* out) {
+  Suppressions sup;
+  for (const Directive& d : s.directives) {
+    if (d.parse_error) {
+      AddFinding(out, src.path, d.line, "bad-suppression",
+                 "malformed affinity-lint directive — expected "
+                 "'affinity-lint: allow(<rule>): <justification>'");
+      continue;
+    }
+    if (!d.justified) {
+      AddFinding(out, src.path, d.line, "bad-suppression",
+                 "suppression without a justification — write "
+                 "'affinity-lint: allow(<rule>): <why this site is safe>'");
+      continue;
+    }
+    ++sup.directive_count;
+    if (d.file_scope) {
+      for (const std::string& r : d.rules) sup.file_rules.insert(r);
+      continue;
+    }
+    // Covers its own line; a comment-only directive line also covers the
+    // next line carrying code.
+    for (const std::string& r : d.rules) sup.lines[r].insert(d.line);
+    const std::string& own_code =
+        d.line - 1 < s.code.size() ? s.code[d.line - 1] : std::string();
+    if (Trim(own_code).empty()) {
+      for (std::size_t j = d.line; j < s.code.size(); ++j) {
+        if (!Trim(s.code[j]).empty()) {
+          for (const std::string& r : d.rules) sup.lines[r].insert(j + 1);
+          break;
+        }
+      }
+    }
+  }
+  return sup;
+}
+
+}  // namespace
+
+LintResult LintSources(const std::vector<SourceFile>& sources) {
+  LintResult result;
+  result.files_scanned = sources.size();
+
+  // Pass 1: strip everything and collect the cross-file symbol tables.
+  std::vector<Stripped> stripped;
+  stripped.reserve(sources.size());
+  std::set<std::string> unordered_names;
+  for (const SourceFile& src : sources) {
+    stripped.push_back(Strip(src.content));
+    std::string joined;
+    for (const std::string& l : stripped.back().code) {
+      joined += l;
+      joined += '\n';
+    }
+    CollectUnorderedNames(joined, &unordered_names);
+  }
+
+  // Pass 2: rules, then suppression filtering, per file.
+  for (std::size_t f = 0; f < sources.size(); ++f) {
+    const SourceFile& src = sources[f];
+    const Stripped& s = stripped[f];
+
+    std::set<std::string> doubles;
+    CollectDoubleScalars(s.code, &doubles);
+
+    std::vector<Finding> raw;
+    PassFpAccumulate(src, s, doubles, &raw);
+    PassFpContract(src, s, &raw);
+    PassUnorderedIter(src, s, unordered_names, &raw);
+    PassRandomness(src, s, &raw);
+    PassHotAlloc(src, s, &raw);
+
+    std::vector<Finding> meta;
+    const Suppressions sup = BuildSuppressions(src, s, &meta);
+    std::set<std::size_t> used;  ///< directive lines that matched a finding
+    for (Finding& fi : raw) {
+      if (sup.file_rules.count(fi.rule) != 0) {
+        ++result.suppressions_used;
+        continue;
+      }
+      const auto it = sup.lines.find(fi.rule);
+      if (it != sup.lines.end() && it->second.count(fi.line) != 0) {
+        ++result.suppressions_used;
+        continue;
+      }
+      result.findings.push_back(std::move(fi));
+    }
+    for (Finding& fi : meta) result.findings.push_back(std::move(fi));
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+LintResult LintPaths(const std::vector<std::string>& paths, const std::string& root) {
+  std::vector<SourceFile> sources;
+  std::vector<Finding> io_errors;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      Finding f;
+      f.file = path;
+      f.line = 0;
+      f.rule = "io";
+      f.message = "cannot read file";
+      io_errors.push_back(std::move(f));
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile src;
+    src.path = path;
+    std::replace(src.path.begin(), src.path.end(), '\\', '/');
+    std::string prefix = root;
+    std::replace(prefix.begin(), prefix.end(), '\\', '/');
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    if (!prefix.empty() && src.path.compare(0, prefix.size(), prefix) == 0) {
+      src.path = src.path.substr(prefix.size());
+    }
+    src.content = buf.str();
+    sources.push_back(std::move(src));
+  }
+  LintResult result = LintSources(sources);
+  for (Finding& f : io_errors) result.findings.push_back(std::move(f));
+  return result;
+}
+
+std::vector<std::string> DefaultSourceList(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const char* dir : {"src", "tools"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") out.push_back(entry.path().string());
+    }
+  }
+  const fs::path cmake = fs::path(root) / "CMakeLists.txt";
+  if (fs::exists(cmake)) out.push_back(cmake.string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string FormatReport(const LintResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  out << "affinity_lint: " << result.files_scanned << " files, " << result.findings.size()
+      << " finding(s), " << result.suppressions_used << " suppression(s) used\n";
+  return out.str();
+}
+
+}  // namespace affinity::lint

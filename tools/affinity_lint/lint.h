@@ -1,0 +1,93 @@
+#ifndef AFFINITY_TOOLS_AFFINITY_LINT_LINT_H_
+#define AFFINITY_TOOLS_AFFINITY_LINT_LINT_H_
+
+/// \file lint.h
+/// affinity_lint — project-specific determinism lint (DESIGN.md §13).
+///
+/// The engine's core contract is bitwise-identical answers at any thread
+/// and shard count. The compiler cannot check most of what that rests
+/// on, so this lint enforces the project invariants *textually* over the
+/// source list, with a small curated rule set:
+///
+///  * `fp-accumulate` — no floating-point accumulation outside the
+///    canonical blocked kernels (`src/core/kernels*`): flags
+///    `std::accumulate`, `std::reduce`, and manual `+=` reduction loops
+///    whose target is a bare `double` scalar. Accumulation order defines
+///    bits; all summation must flow through `core::kernels` chains.
+///    Element-wise updates (`slot[i] += x`, `entry.dot += x`) and
+///    straight-line rolling updates outside loops are allowed — their
+///    order is defined by the caller, not by a reduction.
+///  * `fp-contract` — no `std::fma` (or FMA intrinsics), no
+///    `-ffast-math`, no `#pragma STDC FP_CONTRACT`, anywhere. The chains
+///    are separately-rounded mul-then-add by definition (DESIGN.md §10);
+///    contraction changes bits per ISA.
+///  * `unordered-iter` — no iteration (range-for / iterator loops) over
+///    `std::unordered_*` containers: iteration order is
+///    implementation-defined and must never feed result ordering.
+///    Collect-then-sort, or scatter into key-indexed slots instead.
+///  * `randomness` — no random sources (`<random>` engines,
+///    `rand`/`srand`, `std::random_device`) outside `src/common/random*`.
+///    All randomness must be seeded and owned by `common/random` so runs
+///    replay.
+///  * `hot-alloc` — no heap-allocation keywords (`new`,
+///    `make_unique`/`make_shared`, the `malloc` family, owning-container
+///    locals, `resize`/`reserve`) inside function bodies marked
+///    `AFFINITY_HOT` (the allocation-free append path, DESIGN.md §13).
+///    Amortized `push_back`/`emplace_back` into pre-reserved storage is
+///    allowed; the allocs_per_append bench counter owns that contract.
+///
+/// Suppressions: `// affinity-lint: allow(<rule>): <justification>` on
+/// the offending line (or alone on the line above) suppresses one site;
+/// `// affinity-lint: allow-file(<rule>): <justification>` near the top
+/// of a file suppresses the rule file-wide. The justification is
+/// mandatory — a suppression without one is itself reported (rule
+/// `bad-suppression`, never suppressible).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace affinity::lint {
+
+/// One lint violation.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Outcome of one lint pass.
+struct LintResult {
+  std::vector<Finding> findings;     ///< file order, then line order
+  std::size_t files_scanned = 0;
+  std::size_t suppressions_used = 0;  ///< allow() directives that matched a finding
+};
+
+/// A source file already loaded into memory (the testable seam).
+struct SourceFile {
+  std::string path;     ///< repo-relative; rule exemptions match on this
+  std::string content;
+};
+
+/// Lints in-memory sources. `paths` in `SourceFile::path` drive the
+/// path-scoped exemptions (`src/core/kernels*`, `src/common/random*`),
+/// so fixtures can impersonate any location.
+LintResult LintSources(const std::vector<SourceFile>& sources);
+
+/// Loads each path from disk and lints it. Paths are normalized to use
+/// '/' and made relative to `root` when they live under it. Files that
+/// cannot be read are reported as findings (rule `io`).
+LintResult LintPaths(const std::vector<std::string>& paths, const std::string& root);
+
+/// The default scan list for `root`: every *.h / *.cc under root/src and
+/// root/tools, plus root/CMakeLists.txt — sorted, so output order is
+/// stable across filesystems.
+std::vector<std::string> DefaultSourceList(const std::string& root);
+
+/// "file:line: [rule] message" per finding plus a summary line.
+std::string FormatReport(const LintResult& result);
+
+}  // namespace affinity::lint
+
+#endif  // AFFINITY_TOOLS_AFFINITY_LINT_LINT_H_

@@ -1,0 +1,66 @@
+/// \file main.cc
+/// affinity_lint CLI (DESIGN.md §13).
+///
+///   affinity_lint --root <repo>            lint the default source list
+///                                          (src/**, tools/**, CMakeLists.txt)
+///   affinity_lint [--root <repo>] <files>  lint an explicit file list
+///   affinity_lint --list-rules             print the curated rule set
+///
+/// Exit status: 0 when clean, 1 when any finding survived suppressions,
+/// 2 on usage errors. Findings print as `file:line: [rule] message` so
+/// editors and CI annotate them directly.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "affinity_lint/lint.h"
+
+namespace {
+
+constexpr char kRuleDoc[] =
+    "affinity_lint rules (DESIGN.md §13):\n"
+    "  fp-accumulate   no std::accumulate/std::reduce or manual `+=` reduction\n"
+    "                  loops over double outside src/core/kernels* — accumulation\n"
+    "                  order defines bits\n"
+    "  fp-contract     no std::fma / FMA intrinsics / -ffast-math /\n"
+    "                  `#pragma STDC FP_CONTRACT` anywhere\n"
+    "  unordered-iter  no iteration over std::unordered_* containers —\n"
+    "                  iteration order must never feed result ordering\n"
+    "  randomness      no random sources outside src/common/random*\n"
+    "  hot-alloc       no heap-allocation keywords inside AFFINITY_HOT bodies\n"
+    "  bad-suppression an `affinity-lint: allow(...)` without a justification\n"
+    "\n"
+    "Suppress one site:   // affinity-lint: allow(<rule>): <justification>\n"
+    "Suppress file-wide:  // affinity-lint: allow-file(<rule>): <justification>\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      std::fputs(kRuleDoc, stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "affinity_lint: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+    files.emplace_back(argv[i]);
+  }
+  if (files.empty()) files = affinity::lint::DefaultSourceList(root);
+  if (files.empty()) {
+    std::fprintf(stderr, "affinity_lint: no sources found under '%s'\n", root.c_str());
+    return 2;
+  }
+  const affinity::lint::LintResult result = affinity::lint::LintPaths(files, root);
+  std::fputs(affinity::lint::FormatReport(result).c_str(), stdout);
+  return result.findings.empty() ? 0 : 1;
+}
